@@ -1,0 +1,286 @@
+//! The AllHands QA agent (paper Sec. 3.4): a code-first agent comprising a
+//! task planner, a code generator with self-reflection, and a code
+//! executor, producing multi-modal responses.
+//!
+//! Control flow per question (paper Fig. 6):
+//!
+//! 1. the **planner** decomposes the question into sub-tasks, then reflects
+//!    and merges dependent steps into a concise final plan;
+//! 2. the **code generator** (an LLM head) turns the task into AQL;
+//! 3. the **code executor** (the stateful AQL session) runs it; on error
+//!    the generator retries with the exception message, at most
+//!    [`AgentConfig::max_retries`] times, after which the planner reports
+//!    failure — exactly the paper's ≤3-attempt reflection loop;
+//! 4. the planner summarizes execution results into a multi-modal
+//!    [`Response`] (text, tables, figures, code), adding template-generated
+//!    recommendations for open-ended suggestion questions.
+//!
+//! Chat history is retained; follow-up questions run in the same session so
+//! earlier bindings remain available (the Jupyter-style property the paper
+//! gets from its notebook kernel).
+
+pub mod planner;
+pub mod response;
+
+pub use planner::{Plan, Planner};
+pub use response::{Response, ResponseItem};
+
+use allhands_dataframe::DataFrame;
+use allhands_llm::{ChatOptions, CodegenRequest, SchemaInfo, SimLlm};
+use allhands_query::{RtValue, Session, SessionLimits};
+
+/// Agent configuration.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Maximum code regeneration attempts after failures (paper: 3).
+    pub max_retries: u32,
+    /// Generation options passed to the LLM heads.
+    pub chat: ChatOptions,
+    /// Enable the planner's plan-merge reflection (ablation hook).
+    pub plan_merge: bool,
+    /// Session sandbox limits.
+    pub limits: SessionLimits,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            max_retries: 3,
+            chat: ChatOptions::default(),
+            plan_merge: true,
+            limits: SessionLimits::default(),
+        }
+    }
+}
+
+/// The QA agent: owns the LLM, the execution session, and the chat history.
+pub struct QaAgent {
+    llm: SimLlm,
+    session: Session,
+    schema: SchemaInfo,
+    config: AgentConfig,
+    /// `(question, answer summary)` pairs for follow-up context.
+    history: Vec<(String, String)>,
+}
+
+impl QaAgent {
+    /// Build an agent over a structured feedback frame (bound as
+    /// `feedback` in the execution session).
+    pub fn new(llm: SimLlm, feedback: DataFrame, config: AgentConfig) -> Self {
+        let schema = SchemaInfo::from_frame(&feedback);
+        let mut session = Session::new(config.limits);
+        session.bind_frame("feedback", feedback);
+        QaAgent { llm, session, schema, config, history: Vec::new() }
+    }
+
+    /// The model name driving this agent.
+    pub fn model_name(&self) -> &str {
+        use allhands_llm::LanguageModel;
+        self.llm.name()
+    }
+
+    /// Register a custom analysis plugin, available to generated code —
+    /// the paper's "self-defined plugins" extension point.
+    pub fn register_plugin(&mut self, name: &str, f: allhands_query::plugins::PluginFn) {
+        self.session.register_plugin(name, f);
+    }
+
+    /// Chat history (question, summary) pairs.
+    pub fn history(&self) -> &[(String, String)] {
+        &self.history
+    }
+
+    /// Answer one question.
+    pub fn ask(&mut self, question: &str) -> Response {
+        // --- 1. plan -------------------------------------------------------
+        let planner = Planner::new(self.config.plan_merge);
+        let plan = planner.plan(question);
+
+        // --- 2+3. generate / execute / reflect ------------------------------
+        let head = self.llm.codegen_head();
+        let mut error_feedback: Option<String> = None;
+        let mut last_error = String::new();
+        let mut code = String::new();
+        let mut attempts = 0u32;
+        let mut cell = None;
+        while attempts <= self.config.max_retries {
+            let request = CodegenRequest {
+                question: question.to_string(),
+                schema: self.schema.clone(),
+                error_feedback: error_feedback.clone(),
+                attempt: attempts,
+            };
+            code = match head.generate(&request, &self.config.chat) {
+                Ok(c) => c,
+                Err(e) => {
+                    last_error = e;
+                    attempts += 1;
+                    continue;
+                }
+            };
+            let result = self.session.execute(&code);
+            attempts += 1;
+            match &result.error {
+                None => {
+                    cell = Some(result);
+                    break;
+                }
+                Some(err) => {
+                    last_error = err.clone();
+                    error_feedback = Some(err.clone());
+                }
+            }
+        }
+
+        let Some(cell) = cell else {
+            // The CG notifies the planner of its failure (paper Sec. 3.4.2).
+            let summary = format!(
+                "I was unable to produce working analysis code for this question after {attempts} attempts. Last error: {last_error}"
+            );
+            self.history.push((question.to_string(), summary.clone()));
+            return Response {
+                items: vec![ResponseItem::Text(summary), ResponseItem::Code(code)],
+                shown: Vec::new(),
+                plan: plan.final_steps.clone(),
+                code: String::new(),
+                attempts,
+                error: Some(last_error),
+            };
+        };
+
+        // --- 4. summarize ----------------------------------------------------
+        // Weaker models sometimes dump results without a narrated summary —
+        // the organization failure the readability rubric penalizes.
+        let narration_slip = {
+            use allhands_llm::LanguageModel;
+            let _ = self.llm.name();
+            self.llm
+                .spec()
+                .slips("narration", question, self.llm.spec().plan_slip * 0.9)
+        };
+        let mut items: Vec<ResponseItem> = Vec::new();
+        let summary = planner.summarize(question, &cell.shown);
+        if !narration_slip {
+            items.push(ResponseItem::Text(summary.clone()));
+        }
+        for value in &cell.shown {
+            match value {
+                RtValue::Scalar(v) => items.push(ResponseItem::Text(format!("Result: {v}"))),
+                RtValue::Frame(f) => items.push(ResponseItem::Table(f.to_table_string(15))),
+                RtValue::Figure(fig) => items.push(ResponseItem::Figure(fig.clone())),
+                RtValue::List(_) => items.push(ResponseItem::Text(value.render())),
+            }
+        }
+        items.push(ResponseItem::Code(code.clone()));
+
+        self.history.push((question.to_string(), summary));
+        Response {
+            items,
+            shown: cell.shown,
+            plan: plan.final_steps,
+            code,
+            attempts,
+            error: None,
+        }
+    }
+
+    /// Direct access to the execution session (tests, judges).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allhands_dataframe::{CivilDateTime, Column};
+
+    fn frame() -> DataFrame {
+        let base = CivilDateTime::date(2023, 4, 10).to_epoch();
+        DataFrame::new(vec![
+            Column::from_strs("text", &[
+                "WhatsApp crashes on startup",
+                "love the WhatsApp update",
+                "Windows is slow",
+                "ok cool",
+            ]),
+            Column::from_strs("label", &["informative", "informative", "informative", "non-informative"]),
+            Column::from_f64s("sentiment", &[-0.8, 0.9, -0.5, 0.0]),
+            Column::from_str_lists("topics", vec![
+                vec!["crash".into()],
+                vec!["praise".into()],
+                vec!["performance issue".into()],
+                vec!["chitchat".into()],
+            ]),
+            Column::from_datetimes("timestamp", &[base, base + 86_400, base + 2 * 86_400, base + 3 * 86_400]),
+            Column::from_i64s("text_len", &[27, 24, 15, 7]),
+            Column::from_strs("product", &["WhatsApp", "WhatsApp", "Windows", "Android"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn answers_simple_count_question() {
+        let mut agent = QaAgent::new(SimLlm::gpt4(), frame(), AgentConfig::default());
+        let r = agent.ask("What is the average sentiment score across all tweets?");
+        assert!(r.error.is_none(), "{:?}", r.error);
+        assert!(r.items.iter().any(|i| matches!(i, ResponseItem::Text(_))));
+        assert!(r.items.iter().any(|i| matches!(i, ResponseItem::Code(_))));
+        assert!(!r.plan.is_empty());
+        assert_eq!(agent.history().len(), 1);
+    }
+
+    #[test]
+    fn figure_question_yields_figure_item() {
+        let mut agent = QaAgent::new(SimLlm::gpt4(), frame(), AgentConfig::default());
+        let r = agent.ask("Draw a issue river for the top 7 topics about 'WhatsApp' product.");
+        assert!(r.error.is_none(), "{:?}", r.error);
+        assert!(
+            r.items.iter().any(|i| matches!(i, ResponseItem::Figure(_))),
+            "no figure in {:?}",
+            r.items.iter().map(|i| i.kind()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn suggestion_question_gets_recommendations() {
+        let mut agent = QaAgent::new(SimLlm::gpt4(), frame(), AgentConfig::default());
+        let r = agent.ask("Based on the tweets, what action can be done to improve Android?");
+        assert!(r.error.is_none(), "{:?}", r.error);
+        let text = r
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                ResponseItem::Text(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.to_lowercase().contains("suggest") || text.contains("1."), "{text}");
+    }
+
+    #[test]
+    fn history_supports_followups() {
+        let mut agent = QaAgent::new(SimLlm::gpt4(), frame(), AgentConfig::default());
+        agent.ask("How many tweets mention 'WhatsApp'?");
+        agent.ask("What is the average sentiment score across all tweets?");
+        assert_eq!(agent.history().len(), 2);
+    }
+
+    #[test]
+    fn custom_plugin_is_callable() {
+        let mut agent = QaAgent::new(SimLlm::gpt4(), frame(), AgentConfig::default());
+        agent.register_plugin(
+            "row_count_plus_one",
+            Box::new(|args| {
+                let f = match args.into_iter().next() {
+                    Some(RtValue::Frame(f)) => f,
+                    _ => return Err(allhands_query::QueryError::runtime("need frame")),
+                };
+                Ok(RtValue::Scalar(allhands_dataframe::Value::Int(f.n_rows() as i64 + 1)))
+            }),
+        );
+        let result = agent.session_mut().execute("show(row_count_plus_one(feedback))");
+        assert!(result.error.is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! The task planner (paper Sec. 3.4.1): decomposes a question into
+//! sub-tasks, reflects on dependencies to merge them, and summarizes
+//! execution results for the user.
+
+use allhands_query::RtValue;
+
+/// A plan: the fine-grained initial decomposition and the merged final
+/// steps (the paper's planner "reflects on its initial plan … and merges
+/// them if necessary, resulting in a more concise final plan").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    pub initial_steps: Vec<String>,
+    pub final_steps: Vec<String>,
+}
+
+/// The planner.
+pub struct Planner {
+    merge: bool,
+}
+
+impl Planner {
+    /// `merge = false` disables plan-merge reflection (ablation).
+    pub fn new(merge: bool) -> Self {
+        Planner { merge }
+    }
+
+    /// Decompose a question into sub-tasks.
+    pub fn plan(&self, question: &str) -> Plan {
+        let q = question.to_lowercase();
+        let mut steps: Vec<String> = vec!["Identify the relevant subset of feedback".to_string()];
+        if q.contains("percentage") || q.contains("ratio") {
+            steps.push("Count the numerator and denominator groups".to_string());
+            steps.push("Compute the requested proportion".to_string());
+        } else if q.contains("trend") || q.contains("daily") || q.contains("weekly") {
+            steps.push("Bucket records by time period".to_string());
+            steps.push("Aggregate the metric per bucket".to_string());
+        } else if q.contains("correlation") || q.contains("co-occur") {
+            steps.push("Build the paired frequency series".to_string());
+            steps.push("Compute the association statistic".to_string());
+        } else {
+            steps.push("Aggregate the requested statistic".to_string());
+        }
+        let wants_figure = ["plot", "draw", "chart", "cloud", "histogram", "river", "figure"]
+            .iter()
+            .any(|w| q.contains(w));
+        if wants_figure {
+            steps.push("Render the visualization".to_string());
+        }
+        let wants_suggestion = ["suggest", "improve", "action", "advantages"]
+            .iter()
+            .any(|w| q.contains(w));
+        if wants_suggestion {
+            steps.push("Synthesize recommendations from the statistics".to_string());
+        }
+        steps.push("Summarize the results for the user".to_string());
+
+        let final_steps = if self.merge && steps.len() > 3 {
+            // Reflection: the analysis sub-steps all execute in one code
+            // cell, so merge them; presentation steps stay separate.
+            let mut merged = vec![format!(
+                "Analyze: {}",
+                steps[..steps.len() - 1].join("; ").to_lowercase()
+            )];
+            merged.push(steps[steps.len() - 1].clone());
+            merged
+        } else {
+            steps.clone()
+        };
+        Plan { initial_steps: steps, final_steps }
+    }
+
+    /// Summarize shown execution results as the leading answer text.
+    pub fn summarize(&self, question: &str, shown: &[RtValue]) -> String {
+        let q = question.to_lowercase();
+        let wants_suggestion = ["suggest", "improve", "action", "advantages", "challenge"]
+            .iter()
+            .any(|w| q.contains(w));
+
+        if wants_suggestion {
+            // Build recommendations from the first frame of (topic, count).
+            for value in shown {
+                if let RtValue::Frame(f) = value {
+                    if let (Ok(labels), Ok(counts)) = (f.column("topics"), f.column("count")) {
+                        let stats: Vec<(String, f64)> = (0..f.n_rows())
+                            .map(|i| {
+                                (
+                                    labels.get(i).to_string(),
+                                    counts.get(i).as_f64().unwrap_or(0.0),
+                                )
+                            })
+                            .collect();
+                        let subject = subject_of(question);
+                        return allhands_llm::summarize::suggestion_text(&stats, &subject);
+                    }
+                }
+            }
+            return "No negative topic statistics were available to base suggestions on."
+                .to_string();
+        }
+
+        // Analytical summary: narrate the scalar results and table shapes.
+        let mut parts: Vec<String> = Vec::new();
+        for value in shown {
+            match value {
+                RtValue::Scalar(v) => parts.push(format!("the computed value is {v}")),
+                RtValue::Frame(f) if f.n_rows() == 1 && f.n_cols() >= 1 => {
+                    let cells: Vec<String> = f
+                        .columns()
+                        .iter()
+                        .map(|c| format!("{} = {}", c.name(), c.get(0)))
+                        .collect();
+                    parts.push(format!("the top result is {}", cells.join(", ")));
+                }
+                RtValue::Frame(f) => {
+                    parts.push(format!("a table with {} rows follows", f.n_rows()))
+                }
+                RtValue::Figure(fig) => {
+                    parts.push(format!("the figure \"{}\" is shown below", fig.title))
+                }
+                RtValue::List(_) => parts.push("a list of values follows".to_string()),
+            }
+        }
+        if parts.is_empty() {
+            "The analysis produced no output.".to_string()
+        } else {
+            format!("Answer: {}.", parts.join("; "))
+        }
+    }
+}
+
+/// Heuristic subject extraction for suggestion prose ("improve Android" →
+/// "Android"); falls back to "the product".
+fn subject_of(question: &str) -> String {
+    // Last quoted phrase, else the word after "improve".
+    let chars: Vec<char> = question.chars().collect();
+    let mut phrases: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '\'' && i + 1 < chars.len() && chars[i + 1].is_alphanumeric() {
+            if let Some(j) = (i + 1..chars.len()).find(|&j| chars[j] == '\'') {
+                phrases.push(chars[i + 1..j].iter().collect());
+                i = j;
+            }
+        }
+        i += 1;
+    }
+    if let Some(p) = phrases.last() {
+        return p.clone();
+    }
+    // Token-based extraction (never index the original with offsets from a
+    // lowercased copy — lowercasing can change byte lengths and split a
+    // UTF-8 boundary).
+    let mut tokens = question.split_whitespace();
+    while let Some(tok) = tokens.next() {
+        if tok.eq_ignore_ascii_case("improve") {
+            if let Some(next) = tokens.next() {
+                let word: String = next.chars().take_while(|c| c.is_alphanumeric()).collect();
+                if !word.is_empty() {
+                    return word;
+                }
+            }
+        }
+    }
+    "the product".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allhands_dataframe::{Column, DataFrame};
+
+    #[test]
+    fn plans_have_initial_and_final() {
+        let p = Planner::new(true).plan("What percentage of tweets mention 'Windows'?");
+        assert!(p.initial_steps.len() >= 3);
+        assert!(p.final_steps.len() <= p.initial_steps.len());
+    }
+
+    #[test]
+    fn merge_disabled_keeps_steps() {
+        let planner = Planner::new(false);
+        let p = planner.plan("Plot daily sentiment scores' trend.");
+        assert_eq!(p.initial_steps, p.final_steps);
+    }
+
+    #[test]
+    fn figure_questions_include_render_step() {
+        let p = Planner::new(true).plan("Draw a histogram based on the different timezones.");
+        assert!(p.initial_steps.iter().any(|s| s.contains("visualization")));
+    }
+
+    #[test]
+    fn summarize_scalar() {
+        let planner = Planner::new(true);
+        let s = planner.summarize(
+            "What is the average sentiment?",
+            &[RtValue::Scalar(allhands_dataframe::Value::Float(0.25))],
+        );
+        assert!(s.contains("0.25"), "{s}");
+    }
+
+    #[test]
+    fn summarize_suggestion_uses_topic_stats() {
+        let planner = Planner::new(true);
+        let f = DataFrame::new(vec![
+            Column::from_strs("topics", &["crash", "ads"]),
+            Column::from_i64s("count", &[40, 10]),
+        ])
+        .unwrap();
+        let s = planner.summarize(
+            "Based on the tweets, what action can be done to improve 'Android'?",
+            &[RtValue::Frame(f)],
+        );
+        assert!(s.contains("Android"), "{s}");
+        assert!(s.contains("crash"), "{s}");
+    }
+
+    #[test]
+    fn subject_extraction() {
+        assert_eq!(subject_of("improve 'WhatsApp' today"), "WhatsApp");
+        assert_eq!(subject_of("what can improve Android"), "Android");
+        assert_eq!(subject_of("no hints here"), "the product");
+    }
+}

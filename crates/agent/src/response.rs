@@ -1,0 +1,167 @@
+//! Multi-modal responses (text, tables, figures, code) — the output format
+//! the paper highlights as essential for feedback analysis.
+
+use allhands_query::FigureSpec;
+use serde::Serialize;
+
+/// One element of a response.
+#[derive(Debug, Clone, Serialize)]
+pub enum ResponseItem {
+    /// Natural-language narration or recommendations.
+    Text(String),
+    /// A rendered table (markdown-flavoured fixed-width).
+    Table(String),
+    /// A figure artifact.
+    Figure(FigureSpec),
+    /// The generated analysis code.
+    Code(String),
+}
+
+impl ResponseItem {
+    /// The modality name, used by the comprehensiveness judge.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ResponseItem::Text(_) => "text",
+            ResponseItem::Table(_) => "table",
+            ResponseItem::Figure(_) => "figure",
+            ResponseItem::Code(_) => "code",
+        }
+    }
+}
+
+/// A complete agent answer.
+#[derive(Debug, Clone, Serialize)]
+pub struct Response {
+    /// Ordered multi-modal content.
+    pub items: Vec<ResponseItem>,
+    /// The raw executor outputs backing the items (scalars, frames,
+    /// figures) — consumed by the programmatic judges.
+    pub shown: Vec<allhands_query::RtValue>,
+    /// The planner's final plan steps.
+    pub plan: Vec<String>,
+    /// The executed code (empty when generation failed).
+    pub code: String,
+    /// Generation attempts used (1 = first try succeeded).
+    pub attempts: u32,
+    /// Set when the agent gave up.
+    pub error: Option<String>,
+}
+
+impl Response {
+    /// Distinct modalities present.
+    pub fn modalities(&self) -> Vec<&'static str> {
+        let mut kinds: Vec<&'static str> = self.items.iter().map(ResponseItem::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        kinds
+    }
+
+    /// All text content concatenated (for the judges).
+    pub fn text_content(&self) -> String {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                ResponseItem::Text(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Figures in the response.
+    pub fn figures(&self) -> Vec<&FigureSpec> {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                ResponseItem::Figure(f) => Some(f),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Tables in the response.
+    pub fn tables(&self) -> Vec<&str> {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                ResponseItem::Table(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render the full response as plain text (terminal display).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for item in &self.items {
+            match item {
+                ResponseItem::Text(t) => {
+                    out.push_str(t);
+                    out.push('\n');
+                }
+                ResponseItem::Table(t) => {
+                    out.push_str(t);
+                    out.push('\n');
+                }
+                ResponseItem::Figure(f) => {
+                    out.push_str(&f.render_ascii());
+                    out.push('\n');
+                }
+                ResponseItem::Code(c) => {
+                    out.push_str("```aql\n");
+                    out.push_str(c);
+                    out.push_str("\n```\n");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allhands_query::{FigureKind, Series};
+
+    fn response() -> Response {
+        Response {
+            shown: Vec::new(),
+            items: vec![
+                ResponseItem::Text("Answer: 42.".into()),
+                ResponseItem::Table("| a |\n|---|\n| 1 |\n".into()),
+                ResponseItem::Figure(FigureSpec::new(
+                    FigureKind::Bar,
+                    "t",
+                    vec!["x".into()],
+                    vec![Series { name: "c".into(), values: vec![1.0] }],
+                )),
+                ResponseItem::Code("show(1)".into()),
+            ],
+            plan: vec!["analyze".into()],
+            code: "show(1)".into(),
+            attempts: 1,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn modalities_deduped_sorted() {
+        assert_eq!(response().modalities(), vec!["code", "figure", "table", "text"]);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = response();
+        assert_eq!(r.figures().len(), 1);
+        assert_eq!(r.tables().len(), 1);
+        assert!(r.text_content().contains("42"));
+    }
+
+    #[test]
+    fn render_includes_everything() {
+        let s = response().render();
+        assert!(s.contains("Answer: 42."));
+        assert!(s.contains("```aql"));
+        assert!(s.contains("[Bar]"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! retrieval shot count, flat-vs-IVF retrieval, HITLR on/off, plan-merge
+//! on/off, and self-reflection retry budget. Each reports both latency
+//! (criterion) and, on stderr, the quality the choice buys.
+
+use allhands_agent::{AgentConfig, QaAgent};
+use allhands_classify::{temporal_split, LabeledExample};
+use allhands_core::{AbstractiveTopicModeler, IclClassifier, IclConfig, TopicModelingConfig};
+use allhands_datasets::{dataset_frame, generate_n, DatasetKind};
+use allhands_llm::SimLlm;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn data() -> (Vec<LabeledExample>, Vec<LabeledExample>) {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 3_000, 42);
+    let examples: Vec<LabeledExample> = records
+        .iter()
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let timestamps: Vec<i64> = records.iter().map(|r| r.timestamp).collect();
+    temporal_split(&examples, &timestamps, 0.7)
+}
+
+/// Ablation 1+7: ICL shots K ∈ {0, 1, 5, 10, 30} and flat vs IVF index.
+fn ablation_shots(c: &mut Criterion) {
+    let (train, test) = data();
+    let labels = vec!["informative".to_string(), "non-informative".to_string()];
+    let llm = SimLlm::gpt4();
+    let mut group = c.benchmark_group("ablation_icl_shots");
+    group.sample_size(10);
+    for &k in &[0usize, 1, 5, 10, 30] {
+        let clf = IclClassifier::fit(
+            &llm,
+            &train,
+            &labels,
+            IclConfig { shots: k, ..Default::default() },
+        );
+        let acc = clf.evaluate(&test[..200.min(test.len())]);
+        eprintln!("[ablation] shots={k:<2} accuracy={:.1}%", acc * 100.0);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &clf, |b, clf| {
+            b.iter(|| {
+                for ex in test.iter().take(20) {
+                    black_box(clf.classify(&ex.text));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_retrieval_index");
+    group.sample_size(10);
+    for (name, use_ivf) in [("flat", false), ("ivf", true)] {
+        let clf = IclClassifier::fit(
+            &llm,
+            &train,
+            &labels,
+            IclConfig { shots: 10, use_ivf, ..Default::default() },
+        );
+        let acc = clf.evaluate(&test[..200.min(test.len())]);
+        eprintln!("[ablation] index={name} accuracy={:.1}%", acc * 100.0);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &clf, |b, clf| {
+            b.iter(|| {
+                for ex in test.iter().take(20) {
+                    black_box(clf.classify(&ex.text));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 2+3: HITLR on/off and rounds (quality via stderr, cost via bench).
+fn ablation_hitlr(c: &mut Criterion) {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 600, 42);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let seeds = vec!["bug".to_string(), "crash".to_string(), "feature request".to_string()];
+    let llm = SimLlm::gpt4();
+    let mut group = c.benchmark_group("ablation_hitlr");
+    group.sample_size(10);
+    for (name, hitlr, rounds) in [("off", false, 1usize), ("r1", true, 1), ("r2", true, 2)] {
+        let config = TopicModelingConfig { hitlr, rounds, ..Default::default() };
+        let modeler = AbstractiveTopicModeler::new(&llm, config.clone());
+        let out = modeler.run(&texts, &seeds);
+        eprintln!(
+            "[ablation] hitlr={name} topics={} reviewer_removed={}",
+            out.topic_list.len(),
+            out.reviewer_removed
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            let modeler = AbstractiveTopicModeler::new(&llm, config.clone());
+            b.iter(|| black_box(modeler.run(&texts, &seeds)))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 5+6: self-reflection retries and plan merge.
+fn ablation_agent(c: &mut Criterion) {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 2_000, 42);
+    let frame = dataset_frame(DatasetKind::GoogleStoreApp, &records);
+    let questions = [
+        "What is the average sentiment score across all tweets?",
+        "Which top three timezones submitted the most number of tweets?",
+        "Identify the top three topics with the fastest increase in mentions from April to May.",
+    ];
+    let mut group = c.benchmark_group("ablation_agent");
+    group.sample_size(10);
+    for (name, retries, merge) in [("r0_merge", 0u32, true), ("r3_merge", 3, true), ("r3_nomerge", 3, false)] {
+        let config = AgentConfig { max_retries: retries, plan_merge: merge, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                // GPT-3.5: the tier where retries actually fire.
+                let mut agent = QaAgent::new(SimLlm::gpt35(), frame.clone(), config.clone());
+                let mut failures = 0;
+                for q in questions {
+                    if agent.ask(q).error.is_some() {
+                        failures += 1;
+                    }
+                }
+                black_box(failures)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_shots, ablation_hitlr, ablation_agent);
+criterion_main!(benches);

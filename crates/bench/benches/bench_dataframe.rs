@@ -1,0 +1,55 @@
+//! Dataframe kernels: filter, group-by, join, explode across row counts.
+
+use allhands_dataframe::{AggKind, Aggregation, Column, DataFrame, JoinKind, Value};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn frame(n: usize) -> DataFrame {
+    let products: Vec<String> = (0..n).map(|i| format!("product{}", i % 12)).collect();
+    let sentiments: Vec<f64> = (0..n).map(|i| ((i % 21) as f64 - 10.0) / 10.0).collect();
+    let topics: Vec<Vec<String>> = (0..n)
+        .map(|i| vec![format!("topic{}", i % 25), format!("topic{}", (i * 7) % 25)])
+        .collect();
+    DataFrame::new(vec![
+        Column::from_i64s("id", &(0..n as i64).collect::<Vec<_>>()),
+        Column::from_strings("product", products),
+        Column::from_f64s("sentiment", &sentiments),
+        Column::from_str_lists("topics", topics),
+    ])
+    .unwrap()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataframe");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let df = frame(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("filter_eq", n), &df, |b, df| {
+            b.iter(|| black_box(df.filter_eq("product", &Value::str("product3")).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("group_by_mean", n), &df, |b, df| {
+            b.iter(|| {
+                black_box(
+                    df.group_by(
+                        &["product"],
+                        &[Aggregation::new("sentiment", AggKind::Mean)],
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("explode", n), &df, |b, df| {
+            b.iter(|| black_box(df.explode("topics").unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("sort", n), &df, |b, df| {
+            b.iter(|| black_box(df.sort_by("sentiment", false).unwrap()))
+        });
+        let right = df.value_counts("product").unwrap();
+        group.bench_with_input(BenchmarkId::new("join_left", n), &df, |b, df| {
+            b.iter(|| black_box(df.join(&right, "product", JoinKind::Left).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

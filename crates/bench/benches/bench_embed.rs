@@ -1,0 +1,52 @@
+//! Embedding throughput: text length × configuration tier.
+
+use allhands_embed::{EmbedderConfig, MultilingualEmbedder, SentenceEmbedder};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn texts(words: usize, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            (0..words)
+                .map(|w| format!("word{}", (i * 31 + w * 7) % 500))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embed");
+    for &words in &[8usize, 32, 128] {
+        let batch = texts(words, 64);
+        group.throughput(Throughput::Elements(batch.len() as u64));
+        for (name, config) in [
+            ("small", EmbedderConfig::small()),
+            ("default", EmbedderConfig::default()),
+            ("large", EmbedderConfig::large()),
+        ] {
+            let embedder = SentenceEmbedder::new(config);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{words}w")),
+                &batch,
+                |b, batch| b.iter(|| black_box(embedder.embed_batch(batch))),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("embed_multilingual");
+    let batch = texts(24, 64);
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    let m = MultilingualEmbedder::new(EmbedderConfig::large());
+    group.bench_function("large_24w", |b| {
+        b.iter(|| {
+            for t in &batch {
+                black_box(m.embed(t));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_embed);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Full-pipeline cost: ICL classification throughput, abstractive topic
+//! modeling per document, and end-to-end `ask()` latency.
+
+use allhands_agent::{AgentConfig, QaAgent};
+use allhands_classify::LabeledExample;
+use allhands_core::{AbstractiveTopicModeler, IclClassifier, IclConfig, TopicModelingConfig};
+use allhands_datasets::{dataset_frame, generate_n, DatasetKind};
+use allhands_llm::SimLlm;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 2_000, 42);
+    let examples: Vec<LabeledExample> = records
+        .iter()
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let labels = vec!["informative".to_string(), "non-informative".to_string()];
+    let llm = SimLlm::gpt4();
+
+    let mut group = c.benchmark_group("classification");
+    group.sample_size(10);
+    group.bench_function("fit_2k_pool", |b| {
+        b.iter(|| {
+            black_box(IclClassifier::fit(
+                &llm,
+                &examples,
+                &labels,
+                IclConfig::default(),
+            ))
+        })
+    });
+    let clf = IclClassifier::fit(&llm, &examples, &labels, IclConfig::default());
+    group.throughput(Throughput::Elements(50));
+    group.bench_function("classify_50", |b| {
+        b.iter(|| {
+            for ex in examples.iter().take(50) {
+                black_box(clf.classify(&ex.text));
+            }
+        })
+    });
+    group.finish();
+
+    let texts: Vec<String> = records.iter().take(500).map(|r| r.text.clone()).collect();
+    let seeds = vec!["bug".to_string(), "crash".to_string(), "feature request".to_string()];
+    let mut group = c.benchmark_group("topic_modeling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(texts.len() as u64));
+    group.bench_function("progressive_500_docs", |b| {
+        let modeler = AbstractiveTopicModeler::new(
+            &llm,
+            TopicModelingConfig { hitlr: false, ..Default::default() },
+        );
+        b.iter(|| black_box(modeler.run(&texts, &seeds)))
+    });
+    group.finish();
+
+    let frame = dataset_frame(DatasetKind::GoogleStoreApp, &records);
+    let mut group = c.benchmark_group("qa_agent_2k_rows");
+    group.sample_size(20);
+    for (name, question) in [
+        ("scalar", "What is the average sentiment score across all tweets?"),
+        ("topk", "Which top three timezones submitted the most number of tweets?"),
+        ("figure", "Draw an issue river for top 7 topics."),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut agent =
+                    QaAgent::new(SimLlm::gpt4(), frame.clone(), AgentConfig::default());
+                let r = agent.ask(question);
+                assert!(r.error.is_none());
+                black_box(r.attempts)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! AQL end-to-end latency: parse + plan + execute on a realistic frame.
+
+use allhands_datasets::{dataset_frame, generate_n, DatasetKind};
+use allhands_query::{Session, SessionLimits};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const PROGRAMS: &[(&str, &str)] = &[
+    ("count", r#"show(feedback.count())"#),
+    ("filter_mean", r#"show(feedback.filter(contains(text, "WhatsApp")).mean("sentiment"))"#),
+    (
+        "group_trend",
+        r#"let d = feedback.derive("m", month(timestamp));
+show(d.group_by("m", mean("sentiment"), count()).sort("m", "asc"))"#,
+    ),
+    (
+        "explode_topk",
+        r#"show(feedback.explode("topics").value_counts("topics").head(5))"#,
+    ),
+    (
+        "anti_join",
+        r#"let e = feedback.explode("topics").derive("m", month(timestamp));
+let a = e.filter(m == 4).value_counts("topics");
+let b = e.filter(m == 5).value_counts("topics");
+show(a.join(b, "topics", "left").filter(is_null(count_right)).select("topics"))"#,
+    ),
+];
+
+fn bench_query(c: &mut Criterion) {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 10_000, 42);
+    let frame = dataset_frame(DatasetKind::GoogleStoreApp, &records);
+    let mut group = c.benchmark_group("aql_10k_rows");
+    for (name, program) in PROGRAMS {
+        group.bench_with_input(BenchmarkId::from_parameter(name), program, |b, program| {
+            b.iter(|| {
+                let mut session = Session::new(SessionLimits::default());
+                session.bind_frame("feedback", frame.clone());
+                let r = session.execute(program);
+                assert!(r.error.is_none(), "{:?}", r.error);
+                black_box(r.shown.len())
+            })
+        });
+    }
+    group.finish();
+
+    // Parse-only cost.
+    let mut group = c.benchmark_group("aql_parse");
+    let source = PROGRAMS.iter().map(|(_, p)| *p).collect::<Vec<_>>().join(";\n");
+    group.bench_function("all_programs", |b| {
+        b.iter(|| black_box(allhands_query::parse_program(&source).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

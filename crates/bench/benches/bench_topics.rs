@@ -1,0 +1,50 @@
+//! Topic-model training cost: LDA Gibbs sweeps, NMF updates, HAC scaling.
+
+use allhands_datasets::{generate_n, DatasetKind};
+use allhands_embed::{EmbedderConfig, SentenceEmbedder};
+use allhands_topics::corpus::Corpus;
+use allhands_topics::hac::{agglomerative_clusters, Linkage};
+use allhands_topics::lda::{fit_lda, LdaConfig};
+use allhands_topics::nmf::{fit_nmf, NmfConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_models(c: &mut Criterion) {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 2_000, 42);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let corpus = Corpus::build_capped(&texts, 3, 0.5, 1_500);
+
+    let mut group = c.benchmark_group("topic_models_2k_docs");
+    group.sample_size(10);
+    group.bench_function("lda_k15_20iters", |b| {
+        b.iter(|| {
+            black_box(fit_lda(
+                &corpus,
+                &LdaConfig { k: 15, iterations: 20, ..Default::default() },
+            ))
+        })
+    });
+    group.bench_function("nmf_k15_20iters", |b| {
+        b.iter(|| {
+            black_box(fit_nmf(
+                &corpus,
+                &NmfConfig { k: 15, iterations: 20, ..Default::default() },
+            ))
+        })
+    });
+    group.finish();
+
+    // HAC over topic-phrase embeddings (the HITLR step).
+    let embedder = SentenceEmbedder::new(EmbedderConfig::default());
+    let mut group = c.benchmark_group("hac");
+    for &n in &[50usize, 150, 300] {
+        let phrases: Vec<String> = (0..n).map(|i| format!("topic phrase number {i}")).collect();
+        let embeddings: Vec<_> = phrases.iter().map(|p| embedder.embed(p)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &embeddings, |b, e| {
+            b.iter(|| black_box(agglomerative_clusters(e, Linkage::Average, 0.35)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Vector search: exact flat scan vs. IVF across index sizes.
+
+use allhands_embed::Embedding;
+use allhands_vectordb::{FlatIndex, IvfIndex, Record, VectorIndex};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const DIMS: usize = 256;
+
+fn random_vec(rng: &mut ChaCha8Rng) -> Embedding {
+    let mut e = Embedding::new((0..DIMS).map(|_| rng.gen_range(-1.0..1.0)).collect());
+    e.normalize();
+    e
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vectordb_top10");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut flat = FlatIndex::new(DIMS);
+        let mut ivf = IvfIndex::new(DIMS, 8);
+        for i in 0..n as u64 {
+            let v = random_vec(&mut rng);
+            flat.insert(Record::new(i, v.clone()));
+            ivf.insert(Record::new(i, v));
+        }
+        ivf.train(64);
+        let query = random_vec(&mut rng);
+        group.bench_with_input(BenchmarkId::new("flat", n), &query, |b, q| {
+            b.iter(|| black_box(flat.search(q, 10)))
+        });
+        group.bench_with_input(BenchmarkId::new("ivf64_p8", n), &query, |b, q| {
+            b.iter(|| black_box(ivf.search(q, 10)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

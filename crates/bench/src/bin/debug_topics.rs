@@ -1,0 +1,36 @@
+//! Diagnostic: sample AllHands topic assignments and their BART scores
+//! (not part of the experiment suite).
+
+use allhands_core::{AbstractiveTopicModeler, TopicModelingConfig};
+use allhands_datasets::{generate_n, DatasetKind};
+use allhands_llm::SimLlm;
+use allhands_topics::BartScorer;
+
+fn main() {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 3000, 42);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let scorer = BartScorer::fit(&texts);
+    let llm = SimLlm::gpt35();
+    let modeler = AbstractiveTopicModeler::new(&llm, TopicModelingConfig { hitlr: true, ..Default::default() });
+    let seeds = ["bug", "crash", "feature request", "performance issue", "praise"]
+        .iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let out = modeler.run(&texts, &seeds);
+    println!("final list ({}): {:?}\n", out.topic_list.len(), &out.topic_list[..out.topic_list.len().min(40)]);
+    let mut scored: Vec<(f64, String, String)> = (0..200)
+        .map(|d| {
+            let label = out.doc_topics[d].join("; ");
+            (scorer.score(&label, &texts[d]), label, texts[d].clone())
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    println!("--- worst 15 ---");
+    for (s, l, t) in scored.iter().take(15) {
+        println!("{s:.2} [{l}] <- {t}");
+    }
+    println!("--- best 5 ---");
+    for (s, l, t) in scored.iter().rev().take(5) {
+        println!("{s:.2} [{l}] <- {t}");
+    }
+    let mean: f64 = scored.iter().map(|(s, _, _)| s).sum::<f64>() / scored.len() as f64;
+    println!("mean over sample: {mean:.3}");
+}

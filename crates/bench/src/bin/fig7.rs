@@ -1,0 +1,64 @@
+//! Regenerates paper Fig. 7: the distribution of the 90 benchmark
+//! questions over types and difficulty levels, plus the agreement of our
+//! reconstructed five-criterion difficulty model with the annotations.
+
+use allhands_bench::{ascii_bars, save_json};
+use allhands_datasets::{all_questions, Difficulty, QuestionType};
+use allhands_eval::estimate_difficulty;
+
+fn main() {
+    let questions = all_questions();
+    let count_type = |t: QuestionType| questions.iter().filter(|q| q.qtype == t).count();
+    let count_diff = |d: Difficulty| questions.iter().filter(|q| q.difficulty == d).count();
+
+    let types = ["Analysis", "Figure", "Suggestion"];
+    let type_counts = [
+        count_type(QuestionType::Analysis) as f64,
+        count_type(QuestionType::Figure) as f64,
+        count_type(QuestionType::Suggestion) as f64,
+    ];
+    let diffs = ["Easy", "Medium", "Hard"];
+    let diff_counts = [
+        count_diff(Difficulty::Easy) as f64,
+        count_diff(Difficulty::Medium) as f64,
+        count_diff(Difficulty::Hard) as f64,
+    ];
+
+    println!("Figure 7: question distributions on types and difficulties (n = {}).\n", questions.len());
+    println!(
+        "{}",
+        ascii_bars(
+            "By type",
+            &types.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &type_counts
+        )
+    );
+    println!(
+        "{}",
+        ascii_bars(
+            "By difficulty",
+            &diffs.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &diff_counts
+        )
+    );
+
+    let agree = questions
+        .iter()
+        .filter(|q| estimate_difficulty(q) == q.difficulty)
+        .count();
+    println!(
+        "Five-criterion difficulty model reproduces {}/{} paper annotations ({:.0}%).",
+        agree,
+        questions.len(),
+        agree as f64 / questions.len() as f64 * 100.0
+    );
+
+    save_json(
+        "fig7",
+        &serde_json::json!({
+            "by_type": {"analysis": type_counts[0], "figure": type_counts[1], "suggestion": type_counts[2]},
+            "by_difficulty": {"easy": diff_counts[0], "medium": diff_counts[1], "hard": diff_counts[2]},
+            "difficulty_model_agreement": agree as f64 / questions.len() as f64,
+        }),
+    );
+}

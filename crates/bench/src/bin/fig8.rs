@@ -1,0 +1,82 @@
+//! Regenerates paper Fig. 8: answer-quality assessment of the QA agent —
+//! comprehensiveness / correctness / readability per dataset and overall,
+//! for the GPT-3.5 and GPT-4 agents, over all 90 benchmark questions.
+
+use allhands_bench::{format_table, save_json};
+use allhands_datasets::DatasetKind;
+use allhands_eval::run_benchmark;
+use allhands_llm::ModelTier;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut json = serde_json::Map::new();
+    let mut improvements: Option<(f64, f64, f64)> = None;
+    let mut prev = None;
+    for tier in [ModelTier::Gpt35, ModelTier::Gpt4] {
+        eprintln!("[fig8] running benchmark for {}…", tier.name());
+        let result = run_benchmark(tier, &DatasetKind::all(), 42, None);
+        let mut obj = serde_json::Map::new();
+        for kind in DatasetKind::all() {
+            let a = result.by_dataset(kind);
+            rows.push(vec![
+                tier.name().to_string(),
+                kind.name().to_string(),
+                format!("{:.2}", a.comprehensiveness),
+                format!("{:.2}", a.correctness),
+                format!("{:.2}", a.readability),
+            ]);
+            obj.insert(
+                kind.name().to_string(),
+                serde_json::json!({
+                    "comprehensiveness": a.comprehensiveness,
+                    "correctness": a.correctness,
+                    "readability": a.readability,
+                }),
+            );
+        }
+        let overall = result.overall();
+        rows.push(vec![
+            tier.name().to_string(),
+            "Average".to_string(),
+            format!("{:.2}", overall.comprehensiveness),
+            format!("{:.2}", overall.correctness),
+            format!("{:.2}", overall.readability),
+        ]);
+        obj.insert(
+            "Average".to_string(),
+            serde_json::json!({
+                "comprehensiveness": overall.comprehensiveness,
+                "correctness": overall.correctness,
+                "readability": overall.readability,
+            }),
+        );
+        json.insert(tier.name().to_string(), serde_json::Value::Object(obj));
+        if let Some((pc, pk, pr)) = prev {
+            improvements = Some((
+                (overall.comprehensiveness / pc - 1.0) * 100.0,
+                (overall.correctness / pk - 1.0) * 100.0,
+                (overall.readability / pr - 1.0) * 100.0,
+            ));
+        }
+        prev = Some((overall.comprehensiveness, overall.correctness, overall.readability));
+    }
+    println!("\nFigure 8: answer quality assessment of the QA agent (1-5 rubric).\n");
+    println!(
+        "{}",
+        format_table(
+            &["Model", "Dataset", "Comprehensiveness", "Correctness", "Readability"],
+            &rows
+        )
+    );
+    if let Some((dc, dk, dr)) = improvements {
+        println!(
+            "GPT-4 over GPT-3.5: comprehensiveness +{dc:.1}%, correctness +{dk:.1}%, readability +{dr:.1}%"
+        );
+        println!("(paper: +16.9%, +26.1%, +14.9%)");
+        json.insert(
+            "gpt4_improvement_pct".to_string(),
+            serde_json::json!({"comprehensiveness": dc, "correctness": dk, "readability": dr}),
+        );
+    }
+    save_json("fig8", &serde_json::Value::Object(json));
+}

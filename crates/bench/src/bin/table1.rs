@@ -1,0 +1,46 @@
+//! Regenerates paper Table 1: the dataset overview.
+
+use allhands_bench::{format_table, save_json};
+use allhands_datasets::{generate, DatasetKind};
+use std::collections::BTreeSet;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut json = serde_json::Map::new();
+    for kind in DatasetKind::all() {
+        let records = generate(kind, 42);
+        let languages: BTreeSet<&str> =
+            records.iter().map(|r| r.language.as_str()).collect();
+        let labels: BTreeSet<&str> = records.iter().map(|r| r.label.as_str()).collect();
+        let lang_desc = if languages.len() == 1 { "English".to_string() } else { "Mixture".to_string() };
+        let label_desc = if labels.len() <= 3 {
+            labels.iter().copied().collect::<Vec<_>>().join(", ")
+        } else {
+            format!("{} RE categories", labels.len())
+        };
+        let n_products: BTreeSet<&str> = records.iter().map(|r| r.product.as_str()).collect();
+        rows.push(vec![
+            kind.name().to_string(),
+            n_products.len().to_string(),
+            lang_desc.clone(),
+            label_desc.clone(),
+            records.len().to_string(),
+        ]);
+        json.insert(
+            kind.name().to_string(),
+            serde_json::json!({
+                "size": records.len(),
+                "languages": languages.iter().copied().collect::<Vec<_>>(),
+                "n_labels": labels.len(),
+                "n_products": n_products.len(),
+            }),
+        );
+    }
+    println!("Table 1: An overview of datasets employed in AllHands (synthetic reproduction).\n");
+    println!(
+        "{}",
+        format_table(&["Dataset", "Num. of app", "Language", "Label set", "Size"], &rows)
+    );
+    println!("Paper sizes: GoogleStoreApp 11,340 | ForumPost 3,654 | MSearch 4,117");
+    save_json("table1", &serde_json::Value::Object(json));
+}

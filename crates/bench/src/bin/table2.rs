@@ -1,0 +1,125 @@
+//! Regenerates paper Table 2: feedback classification accuracy — five
+//! fine-tuned transformer stand-ins vs. AllHands' ICL classification with
+//! GPT-3.5/GPT-4 in zero- and few-shot configurations, on all three
+//! datasets.
+//!
+//! Protocol (paper Sec. 4.2.1): 70/30 split; 10 shots for GoogleStoreApp,
+//! 30 for ForumPost and MSearch; ForumPost keeps the top-10 labels and
+//! merges the rest into "others".
+
+use allhands_bench::{format_table, save_json};
+use allhands_classify::{standard_baselines, temporal_split, LabeledExample, TransformerStandIn};
+use allhands_core::{IclClassifier, IclConfig};
+use allhands_datasets::{generate, DatasetKind};
+use allhands_llm::SimLlm;
+use std::collections::HashMap;
+
+/// Keep the top-10 ForumPost labels; relabel the rest "others".
+fn consolidate_forum_labels(examples: &mut [LabeledExample]) {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for ex in examples.iter() {
+        *counts.entry(ex.label.as_str()).or_insert(0) += 1;
+    }
+    let mut ranked: Vec<(&str, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let keep: Vec<String> = ranked.iter().take(10).map(|(l, _)| l.to_string()).collect();
+    for ex in examples.iter_mut() {
+        if !keep.contains(&ex.label) {
+            ex.label = "others".to_string();
+        }
+    }
+}
+
+fn main() {
+    let datasets = DatasetKind::all();
+    let mut table: Vec<(String, HashMap<&'static str, f64>)> = Vec::new();
+    for b in standard_baselines() {
+        table.push((b.name.to_string(), HashMap::new()));
+    }
+    for name in ["GPT-3.5, zero-shot", "GPT-3.5, few-shot", "GPT-4, zero-shot", "GPT-4, few-shot"] {
+        table.push((name.to_string(), HashMap::new()));
+    }
+
+    for kind in datasets {
+        eprintln!("[table2] dataset {kind:?}…");
+        let records = generate(kind, 42);
+        let mut examples: Vec<LabeledExample> = records
+            .iter()
+            .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+            .collect();
+        if kind == DatasetKind::ForumPost {
+            consolidate_forum_labels(&mut examples);
+        }
+        // Temporal 70/30 split: train on the past, score the future —
+        // where the emerging topics and shifted language mix live.
+        let timestamps: Vec<i64> = records.iter().map(|r| r.timestamp).collect();
+        let (train, test) = temporal_split(&examples, &timestamps, 0.7);
+        let shots = if kind == DatasetKind::GoogleStoreApp { 10 } else { 30 };
+
+        // ---- transformer stand-ins (fine-tuned) ----
+        for config in standard_baselines() {
+            let model = TransformerStandIn::train(&config, &train);
+            let acc = model.evaluate(&test);
+            table
+                .iter_mut()
+                .find(|(n, _)| n == config.name)
+                .expect("row exists")
+                .1
+                .insert(kind.name(), acc);
+            eprintln!("[table2]   {:<12} {:.1}%", config.name, acc * 100.0);
+        }
+
+        // ---- AllHands ICL ----
+        let labels: Vec<String> = {
+            let mut seen = Vec::new();
+            for ex in &train {
+                if !seen.contains(&ex.label) {
+                    seen.push(ex.label.clone());
+                }
+            }
+            seen
+        };
+        for (llm, tier_name) in [(SimLlm::gpt35(), "GPT-3.5"), (SimLlm::gpt4(), "GPT-4")] {
+            for (mode, k) in [("zero-shot", 0usize), ("few-shot", shots)] {
+                let clf = IclClassifier::fit(
+                    &llm,
+                    &train,
+                    &labels,
+                    IclConfig { shots: k, ..Default::default() },
+                );
+                let acc = clf.evaluate(&test);
+                let row = format!("{tier_name}, {mode}");
+                table
+                    .iter_mut()
+                    .find(|(n, _)| *n == row)
+                    .expect("row exists")
+                    .1
+                    .insert(kind.name(), acc);
+                eprintln!("[table2]   {row:<20} {:.1}%", acc * 100.0);
+            }
+        }
+    }
+
+    // ---- render ----
+    let mut rows = Vec::new();
+    let mut json = serde_json::Map::new();
+    for (name, accs) in &table {
+        let mut row = vec![name.clone()];
+        let mut obj = serde_json::Map::new();
+        for kind in datasets {
+            let acc = accs.get(kind.name()).copied().unwrap_or(0.0);
+            row.push(format!("{:.1}%", acc * 100.0));
+            obj.insert(kind.name().to_string(), serde_json::json!(acc));
+        }
+        rows.push(row);
+        json.insert(name.clone(), serde_json::Value::Object(obj));
+    }
+    println!("\nTable 2: Accuracy comparison of feedback classification.\n");
+    println!(
+        "{}",
+        format_table(&["Model", "GoogleStoreApp", "ForumPost", "MSearch"], &rows)
+    );
+    println!("Paper shape: GPT-4 few-shot best everywhere; XLM-R strongest baseline on MSearch;");
+    println!("few-shot > zero-shot; GPT-4 > GPT-3.5.");
+    save_json("table2", &serde_json::Value::Object(json));
+}

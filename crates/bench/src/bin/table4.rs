@@ -1,0 +1,112 @@
+//! Regenerates paper Table 4: example topic labels from AllHands (GPT-4
+//! with HITLR) vs. the best baseline (CTM), on the paper's nine canonical
+//! feedback strings.
+
+use allhands_bench::{format_table, save_json};
+use allhands_datasets::DatasetKind;
+use allhands_llm::{ChatOptions, SimLlm, TopicRequest};
+use allhands_topics::corpus::Corpus;
+use allhands_topics::ctm::fit_ctm;
+use allhands_topics::label_topic;
+use allhands_topics::prodlda::ProdLdaConfig;
+
+/// The paper's Table 4 example feedback (dataset, text).
+const EXAMPLES: &[(DatasetKind, &str)] = &[
+    (DatasetKind::GoogleStoreApp, "bring back the cheetah filter it's all I looked forward to in life please and thank you"),
+    (DatasetKind::GoogleStoreApp, "your phone sucksssssss there goes my data cap because your apps suck"),
+    (DatasetKind::GoogleStoreApp, "please make windows 10 more stable."),
+    (DatasetKind::ForumPost, "I have followed these instructions but I still dont get spell check as I write."),
+    (DatasetKind::ForumPost, "A taskbar item is created and takes up space in the taskbar."),
+    (DatasetKind::ForumPost, "Chrome loads pages without delay on this computer."),
+    (DatasetKind::MSearch, "It is not the model of machine that I have indicated."),
+    (DatasetKind::MSearch, "Wrong car model"),
+    (DatasetKind::MSearch, "not gives what im asking for"),
+];
+
+fn predefined(kind: DatasetKind) -> Vec<String> {
+    let seeds: &[&str] = match kind {
+        DatasetKind::GoogleStoreApp => &[
+            "feature request", "bug", "crash", "performance issue", "reliability",
+            "sync issue", "UI/UX", "insult", "praise",
+        ],
+        DatasetKind::ForumPost => &[
+            "spell checking feature", "UI/UX", "performance", "crash",
+            "installation issue", "feature request",
+        ],
+        DatasetKind::MSearch => &[
+            "incorrect or wrong information", "unhelpful or irrelevant results",
+            "slow performance", "ads",
+        ],
+    };
+    seeds.iter().map(|s| s.to_string()).collect()
+}
+
+fn main() {
+    let llm = SimLlm::gpt4();
+    let opts = ChatOptions::default();
+
+    // Fit one CTM per dataset (small corpora keep this quick).
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for kind in DatasetKind::all() {
+        let records = allhands_datasets::generate_n(kind, 3_000, 42);
+        let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+        let corpus = Corpus::build_capped(&texts, 3, 0.4, 1_500);
+        let (ctm, _) = fit_ctm(&corpus, &ProdLdaConfig { k: 15, epochs: 20, learning_rate: 0.08, seed: 7 });
+
+        // A fitted embedder for CTM inference on the example strings.
+        let mut embedder = allhands_embed::SentenceEmbedder::new(allhands_embed::EmbedderConfig {
+            dims: 128,
+            ..Default::default()
+        });
+        embedder.fit(&corpus.texts);
+
+        for (ex_kind, text) in EXAMPLES.iter().filter(|(k, _)| *k == kind) {
+            // AllHands (GPT-4 + curated topic list, as after HITLR).
+            let head = llm.summarize_head();
+            let response = head.suggest_topics(
+                &TopicRequest {
+                    text: text.to_string(),
+                    predefined: predefined(*ex_kind),
+                    demonstrations: Vec::new(),
+                    max_topics: 2,
+                },
+                &opts,
+            );
+            let allhands_label = response.topics.join("; ");
+
+            // CTM: infer the example's dominant topic, label it with T5.
+            let features = embedder.embed(text).into_vec();
+            let theta = ctm.infer_theta(&features);
+            let best = theta
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let out = ctm.output(&corpus, &[features.clone()], 10);
+            let ctm_label = label_topic(&out.top_words[best.min(out.top_words.len() - 1)], text);
+
+            rows.push(vec![
+                kind.name().to_string(),
+                text.chars().take(58).collect::<String>(),
+                allhands_label.clone(),
+                ctm_label.clone(),
+            ]);
+            json.push(serde_json::json!({
+                "dataset": kind.name(),
+                "feedback": text,
+                "allhands": allhands_label,
+                "ctm": ctm_label,
+            }));
+        }
+    }
+    println!("\nTable 4: example topic labels — AllHands (GPT-4 w/ HITLR) vs CTM.\n");
+    println!(
+        "{}",
+        format_table(&["Dataset", "Feedback", "AllHands", "CTM"], &rows)
+    );
+    println!("Paper shape: AllHands produces multiple general, reliable labels per feedback;");
+    println!("CTM's extractive keyword labels are over-specific and occasionally unrelated.");
+    save_json("table4", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,62 @@
+//! Regenerates paper Tables 5-7: per-question judge scores for the GPT-4
+//! agent on all three datasets, alongside the paper's reported human
+//! scores.
+
+use allhands_bench::{format_table, save_json};
+use allhands_datasets::DatasetKind;
+use allhands_eval::run_benchmark;
+use allhands_llm::ModelTier;
+
+fn main() {
+    eprintln!("[tables567] running GPT-4 benchmark…");
+    let result = run_benchmark(ModelTier::Gpt4, &DatasetKind::all(), 42, None);
+
+    let mut json = Vec::new();
+    for kind in DatasetKind::all() {
+        println!("\nTable for {} (ours vs paper, C/K/R = comprehensiveness/correctness/readability):\n", kind.name());
+        let mut rows = Vec::new();
+        for q in result.per_question.iter().filter(|q| q.dataset == kind) {
+            let (pc, pk, pr) = q.paper_scores;
+            rows.push(vec![
+                q.id.to_string(),
+                q.question.chars().take(56).collect::<String>(),
+                format!("{:?}", q.difficulty),
+                format!("{:?}", q.qtype),
+                format!("{:.2}/{:.2}/{:.2}", q.scores.comprehensiveness, q.scores.correctness, q.scores.readability),
+                format!("{pc:.2}/{pk:.2}/{pr:.2}"),
+            ]);
+            json.push(serde_json::json!({
+                "dataset": kind.name(),
+                "id": q.id,
+                "question": q.question,
+                "difficulty": format!("{:?}", q.difficulty),
+                "type": format!("{:?}", q.qtype),
+                "ours": {
+                    "comprehensiveness": q.scores.comprehensiveness,
+                    "correctness": q.scores.correctness,
+                    "readability": q.scores.readability,
+                },
+                "paper": {"comprehensiveness": pc, "correctness": pk, "readability": pr},
+                "attempts": q.attempts,
+            }));
+        }
+        println!(
+            "{}",
+            format_table(
+                &["#", "Question", "Difficulty", "Type", "Ours C/K/R", "Paper C/K/R"],
+                &rows
+            )
+        );
+    }
+    // Correlation between our scores and the paper's (sanity of the judges).
+    let ours: Vec<f64> = result.per_question.iter().map(|q| q.scores.mean()).collect();
+    let papers: Vec<f64> = result
+        .per_question
+        .iter()
+        .map(|q| (q.paper_scores.0 + q.paper_scores.1 + q.paper_scores.2) / 3.0)
+        .collect();
+    if let Some(r) = allhands_dataframe::pearson(&ours, &papers) {
+        println!("\nPearson correlation between our mean scores and the paper's: {r:.3}");
+    }
+    save_json("tables567", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,185 @@
+//! The five transformer stand-ins of paper Table 2.
+
+use crate::eval::LabeledExample;
+use crate::features::{FeatureConfig, Featurizer};
+use crate::softmax::{SoftmaxClassifier, TrainConfig};
+use std::collections::HashMap;
+
+/// Full configuration of one baseline: featurizer + training recipe.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Display name as in the paper's table.
+    pub name: &'static str,
+    pub features: FeatureConfig,
+    pub training: TrainConfig,
+}
+
+/// The standard five baselines, in the paper's row order.
+pub fn standard_baselines() -> Vec<BaselineConfig> {
+    vec![
+        BaselineConfig {
+            name: "BERT",
+            features: FeatureConfig { dims: 1 << 15, bigrams: true, ..Default::default() },
+            training: TrainConfig { epochs: 8, ..Default::default() },
+        },
+        BaselineConfig {
+            name: "DistilBERT",
+            // Distillation: half the capacity, a shorter schedule.
+            features: FeatureConfig { dims: 1 << 12, bigrams: false, ..Default::default() },
+            training: TrainConfig { epochs: 4, ..Default::default() },
+        },
+        BaselineConfig {
+            name: "ALBERT",
+            // Parameter sharing: small space, longer schedule compensates.
+            features: FeatureConfig { dims: 1 << 13, bigrams: true, ..Default::default() },
+            training: TrainConfig { epochs: 10, ..Default::default() },
+        },
+        BaselineConfig {
+            name: "RoBERTa",
+            // Better recipe: more epochs + dynamic feature dropout.
+            features: FeatureConfig { dims: 1 << 15, bigrams: true, ..Default::default() },
+            training: TrainConfig { epochs: 14, feature_dropout: 0.1, ..Default::default() },
+        },
+        BaselineConfig {
+            name: "XLM-RoBERTa",
+            // Multilingual tokenizer: folding + subword char-n-grams.
+            features: FeatureConfig {
+                dims: 1 << 15,
+                bigrams: true,
+                char_ngram: 3,
+                fold_diacritics: true,
+                ..Default::default()
+            },
+            training: TrainConfig { epochs: 12, feature_dropout: 0.05, ..Default::default() },
+        },
+    ]
+}
+
+/// Look up one of the standard baselines by (case-insensitive) name.
+pub fn baseline_by_name(name: &str) -> Option<BaselineConfig> {
+    standard_baselines()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+/// A trained stand-in model.
+pub struct TransformerStandIn {
+    /// Baseline name.
+    pub name: &'static str,
+    featurizer: Featurizer,
+    model: SoftmaxClassifier,
+    labels: Vec<String>,
+}
+
+impl TransformerStandIn {
+    /// Fine-tune the stand-in on labeled examples. The label set is
+    /// collected from the training data in first-appearance order.
+    ///
+    /// Panics on an empty training set or a single-label one.
+    pub fn train(config: &BaselineConfig, train: &[LabeledExample]) -> Self {
+        assert!(!train.is_empty(), "cannot train on an empty set");
+        let mut labels: Vec<String> = Vec::new();
+        let mut label_index: HashMap<&str, usize> = HashMap::new();
+        for ex in train {
+            if !label_index.contains_key(ex.label.as_str()) {
+                label_index.insert(&ex.label, labels.len());
+                labels.push(ex.label.clone());
+            }
+        }
+        let featurizer = Featurizer::new(config.features.clone());
+        let examples: Vec<_> = train
+            .iter()
+            .map(|ex| (featurizer.featurize(&ex.text), label_index[ex.label.as_str()]))
+            .collect();
+        let model =
+            SoftmaxClassifier::train(&examples, labels.len(), featurizer.dims(), &config.training);
+        TransformerStandIn { name: config.name, featurizer, model, labels }
+    }
+
+    /// Predict the label of `text`.
+    pub fn predict(&self, text: &str) -> &str {
+        let idx = self.model.predict(&self.featurizer.featurize(text));
+        &self.labels[idx]
+    }
+
+    /// The label inventory learned at training time.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Accuracy over a labeled test set.
+    pub fn evaluate(&self, test: &[LabeledExample]) -> f64 {
+        if test.is_empty() {
+            return 0.0;
+        }
+        let correct = test
+            .iter()
+            .filter(|ex| self.predict(&ex.text) == ex.label)
+            .count();
+        correct as f64 / test.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn examples() -> Vec<LabeledExample> {
+        let mut out = Vec::new();
+        for i in 0..40 {
+            out.push(LabeledExample {
+                text: format!("the app crashes with bug error number {i}"),
+                label: "informative".to_string(),
+            });
+            out.push(LabeledExample {
+                text: format!("lol ok cool whatever {i}"),
+                label: "non-informative".to_string(),
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn five_standard_baselines() {
+        let names: Vec<&str> = standard_baselines().iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["BERT", "DistilBERT", "ALBERT", "RoBERTa", "XLM-RoBERTa"]);
+        assert!(baseline_by_name("roberta").is_some());
+        assert!(baseline_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn all_baselines_learn_easy_task() {
+        let data = examples();
+        for config in standard_baselines() {
+            let model = TransformerStandIn::train(&config, &data);
+            let acc = model.evaluate(&data);
+            assert!(acc > 0.95, "{} scored {acc}", config.name);
+            assert_eq!(model.predict("crashes with bug"), "informative");
+        }
+    }
+
+    #[test]
+    fn label_inventory_in_first_appearance_order() {
+        let model = TransformerStandIn::train(&standard_baselines()[0], &examples());
+        assert_eq!(model.labels(), &["informative".to_string(), "non-informative".to_string()]);
+    }
+
+    #[test]
+    fn multilingual_baseline_handles_folded_text() {
+        // Train on Spanish with diacritics, test without: only XLM-R's
+        // folding makes these identical feature-wise.
+        let mut data = Vec::new();
+        for i in 0..30 {
+            data.push(LabeledExample {
+                text: format!("la aplicación no funciona número {i}"),
+                label: "actionable".to_string(),
+            });
+            data.push(LabeledExample {
+                text: format!("me encanta perfecto {i}"),
+                label: "non-actionable".to_string(),
+            });
+        }
+        let xlm = TransformerStandIn::train(&baseline_by_name("XLM-RoBERTa").unwrap(), &data);
+        assert_eq!(xlm.predict("la aplicacion no funciona"), "actionable");
+    }
+}

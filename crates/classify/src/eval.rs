@@ -1,0 +1,124 @@
+//! Train/test splitting and accuracy — the Table 2 evaluation protocol
+//! (70% train+validation / 30% test, seeded shuffle).
+
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A labeled text example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledExample {
+    pub text: String,
+    pub label: String,
+}
+
+/// Shuffle and split into `(train, test)` with `train_fraction` in train.
+///
+/// Panics unless `0 < train_fraction < 1`.
+pub fn train_test_split(
+    examples: &[LabeledExample],
+    train_fraction: f64,
+    seed: u64,
+) -> (Vec<LabeledExample>, Vec<LabeledExample>) {
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train_fraction must be in (0, 1)"
+    );
+    let mut shuffled: Vec<LabeledExample> = examples.to_vec();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    shuffled.shuffle(&mut rng);
+    let cut = ((examples.len() as f64) * train_fraction).round() as usize;
+    let cut = cut.min(examples.len());
+    let test = shuffled.split_off(cut);
+    (shuffled, test)
+}
+
+/// Temporal split: order by `timestamps` ascending, first `train_fraction`
+/// goes to train, the rest to test. This is the deployment-faithful
+/// protocol for feedback classification — models are trained on the past
+/// and score the future, where emerging topics and shifted language mixes
+/// live.
+///
+/// Panics unless `0 < train_fraction < 1` and lengths match.
+pub fn temporal_split(
+    examples: &[LabeledExample],
+    timestamps: &[i64],
+    train_fraction: f64,
+) -> (Vec<LabeledExample>, Vec<LabeledExample>) {
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train_fraction must be in (0, 1)"
+    );
+    assert_eq!(examples.len(), timestamps.len(), "one timestamp per example");
+    let mut order: Vec<usize> = (0..examples.len()).collect();
+    order.sort_by_key(|&i| (timestamps[i], i));
+    let cut = ((examples.len() as f64) * train_fraction).round() as usize;
+    let cut = cut.min(examples.len());
+    let train = order[..cut].iter().map(|&i| examples[i].clone()).collect();
+    let test = order[cut..].iter().map(|&i| examples[i].clone()).collect();
+    (train, test)
+}
+
+/// Fraction of `(predicted, gold)` pairs that agree.
+pub fn accuracy<'a, I>(pairs: I) -> f64
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut n = 0usize;
+    let mut correct = 0usize;
+    for (pred, gold) in pairs {
+        n += 1;
+        if pred == gold {
+            correct += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        correct as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn examples(n: usize) -> Vec<LabeledExample> {
+        (0..n)
+            .map(|i| LabeledExample { text: format!("t{i}"), label: format!("l{}", i % 2) })
+            .collect()
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let data = examples(100);
+        let (train, test) = train_test_split(&data, 0.7, 1);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        for t in &test {
+            assert!(!train.contains(t));
+        }
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        let data = examples(50);
+        let (a, _) = train_test_split(&data, 0.7, 5);
+        let (b, _) = train_test_split(&data, 0.7, 5);
+        assert_eq!(a, b);
+        let (c, _) = train_test_split(&data, 0.7, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        assert_eq!(accuracy([("a", "a"), ("b", "c")]), 0.5);
+        assert_eq!(accuracy(Vec::<(&str, &str)>::new()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn bad_fraction_panics() {
+        train_test_split(&examples(4), 1.5, 0);
+    }
+}

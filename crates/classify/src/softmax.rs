@@ -1,0 +1,192 @@
+//! Multinomial logistic regression trained with SGD — the classification
+//! head shared by all transformer stand-ins.
+
+use crate::features::SparseVector;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Initial learning rate (decays 1/(1+t)).
+    pub learning_rate: f32,
+    /// L2 regularization strength.
+    pub l2: f32,
+    /// Probability of dropping each feature during training (0 = off);
+    /// the "better training recipe" axis (RoBERTa's dynamic masking).
+    pub feature_dropout: f32,
+    /// Shuffle/dropout seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 8, learning_rate: 0.5, l2: 1e-5, feature_dropout: 0.0, seed: 17 }
+    }
+}
+
+/// A trained multinomial logistic-regression model.
+#[derive(Debug, Clone)]
+pub struct SoftmaxClassifier {
+    /// `n_labels × dims` weight matrix, row-major per label.
+    weights: Vec<Vec<f32>>,
+    /// Per-label bias.
+    bias: Vec<f32>,
+    n_labels: usize,
+}
+
+impl SoftmaxClassifier {
+    /// Train on `(features, label_index)` pairs. `n_labels` fixes the
+    /// output arity; `dims` the feature-space size.
+    ///
+    /// Panics if `examples` is empty or any label index is out of range.
+    pub fn train(
+        examples: &[(SparseVector, usize)],
+        n_labels: usize,
+        dims: usize,
+        config: &TrainConfig,
+    ) -> Self {
+        assert!(!examples.is_empty(), "cannot train on an empty set");
+        assert!(n_labels >= 2, "need at least two labels");
+        for (_, y) in examples {
+            assert!(*y < n_labels, "label index {y} out of range");
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut weights = vec![vec![0.0f32; dims]; n_labels];
+        let mut bias = vec![0.0f32; n_labels];
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut t = 0usize;
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &idx in &order {
+                let (x, y) = &examples[idx];
+                let lr = config.learning_rate / (1.0 + t as f32 * 1e-4);
+                t += 1;
+                // Forward: logits -> softmax.
+                let mut logits: Vec<f32> = (0..n_labels)
+                    .map(|k| x.dot_dense(&weights[k]) + bias[k])
+                    .collect();
+                let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                for l in &mut logits {
+                    *l = (*l - max).exp();
+                    sum += *l;
+                }
+                for l in &mut logits {
+                    *l /= sum;
+                }
+                // Backward: gradient = (p - onehot) ⊗ x.
+                for k in 0..n_labels {
+                    let err = logits[k] - if k == *y { 1.0 } else { 0.0 };
+                    if err == 0.0 {
+                        continue;
+                    }
+                    let row = &mut weights[k];
+                    for &(i, v) in x.pairs() {
+                        if config.feature_dropout > 0.0
+                            && rng.gen::<f32>() < config.feature_dropout
+                        {
+                            continue;
+                        }
+                        let w = &mut row[i as usize];
+                        *w -= lr * (err * v + config.l2 * *w);
+                    }
+                    bias[k] -= lr * err;
+                }
+            }
+        }
+        SoftmaxClassifier { weights, bias, n_labels }
+    }
+
+    /// Predict the label index for `x`.
+    pub fn predict(&self, x: &SparseVector) -> usize {
+        let mut best = 0usize;
+        let mut best_score = f32::NEG_INFINITY;
+        for k in 0..self.n_labels {
+            let s = x.dot_dense(&self.weights[k]) + self.bias[k];
+            if s > best_score {
+                best_score = s;
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// Class probabilities for `x`.
+    pub fn predict_proba(&self, x: &SparseVector) -> Vec<f32> {
+        let mut logits: Vec<f32> = (0..self.n_labels)
+            .map(|k| x.dot_dense(&self.weights[k]) + self.bias[k])
+            .collect();
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for l in &mut logits {
+            *l = (*l - max).exp();
+            sum += *l;
+        }
+        for l in &mut logits {
+            *l /= sum;
+        }
+        logits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureConfig, Featurizer};
+
+    fn toy_data(f: &Featurizer) -> Vec<(SparseVector, usize)> {
+        let pos = ["great app love it", "amazing work love", "fantastic great update"];
+        let neg = ["crashes all the time", "terrible crash bug", "awful bug report"];
+        pos.iter()
+            .map(|t| (f.featurize(t), 0))
+            .chain(neg.iter().map(|t| (f.featurize(t), 1)))
+            .collect()
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let f = Featurizer::new(FeatureConfig::default());
+        let data = toy_data(&f);
+        let model = SoftmaxClassifier::train(&data, 2, f.dims(), &TrainConfig::default());
+        assert_eq!(model.predict(&f.featurize("love this great app")), 0);
+        assert_eq!(model.predict(&f.featurize("horrible crash bug again")), 1);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let f = Featurizer::new(FeatureConfig::default());
+        let data = toy_data(&f);
+        let model = SoftmaxClassifier::train(&data, 2, f.dims(), &TrainConfig::default());
+        let p = model.predict_proba(&f.featurize("great"));
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let f = Featurizer::new(FeatureConfig::default());
+        let data = toy_data(&f);
+        let a = SoftmaxClassifier::train(&data, 2, f.dims(), &TrainConfig::default());
+        let b = SoftmaxClassifier::train(&data, 2, f.dims(), &TrainConfig::default());
+        let x = f.featurize("great crash");
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_panics() {
+        SoftmaxClassifier::train(&[], 2, 16, &TrainConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let f = Featurizer::new(FeatureConfig::default());
+        SoftmaxClassifier::train(&[(f.featurize("x"), 5)], 2, f.dims(), &TrainConfig::default());
+    }
+}

@@ -1,0 +1,250 @@
+//! AllHands — "Ask Me Anything" analytics on large-scale verbatim feedback.
+//!
+//! The paper's framework in three stages, each reproduced here:
+//!
+//! 1. **Feedback classification** ([`classification`]): in-context-learning
+//!    classification with demonstration retrieval from a vector database
+//!    (paper Sec. 3.2) — no fine-tuning, any label set.
+//! 2. **Abstractive topic modeling** ([`topic_modeling`]): progressive ICL
+//!    topic summarization with optional human-in-the-loop refinement
+//!    (Sec. 3.3): reviewer filtering, agglomerative clustering +
+//!    re-summarization, BARTScore-filtered retrieval augmentation, and a
+//!    second modeling round.
+//! 3. **QA agent** (re-exported from `allhands-agent`): natural-language
+//!    questions → code → multi-modal answers (Sec. 3.4).
+//!
+//! The [`AllHands`] facade wires the stages together: feed it raw feedback
+//! texts (plus a labeled sample for classification), get a structured
+//! [`DataFrame`] and an interactive [`ask`](AllHands::ask) interface.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use allhands_core::{AllHands, AllHandsConfig};
+//! use allhands_dataframe::{Column, DataFrame};
+//! use allhands_llm::ModelTier;
+//!
+//! // A tiny structured feedback frame (normally produced by the pipeline).
+//! let frame = DataFrame::new(vec![
+//!     Column::from_strs("text", &["app crashes daily", "love the update"]),
+//!     Column::from_f64s("sentiment", &[-0.8, 0.9]),
+//!     Column::from_str_lists("topics", vec![vec!["crash".into()], vec!["praise".into()]]),
+//! ]).unwrap();
+//!
+//! let mut allhands = AllHands::from_frame(ModelTier::Gpt4, frame, AllHandsConfig::default());
+//! let response = allhands.ask("How many feedback entries are there?");
+//! assert!(response.error.is_none());
+//! ```
+
+pub mod classification;
+pub mod topic_modeling;
+
+pub use classification::{IclClassifier, IclConfig};
+pub use topic_modeling::{AbstractiveTopicModeler, TopicModelingConfig, TopicModelingResult};
+
+pub use allhands_agent::{AgentConfig, QaAgent, Response, ResponseItem};
+
+use allhands_classify::LabeledExample;
+use allhands_dataframe::{Column, DataFrame};
+use allhands_llm::{ModelSpec, ModelTier, SimLlm};
+
+/// Facade configuration.
+#[derive(Debug, Clone, Default)]
+pub struct AllHandsConfig {
+    /// Classification stage settings.
+    pub icl: IclConfig,
+    /// Topic modeling stage settings.
+    pub topics: TopicModelingConfig,
+    /// QA agent settings.
+    pub agent: AgentConfig,
+}
+
+/// The AllHands framework: one LLM tier driving all three stages.
+pub struct AllHands {
+    tier: ModelTier,
+    config: AllHandsConfig,
+    agent: QaAgent,
+}
+
+impl AllHands {
+    /// Build directly over an already-structured feedback frame (columns
+    /// like `text`, `sentiment`, `topics`, …). Use [`AllHands::analyze`]
+    /// to run the full structuralization pipeline first.
+    pub fn from_frame(tier: ModelTier, frame: DataFrame, config: AllHandsConfig) -> Self {
+        let llm = SimLlm::new(ModelSpec::for_tier(tier));
+        let agent = QaAgent::new(llm, frame, config.agent.clone());
+        AllHands { tier, config, agent }
+    }
+
+    /// Run the full pipeline on raw texts: classify each text with ICL
+    /// (using `labeled_sample` as the demonstration pool), run abstractive
+    /// topic modeling, estimate sentiment, and assemble the structured
+    /// frame. Returns the framework ready for QA plus the frame.
+    pub fn analyze(
+        tier: ModelTier,
+        texts: &[String],
+        labeled_sample: &[LabeledExample],
+        predefined_topics: &[String],
+        config: AllHandsConfig,
+    ) -> (Self, DataFrame) {
+        let llm = SimLlm::new(ModelSpec::for_tier(tier));
+
+        // Stage 1: classification.
+        let labels: Vec<String> = {
+            let mut seen = Vec::new();
+            for ex in labeled_sample {
+                if !seen.contains(&ex.label) {
+                    seen.push(ex.label.clone());
+                }
+            }
+            seen
+        };
+        let classifier = IclClassifier::fit(&llm, labeled_sample, &labels, config.icl.clone());
+        let predicted: Vec<String> = texts.iter().map(|t| classifier.classify(t)).collect();
+
+        // Stage 2: abstractive topic modeling (+HITLR).
+        let modeler = AbstractiveTopicModeler::new(&llm, config.topics.clone());
+        let result = modeler.run(texts, predefined_topics);
+
+        // Sentiment estimation: lexical valence via the text substrate.
+        let sentiments: Vec<f64> = texts.iter().map(|t| estimate_sentiment(t)).collect();
+
+        let frame = DataFrame::new(vec![
+            Column::from_i64s("id", &(0..texts.len() as i64).collect::<Vec<_>>()),
+            Column::from_strings("text", texts.to_vec()),
+            Column::from_strings("label", predicted),
+            Column::from_f64s("sentiment", &sentiments),
+            Column::from_str_lists("topics", result.doc_topics.clone()),
+            Column::from_i64s(
+                "text_len",
+                &texts.iter().map(|t| t.chars().count() as i64).collect::<Vec<_>>(),
+            ),
+        ])
+        .expect("pipeline columns are consistent");
+
+        let agent = QaAgent::new(
+            SimLlm::new(ModelSpec::for_tier(tier)),
+            frame.clone(),
+            config.agent.clone(),
+        );
+        (AllHands { tier, config, agent }, frame)
+    }
+
+    /// The LLM tier in use.
+    pub fn tier(&self) -> ModelTier {
+        self.tier
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AllHandsConfig {
+        &self.config
+    }
+
+    /// Ask a natural-language question about the feedback.
+    pub fn ask(&mut self, question: &str) -> Response {
+        self.agent.ask(question)
+    }
+
+    /// Register a custom analysis plugin available to generated code.
+    pub fn register_plugin(&mut self, name: &str, f: allhands_query::plugins::PluginFn) {
+        self.agent.register_plugin(name, f);
+    }
+
+    /// Access the underlying QA agent.
+    pub fn agent_mut(&mut self) -> &mut QaAgent {
+        &mut self.agent
+    }
+}
+
+/// Lexical sentiment estimate in [-1, 1], blending a valence lexicon with
+/// emoji valence — the lightweight "sentiment feature extraction" the
+/// structured frame carries.
+pub fn estimate_sentiment(text: &str) -> f64 {
+    const POSITIVE: &[&str] = &[
+        "love", "great", "amazing", "awesome", "fantastic", "excellent", "perfect",
+        "wonderful", "smooth", "fast", "helpful", "thanks", "good", "nice", "keep",
+    ];
+    const NEGATIVE: &[&str] = &[
+        "crash", "crashes", "bug", "broken", "error", "terrible", "awful", "worst",
+        "horrible", "slow", "lag", "annoying", "hate", "bad", "wrong", "issue",
+        "problem", "fails", "useless", "irrelevant", "suck", "sucks",
+    ];
+    let tokens = allhands_text::light_preprocess(text);
+    let mut score = 0.0f64;
+    let mut hits = 0usize;
+    for tok in &tokens {
+        if POSITIVE.contains(&tok.as_str()) {
+            score += 1.0;
+            hits += 1;
+        } else if NEGATIVE.contains(&tok.as_str()) {
+            score -= 1.0;
+            hits += 1;
+        }
+    }
+    for e in allhands_text::extract_emoji(text) {
+        let v = allhands_text::emoji::emoji_valence(e) as f64;
+        if v != 0.0 {
+            score += v;
+            hits += 1;
+        }
+    }
+    if hits == 0 {
+        0.0
+    } else {
+        (score / hits as f64).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentiment_signs() {
+        assert!(estimate_sentiment("I love this great app 😍") > 0.5);
+        assert!(estimate_sentiment("terrible crash bug 😡") < -0.5);
+        assert_eq!(estimate_sentiment("the weather outside"), 0.0);
+    }
+
+    #[test]
+    fn full_pipeline_smoke() {
+        let texts: Vec<String> = (0..30)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("the app crashes with an error code {i}")
+                } else {
+                    format!("love the new look, great update {i}")
+                }
+            })
+            .collect();
+        let labeled: Vec<LabeledExample> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    LabeledExample {
+                        text: format!("crash error report number {i}"),
+                        label: "informative".into(),
+                    }
+                } else {
+                    LabeledExample {
+                        text: format!("nice great love it {i}"),
+                        label: "non-informative".into(),
+                    }
+                }
+            })
+            .collect();
+        let predefined = vec!["crash".to_string(), "praise".to_string()];
+        let (mut ah, frame) = AllHands::analyze(
+            ModelTier::Gpt4,
+            &texts,
+            &labeled,
+            &predefined,
+            AllHandsConfig::default(),
+        );
+        assert_eq!(frame.n_rows(), 30);
+        for col in ["text", "label", "sentiment", "topics", "text_len"] {
+            assert!(frame.has_column(col), "missing {col}");
+        }
+        let r = ah.ask("How many feedback entries are there?");
+        assert!(r.error.is_none(), "{:?}", r.error);
+    }
+}

@@ -1,0 +1,270 @@
+//! Civil datetime arithmetic over epoch seconds (UTC), implemented with
+//! Howard Hinnant's days-from-civil algorithm. No external time crate: the
+//! analysis workloads only need calendar decomposition (year/month/day,
+//! weekday, ISO week) and parsing/formatting of `YYYY-MM-DD[ HH:MM:SS]`.
+
+use serde::{Deserialize, Serialize};
+
+/// Day of week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Weekday {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl Weekday {
+    /// Monday = 0 … Sunday = 6.
+    pub fn index(self) -> u32 {
+        self as u32
+    }
+
+    /// Is this a Saturday or Sunday?
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+
+    /// English name ("Monday", …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Weekday::Monday => "Monday",
+            Weekday::Tuesday => "Tuesday",
+            Weekday::Wednesday => "Wednesday",
+            Weekday::Thursday => "Thursday",
+            Weekday::Friday => "Friday",
+            Weekday::Saturday => "Saturday",
+            Weekday::Sunday => "Sunday",
+        }
+    }
+}
+
+/// A broken-down UTC datetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CivilDateTime {
+    pub year: i32,
+    pub month: u32,
+    pub day: u32,
+    pub hour: u32,
+    pub minute: u32,
+    pub second: u32,
+}
+
+/// Days from civil date to 1970-01-01 (Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0 … Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date from days since 1970-01-01 (Hinnant's algorithm).
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+impl CivilDateTime {
+    /// Construct from components. Panics on out-of-range month/day/time
+    /// (this is a constructor for literals; parsing validates gracefully).
+    pub fn new(year: i32, month: u32, day: u32, hour: u32, minute: u32, second: u32) -> Self {
+        assert!((1..=12).contains(&month), "month out of range");
+        assert!((1..=31).contains(&day), "day out of range");
+        assert!(hour < 24 && minute < 60 && second < 60, "time out of range");
+        CivilDateTime { year, month, day, hour, minute, second }
+    }
+
+    /// Midnight of a date.
+    pub fn date(year: i32, month: u32, day: u32) -> Self {
+        Self::new(year, month, day, 0, 0, 0)
+    }
+
+    /// Decompose epoch seconds into a civil datetime.
+    pub fn from_epoch(secs: i64) -> Self {
+        let days = secs.div_euclid(86_400);
+        let rem = secs.rem_euclid(86_400);
+        let (year, month, day) = civil_from_days(days);
+        CivilDateTime {
+            year,
+            month,
+            day,
+            hour: (rem / 3600) as u32,
+            minute: (rem % 3600 / 60) as u32,
+            second: (rem % 60) as u32,
+        }
+    }
+
+    /// Epoch seconds of this datetime.
+    pub fn to_epoch(self) -> i64 {
+        days_from_civil(self.year, self.month, self.day) * 86_400
+            + i64::from(self.hour) * 3600
+            + i64::from(self.minute) * 60
+            + i64::from(self.second)
+    }
+
+    /// Day of week.
+    pub fn weekday(self) -> Weekday {
+        let days = days_from_civil(self.year, self.month, self.day);
+        // 1970-01-01 was a Thursday (index 3 with Monday=0).
+        match (days + 3).rem_euclid(7) {
+            0 => Weekday::Monday,
+            1 => Weekday::Tuesday,
+            2 => Weekday::Wednesday,
+            3 => Weekday::Thursday,
+            4 => Weekday::Friday,
+            5 => Weekday::Saturday,
+            _ => Weekday::Sunday,
+        }
+    }
+
+    /// ISO-8601 week number (1-53).
+    pub fn iso_week(self) -> u32 {
+        let days = days_from_civil(self.year, self.month, self.day);
+        // Shift so weeks run Monday..Sunday, then find the week's Thursday:
+        // the Thursday's year is the ISO year, and the week number is the
+        // count of weeks since that year's first Thursday-containing week.
+        let weekday = (days + 3).rem_euclid(7); // Mon=0
+        let thursday = days - weekday + 3;
+        let (iso_year, _, _) = civil_from_days(thursday);
+        let jan1 = days_from_civil(iso_year, 1, 1);
+        (((thursday - jan1) / 7) + 1) as u32
+    }
+
+    /// English month name ("January", …).
+    pub fn month_name(self) -> &'static str {
+        const NAMES: [&str; 12] = [
+            "January", "February", "March", "April", "May", "June", "July",
+            "August", "September", "October", "November", "December",
+        ];
+        NAMES[(self.month - 1) as usize]
+    }
+
+    /// Parse `YYYY-MM-DD` or `YYYY-MM-DD HH:MM:SS`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        let (date_part, time_part) = match s.split_once(' ') {
+            Some((d, t)) => (d, Some(t)),
+            None => (s, None),
+        };
+        let mut it = date_part.split('-');
+        let year: i32 = it.next()?.parse().ok()?;
+        let month: u32 = it.next()?.parse().ok()?;
+        let day: u32 = it.next()?.parse().ok()?;
+        if it.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return None;
+        }
+        let (hour, minute, second) = match time_part {
+            None => (0, 0, 0),
+            Some(t) => {
+                let mut it = t.split(':');
+                let h: u32 = it.next()?.parse().ok()?;
+                let m: u32 = it.next()?.parse().ok()?;
+                let s: u32 = it.next().unwrap_or("0").parse().ok()?;
+                if h >= 24 || m >= 60 || s >= 60 {
+                    return None;
+                }
+                (h, m, s)
+            }
+        };
+        Some(CivilDateTime { year, month, day, hour, minute, second })
+    }
+}
+
+impl std::fmt::Display for CivilDateTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+            self.year, self.month, self.day, self.hour, self.minute, self.second
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_roundtrip() {
+        for &secs in &[0i64, 86_399, 86_400, 1_700_000_000, -1, -86_401] {
+            let dt = CivilDateTime::from_epoch(secs);
+            assert_eq!(dt.to_epoch(), secs, "roundtrip failed for {secs}");
+        }
+    }
+
+    #[test]
+    fn known_dates() {
+        let dt = CivilDateTime::from_epoch(0);
+        assert_eq!((dt.year, dt.month, dt.day), (1970, 1, 1));
+        assert_eq!(dt.weekday(), Weekday::Thursday);
+
+        // 2023-10-15 was a Sunday.
+        let d = CivilDateTime::date(2023, 10, 15);
+        assert_eq!(d.weekday(), Weekday::Sunday);
+        assert!(d.weekday().is_weekend());
+        // 2023-10-16 was a Monday.
+        assert_eq!(CivilDateTime::date(2023, 10, 16).weekday(), Weekday::Monday);
+    }
+
+    #[test]
+    fn leap_years() {
+        // 2020-02-29 exists and roundtrips.
+        let d = CivilDateTime::date(2020, 2, 29);
+        let e = d.to_epoch();
+        assert_eq!(CivilDateTime::from_epoch(e), d);
+        // 2000 was a leap year (divisible by 400), 1900 was not:
+        // March 1st 1900 minus Feb 28th 1900 is 1 day.
+        let feb28 = CivilDateTime::date(1900, 2, 28).to_epoch();
+        let mar1 = CivilDateTime::date(1900, 3, 1).to_epoch();
+        assert_eq!(mar1 - feb28, 86_400);
+    }
+
+    #[test]
+    fn iso_weeks() {
+        // 2023-01-01 was a Sunday → ISO week 52 of 2022.
+        assert_eq!(CivilDateTime::date(2023, 1, 1).iso_week(), 52);
+        // 2023-01-02 (Monday) starts ISO week 1.
+        assert_eq!(CivilDateTime::date(2023, 1, 2).iso_week(), 1);
+        // 2023-10-15 is in ISO week 41.
+        assert_eq!(CivilDateTime::date(2023, 10, 15).iso_week(), 41);
+    }
+
+    #[test]
+    fn parsing() {
+        let d = CivilDateTime::parse("2023-04-05").unwrap();
+        assert_eq!((d.year, d.month, d.day, d.hour), (2023, 4, 5, 0));
+        let d = CivilDateTime::parse("2023-04-05 13:45:01").unwrap();
+        assert_eq!((d.hour, d.minute, d.second), (13, 45, 1));
+        let d = CivilDateTime::parse("2023-04-05 13:45").unwrap();
+        assert_eq!((d.hour, d.minute, d.second), (13, 45, 0));
+        assert!(CivilDateTime::parse("2023-13-05").is_none());
+        assert!(CivilDateTime::parse("2023-04-05 25:00:00").is_none());
+        assert!(CivilDateTime::parse("garbage").is_none());
+    }
+
+    #[test]
+    fn display_format() {
+        let d = CivilDateTime::new(2023, 4, 5, 9, 8, 7);
+        assert_eq!(d.to_string(), "2023-04-05 09:08:07");
+    }
+
+    #[test]
+    fn month_names() {
+        assert_eq!(CivilDateTime::date(2023, 4, 1).month_name(), "April");
+        assert_eq!(CivilDateTime::date(2023, 12, 1).month_name(), "December");
+    }
+}

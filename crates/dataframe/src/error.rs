@@ -1,0 +1,71 @@
+//! Error type for dataframe operations.
+//!
+//! Generated analysis code runs against this engine; failures must surface
+//! as values with actionable messages, because the QA agent feeds them back
+//! into the code generator's self-reflection loop (paper Sec. 3.4.2).
+
+use crate::column::DType;
+
+/// All the ways a dataframe operation can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameError {
+    /// Referenced column does not exist; carries the name and the available
+    /// columns (so reflection can suggest alternatives).
+    UnknownColumn { name: String, available: Vec<String> },
+    /// A column was used at an incompatible type.
+    TypeMismatch { column: String, expected: DType, actual: DType },
+    /// Columns of differing lengths were combined into one frame.
+    LengthMismatch { expected: usize, actual: usize },
+    /// Duplicate column name on construction or rename.
+    DuplicateColumn(String),
+    /// An operation that needs at least one row/column got none.
+    Empty(String),
+    /// Row index out of bounds.
+    RowOutOfBounds { index: usize, len: usize },
+    /// Invalid argument (bad aggregation for a dtype, malformed datetime
+    /// string, negative window, ...).
+    Invalid(String),
+    /// CSV/JSON parse error with line context.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::UnknownColumn { name, available } => {
+                write!(f, "unknown column '{name}'; available: {}", available.join(", "))
+            }
+            FrameError::TypeMismatch { column, expected, actual } => {
+                write!(f, "column '{column}' has type {actual:?}, expected {expected:?}")
+            }
+            FrameError::LengthMismatch { expected, actual } => {
+                write!(f, "column length {actual} does not match frame length {expected}")
+            }
+            FrameError::DuplicateColumn(name) => write!(f, "duplicate column '{name}'"),
+            FrameError::Empty(what) => write!(f, "{what} is empty"),
+            FrameError::RowOutOfBounds { index, len } => {
+                write!(f, "row {index} out of bounds (len {len})")
+            }
+            FrameError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+            FrameError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_actionable() {
+        let e = FrameError::UnknownColumn {
+            name: "sentimant".into(),
+            available: vec!["sentiment".into(), "topic".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("sentimant"));
+        assert!(msg.contains("sentiment"));
+    }
+}

@@ -1,0 +1,360 @@
+//! Group-by/aggregate and value-counts kernels.
+
+use crate::column::{Column, ColumnData};
+use crate::error::FrameError;
+use crate::frame::DataFrame;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// The aggregation functions understood by [`DataFrame::group_by`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    Count,
+    Sum,
+    Mean,
+    Min,
+    Max,
+    Std,
+    Median,
+    NUnique,
+}
+
+impl AggKind {
+    /// Parse the textual name used in AQL (`count`, `sum`, `mean`/`avg`, …).
+    pub fn parse(s: &str) -> Option<AggKind> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "count" => AggKind::Count,
+            "sum" => AggKind::Sum,
+            "mean" | "avg" | "average" => AggKind::Mean,
+            "min" => AggKind::Min,
+            "max" => AggKind::Max,
+            "std" | "stddev" => AggKind::Std,
+            "median" => AggKind::Median,
+            "nunique" | "n_unique" | "unique" => AggKind::NUnique,
+            _ => return None,
+        })
+    }
+
+    /// The canonical display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggKind::Count => "count",
+            AggKind::Sum => "sum",
+            AggKind::Mean => "mean",
+            AggKind::Min => "min",
+            AggKind::Max => "max",
+            AggKind::Std => "std",
+            AggKind::Median => "median",
+            AggKind::NUnique => "nunique",
+        }
+    }
+}
+
+/// One aggregation to compute: `kind` of `column`, output named
+/// `{column}_{kind}` (or just `count` for Count).
+#[derive(Debug, Clone)]
+pub struct Aggregation {
+    /// Input column (ignored for `Count`).
+    pub column: String,
+    /// Aggregation function.
+    pub kind: AggKind,
+}
+
+impl Aggregation {
+    /// Construct an aggregation.
+    pub fn new(column: &str, kind: AggKind) -> Self {
+        Aggregation { column: column.to_string(), kind }
+    }
+
+    /// Output column name.
+    pub fn output_name(&self) -> String {
+        match self.kind {
+            AggKind::Count => "count".to_string(),
+            k => format!("{}_{}", self.column, k.name()),
+        }
+    }
+
+    fn apply(&self, col: &Column) -> Value {
+        match self.kind {
+            AggKind::Count => Value::Int(col.len() as i64),
+            AggKind::Sum => Value::Float(col.sum()),
+            AggKind::Mean => col.mean().map_or(Value::Null, Value::Float),
+            AggKind::Min => col.min(),
+            AggKind::Max => col.max(),
+            AggKind::Std => col.std().map_or(Value::Null, Value::Float),
+            AggKind::Median => col.median().map_or(Value::Null, Value::Float),
+            AggKind::NUnique => Value::Int(col.n_unique() as i64),
+        }
+    }
+}
+
+/// A group key rendered to a comparable, hashable form.
+fn key_of(cols: &[&Column], row: usize) -> String {
+    let mut key = String::new();
+    for c in cols {
+        // Debug form distinguishes Int(1) from Str("1").
+        key.push_str(&format!("{:?}\u{1}", c.get(row)));
+    }
+    key
+}
+
+impl DataFrame {
+    /// Group rows by the `keys` columns and compute `aggs` per group.
+    ///
+    /// The output has one row per distinct key combination (in order of
+    /// first appearance), the key columns first, then one column per
+    /// aggregation.
+    pub fn group_by(&self, keys: &[&str], aggs: &[Aggregation]) -> Result<DataFrame> {
+        if keys.is_empty() {
+            return Err(FrameError::Invalid("group_by requires at least one key".into()));
+        }
+        let key_cols: Vec<&Column> = keys
+            .iter()
+            .map(|k| self.column(k))
+            .collect::<Result<Vec<_>>>()?;
+        for agg in aggs {
+            if agg.kind != AggKind::Count {
+                self.column(&agg.column)?;
+            }
+        }
+
+        let mut group_rows: Vec<Vec<usize>> = Vec::new();
+        let mut group_of: HashMap<String, usize> = HashMap::new();
+        let mut first_row: Vec<usize> = Vec::new();
+        for row in 0..self.n_rows() {
+            let key = key_of(&key_cols, row);
+            let g = *group_of.entry(key).or_insert_with(|| {
+                group_rows.push(Vec::new());
+                first_row.push(row);
+                group_rows.len() - 1
+            });
+            group_rows[g].push(row);
+        }
+
+        // Key output columns: take the first row of each group.
+        let mut out_cols: Vec<Column> = key_cols
+            .iter()
+            .map(|c| c.take(&first_row))
+            .collect();
+
+        for agg in aggs {
+            let mut data = ColumnData::empty(match agg.kind {
+                AggKind::Count | AggKind::NUnique => crate::column::DType::Int,
+                AggKind::Min | AggKind::Max => {
+                    // Same dtype as input.
+                    self.column(&agg.column)?.dtype()
+                }
+                _ => crate::column::DType::Float,
+            });
+            for rows in &group_rows {
+                let sub = if agg.kind == AggKind::Count {
+                    // Count counts rows; any column works — use the first key.
+                    key_cols[0].take(rows)
+                } else {
+                    self.column(&agg.column)?.take(rows)
+                };
+                data.push(agg.apply(&sub))?;
+            }
+            out_cols.push(Column::new(&agg.output_name(), data));
+        }
+        DataFrame::new(out_cols)
+    }
+
+    /// Distinct values of `column` with their counts, sorted by count
+    /// descending (ties by value ascending). Output columns: `column`,
+    /// `count`.
+    pub fn value_counts(&self, column: &str) -> Result<DataFrame> {
+        // A key column literally named "count" would collide with the
+        // aggregation output; route through a temporary name.
+        if column == "count" {
+            let renamed = self.rename("count", "__value_counts_key")?;
+            let out = renamed.value_counts("__value_counts_key")?;
+            return out.rename("__value_counts_key", "count_value");
+        }
+        let counted = self.group_by(&[column], &[Aggregation::new(column, AggKind::Count)])?;
+        let mut indices: Vec<usize> = (0..counted.n_rows()).collect();
+        let count_col = counted.column("count")?.clone();
+        let val_col = counted.column(column)?.clone();
+        indices.sort_by(|&a, &b| {
+            count_col
+                .get(b)
+                .total_cmp(&count_col.get(a))
+                .then(val_col.get(a).total_cmp(&val_col.get(b)))
+        });
+        Ok(counted.take(&indices))
+    }
+
+    /// Cross-tabulate: counts of `row_key` × `col_key` combinations as a
+    /// wide frame — one row per `row_key` value, one Int column per
+    /// `col_key` value (plus the leading key column).
+    pub fn crosstab(&self, row_key: &str, col_key: &str) -> Result<DataFrame> {
+        let counts = self.group_by(
+            &[row_key, col_key],
+            &[Aggregation::new(row_key, AggKind::Count)],
+        )?;
+        // Collect distinct row and column values in first-appearance order.
+        let rk = counts.column(row_key)?;
+        let ck = counts.column(col_key)?;
+        let cnt = counts.column("count")?;
+        let mut row_vals: Vec<Value> = Vec::new();
+        let mut col_vals: Vec<Value> = Vec::new();
+        for i in 0..counts.n_rows() {
+            let rv = rk.get(i);
+            let cv = ck.get(i);
+            if !row_vals.iter().any(|v| v.loose_eq(&rv)) {
+                row_vals.push(rv);
+            }
+            if !col_vals.iter().any(|v| v.loose_eq(&cv)) {
+                col_vals.push(cv);
+            }
+        }
+        // Deterministic column order.
+        col_vals.sort_by(|a, b| a.total_cmp(b));
+
+        let mut table = vec![vec![0i64; col_vals.len()]; row_vals.len()];
+        for i in 0..counts.n_rows() {
+            let r = row_vals.iter().position(|v| v.loose_eq(&rk.get(i))).expect("present");
+            let c = col_vals.iter().position(|v| v.loose_eq(&ck.get(i))).expect("present");
+            if let Some(n) = cnt.get(i).as_f64() {
+                table[r][c] = n as i64;
+            }
+        }
+        let mut cols = vec![Column::new(
+            row_key,
+            {
+                let mut data = ColumnData::empty(rk.dtype());
+                for v in &row_vals {
+                    data.push(v.clone())?;
+                }
+                data
+            },
+        )];
+        let mut used: Vec<String> = vec![row_key.to_string()];
+        for (j, cv) in col_vals.iter().enumerate() {
+            let vals: Vec<i64> = table.iter().map(|row| row[j]).collect();
+            // Data values can collide with the row-key name or each other
+            // (e.g. a null and an empty string both display as ""); suffix
+            // until unique so construction cannot fail.
+            let mut name = cv.to_string();
+            if name.is_empty() {
+                name = "(null)".to_string();
+            }
+            while used.contains(&name) {
+                name.push('_');
+            }
+            used.push(name.clone());
+            cols.push(Column::from_i64s(&name, &vals));
+        }
+        DataFrame::new(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::new(vec![
+            Column::from_strs("product", &["A", "B", "A", "B", "A"]),
+            Column::from_strs("label", &["bug", "bug", "praise", "praise", "bug"]),
+            Column::from_f64s("score", &[1.0, 2.0, 3.0, 4.0, 5.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn group_by_mean_and_count() {
+        let g = sample()
+            .group_by(
+                &["product"],
+                &[
+                    Aggregation::new("score", AggKind::Mean),
+                    Aggregation::new("score", AggKind::Count),
+                ],
+            )
+            .unwrap();
+        assert_eq!(g.n_rows(), 2);
+        // First-appearance order: A then B.
+        assert_eq!(g.cell(0, "product").unwrap(), Value::str("A"));
+        assert_eq!(g.cell(0, "score_mean").unwrap(), Value::Float(3.0));
+        assert_eq!(g.cell(0, "count").unwrap(), Value::Int(3));
+        assert_eq!(g.cell(1, "score_mean").unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn group_by_multiple_keys() {
+        let g = sample()
+            .group_by(
+                &["product", "label"],
+                &[Aggregation::new("score", AggKind::Sum)],
+            )
+            .unwrap();
+        assert_eq!(g.n_rows(), 4);
+        let a_bug = g
+            .filter_eq("product", &Value::str("A"))
+            .unwrap()
+            .filter_eq("label", &Value::str("bug"))
+            .unwrap();
+        assert_eq!(a_bug.cell(0, "score_sum").unwrap(), Value::Float(6.0));
+    }
+
+    #[test]
+    fn min_max_keep_dtype() {
+        let g = sample()
+            .group_by(&["product"], &[Aggregation::new("label", AggKind::Min)])
+            .unwrap();
+        assert_eq!(g.cell(0, "label_min").unwrap(), Value::str("bug"));
+    }
+
+    #[test]
+    fn value_counts_sorted() {
+        let vc = sample().value_counts("label").unwrap();
+        assert_eq!(vc.cell(0, "label").unwrap(), Value::str("bug"));
+        assert_eq!(vc.cell(0, "count").unwrap(), Value::Int(3));
+        assert_eq!(vc.cell(1, "count").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn crosstab_counts() {
+        let ct = sample().crosstab("product", "label").unwrap();
+        assert_eq!(ct.n_rows(), 2);
+        assert_eq!(ct.cell(0, "bug").unwrap(), Value::Int(2)); // A×bug
+        assert_eq!(ct.cell(0, "praise").unwrap(), Value::Int(1));
+        assert_eq!(ct.cell(1, "bug").unwrap(), Value::Int(1)); // B×bug
+    }
+
+    #[test]
+    fn group_by_errors() {
+        assert!(sample().group_by(&[], &[]).is_err());
+        assert!(sample()
+            .group_by(&["nope"], &[Aggregation::new("score", AggKind::Sum)])
+            .is_err());
+        assert!(sample()
+            .group_by(&["product"], &[Aggregation::new("nope", AggKind::Sum)])
+            .is_err());
+    }
+
+    #[test]
+    fn agg_kind_parsing() {
+        assert_eq!(AggKind::parse("AVG"), Some(AggKind::Mean));
+        assert_eq!(AggKind::parse("nunique"), Some(AggKind::NUnique));
+        assert_eq!(AggKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn int_str_keys_do_not_collide() {
+        let df = DataFrame::new(vec![
+            Column::new(
+                "k",
+                ColumnData::Str(vec![Some("1".into()), Some("1".into())]),
+            ),
+            Column::from_i64s("v", &[1, 2]),
+        ])
+        .unwrap();
+        let g = df
+            .group_by(&["k"], &[Aggregation::new("v", AggKind::Count)])
+            .unwrap();
+        assert_eq!(g.n_rows(), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Hash joins.
+
+use crate::column::Column;
+use crate::error::FrameError;
+use crate::frame::DataFrame;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// Canonical join-key encoding: Int and Float unify numerically (matching
+/// the loose equality used by filters/group-by); everything else keys on
+/// its exact debug form.
+fn join_key(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("n:{}", *i as f64),
+        Value::Float(f) => format!("n:{f}"),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Join flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep rows with matches on both sides.
+    Inner,
+    /// Keep every left row; unmatched right cells become null.
+    Left,
+}
+
+impl DataFrame {
+    /// Hash-join `self` with `other` on the equality of `on` (a column
+    /// present in both frames). Right-side columns that collide with
+    /// left-side names (other than the key) are suffixed `_right`.
+    ///
+    /// Matching uses the same key encoding as group-by, so Int/Float keys
+    /// unify numerically and nulls never match (SQL semantics).
+    pub fn join(&self, other: &DataFrame, on: &str, kind: JoinKind) -> Result<DataFrame> {
+        let left_key = self.column(on)?;
+        let right_key = other.column(on)?;
+
+        // Build hash index over the right side.
+        let mut right_index: HashMap<String, Vec<usize>> = HashMap::new();
+        for i in 0..other.n_rows() {
+            let v = right_key.get(i);
+            if v.is_null() {
+                continue;
+            }
+            right_index.entry(join_key(&v)).or_default().push(i);
+        }
+
+        let mut left_rows: Vec<usize> = Vec::new();
+        // usize::MAX marks "no match" (left join padding).
+        let mut right_rows: Vec<usize> = Vec::new();
+        for i in 0..self.n_rows() {
+            let v = left_key.get(i);
+            let matches = if v.is_null() {
+                None
+            } else {
+                right_index.get(&join_key(&v))
+            };
+            match matches {
+                Some(rows) => {
+                    for &r in rows {
+                        left_rows.push(i);
+                        right_rows.push(r);
+                    }
+                }
+                None => {
+                    if kind == JoinKind::Left {
+                        left_rows.push(i);
+                        right_rows.push(usize::MAX);
+                    }
+                }
+            }
+        }
+
+        let mut cols: Vec<Column> = self.take(&left_rows).columns().to_vec();
+        let left_names: Vec<String> =
+            cols.iter().map(|c| c.name().to_string()).collect();
+        for rc in other.columns() {
+            if rc.name() == on {
+                continue;
+            }
+            // take() maps usize::MAX out of range → null cells, which is
+            // exactly the left-join padding we need.
+            let taken = rc.take(&right_rows);
+            let name = if left_names.iter().any(|n| n == rc.name()) {
+                format!("{}_right", rc.name())
+            } else {
+                rc.name().to_string()
+            };
+            cols.push(taken.renamed(&name));
+        }
+        DataFrame::new(cols).map_err(|e| match e {
+            FrameError::DuplicateColumn(c) => FrameError::Invalid(format!(
+                "join produced duplicate column '{c}'; rename before joining"
+            )),
+            other => other,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn left() -> DataFrame {
+        DataFrame::new(vec![
+            Column::from_strs("k", &["a", "b", "c"]),
+            Column::from_i64s("x", &[1, 2, 3]),
+        ])
+        .unwrap()
+    }
+
+    fn right() -> DataFrame {
+        DataFrame::new(vec![
+            Column::from_strs("k", &["a", "a", "b"]),
+            Column::from_strs("y", &["p", "q", "r"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_multiplicity() {
+        let j = left().join(&right(), "k", JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 3); // a×2 + b×1
+        assert_eq!(j.cell(0, "y").unwrap(), Value::str("p"));
+        assert_eq!(j.cell(1, "y").unwrap(), Value::str("q"));
+        assert_eq!(j.cell(2, "k").unwrap(), Value::str("b"));
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let j = left().join(&right(), "k", JoinKind::Left).unwrap();
+        assert_eq!(j.n_rows(), 4);
+        let c_row = j.filter_eq("k", &Value::str("c")).unwrap();
+        assert_eq!(c_row.cell(0, "y").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn name_collision_suffixed() {
+        let r = DataFrame::new(vec![
+            Column::from_strs("k", &["a"]),
+            Column::from_i64s("x", &[99]),
+        ])
+        .unwrap();
+        let j = left().join(&r, "k", JoinKind::Inner).unwrap();
+        assert!(j.has_column("x_right"));
+        assert_eq!(j.cell(0, "x").unwrap(), Value::Int(1));
+        assert_eq!(j.cell(0, "x_right").unwrap(), Value::Int(99));
+    }
+
+    #[test]
+    fn missing_key_errors() {
+        assert!(left().join(&right(), "nope", JoinKind::Inner).is_err());
+    }
+
+    #[test]
+    fn nulls_never_match() {
+        use crate::column::ColumnData;
+        let l = DataFrame::new(vec![Column::new(
+            "k",
+            ColumnData::Str(vec![None, Some("a".into())]),
+        )])
+        .unwrap();
+        let j = l.join(&right(), "k", JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 2); // only "a" matches (twice)
+    }
+}

@@ -1,0 +1,116 @@
+//! Convert generated records into the structured [`DataFrame`] the QA agent
+//! analyses.
+//!
+//! This is the table shape the paper's pipeline produces after stage 1+2:
+//! surface text plus classification label, sentiment, and topics columns.
+
+use crate::record::FeedbackRecord;
+use crate::spec::DatasetKind;
+use allhands_dataframe::{Column, DataFrame};
+
+/// Build the analysis frame for `records`.
+///
+/// Common columns (all datasets): `id`, `text`, `label`, `sentiment`,
+/// `topics`, `timestamp`, `text_len`.
+/// GoogleStoreApp adds `product`, `timezone`.
+/// ForumPost adds `software`, `user_level`, `position`.
+/// MSearch adds `translated_text`, `query_text`, `language`, `country`.
+pub fn dataset_frame(kind: DatasetKind, records: &[FeedbackRecord]) -> DataFrame {
+    let ids: Vec<i64> = records.iter().map(|r| r.id as i64).collect();
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let labels: Vec<String> = records.iter().map(|r| r.label.clone()).collect();
+    let sentiments: Vec<f64> = records.iter().map(|r| r.sentiment).collect();
+    let topics: Vec<Vec<String>> = records.iter().map(|r| r.gold_topics.clone()).collect();
+    let timestamps: Vec<i64> = records.iter().map(|r| r.timestamp).collect();
+    let text_lens: Vec<i64> = records.iter().map(|r| r.text.chars().count() as i64).collect();
+
+    let mut cols = vec![
+        Column::from_i64s("id", &ids),
+        Column::from_strings("text", texts),
+        Column::from_strings("label", labels),
+        Column::from_f64s("sentiment", &sentiments),
+        Column::from_str_lists("topics", topics),
+        Column::from_datetimes("timestamp", &timestamps),
+        Column::from_i64s("text_len", &text_lens),
+    ];
+    match kind {
+        DatasetKind::GoogleStoreApp => {
+            cols.push(Column::from_strings(
+                "product",
+                records.iter().map(|r| r.product.clone()).collect(),
+            ));
+            cols.push(Column::from_strings(
+                "timezone",
+                records.iter().map(|r| r.timezone.clone()).collect(),
+            ));
+        }
+        DatasetKind::ForumPost => {
+            cols.push(Column::from_strings(
+                "software",
+                records.iter().map(|r| r.product.clone()).collect(),
+            ));
+            cols.push(Column::from_strings(
+                "user_level",
+                records.iter().map(|r| r.user_level.clone()).collect(),
+            ));
+            cols.push(Column::from_strings(
+                "position",
+                records.iter().map(|r| r.position.clone()).collect(),
+            ));
+        }
+        DatasetKind::MSearch => {
+            cols.push(Column::from_strings(
+                "translated_text",
+                records.iter().map(|r| r.translated_text.clone()).collect(),
+            ));
+            cols.push(Column::from_strings(
+                "query_text",
+                records.iter().map(|r| r.query_text.clone()).collect(),
+            ));
+            cols.push(Column::from_strings(
+                "language",
+                records.iter().map(|r| r.language.clone()).collect(),
+            ));
+            cols.push(Column::from_strings(
+                "country",
+                records.iter().map(|r| r.country.clone()).collect(),
+            ));
+        }
+    }
+    DataFrame::new(cols).expect("generated columns are equal length and uniquely named")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_n;
+
+    #[test]
+    fn google_frame_schema() {
+        let records = generate_n(DatasetKind::GoogleStoreApp, 30, 1);
+        let df = dataset_frame(DatasetKind::GoogleStoreApp, &records);
+        assert_eq!(df.n_rows(), 30);
+        for col in ["id", "text", "label", "sentiment", "topics", "timestamp", "product", "timezone"] {
+            assert!(df.has_column(col), "missing {col}");
+        }
+        assert!(!df.has_column("country"));
+    }
+
+    #[test]
+    fn msearch_frame_schema() {
+        let records = generate_n(DatasetKind::MSearch, 30, 1);
+        let df = dataset_frame(DatasetKind::MSearch, &records);
+        for col in ["translated_text", "query_text", "language", "country"] {
+            assert!(df.has_column(col), "missing {col}");
+        }
+    }
+
+    #[test]
+    fn forum_frame_schema() {
+        let records = generate_n(DatasetKind::ForumPost, 30, 1);
+        let df = dataset_frame(DatasetKind::ForumPost, &records);
+        for col in ["software", "user_level", "position"] {
+            assert!(df.has_column(col), "missing {col}");
+        }
+    }
+}

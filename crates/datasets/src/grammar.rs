@@ -1,0 +1,500 @@
+//! Text synthesis: renders a [`FeedbackRecord`] from a [`DatasetSpec`].
+//!
+//! Every record is generated as: timestamp → topic(s) (respecting window
+//! and surge-day events) → product → template rendering → noise (typos,
+//! elongation, emoji, URLs) → label (with annotation noise) → metadata.
+
+use crate::record::FeedbackRecord;
+use crate::spec::{DatasetSpec, TopicDef};
+use allhands_dataframe::CivilDateTime;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Pick an index from `weights` proportionally.
+fn pick_weighted(weights: &[f64], rng: &mut ChaCha8Rng) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "weights must be positive");
+    let mut target = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+fn pick_pair<'a>(pairs: &'a [(&'a str, f64)], rng: &mut ChaCha8Rng) -> &'a str {
+    if pairs.is_empty() {
+        return "";
+    }
+    let weights: Vec<f64> = pairs.iter().map(|(_, w)| *w).collect();
+    pairs[pick_weighted(&weights, rng)].0
+}
+
+/// Positive/negative flavour words appended to push surface sentiment
+/// toward the topic's valence (the sentiment the pipeline should recover).
+const POSITIVE_WORDS: &[&str] = &["great", "awesome", "fantastic", "excellent", "love it"];
+const NEGATIVE_WORDS: &[&str] = &["awful", "terrible", "horrible", "worst", "so annoying"];
+const POSITIVE_EMOJI: &[&str] = &["😍", "😀", "👍", "🎉", "😊"];
+const NEGATIVE_EMOJI: &[&str] = &["😡", "😠", "👎", "😞", "💔"];
+
+/// Per-language complaint frames: `{k}` is replaced by a topic keyword.
+/// Keywords stay in English (feature names usually do), giving the
+/// multilingual embedder realistic cross-lingual anchors.
+fn language_frames(lang: &str) -> &'static [&'static str] {
+    match lang {
+        "de" => &[
+            "die suche ist schlecht wegen {k}",
+            "{k} funktioniert nicht richtig",
+            "ich habe ein problem mit {k} und die ergebnisse sind falsch",
+            "schon wieder {k} das ist sehr nervig",
+            "warum zeigt die suche {k} an",
+            "{k} ist total kaputt seit dem update",
+            "bitte behebt {k} endlich",
+            "die antworten zu {k} stimmen nicht",
+        ],
+        "es" => &[
+            "la búsqueda no funciona por {k}",
+            "{k} es un problema muy grande",
+            "los resultados con {k} son malos y no me sirven",
+            "otra vez {k} que mal servicio",
+            "por qué aparece {k} cuando busco",
+            "{k} está roto desde la actualización",
+            "arreglen {k} por favor",
+            "las respuestas sobre {k} son incorrectas",
+        ],
+        "fr" => &[
+            "la recherche ne marche pas avec {k}",
+            "{k} est un vrai problème pour moi",
+            "les résultats pour {k} ne sont pas bons",
+            "encore {k} c'est très agaçant",
+            "pourquoi la recherche affiche {k}",
+            "{k} est cassé depuis la mise à jour",
+            "corrigez {k} s'il vous plaît",
+            "les réponses sur {k} sont fausses",
+        ],
+        "pt" => &[
+            "a pesquisa não funciona por causa de {k}",
+            "{k} é um problema muito chato",
+            "os resultados com {k} são ruins e não ajudam",
+            "de novo {k} que serviço ruim",
+            "por que a busca mostra {k}",
+            "{k} está quebrado desde a atualização",
+            "consertem {k} por favor",
+            "as respostas sobre {k} estão erradas",
+        ],
+        _ => &[],
+    }
+}
+
+/// Late-period complaint frames: novel phrasing that enters the corpus as
+/// the international user base grows (absent from the early/training
+/// period).
+fn language_frames_late(lang: &str) -> &'static [&'static str] {
+    match lang {
+        "de" => &[
+            "seit heute nur noch {k} bei jeder anfrage",
+            "{k} macht die seite unbrauchbar",
+            "komplett unzuverlässig wegen {k}",
+            "{k} und niemand behebt es",
+        ],
+        "es" => &[
+            "desde hoy solo veo {k} en cada consulta",
+            "{k} hace que la página sea inservible",
+            "totalmente inestable por {k}",
+            "{k} y nadie lo arregla",
+        ],
+        "fr" => &[
+            "depuis aujourd'hui que des {k} à chaque requête",
+            "{k} rend la page inutilisable",
+            "complètement instable à cause de {k}",
+            "{k} et personne ne corrige",
+        ],
+        "pt" => &[
+            "desde hoje só vejo {k} em cada consulta",
+            "{k} deixa a página inutilizável",
+            "totalmente instável por causa de {k}",
+            "{k} e ninguém conserta",
+        ],
+        _ => &[],
+    }
+}
+
+/// Frames for non-actionable foreign feedback (praise and vague venting):
+/// complaint frames would contradict the label semantics.
+fn language_frames_vague(lang: &str) -> &'static [&'static str] {
+    match lang {
+        "de" => &["{k}", "einfach {k}", "{k} halt", "alles {k} hier", "na ja {k}"],
+        "es" => &["{k}", "pues {k}", "todo {k}", "qué {k}", "{k} nada más"],
+        "fr" => &["{k}", "bof {k}", "tout est {k}", "voilà {k}", "{k} quoi"],
+        "pt" => &["{k}", "pois é {k}", "tudo {k}", "que {k}", "{k} só isso"],
+        _ => &[],
+    }
+}
+
+/// Word-level keyword translation for the late-period native-language
+/// shift: as the international user base grows, users stop code-switching
+/// and write feature names in their own language. Late-period foreign
+/// feedback translates these common terms — surface forms absent from the
+/// (early) training split.
+fn translate_word(word: &str, lang: &str) -> Option<&'static str> {
+    let table: &[(&str, &str, &str, &str, &str)] = &[
+        // (en, de, es, fr, pt)
+        ("results", "ergebnisse", "resultados", "résultats", "resultados"),
+        ("wrong", "falsch", "incorrecto", "faux", "errado"),
+        ("slow", "langsam", "lento", "lent", "lento"),
+        ("search", "suche", "búsqueda", "recherche", "busca"),
+        ("image", "bild", "imagen", "image", "imagem"),
+        ("translation", "übersetzung", "traducción", "traduction", "tradução"),
+        ("ads", "werbung", "anuncios", "publicités", "anúncios"),
+        ("information", "informationen", "información", "information", "informação"),
+        ("irrelevant", "irrelevante", "irrelevantes", "non pertinents", "irrelevantes"),
+        ("answer", "antwort", "respuesta", "réponse", "resposta"),
+        ("voice", "sprache", "voz", "voix", "voz"),
+        ("generation", "generierung", "generación", "génération", "geração"),
+    ];
+    let idx = match lang {
+        "de" => 1,
+        "es" => 2,
+        "fr" => 3,
+        "pt" => 4,
+        _ => return None,
+    };
+    table
+        .iter()
+        .find(|row| row.0 == word.to_lowercase())
+        .map(|row| match idx {
+            1 => row.1,
+            2 => row.2,
+            3 => row.3,
+            _ => row.4,
+        })
+}
+
+/// Translate the dictionary-covered words of a keyword phrase.
+fn localize_keyword(keyword: &str, lang: &str) -> String {
+    keyword
+        .split(' ')
+        .map(|w| translate_word(w, lang).unwrap_or(w).to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Inject character-level typos: each eligible word (≥4 alphabetic chars)
+/// gets an adjacent-character swap with probability `per_word`. Feedback
+/// text is heavy-tailed and noisy — this is the surface-form noise that
+/// separates exact-token learners from subword/char-n-gram models.
+fn add_typos(text: &str, per_word: f64, rng: &mut ChaCha8Rng) -> String {
+    let out: Vec<String> = text
+        .split(' ')
+        .map(|w| {
+            let eligible = w.chars().count() >= 4 && w.chars().all(char::is_alphabetic);
+            if !eligible || !rng.gen_bool(per_word) {
+                return w.to_string();
+            }
+            let mut chars: Vec<char> = w.chars().collect();
+            let pos = rng.gen_range(0..chars.len() - 1);
+            chars.swap(pos, pos + 1);
+            chars.into_iter().collect()
+        })
+        .collect();
+    out.join(" ")
+}
+
+/// Render one template, substituting `{p}` (product) and each `{k}` with an
+/// independently sampled keyword.
+fn render(template: &str, product: &str, topic: &TopicDef, rng: &mut ChaCha8Rng) -> String {
+    let mut out = String::with_capacity(template.len() + 16);
+    let mut rest = template;
+    while let Some(pos) = rest.find('{') {
+        out.push_str(&rest[..pos]);
+        let tail = &rest[pos..];
+        if tail.starts_with("{p}") {
+            out.push_str(product);
+            rest = &tail[3..];
+        } else if tail.starts_with("{k}") {
+            out.push_str(topic.keywords[rng.gen_range(0..topic.keywords.len())]);
+            rest = &tail[3..];
+        } else {
+            out.push('{');
+            rest = &tail[1..];
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Is `topic` active in the month of `ts` (and, for emerging topics, in
+/// the late period)?
+fn topic_active(topic: &TopicDef, ts: CivilDateTime, is_late: bool) -> bool {
+    if topic.late_only && !is_late {
+        return false;
+    }
+    match topic.window {
+        None => true,
+        Some(((y0, m0), (y1, m1))) => {
+            let key = (ts.year, ts.month);
+            key >= (y0, m0) && key <= (y1, m1)
+        }
+    }
+}
+
+/// Synthesize record `id` from `spec` using `rng`.
+pub fn synthesize(spec: &DatasetSpec, id: u64, rng: &mut ChaCha8Rng) -> FeedbackRecord {
+    let mut record = FeedbackRecord::blank(id);
+
+    // 1. Timestamp: either the surge day or uniform over the range.
+    let surged = spec.surge_day.is_some() && rng.gen_bool(spec.surge_fraction);
+    let ts_epoch = if let (true, Some(day)) = (surged, spec.surge_day) {
+        day.to_epoch() + rng.gen_range(0..86_400)
+    } else {
+        rng.gen_range(spec.start.to_epoch()..spec.end.to_epoch() + 86_400)
+    };
+    record.timestamp = ts_epoch;
+    let civil = CivilDateTime::from_epoch(ts_epoch);
+    // The "late period" is the last 30% of the time range — the test side
+    // of the temporal split, where emerging topics and the shifted
+    // language mix live.
+    let late_start =
+        spec.start.to_epoch() + (spec.end.to_epoch() - spec.start.to_epoch()) * 7 / 10;
+    let is_late = ts_epoch >= late_start;
+
+    // 2. Topic(s).
+    let active: Vec<&TopicDef> = spec
+        .topics
+        .iter()
+        .filter(|t| topic_active(t, civil, is_late))
+        .collect();
+    let primary: &TopicDef = if surged {
+        spec.topics
+            .iter()
+            .find(|t| t.name == spec.surge_topic)
+            .expect("surge topic defined")
+    } else {
+        let weights: Vec<f64> = active.iter().map(|t| t.weight).collect();
+        active[pick_weighted(&weights, rng)]
+    };
+    record.gold_topics.push(primary.name.to_string());
+    let mut secondary: Option<&TopicDef> = None;
+    if rng.gen_bool(spec.multi_topic_prob) {
+        let others: Vec<&&TopicDef> = active.iter().filter(|t| t.name != primary.name).collect();
+        if !others.is_empty() {
+            let t = others[rng.gen_range(0..others.len())];
+            secondary = Some(t);
+            record.gold_topics.push(t.name.to_string());
+        }
+    }
+
+    // 3. Product.
+    let product = spec.products[pick_weighted(spec.product_weights, rng)];
+    record.product = product.to_string();
+    // Some Windows tweets specifically say "Windows 10" (a benchmark
+    // question filters on the exact phrase).
+    let surface_product = if product == "Windows" && rng.gen_bool(0.4) {
+        "Windows 10"
+    } else {
+        product
+    };
+
+    // 4. English rendering (always produced; it is the translation for
+    // non-English records).
+    let template = primary.templates[rng.gen_range(0..primary.templates.len())];
+    let mut english = render(template, surface_product, primary, rng);
+    if let Some(sec) = secondary {
+        let sec_template = sec.templates[rng.gen_range(0..sec.templates.len())];
+        let clause = render(sec_template, surface_product, sec, rng);
+        english.push_str(" and also ");
+        english.push_str(&clause);
+    }
+
+    // 5. Sentiment (topic valence + noise) and sentiment flavour words.
+    let mut valence = primary.valence;
+    if let Some(sec) = secondary {
+        valence = (valence + sec.valence) / 2.0;
+    }
+    let sentiment = (valence + rng.gen_range(-0.25..0.25)).clamp(-1.0, 1.0);
+    record.sentiment = sentiment;
+    if sentiment > 0.45 && rng.gen_bool(0.5) {
+        english.push(' ');
+        english.push_str(POSITIVE_WORDS[rng.gen_range(0..POSITIVE_WORDS.len())]);
+    } else if sentiment < -0.45 && rng.gen_bool(0.5) {
+        english.push(' ');
+        english.push_str(NEGATIVE_WORDS[rng.gen_range(0..NEGATIVE_WORDS.len())]);
+    }
+
+    // 6. Noise: URL, typo, emoji.
+    if rng.gen_bool(spec.url_prob) {
+        english.push_str(" see https://forum.example.org/t/");
+        english.push_str(&id.to_string());
+    }
+    english = add_typos(&english, spec.typo_prob, rng);
+    if rng.gen_bool(spec.emoji_prob) {
+        let emoji = if sentiment >= 0.0 {
+            POSITIVE_EMOJI[rng.gen_range(0..POSITIVE_EMOJI.len())]
+        } else {
+            NEGATIVE_EMOJI[rng.gen_range(0..NEGATIVE_EMOJI.len())]
+        };
+        english.push(' ');
+        english.push_str(emoji);
+    }
+
+    // 7. Language: possibly render the surface text in another language;
+    // the late period uses the shifted language mix when one is defined.
+    let lang_dist = if is_late && !spec.late_languages.is_empty() {
+        spec.late_languages
+    } else {
+        spec.languages
+    };
+    let lang = pick_pair(lang_dist, rng);
+    record.language = lang.to_string();
+    if lang == "en" || language_frames(lang).is_empty() {
+        record.language = "en".to_string();
+        record.text = english.clone();
+        record.translated_text = english;
+    } else {
+        // Complaint frames for actionable feedback; short vague/praise
+        // frames for non-actionable (complaint phrasing would contradict
+        // the label).
+        let frames = if primary.label == "non-actionable" {
+            language_frames_vague(lang)
+        } else if is_late && rng.gen_bool(0.95) && !language_frames_late(lang).is_empty() {
+            language_frames_late(lang)
+        } else {
+            language_frames(lang)
+        };
+        let frame = frames[rng.gen_range(0..frames.len())];
+        let kw = primary.keywords[rng.gen_range(0..primary.keywords.len())];
+        // Late-period native-language shift: keywords get localized.
+        let kw = if is_late { localize_keyword(kw, lang) } else { kw.to_string() };
+        let mut foreign = frame.replace("{k}", &kw);
+        // Real multilingual feedback is noisy too: typos, and users often
+        // type without accents (splits surface forms for exact-token
+        // models; diacritic-folding models are invariant).
+        foreign = add_typos(&foreign, spec.typo_prob, rng);
+        if rng.gen_bool(0.5) {
+            foreign = allhands_text::fold_diacritics(&foreign);
+        }
+        record.text = foreign;
+        record.translated_text = english;
+    }
+
+    // 8. Label with annotation noise.
+    let labels = spec.label_names();
+    record.label = if rng.gen_bool(spec.label_noise) && labels.len() > 1 {
+        let others: Vec<&&str> = labels.iter().filter(|l| **l != primary.label).collect();
+        others[rng.gen_range(0..others.len())].to_string()
+    } else {
+        primary.label.to_string()
+    };
+
+    // 9. Metadata.
+    record.timezone = pick_pair(spec.timezones, rng).to_string();
+    record.country = pick_pair(spec.countries, rng).to_string();
+    record.user_level = pick_pair(spec.user_levels, rng).to_string();
+    record.position = pick_pair(spec.positions, rng).to_string();
+
+    // 10. MSearch query text (15% missing — one question counts these).
+    if spec.kind == crate::spec::DatasetKind::MSearch && !rng.gen_bool(0.15) {
+        let kw = primary.keywords[rng.gen_range(0..primary.keywords.len())];
+        record.query_text = format!("how to {kw}");
+    }
+
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{spec_for, DatasetKind};
+    use rand_chacha::rand_core::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn render_substitutes_placeholders() {
+        let spec = spec_for(DatasetKind::GoogleStoreApp);
+        let topic = &spec.topics[0];
+        let s = render("issue with {p}: {k}", "WhatsApp", topic, &mut rng());
+        assert!(s.contains("WhatsApp"));
+        assert!(!s.contains("{k}"));
+        assert!(!s.contains("{p}"));
+    }
+
+    #[test]
+    fn typos_swap_characters_per_word() {
+        let src = "the application keeps crashing badly";
+        let out = add_typos(src, 1.0, &mut rng());
+        let orig: Vec<&str> = src.split(' ').collect();
+        let new: Vec<&str> = out.split(' ').collect();
+        assert_eq!(orig.len(), new.len());
+        // Every eligible word may change, but lengths are preserved.
+        for (a, b) in orig.iter().zip(&new) {
+            assert_eq!(a.len(), b.len());
+        }
+        // Rate 0 leaves the text untouched.
+        assert_eq!(add_typos(src, 0.0, &mut rng()), src);
+    }
+
+    #[test]
+    fn windowed_topics_only_in_window() {
+        let spec = spec_for(DatasetKind::GoogleStoreApp);
+        let mut r = rng();
+        for i in 0..3000 {
+            let rec = synthesize(&spec, i, &mut r);
+            let civil = CivilDateTime::from_epoch(rec.timestamp);
+            if rec.gold_topics.iter().any(|t| t == "april fools event") {
+                assert_eq!(civil.month, 4, "april-only topic leaked into month {}", civil.month);
+            }
+            if rec.gold_topics.iter().any(|t| t == "subscription price increase") {
+                assert_eq!(civil.month, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn surge_day_concentrates_topic() {
+        let spec = spec_for(DatasetKind::GoogleStoreApp);
+        let mut r = rng();
+        let records: Vec<_> = (0..8000).map(|i| synthesize(&spec, i, &mut r)).collect();
+        let surge_epoch = spec.surge_day.unwrap().to_epoch();
+        let on_day = records
+            .iter()
+            .filter(|rec| rec.timestamp >= surge_epoch && rec.timestamp < surge_epoch + 86_400)
+            .count();
+        // 61 days of data: a uniform day gets ~1/61 ≈ 1.6%; the surge adds
+        // ~1.2% more, so the surge day should be clearly above uniform.
+        let uniform = records.len() / 61;
+        assert!(on_day as f64 > uniform as f64 * 1.4, "on_day={on_day} uniform={uniform}");
+    }
+
+    #[test]
+    fn multilingual_records_keep_translation() {
+        let spec = spec_for(DatasetKind::MSearch);
+        let mut r = rng();
+        let mut seen_non_en = false;
+        for i in 0..300 {
+            let rec = synthesize(&spec, i, &mut r);
+            if rec.language != "en" {
+                seen_non_en = true;
+                assert_ne!(rec.text, rec.translated_text);
+                assert!(!rec.translated_text.is_empty());
+            } else {
+                assert_eq!(rec.text, rec.translated_text);
+            }
+        }
+        assert!(seen_non_en);
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mut r = rng();
+        let mut counts = [0usize; 2];
+        for _ in 0..2000 {
+            counts[pick_weighted(&[9.0, 1.0], &mut r)] += 1;
+        }
+        assert!(counts[0] > counts[1] * 4);
+    }
+}

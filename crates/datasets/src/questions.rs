@@ -1,0 +1,425 @@
+//! The 90-question QA benchmark (paper Tables 5–7), with reference AQL.
+//!
+//! Each question carries the verbatim text, the paper's type and difficulty
+//! annotation, the paper's reported human scores (comprehensiveness /
+//! correctness / readability averages for the GPT-4 agent), and a
+//! *reference AQL program* — the gold analysis the judges execute to verify
+//! the agent's answer. The structured feedback frame is pre-bound to the
+//! variable `feedback` in every session, mirroring how the paper's Jupyter
+//! kernel holds the loaded dataframe.
+
+use crate::spec::DatasetKind;
+
+/// Question category (paper Sec. 4.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuestionType {
+    /// Statistical questions about topics or verbatim.
+    Analysis,
+    /// Questions requesting a visualization.
+    Figure,
+    /// Open-ended product-improvement questions.
+    Suggestion,
+}
+
+/// Difficulty level (paper Sec. 4.4.1: weighted over five criteria).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Difficulty {
+    Easy,
+    Medium,
+    Hard,
+}
+
+/// One benchmark question.
+#[derive(Debug, Clone)]
+pub struct QuestionSpec {
+    /// Dataset-local index (1-based, matching the paper's table rows).
+    pub id: u32,
+    /// Which dataset the question targets.
+    pub dataset: DatasetKind,
+    /// The question verbatim.
+    pub text: &'static str,
+    /// Paper's difficulty annotation.
+    pub difficulty: Difficulty,
+    /// Paper's type annotation.
+    pub qtype: QuestionType,
+    /// Paper-reported (comprehensiveness, correctness, readability) for the
+    /// GPT-4 agent — the target our judges' scores are compared against.
+    pub paper_scores: (f64, f64, f64),
+    /// Reference AQL computing the gold answer.
+    pub reference_aql: &'static str,
+}
+
+macro_rules! q {
+    ($id:expr, $ds:expr, $text:expr, $diff:ident, $ty:ident, ($c:expr, $k:expr, $r:expr), $aql:expr) => {
+        QuestionSpec {
+            id: $id,
+            dataset: $ds,
+            text: $text,
+            difficulty: Difficulty::$diff,
+            qtype: QuestionType::$ty,
+            paper_scores: ($c, $k, $r),
+            reference_aql: $aql,
+        }
+    };
+}
+
+/// The question suite for `kind` (paper Tables 5–7).
+pub fn questions_for(kind: DatasetKind) -> Vec<QuestionSpec> {
+    match kind {
+        DatasetKind::GoogleStoreApp => google_questions(),
+        DatasetKind::ForumPost => forum_questions(),
+        DatasetKind::MSearch => msearch_questions(),
+    }
+}
+
+/// All 90 questions across the three datasets.
+pub fn all_questions() -> Vec<QuestionSpec> {
+    let mut qs = google_questions();
+    qs.extend(forum_questions());
+    qs.extend(msearch_questions());
+    qs
+}
+
+fn google_questions() -> Vec<QuestionSpec> {
+    use DatasetKind::GoogleStoreApp as G;
+    vec![
+        q!(1, G, "What topic has the most negative sentiment score on average?", Easy, Analysis, (3.00, 3.00, 4.00),
+           r#"show(feedback.explode("topics").group_by("topics", mean("sentiment")).sort("sentiment_mean", "asc").head(1))"#),
+        q!(2, G, "Create a word cloud for topics mentioned in Twitter posts in April.", Medium, Figure, (5.00, 4.33, 5.00),
+           r#"let apr = feedback.filter(month(timestamp) == 4).explode("topics");
+show(word_cloud(apr, "topics"))"#),
+        q!(3, G, "Compare the sentiment of tweets mentioning 'WhatsApp' on weekdays versus weekends.", Hard, Analysis, (4.67, 3.67, 4.67),
+           r#"let wa = feedback.filter(contains(text, "WhatsApp")).derive("weekend", is_weekend(timestamp));
+show(wa.group_by("weekend", mean("sentiment"), count()))"#),
+        q!(4, G, "Analyze the change in sentiment towards the 'Windows' product in April and May.", Medium, Analysis, (4.67, 3.67, 4.67),
+           r#"let w = feedback.filter(product == "Windows").derive("month", month(timestamp));
+show(w.group_by("month", mean("sentiment"), count()).sort("month", "asc"))"#),
+        q!(5, G, "What percentage of the total tweets in the dataset mention the product 'Windows'?", Easy, Analysis, (4.00, 3.67, 4.33),
+           r#"show(percent(feedback.filter(contains(text, "Windows")).count(), feedback.count()))"#),
+        q!(6, G, "Which topic appears most frequently in the Twitter dataset?", Easy, Analysis, (4.33, 4.67, 4.67),
+           r#"show(feedback.explode("topics").value_counts("topics").head(1))"#),
+        q!(7, G, "What is the average sentiment score across all tweets?", Easy, Analysis, (4.00, 5.00, 4.00),
+           r#"show(feedback.mean("sentiment"))"#),
+        q!(8, G, "Determine the ratio of bug-related tweets to feature-request tweets for tweets related to 'Windows' product.", Medium, Analysis, (4.33, 4.67, 4.67),
+           r#"let w = feedback.filter(product == "Windows");
+let bugs = w.filter(has_topic(topics, "bug")).count();
+let feats = w.filter(has_topic(topics, "feature request")).count();
+show(bugs / feats)"#),
+        q!(9, G, "Which top three timezones submitted the most number of tweets?", Easy, Analysis, (4.67, 4.67, 5.00),
+           r#"show(feedback.value_counts("timezone").head(3))"#),
+        q!(10, G, "Identify the top three topics with the fastest increase in mentions from April to May.", Medium, Analysis, (3.33, 4.33, 4.00),
+           r#"let e = feedback.explode("topics").derive("month", month(timestamp));
+let apr = e.filter(month == 4).value_counts("topics");
+let may = e.filter(month == 5).value_counts("topics");
+let j = may.join(apr, "topics", "left").derive("increase", count - coalesce(count_right, 0));
+show(j.sort("increase", "desc").head(3))"#),
+        q!(11, G, "In April, which pair of topics in the dataset co-occur the most frequently, and how many times do they appear together?", Medium, Analysis, (4.67, 4.67, 5.00),
+           r#"show(co_occurrence(feedback.filter(month(timestamp) == 4), "topics").head(1))"#),
+        q!(12, G, "Draw a histogram based on the different timezones, grouping timezones with fewer than 30 tweets under the category 'Others'.", Medium, Figure, (4.67, 5.00, 5.00),
+           r#"let vc = lump_small(feedback.value_counts("timezone"), "timezone", "count", 30, "Others");
+show(bar_chart(vc, "timezone", "count", "Tweets per timezone"))"#),
+        q!(13, G, "What percentage of the tweets that mentioned 'Windows 10' were positive?", Easy, Analysis, (4.67, 5.00, 4.67),
+           r#"let w = feedback.filter(contains(text, "Windows 10"));
+show(percent(w.filter(sentiment > 0).count(), w.count()))"#),
+        q!(14, G, "How many tweets were posted in US during these months, and what percentage of these discuss the 'performance issue' topic?", Hard, Analysis, (4.67, 5.00, 5.00),
+           r#"let us = feedback.filter(contains(timezone, "US"));
+show(us.count());
+show(percent(us.filter(has_topic(topics, "performance issue")).count(), us.count()))"#),
+        q!(15, G, "Check daily tweets occurrence on bug topic and do anomaly detection(Whether there was a surge on a given day).", Hard, Analysis, (5.00, 5.00, 5.00),
+           r#"let bugs = feedback.filter(has_topic(topics, "bug")).derive("date", date(timestamp));
+show(anomaly_detect(bugs.value_counts("date"), "date", "count", 3.0))"#),
+        q!(16, G, "Which pair of topics in the dataset shows the highest statistical correlation in terms of their daily frequency of occurrence together during these months?", Medium, Analysis, (4.67, 4.33, 4.67),
+           r#"show(topic_correlation(feedback, "topics", "timestamp").head(1))"#),
+        q!(17, G, "Plot daily sentiment scores' trend for tweets mentioning 'Minecraft' in April and May.", Medium, Figure, (4.67, 5.00, 5.00),
+           r#"let mc = feedback.filter(contains(text, "Minecraft")).derive("date", date(timestamp));
+let daily = mc.group_by("date", mean("sentiment")).sort("date", "asc");
+show(line_chart(daily, "date", "sentiment_mean", "Daily sentiment: Minecraft"))"#),
+        q!(18, G, "Analyze the trend of weekly occurrence of topics 'bug' and 'performance issue'.", Medium, Figure, (4.67, 4.67, 5.00),
+           r#"let e = feedback.explode("topics").filter(topics == "bug" || topics == "performance issue");
+let g = e.derive("week", week(timestamp)).group_by("week", "topics", count()).sort("week", "asc");
+show(grouped_bar_chart(g, "week", "count", "topics", "Weekly occurrence of bug and performance issue"))"#),
+        q!(19, G, "Analyze the correlation between the length of a tweet and its sentiment score.", Easy, Analysis, (4.33, 4.67, 4.33),
+           r#"show(feedback.correlation("text_len", "sentiment"))"#),
+        q!(20, G, "Which topics appeared in April but not in May talking about 'Instagram'?", Medium, Analysis, (4.33, 3.33, 4.67),
+           r#"let ig = feedback.filter(product == "Instagram").explode("topics").derive("month", month(timestamp));
+let apr = ig.filter(month == 4).value_counts("topics");
+let may = ig.filter(month == 5).value_counts("topics");
+show(apr.join(may, "topics", "left").filter(is_null(count_right)).select("topics"))"#),
+        q!(21, G, "Identify the most common emojis used in tweets about 'CallofDuty' or 'Minecraft'.", Medium, Analysis, (4.67, 5.00, 5.00),
+           r#"let sub = feedback.filter(contains(text, "CallofDuty") || contains(text, "Minecraft"));
+show(emoji_stats(sub, "text").head(5))"#),
+        q!(22, G, "How many unique topics are there for tweets about 'Android'?", Easy, Analysis, (4.00, 5.00, 4.67),
+           r#"show(feedback.filter(contains(text, "Android")).explode("topics").nunique("topics"))"#),
+        q!(23, G, "What is the ratio of positive to negative emotions in the tweets related to the 'troubleshooting help' topic?", Medium, Analysis, (4.67, 5.00, 4.67),
+           r#"let t = feedback.filter(has_topic(topics, "troubleshooting help"));
+show(t.filter(sentiment > 0).count() / t.filter(sentiment < 0).count())"#),
+        q!(24, G, "Which product has highest average sentiment score?", Easy, Analysis, (3.33, 2.67, 4.67),
+           r#"show(feedback.group_by("product", mean("sentiment")).sort("sentiment_mean", "desc").head(1))"#),
+        q!(25, G, "Plot a bar chart for the top 5 topics appearing in both April and May, using different colors for each month.", Hard, Figure, (4.67, 5.00, 5.00),
+           r#"let e = feedback.explode("topics").derive("month", month(timestamp));
+let apr = e.filter(month == 4).value_counts("topics");
+let may = e.filter(month == 5).value_counts("topics");
+let both = apr.join(may, "topics", "inner").derive("total", count + count_right).sort("total", "desc").head(5);
+let top = both.column_values("topics");
+let sub = e.filter(in_list(topics, top)).group_by("topics", "month", count());
+show(grouped_bar_chart(sub, "topics", "count", "month", "Top 5 topics by month"))"#),
+        q!(26, G, "Find all the products related to game(e.g. Minecraft, CallofDuty) or game platform(e.g. Steam, Epic) yourself based on semantic information and knowledge. Then build a subset of tweets about those products. Get the top 5 topics in the subset and plot a pie chart.", Hard, Figure, (4.00, 3.67, 4.33),
+           r#"let games = feedback.filter(in_list(product, ["Minecraft", "CallofDuty", "Steam", "Epic", "Temple Run 2", "Tap Fish"]));
+let top = games.explode("topics").value_counts("topics").head(5);
+show(pie_chart(top, "topics", "count", "Top topics for game products"))"#),
+        q!(27, G, "Draw a issue river for the top 7 topics about 'WhatsApp' product.", Hard, Figure, (4.67, 4.33, 4.33),
+           r#"show(issue_river(feedback.filter(product == "WhatsApp"), "topics", "timestamp", 7))"#),
+        q!(28, G, "Summarize 'Instagram' product advantages and disadvantages based on sentiment and tweets' content.", Hard, Suggestion, (5.00, 5.00, 4.67),
+           r#"let ig = feedback.filter(product == "Instagram");
+show(ig.filter(sentiment > 0.3).explode("topics").value_counts("topics").head(5));
+show(ig.filter(sentiment < -0.3).explode("topics").value_counts("topics").head(5))"#),
+        q!(29, G, "Based on the tweets, what action can be done to improve Android?", Hard, Suggestion, (4.33, 5.00, 5.00),
+           r#"let a = feedback.filter(contains(text, "Android"));
+show(a.filter(sentiment < 0).explode("topics").value_counts("topics").head(5))"#),
+        q!(30, G, "Based on the tweets in May, what improvements could enhance user satisfaction about Windows?", Hard, Suggestion, (1.00, 2.00, 4.00),
+           r#"let w = feedback.filter(product == "Windows").filter(month(timestamp) == 5);
+show(w.filter(sentiment < 0).explode("topics").value_counts("topics").head(5))"#),
+    ]
+}
+
+fn forum_questions() -> Vec<QuestionSpec> {
+    use DatasetKind::ForumPost as F;
+    vec![
+        q!(1, F, "What topic in the Forum Posts dataset has the highest average negative sentiment? If there are ties, list all possible answers.", Easy, Analysis, (4.67, 5.00, 4.33),
+           r#"show(feedback.explode("topics").group_by("topics", mean("sentiment")).sort("sentiment_mean", "asc").head(3))"#),
+        q!(2, F, "Create a word cloud for post content of the most frequently mentioned topic in Forum Posts.", Medium, Figure, (4.33, 5.00, 4.67),
+           r#"let top = feedback.explode("topics").value_counts("topics").head(1).column_values("topics");
+let sub = feedback.filter(in_list_any(topics, top));
+show(word_cloud(sub, "text"))"#),
+        q!(3, F, "Compare the sentiment of posts mentioning 'VLC' in different user levels.", Easy, Analysis, (4.00, 4.33, 4.00),
+           r#"let v = feedback.filter(contains(text, "VLC"));
+show(v.group_by("user_level", mean("sentiment"), count()))"#),
+        q!(4, F, "What topics are most often discussed in posts talking about 'user interface'?", Easy, Analysis, (4.67, 5.00, 4.00),
+           r#"let ui = feedback.filter(contains(text, "interface") || contains(text, "button") || contains(text, "menu"));
+show(ui.explode("topics").value_counts("topics").head(5))"#),
+        q!(5, F, "What percentage of the total forum posts mention the topic 'bug'?", Easy, Analysis, (5.00, 5.00, 4.00),
+           r#"show(percent(feedback.filter(contains(text, "bug")).count(), feedback.count()))"#),
+        q!(6, F, "Draw a pie chart based on occurrence of different labels.", Easy, Figure, (3.33, 4.67, 1.33),
+           r#"show(pie_chart(feedback.value_counts("label"), "label", "count", "Posts per label"))"#),
+        q!(7, F, "What is the average sentiment score across all forum posts?", Easy, Analysis, (4.33, 5.00, 4.67),
+           r#"show(feedback.mean("sentiment"))"#),
+        q!(8, F, "Determine the ratio of posts related to 'bug' to those related to 'feature request'.", Easy, Analysis, (4.00, 4.67, 4.67),
+           r#"let bugs = feedback.filter(contains(label, "bug")).count();
+let feats = feedback.filter(label == "feature request").count();
+show(bugs / feats)"#),
+        q!(9, F, "Which user level (e.g., new cone, big cone-huna) is most active in submitting posts?", Easy, Analysis, (4.67, 2.67, 4.67),
+           r#"show(feedback.value_counts("user_level").head(1))"#),
+        q!(10, F, "Order topic forum based on number of posts.", Easy, Analysis, (4.33, 5.00, 4.67),
+           r#"show(feedback.explode("topics").value_counts("topics"))"#),
+        q!(11, F, "Which pair of topics co-occur the most frequently, and how many times do they appear together?", Medium, Analysis, (5.00, 4.67, 4.33),
+           r#"show(co_occurrence(feedback, "topics").head(1))"#),
+        q!(12, F, "Draw a histogram for different user levels reflecting the occurrence of posts' content containing 'button'.", Medium, Figure, (4.33, 5.00, 4.67),
+           r#"let b = feedback.filter(contains(text, "button"));
+show(bar_chart(b.value_counts("user_level"), "user_level", "count", "Posts containing 'button' per user level"))"#),
+        q!(13, F, "What percentage of posts labeled as application guidance are positive?", Easy, Analysis, (4.33, 5.00, 4.67),
+           r#"let g = feedback.filter(label == "application guidance");
+show(percent(g.filter(sentiment > 0).count(), g.count()))"#),
+        q!(14, F, "How many posts were made by users at user level 'Cone Master'(case insensitive), and what percentage discuss 'installation issues'?", Medium, Analysis, (4.67, 5.00, 4.67),
+           r#"let cm = feedback.filter(lower(user_level) == "cone master");
+show(cm.count());
+show(percent(cm.filter(has_topic(topics, "installation issue")).count(), cm.count()))"#),
+        q!(15, F, "Which pair of topics shows the highest statistical correlation in terms of their frequency of occurrence together?", Medium, Analysis, (4.67, 5.00, 4.00),
+           r#"show(topic_correlation(feedback, "topics", "timestamp").head(1))"#),
+        q!(16, F, "Plot a figure about the correlation between average sentiment score and different post positions.", Medium, Figure, (4.00, 4.00, 3.67),
+           r#"let g = feedback.group_by("position", mean("sentiment"));
+show(bar_chart(g, "position", "sentiment_mean", "Mean sentiment per post position"))"#),
+        q!(17, F, "Explore the correlation between the length of a post and its sentiment score.", Medium, Analysis, (4.33, 5.00, 4.67),
+           r#"show(feedback.correlation("text_len", "sentiment"))"#),
+        q!(18, F, "Which topics appeared frequently in posts with 'apparent bug' label?", Easy, Analysis, (5.00, 5.00, 5.00),
+           r#"let b = feedback.filter(label == "apparent bug");
+show(b.explode("topics").value_counts("topics").head(5))"#),
+        q!(19, F, "Identify the most common keywords used in posts about 'software configuration' topic.", Medium, Analysis, (4.33, 4.33, 4.33),
+           r#"let sc = feedback.filter(has_topic(topics, "software configuration"));
+show(keyword_stats(sc, "text").head(10))"#),
+        q!(20, F, "Identify the most frequently mentioned software or product names in the dataset.", Medium, Analysis, (4.33, 2.67, 5.00),
+           r#"show(feedback.value_counts("software"))"#),
+        q!(21, F, "Draw a histogram about different labels for posts position is 'original post'.", Medium, Figure, (4.00, 4.67, 4.00),
+           r#"let op = feedback.filter(position == "original post");
+show(bar_chart(op.value_counts("label"), "label", "count", "Labels of original posts"))"#),
+        q!(22, F, "What percentage of posts about 'UI/UX' is talking about the error of button.", Hard, Analysis, (4.33, 2.33, 4.67),
+           r#"let ui = feedback.filter(has_topic(topics, "UI/UX"));
+show(percent(ui.filter(contains(text, "button")).count(), ui.count()))"#),
+        q!(23, F, "What is the biggest challenge faced by Firefox.", Hard, Analysis, (2.00, 3.00, 4.00),
+           r#"let ff = feedback.filter(software == "Firefox").filter(sentiment < 0);
+show(ff.explode("topics").value_counts("topics").head(3))"#),
+        q!(24, F, "What is the plugin mentioned the most in posts related to 'plugin issue' topic.", Medium, Analysis, (3.67, 2.33, 4.67),
+           r#"let p = feedback.filter(has_topic(topics, "plugin issue"));
+show(keyword_stats(p, "text").head(5))"#),
+        q!(25, F, "What percentage of the posts contain url?", Medium, Analysis, (3.33, 3.00, 4.67),
+           r#"show(percent(feedback.filter(has_url(text)).count(), feedback.count()))"#),
+        q!(26, F, "Find the topic that appears the most and is present in all user levels, then draw a bar chart. Use different colors for different user-levels.", Medium, Figure, (5.00, 5.00, 5.00),
+           r#"let e = feedback.explode("topics");
+let top = e.value_counts("topics").head(1).column_values("topics");
+let sub = e.filter(in_list(topics, top)).group_by("user_level", count());
+show(bar_chart(sub, "user_level", "count", "Most frequent topic across user levels"))"#),
+        q!(27, F, "Based on the posts labeled as 'requesting more information', provide some suggestions on how to provide clear information to users.", Hard, Suggestion, (5.00, 4.33, 5.00),
+           r#"let rmi = feedback.filter(label == "requesting more information");
+show(rmi.explode("topics").value_counts("topics").head(5));
+show(keyword_stats(rmi, "text").head(10))"#),
+        q!(28, F, "Based on the most frequently mentioned issues, what improvements could be suggested for the most discussed software or hardware products?", Hard, Suggestion, (3.33, 4.00, 4.00),
+           r#"let neg = feedback.filter(sentiment < 0);
+show(neg.value_counts("software").head(1));
+show(neg.explode("topics").value_counts("topics").head(5))"#),
+        q!(29, F, "Based on the posts with topic 'UI/UX', give suggestions on how to improve the UI design.", Hard, Suggestion, (4.33, 4.33, 4.33),
+           r#"let ui = feedback.filter(has_topic(topics, "UI/UX"));
+show(ui.explode("topics").value_counts("topics").head(5));
+show(keyword_stats(ui, "text").head(10))"#),
+        q!(30, F, "Based on the posts with 'application guidance' label, give suggestions on how to write better application guidance.", Hard, Suggestion, (4.33, 3.67, 4.67),
+           r#"let g = feedback.filter(label == "application guidance");
+show(g.explode("topics").value_counts("topics").head(5));
+show(keyword_stats(g, "text").head(10))"#),
+    ]
+}
+
+fn msearch_questions() -> Vec<QuestionSpec> {
+    use DatasetKind::MSearch as M;
+    vec![
+        q!(1, M, "How many feedback are without query text?", Easy, Analysis, (4.67, 5.00, 4.67),
+           r#"show(feedback.filter(query_text == "").count())"#),
+        q!(2, M, "Which feedback topic have the most negative sentiment score on average?", Easy, Analysis, (3.00, 3.33, 4.33),
+           r#"show(feedback.explode("topics").group_by("topics", mean("sentiment")).sort("sentiment_mean", "asc").head(1))"#),
+        q!(3, M, "Which topics appeared in October but not in November?", Medium, Analysis, (4.67, 5.00, 4.33),
+           r#"let e = feedback.explode("topics").derive("month", month(timestamp));
+let oct = e.filter(month == 10).value_counts("topics");
+let nov = e.filter(month == 11).value_counts("topics");
+show(oct.join(nov, "topics", "left").filter(is_null(count_right)).select("topics"))"#),
+        q!(4, M, "Plot a word cloud for translated feedback text with 'AI mistake' topic.", Easy, Figure, (4.67, 5.00, 5.00),
+           r#"let ai = feedback.filter(has_topic(topics, "AI mistake"));
+show(word_cloud(ai, "translated_text"))"#),
+        q!(5, M, "How many unique topics are there?", Easy, Analysis, (4.67, 5.00, 5.00),
+           r#"show(feedback.explode("topics").nunique("topics"))"#),
+        q!(6, M, "What is the ratio of positive to negative emotions in the feedback related to 'others' topic?", Easy, Analysis, (5.00, 5.00, 4.67),
+           r#"let o = feedback.filter(has_topic(topics, "others"));
+show(o.filter(sentiment > 0).count() / o.filter(sentiment < 0).count())"#),
+        q!(7, M, "Which week are users most satisfied(highest average sentiment) with their search?", Hard, Analysis, (5.00, 5.00, 4.33),
+           r#"let w = feedback.derive("week", week(timestamp));
+show(w.group_by("week", mean("sentiment")).sort("sentiment_mean", "desc").head(1))"#),
+        q!(8, M, "Identify the top three topics with the fastest increase in occurrences from October to November.", Medium, Analysis, (4.33, 5.00, 4.33),
+           r#"let e = feedback.explode("topics").derive("month", month(timestamp));
+let oct = e.filter(month == 10).value_counts("topics");
+let nov = e.filter(month == 11).value_counts("topics");
+let j = nov.join(oct, "topics", "left").derive("increase", count - coalesce(count_right, 0));
+show(j.sort("increase", "desc").head(3))"#),
+        q!(9, M, "What are the top three topics in the dataset that have the lowest average sentiment scores?", Easy, Analysis, (3.67, 3.33, 4.67),
+           r#"show(feedback.explode("topics").group_by("topics", mean("sentiment")).sort("sentiment_mean", "asc").head(3))"#),
+        q!(10, M, "Plot a bar chart for top5 topics appear in both Oct and Nov. Oct use blue color and Nov's use orange color.", Hard, Figure, (4.00, 4.00, 2.00),
+           r#"let e = feedback.explode("topics").derive("month", month(timestamp));
+let oct = e.filter(month == 10).value_counts("topics");
+let nov = e.filter(month == 11).value_counts("topics");
+let both = oct.join(nov, "topics", "inner").derive("total", count + count_right).sort("total", "desc").head(5);
+let top = both.column_values("topics");
+let sub = e.filter(in_list(topics, top)).group_by("topics", "month", count());
+show(grouped_bar_chart(sub, "topics", "count", "month", "Top 5 topics by month"))"#),
+        q!(11, M, "In October 2023, which pair of topics in the dataset co-occur the most frequently, and how many times do they appear together?", Hard, Analysis, (3.00, 3.33, 4.33),
+           r#"show(co_occurrence(feedback.filter(month(timestamp) == 10), "topics").head(1))"#),
+        q!(12, M, "Which pair of topics in the dataset shows the highest statistical correlation in terms of their daily frequency of occurrence together across the entire dataset?", Medium, Analysis, (4.67, 4.67, 4.33),
+           r#"show(topic_correlation(feedback, "topics", "timestamp").head(1))"#),
+        q!(13, M, "Find a subset that the feedback text contains information related to image. Get the top5 topics in the subset and plot a pie chart.", Hard, Figure, (4.00, 3.67, 3.67),
+           r#"let img = feedback.filter(contains(translated_text, "image") || contains(text, "image"));
+let top = img.explode("topics").value_counts("topics").head(5);
+show(pie_chart(top, "topics", "count", "Top topics in image-related feedback"))"#),
+        q!(14, M, "Draw an issue river for top 7 topics.", Hard, Figure, (4.33, 4.67, 4.67),
+           r#"show(issue_river(feedback, "topics", "timestamp", 7))"#),
+        q!(15, M, "Plot a word cloud for topics in October 2023.", Medium, Figure, (4.67, 4.67, 5.00),
+           r#"let oct = feedback.filter(month(timestamp) == 10).explode("topics");
+show(word_cloud(oct, "topics"))"#),
+        q!(16, M, "Identify the top three topics based on occurrence.", Easy, Analysis, (5.00, 5.00, 5.00),
+           r#"show(feedback.explode("topics").value_counts("topics").head(3))"#),
+        q!(17, M, "Based on the data, what can be improved to the search engine given the most frequent topic?", Hard, Suggestion, (5.00, 4.67, 4.00),
+           r#"let top = feedback.explode("topics").value_counts("topics").head(1);
+show(top);
+let name = top.column_values("topics");
+show(feedback.filter(in_list_any(topics, name)).mean("sentiment"))"#),
+        q!(18, M, "Draw a histogram based on the different countries.", Medium, Figure, (2.00, 3.00, 4.00),
+           r#"show(bar_chart(feedback.value_counts("country"), "country", "count", "Feedback per country"))"#),
+        q!(19, M, "Plot daily sentiment scores' trend.", Medium, Figure, (4.67, 5.00, 4.33),
+           r#"let daily = feedback.derive("date", date(timestamp)).group_by("date", mean("sentiment")).sort("date", "asc");
+show(line_chart(daily, "date", "sentiment_mean", "Daily sentiment trend"))"#),
+        q!(20, M, "Draw a histogram based on the different countries. Group countries with fewer than 10 feedback entries under the category 'Others'.", Hard, Figure, (4.00, 4.00, 4.00),
+           r#"let vc = lump_small(feedback.value_counts("country"), "country", "count", 10, "Others");
+show(bar_chart(vc, "country", "count", "Feedback per country (small lumped)"))"#),
+        q!(21, M, "Based on the data, what can be improved to improve the users' satisfaction?", Hard, Suggestion, (4.67, 4.67, 4.33),
+           r#"let neg = feedback.filter(sentiment < 0);
+show(neg.explode("topics").value_counts("topics").head(5))"#),
+        q!(22, M, "What is the time range covered by the feedbacks?", Easy, Analysis, (4.67, 4.00, 4.67),
+           r#"show(feedback.min("timestamp"));
+show(feedback.max("timestamp"))"#),
+        q!(23, M, "What percentage of the total queries in the dataset comes from US(country and region is us)", Easy, Analysis, (5.00, 5.00, 5.00),
+           r#"show(percent(feedback.filter(country == "us").count(), feedback.count()))"#),
+        q!(24, M, "Which topic appears most frequently?", Easy, Analysis, (4.67, 5.00, 5.00),
+           r#"show(feedback.explode("topics").value_counts("topics").head(1))"#),
+        q!(25, M, "What is the average sentiment score across all feedback?", Easy, Analysis, (4.67, 5.00, 4.33),
+           r#"show(feedback.mean("sentiment"))"#),
+        q!(26, M, "How many feedback entries are labeled as 'unhelpful or irrelevant results' in topics?", Easy, Analysis, (4.67, 5.00, 5.00),
+           r#"show(feedback.filter(has_topic(topics, "unhelpful or irrelevant results")).count())"#),
+        q!(27, M, "Which top three countries submitted the most number of feedback?", Easy, Analysis, (5.00, 5.00, 5.00),
+           r#"show(feedback.value_counts("country").head(3))"#),
+        q!(28, M, "Give me the trend of weekly occurrence of topic 'AI mistake' and 'AI image generation problem'", Medium, Figure, (4.00, 4.00, 3.00),
+           r#"let e = feedback.explode("topics").filter(topics == "AI mistake" || topics == "AI image generation problem");
+let g = e.derive("week", week(timestamp)).group_by("week", "topics", count()).sort("week", "asc");
+show(grouped_bar_chart(g, "week", "count", "topics", "Weekly occurrence of AI topics"))"#),
+        q!(29, M, "What percentage of the sentences that mentioned 'Bing AI' were positive?", Easy, Analysis, (4.33, 5.00, 4.67),
+           r#"let b = feedback.filter(contains(translated_text, "Bing AI") || contains(text, "Bing AI"));
+show(percent(b.filter(sentiment > 0).count(), b.count()))"#),
+        q!(30, M, "How many feedback entries submitted in German, and what percentage of these discuss 'slow performance' topic?", Hard, Analysis, (3.67, 1.00, 4.67),
+           r#"let de = feedback.filter(language == "de");
+show(de.count());
+show(percent(de.filter(has_topic(topics, "slow performance")).count(), de.count()))"#),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_per_dataset() {
+        assert_eq!(questions_for(DatasetKind::GoogleStoreApp).len(), 30);
+        assert_eq!(questions_for(DatasetKind::ForumPost).len(), 30);
+        assert_eq!(questions_for(DatasetKind::MSearch).len(), 30);
+        assert_eq!(all_questions().len(), 90);
+    }
+
+    #[test]
+    fn ids_sequential() {
+        for kind in DatasetKind::all() {
+            for (i, q) in questions_for(kind).iter().enumerate() {
+                assert_eq!(q.id as usize, i + 1, "{kind:?} question {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_question_has_reference() {
+        for q in all_questions() {
+            assert!(!q.reference_aql.trim().is_empty(), "{:?} q{}", q.dataset, q.id);
+            assert!(q.reference_aql.contains("show("), "{:?} q{} never shows output", q.dataset, q.id);
+        }
+    }
+
+    #[test]
+    fn paper_scores_in_rubric_range() {
+        for q in all_questions() {
+            let (c, k, r) = q.paper_scores;
+            for v in [c, k, r] {
+                assert!((1.0..=5.0).contains(&v), "{:?} q{} score {v}", q.dataset, q.id);
+            }
+        }
+    }
+
+    #[test]
+    fn type_mix_matches_fig7_shape() {
+        // Fig 7: analysis dominates, then figures, then suggestions.
+        let qs = all_questions();
+        let analysis = qs.iter().filter(|q| q.qtype == QuestionType::Analysis).count();
+        let figure = qs.iter().filter(|q| q.qtype == QuestionType::Figure).count();
+        let suggestion = qs.iter().filter(|q| q.qtype == QuestionType::Suggestion).count();
+        assert!(analysis > figure && figure > suggestion);
+        assert_eq!(analysis + figure + suggestion, 90);
+    }
+}

@@ -1,0 +1,63 @@
+//! The synthesized feedback record.
+
+use serde::{Deserialize, Serialize};
+
+/// One synthetic feedback item with full ground truth attached.
+///
+/// The pipeline only ever *sees* the surface fields (text, timestamps,
+/// platform metadata); the `gold_*` fields exist so experiments can score
+/// classification accuracy and topic quality.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedbackRecord {
+    /// Stable row id.
+    pub id: u64,
+    /// The verbatim feedback text (possibly non-English for MSearch).
+    pub text: String,
+    /// English translation (equals `text` for English records).
+    pub translated_text: String,
+    /// The search query that triggered the feedback (MSearch only; may be
+    /// empty — one benchmark question counts exactly these).
+    pub query_text: String,
+    /// Product (GoogleStoreApp) or software (ForumPost) the item concerns.
+    pub product: String,
+    /// Ground-truth classification label.
+    pub label: String,
+    /// Ground-truth topics this record was generated from.
+    pub gold_topics: Vec<String>,
+    /// Ground-truth sentiment in [-1, 1].
+    pub sentiment: f64,
+    /// Posting time (epoch seconds UTC).
+    pub timestamp: i64,
+    /// ISO 639-1 language code.
+    pub language: String,
+    /// Country/region code (MSearch) — lowercase ISO-3166-ish.
+    pub country: String,
+    /// Timezone label (GoogleStoreApp questions group by it).
+    pub timezone: String,
+    /// Forum user level (ForumPost only).
+    pub user_level: String,
+    /// Post position: "original post" / "reply" (ForumPost only).
+    pub position: String,
+}
+
+impl FeedbackRecord {
+    /// A record with all optional metadata fields empty.
+    pub fn blank(id: u64) -> Self {
+        FeedbackRecord {
+            id,
+            text: String::new(),
+            translated_text: String::new(),
+            query_text: String::new(),
+            product: String::new(),
+            label: String::new(),
+            gold_topics: Vec::new(),
+            sentiment: 0.0,
+            timestamp: 0,
+            language: "en".to_string(),
+            country: String::new(),
+            timezone: String::new(),
+            user_level: String::new(),
+            position: String::new(),
+        }
+    }
+}

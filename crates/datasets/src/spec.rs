@@ -1,0 +1,1106 @@
+//! Dataset specifications: topic inventories, label sets, products,
+//! metadata distributions, and controlled temporal events.
+//!
+//! The question suites (paper Tables 5–7) interrogate specific structure —
+//! "which topics appeared in April but not May", "was there a surge of bug
+//! reports on a given day", "most common emoji in CallofDuty tweets" — so
+//! the specs deliberately plant that structure: topics can be confined to a
+//! time window, and one bug surge day is injected per dataset.
+
+use allhands_dataframe::CivilDateTime;
+
+/// Which of the paper's three corpora to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// 11,340 English app reviews / product tweets; labels:
+    /// informative / non-informative.
+    GoogleStoreApp,
+    /// 3,654 VLC/Firefox forum posts; 10 requirement-engineering labels
+    /// plus "others".
+    ForumPost,
+    /// 4,117 multilingual search-engine feedback items; labels:
+    /// actionable / non-actionable.
+    MSearch,
+}
+
+impl DatasetKind {
+    /// Corpus size from paper Table 1.
+    pub fn paper_size(self) -> usize {
+        match self {
+            DatasetKind::GoogleStoreApp => 11_340,
+            DatasetKind::ForumPost => 3_654,
+            DatasetKind::MSearch => 4_117,
+        }
+    }
+
+    /// Per-dataset RNG salt so the three corpora are decorrelated even with
+    /// the same user seed.
+    pub fn seed_salt(self) -> u64 {
+        match self {
+            DatasetKind::GoogleStoreApp => 0x600_613,
+            DatasetKind::ForumPost => 0xF0_4213,
+            DatasetKind::MSearch => 0x5EA_4C4,
+        }
+    }
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::GoogleStoreApp => "GoogleStoreApp",
+            DatasetKind::ForumPost => "ForumPost",
+            DatasetKind::MSearch => "MSearch",
+        }
+    }
+
+    /// All three kinds, in paper order.
+    pub fn all() -> [DatasetKind; 3] {
+        [DatasetKind::GoogleStoreApp, DatasetKind::ForumPost, DatasetKind::MSearch]
+    }
+}
+
+/// An optional month window (inclusive) a topic is confined to, as
+/// `(year, month)` bounds.
+pub type MonthWindow = Option<((i32, u32), (i32, u32))>;
+
+/// One latent topic: its canonical label, generation lexicon, templates,
+/// sentiment valence, the classification label its records receive, its
+/// sampling weight, and an optional active window.
+#[derive(Debug, Clone)]
+pub struct TopicDef {
+    /// Canonical topic label (what abstractive topic modeling should find).
+    pub name: &'static str,
+    /// Content words characteristic of the topic.
+    pub keywords: &'static [&'static str],
+    /// Sentence templates; `{p}` → product, `{k}` → keyword.
+    pub templates: &'static [&'static str],
+    /// Typical sentiment in [-1, 1].
+    pub valence: f64,
+    /// Classification label for records drawn from this topic.
+    pub label: &'static str,
+    /// Relative sampling weight.
+    pub weight: f64,
+    /// Months (inclusive) the topic occurs in; `None` = whole range.
+    pub window: MonthWindow,
+    /// Emerging topic: only occurs in the *late* period (the last 30% of
+    /// the time range). Drives the distribution shift that separates
+    /// fine-tuned classifiers from in-context LLM classification.
+    pub late_only: bool,
+}
+
+/// Full generation spec for one dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    pub kind: DatasetKind,
+    pub topics: Vec<TopicDef>,
+    /// Products/software the feedback concerns.
+    pub products: &'static [&'static str],
+    /// Sampling weights for `products` (same length).
+    pub product_weights: &'static [f64],
+    /// Inclusive time range for timestamps.
+    pub start: CivilDateTime,
+    pub end: CivilDateTime,
+    /// Probability a record's stored label is flipped to a random other
+    /// label (annotation noise — keeps classifiers off the ceiling).
+    pub label_noise: f64,
+    /// Probability of sampling a second topic for a record.
+    pub multi_topic_prob: f64,
+    /// Probability of a typo being injected into the text.
+    pub typo_prob: f64,
+    /// Probability of appending a sentiment emoji.
+    pub emoji_prob: f64,
+    /// Probability of embedding a URL.
+    pub url_prob: f64,
+    /// `(language code, weight)` distribution.
+    pub languages: &'static [(&'static str, f64)],
+    /// Language distribution for the late period (empty = same as
+    /// `languages`). Models market expansion: MSearch's late traffic is
+    /// much more international.
+    pub late_languages: &'static [(&'static str, f64)],
+    /// `(timezone, weight)` — GoogleStoreApp questions group by timezone.
+    pub timezones: &'static [(&'static str, f64)],
+    /// `(country, weight)` — MSearch questions group by country.
+    pub countries: &'static [(&'static str, f64)],
+    /// Forum user levels (empty elsewhere).
+    pub user_levels: &'static [(&'static str, f64)],
+    /// Forum post positions (empty elsewhere).
+    pub positions: &'static [(&'static str, f64)],
+    /// A day on which the "bug"-like topic surges (anomaly question).
+    pub surge_day: Option<CivilDateTime>,
+    /// The topic name that surges.
+    pub surge_topic: &'static str,
+    /// Fraction of records redirected to the surge day/topic.
+    pub surge_fraction: f64,
+}
+
+impl DatasetSpec {
+    /// The distinct classification labels, in first-appearance order.
+    pub fn label_names(&self) -> Vec<&'static str> {
+        let mut labels = Vec::new();
+        for t in &self.topics {
+            if !labels.contains(&t.label) {
+                labels.push(t.label);
+            }
+        }
+        labels
+    }
+
+    /// The distinct topic names, in definition order.
+    pub fn topic_names(&self) -> Vec<&'static str> {
+        self.topics.iter().map(|t| t.name).collect()
+    }
+}
+
+/// Build the spec for `kind`.
+pub fn spec_for(kind: DatasetKind) -> DatasetSpec {
+    match kind {
+        DatasetKind::GoogleStoreApp => google_spec(),
+        DatasetKind::ForumPost => forum_spec(),
+        DatasetKind::MSearch => msearch_spec(),
+    }
+}
+
+fn google_spec() -> DatasetSpec {
+    // The question suite (paper Table 5) talks about tweets in April/May
+    // mentioning consumer products; topics below carry the signal those
+    // questions probe.
+    let topics = vec![
+        TopicDef {
+            name: "bug",
+            keywords: &["bug", "broken", "glitch", "error", "freezes"],
+            templates: &[
+                "{p} has a {k} that ruins everything",
+                "found a serious {k} in {p} after the update",
+                "{p} keeps showing an {k} when I open chats",
+                "this {k} in {p} makes it unusable",
+            ],
+            valence: -0.7,
+            label: "informative",
+            weight: 1.4,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "crash",
+            keywords: &["crash", "crashes", "crashing", "force close"],
+            templates: &[
+                "{p} {k} every time I open it",
+                "constant {k} on {p} since yesterday",
+                "{p} just {k} and loses my progress",
+            ],
+            valence: -0.9,
+            label: "informative",
+            weight: 1.1,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "performance issue",
+            keywords: &["slow", "lag", "laggy", "performance", "loading forever"],
+            templates: &[
+                "{p} is so {k} it takes minutes to start",
+                "terrible {k} in {p} on my phone",
+                "{p} feels {k} after the latest patch",
+            ],
+            valence: -0.6,
+            label: "informative",
+            weight: 1.2,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "feature request",
+            keywords: &["feature", "dark mode", "option", "setting", "cheetah filter"],
+            templates: &[
+                "please add a {k} to {p}",
+                "{p} really needs a {k}",
+                "bring back the {k} it's all I looked forward to in {p}",
+                "would love a {k} in the next {p} update",
+            ],
+            valence: 0.1,
+            label: "informative",
+            weight: 1.3,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "battery drain",
+            keywords: &["battery", "battery drain", "power hungry"],
+            templates: &[
+                "{p} eats my {k} like crazy",
+                "noticed huge {k} with {p} running in background",
+            ],
+            valence: -0.5,
+            label: "informative",
+            weight: 0.7,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "login issue",
+            keywords: &["login", "sign in", "account locked", "password reset"],
+            templates: &[
+                "cannot {k} to {p} anymore",
+                "{p} {k} loop is driving me crazy",
+            ],
+            valence: -0.6,
+            label: "informative",
+            weight: 0.8,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "notification problem",
+            keywords: &["notifications", "notification", "alerts"],
+            templates: &[
+                "{p} {k} arrive hours late",
+                "not getting {k} from {p} at all",
+            ],
+            valence: -0.5,
+            label: "informative",
+            weight: 0.7,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "ads",
+            keywords: &["ads", "advertisements", "popups"],
+            templates: &[
+                "{p} shows too many {k} now",
+                "the {k} in {p} are out of control",
+            ],
+            valence: -0.6,
+            label: "informative",
+            weight: 0.6,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "sync issue",
+            keywords: &["sync", "syncing", "data cap", "backup"],
+            templates: &[
+                "{p} {k} fails between my devices",
+                "your phone sucksssss there goes my {k} because {p} apps suck",
+            ],
+            valence: -0.7,
+            label: "informative",
+            weight: 0.6,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "UI/UX",
+            keywords: &["interface", "layout", "buttons", "design", "taskbar"],
+            templates: &[
+                "the new {k} of {p} is confusing",
+                "{p} {k} changed and now nothing is where it was",
+            ],
+            valence: -0.3,
+            label: "informative",
+            weight: 0.9,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "reliability",
+            keywords: &["stable", "stability", "reliable"],
+            templates: &[
+                "please make {p} more {k}",
+                "{p} needs better {k} before new features",
+            ],
+            valence: -0.2,
+            label: "informative",
+            weight: 0.7,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "update problem",
+            keywords: &["update", "latest version", "patch"],
+            templates: &[
+                "the new {k} broke {p} completely",
+                "{p} worse after every {k}",
+            ],
+            valence: -0.6,
+            label: "informative",
+            weight: 0.9,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "troubleshooting help",
+            keywords: &["how do I", "help", "anyone know", "fix"],
+            templates: &[
+                "{k} make {p} stop doing this?",
+                "need {k} with {p} settings please",
+            ],
+            valence: -0.1,
+            label: "informative",
+            weight: 0.8,
+            window: None,
+            late_only: false,
+        },
+        // April-only topic: powers "which topics appeared in April but not
+        // May" questions.
+        TopicDef {
+            name: "april fools event",
+            keywords: &["april event", "seasonal skin", "limited event"],
+            templates: &[
+                "the {k} in {p} was hilarious",
+                "{p} {k} should stay all year",
+            ],
+            valence: 0.6,
+            label: "informative",
+            weight: 0.25,
+            window: Some(((2023, 4), (2023, 4))),
+            late_only: false,
+        },
+        // May-only topic for the reverse direction.
+        TopicDef {
+            name: "subscription price increase",
+            keywords: &["price increase", "subscription cost", "paywall"],
+            templates: &[
+                "{p} just announced a {k} and I am done",
+                "not paying the new {k} for {p}",
+            ],
+            valence: -0.8,
+            label: "informative",
+            weight: 0.25,
+            window: Some(((2023, 5), (2023, 5))),
+            late_only: false,
+        },
+        TopicDef {
+            name: "praise",
+            keywords: &["love", "amazing", "great job", "smooth"],
+            templates: &[
+                "{p} is {k} lately, keep it up",
+                "honestly {k} how well {p} works now",
+            ],
+            valence: 0.9,
+            label: "informative",
+            weight: 0.8,
+            window: None,
+            late_only: false,
+        },
+        // Non-informative chatter: no actionable content.
+        TopicDef {
+            name: "chitchat",
+            keywords: &["lol", "ok", "cool", "whatever", "hmm"],
+            templates: &[
+                "{k} {k}",
+                "just {k} using {p} I guess",
+                "{k}",
+                "me and {p} {k}",
+            ],
+            valence: 0.0,
+            label: "non-informative",
+            weight: 2.2,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "off-topic",
+            keywords: &["dinner", "weather", "weekend", "football game"],
+            templates: &[
+                "thinking about {k} while {p} loads",
+                "what a {k} today huh",
+            ],
+            valence: 0.1,
+            label: "non-informative",
+            weight: 1.4,
+            window: None,
+            late_only: false,
+        },
+        // ---- emerging late-period topics (distribution drift) ----
+        TopicDef {
+            name: "login outage",
+            keywords: &["outage", "servers down", "login broken worldwide", "cant sign in anywhere"],
+            templates: &[
+                "{p} servers down again, total {k}",
+                "is {p} down? {k} for everyone right now",
+                "massive {k} hitting {p} users",
+            ],
+            valence: -0.8,
+            label: "informative",
+            weight: 2.3,
+            window: None,
+            late_only: true,
+        },
+        TopicDef {
+            name: "slang complaints",
+            keywords: &["cooked", "borked", "janky", "buggin"],
+            templates: &[
+                "{p} is straight {k} after the update",
+                "my {p} been {k} all week fr",
+                "nah {p} is {k} rn",
+            ],
+            valence: -0.7,
+            label: "informative",
+            weight: 2.1,
+            window: None,
+            late_only: true,
+        },
+        TopicDef {
+            name: "viral trend chatter",
+            keywords: &["viral", "trend", "ratio", "fyp", "mid"],
+            templates: &[
+                "this {p} {k} is everywhere",
+                "{k} {k} {p} moment",
+                "caught the {p} {k} on my feed",
+            ],
+            valence: 0.1,
+            label: "non-informative",
+            weight: 2.1,
+            window: None,
+            late_only: true,
+        },
+        TopicDef {
+            name: "sticker pack hype",
+            keywords: &["sticker pack", "new stickers", "emoji drop"],
+            templates: &[
+                "the new {k} in {p} goes hard",
+                "obsessed with the {p} {k}",
+            ],
+            valence: 0.6,
+            label: "non-informative",
+            weight: 1.6,
+            window: None,
+            late_only: true,
+        },
+    ];
+    DatasetSpec {
+        kind: DatasetKind::GoogleStoreApp,
+        topics,
+        products: &[
+            "WhatsApp", "Windows", "Minecraft", "Instagram", "CallofDuty", "Android",
+            "Steam", "Epic", "SwiftKey", "Facebook", "Temple Run 2", "Tap Fish",
+        ],
+        product_weights: &[1.6, 1.6, 1.3, 1.3, 1.0, 1.2, 0.7, 0.5, 0.6, 1.0, 0.6, 0.4],
+        start: CivilDateTime::date(2023, 4, 1),
+        end: CivilDateTime::date(2023, 5, 31),
+        label_noise: 0.06,
+        multi_topic_prob: 0.30,
+        typo_prob: 0.22,
+        emoji_prob: 0.25,
+        url_prob: 0.03,
+        languages: &[("en", 1.0)],
+        late_languages: &[],
+        timezones: &[
+            ("Eastern Time (US & Canada)", 2.2),
+            ("Pacific Time (US & Canada)", 1.8),
+            ("Central Time (US & Canada)", 1.4),
+            ("London", 1.0),
+            ("Berlin", 0.6),
+            ("Tokyo", 0.5),
+            ("Sydney", 0.4),
+            ("New Delhi", 0.7),
+            ("Sao Paulo", 0.4),
+            ("Quito", 0.08),
+            ("Kathmandu", 0.05),
+        ],
+        countries: &[("us", 3.0), ("gb", 1.0), ("de", 0.5), ("in", 0.7), ("br", 0.4), ("jp", 0.4)],
+        user_levels: &[],
+        positions: &[],
+        surge_day: Some(CivilDateTime::date(2023, 5, 10)),
+        surge_topic: "bug",
+        surge_fraction: 0.012,
+    }
+}
+
+fn forum_spec() -> DatasetSpec {
+    // Labels follow the ForumPost dataset's requirement-engineering
+    // categories (top-10 + "others", per the paper's Table 2 setup).
+    let topics = vec![
+        TopicDef {
+            name: "UI/UX",
+            keywords: &["taskbar", "toolbar", "button", "menu", "interface"],
+            templates: &[
+                "A {k} item is created and takes up space in the {k}.",
+                "The {k} in {p} is misaligned after resizing.",
+                "Clicking the {k} does nothing in {p}.",
+            ],
+            valence: -0.4,
+            label: "apparent bug",
+            weight: 1.2,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "crash",
+            keywords: &["crash", "segfault", "freeze", "hang"],
+            templates: &[
+                "{p} {k} when seeking in large files.",
+                "Every playlist load ends in a {k} on {p}.",
+            ],
+            valence: -0.8,
+            label: "apparent bug",
+            weight: 1.0,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "spell checking feature",
+            keywords: &["spell check", "dictionary", "autocorrect"],
+            templates: &[
+                "I have followed these instructions but I still dont get {k} as I write.",
+                "How do I enable {k} in {p}?",
+            ],
+            valence: -0.2,
+            label: "user setup",
+            weight: 0.7,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "installation issue",
+            keywords: &["install", "installer", "setup", "msi package"],
+            templates: &[
+                "The {k} fails at 90 percent on {p}.",
+                "Cannot {k} {p} on my machine, permission denied.",
+            ],
+            valence: -0.5,
+            label: "user setup",
+            weight: 1.0,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "software configuration",
+            keywords: &["config", "preferences", "settings file", "advanced options"],
+            templates: &[
+                "Where are the {k} stored for {p}?",
+                "Need help with {k} to make {p} remember window size.",
+            ],
+            valence: -0.1,
+            label: "application guidance",
+            weight: 1.0,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "plugin issue",
+            keywords: &["plugin", "extension", "addon", "codec pack"],
+            templates: &[
+                "The {k} stopped working after updating {p}.",
+                "Which {k} do I need for this format in {p}?",
+            ],
+            valence: -0.4,
+            label: "questions on functionality",
+            weight: 0.9,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "video playback",
+            keywords: &["playback", "video stutter", "subtitles", "codec"],
+            templates: &[
+                "{k} is choppy in {p} with 4k files.",
+                "{p} shows green artifacts during {k}.",
+            ],
+            valence: -0.5,
+            label: "apparent bug",
+            weight: 1.0,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "audio issue",
+            keywords: &["audio", "sound delay", "volume", "mute"],
+            templates: &[
+                "No {k} on {p} after the last update.",
+                "{k} is out of sync in {p}.",
+            ],
+            valence: -0.5,
+            label: "apparent bug",
+            weight: 0.8,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "performance",
+            keywords: &["slow", "memory usage", "cpu", "loads pages without delay"],
+            templates: &[
+                "Chrome {k} on this computer.",
+                "{p} uses too much {k} with many tabs.",
+            ],
+            valence: -0.3,
+            label: "dissatisfaction",
+            weight: 0.9,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "feature request",
+            keywords: &["feature", "shortcut", "dark theme", "export option"],
+            templates: &[
+                "Please consider adding a {k} to {p}.",
+                "{p} would be perfect with a {k}.",
+            ],
+            valence: 0.2,
+            label: "feature request",
+            weight: 1.0,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "requesting more information",
+            keywords: &["more information", "logs", "version number", "steps to reproduce"],
+            templates: &[
+                "Can you post the {k} so we can diagnose?",
+                "Please provide {k} about your {p} setup.",
+            ],
+            valence: 0.0,
+            label: "requesting more information",
+            weight: 1.0,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "application guidance",
+            keywords: &["guide", "documentation", "tutorial", "wiki page"],
+            templates: &[
+                "See the {k} for configuring {p} streaming.",
+                "The {k} explains the {p} equalizer settings.",
+            ],
+            valence: 0.2,
+            label: "application guidance",
+            weight: 0.9,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "user error",
+            keywords: &["wrong folder", "misread", "my mistake", "overlooked"],
+            templates: &[
+                "Turns out it was {k}, sorry for the noise.",
+                "I {k} the option, {p} works fine.",
+            ],
+            valence: 0.1,
+            label: "user error",
+            weight: 0.6,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "help seeking",
+            keywords: &["any ideas", "assistance", "stuck"],
+            templates: &[
+                "I am {k} with {p}, {k} appreciated.",
+                "Still {k} after trying everything on {p}.",
+            ],
+            valence: -0.3,
+            label: "help seeking",
+            weight: 0.8,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "acknowledgement",
+            keywords: &["thanks", "that worked", "solved", "appreciate"],
+            templates: &[
+                "{k}! The {p} fix did it.",
+                "Marking as {k}, {k} everyone.",
+            ],
+            valence: 0.8,
+            label: "acknowledgement",
+            weight: 0.7,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "bookmarks",
+            keywords: &["bookmarks", "bookmarks toolbar", "favorites"],
+            templates: &[
+                "Add {k} back to the {p} menu please.",
+                "My {k} vanished after sync in {p}.",
+            ],
+            valence: -0.3,
+            label: "others",
+            weight: 0.4,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "security",
+            keywords: &["certificate", "self signed certificate", "https warning"],
+            templates: &[
+                "{p} rejects the {k} on my intranet.",
+                "How to trust a {k} in {p}?",
+            ],
+            valence: -0.3,
+            label: "others",
+            weight: 0.4,
+            window: None,
+            late_only: false,
+        },
+        // ---- emerging late-period topics (distribution drift) ----
+        TopicDef {
+            name: "hardware acceleration issue",
+            keywords: &["hardware acceleration", "gpu decoding", "rendering artifacts"],
+            templates: &[
+                "Enabling {k} makes {p} show garbage frames.",
+                "{p} flickers with {k} turned on.",
+            ],
+            valence: -0.5,
+            label: "apparent bug",
+            weight: 1.7,
+            window: None,
+            late_only: true,
+        },
+        TopicDef {
+            name: "extension signing problem",
+            keywords: &["extension signing", "addon disabled", "unsigned extension"],
+            templates: &[
+                "All my addons got disabled by {k} in {p}.",
+                "How do I bypass {k} on {p}?",
+            ],
+            valence: -0.4,
+            label: "questions on functionality",
+            weight: 1.5,
+            window: None,
+            late_only: true,
+        },
+        TopicDef {
+            name: "telemetry concern",
+            keywords: &["telemetry", "data collection", "privacy toggle"],
+            templates: &[
+                "Where is the {k} switch in {p} now?",
+                "{p} re-enabled {k} after updating.",
+            ],
+            valence: -0.3,
+            label: "user setup",
+            weight: 1.4,
+            window: None,
+            late_only: true,
+        },
+    ];
+    DatasetSpec {
+        kind: DatasetKind::ForumPost,
+        topics,
+        products: &["VLC", "Firefox"],
+        product_weights: &[1.2, 1.0],
+        start: CivilDateTime::date(2022, 1, 1),
+        end: CivilDateTime::date(2023, 6, 30),
+        label_noise: 0.08,
+        multi_topic_prob: 0.25,
+        typo_prob: 0.16,
+        emoji_prob: 0.02,
+        url_prob: 0.18,
+        languages: &[("en", 1.0)],
+        late_languages: &[],
+        timezones: &[("London", 1.0), ("Eastern Time (US & Canada)", 1.0), ("Berlin", 0.8)],
+        countries: &[("us", 1.5), ("gb", 1.0), ("de", 0.8), ("fr", 0.6)],
+        user_levels: &[
+            ("new cone", 2.0),
+            ("big cone-huna", 0.7),
+            ("cone master", 0.5),
+            ("regular", 1.3),
+            ("moderator", 0.3),
+        ],
+        positions: &[("original post", 1.0), ("reply", 1.6), ("follow-up", 0.5)],
+        surge_day: Some(CivilDateTime::date(2022, 9, 15)),
+        surge_topic: "crash",
+        surge_fraction: 0.01,
+    }
+}
+
+fn msearch_spec() -> DatasetSpec {
+    let topics = vec![
+        TopicDef {
+            name: "unhelpful or irrelevant results",
+            keywords: &["irrelevant results", "not what I asked", "useless links", "wrong results"],
+            templates: &[
+                "not gives what im asking for",
+                "the search shows {k} every time",
+                "{k} for even simple queries",
+            ],
+            valence: -0.7,
+            label: "actionable",
+            weight: 1.6,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "incorrect or wrong information",
+            keywords: &["wrong information", "incorrect answer", "wrong car model", "outdated facts"],
+            templates: &[
+                "It is not the model of machine that I have indicated.",
+                "{k} in the answer box again",
+                "the summary contains {k}",
+            ],
+            valence: -0.7,
+            label: "actionable",
+            weight: 1.4,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "AI mistake",
+            keywords: &["Bing AI", "chat answer wrong", "AI hallucination", "assistant error"],
+            templates: &[
+                "{k} made up a citation",
+                "the {k} contradicted itself twice",
+                "asked {k} a question and got nonsense",
+            ],
+            valence: -0.6,
+            label: "actionable",
+            weight: 1.2,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "AI image generation problem",
+            keywords: &["image generation", "generated image", "image creator"],
+            templates: &[
+                "the {k} ignores half my prompt",
+                "{k} produces distorted hands",
+            ],
+            valence: -0.5,
+            label: "actionable",
+            weight: 0.8,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "slow performance",
+            keywords: &["slow", "takes forever", "timeout"],
+            templates: &[
+                "search is {k} today",
+                "results page {k} to load",
+            ],
+            valence: -0.5,
+            label: "actionable",
+            weight: 0.9,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "image search problem",
+            keywords: &["image search", "misspelled image", "thumbnails"],
+            templates: &[
+                "{k} returns unrelated pictures",
+                "the {k} are broken squares",
+            ],
+            valence: -0.5,
+            label: "actionable",
+            weight: 0.7,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "translation issue",
+            keywords: &["translation", "wrong language", "mistranslated"],
+            templates: &[
+                "the {k} of my query is wrong",
+                "results come back in the {k}",
+            ],
+            valence: -0.4,
+            label: "actionable",
+            weight: 0.6,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "ads",
+            keywords: &["ads", "sponsored links", "promoted results"],
+            templates: &[
+                "too many {k} above the real results",
+                "first page is all {k}",
+            ],
+            valence: -0.6,
+            label: "actionable",
+            weight: 0.7,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "UI issue",
+            keywords: &["layout", "filters missing", "settings menu"],
+            templates: &[
+                "the new {k} hides the tools I use",
+                "{k} on mobile is unusable",
+            ],
+            valence: -0.4,
+            label: "actionable",
+            weight: 0.7,
+            window: None,
+            late_only: false,
+        },
+        // October-only topic.
+        TopicDef {
+            name: "rewards program confusion",
+            keywords: &["rewards points", "redeem points"],
+            templates: &[
+                "my {k} disappeared this week",
+                "cannot {k} since the redesign",
+            ],
+            valence: -0.4,
+            label: "actionable",
+            weight: 0.3,
+            window: Some(((2023, 10), (2023, 10))),
+            late_only: false,
+        },
+        // November-only topic.
+        TopicDef {
+            name: "holiday shopping results",
+            keywords: &["shopping results", "price comparison", "deals tab"],
+            templates: &[
+                "the {k} show sold out items",
+                "{k} is missing major stores",
+            ],
+            valence: -0.3,
+            label: "actionable",
+            weight: 0.3,
+            window: Some(((2023, 11), (2023, 11))),
+            late_only: false,
+        },
+        TopicDef {
+            name: "praise",
+            keywords: &["love the results", "fast and accurate", "helpful summary"],
+            templates: &[
+                "{k} today, thanks",
+                "honestly {k} lately",
+            ],
+            valence: 0.8,
+            label: "non-actionable",
+            weight: 2.0,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "others",
+            keywords: &["whatever", "just testing", "asdf", "hello"],
+            templates: &[
+                "{k}",
+                "{k} {k}",
+            ],
+            valence: 0.0,
+            label: "non-actionable",
+            weight: 2.8,
+            window: None,
+            late_only: false,
+        },
+        TopicDef {
+            name: "vague complaint",
+            keywords: &["bad", "terrible", "hate this", "do better"],
+            templates: &[
+                "{k}",
+                "this is {k}",
+                "{k} {k} {k}",
+            ],
+            valence: -0.8,
+            label: "non-actionable",
+            weight: 2.4,
+            window: None,
+            late_only: false,
+        },
+        // ---- emerging late-period topics (distribution drift) ----
+        TopicDef {
+            name: "greetings and small talk",
+            keywords: &["good morning", "merry xmas", "happy holidays", "just saying hi"],
+            templates: &[
+                "{k} everyone",
+                "{k} to the team",
+                "{k}",
+            ],
+            valence: 0.4,
+            label: "non-actionable",
+            weight: 2.0,
+            window: None,
+            late_only: true,
+        },
+        TopicDef {
+            name: "voice search errors",
+            keywords: &["voice search", "speech recognition", "microphone input"],
+            templates: &[
+                "{k} hears me wrong every time",
+                "the {k} button stopped responding",
+            ],
+            valence: -0.5,
+            label: "actionable",
+            weight: 1.5,
+            window: None,
+            late_only: true,
+        },
+    ];
+    DatasetSpec {
+        kind: DatasetKind::MSearch,
+        topics,
+        products: &["Search"],
+        product_weights: &[1.0],
+        start: CivilDateTime::date(2023, 10, 1),
+        end: CivilDateTime::date(2023, 11, 30),
+        label_noise: 0.10,
+        multi_topic_prob: 0.20,
+        typo_prob: 0.40,
+        emoji_prob: 0.08,
+        url_prob: 0.02,
+        languages: &[("en", 3.4), ("de", 0.5), ("es", 0.7), ("fr", 0.4), ("pt", 0.4)],
+        late_languages: &[("en", 0.55), ("de", 0.8), ("es", 1.0), ("fr", 0.7), ("pt", 0.7)],
+        timezones: &[("UTC", 1.0)],
+        countries: &[
+            ("us", 2.2),
+            ("gb", 0.8),
+            ("de", 0.7),
+            ("es", 0.6),
+            ("mx", 0.5),
+            ("fr", 0.5),
+            ("br", 0.6),
+            ("in", 0.5),
+            ("ca", 0.4),
+            ("au", 0.3),
+            ("jp", 0.15),
+            ("kr", 0.08),
+            ("nl", 0.07),
+        ],
+        user_levels: &[],
+        positions: &[],
+        surge_day: Some(CivilDateTime::date(2023, 11, 7)),
+        surge_topic: "AI mistake",
+        surge_fraction: 0.012,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_sets_match_paper() {
+        let g = spec_for(DatasetKind::GoogleStoreApp);
+        assert_eq!(g.label_names(), vec!["informative", "non-informative"]);
+        let m = spec_for(DatasetKind::MSearch);
+        assert_eq!(m.label_names(), vec!["actionable", "non-actionable"]);
+        let f = spec_for(DatasetKind::ForumPost);
+        let labels = f.label_names();
+        assert_eq!(labels.len(), 11, "10 RE categories + others, got {labels:?}");
+        assert!(labels.contains(&"others"));
+        assert!(labels.contains(&"apparent bug"));
+    }
+
+    #[test]
+    fn weights_align_with_products() {
+        for kind in DatasetKind::all() {
+            let s = spec_for(kind);
+            assert_eq!(s.products.len(), s.product_weights.len());
+            assert!(s.topics.iter().all(|t| t.weight > 0.0));
+            assert!(!s.topics.is_empty());
+        }
+    }
+
+    #[test]
+    fn windowed_topics_exist() {
+        let g = spec_for(DatasetKind::GoogleStoreApp);
+        assert!(g.topics.iter().any(|t| t.window.is_some()));
+        let m = spec_for(DatasetKind::MSearch);
+        let oct_only = m.topics.iter().find(|t| t.name == "rewards program confusion").unwrap();
+        assert_eq!(oct_only.window, Some(((2023, 10), (2023, 10))));
+    }
+
+    #[test]
+    fn surge_topics_are_defined_topics() {
+        for kind in DatasetKind::all() {
+            let s = spec_for(kind);
+            assert!(s.topic_names().contains(&s.surge_topic));
+        }
+    }
+}

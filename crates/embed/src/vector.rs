@@ -1,0 +1,161 @@
+//! Dense embedding vector with the similarity kernels the workspace needs.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `f32` vector. Produced by the embedders; consumed by the vector
+/// database, clustering, and coherence metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Embedding(Vec<f32>);
+
+impl Embedding {
+    /// Wrap a raw vector.
+    pub fn new(values: Vec<f32>) -> Self {
+        Embedding(values)
+    }
+
+    /// A zero vector of dimension `dims`.
+    pub fn zeros(dims: usize) -> Self {
+        Embedding(vec![0.0; dims])
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Borrow the raw values.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.0
+    }
+
+    /// Consume into the raw values.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.0
+    }
+
+    /// Dot product. Panics if dimensions differ.
+    pub fn dot(&self, other: &Embedding) -> f32 {
+        assert_eq!(self.dims(), other.dims(), "dimension mismatch");
+        self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Cosine similarity in [-1, 1]; 0 when either vector is zero.
+    pub fn cosine(&self, other: &Embedding) -> f32 {
+        let denom = self.norm() * other.norm();
+        if denom <= f32::EPSILON {
+            0.0
+        } else {
+            (self.dot(other) / denom).clamp(-1.0, 1.0)
+        }
+    }
+
+    /// Squared Euclidean distance.
+    pub fn sq_dist(&self, other: &Embedding) -> f32 {
+        assert_eq!(self.dims(), other.dims(), "dimension mismatch");
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Normalize in place to unit length (no-op for the zero vector).
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > f32::EPSILON {
+            for v in &mut self.0 {
+                *v /= n;
+            }
+        }
+    }
+
+    /// `self += scale * other`.
+    pub fn add_scaled(&mut self, other: &Embedding, scale: f32) {
+        assert_eq!(self.dims(), other.dims(), "dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += scale * b;
+        }
+    }
+
+    /// Element-wise mean of `vectors`; `None` if the slice is empty.
+    pub fn mean(vectors: &[Embedding]) -> Option<Embedding> {
+        let first = vectors.first()?;
+        let mut acc = Embedding::zeros(first.dims());
+        for v in vectors {
+            acc.add_scaled(v, 1.0);
+        }
+        let inv = 1.0 / vectors.len() as f32;
+        for x in &mut acc.0 {
+            *x *= inv;
+        }
+        Some(acc)
+    }
+}
+
+impl From<Vec<f32>> for Embedding {
+    fn from(v: Vec<f32>) -> Self {
+        Embedding(v)
+    }
+}
+
+impl AsRef<[f32]> for Embedding {
+    fn as_ref(&self) -> &[f32] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(v: &[f32]) -> Embedding {
+        Embedding::new(v.to_vec())
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(e(&[3.0, 4.0]).norm(), 5.0);
+        assert_eq!(e(&[1.0, 2.0]).dot(&e(&[3.0, 4.0])), 11.0);
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let a = e(&[1.0, 0.0]);
+        assert!((a.cosine(&e(&[1.0, 0.0])) - 1.0).abs() < 1e-6);
+        assert!((a.cosine(&e(&[-1.0, 0.0])) + 1.0).abs() < 1e-6);
+        assert_eq!(a.cosine(&e(&[0.0, 0.0])), 0.0);
+    }
+
+    #[test]
+    fn normalize_unit() {
+        let mut v = e(&[3.0, 4.0]);
+        v.normalize();
+        assert!((v.norm() - 1.0).abs() < 1e-6);
+        let mut z = e(&[0.0, 0.0]);
+        z.normalize(); // must not NaN
+        assert_eq!(z.norm(), 0.0);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let m = Embedding::mean(&[e(&[0.0, 2.0]), e(&[2.0, 0.0])]).unwrap();
+        assert_eq!(m.as_slice(), &[1.0, 1.0]);
+        assert!(Embedding::mean(&[]).is_none());
+    }
+
+    #[test]
+    fn sq_dist() {
+        assert_eq!(e(&[0.0, 0.0]).sq_dist(&e(&[3.0, 4.0])), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_dim_mismatch_panics() {
+        e(&[1.0]).dot(&e(&[1.0, 2.0]));
+    }
+}

@@ -1,0 +1,166 @@
+//! The free-style QA benchmark harness (paper Sec. 4.4): run all 90
+//! questions through the agent for a model tier, judge every answer, and
+//! aggregate by dataset / question type / difficulty.
+
+use crate::judges::{gold_outputs, judge, Scores};
+use allhands_agent::{AgentConfig, QaAgent};
+use allhands_dataframe::DataFrame;
+use allhands_datasets::{
+    dataset_frame, generate, questions_for, DatasetKind, Difficulty, QuestionType,
+};
+use allhands_llm::{ModelSpec, ModelTier, SimLlm};
+
+/// One judged question.
+#[derive(Debug, Clone)]
+pub struct QuestionScore {
+    pub dataset: DatasetKind,
+    pub id: u32,
+    pub question: &'static str,
+    pub qtype: QuestionType,
+    pub difficulty: Difficulty,
+    pub scores: Scores,
+    /// The paper's reported scores for the GPT-4 agent.
+    pub paper_scores: (f64, f64, f64),
+    /// Code-generation attempts used.
+    pub attempts: u32,
+}
+
+/// Full benchmark result for one tier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkResult {
+    pub tier: ModelTier,
+    pub per_question: Vec<QuestionScore>,
+}
+
+/// Aggregated mean scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateScores {
+    pub comprehensiveness: f64,
+    pub correctness: f64,
+    pub readability: f64,
+    pub n: usize,
+}
+
+impl AggregateScores {
+    fn from_iter<'a, I: Iterator<Item = &'a QuestionScore>>(iter: I) -> Self {
+        let mut c = 0.0;
+        let mut k = 0.0;
+        let mut r = 0.0;
+        let mut n = 0usize;
+        for q in iter {
+            c += q.scores.comprehensiveness;
+            k += q.scores.correctness;
+            r += q.scores.readability;
+            n += 1;
+        }
+        let d = n.max(1) as f64;
+        AggregateScores { comprehensiveness: c / d, correctness: k / d, readability: r / d, n }
+    }
+}
+
+impl BenchmarkResult {
+    /// Overall means.
+    pub fn overall(&self) -> AggregateScores {
+        AggregateScores::from_iter(self.per_question.iter())
+    }
+
+    /// Means for one dataset.
+    pub fn by_dataset(&self, kind: DatasetKind) -> AggregateScores {
+        AggregateScores::from_iter(self.per_question.iter().filter(|q| q.dataset == kind))
+    }
+
+    /// Means for one question type.
+    pub fn by_type(&self, qtype: QuestionType) -> AggregateScores {
+        AggregateScores::from_iter(self.per_question.iter().filter(|q| q.qtype == qtype))
+    }
+
+    /// Means for one difficulty level.
+    pub fn by_difficulty(&self, level: Difficulty) -> AggregateScores {
+        AggregateScores::from_iter(self.per_question.iter().filter(|q| q.difficulty == level))
+    }
+}
+
+/// Run the benchmark for `tier` on `datasets`, generating each corpus at
+/// the paper size with `seed`. Pass a smaller `size_override` in tests.
+pub fn run_benchmark(
+    tier: ModelTier,
+    datasets: &[DatasetKind],
+    seed: u64,
+    size_override: Option<usize>,
+) -> BenchmarkResult {
+    let mut per_question = Vec::new();
+    for &kind in datasets {
+        let records = match size_override {
+            Some(n) => allhands_datasets::generate_n(kind, n, seed),
+            None => generate(kind, seed),
+        };
+        let frame: DataFrame = dataset_frame(kind, &records);
+        for q in questions_for(kind) {
+            // Fresh agent per question: the benchmark judges independent
+            // answers (follow-up behaviour is tested separately).
+            let mut agent = QaAgent::new(
+                SimLlm::new(ModelSpec::for_tier(tier)),
+                frame.clone(),
+                AgentConfig::default(),
+            );
+            let response = agent.ask(q.text);
+            let gold = gold_outputs(&q, &frame);
+            let scores = judge(&q, &response, &gold);
+            per_question.push(QuestionScore {
+                dataset: kind,
+                id: q.id,
+                question: q.text,
+                qtype: q.qtype,
+                difficulty: q.difficulty,
+                scores,
+                paper_scores: q.paper_scores,
+                attempts: response.attempts,
+            });
+        }
+    }
+    BenchmarkResult { tier, per_question }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_runs_on_small_corpus() {
+        let result = run_benchmark(
+            ModelTier::Gpt4,
+            &[DatasetKind::GoogleStoreApp],
+            42,
+            Some(600),
+        );
+        assert_eq!(result.per_question.len(), 30);
+        let overall = result.overall();
+        assert!(overall.correctness >= 1.0 && overall.correctness <= 5.0);
+        // The GPT-4 agent should be comfortably above the rubric midpoint.
+        assert!(
+            overall.correctness > 3.0,
+            "GPT-4 correctness too low: {:?}",
+            overall
+        );
+    }
+
+    #[test]
+    fn aggregations_partition_cleanly() {
+        let result = run_benchmark(
+            ModelTier::Gpt4,
+            &[DatasetKind::MSearch],
+            7,
+            Some(400),
+        );
+        let total: usize = [QuestionType::Analysis, QuestionType::Figure, QuestionType::Suggestion]
+            .iter()
+            .map(|&t| result.by_type(t).n)
+            .sum();
+        assert_eq!(total, 30);
+        let total: usize = [Difficulty::Easy, Difficulty::Medium, Difficulty::Hard]
+            .iter()
+            .map(|&d| result.by_difficulty(d).n)
+            .sum();
+        assert_eq!(total, 30);
+    }
+}

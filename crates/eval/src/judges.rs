@@ -1,0 +1,474 @@
+//! Programmatic judges for comprehensiveness / correctness / readability
+//! (paper Sec. 4.4.2 rubrics, graded 1–5).
+//!
+//! Substitution note: the paper recruits 10 data scientists; here each
+//! dimension is scored deterministically. Correctness is anchored to the
+//! *reference execution* — the question's gold AQL program run on the same
+//! frame — so "the answer contains errors in code, table, or image" becomes
+//! a measurable comparison instead of an opinion. Comprehensiveness checks
+//! output coverage and modality diversity ("utilizes diverse output
+//! modalities effectively"); readability checks structure, narration, and
+//! figure layout quality ("organization, language clarity, and the quality
+//! and presentation of images").
+
+use allhands_agent::Response;
+use allhands_dataframe::DataFrame;
+use allhands_datasets::{QuestionSpec, QuestionType};
+use allhands_query::{RtValue, Session, SessionLimits};
+
+/// Scores on the paper's three dimensions, each in [1.0, 5.0].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scores {
+    pub comprehensiveness: f64,
+    pub correctness: f64,
+    pub readability: f64,
+}
+
+impl Scores {
+    /// Mean of the three dimensions.
+    pub fn mean(&self) -> f64 {
+        (self.comprehensiveness + self.correctness + self.readability) / 3.0
+    }
+}
+
+/// Execute the question's reference AQL on `frame`, returning the gold
+/// outputs. Panics if the reference fails — the benchmark guarantees it
+/// runs (see `tests/reference_programs.rs`).
+pub fn gold_outputs(q: &QuestionSpec, frame: &DataFrame) -> Vec<RtValue> {
+    let mut session = Session::new(SessionLimits::default());
+    session.bind_frame("feedback", frame.clone());
+    let result = session.execute(q.reference_aql);
+    assert!(
+        result.error.is_none(),
+        "reference program for {:?} q{} failed: {:?}",
+        q.dataset,
+        q.id,
+        result.error
+    );
+    result.shown
+}
+
+/// Judge one response against the gold execution.
+pub fn judge(q: &QuestionSpec, response: &Response, gold: &[RtValue]) -> Scores {
+    let correctness = judge_correctness(q, response, gold);
+    let comprehensiveness = judge_comprehensiveness(q, response, gold);
+    let readability = judge_readability(response);
+    Scores { comprehensiveness, correctness, readability }
+}
+
+// ---- correctness ------------------------------------------------------------
+
+/// Similarity of two scalars in [0, 1] (relative tolerance for numerics).
+fn scalar_match(a: &allhands_dataframe::Value, b: &allhands_dataframe::Value) -> f64 {
+    use allhands_dataframe::Value;
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => {
+            let denom = x.abs().max(y.abs()).max(1e-9);
+            let rel = (x - y).abs() / denom;
+            if rel < 1e-6 {
+                1.0
+            } else if rel < 0.05 {
+                0.8
+            } else if rel < 0.25 {
+                0.4
+            } else {
+                0.0
+            }
+        }
+        _ => match (a, b) {
+            (Value::Str(x), Value::Str(y)) => {
+                if x.eq_ignore_ascii_case(y) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            _ => {
+                if a.loose_eq(b) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        },
+    }
+}
+
+/// Canonical row signature of the first rows of a frame.
+fn row_signatures(f: &DataFrame, n: usize) -> Vec<String> {
+    (0..f.n_rows().min(n))
+        .map(|r| {
+            f.columns()
+                .iter()
+                .map(|c| {
+                    // Round floats so tiny numeric noise doesn't break rows.
+                    match c.get(r).as_f64() {
+                        Some(v) => format!("{:.3}", v),
+                        None => c.get(r).to_string().to_lowercase(),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\u{1}")
+        })
+        .collect()
+}
+
+/// Similarity of two frames in [0, 1]: overlap of their leading row
+/// signatures (the "is the top answer the same" check).
+fn frame_match(a: &DataFrame, b: &DataFrame) -> f64 {
+    if a.n_rows() == 0 && b.n_rows() == 0 {
+        return 1.0;
+    }
+    let sa = row_signatures(a, 5);
+    let sb = row_signatures(b, 5);
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.iter().filter(|s| sb.contains(s)).count();
+    let denom = sa.len().max(sb.len());
+    inter as f64 / denom as f64
+}
+
+/// Similarity of two figures in [0, 1]: kind, label overlap, series count.
+fn figure_match(a: &allhands_query::FigureSpec, b: &allhands_query::FigureSpec) -> f64 {
+    let mut score: f64 = 0.0;
+    if a.kind == b.kind {
+        score += 0.3;
+    }
+    let la: Vec<String> = a.x_labels.iter().map(|l| l.to_lowercase()).collect();
+    let lb: Vec<String> = b.x_labels.iter().map(|l| l.to_lowercase()).collect();
+    if !la.is_empty() && !lb.is_empty() {
+        let inter = la.iter().filter(|l| lb.contains(l)).count();
+        score += 0.5 * inter as f64 / la.len().max(lb.len()) as f64;
+    }
+    if a.series.len() == b.series.len() {
+        score += 0.2;
+    }
+    score.min(1.0)
+}
+
+fn value_match(agent: &RtValue, gold: &RtValue) -> f64 {
+    match (agent, gold) {
+        (RtValue::Scalar(a), RtValue::Scalar(g)) => scalar_match(a, g),
+        (RtValue::Frame(a), RtValue::Frame(g)) => frame_match(a, g),
+        (RtValue::Figure(a), RtValue::Figure(g)) => figure_match(a, g),
+        // A one-row frame can legitimately answer a scalar question.
+        (RtValue::Frame(a), RtValue::Scalar(g)) | (RtValue::Scalar(g), RtValue::Frame(a))
+            if a.n_rows() == 1 =>
+        {
+            (0..a.n_cols())
+                .map(|c| scalar_match(&a.columns()[c].get(0), g))
+                .fold(0.0, f64::max)
+        }
+        _ => 0.0,
+    }
+}
+
+fn judge_correctness(q: &QuestionSpec, response: &Response, gold: &[RtValue]) -> f64 {
+    if response.error.is_some() {
+        return 1.0;
+    }
+    if q.qtype == QuestionType::Suggestion {
+        // Suggestion answers are judged by whether the recommendations are
+        // grounded in the gold statistics (topic names mentioned).
+        let text = response.text_content().to_lowercase();
+        let mut expected: Vec<String> = Vec::new();
+        for g in gold {
+            if let RtValue::Frame(f) = g {
+                if let Ok(col) = f.column("topics") {
+                    for r in 0..f.n_rows().min(5) {
+                        expected.push(col.get(r).to_string().to_lowercase());
+                    }
+                }
+            }
+        }
+        if expected.is_empty() {
+            return 3.0;
+        }
+        let hit = expected.iter().filter(|t| text.contains(*t)).count();
+        let frac = hit as f64 / expected.len() as f64;
+        return 1.0 + 4.0 * frac;
+    }
+
+    if gold.is_empty() {
+        return 3.0;
+    }
+    // Greedy best-match of each gold output against the agent outputs.
+    let mut total = 0.0;
+    for g in gold {
+        let best = response
+            .shown
+            .iter()
+            .map(|a| value_match(a, g))
+            .fold(0.0, f64::max);
+        total += best;
+    }
+    let frac = total / gold.len() as f64;
+    match frac {
+        f if f >= 0.95 => 5.0,
+        f if f >= 0.70 => 4.0,
+        f if f >= 0.45 => 3.0,
+        f if f >= 0.20 => 2.0,
+        _ => 1.0,
+    }
+}
+
+// ---- comprehensiveness --------------------------------------------------------
+
+fn judge_comprehensiveness(q: &QuestionSpec, response: &Response, gold: &[RtValue]) -> f64 {
+    if response.error.is_some() {
+        return 1.0;
+    }
+    let mut score = 1.5f64;
+    // Covers all relevant aspects: every gold output needs a recognizable
+    // counterpart in the answer (an output that is silently wrong does not
+    // "cover" its aspect).
+    if !gold.is_empty() {
+        let covered = gold
+            .iter()
+            .filter(|g| {
+                response
+                    .shown
+                    .iter()
+                    .any(|a| value_match(a, g) >= 0.3)
+            })
+            .count();
+        score += 1.5 * covered as f64 / gold.len() as f64;
+    } else {
+        score += 1.0;
+    }
+    // Modality expectations.
+    let modalities = response.modalities();
+    if modalities.contains(&"text") {
+        score += 0.5;
+    }
+    match q.qtype {
+        QuestionType::Figure => {
+            if modalities.contains(&"figure") {
+                score += 1.0;
+            } else {
+                score -= 1.5;
+            }
+        }
+        QuestionType::Analysis => {
+            if modalities.contains(&"table") || response.shown.iter().any(|v| matches!(v, RtValue::Scalar(_))) {
+                score += 1.0;
+            }
+        }
+        QuestionType::Suggestion => {
+            let recs = response
+                .text_content()
+                .lines()
+                .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+                .count();
+            if recs >= 3 {
+                score += 1.0;
+            } else if recs >= 1 {
+                score += 0.5;
+            } else {
+                score -= 1.0;
+            }
+        }
+    }
+    // Including the code adds insight (the paper's agent returns it).
+    if modalities.contains(&"code") {
+        score += 0.5;
+    }
+    score.clamp(1.0, 5.0)
+}
+
+// ---- readability ---------------------------------------------------------------
+
+fn judge_readability(response: &Response) -> f64 {
+    if response.error.is_some() {
+        // Failure messages are still readable text.
+        return 2.0;
+    }
+    let mut score = 5.0f64;
+    // A narrated summary must lead the answer.
+    let leads_with_text = matches!(
+        response.items.first(),
+        Some(allhands_agent::ResponseItem::Text(t)) if !t.trim().is_empty()
+    );
+    if !leads_with_text {
+        score -= 1.5;
+    }
+    // Figure layout quality (the paper notes figure answers lose
+    // readability to crowded layouts / tiny fonts).
+    for fig in response.figures() {
+        let q = fig.layout_quality();
+        score -= (1.0 - q) * 1.5;
+    }
+    // Overlong tables hurt scanability.
+    for table in response.tables() {
+        if table.lines().count() > 25 {
+            score -= 0.5;
+        }
+    }
+    // Walls of text hurt too.
+    let text = response.text_content();
+    if text.lines().any(|l| l.chars().count() > 300) {
+        score -= 0.5;
+    }
+    score.clamp(1.0, 5.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allhands_agent::ResponseItem;
+    use allhands_dataframe::{Column, Value};
+    use allhands_datasets::{questions_for, DatasetKind};
+    use allhands_query::{FigureKind, FigureSpec, Series};
+
+    fn question(idx: usize) -> QuestionSpec {
+        questions_for(DatasetKind::GoogleStoreApp)[idx].clone()
+    }
+
+    fn response_with(shown: Vec<RtValue>, items: Vec<ResponseItem>) -> Response {
+        Response {
+            items,
+            shown,
+            plan: vec!["analyze".into()],
+            code: "show(1)".into(),
+            attempts: 1,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn exact_scalar_answer_scores_five() {
+        let q = question(6); // average sentiment
+        let gold = vec![RtValue::Scalar(Value::Float(0.25))];
+        let r = response_with(
+            vec![RtValue::Scalar(Value::Float(0.25))],
+            vec![
+                ResponseItem::Text("Answer: 0.25.".into()),
+                ResponseItem::Code("show(feedback.mean(\"sentiment\"))".into()),
+            ],
+        );
+        let s = judge(&q, &r, &gold);
+        assert_eq!(s.correctness, 5.0);
+        assert!(s.readability >= 4.0);
+    }
+
+    #[test]
+    fn wrong_scalar_scores_low() {
+        let q = question(6);
+        let gold = vec![RtValue::Scalar(Value::Float(0.25))];
+        let r = response_with(
+            vec![RtValue::Scalar(Value::Float(-0.9))],
+            vec![ResponseItem::Text("Answer: -0.9.".into())],
+        );
+        assert!(judge(&q, &r, &gold).correctness <= 2.0);
+    }
+
+    #[test]
+    fn error_responses_floor_scores() {
+        let q = question(0);
+        let r = Response {
+            items: vec![ResponseItem::Text("failed".into())],
+            shown: vec![],
+            plan: vec![],
+            code: String::new(),
+            attempts: 4,
+            error: Some("boom".into()),
+        };
+        let s = judge(&q, &r, &[]);
+        assert_eq!(s.correctness, 1.0);
+        assert_eq!(s.comprehensiveness, 1.0);
+        assert_eq!(s.readability, 2.0);
+    }
+
+    #[test]
+    fn figure_question_wants_figure() {
+        let q = question(26); // issue river
+        let fig = FigureSpec::new(
+            FigureKind::IssueRiver,
+            "Issue river: top 7 topics",
+            vec!["W1".into()],
+            vec![Series { name: "bug".into(), values: vec![1.0] }],
+        );
+        let with_fig = response_with(
+            vec![RtValue::Figure(fig.clone())],
+            vec![
+                ResponseItem::Text("figure below".into()),
+                ResponseItem::Figure(fig.clone()),
+            ],
+        );
+        let without_fig = response_with(
+            vec![RtValue::Scalar(Value::Int(7))],
+            vec![ResponseItem::Text("7".into())],
+        );
+        let gold = vec![RtValue::Figure(fig)];
+        assert!(
+            judge(&q, &with_fig, &gold).comprehensiveness
+                > judge(&q, &without_fig, &gold).comprehensiveness
+        );
+    }
+
+    #[test]
+    fn crowded_figures_hurt_readability() {
+        let q = question(26);
+        let crowded = FigureSpec::new(
+            FigureKind::Bar,
+            "",
+            (0..30).map(|i| format!("extremely long label {i}")).collect(),
+            vec![Series { name: "c".into(), values: vec![1.0; 30] }],
+        );
+        let clean = FigureSpec::new(
+            FigureKind::Bar,
+            "Counts",
+            vec!["a".into(), "b".into()],
+            vec![Series { name: "c".into(), values: vec![1.0, 2.0] }],
+        );
+        let mk = |f: FigureSpec| {
+            response_with(
+                vec![RtValue::Figure(f.clone())],
+                vec![ResponseItem::Text("t".into()), ResponseItem::Figure(f)],
+            )
+        };
+        assert!(
+            judge(&q, &mk(clean), &[]).readability > judge(&q, &mk(crowded), &[]).readability
+        );
+    }
+
+    #[test]
+    fn suggestion_grounded_in_gold_topics() {
+        let q = questions_for(DatasetKind::GoogleStoreApp)[28].clone(); // improve Android
+        let gold_frame = DataFrame::new(vec![
+            Column::from_strs("topics", &["crash", "battery drain"]),
+            Column::from_i64s("count", &[40, 12]),
+        ])
+        .unwrap();
+        let gold = vec![RtValue::Frame(gold_frame)];
+        let grounded = response_with(
+            vec![],
+            vec![ResponseItem::Text(
+                "1. crash (40 mentions): fix it\n2. battery drain (12 mentions): measure it".into(),
+            )],
+        );
+        let vague = response_with(
+            vec![],
+            vec![ResponseItem::Text("make the app better please".into())],
+        );
+        assert!(
+            judge(&q, &grounded, &gold).correctness > judge(&q, &vague, &gold).correctness
+        );
+    }
+
+    #[test]
+    fn frame_match_tolerates_numeric_noise() {
+        let a = DataFrame::new(vec![
+            Column::from_strs("topics", &["bug"]),
+            Column::from_f64s("sentiment_mean", &[0.5001]),
+        ])
+        .unwrap();
+        let b = DataFrame::new(vec![
+            Column::from_strs("topics", &["bug"]),
+            Column::from_f64s("sentiment_mean", &[0.5002]),
+        ])
+        .unwrap();
+        assert!(frame_match(&a, &b) > 0.99);
+    }
+}

@@ -1,0 +1,23 @@
+//! Evaluation harness for the AllHands QA agent (paper Sec. 4.4).
+//!
+//! Three pieces:
+//!
+//! - [`difficulty`]: the paper's five-criterion difficulty model (number of
+//!   steps, number of filters, plotting, out-of-scope filters,
+//!   open-endedness), used to sanity-check the benchmark's annotations and
+//!   drive Fig. 7/9 groupings;
+//! - [`judges`]: programmatic scorers for the paper's three dimensions —
+//!   comprehensiveness, correctness, readability — each graded 1–5 on the
+//!   paper's rubric, with correctness anchored to the *reference execution*
+//!   of each question's gold AQL program;
+//! - [`harness`]: runs the full 90-question benchmark for a model tier and
+//!   aggregates scores by dataset, question type, and difficulty (the data
+//!   behind Figs. 8–9 and Tables 5–7).
+
+pub mod difficulty;
+pub mod harness;
+pub mod judges;
+
+pub use difficulty::{estimate_difficulty, DifficultySignals};
+pub use harness::{run_benchmark, AggregateScores, BenchmarkResult, QuestionScore};
+pub use judges::{judge, gold_outputs, Scores};

@@ -1,0 +1,310 @@
+//! The ICL classification head (paper Sec. 3.2).
+//!
+//! Scoring blends two signals, exactly the two a real LLM uses:
+//!
+//! 1. a **zero-shot prior**: similarity between the feedback and a gloss of
+//!    each candidate label (the model's "pretraining knowledge" of what
+//!    e.g. *apparent bug* means);
+//! 2. a **demonstration vote**: similarity-weighted votes from the
+//!    retrieved in-context examples, scaled by the tier's
+//!    [`demo_weight`](crate::ModelSpec::demo_weight).
+//!
+//! A deterministic, hash-keyed label slip models residual LLM error. With
+//! no demonstrations the head is a pure zero-shot classifier — that is the
+//! paper's zero-shot configuration.
+
+use crate::model::{ChatOptions, ModelSpec, ModelTier};
+use crate::prompt::{Demonstration, Prompt};
+use allhands_embed::SentenceEmbedder;
+
+/// The classification head; borrows the model's spec and embedder.
+pub struct ClassifyHead<'a> {
+    spec: &'a ModelSpec,
+    embedder: &'a SentenceEmbedder,
+}
+
+/// "Pretraining knowledge": characteristic vocabulary per well-known label.
+/// Unknown labels fall back to their own wording.
+fn label_gloss(label: &str, tier: ModelTier) -> String {
+    let base: &str = match label.to_lowercase().as_str() {
+        "informative" => {
+            "bug crash error issue problem broken feature request add option slow lag \
+             performance login update battery sync notification ads interface stable fix help \
+             outage servers down borked janky cooked buggin unusable sign"
+        }
+        "non-informative" => {
+            "lol ok cool nice whatever hmm just guess weather dinner weekend game \
+             viral trend ratio fyp mid sticker stickers emoji obsessed moment feed"
+        }
+        "actionable" => {
+            "wrong incorrect irrelevant results broken missing slow timeout error ads layout \
+             translation image generation mistake fix points voice speech recognition microphone \
+             falsch kaputt roto incorrectas cassé fausses quebrado erradas problema problem \
+             unbrauchbar unzuverlässig anfrage inservible inestable consulta inutilisable \
+             instable requête inutilizável instável ergebnisse resultados résultats búsqueda \
+             langsam lento lent werbung anuncios publicités bild imagen imagem"
+        }
+        "non-actionable" => {
+            "love great thanks bad terrible hate testing hello whatever asdf \
+             morning merry xmas holidays greetings saying hi"
+        }
+        "apparent bug" => {
+            "bug crash error broken glitch freeze hang artifacts stutter sync no sound \
+             hardware acceleration gpu rendering flickers garbage frames"
+        }
+        "feature request" => "add feature please consider would perfect shortcut theme export option",
+        "user setup" => {
+            "install installer setup fails enable instructions spell check dont get \
+             telemetry data collection privacy toggle switch"
+        }
+        "application guidance" => "guide documentation wiki tutorial explains settings configuring",
+        "requesting more information" => "post provide logs version information diagnose steps reproduce",
+        "user error" => "mistake sorry turns out misread overlooked works fine wrong folder noise",
+        "questions on functionality" => {
+            "which how do need format plugin codec stopped working \
+             extension signing addon disabled unsigned bypass"
+        }
+        "help seeking" => "stuck help assistance any ideas appreciated still trying everything",
+        "dissatisfaction" => "slow memory cpu too much tabs delay disappointed worse",
+        "acknowledgement" => "thanks that worked solved appreciate marking did it",
+        "others" => "certificate bookmarks favorites https intranet vanished",
+        _ => "",
+    };
+    if base.is_empty() {
+        return label.to_string();
+    }
+    match tier {
+        // The smaller model has shallower label knowledge: it only sees the
+        // first half of the gloss.
+        ModelTier::Gpt35 => {
+            let words: Vec<&str> = base.split_whitespace().collect();
+            let half = &words[..words.len() / 2];
+            format!("{label} {}", half.join(" "))
+        }
+        ModelTier::Gpt4 => format!("{label} {base}"),
+    }
+}
+
+/// Stemmed content tokens of a text (stopwords, placeholders, emoji
+/// dropped).
+fn content_stems(text: &str) -> Vec<String> {
+    allhands_text::preprocess(text)
+        .into_iter()
+        .filter(|t| !t.starts_with('<') && allhands_text::extract_emoji(t).is_empty())
+        .collect()
+}
+
+use allhands_text::trigram_jaccard;
+
+/// Fraction of the text's content words the gloss recognizes (exact stem
+/// match = 1.0 credit; fuzzy trigram match = 0.7 credit when enabled).
+fn lexical_affinity(text_tokens: &[String], gloss: &str, fuzzy: bool) -> f32 {
+    if text_tokens.is_empty() {
+        return 0.0;
+    }
+    let gloss_words: Vec<String> = allhands_text::light_preprocess(gloss);
+    let gloss_stems: std::collections::HashSet<String> = gloss_words
+        .iter()
+        .map(|w| allhands_text::porter_stem(w))
+        .collect();
+    let mut credit = 0.0f32;
+    for tok in text_tokens {
+        if gloss_stems.contains(tok) {
+            credit += 1.0;
+        } else if fuzzy
+            && gloss_words
+                .iter()
+                .any(|g| trigram_jaccard(tok, g) > 0.45)
+        {
+            credit += 0.7;
+        }
+    }
+    credit / text_tokens.len().max(3) as f32
+}
+
+impl<'a> ClassifyHead<'a> {
+    /// Construct from a model's spec + embedder.
+    pub fn new(spec: &'a ModelSpec, embedder: &'a SentenceEmbedder) -> Self {
+        ClassifyHead { spec, embedder }
+    }
+
+    /// Classify `text` into one of `labels`, optionally with retrieved
+    /// demonstrations. Returns the winning label.
+    ///
+    /// Panics if `labels` is empty.
+    pub fn classify(
+        &self,
+        text: &str,
+        labels: &[String],
+        demonstrations: &[Demonstration],
+        opts: &ChatOptions,
+    ) -> String {
+        assert!(!labels.is_empty(), "need at least one candidate label");
+        let text_emb = self.embedder.embed(text);
+
+        // Zero-shot prior: token-level affinity between the text and each
+        // label's gloss (how many of the text's content words the model
+        // recognizes as characteristic of the label), blended with a
+        // whole-sentence embedding similarity. The larger model also
+        // fuzzy-matches misspelled words via character trigrams — a
+        // subword-tokenizer capability the smaller tier lacks.
+        let fuzzy = self.spec.tier == ModelTier::Gpt4;
+        let text_tokens = content_stems(text);
+        let mut scores: Vec<f32> = labels
+            .iter()
+            .map(|label| {
+                let gloss = label_gloss(label, self.spec.tier);
+                let gloss_emb = self.embedder.embed(&gloss);
+                let cosine = text_emb.cosine(&gloss_emb).max(0.0);
+                let lexical = lexical_affinity(&text_tokens, &gloss, fuzzy);
+                lexical + 0.5 * cosine
+            })
+            .collect();
+
+        // Demonstration votes, attention-style: each demo's weight is its
+        // sharpened similarity normalized over all demos, and the whole
+        // vote block is gated by the best similarity — so highly relevant
+        // demonstrations dominate the prior, while a sheaf of weakly
+        // related examples (e.g. for an emerging topic absent from the
+        // pool) barely moves it. This is how real ICL behaves: irrelevant
+        // shots don't override pretraining knowledge.
+        let sims: Vec<(usize, f32)> = demonstrations
+            .iter()
+            .filter_map(|demo| {
+                labels
+                    .iter()
+                    .position(|l| l.eq_ignore_ascii_case(&demo.output))
+                    .map(|idx| {
+                        let sim = text_emb
+                            .cosine(&self.embedder.embed(&demo.input))
+                            .max(0.0);
+                        (idx, sim)
+                    })
+            })
+            .collect();
+        let total: f32 = sims.iter().map(|&(_, s)| s * s * s).sum();
+        if total > f32::EPSILON {
+            let relevance = sims.iter().map(|&(_, s)| s).fold(0.0f32, f32::max);
+            let gate = self.spec.demo_weight * relevance * relevance * relevance;
+            for &(idx, s) in &sims {
+                scores[idx] += gate * (s * s * s) / total;
+            }
+        }
+
+        // Argmax, ties broken by candidate order (prompt order, like an LLM
+        // biased toward earlier options).
+        let (mut best, mut second) = (0usize, 0usize);
+        for (i, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                second = best;
+                best = i;
+            } else if i != best && (s > scores[second] || second == best) {
+                second = i;
+            }
+        }
+
+        // Residual model error: deterministic slip to the runner-up.
+        let slip_rate = self.spec.label_slip * opts.noise_scale();
+        if labels.len() > 1 && self.spec.slips("classify", text, slip_rate) {
+            return labels[second].clone();
+        }
+        labels[best].clone()
+    }
+
+    /// Trait-level entry: candidates and demonstrations come from the
+    /// structured prompt.
+    pub fn classify_prompt(&self, prompt: &Prompt, opts: &ChatOptions) -> String {
+        if prompt.candidates.is_empty() {
+            return String::new();
+        }
+        self.classify(&prompt.query, &prompt.candidates, &prompt.demonstrations, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SimLlm;
+
+    fn labels() -> Vec<String> {
+        vec!["informative".to_string(), "non-informative".to_string()]
+    }
+
+    #[test]
+    fn zero_shot_uses_pretraining_gloss() {
+        let llm = SimLlm::gpt4();
+        let head = llm.classify_head();
+        let opts = ChatOptions::default();
+        assert_eq!(
+            head.classify("the app crashes with an error on startup", &labels(), &[], &opts),
+            "informative"
+        );
+        assert_eq!(
+            head.classify("lol ok whatever", &labels(), &[], &opts),
+            "non-informative"
+        );
+    }
+
+    #[test]
+    fn demonstrations_override_weak_prior() {
+        let llm = SimLlm::gpt4();
+        let head = llm.classify_head();
+        let opts = ChatOptions::default();
+        // An ambiguous text; demos say near-identical texts are informative.
+        let text = "the cheetah filter vanished from my camera";
+        let demos = vec![
+            Demonstration {
+                input: "the cheetah filter vanished after update".into(),
+                output: "informative".into(),
+            },
+            Demonstration {
+                input: "cheetah filter is gone from camera".into(),
+                output: "informative".into(),
+            },
+        ];
+        assert_eq!(head.classify(text, &labels(), &demos, &opts), "informative");
+    }
+
+    #[test]
+    fn deterministic_at_temperature_zero() {
+        let llm = SimLlm::gpt35();
+        let head = llm.classify_head();
+        let opts = ChatOptions::default();
+        let a = head.classify("some ambiguous feedback text", &labels(), &[], &opts);
+        let b = head.classify("some ambiguous feedback text", &labels(), &[], &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slips_happen_at_spec_rate() {
+        // Force rate 1: the head must return the runner-up, not the winner.
+        let mut spec = crate::ModelSpec::gpt4();
+        spec.label_slip = 1.0;
+        let llm = SimLlm::new(spec);
+        let head = llm.classify_head();
+        let out = head.classify(
+            "the app crashes with an error on startup",
+            &labels(),
+            &[],
+            &ChatOptions::default(),
+        );
+        assert_eq!(out, "non-informative"); // slipped to second-best
+    }
+
+    #[test]
+    fn out_of_set_demo_labels_ignored() {
+        let llm = SimLlm::gpt4();
+        let head = llm.classify_head();
+        let demos = vec![Demonstration { input: "crash".into(), output: "bogus-label".into() }];
+        let out = head.classify("crash report", &labels(), &demos, &ChatOptions::default());
+        assert!(labels().contains(&out));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_labels_panics() {
+        let llm = SimLlm::gpt4();
+        llm.classify_head()
+            .classify("text", &[], &[], &ChatOptions::default());
+    }
+}

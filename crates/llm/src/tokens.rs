@@ -1,0 +1,58 @@
+//! Token accounting for the simulated models.
+//!
+//! Approximates BPE token counts well enough to enforce context windows and
+//! report usage: whitespace-separated words count ~1.3 tokens each (long
+//! words more), punctuation runs one each.
+
+/// Estimate the token count of `text`.
+pub fn count_tokens(text: &str) -> usize {
+    let mut tokens = 0usize;
+    for word in text.split_whitespace() {
+        let chars = word.chars().count();
+        // ~4 chars per BPE token, minimum one per word.
+        tokens += chars.div_ceil(4).max(1);
+    }
+    tokens
+}
+
+/// Truncate `text` to at most `max_tokens`, cutting at a word boundary.
+pub fn truncate_to_tokens(text: &str, max_tokens: usize) -> String {
+    let mut used = 0usize;
+    let mut end = 0usize;
+    for word in text.split_whitespace() {
+        let cost = word.chars().count().div_ceil(4).max(1);
+        if used + cost > max_tokens {
+            break;
+        }
+        used += cost;
+        // Find this word's end position in the original text.
+        let start = text[end..].find(word).map(|p| p + end).unwrap_or(end);
+        end = start + word.len();
+    }
+    text[..end].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_scale_with_length() {
+        assert_eq!(count_tokens(""), 0);
+        assert_eq!(count_tokens("hi"), 1);
+        assert!(count_tokens("internationalization") > 3);
+        let short = count_tokens("the app crashes");
+        let long = count_tokens("the app crashes every time I open the settings menu");
+        assert!(long > short);
+    }
+
+    #[test]
+    fn truncation_respects_budget() {
+        let text = "alpha beta gamma delta epsilon zeta";
+        let cut = truncate_to_tokens(text, 3);
+        assert!(count_tokens(&cut) <= 3);
+        assert!(text.starts_with(&cut));
+        assert_eq!(truncate_to_tokens(text, 1000), text);
+        assert_eq!(truncate_to_tokens(text, 0), "");
+    }
+}

@@ -1,0 +1,74 @@
+//! AQL abstract syntax tree.
+
+/// A full program: a sequence of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub statements: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr`
+    Let { name: String, expr: Expr, line: usize },
+    /// A bare expression evaluated for effect (e.g. `show(...)`).
+    Expr { expr: Expr, line: usize },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    And,
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal (AQL numbers are f64; integral values display as ints).
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Identifier (column in row context, else a session binding).
+    Ident(String),
+    /// `[a, b, c]` list literal.
+    List(Vec<Expr>),
+    /// Free function call: `name(args…)`.
+    Call { name: String, args: Vec<Expr>, line: usize },
+    /// Method call: `recv.name(args…)`.
+    Method { recv: Box<Expr>, name: String, args: Vec<Expr>, line: usize },
+    /// Binary operation.
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Unary operation.
+    Unary { op: UnOp, expr: Box<Expr> },
+}
+
+impl Expr {
+    /// The source line of a call expression (0 for other node kinds);
+    /// used for error attribution.
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Call { line, .. } | Expr::Method { line, .. } => *line,
+            _ => 0,
+        }
+    }
+}

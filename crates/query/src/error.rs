@@ -1,0 +1,42 @@
+//! AQL error type.
+
+/// A lex, parse, or runtime error. The message is written to be fed back to
+/// the code generator's self-reflection loop, so it names the offending
+/// construct and, where possible, suggests what to check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryError {
+    /// Human/agent-readable message.
+    pub message: String,
+    /// 1-based line where the error was detected (0 = unknown).
+    pub line: usize,
+}
+
+impl QueryError {
+    /// Error with a known source line.
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
+        QueryError { message: message.into(), line }
+    }
+
+    /// Error without location info (runtime errors on values).
+    pub fn runtime(message: impl Into<String>) -> Self {
+        QueryError { message: message.into(), line: 0 }
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<allhands_dataframe::FrameError> for QueryError {
+    fn from(e: allhands_dataframe::FrameError) -> Self {
+        QueryError::runtime(e.to_string())
+    }
+}

@@ -1,0 +1,230 @@
+//! Figure artifacts: the structured output of plotting plugins.
+//!
+//! The paper's executor returns images; here figures are structured specs
+//! with a deterministic ASCII rendering, which keeps the multi-modal
+//! response machinery (and the readability judge, which inspects label
+//! density and title presence) fully testable.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of chart a [`FigureSpec`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FigureKind {
+    Bar,
+    GroupedBar,
+    Line,
+    Pie,
+    Histogram,
+    WordCloud,
+    /// Stacked topic-frequency streams over time (Gao et al.'s issue river,
+    /// cited by the paper's Case 2).
+    IssueRiver,
+}
+
+/// One named data series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    pub name: String,
+    pub values: Vec<f64>,
+}
+
+/// A chart specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureSpec {
+    pub kind: FigureKind,
+    pub title: String,
+    /// Category labels along the x axis (or words for a word cloud).
+    pub x_labels: Vec<String>,
+    /// One or more series of `x_labels.len()` values each. For word clouds,
+    /// a single series of weights.
+    pub series: Vec<Series>,
+}
+
+impl FigureSpec {
+    /// Construct, validating shape (every series must match the label count).
+    pub fn new(kind: FigureKind, title: &str, x_labels: Vec<String>, series: Vec<Series>) -> Self {
+        for s in &series {
+            assert_eq!(
+                s.values.len(),
+                x_labels.len(),
+                "series '{}' length {} != {} labels",
+                s.name,
+                s.values.len(),
+                x_labels.len()
+            );
+        }
+        FigureSpec { kind, title: title.to_string(), x_labels, series }
+    }
+
+    /// Total number of data points.
+    pub fn n_points(&self) -> usize {
+        self.series.iter().map(|s| s.values.len()).sum()
+    }
+
+    /// A crude layout-quality heuristic in [0, 1]: penalizes missing
+    /// titles, crowded axes (many labels), and empty data. The readability
+    /// judge consumes this, mirroring the paper's observation that
+    /// figure answers lose readability points to layout problems.
+    pub fn layout_quality(&self) -> f64 {
+        let mut q: f64 = 1.0;
+        if self.title.trim().is_empty() {
+            q -= 0.3;
+        }
+        if self.x_labels.is_empty() || self.series.iter().all(|s| s.values.is_empty()) {
+            return 0.0;
+        }
+        if self.x_labels.len() > 25 {
+            q -= 0.3; // crowded axis
+        } else if self.x_labels.len() > 12 {
+            q -= 0.15;
+        }
+        let long_labels = self.x_labels.iter().filter(|l| l.chars().count() > 18).count();
+        if long_labels * 2 > self.x_labels.len() {
+            q -= 0.15; // labels will overlap
+        }
+        q.max(0.0)
+    }
+
+    /// Deterministic ASCII rendering (the "image" in terminal contexts).
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("[{:?}] {}\n", self.kind, self.title));
+        match self.kind {
+            FigureKind::WordCloud => self.render_wordcloud(&mut out),
+            FigureKind::Pie => self.render_pie(&mut out),
+            _ => self.render_bars(&mut out),
+        }
+        out
+    }
+
+    fn render_bars(&self, out: &mut String) {
+        let max = self
+            .series
+            .iter()
+            .flat_map(|s| &s.values)
+            .fold(0.0f64, |a, &b| a.max(b.abs()))
+            .max(1e-9);
+        let label_w = self.x_labels.iter().map(|l| l.chars().count()).max().unwrap_or(1).min(24);
+        for (i, label) in self.x_labels.iter().enumerate() {
+            for series in &self.series {
+                let v = series.values.get(i).copied().unwrap_or(0.0);
+                let bar_len = ((v.abs() / max) * 40.0).round() as usize;
+                let tag = if self.series.len() > 1 {
+                    format!("[{}] ", series.name)
+                } else {
+                    String::new()
+                };
+                let shown: String = label.chars().take(24).collect();
+                out.push_str(&format!(
+                    "{tag}{shown:label_w$} | {} {v:.2}\n",
+                    "█".repeat(bar_len.max(if v.abs() > 0.0 { 1 } else { 0 })),
+                ));
+            }
+        }
+    }
+
+    fn render_pie(&self, out: &mut String) {
+        let Some(series) = self.series.first() else { return };
+        let total: f64 = series.values.iter().sum::<f64>().max(1e-9);
+        for (label, v) in self.x_labels.iter().zip(&series.values) {
+            let pct = v / total * 100.0;
+            let slices = (pct / 5.0).round() as usize;
+            out.push_str(&format!("{label}: {} {pct:.1}%\n", "●".repeat(slices.max(1))));
+        }
+    }
+
+    fn render_wordcloud(&self, out: &mut String) {
+        let Some(series) = self.series.first() else { return };
+        let max = series.values.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
+        let mut pairs: Vec<(&String, f64)> =
+            self.x_labels.iter().zip(series.values.iter().copied()).collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for (word, weight) in pairs.into_iter().take(30) {
+            let size = 1 + ((weight / max) * 3.0).round() as usize;
+            // Font size simulated by repetition of the word's first letter
+            // marker; the word itself appears once.
+            out.push_str(&format!("{} {word}\n", "*".repeat(size)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bar() -> FigureSpec {
+        FigureSpec::new(
+            FigureKind::Bar,
+            "Tweets per timezone",
+            vec!["ET".into(), "PT".into()],
+            vec![Series { name: "count".into(), values: vec![10.0, 4.0] }],
+        )
+    }
+
+    #[test]
+    fn render_contains_labels_and_title() {
+        let ascii = bar().render_ascii();
+        assert!(ascii.contains("Tweets per timezone"));
+        assert!(ascii.contains("ET"));
+        assert!(ascii.contains('█'));
+    }
+
+    #[test]
+    fn layout_quality_ranges() {
+        assert!(bar().layout_quality() > 0.9);
+        let untitled = FigureSpec::new(
+            FigureKind::Bar,
+            "",
+            vec!["a".into()],
+            vec![Series { name: "c".into(), values: vec![1.0] }],
+        );
+        assert!(untitled.layout_quality() < 0.9);
+        let crowded = FigureSpec::new(
+            FigureKind::Bar,
+            "t",
+            (0..30).map(|i| format!("label-{i}")).collect(),
+            vec![Series { name: "c".into(), values: vec![1.0; 30] }],
+        );
+        assert!(crowded.layout_quality() < bar().layout_quality());
+        let empty = FigureSpec::new(FigureKind::Bar, "t", vec![], vec![]);
+        assert_eq!(empty.layout_quality(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn mismatched_series_panics() {
+        FigureSpec::new(
+            FigureKind::Bar,
+            "t",
+            vec!["a".into()],
+            vec![Series { name: "c".into(), values: vec![1.0, 2.0] }],
+        );
+    }
+
+    #[test]
+    fn pie_renders_percentages() {
+        let pie = FigureSpec::new(
+            FigureKind::Pie,
+            "Labels",
+            vec!["x".into(), "y".into()],
+            vec![Series { name: "count".into(), values: vec![3.0, 1.0] }],
+        );
+        let ascii = pie.render_ascii();
+        assert!(ascii.contains("75.0%"));
+        assert!(ascii.contains("25.0%"));
+    }
+
+    #[test]
+    fn wordcloud_sorts_by_weight() {
+        let wc = FigureSpec::new(
+            FigureKind::WordCloud,
+            "words",
+            vec!["rare".into(), "common".into()],
+            vec![Series { name: "w".into(), values: vec![1.0, 9.0] }],
+        );
+        let ascii = wc.render_ascii();
+        let common_pos = ascii.find("common").unwrap();
+        let rare_pos = ascii.find("rare").unwrap();
+        assert!(common_pos < rare_pos);
+    }
+}

@@ -1,0 +1,372 @@
+//! AQL lexer.
+
+use crate::error::QueryError;
+
+/// Token classes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    Str(String),
+    Number(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    Let,
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Dot,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+/// One token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// Streaming lexer over AQL source.
+pub struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Lexer { chars: source.chars().peekable(), line: 1 }
+    }
+
+    /// Lex the whole input (appends an `Eof` token).
+    pub fn tokenize(mut self) -> Result<Vec<Token>, QueryError> {
+        let mut tokens = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            tokens.push(tok);
+            if done {
+                return Ok(tokens);
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, QueryError> {
+        // Skip whitespace and `#`/`//` comments.
+        loop {
+            match self.chars.peek() {
+                Some('\n') => {
+                    self.line += 1;
+                    self.chars.next();
+                }
+                Some(c) if c.is_whitespace() => {
+                    self.chars.next();
+                }
+                Some('#') => {
+                    self.skip_line();
+                }
+                Some('/') => {
+                    // Could be `//` comment or division; look ahead.
+                    let mut clone = self.chars.clone();
+                    clone.next();
+                    if clone.peek() == Some(&'/') {
+                        self.skip_line();
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let line = self.line;
+        let Some(&c) = self.chars.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, line });
+        };
+
+        let kind = match c {
+            '(' => self.eat(TokenKind::LParen),
+            ')' => self.eat(TokenKind::RParen),
+            '[' => self.eat(TokenKind::LBracket),
+            ']' => self.eat(TokenKind::RBracket),
+            ',' => self.eat(TokenKind::Comma),
+            ';' => self.eat(TokenKind::Semi),
+            '.' => self.eat(TokenKind::Dot),
+            '+' => self.eat(TokenKind::Plus),
+            '-' => self.eat(TokenKind::Minus),
+            '*' => self.eat(TokenKind::Star),
+            '/' => self.eat(TokenKind::Slash),
+            '=' => {
+                self.chars.next();
+                if self.chars.peek() == Some(&'=') {
+                    self.chars.next();
+                    TokenKind::Eq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            '!' => {
+                self.chars.next();
+                if self.chars.peek() == Some(&'=') {
+                    self.chars.next();
+                    TokenKind::Ne
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            '<' => {
+                self.chars.next();
+                if self.chars.peek() == Some(&'=') {
+                    self.chars.next();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                self.chars.next();
+                if self.chars.peek() == Some(&'=') {
+                    self.chars.next();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '&' => {
+                self.chars.next();
+                if self.chars.next() == Some('&') {
+                    TokenKind::AndAnd
+                } else {
+                    return Err(QueryError::at(line, "expected '&&'"));
+                }
+            }
+            '|' => {
+                self.chars.next();
+                if self.chars.next() == Some('|') {
+                    TokenKind::OrOr
+                } else {
+                    return Err(QueryError::at(line, "expected '||'"));
+                }
+            }
+            '"' => self.lex_string()?,
+            c if c.is_ascii_digit() => self.lex_number()?,
+            c if c.is_alphabetic() || c == '_' => self.lex_ident(),
+            other => {
+                return Err(QueryError::at(line, format!("unexpected character '{other}'")))
+            }
+        };
+        Ok(Token { kind, line })
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> TokenKind {
+        self.chars.next();
+        kind
+    }
+
+    fn skip_line(&mut self) {
+        for c in self.chars.by_ref() {
+            if c == '\n' {
+                self.line += 1;
+                break;
+            }
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, QueryError> {
+        let line = self.line;
+        self.chars.next(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err(QueryError::at(line, "unterminated string literal")),
+                Some('"') => return Ok(TokenKind::Str(s)),
+                Some('\\') => match self.chars.next() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    other => {
+                        return Err(QueryError::at(
+                            line,
+                            format!("bad escape '\\{}'", other.map_or(String::new(), |c| c.to_string())),
+                        ))
+                    }
+                },
+                Some('\n') => {
+                    self.line += 1;
+                    s.push('\n');
+                }
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, QueryError> {
+        let line = self.line;
+        let mut s = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() || c == '.' || c == '_' {
+                if c != '_' {
+                    s.push(c);
+                }
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        // Exponent suffix: `e`/`E` with an optional sign and ≥1 digit
+        // ("2.5e3", "1E-4"). Without this, "1e4" silently lexes as
+        // Number(1) + Ident("e4").
+        if matches!(self.chars.peek(), Some('e' | 'E')) {
+            let mut lookahead = self.chars.clone();
+            lookahead.next(); // e
+            let mut exp = String::from("e");
+            if matches!(lookahead.peek(), Some('+' | '-')) {
+                exp.push(*lookahead.peek().expect("peeked"));
+                lookahead.next();
+            }
+            let mut has_digit = false;
+            while let Some(&c) = lookahead.peek() {
+                if c.is_ascii_digit() {
+                    exp.push(c);
+                    lookahead.next();
+                    has_digit = true;
+                } else {
+                    break;
+                }
+            }
+            if has_digit {
+                self.chars = lookahead;
+                s.push_str(&exp);
+            }
+        }
+        s.parse::<f64>()
+            .map(TokenKind::Number)
+            .map_err(|_| QueryError::at(line, format!("bad number literal '{s}'")))
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        match s.as_str() {
+            "let" => TokenKind::Let,
+            "true" => TokenKind::Bool(true),
+            "false" => TokenKind::Bool(false),
+            _ => TokenKind::Ident(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds(r#"let x = df.filter(a == 4.5);"#);
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Let,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("df".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("filter".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::Eq,
+                TokenKind::Number(4.5),
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            kinds(r#""he said \"hi\"\n""#),
+            vec![TokenKind::Str("he said \"hi\"\n".into()), TokenKind::Eof]
+        );
+        assert!(Lexer::new(r#""unterminated"#).tokenize().is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a != b && c || !d <= e >= f"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("b".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("c".into()),
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Ident("d".into()),
+                TokenKind::Le,
+                TokenKind::Ident("e".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("f".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = Lexer::new("a # comment\n// another\nb").tokenize().unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn list_literal_tokens() {
+        assert_eq!(
+            kinds(r#"["a", "b"]"#),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Str("a".into()),
+                TokenKind::Comma,
+                TokenKind::Str("b".into()),
+                TokenKind::RBracket,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_chars_error_with_line() {
+        let err = Lexer::new("a\n@").tokenize().unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

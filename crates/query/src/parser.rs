@@ -1,0 +1,335 @@
+//! Recursive-descent parser for AQL.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use crate::error::QueryError;
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// Parse an AQL program.
+pub fn parse_program(source: &str) -> Result<Program, QueryError> {
+    let tokens = Lexer::new(source).tokenize()?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn advance(&mut self) -> Token {
+        let tok = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, QueryError> {
+        if self.peek() == kind {
+            Ok(self.advance())
+        } else {
+            Err(QueryError::at(
+                self.line(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, QueryError> {
+        let mut statements = Vec::new();
+        while *self.peek() != TokenKind::Eof {
+            statements.push(self.statement()?);
+            // Statement separators: one or more semicolons.
+            while *self.peek() == TokenKind::Semi {
+                self.advance();
+            }
+        }
+        if statements.is_empty() {
+            return Err(QueryError::at(1, "empty program"));
+        }
+        Ok(Program { statements })
+    }
+
+    fn statement(&mut self) -> Result<Stmt, QueryError> {
+        let line = self.line();
+        if *self.peek() == TokenKind::Let {
+            self.advance();
+            let name = match self.advance().kind {
+                TokenKind::Ident(n) => n,
+                other => {
+                    return Err(QueryError::at(line, format!("expected name after 'let', found {other:?}")))
+                }
+            };
+            self.expect(&TokenKind::Assign, "'='")?;
+            let expr = self.expr()?;
+            Ok(Stmt::Let { name, expr, line })
+        } else {
+            let expr = self.expr()?;
+            Ok(Stmt::Expr { expr, line })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, QueryError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == TokenKind::OrOr {
+            self.advance();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == TokenKind::AndAnd {
+            self.advance();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, QueryError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.advance();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, QueryError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.advance();
+                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(self.unary()?) })
+            }
+            TokenKind::Bang => {
+                self.advance();
+                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(self.unary()?) })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, QueryError> {
+        let mut expr = self.primary()?;
+        while *self.peek() == TokenKind::Dot {
+            self.advance();
+            let line = self.line();
+            let name = match self.advance().kind {
+                TokenKind::Ident(n) => n,
+                other => {
+                    return Err(QueryError::at(line, format!("expected method name, found {other:?}")))
+                }
+            };
+            self.expect(&TokenKind::LParen, "'(' after method name")?;
+            let args = self.args()?;
+            expr = Expr::Method { recv: Box::new(expr), name, args, line };
+        }
+        Ok(expr)
+    }
+
+    fn primary(&mut self) -> Result<Expr, QueryError> {
+        let line = self.line();
+        match self.advance().kind {
+            TokenKind::Number(n) => Ok(Expr::Number(n)),
+            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::Bool(b) => Ok(Expr::Bool(b)),
+            TokenKind::Ident(name) => {
+                if *self.peek() == TokenKind::LParen {
+                    self.advance();
+                    let args = self.args()?;
+                    Ok(Expr::Call { name, args, line })
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            TokenKind::LParen => {
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(inner)
+            }
+            TokenKind::LBracket => {
+                let mut items = Vec::new();
+                if *self.peek() != TokenKind::RBracket {
+                    loop {
+                        items.push(self.expr()?);
+                        if *self.peek() == TokenKind::Comma {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBracket, "']'")?;
+                Ok(Expr::List(items))
+            }
+            other => Err(QueryError::at(line, format!("unexpected token {other:?}"))),
+        }
+    }
+
+    /// Comma-separated argument list terminated by `)` (consumes the paren).
+    fn args(&mut self) -> Result<Vec<Expr>, QueryError> {
+        let mut args = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if *self.peek() == TokenKind::Comma {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn let_and_method_chain() {
+        let p = parse_program(r#"let x = df.filter(a > 1).head(3); show(x)"#).unwrap();
+        assert_eq!(p.statements.len(), 2);
+        match &p.statements[0] {
+            Stmt::Let { name, expr, .. } => {
+                assert_eq!(name, "x");
+                match expr {
+                    Expr::Method { name, .. } => assert_eq!(name, "head"),
+                    other => panic!("expected method chain, got {other:?}"),
+                }
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        // 1 + 2 * 3 == 7  parses as  (1 + (2*3)) == 7
+        let p = parse_program("1 + 2 * 3 == 7").unwrap();
+        match &p.statements[0] {
+            Stmt::Expr { expr: Expr::Binary { op: BinOp::Eq, lhs, .. }, .. } => match &**lhs {
+                Expr::Binary { op: BinOp::Add, rhs, .. } => match &**rhs {
+                    Expr::Binary { op: BinOp::Mul, .. } => {}
+                    other => panic!("expected mul on rhs of add, got {other:?}"),
+                },
+                other => panic!("expected add under eq, got {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logical_precedence() {
+        // a || b && c  parses as  a || (b && c)
+        let p = parse_program("a || b && c").unwrap();
+        match &p.statements[0] {
+            Stmt::Expr { expr: Expr::Binary { op: BinOp::Or, rhs, .. }, .. } => {
+                assert!(matches!(&**rhs, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_literals_and_calls() {
+        let p = parse_program(r#"f(["a", "b"], 3)"#).unwrap();
+        match &p.statements[0] {
+            Stmt::Expr { expr: Expr::Call { name, args, .. }, .. } => {
+                assert_eq!(name, "f");
+                assert!(matches!(args[0], Expr::List(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert!(parse_program("!is_null(x)").is_ok());
+        assert!(parse_program("-3 + 4").is_ok());
+    }
+
+    #[test]
+    fn parse_errors_have_lines() {
+        let err = parse_program("let x =\nlet").unwrap_err();
+        assert!(err.line >= 1);
+        assert!(parse_program("").is_err());
+        assert!(parse_program("f(").is_err());
+        assert!(parse_program("df.").is_err());
+    }
+
+    #[test]
+    fn multiline_with_semis() {
+        let src = "let a = 1;\nlet b = a + 1;\nshow(b)";
+        assert_eq!(parse_program(src).unwrap().statements.len(), 3);
+    }
+
+    #[test]
+    fn reference_programs_from_benchmark_parse() {
+        // A few representative reference programs from the question suite.
+        let samples = [
+            r#"show(feedback.explode("topics").group_by("topics", mean("sentiment")).sort("sentiment_mean", "asc").head(1))"#,
+            r#"let e = feedback.explode("topics").derive("month", month(timestamp));
+let apr = e.filter(month == 4).value_counts("topics");
+let may = e.filter(month == 5).value_counts("topics");
+let j = may.join(apr, "topics", "left").derive("increase", count - coalesce(count_right, 0));
+show(j.sort("increase", "desc").head(3))"#,
+            r#"let games = feedback.filter(in_list(product, ["Minecraft", "CallofDuty"]));
+show(pie_chart(games.explode("topics").value_counts("topics").head(5), "topics", "count", "t"))"#,
+        ];
+        for s in samples {
+            parse_program(s).unwrap_or_else(|e| panic!("failed to parse {s}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,746 @@
+//! Plugin registry and the built-in analysis plugins.
+//!
+//! The paper's agent "can utilize common Python tools or libraries, as well
+//! as plugins tailored to feedback analysis" (Sec. 3.4.2) — e.g. the
+//! `issue_river` function of Case 2. Here plugins are native Rust functions
+//! invocable from AQL. New ones can be registered on any interpreter or
+//! session, which is the extension mechanism for "self-defined plugins".
+
+use crate::error::QueryError;
+use crate::figure::{FigureKind, FigureSpec, Series};
+use crate::interp::RtValue;
+use allhands_dataframe::{
+    pearson, zscore_anomalies, CivilDateTime, Column, DataFrame, Value,
+};
+use std::collections::HashMap;
+
+/// The plugin function type: evaluated argument values in, runtime value out.
+pub type PluginFn = Box<dyn Fn(Vec<RtValue>) -> Result<RtValue, QueryError> + Send + Sync>;
+
+/// A name → function table of plugins.
+pub struct PluginRegistry {
+    plugins: HashMap<String, PluginFn>,
+}
+
+impl PluginRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        PluginRegistry { plugins: HashMap::new() }
+    }
+
+    /// Registry pre-loaded with every built-in analysis plugin.
+    pub fn with_builtins() -> Self {
+        let mut r = PluginRegistry::new();
+        r.register("word_cloud", Box::new(word_cloud));
+        r.register("issue_river", Box::new(issue_river));
+        r.register("bar_chart", Box::new(bar_chart));
+        r.register("grouped_bar_chart", Box::new(grouped_bar_chart));
+        r.register("line_chart", Box::new(line_chart));
+        r.register("pie_chart", Box::new(pie_chart));
+        r.register("histogram", Box::new(histogram));
+        r.register("co_occurrence", Box::new(co_occurrence));
+        r.register("topic_correlation", Box::new(topic_correlation));
+        r.register("emoji_stats", Box::new(emoji_stats));
+        r.register("keyword_stats", Box::new(keyword_stats));
+        r.register("anomaly_detect", Box::new(anomaly_detect));
+        r.register("lump_small", Box::new(lump_small));
+        r
+    }
+
+    /// Register (or replace) a plugin.
+    pub fn register(&mut self, name: &str, f: PluginFn) {
+        self.plugins.insert(name.to_string(), f);
+    }
+
+    /// Is `name` registered?
+    pub fn contains(&self, name: &str) -> bool {
+        self.plugins.contains_key(name)
+    }
+
+    /// Invoke a plugin.
+    pub fn invoke(&self, name: &str, args: Vec<RtValue>) -> Result<RtValue, QueryError> {
+        let f = self
+            .plugins
+            .get(name)
+            .ok_or_else(|| QueryError::runtime(format!("unknown plugin '{name}'")))?;
+        f(args)
+    }
+
+    /// Sorted plugin names (for error messages).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.plugins.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl Default for PluginRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+// ---- argument helpers ------------------------------------------------------
+
+fn arg_frame(args: &[RtValue], i: usize, plugin: &str) -> Result<DataFrame, QueryError> {
+    match args.get(i) {
+        Some(RtValue::Frame(f)) => Ok(f.clone()),
+        other => Err(QueryError::runtime(format!(
+            "{plugin}: argument {} must be a frame, got {}",
+            i + 1,
+            other.map_or("nothing", |v| v.type_name())
+        ))),
+    }
+}
+
+fn arg_str(args: &[RtValue], i: usize, plugin: &str) -> Result<String, QueryError> {
+    match args.get(i) {
+        Some(RtValue::Scalar(Value::Str(s))) => Ok(s.clone()),
+        other => Err(QueryError::runtime(format!(
+            "{plugin}: argument {} must be a string, got {}",
+            i + 1,
+            other.map_or("nothing", |v| v.type_name())
+        ))),
+    }
+}
+
+fn arg_num(args: &[RtValue], i: usize, plugin: &str) -> Result<f64, QueryError> {
+    match args.get(i) {
+        Some(RtValue::Scalar(v)) => v.as_f64().ok_or_else(|| {
+            QueryError::runtime(format!("{plugin}: argument {} must be numeric", i + 1))
+        }),
+        other => Err(QueryError::runtime(format!(
+            "{plugin}: argument {} must be numeric, got {}",
+            i + 1,
+            other.map_or("nothing", |v| v.type_name())
+        ))),
+    }
+}
+
+/// Counts of topic-list elements across the frame, descending.
+fn topic_counts(frame: &DataFrame, col: &str) -> Result<Vec<(String, usize)>, QueryError> {
+    let lists = frame.column(col)?.str_lists()?;
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for cell in lists.iter().flatten() {
+        for t in cell {
+            *counts.entry(t.clone()).or_insert(0) += 1;
+        }
+    }
+    let mut pairs: Vec<(String, usize)> = counts.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    Ok(pairs)
+}
+
+// ---- figure plugins ---------------------------------------------------------
+
+/// `word_cloud(frame, text_or_topic_column)` — weighted word cloud of the
+/// column's tokens (Str column: preprocessed content words; StrList column:
+/// topic labels).
+fn word_cloud(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
+    let frame = arg_frame(&args, 0, "word_cloud")?;
+    let col_name = arg_str(&args, 1, "word_cloud")?;
+    let col = frame.column(&col_name)?;
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    match col.dtype() {
+        allhands_dataframe::DType::StrList => {
+            for (word, n) in topic_counts(&frame, &col_name)? {
+                counts.insert(word, n);
+            }
+        }
+        _ => {
+            for cell in col.strs()? .iter().flatten() {
+                for tok in allhands_text::preprocess(cell) {
+                    if tok.starts_with('<') {
+                        continue; // placeholder tokens
+                    }
+                    *counts.entry(tok).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut pairs: Vec<(String, usize)> = counts.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(40);
+    let (labels, weights): (Vec<String>, Vec<f64>) =
+        pairs.into_iter().map(|(w, c)| (w, c as f64)).unzip();
+    Ok(RtValue::Figure(FigureSpec::new(
+        FigureKind::WordCloud,
+        &format!("Word cloud of {col_name}"),
+        labels,
+        vec![Series { name: "weight".into(), values: weights }],
+    )))
+}
+
+/// `issue_river(frame, topics_col, timestamp_col, top_k)` — weekly
+/// frequency streams of the top-k topics (the paper's Case 2 figure).
+fn issue_river(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
+    let frame = arg_frame(&args, 0, "issue_river")?;
+    let topics_col = arg_str(&args, 1, "issue_river")?;
+    let ts_col = arg_str(&args, 2, "issue_river")?;
+    let k = arg_num(&args, 3, "issue_river")? as usize;
+    if k == 0 {
+        return Err(QueryError::runtime("issue_river: top_k must be >= 1"));
+    }
+    let top: Vec<String> = topic_counts(&frame, &topics_col)?
+        .into_iter()
+        .take(k)
+        .map(|(t, _)| t)
+        .collect();
+    if top.is_empty() {
+        return Err(QueryError::runtime("issue_river: no topics in frame"));
+    }
+    let lists = frame.column(&topics_col)?.str_lists()?.to_vec();
+    let times = frame.column(&ts_col)?.datetimes()?.to_vec();
+
+    // Weekly buckets keyed by (iso year via week's Thursday approximated by
+    // year, week) — render label "Wxx".
+    let mut weeks: Vec<(i32, u32)> = Vec::new();
+    let mut per_topic: HashMap<&str, HashMap<(i32, u32), f64>> = HashMap::new();
+    for (cell, ts) in lists.iter().zip(&times) {
+        let (Some(topics), Some(ts)) = (cell, ts) else { continue };
+        let d = CivilDateTime::from_epoch(*ts);
+        let key = (d.year, d.iso_week());
+        if !weeks.contains(&key) {
+            weeks.push(key);
+        }
+        for t in topics {
+            if let Some(name) = top.iter().find(|x| *x == t) {
+                *per_topic.entry(name).or_default().entry(key).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+    weeks.sort();
+    let labels: Vec<String> = weeks.iter().map(|(y, w)| format!("{y}-W{w:02}")).collect();
+    let series: Vec<Series> = top
+        .iter()
+        .map(|t| Series {
+            name: t.clone(),
+            values: weeks
+                .iter()
+                .map(|wk| {
+                    per_topic
+                        .get(t.as_str())
+                        .and_then(|m| m.get(wk))
+                        .copied()
+                        .unwrap_or(0.0)
+                })
+                .collect(),
+        })
+        .collect();
+    Ok(RtValue::Figure(FigureSpec::new(
+        FigureKind::IssueRiver,
+        &format!("Issue river: top {k} topics"),
+        labels,
+        series,
+    )))
+}
+
+/// Extract `(labels, values)` of two columns for simple charts.
+fn chart_data(
+    frame: &DataFrame,
+    xcol: &str,
+    ycol: &str,
+) -> Result<(Vec<String>, Vec<f64>), QueryError> {
+    let x = frame.column(xcol)?;
+    let y = frame.column(ycol)?;
+    let labels: Vec<String> = x.iter().map(|v| v.to_string()).collect();
+    let values: Vec<f64> = y.iter().map(|v| v.as_f64().unwrap_or(0.0)).collect();
+    Ok((labels, values))
+}
+
+/// `bar_chart(frame, x_col, y_col, title)`.
+fn bar_chart(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
+    let frame = arg_frame(&args, 0, "bar_chart")?;
+    let xcol = arg_str(&args, 1, "bar_chart")?;
+    let ycol = arg_str(&args, 2, "bar_chart")?;
+    let title = arg_str(&args, 3, "bar_chart")?;
+    let (labels, values) = chart_data(&frame, &xcol, &ycol)?;
+    Ok(RtValue::Figure(FigureSpec::new(
+        FigureKind::Bar,
+        &title,
+        labels,
+        vec![Series { name: ycol, values }],
+    )))
+}
+
+/// `line_chart(frame, x_col, y_col, title)`.
+fn line_chart(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
+    let frame = arg_frame(&args, 0, "line_chart")?;
+    let xcol = arg_str(&args, 1, "line_chart")?;
+    let ycol = arg_str(&args, 2, "line_chart")?;
+    let title = arg_str(&args, 3, "line_chart")?;
+    let (labels, values) = chart_data(&frame, &xcol, &ycol)?;
+    Ok(RtValue::Figure(FigureSpec::new(
+        FigureKind::Line,
+        &title,
+        labels,
+        vec![Series { name: ycol, values }],
+    )))
+}
+
+/// `pie_chart(frame, label_col, value_col, title)`.
+fn pie_chart(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
+    let frame = arg_frame(&args, 0, "pie_chart")?;
+    let lcol = arg_str(&args, 1, "pie_chart")?;
+    let vcol = arg_str(&args, 2, "pie_chart")?;
+    let title = arg_str(&args, 3, "pie_chart")?;
+    let (labels, values) = chart_data(&frame, &lcol, &vcol)?;
+    Ok(RtValue::Figure(FigureSpec::new(
+        FigureKind::Pie,
+        &title,
+        labels,
+        vec![Series { name: vcol, values }],
+    )))
+}
+
+/// `grouped_bar_chart(frame, x_col, y_col, series_col, title)` — long-format
+/// input: one series per distinct `series_col` value.
+fn grouped_bar_chart(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
+    let frame = arg_frame(&args, 0, "grouped_bar_chart")?;
+    let xcol = arg_str(&args, 1, "grouped_bar_chart")?;
+    let ycol = arg_str(&args, 2, "grouped_bar_chart")?;
+    let scol = arg_str(&args, 3, "grouped_bar_chart")?;
+    let title = arg_str(&args, 4, "grouped_bar_chart")?;
+    let x = frame.column(&xcol)?;
+    let y = frame.column(&ycol)?;
+    let s = frame.column(&scol)?;
+
+    let mut x_labels: Vec<String> = Vec::new();
+    let mut series_names: Vec<String> = Vec::new();
+    for i in 0..frame.n_rows() {
+        let xl = x.get(i).to_string();
+        if !x_labels.contains(&xl) {
+            x_labels.push(xl);
+        }
+        let sn = s.get(i).to_string();
+        if !series_names.contains(&sn) {
+            series_names.push(sn);
+        }
+    }
+    let mut table: HashMap<(String, String), f64> = HashMap::new();
+    for i in 0..frame.n_rows() {
+        table.insert(
+            (x.get(i).to_string(), s.get(i).to_string()),
+            y.get(i).as_f64().unwrap_or(0.0),
+        );
+    }
+    let series: Vec<Series> = series_names
+        .into_iter()
+        .map(|name| Series {
+            values: x_labels
+                .iter()
+                .map(|xl| table.get(&(xl.clone(), name.clone())).copied().unwrap_or(0.0))
+                .collect(),
+            name,
+        })
+        .collect();
+    Ok(RtValue::Figure(FigureSpec::new(
+        FigureKind::GroupedBar,
+        &title,
+        x_labels,
+        series,
+    )))
+}
+
+/// `histogram(frame, col, title)` — numeric columns are binned into 10
+/// equal-width bins; categorical columns fall back to value counts.
+fn histogram(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
+    let frame = arg_frame(&args, 0, "histogram")?;
+    let col_name = arg_str(&args, 1, "histogram")?;
+    let title = arg_str(&args, 2, "histogram")?;
+    let col = frame.column(&col_name)?;
+    let numeric: Vec<f64> = col.f64_iter().flatten().collect();
+    if numeric.len() == frame.n_rows() - col.null_count() && !numeric.is_empty() {
+        let min = numeric.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = numeric.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((max - min) / 10.0).max(1e-9);
+        let mut bins = vec![0.0f64; 10];
+        for v in &numeric {
+            let b = (((v - min) / width) as usize).min(9);
+            bins[b] += 1.0;
+        }
+        let labels: Vec<String> = (0..10)
+            .map(|i| format!("{:.2}..{:.2}", min + i as f64 * width, min + (i + 1) as f64 * width))
+            .collect();
+        return Ok(RtValue::Figure(FigureSpec::new(
+            FigureKind::Histogram,
+            &title,
+            labels,
+            vec![Series { name: col_name, values: bins }],
+        )));
+    }
+    // Categorical histogram = bar chart of value counts.
+    let vc = frame.value_counts(&col_name)?;
+    let (labels, values) = chart_data(&vc, &col_name, "count")?;
+    Ok(RtValue::Figure(FigureSpec::new(
+        FigureKind::Histogram,
+        &title,
+        labels,
+        vec![Series { name: "count".into(), values }],
+    )))
+}
+
+// ---- analysis plugins --------------------------------------------------------
+
+/// `co_occurrence(frame, topics_col)` — frame of `(topic_a, topic_b, count)`
+/// pairs sorted by co-occurrence count (within the same feedback item).
+fn co_occurrence(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
+    let frame = arg_frame(&args, 0, "co_occurrence")?;
+    let col = arg_str(&args, 1, "co_occurrence")?;
+    let lists = frame.column(&col)?.str_lists()?;
+    let mut counts: HashMap<(String, String), i64> = HashMap::new();
+    for cell in lists.iter().flatten() {
+        let mut sorted: Vec<&String> = cell.iter().collect();
+        sorted.sort();
+        sorted.dedup();
+        for i in 0..sorted.len() {
+            for j in i + 1..sorted.len() {
+                *counts.entry((sorted[i].clone(), sorted[j].clone())).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut pairs: Vec<((String, String), i64)> = counts.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let a: Vec<String> = pairs.iter().map(|((a, _), _)| a.clone()).collect();
+    let b: Vec<String> = pairs.iter().map(|((_, b), _)| b.clone()).collect();
+    let c: Vec<i64> = pairs.iter().map(|(_, n)| *n).collect();
+    Ok(RtValue::Frame(DataFrame::new(vec![
+        Column::from_strings("topic_a", a),
+        Column::from_strings("topic_b", b),
+        Column::from_i64s("count", &c),
+    ])?))
+}
+
+/// `topic_correlation(frame, topics_col, ts_col)` — Pearson correlation of
+/// each topic pair's *daily* frequency series, sorted descending.
+fn topic_correlation(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
+    let frame = arg_frame(&args, 0, "topic_correlation")?;
+    let topics_col = arg_str(&args, 1, "topic_correlation")?;
+    let ts_col = arg_str(&args, 2, "topic_correlation")?;
+    let lists = frame.column(&topics_col)?.str_lists()?.to_vec();
+    let times = frame.column(&ts_col)?.datetimes()?.to_vec();
+
+    let mut days: Vec<i64> = Vec::new();
+    let mut per_topic: HashMap<String, HashMap<i64, f64>> = HashMap::new();
+    for (cell, ts) in lists.iter().zip(&times) {
+        let (Some(topics), Some(ts)) = (cell, ts) else { continue };
+        let day = ts.div_euclid(86_400);
+        if !days.contains(&day) {
+            days.push(day);
+        }
+        for t in topics {
+            *per_topic.entry(t.clone()).or_default().entry(day).or_insert(0.0) += 1.0;
+        }
+    }
+    days.sort_unstable();
+    // Only correlate reasonably frequent topics (rare topics produce
+    // spurious correlations).
+    let mut names: Vec<String> = per_topic
+        .iter()
+        .filter(|(_, m)| m.values().sum::<f64>() >= 5.0)
+        .map(|(n, _)| n.clone())
+        .collect();
+    names.sort();
+    let series: Vec<Vec<f64>> = names
+        .iter()
+        .map(|n| {
+            days.iter()
+                .map(|d| per_topic[n].get(d).copied().unwrap_or(0.0))
+                .collect()
+        })
+        .collect();
+    let mut rows: Vec<(String, String, f64)> = Vec::new();
+    for i in 0..names.len() {
+        for j in i + 1..names.len() {
+            if let Some(r) = pearson(&series[i], &series[j]) {
+                rows.push((names[i].clone(), names[j].clone(), r));
+            }
+        }
+    }
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    let a: Vec<String> = rows.iter().map(|(a, _, _)| a.clone()).collect();
+    let b: Vec<String> = rows.iter().map(|(_, b, _)| b.clone()).collect();
+    let c: Vec<f64> = rows.iter().map(|(_, _, c)| *c).collect();
+    Ok(RtValue::Frame(DataFrame::new(vec![
+        Column::from_strings("topic_a", a),
+        Column::from_strings("topic_b", b),
+        Column::from_f64s("correlation", &c),
+    ])?))
+}
+
+/// `emoji_stats(frame, text_col)` — frame of `(emoji, count)` descending.
+fn emoji_stats(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
+    let frame = arg_frame(&args, 0, "emoji_stats")?;
+    let col = arg_str(&args, 1, "emoji_stats")?;
+    let mut counts: HashMap<char, i64> = HashMap::new();
+    for cell in frame.column(&col)?.strs()?.iter().flatten() {
+        for e in allhands_text::extract_emoji(cell) {
+            *counts.entry(e).or_insert(0) += 1;
+        }
+    }
+    let mut pairs: Vec<(char, i64)> = counts.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let emoji: Vec<String> = pairs.iter().map(|(e, _)| e.to_string()).collect();
+    let n: Vec<i64> = pairs.iter().map(|(_, n)| *n).collect();
+    Ok(RtValue::Frame(DataFrame::new(vec![
+        Column::from_strings("emoji", emoji),
+        Column::from_i64s("count", &n),
+    ])?))
+}
+
+/// `keyword_stats(frame, text_col)` — content-word frequencies (stopwords,
+/// URLs, numbers, and emoji removed; words stemmed).
+fn keyword_stats(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
+    let frame = arg_frame(&args, 0, "keyword_stats")?;
+    let col = arg_str(&args, 1, "keyword_stats")?;
+    let mut counts: HashMap<String, i64> = HashMap::new();
+    for cell in frame.column(&col)?.strs()?.iter().flatten() {
+        for tok in allhands_text::preprocess(cell) {
+            if tok.starts_with('<') || allhands_text::extract_emoji(&tok).len() == tok.chars().count() {
+                continue;
+            }
+            *counts.entry(tok).or_insert(0) += 1;
+        }
+    }
+    let mut pairs: Vec<(String, i64)> = counts.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let kw: Vec<String> = pairs.iter().map(|(k, _)| k.clone()).collect();
+    let n: Vec<i64> = pairs.iter().map(|(_, n)| *n).collect();
+    Ok(RtValue::Frame(DataFrame::new(vec![
+        Column::from_strings("keyword", kw),
+        Column::from_i64s("count", &n),
+    ])?))
+}
+
+/// `anomaly_detect(frame, label_col, value_col, threshold)` — rows whose
+/// `value_col` z-score exceeds `threshold`, with the z-score attached.
+fn anomaly_detect(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
+    let frame = arg_frame(&args, 0, "anomaly_detect")?;
+    let label_col = arg_str(&args, 1, "anomaly_detect")?;
+    let value_col = arg_str(&args, 2, "anomaly_detect")?;
+    let threshold = arg_num(&args, 3, "anomaly_detect")?;
+    let values: Vec<f64> = frame
+        .column(&value_col)?
+        .f64_iter()
+        .map(|v| v.unwrap_or(0.0))
+        .collect();
+    let anomalous = zscore_anomalies(&values, threshold);
+    let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+    let std = {
+        let n = values.len() as f64;
+        if n < 2.0 {
+            1.0
+        } else {
+            (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+        }
+    };
+    let out = frame.take(&anomalous);
+    let zscores: Vec<f64> = anomalous
+        .iter()
+        .map(|&i| (values[i] - mean) / std.max(1e-12))
+        .collect();
+    let out = out
+        .select(&[&label_col, &value_col])?
+        .with_column(Column::from_f64s("zscore", &zscores))?;
+    Ok(RtValue::Frame(out))
+}
+
+/// `lump_small(frame, label_col, count_col, threshold, other_label)` —
+/// merge rows with `count_col < threshold` into one `other_label` row.
+fn lump_small(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
+    let frame = arg_frame(&args, 0, "lump_small")?;
+    let label_col = arg_str(&args, 1, "lump_small")?;
+    let count_col = arg_str(&args, 2, "lump_small")?;
+    let threshold = arg_num(&args, 3, "lump_small")?;
+    let other_label = arg_str(&args, 4, "lump_small")?;
+    let labels = frame.column(&label_col)?;
+    let counts = frame.column(&count_col)?;
+    let mut out_labels: Vec<String> = Vec::new();
+    let mut out_counts: Vec<f64> = Vec::new();
+    let mut lumped = 0.0;
+    for i in 0..frame.n_rows() {
+        let c = counts.get(i).as_f64().unwrap_or(0.0);
+        if c < threshold {
+            lumped += c;
+        } else {
+            out_labels.push(labels.get(i).to_string());
+            out_counts.push(c);
+        }
+    }
+    if lumped > 0.0 {
+        out_labels.push(other_label);
+        out_counts.push(lumped);
+    }
+    let count_ints: Vec<i64> = out_counts.iter().map(|&c| c as i64).collect();
+    Ok(RtValue::Frame(DataFrame::new(vec![
+        Column::from_strings(&label_col, out_labels),
+        Column::from_i64s(&count_col, &count_ints),
+    ])?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topics_frame() -> DataFrame {
+        DataFrame::new(vec![
+            Column::from_str_lists("topics", vec![
+                vec!["bug".into(), "ui".into()],
+                vec!["bug".into(), "ui".into()],
+                vec!["bug".into(), "perf".into()],
+                vec!["praise".into()],
+            ]),
+            Column::from_datetimes("ts", &[0, 86_400, 86_400 * 2, 86_400 * 8]),
+            Column::from_strs("text", &[
+                "crash 😡 bad",
+                "crash again 😡",
+                "slow loading",
+                "love it 😍",
+            ]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn co_occurrence_top_pair() {
+        let out = co_occurrence(vec![
+            RtValue::Frame(topics_frame()),
+            RtValue::Scalar(Value::str("topics")),
+        ])
+        .unwrap()
+        .into_frame()
+        .unwrap();
+        assert_eq!(out.cell(0, "topic_a").unwrap(), Value::str("bug"));
+        assert_eq!(out.cell(0, "topic_b").unwrap(), Value::str("ui"));
+        assert_eq!(out.cell(0, "count").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn emoji_stats_counts() {
+        let out = emoji_stats(vec![
+            RtValue::Frame(topics_frame()),
+            RtValue::Scalar(Value::str("text")),
+        ])
+        .unwrap()
+        .into_frame()
+        .unwrap();
+        assert_eq!(out.cell(0, "emoji").unwrap(), Value::str("😡"));
+        assert_eq!(out.cell(0, "count").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn keyword_stats_removes_noise() {
+        let out = keyword_stats(vec![
+            RtValue::Frame(topics_frame()),
+            RtValue::Scalar(Value::str("text")),
+        ])
+        .unwrap()
+        .into_frame()
+        .unwrap();
+        let kws: Vec<String> = (0..out.n_rows())
+            .map(|i| out.cell(i, "keyword").unwrap().to_string())
+            .collect();
+        assert!(kws.contains(&"crash".to_string()));
+        assert!(!kws.iter().any(|k| k == "it" || k == "😡"));
+    }
+
+    #[test]
+    fn issue_river_shapes() {
+        let fig = issue_river(vec![
+            RtValue::Frame(topics_frame()),
+            RtValue::Scalar(Value::str("topics")),
+            RtValue::Scalar(Value::str("ts")),
+            RtValue::Scalar(Value::Int(2)),
+        ])
+        .unwrap();
+        let RtValue::Figure(fig) = fig else { panic!("expected figure") };
+        assert_eq!(fig.kind, FigureKind::IssueRiver);
+        assert_eq!(fig.series.len(), 2);
+        assert!(fig.series.iter().any(|s| s.name == "bug"));
+    }
+
+    #[test]
+    fn lump_small_merges() {
+        let counts = DataFrame::new(vec![
+            Column::from_strs("tz", &["ET", "PT", "Quito", "Kathmandu"]),
+            Column::from_i64s("count", &[100, 50, 3, 2]),
+        ])
+        .unwrap();
+        let out = lump_small(vec![
+            RtValue::Frame(counts),
+            RtValue::Scalar(Value::str("tz")),
+            RtValue::Scalar(Value::str("count")),
+            RtValue::Scalar(Value::Int(30)),
+            RtValue::Scalar(Value::str("Others")),
+        ])
+        .unwrap()
+        .into_frame()
+        .unwrap();
+        assert_eq!(out.n_rows(), 3);
+        assert_eq!(out.cell(2, "tz").unwrap(), Value::str("Others"));
+        assert_eq!(out.cell(2, "count").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn anomaly_detect_finds_spike() {
+        let mut counts = vec![10i64; 20];
+        counts[7] = 90;
+        let labels: Vec<String> = (0..20).map(|i| format!("day{i}")).collect();
+        let df = DataFrame::new(vec![
+            Column::from_strings("date", labels),
+            Column::from_i64s("count", &counts),
+        ])
+        .unwrap();
+        let out = anomaly_detect(vec![
+            RtValue::Frame(df),
+            RtValue::Scalar(Value::str("date")),
+            RtValue::Scalar(Value::str("count")),
+            RtValue::Scalar(Value::Float(3.0)),
+        ])
+        .unwrap()
+        .into_frame()
+        .unwrap();
+        assert_eq!(out.n_rows(), 1);
+        assert_eq!(out.cell(0, "date").unwrap(), Value::str("day7"));
+    }
+
+    #[test]
+    fn grouped_bar_chart_long_format() {
+        let df = DataFrame::new(vec![
+            Column::from_strs("week", &["W1", "W1", "W2"]),
+            Column::from_strs("topic", &["bug", "perf", "bug"]),
+            Column::from_i64s("count", &[5, 3, 7]),
+        ])
+        .unwrap();
+        let fig = grouped_bar_chart(vec![
+            RtValue::Frame(df),
+            RtValue::Scalar(Value::str("week")),
+            RtValue::Scalar(Value::str("count")),
+            RtValue::Scalar(Value::str("topic")),
+            RtValue::Scalar(Value::str("t")),
+        ])
+        .unwrap();
+        let RtValue::Figure(fig) = fig else { panic!() };
+        assert_eq!(fig.x_labels, vec!["W1", "W2"]);
+        assert_eq!(fig.series.len(), 2);
+        let bug = fig.series.iter().find(|s| s.name == "bug").unwrap();
+        assert_eq!(bug.values, vec![5.0, 7.0]);
+        // Missing (perf, W2) combination fills with 0.
+        let perf = fig.series.iter().find(|s| s.name == "perf").unwrap();
+        assert_eq!(perf.values, vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn bad_args_error() {
+        assert!(bar_chart(vec![RtValue::Scalar(Value::Int(1))]).is_err());
+        assert!(word_cloud(vec![]).is_err());
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let r = PluginRegistry::with_builtins();
+        assert!(r.contains("issue_river"));
+        assert!(!r.contains("bogus"));
+        assert!(r.names().contains(&"word_cloud".to_string()));
+    }
+}

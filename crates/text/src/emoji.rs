@@ -1,0 +1,71 @@
+//! Emoji detection and extraction.
+//!
+//! Emoji carry strong sentiment signal in verbatim feedback (the paper's
+//! GoogleStoreApp question set even asks for "the most common emojis used in
+//! tweets about …"), so the tokenizer treats them as first-class tokens.
+
+/// Is this scalar in one of the emoji blocks?
+pub fn is_emoji(c: char) -> bool {
+    matches!(u32::from(c),
+        0x1F300..=0x1F5FF   // Misc symbols & pictographs
+        | 0x1F600..=0x1F64F // Emoticons
+        | 0x1F680..=0x1F6FF // Transport & map
+        | 0x1F900..=0x1F9FF // Supplemental symbols & pictographs
+        | 0x1FA70..=0x1FAFF // Symbols & pictographs extended-A
+        | 0x2600..=0x26FF   // Misc symbols (☀ ☹ …)
+        | 0x2700..=0x27BF   // Dingbats (✈ ❤ …)
+        | 0x1F1E6..=0x1F1FF // Regional indicators (flags)
+    )
+}
+
+/// Extract all emoji scalars from `text`, in order of appearance.
+pub fn extract_emoji(text: &str) -> Vec<char> {
+    text.chars().filter(|&c| is_emoji(c)).collect()
+}
+
+/// Crude emoji sentiment valence in [-1, 1]; 0 for unknown emoji.
+///
+/// Only the emoji that actually occur in the synthetic corpora need scores;
+/// everything else defaults to neutral.
+pub fn emoji_valence(c: char) -> f32 {
+    match c {
+        '😍' | '🥰' | '😻' => 1.0,
+        '😀' | '😄' | '😊' | '👍' | '🎉' | '❤' | '💯' | '🙏' => 0.8,
+        '🙂' | '✨' | '👌' => 0.5,
+        '😐' | '🤔' | '😶' => 0.0,
+        '😕' | '🙁' | '😒' => -0.5,
+        '😞' | '😢' | '👎' | '💔' => -0.8,
+        '😡' | '🤬' | '😠' | '😤' => -1.0,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_common_emoji() {
+        assert!(is_emoji('😀'));
+        assert!(is_emoji('😡'));
+        assert!(is_emoji('🎉'));
+        assert!(is_emoji('❤'));
+        assert!(!is_emoji('a'));
+        assert!(!is_emoji('!'));
+        assert!(!is_emoji('本'));
+    }
+
+    #[test]
+    fn extraction_preserves_order() {
+        assert_eq!(extract_emoji("good 😀 bad 😡 end"), vec!['😀', '😡']);
+        assert!(extract_emoji("no emoji here").is_empty());
+    }
+
+    #[test]
+    fn valence_signs() {
+        assert!(emoji_valence('😍') > 0.0);
+        assert!(emoji_valence('😡') < 0.0);
+        assert_eq!(emoji_valence('😐'), 0.0);
+        assert_eq!(emoji_valence('X'), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Lightweight language identification.
+//!
+//! The MSearch dataset mixes English with German, Spanish, French, and
+//! Portuguese feedback. We identify the language with a stopword-overlap
+//! score plus a few diacritic/character cues — enough to drive the
+//! multilingual embedder and the XLM-R stand-in baseline.
+
+use crate::normalize::fold_diacritics;
+use crate::stopwords::stopwords_for;
+use crate::tokenize::{tokenize, TokenKind};
+
+/// Languages recognised by [`detect_language`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Language {
+    English,
+    German,
+    Spanish,
+    French,
+    Portuguese,
+    /// Unrecognised or too short to tell.
+    Other,
+}
+
+impl Language {
+    /// ISO 639-1 code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Language::English => "en",
+            Language::German => "de",
+            Language::Spanish => "es",
+            Language::French => "fr",
+            Language::Portuguese => "pt",
+            Language::Other => "xx",
+        }
+    }
+
+    /// All concrete languages (excludes [`Language::Other`]).
+    pub fn all() -> [Language; 5] {
+        [
+            Language::English,
+            Language::German,
+            Language::Spanish,
+            Language::French,
+            Language::Portuguese,
+        ]
+    }
+}
+
+impl std::fmt::Display for Language {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Characteristic non-ASCII characters per language, used as a tiebreaker.
+fn char_cues(lang: Language) -> &'static [char] {
+    match lang {
+        Language::German => &['ä', 'ö', 'ü', 'ß'],
+        Language::Spanish => &['ñ', '¿', '¡', 'á', 'í', 'ó'],
+        Language::French => &['ç', 'è', 'ê', 'à', 'œ'],
+        Language::Portuguese => &['ã', 'õ', 'ç', 'á', 'ê'],
+        _ => &[],
+    }
+}
+
+/// Detect the dominant language of `text`.
+///
+/// Scores each candidate by stopword hit-rate over word tokens (diacritics
+/// folded so "não" matches the folded list entry "nao"), plus a bonus per
+/// characteristic character. Returns [`Language::Other`] when no language
+/// scores positively (e.g. pure emoji or CJK input).
+pub fn detect_language(text: &str) -> Language {
+    let words: Vec<String> = tokenize(text)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Word)
+        .map(|t| fold_diacritics(&t.text).to_lowercase())
+        .collect();
+    if words.is_empty() {
+        return Language::Other;
+    }
+
+    let mut best = (Language::Other, 0.0f64);
+    for lang in Language::all() {
+        let list = stopwords_for(lang);
+        let hits = words.iter().filter(|w| list.contains(&w.as_str())).count();
+        let mut score = hits as f64 / words.len() as f64;
+        let cue_hits = text.chars().filter(|c| char_cues(lang).contains(c)).count();
+        score += 0.15 * cue_hits.min(4) as f64;
+        // English gets a mild prior: it dominates the corpora and its short
+        // stopwords ("a", "no") collide with Romance-language words.
+        if lang == Language::English {
+            score += 0.02;
+        }
+        if score > best.1 {
+            best = (lang, score);
+        }
+    }
+    if best.1 < 0.05 {
+        Language::Other
+    } else {
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn english() {
+        assert_eq!(
+            detect_language("The search results are not what I was looking for"),
+            Language::English
+        );
+    }
+
+    #[test]
+    fn german() {
+        assert_eq!(
+            detect_language("Die Suche ist nicht gut und die Ergebnisse sind falsch"),
+            Language::German
+        );
+    }
+
+    #[test]
+    fn spanish() {
+        assert_eq!(
+            detect_language("La búsqueda no funciona y los resultados son muy malos"),
+            Language::Spanish
+        );
+    }
+
+    #[test]
+    fn french() {
+        assert_eq!(
+            detect_language("Les résultats ne sont pas bons pour cette recherche"),
+            Language::French
+        );
+    }
+
+    #[test]
+    fn portuguese() {
+        assert_eq!(
+            detect_language("Os resultados não são bons para essa pesquisa"),
+            Language::Portuguese
+        );
+    }
+
+    #[test]
+    fn other_for_emoji_only() {
+        assert_eq!(detect_language("😍😡🎉"), Language::Other);
+        assert_eq!(detect_language(""), Language::Other);
+    }
+
+    #[test]
+    fn codes() {
+        assert_eq!(Language::English.code(), "en");
+        assert_eq!(Language::Other.code(), "xx");
+    }
+}

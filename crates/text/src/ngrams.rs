@@ -1,0 +1,88 @@
+//! Word and character n-gram extraction.
+
+/// Join adjacent token windows of size `n` with `_`.
+///
+/// Returns an empty vector when `tokens.len() < n` or `n == 0`.
+pub fn ngrams(tokens: &[String], n: usize) -> Vec<String> {
+    if n == 0 || tokens.len() < n {
+        return Vec::new();
+    }
+    tokens.windows(n).map(|w| w.join("_")).collect()
+}
+
+/// Convenience wrapper: bigrams of a token sequence.
+pub fn bigrams(tokens: &[String]) -> Vec<String> {
+    ngrams(tokens, 2)
+}
+
+/// Character n-grams of a word, with `<` / `>` boundary markers (fastText
+/// style). Used by the multilingual embedder for subword robustness.
+pub fn char_ngrams(word: &str, n: usize) -> Vec<String> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let bounded: Vec<char> = std::iter::once('<')
+        .chain(word.chars())
+        .chain(std::iter::once('>'))
+        .collect();
+    if bounded.len() < n {
+        return vec![bounded.iter().collect()];
+    }
+    bounded.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+/// Character-trigram Jaccard similarity of two words (with boundary
+/// markers); 0.0 when either side is empty.
+pub fn trigram_jaccard(a: &str, b: &str) -> f32 {
+    use std::collections::HashSet;
+    let ga: HashSet<String> = char_ngrams(a, 3).into_iter().collect();
+    let gb: HashSet<String> = char_ngrams(b, 3).into_iter().collect();
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let inter = ga.intersection(&gb).count();
+    inter as f32 / (ga.len() + gb.len() - inter) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn word_ngrams() {
+        let t = toks(&["app", "keeps", "crashing"]);
+        assert_eq!(ngrams(&t, 2), vec!["app_keeps", "keeps_crashing"]);
+        assert_eq!(ngrams(&t, 3), vec!["app_keeps_crashing"]);
+        assert!(ngrams(&t, 4).is_empty());
+        assert!(ngrams(&t, 0).is_empty());
+    }
+
+    #[test]
+    fn bigram_alias() {
+        let t = toks(&["a", "b"]);
+        assert_eq!(bigrams(&t), vec!["a_b"]);
+    }
+
+    #[test]
+    fn char_ngrams_with_boundaries() {
+        let g = char_ngrams("app", 3);
+        assert_eq!(g, vec!["<ap", "app", "pp>"]);
+    }
+
+    #[test]
+    fn char_ngrams_short_word() {
+        // Word shorter than n yields the whole bounded word.
+        assert_eq!(char_ngrams("a", 4), vec!["<a>"]);
+    }
+
+    #[test]
+    fn char_ngrams_unicode() {
+        let g = char_ngrams("não", 3);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[0], "<nã");
+    }
+}

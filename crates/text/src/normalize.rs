@@ -1,0 +1,98 @@
+//! Case folding, diacritic folding, and elongation squashing.
+
+/// Normalize a word token: lowercase, fold common Latin diacritics, and
+/// squash character elongations ("sucksssss" → "suckss" → kept at max run 2)
+/// so that expressive spellings map onto their base forms.
+pub fn normalize(word: &str) -> String {
+    // Lowercase first: the diacritic fold table covers lowercase letters,
+    // so "Ý" must become "ý" before folding (idempotence demands it).
+    let folded: String = word.to_lowercase().chars().flat_map(fold_char).collect();
+    squash_elongation(&folded, 2)
+}
+
+/// Fold Latin diacritics to ASCII base letters; pass other chars through.
+pub fn fold_diacritics(s: &str) -> String {
+    s.chars().flat_map(fold_char).collect()
+}
+
+/// Map one char to its folded form (1 or 2 chars for ligatures like ß → ss).
+fn fold_char(c: char) -> impl Iterator<Item = char> {
+    let (a, b): (char, Option<char>) = match c {
+        'á' | 'à' | 'â' | 'ä' | 'ã' | 'å' | 'ā' => ('a', None),
+        'Á' | 'À' | 'Â' | 'Ä' | 'Ã' | 'Å' | 'Ā' => ('A', None),
+        'é' | 'è' | 'ê' | 'ë' | 'ē' | 'ė' => ('e', None),
+        'É' | 'È' | 'Ê' | 'Ë' | 'Ē' => ('E', None),
+        'í' | 'ì' | 'î' | 'ï' | 'ī' => ('i', None),
+        'Í' | 'Ì' | 'Î' | 'Ï' => ('I', None),
+        'ó' | 'ò' | 'ô' | 'ö' | 'õ' | 'ō' | 'ø' => ('o', None),
+        'Ó' | 'Ò' | 'Ô' | 'Ö' | 'Õ' | 'Ø' => ('O', None),
+        'ú' | 'ù' | 'û' | 'ü' | 'ū' => ('u', None),
+        'Ú' | 'Ù' | 'Û' | 'Ü' => ('U', None),
+        'ñ' => ('n', None),
+        'Ñ' => ('N', None),
+        'ç' => ('c', None),
+        'Ç' => ('C', None),
+        'ý' | 'ÿ' => ('y', None),
+        'ß' => ('s', Some('s')),
+        'œ' => ('o', Some('e')),
+        'æ' => ('a', Some('e')),
+        other => (other, None),
+    };
+    std::iter::once(a).chain(b)
+}
+
+/// Cap any run of the same character at `max` repetitions.
+fn squash_elongation(s: &str, max: usize) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut prev: Option<char> = None;
+    let mut run = 0usize;
+    for c in s.chars() {
+        if Some(c) == prev {
+            run += 1;
+        } else {
+            prev = Some(c);
+            run = 1;
+        }
+        if run <= max {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(normalize("GREAT"), "great");
+    }
+
+    #[test]
+    fn folds_diacritics() {
+        assert_eq!(normalize("aplicación"), "aplicacion");
+        assert_eq!(normalize("schön"), "schon");
+        assert_eq!(fold_diacritics("Müller"), "Muller");
+        assert_eq!(normalize("straße"), "strasse");
+    }
+
+    #[test]
+    fn squashes_elongation() {
+        assert_eq!(normalize("sucksssssss"), "suckss");
+        assert_eq!(normalize("noooooo"), "noo");
+        // Legitimate doubles survive.
+        assert_eq!(normalize("good"), "good");
+        assert_eq!(normalize("boott"), "boott");
+    }
+
+    #[test]
+    fn passes_through_non_latin() {
+        assert_eq!(normalize("日本語"), "日本語");
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(normalize(""), "");
+    }
+}

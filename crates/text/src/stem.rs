@@ -1,0 +1,300 @@
+//! Porter stemming algorithm (M.F. Porter, 1980), implemented from the
+//! original paper's five-step rule description.
+//!
+//! Operates on lowercase ASCII words; non-ASCII input is returned unchanged
+//! (multilingual tokens are handled upstream by folding or left intact).
+
+/// Stem a lowercase word with the Porter algorithm.
+///
+/// ```
+/// use allhands_text::porter_stem;
+/// assert_eq!(porter_stem("crashing"), "crash");
+/// assert_eq!(porter_stem("relational"), "relat");
+/// assert_eq!(porter_stem("sky"), "sky");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut w: Vec<u8> = word.as_bytes().to_vec();
+    step1a(&mut w);
+    step1b(&mut w);
+    step1c(&mut w);
+    step2(&mut w);
+    step3(&mut w);
+    step4(&mut w);
+    step5(&mut w);
+    // SAFETY-free: we only ever shrink/append ASCII bytes.
+    String::from_utf8(w).expect("porter stemmer produces ASCII")
+}
+
+/// Is `w[i]` a consonant (Porter's definition: `y` is a consonant when it
+/// follows a vowel position, i.e. at the start or after a consonant)?
+fn is_cons(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_cons(w, i - 1),
+        _ => true,
+    }
+}
+
+/// Porter's measure m of `w[..len]`: the number of VC sequences.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_cons(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_cons(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        m += 1;
+        // Skip consonants.
+        while i < len && is_cons(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+    }
+}
+
+/// Does `w[..len]` contain a vowel?
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_cons(w, i))
+}
+
+/// Does `w[..len]` end with a double consonant?
+fn double_cons(w: &[u8], len: usize) -> bool {
+    len >= 2 && w[len - 1] == w[len - 2] && is_cons(w, len - 1)
+}
+
+/// Does `w[..len]` end consonant-vowel-consonant, where the final consonant
+/// is not w, x, or y?
+fn cvc(w: &[u8], len: usize) -> bool {
+    len >= 3
+        && is_cons(w, len - 3)
+        && !is_cons(w, len - 2)
+        && is_cons(w, len - 1)
+        && !matches!(w[len - 1], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suf: &[u8]) -> bool {
+    w.len() >= suf.len() && &w[w.len() - suf.len()..] == suf
+}
+
+/// If w ends with `suf` and measure of the stem > `min_m`, replace suffix
+/// with `rep` and return true.
+fn replace_if(w: &mut Vec<u8>, suf: &[u8], rep: &[u8], min_m: usize) -> bool {
+    if ends_with(w, suf) {
+        let stem_len = w.len() - suf.len();
+        if measure(w, stem_len) > min_m {
+            w.truncate(stem_len);
+            w.extend_from_slice(rep);
+        }
+        return true; // suffix matched (even if condition failed): stop trying others
+    }
+    false
+}
+
+fn step1a(w: &mut Vec<u8>) {
+    if ends_with(w, b"sses") || ends_with(w, b"ies") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, b"ss") {
+        // keep
+    } else if ends_with(w, b"s") {
+        w.truncate(w.len() - 1);
+    }
+}
+
+fn step1b(w: &mut Vec<u8>) {
+    let mut cleanup = false;
+    if ends_with(w, b"eed") {
+        if measure(w, w.len() - 3) > 0 {
+            w.truncate(w.len() - 1);
+        }
+    } else if ends_with(w, b"ed") && has_vowel(w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        cleanup = true;
+    } else if ends_with(w, b"ing") && has_vowel(w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        cleanup = true;
+    }
+    if cleanup {
+        if ends_with(w, b"at") || ends_with(w, b"bl") || ends_with(w, b"iz") {
+            w.push(b'e');
+        } else if double_cons(w, w.len()) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
+            w.truncate(w.len() - 1);
+        } else if measure(w, w.len()) == 1 && cvc(w, w.len()) {
+            w.push(b'e');
+        }
+    }
+}
+
+fn step1c(w: &mut [u8]) {
+    let n = w.len();
+    if n >= 2 && w[n - 1] == b'y' && has_vowel(w, n - 1) {
+        w[n - 1] = b'i';
+    }
+}
+
+fn step2(w: &mut Vec<u8>) {
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"ational", b"ate"),
+        (b"tional", b"tion"),
+        (b"enci", b"ence"),
+        (b"anci", b"ance"),
+        (b"izer", b"ize"),
+        (b"abli", b"able"),
+        (b"alli", b"al"),
+        (b"entli", b"ent"),
+        (b"eli", b"e"),
+        (b"ousli", b"ous"),
+        (b"ization", b"ize"),
+        (b"ation", b"ate"),
+        (b"ator", b"ate"),
+        (b"alism", b"al"),
+        (b"iveness", b"ive"),
+        (b"fulness", b"ful"),
+        (b"ousness", b"ous"),
+        (b"aliti", b"al"),
+        (b"iviti", b"ive"),
+        (b"biliti", b"ble"),
+    ];
+    for (suf, rep) in RULES {
+        if replace_if(w, suf, rep, 0) {
+            return;
+        }
+    }
+}
+
+fn step3(w: &mut Vec<u8>) {
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"icate", b"ic"),
+        (b"ative", b""),
+        (b"alize", b"al"),
+        (b"iciti", b"ic"),
+        (b"ical", b"ic"),
+        (b"ful", b""),
+        (b"ness", b""),
+    ];
+    for (suf, rep) in RULES {
+        if replace_if(w, suf, rep, 0) {
+            return;
+        }
+    }
+}
+
+fn step4(w: &mut Vec<u8>) {
+    const SUFFIXES: &[&[u8]] = &[
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement",
+        b"ment", b"ent", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+    ];
+    for suf in SUFFIXES {
+        if ends_with(w, suf) {
+            let stem_len = w.len() - suf.len();
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+    // (m>1 and (*S or *T)) ION ->
+    if ends_with(w, b"ion") {
+        let stem_len = w.len() - 3;
+        if measure(w, stem_len) > 1
+            && stem_len >= 1
+            && matches!(w[stem_len - 1], b's' | b't')
+        {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+fn step5(w: &mut Vec<u8>) {
+    // Step 5a.
+    if ends_with(w, b"e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !cvc(w, stem_len)) {
+            w.truncate(stem_len);
+        }
+    }
+    // Step 5b.
+    if measure(w, w.len()) > 1 && double_cons(w, w.len()) && w[w.len() - 1] == b'l' {
+        w.truncate(w.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_examples() {
+        // Examples from Porter's paper.
+        assert_eq!(porter_stem("caresses"), "caress");
+        assert_eq!(porter_stem("ponies"), "poni");
+        assert_eq!(porter_stem("ties"), "ti");
+        assert_eq!(porter_stem("caress"), "caress");
+        assert_eq!(porter_stem("cats"), "cat");
+        assert_eq!(porter_stem("feed"), "feed");
+        assert_eq!(porter_stem("agreed"), "agre");
+        assert_eq!(porter_stem("plastered"), "plaster");
+        assert_eq!(porter_stem("bled"), "bled");
+        assert_eq!(porter_stem("motoring"), "motor");
+        assert_eq!(porter_stem("sing"), "sing");
+        assert_eq!(porter_stem("conflated"), "conflat");
+        assert_eq!(porter_stem("troubled"), "troubl");
+        assert_eq!(porter_stem("sized"), "size");
+        assert_eq!(porter_stem("hopping"), "hop");
+        assert_eq!(porter_stem("tanned"), "tan");
+        assert_eq!(porter_stem("falling"), "fall");
+        assert_eq!(porter_stem("hissing"), "hiss");
+        assert_eq!(porter_stem("fizzed"), "fizz");
+        assert_eq!(porter_stem("failing"), "fail");
+        assert_eq!(porter_stem("filing"), "file");
+        assert_eq!(porter_stem("happy"), "happi");
+        assert_eq!(porter_stem("sky"), "sky");
+        assert_eq!(porter_stem("relational"), "relat");
+        assert_eq!(porter_stem("conditional"), "condit");
+        assert_eq!(porter_stem("rational"), "ration");
+        assert_eq!(porter_stem("digitizer"), "digit");
+        assert_eq!(porter_stem("revival"), "reviv");
+        assert_eq!(porter_stem("allowance"), "allow");
+        assert_eq!(porter_stem("inference"), "infer");
+        assert_eq!(porter_stem("adoption"), "adopt");
+        assert_eq!(porter_stem("probate"), "probat");
+        assert_eq!(porter_stem("cease"), "ceas");
+        assert_eq!(porter_stem("controll"), "control");
+        assert_eq!(porter_stem("roll"), "roll");
+    }
+
+    #[test]
+    fn feedback_vocabulary() {
+        assert_eq!(porter_stem("crashes"), "crash");
+        assert_eq!(porter_stem("crashing"), "crash");
+        assert_eq!(porter_stem("crashed"), "crash");
+        assert_eq!(porter_stem("updates"), "updat");
+        assert_eq!(porter_stem("updating"), "updat");
+        assert_eq!(porter_stem("notifications"), "notif");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem("a"), "a");
+    }
+
+    #[test]
+    fn non_ascii_untouched() {
+        assert_eq!(porter_stem("über"), "über");
+        assert_eq!(porter_stem("日本"), "日本");
+    }
+}

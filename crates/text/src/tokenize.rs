@@ -1,0 +1,285 @@
+//! Unicode-aware tokenizer for verbatim feedback text.
+//!
+//! Feedback text is messy: it mixes words, URLs, emoji, numbers, and
+//! punctuation runs ("sucksssssss!!!"). The tokenizer classifies each token
+//! so downstream stages can choose what to keep.
+
+use crate::emoji::is_emoji;
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Alphabetic word (any script), possibly with internal apostrophes.
+    Word,
+    /// Digit run, optionally with decimal point or thousands separators.
+    Number,
+    /// `http(s)://…` or `www.…` span.
+    Url,
+    /// A single emoji scalar (or emoji + variation selector).
+    Emoji,
+    /// Anything else: punctuation and symbols.
+    Punct,
+}
+
+/// A token with its surface text, class, and byte offset in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The surface form, exactly as it appeared in the input.
+    pub text: String,
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token in the original input.
+    pub offset: usize,
+}
+
+impl Token {
+    fn new(text: impl Into<String>, kind: TokenKind, offset: usize) -> Self {
+        Token { text: text.into(), kind, offset }
+    }
+}
+
+/// Tokenize `input` into classified [`Token`]s.
+///
+/// Rules:
+/// - URLs (`http://`, `https://`, `www.`) are single tokens.
+/// - Word characters (alphabetic in any script, plus internal `'`/`’`)
+///   group into `Word` tokens.
+/// - Digit runs (with `.`/`,` between digits) group into `Number` tokens.
+/// - Each emoji is its own `Emoji` token.
+/// - Everything else that is not whitespace becomes a `Punct` token,
+///   with runs of the *same* character collapsed into one token.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    let n = chars.len();
+    let mut i = 0;
+
+    while i < n {
+        let (off, c) = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // URL detection.
+        if c.is_alphabetic() {
+            if let Some(end) = match_url(input, &chars, i) {
+                let text = &input[off..end_byte(input, &chars, end)];
+                tokens.push(Token::new(text, TokenKind::Url, off));
+                i = end;
+                continue;
+            }
+        }
+        if is_emoji(c) {
+            let mut j = i + 1;
+            // Absorb variation selectors / zero-width joiners into the emoji.
+            while j < n && matches!(chars[j].1, '\u{FE0F}' | '\u{200D}') {
+                j += 1;
+                if j < n && is_emoji(chars[j].1) {
+                    j += 1;
+                }
+            }
+            let text = &input[off..end_byte(input, &chars, j)];
+            tokens.push(Token::new(text, TokenKind::Emoji, off));
+            i = j;
+            continue;
+        }
+        if c.is_alphabetic() {
+            let mut j = i + 1;
+            while j < n {
+                let cj = chars[j].1;
+                if cj.is_alphabetic()
+                    || (matches!(cj, '\'' | '’')
+                        && j + 1 < n
+                        && chars[j + 1].1.is_alphabetic())
+                {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = &input[off..end_byte(input, &chars, j)];
+            tokens.push(Token::new(text, TokenKind::Word, off));
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n {
+                let cj = chars[j].1;
+                if cj.is_ascii_digit()
+                    || (matches!(cj, '.' | ',')
+                        && j + 1 < n
+                        && chars[j + 1].1.is_ascii_digit())
+                {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = &input[off..end_byte(input, &chars, j)];
+            tokens.push(Token::new(text, TokenKind::Number, off));
+            i = j;
+            continue;
+        }
+        // Punctuation: collapse runs of the same character ("!!!" -> "!!!").
+        let mut j = i + 1;
+        while j < n && chars[j].1 == c {
+            j += 1;
+        }
+        let text = &input[off..end_byte(input, &chars, j)];
+        tokens.push(Token::new(text, TokenKind::Punct, off));
+        i = j;
+    }
+    tokens
+}
+
+/// Byte offset just past char index `idx` (or input end).
+fn end_byte(input: &str, chars: &[(usize, char)], idx: usize) -> usize {
+    chars.get(idx).map_or(input.len(), |&(b, _)| b)
+}
+
+/// Try to match a URL starting at char index `i`; returns the end char index.
+fn match_url(input: &str, chars: &[(usize, char)], i: usize) -> Option<usize> {
+    let rest = &input[chars[i].0..];
+    let prefix_len = if rest.starts_with("http://") || rest.starts_with("https://") {
+        if rest.starts_with("https://") { 8 } else { 7 }
+    } else if rest.starts_with("www.") {
+        4
+    } else {
+        return None;
+    };
+    // Need at least one non-space char after the prefix to count as a URL.
+    let mut j = i;
+    let mut seen = 0usize;
+    while j < chars.len() && !chars[j].1.is_whitespace() {
+        seen += 1;
+        j += 1;
+    }
+    (seen > prefix_len).then_some(j)
+}
+
+/// Split `input` into sentences on `.`, `!`, `?`, and newlines, keeping
+/// non-empty trimmed spans. Decimal points inside numbers do not split.
+pub fn sentences(input: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let is_break = match b {
+            b'!' | b'?' | b'\n' => true,
+            b'.' => {
+                // "4.5" should not split; ". " or final "." should.
+                let prev_digit = i > 0 && bytes[i - 1].is_ascii_digit();
+                let next_digit = i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit();
+                !(prev_digit && next_digit)
+            }
+            _ => false,
+        };
+        if is_break {
+            let span = input[start..i].trim();
+            if !span.is_empty() {
+                out.push(span);
+            }
+            start = i + 1;
+        }
+        i += 1;
+    }
+    let tail = input[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        tokenize(s).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_and_punct() {
+        let toks = tokenize("Great app, love it!");
+        assert_eq!(
+            toks.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["Great", "app", ",", "love", "it", "!"]
+        );
+    }
+
+    #[test]
+    fn apostrophes_stay_inside_words() {
+        let toks = tokenize("don't it's");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].text, "don't");
+        assert_eq!(toks[0].kind, TokenKind::Word);
+    }
+
+    #[test]
+    fn urls_are_single_tokens() {
+        let toks = tokenize("see https://example.com/page?q=1 now");
+        assert_eq!(toks[1].kind, TokenKind::Url);
+        assert_eq!(toks[1].text, "https://example.com/page?q=1");
+        let toks = tokenize("www.vlc.org rocks");
+        assert_eq!(toks[0].kind, TokenKind::Url);
+    }
+
+    #[test]
+    fn numbers_with_decimals() {
+        let toks = tokenize("version 4.5.2 and 1,000 users");
+        assert_eq!(toks[1].text, "4.5.2");
+        assert_eq!(toks[1].kind, TokenKind::Number);
+        assert_eq!(toks[3].text, "1,000");
+    }
+
+    #[test]
+    fn emoji_are_separate_tokens() {
+        let toks = tokenize("love it 😍😡");
+        let emoji: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Emoji).collect();
+        assert_eq!(emoji.len(), 2);
+        assert_eq!(emoji[0].text, "😍");
+    }
+
+    #[test]
+    fn punct_runs_collapse() {
+        assert_eq!(kinds("wow!!!"), vec![TokenKind::Word, TokenKind::Punct]);
+        let toks = tokenize("wow!!!");
+        assert_eq!(toks[1].text, "!!!");
+    }
+
+    #[test]
+    fn offsets_are_byte_accurate() {
+        let s = "héllo world";
+        let toks = tokenize(s);
+        assert_eq!(&s[toks[1].offset..], "world");
+    }
+
+    #[test]
+    fn unicode_words() {
+        let toks = tokenize("aplicación no funciona");
+        assert_eq!(toks.len(), 3);
+        assert!(toks.iter().all(|t| t.kind == TokenKind::Word));
+    }
+
+    #[test]
+    fn sentence_split_basic() {
+        let s = sentences("Crashes a lot. Version 4.5 is bad! Why?");
+        assert_eq!(s, vec!["Crashes a lot", "Version 4.5 is bad", "Why"]);
+    }
+
+    #[test]
+    fn sentence_split_keeps_decimal() {
+        let s = sentences("Rated 4.5 stars overall");
+        assert_eq!(s, vec!["Rated 4.5 stars overall"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(sentences("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Document-term corpus construction with vocabulary pruning.
+
+use allhands_text::{preprocess, Vocabulary};
+
+/// A pruned bag-of-words corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Pruned vocabulary (ids are corpus-local).
+    pub vocab: Vocabulary,
+    /// Token-id sequence per document (pruned terms removed).
+    pub docs: Vec<Vec<u32>>,
+    /// The original texts (for labeling and BARTScore).
+    pub texts: Vec<String>,
+}
+
+impl Corpus {
+    /// Build from raw texts: standard preprocessing, then drop terms with
+    /// document frequency < `min_df` or > `max_df_frac` of documents.
+    pub fn build<S: AsRef<str>>(texts: &[S], min_df: u64, max_df_frac: f64) -> Corpus {
+        Self::build_capped(texts, min_df, max_df_frac, usize::MAX)
+    }
+
+    /// Like [`Corpus::build`] with an additional cap on vocabulary size:
+    /// only the `max_terms` highest-document-frequency terms survive.
+    /// Dense-decoder models (ProdLDA/CTM) need a bounded vocabulary.
+    pub fn build_capped<S: AsRef<str>>(
+        texts: &[S],
+        min_df: u64,
+        max_df_frac: f64,
+        max_terms: usize,
+    ) -> Corpus {
+        // First pass: full vocabulary with df counts.
+        let mut full = Vocabulary::new();
+        let tokenized: Vec<Vec<String>> = texts
+            .iter()
+            .map(|t| {
+                let toks = preprocess(t.as_ref());
+                full.add_document(toks.iter().map(String::as_str));
+                toks
+            })
+            .collect();
+        let max_df = (texts.len() as f64 * max_df_frac).ceil() as u64;
+        // Document-frequency cutoff implementing the max_terms cap.
+        let df_floor = {
+            let mut dfs: Vec<u64> = (0..full.len() as u32).map(|id| full.doc_freq(id)).collect();
+            dfs.sort_unstable_by(|a, b| b.cmp(a));
+            dfs.get(max_terms.saturating_sub(1)).copied().unwrap_or(0).max(min_df)
+        };
+
+        // Second pass: re-intern surviving terms into a compact vocabulary.
+        let mut vocab = Vocabulary::new();
+        let mut docs = Vec::with_capacity(texts.len());
+        for toks in &tokenized {
+            let kept: Vec<&str> = toks
+                .iter()
+                .filter(|t| {
+                    full.id_of(t)
+                        .map(|id| {
+                            let df = full.doc_freq(id);
+                            df >= df_floor && df <= max_df && !t.starts_with('<')
+                        })
+                        .unwrap_or(false)
+                })
+                .map(String::as_str)
+                .collect();
+            docs.push(vocab.add_document(kept));
+        }
+        Corpus {
+            vocab,
+            docs,
+            texts: texts.iter().map(|t| t.as_ref().to_string()).collect(),
+        }
+    }
+
+    /// Number of documents.
+    pub fn n_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Vocabulary size.
+    pub fn n_terms(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Per-document term counts as `(term, count)` pairs.
+    pub fn doc_term_counts(&self, doc: usize) -> Vec<(u32, u32)> {
+        let mut sorted = self.docs[doc].clone();
+        sorted.sort_unstable();
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for id in sorted {
+            match out.last_mut() {
+                Some((last, n)) if *last == id => *n += 1,
+                _ => out.push((id, 1)),
+            }
+        }
+        out
+    }
+
+    /// TF-IDF value for a `(doc, term, count)` triple.
+    pub fn tfidf(&self, count: u32, term: u32) -> f32 {
+        count as f32 * self.vocab.idf(term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruning_drops_rare_and_ubiquitous() {
+        let texts: Vec<String> = (0..10)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("common crash report uniqueword{i}")
+                } else {
+                    format!("common praise note uniqueword{i}")
+                }
+            })
+            .collect();
+        let corpus = Corpus::build(&texts, 2, 0.8);
+        // "uniqueword{i}" appears once each → pruned by min_df.
+        assert!(corpus.vocab.id_of("uniqueword0").is_none());
+        // "crash" survives.
+        assert!(corpus.vocab.id_of("crash").is_some());
+        // "common" appears in 100% of docs → pruned by max_df.
+        assert!(corpus.vocab.id_of("common").is_none());
+    }
+
+    #[test]
+    fn doc_term_counts_aggregate() {
+        let corpus = Corpus::build(&["crash crash bug", "crash bug bug"], 1, 1.0);
+        let counts = corpus.doc_term_counts(0);
+        let crash = corpus.vocab.id_of("crash").unwrap();
+        assert!(counts.contains(&(crash, 2)));
+    }
+
+    #[test]
+    fn empty_docs_are_kept_as_empty() {
+        let corpus = Corpus::build(&["crash bug crash bug", ""], 1, 1.0);
+        assert_eq!(corpus.n_docs(), 2);
+        assert!(corpus.docs[1].is_empty());
+    }
+}

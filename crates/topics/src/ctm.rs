@@ -1,0 +1,63 @@
+//! Contextualized Topic Model (Bianchi et al. 2020): ProdLDA whose encoder
+//! consumes pre-trained contextual sentence embeddings instead of
+//! bag-of-words. The decoder still reconstructs the BoW, so topics remain
+//! word distributions, but assignment benefits from contextual semantics.
+
+use crate::corpus::Corpus;
+use crate::prodlda::{fit_neural, NeuralTopicModel, ProdLdaConfig};
+use allhands_embed::{EmbedderConfig, SentenceEmbedder};
+
+/// Fit CTM: embeds the corpus texts with a sentence embedder and trains the
+/// shared neural topic model on those features. Returns the model plus the
+/// embedding features (needed for inference on the same documents).
+pub fn fit_ctm(
+    corpus: &Corpus,
+    config: &ProdLdaConfig,
+) -> (NeuralTopicModel, Vec<Vec<f32>>) {
+    let mut embedder = SentenceEmbedder::new(EmbedderConfig {
+        dims: 128,
+        ..EmbedderConfig::default()
+    });
+    embedder.fit(&corpus.texts);
+    let features: Vec<Vec<f32>> = corpus
+        .texts
+        .iter()
+        .map(|t| embedder.embed(t).into_vec())
+        .collect();
+    let model = fit_neural(corpus, &features, config);
+    (model, features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+
+    fn corpus() -> Corpus {
+        let mut texts = Vec::new();
+        for i in 0..25 {
+            texts.push(format!("crash bug error freeze broken {i}"));
+            texts.push(format!("love great amazing wonderful fast {i}"));
+        }
+        Corpus::build(&texts, 2, 1.0)
+    }
+
+    #[test]
+    fn produces_consistent_output() {
+        let c = corpus();
+        let (model, features) =
+            fit_ctm(&c, &ProdLdaConfig { k: 2, epochs: 30, learning_rate: 0.08, seed: 4 });
+        let out = model.output(&c, &features, 5);
+        assert_eq!(out.top_words.len(), 2);
+        assert_eq!(out.doc_topic.len(), c.n_docs());
+        // The contextual space should separate the two themes.
+        assert_ne!(out.doc_topic[0], out.doc_topic[1]);
+    }
+
+    #[test]
+    fn feature_dim_is_embedding_dim() {
+        let c = corpus();
+        let (_, features) = fit_ctm(&c, &ProdLdaConfig { k: 2, epochs: 2, ..Default::default() });
+        assert_eq!(features[0].len(), 128);
+    }
+}

@@ -1,0 +1,141 @@
+//! Hierarchical agglomerative clustering (Müllner 2011, naive O(n³)
+//! implementation — the HITLR round clusters at most a few hundred topic
+//! phrases, so simplicity wins over an NN-chain implementation).
+
+use allhands_embed::Embedding;
+
+/// Linkage criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Mean pairwise distance between clusters (UPGMA).
+    Average,
+    /// Minimum pairwise distance.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+}
+
+/// Cluster `points` bottom-up, merging until every inter-cluster distance
+/// exceeds `distance_threshold` (cosine distance = 1 − cosine similarity).
+/// Returns cluster index per point.
+pub fn agglomerative_clusters(
+    points: &[Embedding],
+    linkage: Linkage,
+    distance_threshold: f32,
+) -> Vec<usize> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Pairwise cosine distances.
+    let mut dist = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = 1.0 - points[i].cosine(&points[j]);
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+    // Active clusters as member lists.
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+
+    loop {
+        // Find the closest pair of clusters.
+        let mut best: Option<(usize, usize, f32)> = None;
+        for a in 0..clusters.len() {
+            for b in a + 1..clusters.len() {
+                let d = cluster_distance(&clusters[a], &clusters[b], &dist, linkage);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((a, b, d));
+                }
+            }
+        }
+        match best {
+            Some((a, b, d)) if d <= distance_threshold => {
+                // a < b, so removing b leaves index a stable.
+                let merged = clusters.swap_remove(b);
+                clusters[a].extend(merged);
+            }
+            _ => break,
+        }
+        if clusters.len() == 1 {
+            break;
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    for (c, members) in clusters.iter().enumerate() {
+        for &m in members {
+            assignment[m] = c;
+        }
+    }
+    assignment
+}
+
+fn cluster_distance(a: &[usize], b: &[usize], dist: &[Vec<f32>], linkage: Linkage) -> f32 {
+    let pairs = a.iter().flat_map(|&i| b.iter().map(move |&j| dist[i][j]));
+    match linkage {
+        Linkage::Average => {
+            let (sum, count) = pairs.fold((0.0f32, 0usize), |(s, c), d| (s + d, c + 1));
+            sum / count.max(1) as f32
+        }
+        Linkage::Single => pairs.fold(f32::INFINITY, f32::min),
+        Linkage::Complete => pairs.fold(f32::NEG_INFINITY, f32::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(x: f32, y: f32) -> Embedding {
+        Embedding::new(vec![x, y])
+    }
+
+    #[test]
+    fn merges_nearby_points() {
+        // Two tight angular clusters.
+        let points = vec![
+            e(1.0, 0.0),
+            e(0.99, 0.05),
+            e(0.98, 0.1),
+            e(0.0, 1.0),
+            e(0.05, 0.99),
+        ];
+        let assignment = agglomerative_clusters(&points, Linkage::Average, 0.2);
+        assert_eq!(assignment[0], assignment[1]);
+        assert_eq!(assignment[1], assignment[2]);
+        assert_eq!(assignment[3], assignment[4]);
+        assert_ne!(assignment[0], assignment[3]);
+    }
+
+    #[test]
+    fn zero_threshold_keeps_singletons() {
+        let points = vec![e(1.0, 0.0), e(0.0, 1.0), e(-1.0, 0.0)];
+        let assignment = agglomerative_clusters(&points, Linkage::Average, 0.0);
+        let distinct: std::collections::HashSet<_> = assignment.iter().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn huge_threshold_merges_everything() {
+        let points = vec![e(1.0, 0.0), e(0.0, 1.0), e(-1.0, 0.0)];
+        let assignment = agglomerative_clusters(&points, Linkage::Complete, 10.0);
+        assert!(assignment.iter().all(|&c| c == assignment[0]));
+    }
+
+    #[test]
+    fn linkages_differ_on_chains() {
+        // A chain: single-linkage merges it all, complete keeps ends apart.
+        let points = vec![e(1.0, 0.0), e(0.9, 0.43), e(0.62, 0.78), e(0.25, 0.97)];
+        let single = agglomerative_clusters(&points, Linkage::Single, 0.15);
+        let complete = agglomerative_clusters(&points, Linkage::Complete, 0.15);
+        let n_clusters = |a: &[usize]| a.iter().collect::<std::collections::HashSet<_>>().len();
+        assert!(n_clusters(&single) <= n_clusters(&complete));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(agglomerative_clusters(&[], Linkage::Average, 0.5).is_empty());
+        assert_eq!(agglomerative_clusters(&[e(1.0, 0.0)], Linkage::Average, 0.5), vec![0]);
+    }
+}

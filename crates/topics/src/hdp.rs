@@ -1,0 +1,277 @@
+//! Hierarchical Dirichlet Process topic model, direct-assignment collapsed
+//! sampler with on-the-fly topic creation (Teh et al. 2004, simplified:
+//! a truncation cap and fixed concentration parameters).
+//!
+//! Unlike LDA, the number of topics is inferred: a token may sit at an
+//! existing topic (probability ∝ usage) or open a new one (∝ `gamma`),
+//! so the model grows/shrinks its topic inventory with the data.
+
+use crate::corpus::Corpus;
+use crate::TopicModelOutput;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// HDP hyperparameters.
+#[derive(Debug, Clone)]
+pub struct HdpConfig {
+    /// New-topic concentration.
+    pub gamma: f64,
+    /// Document-level concentration.
+    pub alpha: f64,
+    /// Topic-word prior.
+    pub beta: f64,
+    /// Hard cap on topic count (truncation).
+    pub max_topics: usize,
+    pub iterations: usize,
+    pub seed: u64,
+}
+
+impl Default for HdpConfig {
+    fn default() -> Self {
+        HdpConfig { gamma: 1.5, alpha: 0.5, beta: 0.01, max_topics: 50, iterations: 100, seed: 11 }
+    }
+}
+
+/// A fitted HDP model.
+pub struct HdpModel {
+    config: HdpConfig,
+    topic_word: Vec<Vec<u32>>,
+    doc_topic: Vec<Vec<u32>>,
+    topic_totals: Vec<u32>,
+    /// Indices of topics still in use.
+    live: Vec<usize>,
+}
+
+/// Fit the HDP sampler.
+pub fn fit_hdp(corpus: &Corpus, config: &HdpConfig) -> HdpModel {
+    let v = corpus.n_terms().max(1);
+    let v_beta = v as f64 * config.beta;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    let mut topic_word: Vec<Vec<u32>> = Vec::new();
+    let mut topic_totals: Vec<u32> = Vec::new();
+    let mut doc_topic: Vec<Vec<u32>> = vec![Vec::new(); corpus.n_docs()];
+    let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(corpus.n_docs());
+
+    // Helper to ensure doc_topic rows track the global topic count.
+    fn ensure_len(row: &mut Vec<u32>, len: usize) {
+        if row.len() < len {
+            row.resize(len, 0);
+        }
+    }
+
+    // Initialize: every token starts in topic 0.
+    topic_word.push(vec![0u32; v]);
+    topic_totals.push(0);
+    for (d, doc) in corpus.docs.iter().enumerate() {
+        ensure_len(&mut doc_topic[d], 1);
+        let mut z = Vec::with_capacity(doc.len());
+        for &term in doc {
+            z.push(0usize);
+            topic_word[0][term as usize] += 1;
+            topic_totals[0] += 1;
+            doc_topic[d][0] += 1;
+        }
+        assignments.push(z);
+    }
+
+    for _ in 0..config.iterations {
+        for (d, doc) in corpus.docs.iter().enumerate() {
+            for (pos, &term) in doc.iter().enumerate() {
+                let old = assignments[d][pos];
+                topic_word[old][term as usize] -= 1;
+                topic_totals[old] -= 1;
+                doc_topic[d][old] -= 1;
+
+                let k = topic_word.len();
+                ensure_len(&mut doc_topic[d], k);
+                // Probabilities for existing topics + one slot for "new".
+                let mut probs = Vec::with_capacity(k + 1);
+                let mut total = 0.0f64;
+                for t in 0..k {
+                    let p = if topic_totals[t] == 0 {
+                        0.0 // dead topic: only reachable via the "new" slot
+                    } else {
+                        (doc_topic[d][t] as f64 + config.alpha)
+                            * (topic_word[t][term as usize] as f64 + config.beta)
+                            / (topic_totals[t] as f64 + v_beta)
+                    };
+                    probs.push(p);
+                    total += p;
+                }
+                let p_new = if k < config.max_topics {
+                    config.gamma * config.alpha / v as f64
+                } else {
+                    0.0
+                };
+                probs.push(p_new);
+                total += p_new;
+
+                let mut target = rng.gen_range(0.0..total);
+                let mut choice = probs.len() - 1;
+                for (t, &p) in probs.iter().enumerate() {
+                    target -= p;
+                    if target <= 0.0 {
+                        choice = t;
+                        break;
+                    }
+                }
+                // Floating-point residue can leave `choice` at the "new
+                // topic" slot even when p_new == 0 (truncation reached);
+                // fall back to the likeliest existing topic.
+                if choice == k && p_new == 0.0 {
+                    choice = probs[..k]
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .map(|(t, _)| t)
+                        .unwrap_or(0);
+                }
+                let new = if choice == k {
+                    // Open a new topic — reuse a dead slot if one exists.
+                    if let Some(dead) = topic_totals.iter().position(|&n| n == 0) {
+                        dead
+                    } else {
+                        topic_word.push(vec![0u32; v]);
+                        topic_totals.push(0);
+                        ensure_len(&mut doc_topic[d], topic_word.len());
+                        topic_word.len() - 1
+                    }
+                } else {
+                    choice
+                };
+                ensure_len(&mut doc_topic[d], topic_word.len());
+                assignments[d][pos] = new;
+                topic_word[new][term as usize] += 1;
+                topic_totals[new] += 1;
+                doc_topic[d][new] += 1;
+            }
+        }
+    }
+
+    let live: Vec<usize> = topic_totals
+        .iter()
+        .enumerate()
+        .filter_map(|(t, &n)| (n > 0).then_some(t))
+        .collect();
+    HdpModel { config: config.clone(), topic_word, doc_topic, topic_totals, live }
+}
+
+impl HdpModel {
+    /// Number of topics actually in use.
+    pub fn n_live_topics(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Convert to the uniform output (live topics renumbered densely).
+    pub fn output(&self, corpus: &Corpus, top_n: usize) -> TopicModelOutput {
+        let remap: std::collections::HashMap<usize, usize> = self
+            .live
+            .iter()
+            .enumerate()
+            .map(|(dense, &sparse)| (sparse, dense))
+            .collect();
+        let top_words: Vec<Vec<String>> = self
+            .live
+            .iter()
+            .map(|&t| {
+                let mut ids: Vec<u32> = (0..corpus.n_terms() as u32).collect();
+                ids.sort_by(|&a, &b| {
+                    self.topic_word[t][b as usize]
+                        .cmp(&self.topic_word[t][a as usize])
+                        .then(a.cmp(&b))
+                });
+                ids.into_iter()
+                    .take(top_n)
+                    .filter(|&id| self.topic_word[t][id as usize] > 0)
+                    .filter_map(|id| corpus.vocab.token_of(id).map(str::to_string))
+                    .collect()
+            })
+            .collect();
+
+        let mut doc_topic = Vec::with_capacity(corpus.n_docs());
+        let mut doc_confidence = Vec::with_capacity(corpus.n_docs());
+        for d in 0..corpus.n_docs() {
+            let counts = &self.doc_topic[d];
+            let total: u32 = counts.iter().sum();
+            if total == 0 {
+                doc_topic.push(None);
+                doc_confidence.push(0.0);
+                continue;
+            }
+            let denom = total as f64 + self.config.alpha * self.live.len() as f64;
+            let (best, conf) = self
+                .live
+                .iter()
+                .map(|&t| {
+                    let c = counts.get(t).copied().unwrap_or(0);
+                    (t, (c as f64 + self.config.alpha) / denom)
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("at least one live topic");
+            doc_topic.push(remap.get(&best).copied());
+            doc_confidence.push(conf);
+        }
+        TopicModelOutput { top_words, doc_topic, doc_confidence }
+    }
+
+    /// Mass conservation check hook.
+    pub fn total_tokens(&self) -> u32 {
+        self.topic_totals.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        let mut texts = Vec::new();
+        for i in 0..25 {
+            texts.push(format!("crash bug error freeze broken {i}"));
+            texts.push(format!("love great amazing wonderful fast {i}"));
+            texts.push(format!("battery drain power charging heat {i}"));
+        }
+        Corpus::build(&texts, 2, 1.0)
+    }
+
+    #[test]
+    fn infers_topic_count_in_range() {
+        let c = corpus();
+        let model = fit_hdp(&c, &HdpConfig { iterations: 60, ..Default::default() });
+        let k = model.n_live_topics();
+        assert!(k >= 2, "too few topics: {k}");
+        assert!(k <= 50, "truncation violated: {k}");
+    }
+
+    #[test]
+    fn counts_conserved() {
+        let c = corpus();
+        let total: usize = c.docs.iter().map(Vec::len).sum();
+        let model = fit_hdp(&c, &HdpConfig { iterations: 15, ..Default::default() });
+        assert_eq!(model.total_tokens() as usize, total);
+    }
+
+    #[test]
+    fn output_shape_consistent() {
+        let c = corpus();
+        let model = fit_hdp(&c, &HdpConfig { iterations: 30, ..Default::default() });
+        let out = model.output(&c, 8);
+        assert_eq!(out.top_words.len(), model.n_live_topics());
+        assert_eq!(out.doc_topic.len(), c.n_docs());
+        for dt in out.doc_topic.iter().flatten() {
+            assert!(*dt < out.top_words.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = corpus();
+        let cfg = HdpConfig { iterations: 20, seed: 5, ..Default::default() };
+        assert_eq!(
+            fit_hdp(&c, &cfg).n_live_topics(),
+            fit_hdp(&c, &cfg).n_live_topics()
+        );
+    }
+}

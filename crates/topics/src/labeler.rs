@@ -1,0 +1,79 @@
+//! T5-stand-in topic labeler.
+//!
+//! The paper uses T5 to summarize each baseline topic's keywords and an
+//! exemplar feedback into a 2-5 word human-readable label. This stand-in
+//! does what a small seq2seq model effectively does on this task: select
+//! the most representative keywords (re-ranked by how often they occur in
+//! the exemplar) and splice them into a short phrase. Quality is
+//! deliberately keyword-bound — that is precisely the extractive ceiling
+//! Table 3's BARTScore comparison exposes.
+
+use allhands_text::preprocess;
+use std::collections::HashSet;
+
+/// Produce a 2-5 word label for a topic from its `top_words` and an
+/// exemplar document.
+pub fn label_topic(top_words: &[String], exemplar: &str) -> String {
+    if top_words.is_empty() {
+        return "miscellaneous".to_string();
+    }
+    let exemplar_tokens: HashSet<String> = preprocess(exemplar).into_iter().collect();
+    // Rank keywords: those present in the exemplar first (stable order
+    // otherwise), then take up to 3.
+    let mut in_exemplar: Vec<&String> = Vec::new();
+    let mut rest: Vec<&String> = Vec::new();
+    for w in top_words.iter().take(10) {
+        if exemplar_tokens.contains(w) {
+            in_exemplar.push(w);
+        } else {
+            rest.push(w);
+        }
+    }
+    let chosen: Vec<&String> = in_exemplar.into_iter().chain(rest).take(3).collect();
+    let mut label = chosen
+        .iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    if label.split_whitespace().count() < 2 {
+        label.push_str(" issue");
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(ws: &[&str]) -> Vec<String> {
+        ws.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn exemplar_words_rank_first() {
+        let label = label_topic(
+            &words(&["filter", "crash", "camera"]),
+            "the camera crash happens daily",
+        );
+        // crash & camera appear in the exemplar so they lead.
+        assert!(label.starts_with("crash") || label.starts_with("camera"), "{label}");
+    }
+
+    #[test]
+    fn label_length_bounds() {
+        let label = label_topic(&words(&["a", "b", "c", "d", "e", "f"]), "");
+        let n = label.split_whitespace().count();
+        assert!((2..=5).contains(&n), "{label}");
+    }
+
+    #[test]
+    fn single_keyword_padded() {
+        let label = label_topic(&words(&["crash"]), "");
+        assert_eq!(label, "crash issue");
+    }
+
+    #[test]
+    fn empty_topic() {
+        assert_eq!(label_topic(&[], "whatever"), "miscellaneous");
+    }
+}

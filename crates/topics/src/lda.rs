@@ -1,0 +1,230 @@
+//! Latent Dirichlet Allocation via collapsed Gibbs sampling
+//! (Griffiths & Steyvers 2004).
+
+use crate::corpus::Corpus;
+use crate::TopicModelOutput;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// LDA hyperparameters.
+#[derive(Debug, Clone)]
+pub struct LdaConfig {
+    /// Number of topics.
+    pub k: usize,
+    /// Symmetric document-topic prior.
+    pub alpha: f64,
+    /// Symmetric topic-word prior.
+    pub beta: f64,
+    /// Gibbs sweeps.
+    pub iterations: usize,
+    pub seed: u64,
+}
+
+impl Default for LdaConfig {
+    fn default() -> Self {
+        LdaConfig { k: 15, alpha: 0.1, beta: 0.01, iterations: 120, seed: 7 }
+    }
+}
+
+/// A fitted LDA model (counts retained for inspection).
+pub struct LdaModel {
+    config: LdaConfig,
+    /// `topic_word[k][v]` counts.
+    topic_word: Vec<Vec<u32>>,
+    /// `doc_topic[d][k]` counts.
+    doc_topic: Vec<Vec<u32>>,
+    /// Totals per topic.
+    topic_totals: Vec<u32>,
+}
+
+/// Fit LDA on a corpus.
+pub fn fit_lda(corpus: &Corpus, config: &LdaConfig) -> LdaModel {
+    assert!(config.k >= 2, "k must be >= 2");
+    let k = config.k;
+    let v = corpus.n_terms().max(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    let mut topic_word = vec![vec![0u32; v]; k];
+    let mut doc_topic = vec![vec![0u32; k]; corpus.n_docs()];
+    let mut topic_totals = vec![0u32; k];
+    // Current topic assignment per token position.
+    let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(corpus.n_docs());
+
+    // Random initialization.
+    for (d, doc) in corpus.docs.iter().enumerate() {
+        let mut z = Vec::with_capacity(doc.len());
+        for &term in doc {
+            let t = rng.gen_range(0..k);
+            z.push(t);
+            topic_word[t][term as usize] += 1;
+            doc_topic[d][t] += 1;
+            topic_totals[t] += 1;
+        }
+        assignments.push(z);
+    }
+
+    let alpha = config.alpha;
+    let beta = config.beta;
+    let v_beta = v as f64 * beta;
+    let mut probs = vec![0.0f64; k];
+
+    for _ in 0..config.iterations {
+        for (d, doc) in corpus.docs.iter().enumerate() {
+            for (pos, &term) in doc.iter().enumerate() {
+                let old = assignments[d][pos];
+                // Remove the token from the counts.
+                topic_word[old][term as usize] -= 1;
+                doc_topic[d][old] -= 1;
+                topic_totals[old] -= 1;
+
+                // Full conditional.
+                let mut total = 0.0f64;
+                for (t, p) in probs.iter_mut().enumerate() {
+                    let tw = topic_word[t][term as usize] as f64;
+                    let dt = doc_topic[d][t] as f64;
+                    *p = (dt + alpha) * (tw + beta) / (topic_totals[t] as f64 + v_beta);
+                    total += *p;
+                }
+                // Sample.
+                let mut target = rng.gen_range(0.0..total);
+                let mut new = k - 1;
+                for (t, &p) in probs.iter().enumerate() {
+                    target -= p;
+                    if target <= 0.0 {
+                        new = t;
+                        break;
+                    }
+                }
+                assignments[d][pos] = new;
+                topic_word[new][term as usize] += 1;
+                doc_topic[d][new] += 1;
+                topic_totals[new] += 1;
+            }
+        }
+    }
+
+    LdaModel { config: config.clone(), topic_word, doc_topic, topic_totals }
+}
+
+impl LdaModel {
+    /// Top `n` words of topic `t` (descending probability).
+    pub fn top_words(&self, corpus: &Corpus, t: usize, n: usize) -> Vec<String> {
+        let mut ids: Vec<u32> = (0..corpus.n_terms() as u32).collect();
+        ids.sort_by(|&a, &b| {
+            self.topic_word[t][b as usize]
+                .cmp(&self.topic_word[t][a as usize])
+                .then(a.cmp(&b))
+        });
+        ids.into_iter()
+            .take(n)
+            .filter(|&id| self.topic_word[t][id as usize] > 0)
+            .filter_map(|id| corpus.vocab.token_of(id).map(str::to_string))
+            .collect()
+    }
+
+    /// Document-topic distribution (posterior mean).
+    pub fn doc_distribution(&self, d: usize) -> Vec<f64> {
+        let counts = &self.doc_topic[d];
+        let total: u32 = counts.iter().sum();
+        let denom = total as f64 + self.config.k as f64 * self.config.alpha;
+        counts
+            .iter()
+            .map(|&c| (c as f64 + self.config.alpha) / denom)
+            .collect()
+    }
+
+    /// Convert to the uniform output shape.
+    pub fn output(&self, corpus: &Corpus, top_n: usize) -> TopicModelOutput {
+        let top_words = (0..self.config.k)
+            .map(|t| self.top_words(corpus, t, top_n))
+            .collect();
+        let mut doc_topic = Vec::with_capacity(corpus.n_docs());
+        let mut doc_confidence = Vec::with_capacity(corpus.n_docs());
+        for d in 0..corpus.n_docs() {
+            if corpus.docs[d].is_empty() {
+                doc_topic.push(None);
+                doc_confidence.push(0.0);
+                continue;
+            }
+            let dist = self.doc_distribution(d);
+            let (best, conf) = dist
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, &p)| (i, p))
+                .expect("k >= 2");
+            doc_topic.push(Some(best));
+            doc_confidence.push(conf);
+        }
+        TopicModelOutput { top_words, doc_topic, doc_confidence }
+    }
+
+    /// Total topic-word count mass (for tests).
+    pub fn total_tokens(&self) -> u32 {
+        self.topic_totals.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two obvious themes: crashes and praise.
+    fn corpus() -> Corpus {
+        let mut texts = Vec::new();
+        for i in 0..30 {
+            texts.push(format!("app crash bug error freeze broken crash {i}"));
+            texts.push(format!("love great amazing wonderful smooth fast {i}"));
+        }
+        Corpus::build(&texts, 2, 1.0)
+    }
+
+    #[test]
+    fn recovers_two_themes() {
+        let c = corpus();
+        let model = fit_lda(&c, &LdaConfig { k: 2, iterations: 80, ..Default::default() });
+        let out = model.output(&c, 5);
+        // One topic should be crash-flavoured, the other praise-flavoured.
+        let joined: Vec<String> = out.top_words.iter().map(|w| w.join(" ")).collect();
+        let crash_topic = joined.iter().position(|w| w.contains("crash")).expect("crash topic");
+        let praise_topic = joined.iter().position(|w| w.contains("love") || w.contains("great"))
+            .expect("praise topic");
+        assert_ne!(crash_topic, praise_topic);
+        // Documents should separate accordingly.
+        assert_eq!(out.doc_topic[0], Some(crash_topic));
+        assert_eq!(out.doc_topic[1], Some(praise_topic));
+    }
+
+    #[test]
+    fn counts_conserved() {
+        let c = corpus();
+        let total_tokens: usize = c.docs.iter().map(Vec::len).sum();
+        let model = fit_lda(&c, &LdaConfig { k: 3, iterations: 10, ..Default::default() });
+        assert_eq!(model.total_tokens() as usize, total_tokens);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = corpus();
+        let a = fit_lda(&c, &LdaConfig { k: 2, iterations: 20, seed: 3, ..Default::default() });
+        let b = fit_lda(&c, &LdaConfig { k: 2, iterations: 20, seed: 3, ..Default::default() });
+        assert_eq!(a.top_words(&c, 0, 5), b.top_words(&c, 0, 5));
+    }
+
+    #[test]
+    fn doc_distribution_sums_to_one() {
+        let c = corpus();
+        let model = fit_lda(&c, &LdaConfig { k: 4, iterations: 10, ..Default::default() });
+        let dist = model.doc_distribution(0);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_docs_unassigned() {
+        let c = Corpus::build(&["crash bug crash bug", ""], 1, 1.0);
+        let model = fit_lda(&c, &LdaConfig { k: 2, iterations: 10, ..Default::default() });
+        let out = model.output(&c, 3);
+        assert_eq!(out.doc_topic[1], None);
+    }
+}

@@ -1,0 +1,61 @@
+//! Topic-modeling baselines and evaluation metrics (paper Table 3).
+//!
+//! From-scratch implementations of the five extractive/neural baselines the
+//! paper compares against — LDA (collapsed Gibbs), HDP (direct-assignment
+//! sampler with topic creation), NMF (multiplicative updates), ProdLDA
+//! (logistic-normal VAE with manual gradients), CTM (ProdLDA conditioned on
+//! contextual sentence embeddings) — plus:
+//!
+//! - a T5-stand-in [`labeler`] that turns topic keyword lists into short
+//!   labels (the paper summarizes baseline topics with T5);
+//! - [`hac`]: hierarchical agglomerative clustering, used by the
+//!   human-in-the-loop refinement round;
+//! - [`metrics`]: the three Table 3 measures — a BARTScore substitute,
+//!   pairwise NPMI coherence, and OthersRate.
+//!
+//! Every model consumes a [`Corpus`] (pruned document-term data) and
+//! produces a [`TopicModelOutput`] so the Table 3 harness can treat them
+//! uniformly.
+
+pub mod corpus;
+pub mod ctm;
+pub mod hac;
+pub mod hdp;
+pub mod labeler;
+pub mod lda;
+pub mod metrics;
+pub mod nmf;
+pub mod prodlda;
+
+pub use corpus::Corpus;
+pub use hac::{agglomerative_clusters, Linkage};
+pub use labeler::label_topic;
+pub use metrics::{bart_score, npmi_coherence, others_rate, BartScorer};
+
+/// Uniform output of every baseline topic model.
+#[derive(Debug, Clone)]
+pub struct TopicModelOutput {
+    /// Top words per topic (descending weight), `top_words[k]`.
+    pub top_words: Vec<Vec<String>>,
+    /// Per-document dominant topic index; `None` = unassigned ("others").
+    pub doc_topic: Vec<Option<usize>>,
+    /// Per-document topic-probability of the dominant topic.
+    pub doc_confidence: Vec<f64>,
+}
+
+impl TopicModelOutput {
+    /// Number of topics.
+    pub fn n_topics(&self) -> usize {
+        self.top_words.len()
+    }
+
+    /// Mark documents whose dominant-topic confidence is below `threshold`
+    /// as unassigned (the "others" bucket the OthersRate metric counts).
+    pub fn apply_confidence_threshold(&mut self, threshold: f64) {
+        for (slot, &conf) in self.doc_topic.iter_mut().zip(&self.doc_confidence) {
+            if conf < threshold {
+                *slot = None;
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Seeded k-means (k-means++ initialization, Lloyd iterations).
+//!
+//! Used by [`crate::IvfIndex`] to partition the vector space, and by the
+//! human-in-the-loop refinement pipeline indirectly through clustering.
+
+use allhands_embed::Embedding;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Output of [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final centroids (≤ k when there were fewer distinct points).
+    pub centroids: Vec<Embedding>,
+    /// Per-input centroid assignment (indexes into `centroids`).
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+/// Run k-means with k-means++ seeding for at most `max_iters` Lloyd steps.
+///
+/// Deterministic for a given `seed`. Panics if `points` is empty or `k == 0`.
+pub fn kmeans(points: &[&Embedding], k: usize, max_iters: usize, seed: u64) -> KMeansResult {
+    assert!(!points.is_empty(), "kmeans requires at least one point");
+    assert!(k > 0, "k must be positive");
+    let k = k.min(points.len());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // k-means++ initialization.
+    let mut centroids: Vec<Embedding> = Vec::with_capacity(k);
+    let first = rng.gen_range(0..points.len());
+    centroids.push(points[first].clone());
+    let mut dists: Vec<f32> = points
+        .iter()
+        .map(|p| p.sq_dist(&centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().map(|&d| d as f64).sum();
+        let next = if total <= f64::EPSILON {
+            // All remaining points coincide with chosen centroids.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                target -= d as f64;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = p.sq_dist(centroids.last().expect("just pushed"));
+            if d < dists[i] {
+                dists[i] = d;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; points.len()];
+    let mut inertia = f64::INFINITY;
+    for _ in 0..max_iters {
+        // Assignment step.
+        let mut new_inertia = 0.0f64;
+        for (i, p) in points.iter().enumerate() {
+            let (best, d) = centroids
+                .iter()
+                .enumerate()
+                .map(|(c, ctr)| (c, p.sq_dist(ctr)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("k >= 1");
+            assignments[i] = best;
+            new_inertia += d as f64;
+        }
+        // Update step.
+        let dims = points[0].dims();
+        let mut sums = vec![vec![0.0f32; dims]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p.as_slice()) {
+                *s += v;
+            }
+        }
+        for (c, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+            if count > 0 {
+                let inv = 1.0 / count as f32;
+                centroids[c] = Embedding::new(sum.iter().map(|s| s * inv).collect());
+            }
+            // Empty cluster: keep old centroid (it may capture points later).
+        }
+        // Converged?
+        if (inertia - new_inertia).abs() < 1e-9 {
+            inertia = new_inertia;
+            break;
+        }
+        inertia = new_inertia;
+    }
+    KMeansResult { centroids, assignments, inertia }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(raw: &[(f32, f32)]) -> Vec<Embedding> {
+        raw.iter().map(|&(x, y)| Embedding::new(vec![x, y])).collect()
+    }
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let data = pts(&[
+            (0.0, 0.0), (0.1, 0.1), (0.0, 0.2),
+            (5.0, 5.0), (5.1, 4.9), (4.9, 5.2),
+        ]);
+        let refs: Vec<&Embedding> = data.iter().collect();
+        let r = kmeans(&refs, 2, 50, 1);
+        assert_eq!(r.assignments[0], r.assignments[1]);
+        assert_eq!(r.assignments[3], r.assignments[4]);
+        assert_ne!(r.assignments[0], r.assignments[3]);
+        assert!(r.inertia < 0.5);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let data = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0), (0.0, 2.0)]);
+        let refs: Vec<&Embedding> = data.iter().collect();
+        let a = kmeans(&refs, 2, 10, 7);
+        let b = kmeans(&refs, 2, 10, 7);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let data = pts(&[(0.0, 0.0), (1.0, 1.0)]);
+        let refs: Vec<&Embedding> = data.iter().collect();
+        let r = kmeans(&refs, 10, 5, 0);
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn identical_points_ok() {
+        let data = pts(&[(1.0, 1.0); 5]);
+        let refs: Vec<&Embedding> = data.iter().collect();
+        let r = kmeans(&refs, 3, 5, 0);
+        assert!(r.inertia < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_panics() {
+        kmeans(&[], 2, 5, 0);
+    }
+}

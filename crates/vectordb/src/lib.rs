@@ -1,0 +1,463 @@
+//! In-memory vector database for AllHands.
+//!
+//! The paper stores sentence-transformer embeddings of labeled feedback in a
+//! vector database and retrieves the top-K most similar samples (cosine
+//! similarity) to build in-context-learning prompts (Sec. 3.2), and again
+//! during human-in-the-loop topic refinement (Sec. 3.3.2).
+//!
+//! Two index types with one API:
+//! - [`FlatIndex`]: exact brute-force scan — the correctness baseline.
+//! - [`IvfIndex`]: inverted-file index over k-means partitions — the
+//!   realistic accuracy/latency trade-off, probing `nprobe` nearest
+//!   partitions.
+//!
+//! Both support metadata key/value filtering at query time (e.g. restrict
+//! retrieval to demonstrations from one dataset or label).
+//!
+//! # Example
+//!
+//! ```
+//! use allhands_vectordb::{FlatIndex, Record, VectorIndex};
+//! use allhands_embed::Embedding;
+//!
+//! let mut index = FlatIndex::new(4);
+//! index.insert(Record::new(0, Embedding::new(vec![1.0, 0.0, 0.0, 0.0]))
+//!     .with_meta("label", "bug"));
+//! index.insert(Record::new(1, Embedding::new(vec![0.0, 1.0, 0.0, 0.0]))
+//!     .with_meta("label", "praise"));
+//!
+//! let hits = index.search(&Embedding::new(vec![0.9, 0.1, 0.0, 0.0]), 1);
+//! assert_eq!(hits[0].id, 0);
+//! ```
+
+pub mod kmeans;
+
+pub use kmeans::{kmeans, KMeansResult};
+
+use allhands_embed::Embedding;
+use std::collections::HashMap;
+
+/// A stored record: id, embedding, and optional string metadata.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Caller-assigned identifier (e.g. feedback row index).
+    pub id: u64,
+    /// The embedding vector.
+    pub vector: Embedding,
+    /// Arbitrary key/value metadata used for filtered search.
+    pub metadata: HashMap<String, String>,
+}
+
+impl Record {
+    /// Create a record with empty metadata.
+    pub fn new(id: u64, vector: Embedding) -> Self {
+        Record { id, vector, metadata: HashMap::new() }
+    }
+
+    /// Builder-style metadata attachment.
+    pub fn with_meta(mut self, key: &str, value: &str) -> Self {
+        self.metadata.insert(key.to_string(), value.to_string());
+        self
+    }
+}
+
+/// One search hit: record id and cosine similarity score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Id of the matching record.
+    pub id: u64,
+    /// Cosine similarity to the query, in [-1, 1].
+    pub score: f32,
+}
+
+/// A metadata predicate: all listed key/value pairs must match exactly.
+#[derive(Debug, Clone, Default)]
+pub struct Filter {
+    conditions: Vec<(String, String)>,
+}
+
+impl Filter {
+    /// The empty filter (matches everything).
+    pub fn none() -> Self {
+        Filter::default()
+    }
+
+    /// Require `key == value`.
+    pub fn must(mut self, key: &str, value: &str) -> Self {
+        self.conditions.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Does `record` satisfy all conditions?
+    pub fn matches(&self, record: &Record) -> bool {
+        self.conditions
+            .iter()
+            .all(|(k, v)| record.metadata.get(k).is_some_and(|rv| rv == v))
+    }
+
+    /// True when the filter has no conditions.
+    pub fn is_empty(&self) -> bool {
+        self.conditions.is_empty()
+    }
+}
+
+/// Common interface of the vector indexes.
+pub trait VectorIndex {
+    /// Insert one record. Panics on dimension mismatch.
+    fn insert(&mut self, record: Record);
+
+    /// Exact or approximate top-`k` cosine search.
+    fn search(&self, query: &Embedding, k: usize) -> Vec<SearchResult> {
+        self.search_filtered(query, k, &Filter::none())
+    }
+
+    /// Top-`k` search restricted to records matching `filter`.
+    fn search_filtered(&self, query: &Embedding, k: usize, filter: &Filter) -> Vec<SearchResult>;
+
+    /// Number of stored records.
+    fn len(&self) -> usize;
+
+    /// True when empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch a record by id.
+    fn get(&self, id: u64) -> Option<&Record>;
+}
+
+/// Keep the best `k` results from a scored candidate stream, ties broken by
+/// ascending id for determinism.
+fn top_k(mut candidates: Vec<SearchResult>, k: usize) -> Vec<SearchResult> {
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+    candidates.truncate(k);
+    candidates
+}
+
+/// Exact brute-force index.
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    dims: usize,
+    records: Vec<Record>,
+    by_id: HashMap<u64, usize>,
+}
+
+impl FlatIndex {
+    /// Create an empty index for `dims`-dimensional vectors.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        FlatIndex { dims, records: Vec::new(), by_id: HashMap::new() }
+    }
+
+    /// Remove a record by id; returns true if it existed.
+    pub fn remove(&mut self, id: u64) -> bool {
+        match self.by_id.remove(&id) {
+            Some(pos) => {
+                self.records.swap_remove(pos);
+                if let Some(moved) = self.records.get(pos) {
+                    self.by_id.insert(moved.id, pos);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterate all records.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn insert(&mut self, record: Record) {
+        assert_eq!(record.vector.dims(), self.dims, "dimension mismatch");
+        if let Some(&pos) = self.by_id.get(&record.id) {
+            self.records[pos] = record; // upsert
+        } else {
+            self.by_id.insert(record.id, self.records.len());
+            self.records.push(record);
+        }
+    }
+
+    fn search_filtered(&self, query: &Embedding, k: usize, filter: &Filter) -> Vec<SearchResult> {
+        assert_eq!(query.dims(), self.dims, "dimension mismatch");
+        let candidates = self
+            .records
+            .iter()
+            .filter(|r| filter.matches(r))
+            .map(|r| SearchResult { id: r.id, score: query.cosine(&r.vector) })
+            .collect();
+        top_k(candidates, k)
+    }
+
+    fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    fn get(&self, id: u64) -> Option<&Record> {
+        self.by_id.get(&id).map(|&pos| &self.records[pos])
+    }
+}
+
+/// Inverted-file (IVF) index: records are partitioned by k-means over a
+/// training sample; queries probe the `nprobe` nearest partitions.
+///
+/// Until [`IvfIndex::train`] is called (or before `train_threshold` records
+/// exist), searches fall back to an exact scan, so the index is always
+/// correct — training only changes the speed/recall trade-off.
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    dims: usize,
+    /// Partition centroids (empty = untrained).
+    centroids: Vec<Embedding>,
+    /// Per-partition record storage.
+    partitions: Vec<Vec<Record>>,
+    /// id → (partition, offset)
+    by_id: HashMap<u64, (usize, usize)>,
+    /// Number of partitions to probe at query time.
+    pub nprobe: usize,
+    seed: u64,
+}
+
+impl IvfIndex {
+    /// Create an untrained IVF index.
+    pub fn new(dims: usize, nprobe: usize) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        IvfIndex {
+            dims,
+            centroids: Vec::new(),
+            partitions: vec![Vec::new()],
+            by_id: HashMap::new(),
+            nprobe: nprobe.max(1),
+            seed: 42,
+        }
+    }
+
+    /// Train `n_partitions` k-means centroids on the current contents and
+    /// re-assign every record. No-op if fewer records than partitions.
+    pub fn train(&mut self, n_partitions: usize) {
+        let all: Vec<Record> = self.partitions.drain(..).flatten().collect();
+        if all.len() < n_partitions || n_partitions < 2 {
+            self.centroids.clear();
+            self.partitions = vec![all];
+            self.rebuild_id_map();
+            return;
+        }
+        let vectors: Vec<&Embedding> = all.iter().map(|r| &r.vector).collect();
+        let result = kmeans(&vectors, n_partitions, 20, self.seed);
+        self.centroids = result.centroids;
+        self.partitions = vec![Vec::new(); self.centroids.len()];
+        for (record, &part) in all.into_iter().zip(&result.assignments) {
+            self.partitions[part].push(record);
+        }
+        self.rebuild_id_map();
+    }
+
+    fn rebuild_id_map(&mut self) {
+        self.by_id.clear();
+        for (p, partition) in self.partitions.iter().enumerate() {
+            for (o, record) in partition.iter().enumerate() {
+                self.by_id.insert(record.id, (p, o));
+            }
+        }
+    }
+
+    /// Which partition should `vector` live in?
+    fn assign(&self, vector: &Embedding) -> usize {
+        if self.centroids.is_empty() {
+            return 0;
+        }
+        self.centroids
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                vector
+                    .sq_dist(a)
+                    .partial_cmp(&vector.sq_dist(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Is the index trained (partitioned)?
+    pub fn is_trained(&self) -> bool {
+        !self.centroids.is_empty()
+    }
+
+    /// Number of partitions (1 when untrained).
+    pub fn n_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn insert(&mut self, record: Record) {
+        assert_eq!(record.vector.dims(), self.dims, "dimension mismatch");
+        // Upsert: the new vector may belong to a different partition than
+        // the old one, so remove the stale entry first.
+        if let Some(&(p, o)) = self.by_id.get(&record.id) {
+            self.partitions[p].swap_remove(o);
+            if let Some(moved) = self.partitions[p].get(o) {
+                self.by_id.insert(moved.id, (p, o));
+            }
+            self.by_id.remove(&record.id);
+        }
+        let part = self.assign(&record.vector);
+        self.by_id.insert(record.id, (part, self.partitions[part].len()));
+        self.partitions[part].push(record);
+    }
+
+    fn search_filtered(&self, query: &Embedding, k: usize, filter: &Filter) -> Vec<SearchResult> {
+        assert_eq!(query.dims(), self.dims, "dimension mismatch");
+        let probe: Vec<usize> = if self.centroids.is_empty() {
+            (0..self.partitions.len()).collect()
+        } else {
+            // Rank partitions by centroid distance, probe the nearest nprobe.
+            let mut ranked: Vec<(usize, f32)> = self
+                .centroids
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i, query.sq_dist(c)))
+                .collect();
+            ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            ranked.into_iter().take(self.nprobe).map(|(i, _)| i).collect()
+        };
+        let candidates = probe
+            .into_iter()
+            .flat_map(|p| self.partitions[p].iter())
+            .filter(|r| filter.matches(r))
+            .map(|r| SearchResult { id: r.id, score: query.cosine(&r.vector) })
+            .collect();
+        top_k(candidates, k)
+    }
+
+    fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    fn get(&self, id: u64) -> Option<&Record> {
+        self.by_id.get(&id).map(|&(p, o)| &self.partitions[p][o])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec2(x: f32, y: f32) -> Embedding {
+        Embedding::new(vec![x, y])
+    }
+
+    #[test]
+    fn flat_exact_topk() {
+        let mut idx = FlatIndex::new(2);
+        idx.insert(Record::new(0, vec2(1.0, 0.0)));
+        idx.insert(Record::new(1, vec2(0.0, 1.0)));
+        idx.insert(Record::new(2, vec2(0.7, 0.7)));
+        let hits = idx.search(&vec2(1.0, 0.1), 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 2);
+    }
+
+    #[test]
+    fn flat_upsert_and_remove() {
+        let mut idx = FlatIndex::new(2);
+        idx.insert(Record::new(7, vec2(1.0, 0.0)));
+        idx.insert(Record::new(7, vec2(0.0, 1.0))); // upsert
+        assert_eq!(idx.len(), 1);
+        let hits = idx.search(&vec2(0.0, 1.0), 1);
+        assert!(hits[0].score > 0.99);
+        assert!(idx.remove(7));
+        assert!(!idx.remove(7));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn metadata_filter() {
+        let mut idx = FlatIndex::new(2);
+        idx.insert(Record::new(0, vec2(1.0, 0.0)).with_meta("label", "bug"));
+        idx.insert(Record::new(1, vec2(0.99, 0.01)).with_meta("label", "praise"));
+        let f = Filter::none().must("label", "praise");
+        let hits = idx.search_filtered(&vec2(1.0, 0.0), 5, &f);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 1);
+    }
+
+    #[test]
+    fn ivf_untrained_equals_flat() {
+        let mut flat = FlatIndex::new(2);
+        let mut ivf = IvfIndex::new(2, 1);
+        for i in 0..20u64 {
+            let v = vec2((i as f32).cos(), (i as f32).sin());
+            flat.insert(Record::new(i, v.clone()));
+            ivf.insert(Record::new(i, v));
+        }
+        let q = vec2(0.5, 0.5);
+        assert_eq!(flat.search(&q, 5), ivf.search(&q, 5));
+    }
+
+    #[test]
+    fn ivf_trained_high_recall_with_enough_probes() {
+        let mut ivf = IvfIndex::new(2, 4);
+        let mut flat = FlatIndex::new(2);
+        for i in 0..200u64 {
+            let angle = i as f32 * 0.031_415;
+            let v = vec2(angle.cos(), angle.sin());
+            ivf.insert(Record::new(i, v.clone()));
+            flat.insert(Record::new(i, v));
+        }
+        ivf.train(4);
+        assert!(ivf.is_trained());
+        assert_eq!(ivf.len(), 200);
+        let q = vec2(0.9, 0.43);
+        let exact: Vec<u64> = flat.search(&q, 10).into_iter().map(|r| r.id).collect();
+        let approx: Vec<u64> = ivf.search(&q, 10).into_iter().map(|r| r.id).collect();
+        let recall = approx.iter().filter(|id| exact.contains(id)).count();
+        assert!(recall >= 8, "recall {recall}/10 too low");
+    }
+
+    #[test]
+    fn ivf_insert_after_training_routes_to_partition() {
+        let mut ivf = IvfIndex::new(2, 1);
+        for i in 0..50u64 {
+            let v = if i % 2 == 0 { vec2(1.0, 0.0) } else { vec2(-1.0, 0.0) };
+            ivf.insert(Record::new(i, v));
+        }
+        ivf.train(2);
+        ivf.insert(Record::new(100, vec2(0.95, 0.05)));
+        let hits = ivf.search(&vec2(1.0, 0.0), 1);
+        // Nearest record to (1,0) must be findable with nprobe=1.
+        assert!(hits[0].score > 0.99);
+        assert!(ivf.get(100).is_some());
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut idx = FlatIndex::new(2);
+        idx.insert(Record::new(5, vec2(1.0, 0.0)));
+        idx.insert(Record::new(3, vec2(1.0, 0.0)));
+        let hits = idx.search(&vec2(1.0, 0.0), 2);
+        assert_eq!(hits[0].id, 3);
+    }
+
+    #[test]
+    fn k_larger_than_len() {
+        let mut idx = FlatIndex::new(2);
+        idx.insert(Record::new(0, vec2(1.0, 0.0)));
+        assert_eq!(idx.search(&vec2(1.0, 0.0), 10).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn insert_wrong_dims_panics() {
+        let mut idx = FlatIndex::new(3);
+        idx.insert(Record::new(0, vec2(1.0, 0.0)));
+    }
+}

@@ -1,0 +1,73 @@
+//! Forum-post insights with a *custom plugin* — the paper's extension
+//! mechanism: "the framework is extensible with self-defined plugins for
+//! more complex analyses."
+//!
+//! Registers a `resolution_rate` plugin computing the share of positive
+//! acknowledgement posts per software, then lets generated code call it.
+//!
+//! ```sh
+//! cargo run --release --example forum_insights
+//! ```
+
+use allhands::agent::{AgentConfig, QaAgent};
+use allhands::dataframe::{Column, DataFrame, Value};
+use allhands::datasets::{dataset_frame, generate_n, DatasetKind};
+use allhands::llm::SimLlm;
+use allhands::query::{QueryError, RtValue};
+
+fn main() {
+    let records = generate_n(DatasetKind::ForumPost, 1_500, 11);
+    let frame = dataset_frame(DatasetKind::ForumPost, &records);
+    let mut agent = QaAgent::new(SimLlm::gpt4(), frame, AgentConfig::default());
+
+    // --- custom plugin: acknowledgement share per software -----------------
+    agent.register_plugin(
+        "resolution_rate",
+        Box::new(|args| {
+            let frame = match args.into_iter().next() {
+                Some(RtValue::Frame(f)) => f,
+                _ => return Err(QueryError::runtime("resolution_rate(frame) expects a frame")),
+            };
+            let software = frame.column("software")?;
+            let label = frame.column("label")?;
+            let mut names: Vec<String> = Vec::new();
+            let mut resolved: Vec<f64> = Vec::new();
+            for s in ["VLC", "Firefox"] {
+                let total = (0..frame.n_rows())
+                    .filter(|&i| software.get(i).loose_eq(&Value::str(s)))
+                    .count();
+                let acked = (0..frame.n_rows())
+                    .filter(|&i| {
+                        software.get(i).loose_eq(&Value::str(s))
+                            && label.get(i).loose_eq(&Value::str("acknowledgement"))
+                    })
+                    .count();
+                names.push(s.to_string());
+                resolved.push(if total == 0 { 0.0 } else { acked as f64 / total as f64 * 100.0 });
+            }
+            Ok(RtValue::Frame(DataFrame::new(vec![
+                Column::from_strings("software", names),
+                Column::from_f64s("resolution_rate_pct", &resolved),
+            ])?))
+        }),
+    );
+
+    // Generated-code path can now call the plugin directly.
+    let result = agent
+        .session_mut()
+        .execute("show(resolution_rate(feedback))");
+    println!("Custom plugin output:");
+    for v in &result.shown {
+        println!("{}", v.render());
+    }
+
+    // Natural-language questions over the same session.
+    for question in [
+        "Which user level is most active in submitting posts?",
+        "Which topics appeared frequently in posts with 'apparent bug' label?",
+        "Based on the posts labeled as 'requesting more information', provide some suggestions on how to provide clear information to users.",
+    ] {
+        println!("\nQ: {question}");
+        println!("{}", agent.ask(question).render());
+    }
+}

@@ -1,0 +1,64 @@
+//! Multilingual search-feedback analysis (the MSearch scenario): language
+//! detection, cross-lingual classification, and QA over a mixed-language
+//! corpus.
+//!
+//! ```sh
+//! cargo run --release --example multilingual_search
+//! ```
+
+use allhands::agent::{AgentConfig, QaAgent};
+use allhands::classify::LabeledExample;
+use allhands::core::{IclClassifier, IclConfig};
+use allhands::datasets::{dataset_frame, generate_n, DatasetKind};
+use allhands::llm::SimLlm;
+use allhands::text::detect_language;
+
+fn main() {
+    let records = generate_n(DatasetKind::MSearch, 1_200, 3);
+
+    // Language mix of the corpus.
+    let mut by_lang: std::collections::BTreeMap<&str, usize> = Default::default();
+    for r in &records {
+        *by_lang.entry(r.language.as_str()).or_insert(0) += 1;
+    }
+    println!("Language mix: {by_lang:?}");
+
+    // Detection sanity on a few samples.
+    for r in records.iter().filter(|r| r.language != "en").take(3) {
+        println!(
+            "  detected {} for: {}",
+            detect_language(&r.text),
+            r.text.chars().take(60).collect::<String>()
+        );
+    }
+
+    // Cross-lingual ICL classification: train pool and query can be in
+    // different languages.
+    let llm = SimLlm::gpt4();
+    let pool: Vec<LabeledExample> = records
+        .iter()
+        .take(600)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let labels = vec!["actionable".to_string(), "non-actionable".to_string()];
+    let clf = IclClassifier::fit(&llm, &pool, &labels, IclConfig { shots: 30, ..Default::default() });
+    for text in [
+        "los resultados con irrelevant results son malos y no me sirven",
+        "die suche ist schlecht wegen slow",
+        "love the results today, thanks",
+    ] {
+        println!("  {:<62} -> {}", text, clf.classify(text));
+    }
+
+    // QA over the structured frame.
+    let frame = dataset_frame(DatasetKind::MSearch, &records);
+    let mut agent = QaAgent::new(SimLlm::gpt4(), frame, AgentConfig::default());
+    for question in [
+        "How many feedback are without query text?",
+        "Which top three countries submitted the most number of feedback?",
+        "How many feedback entries submitted in German, and what percentage of these discuss 'slow performance' topic?",
+    ] {
+        println!("\nQ: {question}");
+        println!("{}", agent.ask(question).render());
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build AllHands over a handful of feedback strings and ask
+//! questions in natural language.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use allhands::core::{AllHands, AllHandsConfig};
+use allhands::dataframe::{CivilDateTime, Column, DataFrame};
+use allhands::llm::ModelTier;
+
+fn main() {
+    // A tiny, already-structured feedback table. In a real deployment the
+    // pipeline produces this from raw text — see the app_store_triage
+    // example for the full flow.
+    let base = CivilDateTime::date(2023, 4, 3).to_epoch();
+    let frame = DataFrame::new(vec![
+        Column::from_strs("text", &[
+            "the app crashes every time I open it",
+            "love the new dark mode, great update",
+            "please add an export to CSV option",
+            "app is so slow since the last update",
+            "crashes on startup after updating",
+        ]),
+        Column::from_strs("label", &[
+            "informative", "informative", "informative", "informative", "informative",
+        ]),
+        Column::from_f64s("sentiment", &[-0.9, 0.9, 0.2, -0.6, -0.8]),
+        Column::from_str_lists("topics", vec![
+            vec!["crash".into()],
+            vec!["praise".into(), "feature request".into()],
+            vec!["feature request".into()],
+            vec!["performance issue".into()],
+            vec!["crash".into(), "update problem".into()],
+        ]),
+        Column::from_datetimes(
+            "timestamp",
+            &(0..5).map(|i| base + i * 86_400).collect::<Vec<_>>(),
+        ),
+        Column::from_i64s("text_len", &[37, 38, 35, 37, 34]),
+    ])
+    .expect("valid frame");
+
+    let mut allhands = AllHands::from_frame(ModelTier::Gpt4, frame, AllHandsConfig::default());
+
+    for question in [
+        "How many feedback entries are there?",
+        "What is the average sentiment score across all feedback?",
+        "Which topic appears most frequently?",
+        "Based on the data, what can be improved to improve the users' satisfaction?",
+    ] {
+        println!("\nQ: {question}");
+        let response = allhands.ask(question);
+        println!("{}", response.render());
+    }
+}

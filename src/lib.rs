@@ -1,0 +1,30 @@
+//! AllHands — "Ask Me Anything" analytics on large-scale verbatim feedback.
+//!
+//! This umbrella crate re-exports every component of the workspace under
+//! one roof, so downstream users can depend on a single crate:
+//!
+//! - [`core`] — the AllHands pipeline (classification → abstractive topic
+//!   modeling → QA) and its facade type.
+//! - [`agent`] — the planner / code-generator / executor QA agent.
+//! - [`query`] — AQL, the analysis language the agent generates.
+//! - [`dataframe`] — the columnar engine the executor runs on.
+//! - [`llm`] — the simulated tiered language models.
+//! - [`classify`], [`topics`] — the baseline models of the paper's
+//!   evaluation.
+//! - [`embed`], [`vectordb`], [`text`] — the retrieval substrates.
+//! - [`datasets`] — synthetic corpora matching the paper's Table 1 and the
+//!   90-question benchmark of Tables 5–7.
+//! - [`eval`] — difficulty model and answer-quality judges.
+
+pub use allhands_agent as agent;
+pub use allhands_classify as classify;
+pub use allhands_core as core;
+pub use allhands_dataframe as dataframe;
+pub use allhands_datasets as datasets;
+pub use allhands_embed as embed;
+pub use allhands_eval as eval;
+pub use allhands_llm as llm;
+pub use allhands_query as query;
+pub use allhands_text as text;
+pub use allhands_topics as topics;
+pub use allhands_vectordb as vectordb;

@@ -1,0 +1,120 @@
+//! End-to-end pipeline integration: raw text → classification →
+//! abstractive topic modeling → structured frame → natural-language QA,
+//! including follow-up questions and plugin extension.
+
+use allhands::classify::LabeledExample;
+use allhands::core::{AllHands, AllHandsConfig};
+use allhands::dataframe::Value;
+use allhands::datasets::{generate_n, DatasetKind};
+use allhands::llm::ModelTier;
+use allhands::query::RtValue;
+
+fn build() -> (AllHands, allhands::dataframe::DataFrame) {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 300, 5);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let labeled: Vec<LabeledExample> = records
+        .iter()
+        .take(100)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let predefined = vec!["bug".to_string(), "crash".to_string(), "feature request".to_string()];
+    AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, AllHandsConfig::default())
+}
+
+#[test]
+fn pipeline_produces_complete_structured_frame() {
+    let (_, frame) = build();
+    assert_eq!(frame.n_rows(), 300);
+    for col in ["id", "text", "label", "sentiment", "topics", "text_len"] {
+        assert!(frame.has_column(col), "missing column {col}");
+    }
+    // Every row got at least one topic and a sane sentiment.
+    let topics = frame.column("topics").unwrap();
+    let sentiment = frame.column("sentiment").unwrap();
+    for i in 0..frame.n_rows() {
+        match topics.get(i) {
+            Value::StrList(l) => assert!(!l.is_empty(), "row {i} has no topics"),
+            other => panic!("row {i}: unexpected {other:?}"),
+        }
+        let s = sentiment.get(i).as_f64().unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+    }
+    // Labels are from the training label set.
+    let labels = frame.column("label").unwrap();
+    for i in 0..frame.n_rows() {
+        let l = labels.get(i).to_string();
+        assert!(l == "informative" || l == "non-informative", "bad label {l}");
+    }
+}
+
+#[test]
+fn classification_beats_majority_baseline() {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 400, 9);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let labeled: Vec<LabeledExample> = records
+        .iter()
+        .take(150)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let (_, frame) = AllHands::analyze(
+        ModelTier::Gpt4,
+        &texts,
+        &labeled,
+        &["bug".to_string()],
+        AllHandsConfig::default(),
+    );
+    let predicted = frame.column("label").unwrap();
+    let agree = records
+        .iter()
+        .enumerate()
+        .filter(|(i, r)| predicted.get(*i).to_string() == r.label)
+        .count();
+    let majority = records
+        .iter()
+        .filter(|r| r.label == "informative")
+        .count()
+        .max(records.len() / 2);
+    assert!(
+        agree > majority,
+        "pipeline accuracy {agree}/400 not above majority {majority}/400"
+    );
+}
+
+#[test]
+fn qa_supports_followups_in_one_session() {
+    let (mut allhands, _) = build();
+    let r1 = allhands.ask("How many feedback entries are there?");
+    assert!(r1.error.is_none(), "{:?}", r1.error);
+    match r1.shown.first() {
+        Some(RtValue::Scalar(v)) => assert_eq!(v.as_f64(), Some(300.0)),
+        other => panic!("unexpected output {other:?}"),
+    }
+    let r2 = allhands.ask("Which topic appears most frequently?");
+    assert!(r2.error.is_none());
+    let r3 = allhands.ask("Based on the feedback, what can be improved to improve the users' satisfaction?");
+    assert!(r3.error.is_none());
+    assert!(r3.text_content().contains("1."), "no numbered recommendations");
+    assert_eq!(allhands.agent_mut().history().len(), 3);
+}
+
+#[test]
+fn custom_plugin_reachable_from_facade() {
+    let (mut allhands, _) = build();
+    allhands.register_plugin(
+        "always_seven",
+        Box::new(|_args| Ok(RtValue::Scalar(Value::Int(7)))),
+    );
+    let result = allhands
+        .agent_mut()
+        .session_mut()
+        .execute("show(always_seven())");
+    assert!(result.error.is_none());
+    assert!(matches!(result.shown.first(), Some(RtValue::Scalar(Value::Int(7)))));
+}
+
+#[test]
+fn tier_is_recorded() {
+    let (allhands, _) = build();
+    assert_eq!(allhands.tier(), ModelTier::Gpt4);
+    assert!(allhands.config().agent.plan_merge);
+}

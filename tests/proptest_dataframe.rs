@@ -1,0 +1,168 @@
+//! Property-based tests for the dataframe engine's core invariants.
+
+use allhands::dataframe::{
+    AggKind, Aggregation, Column, ColumnData, DType, DataFrame, JoinKind, Value,
+};
+use proptest::prelude::*;
+
+fn small_string() -> impl Strategy<Value = String> {
+    "[a-z]{0,8}"
+}
+
+/// A frame of n rows with a categorical key and a float value.
+fn arb_frame() -> impl Strategy<Value = DataFrame> {
+    (1usize..60).prop_flat_map(|n| {
+        (
+            proptest::collection::vec("[a-d]", n),
+            proptest::collection::vec(-100.0f64..100.0, n),
+        )
+            .prop_map(|(keys, vals)| {
+                DataFrame::new(vec![
+                    Column::from_strings("k", keys),
+                    Column::from_f64s("v", &vals),
+                ])
+                .unwrap()
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn sort_is_an_ordered_permutation(df in arb_frame()) {
+        let sorted = df.sort_by("v", true).unwrap();
+        prop_assert_eq!(sorted.n_rows(), df.n_rows());
+        // Ordered.
+        let col = sorted.column("v").unwrap();
+        for i in 1..sorted.n_rows() {
+            let prev = col.get(i - 1).as_f64().unwrap();
+            let cur = col.get(i).as_f64().unwrap();
+            prop_assert!(prev <= cur);
+        }
+        // Permutation: multiset of values preserved (sum is a cheap proxy
+        // plus exact sorted-list equality).
+        let mut before: Vec<f64> = df.column("v").unwrap().f64_iter().flatten().collect();
+        let mut after: Vec<f64> = col.f64_iter().flatten().collect();
+        before.sort_by(f64::total_cmp);
+        after.sort_by(f64::total_cmp);
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn filter_produces_subset(df in arb_frame()) {
+        let filtered = df.filter_eq("k", &Value::str("a")).unwrap();
+        prop_assert!(filtered.n_rows() <= df.n_rows());
+        let col = filtered.column("k").unwrap();
+        for i in 0..filtered.n_rows() {
+            prop_assert_eq!(col.get(i), Value::str("a"));
+        }
+        // Complement partitions the frame.
+        let complement = df.filter_by(|i| !df.column("k").unwrap().get(i).loose_eq(&Value::str("a")));
+        prop_assert_eq!(filtered.n_rows() + complement.n_rows(), df.n_rows());
+    }
+
+    #[test]
+    fn group_by_counts_partition_rows(df in arb_frame()) {
+        let g = df
+            .group_by(&["k"], &[Aggregation::new("k", AggKind::Count)])
+            .unwrap();
+        let total: f64 = g.column("count").unwrap().sum();
+        prop_assert_eq!(total as usize, df.n_rows());
+        // Distinct keys.
+        let keys = g.column("k").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..g.n_rows() {
+            prop_assert!(seen.insert(keys.get(i).to_string()), "duplicate group key");
+        }
+    }
+
+    #[test]
+    fn group_mean_within_value_bounds(df in arb_frame()) {
+        let g = df
+            .group_by(&["k"], &[Aggregation::new("v", AggKind::Mean)])
+            .unwrap();
+        let means = g.column("v_mean").unwrap();
+        for i in 0..g.n_rows() {
+            let m = means.get(i).as_f64().unwrap();
+            prop_assert!((-100.0..=100.0).contains(&m));
+        }
+    }
+
+    #[test]
+    fn inner_join_row_count_is_sum_of_products(df in arb_frame()) {
+        let vc = df.value_counts("k").unwrap();
+        let joined = df.join(&vc, "k", JoinKind::Inner).unwrap();
+        // Each row matches exactly one count row.
+        prop_assert_eq!(joined.n_rows(), df.n_rows());
+        // Left join keeps everything too.
+        let left = df.join(&vc, "k", JoinKind::Left).unwrap();
+        prop_assert_eq!(left.n_rows(), df.n_rows());
+    }
+
+    #[test]
+    fn csv_roundtrip_arbitrary_strings(
+        texts in proptest::collection::vec("[ -~]{0,30}", 1..20),
+        nums in proptest::collection::vec(-1e6f64..1e6, 1..20),
+    ) {
+        let n = texts.len().min(nums.len());
+        let df = DataFrame::new(vec![
+            Column::from_strings("t", texts[..n].to_vec()),
+            Column::from_f64s("x", &nums[..n]),
+        ]).unwrap();
+        let csv = df.to_csv();
+        let back = DataFrame::from_csv(&csv, &[("t", DType::Str), ("x", DType::Float)]).unwrap();
+        prop_assert_eq!(back.n_rows(), df.n_rows());
+        for i in 0..n {
+            // Empty strings round-trip as nulls — both display as "".
+            prop_assert_eq!(
+                back.cell(i, "t").unwrap().to_string(),
+                df.cell(i, "t").unwrap().to_string()
+            );
+            let a = back.cell(i, "x").unwrap().as_f64().unwrap();
+            let b = df.cell(i, "x").unwrap().as_f64().unwrap();
+            prop_assert!((a - b).abs() <= 1e-3_f64.max(b.abs() * 1e-4), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn value_total_order_is_consistent(xs in proptest::collection::vec(-1e9f64..1e9, 3)) {
+        use std::cmp::Ordering;
+        let a = Value::Float(xs[0]);
+        let b = Value::Float(xs[1]);
+        let c = Value::Float(xs[2]);
+        // Antisymmetry.
+        if a.total_cmp(&b) == Ordering::Less {
+            prop_assert_eq!(b.total_cmp(&a), Ordering::Greater);
+        }
+        // Transitivity.
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert!(a.total_cmp(&c) != Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn take_out_of_range_yields_nulls(df in arb_frame(), idx in proptest::collection::vec(0usize..200, 0..12)) {
+        let taken = df.take(&idx);
+        prop_assert_eq!(taken.n_rows(), idx.len());
+        for (pos, &i) in idx.iter().enumerate() {
+            let v = taken.cell(pos, "v").unwrap();
+            if i < df.n_rows() {
+                prop_assert_eq!(v, df.cell(i, "v").unwrap());
+            } else {
+                prop_assert!(v.is_null());
+            }
+        }
+    }
+
+    #[test]
+    fn explode_length_equals_total_list_len(lists in proptest::collection::vec(
+        proptest::collection::vec(small_string(), 0..4), 1..25,
+    )) {
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let df = DataFrame::new(vec![Column::new(
+            "topics",
+            ColumnData::StrList(lists.into_iter().map(Some).collect()),
+        )]).unwrap();
+        let e = df.explode("topics").unwrap();
+        prop_assert_eq!(e.n_rows(), total);
+    }
+}

@@ -1,0 +1,50 @@
+//! Every reference AQL program in the 90-question benchmark must parse and
+//! execute against its generated dataset, producing at least one output.
+//!
+//! This is the contract the judges rely on: the gold answers exist.
+
+use allhands_datasets::{dataset_frame, generate, questions_for, DatasetKind};
+use allhands_query::{RtValue, Session, SessionLimits};
+
+fn run_all(kind: DatasetKind) {
+    let records = generate(kind, 42);
+    let frame = dataset_frame(kind, &records);
+    for q in questions_for(kind) {
+        let mut session = Session::new(SessionLimits::default());
+        session.bind_frame("feedback", frame.clone());
+        let result = session.execute(q.reference_aql);
+        assert!(
+            result.error.is_none(),
+            "{kind:?} q{} failed: {}\nprogram:\n{}",
+            q.id,
+            result.error.unwrap(),
+            q.reference_aql
+        );
+        assert!(
+            !result.shown.is_empty(),
+            "{kind:?} q{} produced no output",
+            q.id
+        );
+        // Shown values must render without panicking and non-trivially.
+        for v in &result.shown {
+            let rendered = v.render();
+            assert!(!rendered.trim().is_empty() || matches!(v, RtValue::Scalar(_)),
+                "{kind:?} q{} rendered empty {}", q.id, v.type_name());
+        }
+    }
+}
+
+#[test]
+fn google_references_execute() {
+    run_all(DatasetKind::GoogleStoreApp);
+}
+
+#[test]
+fn forum_references_execute() {
+    run_all(DatasetKind::ForumPost);
+}
+
+#[test]
+fn msearch_references_execute() {
+    run_all(DatasetKind::MSearch);
+}
