@@ -19,6 +19,8 @@
 //! earlier bindings remain available (the Jupyter-style property the paper
 //! gets from its notebook kernel).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod planner;
 pub mod response;
 
@@ -26,8 +28,10 @@ pub use planner::{Plan, Planner};
 pub use response::{Response, ResponseItem};
 
 use allhands_dataframe::DataFrame;
-use allhands_llm::{ChatOptions, CodegenRequest, SchemaInfo, SimLlm};
+use allhands_llm::{ChatOptions, CodegenRequest, LlmError, LlmErrorKind, SchemaInfo, SimLlm};
 use allhands_query::{RtValue, Session, SessionLimits};
+use allhands_resilience::{AllHandsError, Head, ResilienceConfig, ResilienceCtx};
+use std::sync::Arc;
 
 /// Agent configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +44,10 @@ pub struct AgentConfig {
     pub plan_merge: bool,
     /// Session sandbox limits.
     pub limits: SessionLimits,
+    /// Resilience settings for a standalone agent. When the agent runs as
+    /// part of a pipeline, [`QaAgent::set_resilience`] replaces the context
+    /// built from this with the pipeline-wide shared one.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for AgentConfig {
@@ -49,6 +57,7 @@ impl Default for AgentConfig {
             chat: ChatOptions::default(),
             plan_merge: true,
             limits: SessionLimits::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -61,6 +70,9 @@ pub struct QaAgent {
     config: AgentConfig,
     /// `(question, answer summary)` pairs for follow-up context.
     history: Vec<(String, String)>,
+    /// Resilience context for the codegen head (always present; inert when
+    /// its configuration disables injection and nothing fails).
+    resilience: Arc<ResilienceCtx>,
 }
 
 impl QaAgent {
@@ -70,7 +82,19 @@ impl QaAgent {
         let schema = SchemaInfo::from_frame(&feedback);
         let mut session = Session::new(config.limits);
         session.bind_frame("feedback", feedback);
-        QaAgent { llm, session, schema, config, history: Vec::new() }
+        let resilience = Arc::new(ResilienceCtx::new(config.resilience));
+        QaAgent { llm, session, schema, config, history: Vec::new(), resilience }
+    }
+
+    /// Share a pipeline-wide resilience context (replacing the agent's own),
+    /// so breaker state and degradation notes are common across stages.
+    pub fn set_resilience(&mut self, ctx: Arc<ResilienceCtx>) {
+        self.resilience = ctx;
+    }
+
+    /// The resilience context in use (shared or standalone).
+    pub fn resilience(&self) -> &Arc<ResilienceCtx> {
+        &self.resilience
     }
 
     /// The model name driving this agent.
@@ -98,11 +122,13 @@ impl QaAgent {
 
         // --- 2+3. generate / execute / reflect ------------------------------
         let head = self.llm.codegen_head();
+        let ctx = Arc::clone(&self.resilience);
         let mut error_feedback: Option<String> = None;
         let mut last_error = String::new();
         let mut code = String::new();
         let mut attempts = 0u32;
         let mut cell = None;
+        let mut unavailable: Option<AllHandsError> = None;
         while attempts <= self.config.max_retries {
             let request = CodegenRequest {
                 question: question.to_string(),
@@ -110,10 +136,34 @@ impl QaAgent {
                 error_feedback: error_feedback.clone(),
                 attempt: attempts,
             };
-            code = match head.generate(&request, &self.config.chat) {
+            // Generation runs under the codegen head's breaker and retry
+            // policy: injected transient faults are retried there; genuine
+            // generation failures (permanent) fall through to the agent's
+            // own reflection loop below.
+            let generated = ctx.call(Head::Codegen, |_| {
+                head.generate(&request, &self.config.chat)
+                    .map_err(|m| AllHandsError::Llm(LlmError::new(LlmErrorKind::Generation, m)))
+            });
+            code = match generated {
                 Ok(c) => c,
-                Err(e) => {
-                    last_error = e;
+                Err(
+                    err @ (AllHandsError::BreakerOpen { .. }
+                    | AllHandsError::RetriesExhausted { .. }),
+                ) => {
+                    // The head is *unavailable*, not merely producing bad
+                    // code: stop hammering it and degrade gracefully.
+                    unavailable = Some(err);
+                    break;
+                }
+                Err(err) => {
+                    // Feed the generation error back into the next attempt,
+                    // the same reflection the executor errors get.
+                    let msg = match &err {
+                        AllHandsError::Llm(e) => e.message.clone(),
+                        other => other.to_string(),
+                    };
+                    last_error = msg.clone();
+                    error_feedback = Some(msg);
                     attempts += 1;
                     continue;
                 }
@@ -132,6 +182,10 @@ impl QaAgent {
             }
         }
 
+        if let Some(err) = unavailable {
+            return self.degraded_response(question, &plan, err, attempts);
+        }
+
         let Some(cell) = cell else {
             // The CG notifies the planner of its failure (paper Sec. 3.4.2).
             let summary = format!(
@@ -145,6 +199,7 @@ impl QaAgent {
                 code: String::new(),
                 attempts,
                 error: Some(last_error),
+                degradation: Vec::new(),
             };
         };
 
@@ -181,6 +236,48 @@ impl QaAgent {
             code,
             attempts,
             error: None,
+            degradation: Vec::new(),
+        }
+    }
+
+    /// A structured partial answer when the codegen head is unavailable
+    /// (breaker open or retries exhausted): the plan is reported, the
+    /// degradation is explicit, and `error` stays `None` — a degraded
+    /// response is still a response.
+    fn degraded_response(
+        &mut self,
+        question: &str,
+        plan: &Plan,
+        err: AllHandsError,
+        attempts: u32,
+    ) -> Response {
+        let note = format!("code generation unavailable ({}): {err}", err.label());
+        self.resilience.note_degradation("qa-agent", note.clone());
+        let summary = format!(
+            "Partial answer: the analysis backend is temporarily unavailable ({}). \
+             The planned analysis steps are listed below; retry later for computed results.",
+            err.label()
+        );
+        let mut items = vec![ResponseItem::Text(summary.clone())];
+        if !plan.final_steps.is_empty() {
+            let steps = plan
+                .final_steps
+                .iter()
+                .enumerate()
+                .map(|(i, s)| format!("{}. {s}", i + 1))
+                .collect::<Vec<_>>()
+                .join("\n");
+            items.push(ResponseItem::Text(format!("Planned steps:\n{steps}")));
+        }
+        self.history.push((question.to_string(), summary));
+        Response {
+            items,
+            shown: Vec::new(),
+            plan: plan.final_steps.clone(),
+            code: String::new(),
+            attempts,
+            error: None,
+            degradation: vec![note],
         }
     }
 
@@ -265,6 +362,60 @@ mod tests {
         agent.ask("How many tweets mention 'WhatsApp'?");
         agent.ask("What is the average sentiment score across all tweets?");
         assert_eq!(agent.history().len(), 2);
+    }
+
+    #[test]
+    fn chaos_yields_partial_or_full_answers_never_panics() {
+        use allhands_resilience::ResilienceConfig;
+        let run = |seed: u64| {
+            let config = AgentConfig {
+                resilience: ResilienceConfig::chaos(seed, 0.5),
+                ..AgentConfig::default()
+            };
+            let mut agent = QaAgent::new(SimLlm::gpt4(), frame(), config);
+            let questions = [
+                "How many tweets mention 'WhatsApp'?",
+                "What is the average sentiment score across all tweets?",
+                "Draw a issue river for the top 7 topics about 'WhatsApp' product.",
+            ];
+            let mut summaries = Vec::new();
+            for q in questions {
+                let r = agent.ask(q);
+                // Degradation, not failure: either a computed answer or an
+                // explicitly-noted partial one.
+                if r.degradation.is_empty() {
+                    assert!(r.error.is_none(), "{:?}", r.error);
+                } else {
+                    assert!(r.error.is_none(), "degraded answers must not also error");
+                    assert!(r.text_content().contains("Partial answer"), "{}", r.text_content());
+                }
+                summaries.push(r.render());
+            }
+            summaries
+        };
+        // Deterministic across runs with the same seed.
+        assert_eq!(run(21), run(21));
+    }
+
+    #[test]
+    fn breaker_open_returns_partial_response() {
+        use allhands_resilience::{BreakerState, ResilienceConfig};
+        // Certain fault rate: every codegen attempt faults, so the first
+        // questions exhaust retries and eventually open the breaker.
+        let config = AgentConfig {
+            resilience: ResilienceConfig::chaos(1, 1.0),
+            ..AgentConfig::default()
+        };
+        let mut agent = QaAgent::new(SimLlm::gpt4(), frame(), config);
+        for _ in 0..4 {
+            let r = agent.ask("How many tweets mention 'WhatsApp'?");
+            assert!(r.error.is_none());
+            assert!(!r.degradation.is_empty(), "all-fault run must degrade");
+            assert!(r.degradation[0].contains("code generation unavailable"), "{:?}", r.degradation);
+        }
+        assert_eq!(agent.resilience().breaker_state(Head::Codegen), BreakerState::Open);
+        let r = agent.ask("What is the average sentiment score across all tweets?");
+        assert!(r.degradation.iter().any(|n| n.contains("breaker-open")), "{:?}", r.degradation);
     }
 
     #[test]

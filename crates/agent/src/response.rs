@@ -45,6 +45,10 @@ pub struct Response {
     pub attempts: u32,
     /// Set when the agent gave up.
     pub error: Option<String>,
+    /// Degradation notes: non-empty when this is a partial answer produced
+    /// under fault pressure (e.g. the codegen breaker was open). A degraded
+    /// response is still a valid response — `error` stays `None`.
+    pub degradation: Vec<String>,
 }
 
 impl Response {
@@ -141,6 +145,7 @@ mod tests {
             code: "show(1)".into(),
             attempts: 1,
             error: None,
+            degradation: Vec::new(),
         }
     }
 

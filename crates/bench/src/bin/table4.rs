@@ -84,7 +84,7 @@ fn main() {
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .map(|(i, _)| i)
                 .unwrap_or(0);
-            let out = ctm.output(&corpus, &[features.clone()], 10);
+            let out = ctm.output(&corpus, std::slice::from_ref(&features), 10);
             let ctm_label = label_topic(&out.top_words[best.min(out.top_words.len() - 1)], text);
 
             rows.push(vec![

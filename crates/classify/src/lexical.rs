@@ -1,0 +1,134 @@
+//! Lexical-prior fallback classifier.
+//!
+//! When the LLM classification head is unavailable (circuit breaker open,
+//! retries exhausted), the pipeline degrades to this model rather than
+//! failing: a multinomial naive-Bayes prior over preprocessed tokens,
+//! fitted on the same labeled pool the ICL classifier retrieves
+//! demonstrations from. It is fully deterministic, trains in one pass, and
+//! needs no LLM — the cheapest classifier that still uses the labels.
+
+use crate::eval::LabeledExample;
+use allhands_text::light_preprocess;
+use std::collections::HashMap;
+
+/// A fitted token log-odds model: P(label) · Π P(token | label) with add-one
+/// smoothing, argmax over the fixed label set.
+#[derive(Debug, Clone)]
+pub struct LexicalPrior {
+    labels: Vec<String>,
+    /// log P(label), by label index.
+    log_priors: Vec<f64>,
+    /// token → per-label log P(token | label).
+    token_scores: HashMap<String, Vec<f64>>,
+    /// Fallback log-likelihood for unseen tokens, by label index.
+    unseen: Vec<f64>,
+}
+
+impl LexicalPrior {
+    /// Fit on a labeled pool. `labels` fixes the candidate set and the
+    /// tie-break order (earlier wins), matching the ICL prompt convention.
+    pub fn fit(pool: &[LabeledExample], labels: &[String]) -> Self {
+        assert!(!labels.is_empty(), "need at least one label");
+        let index: HashMap<&str, usize> =
+            labels.iter().enumerate().map(|(i, l)| (l.as_str(), i)).collect();
+        let mut doc_counts = vec![0usize; labels.len()];
+        let mut token_counts: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut totals = vec![0usize; labels.len()];
+        for ex in pool {
+            let Some(&li) = index.get(ex.label.as_str()) else { continue };
+            doc_counts[li] += 1;
+            for tok in light_preprocess(&ex.text) {
+                totals[li] += 1;
+                token_counts.entry(tok).or_insert_with(|| vec![0; labels.len()])[li] += 1;
+            }
+        }
+        let n_docs: usize = doc_counts.iter().sum();
+        let vocab = token_counts.len().max(1);
+        let log_priors: Vec<f64> = doc_counts
+            .iter()
+            .map(|&c| (((c + 1) as f64) / ((n_docs + labels.len()) as f64)).ln())
+            .collect();
+        let denom: Vec<f64> = totals.iter().map(|&t| (t + vocab) as f64).collect();
+        let token_scores = token_counts
+            .into_iter()
+            .map(|(tok, counts)| {
+                let scores = counts
+                    .iter()
+                    .zip(&denom)
+                    .map(|(&c, &d)| (((c + 1) as f64) / d).ln())
+                    .collect();
+                (tok, scores)
+            })
+            .collect();
+        let unseen = denom.iter().map(|&d| (1.0 / d).ln()).collect();
+        LexicalPrior { labels: labels.to_vec(), log_priors, token_scores, unseen }
+    }
+
+    /// The candidate label set.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Classify one text. Ties break toward the earlier label.
+    pub fn classify(&self, text: &str) -> String {
+        let mut scores = self.log_priors.clone();
+        for tok in light_preprocess(text) {
+            let per_label = self.token_scores.get(&tok).unwrap_or(&self.unseen);
+            for (s, t) in scores.iter_mut().zip(per_label) {
+                *s += t;
+            }
+        }
+        let mut best = 0usize;
+        for (i, &s) in scores.iter().enumerate().skip(1) {
+            if s > scores[best] {
+                best = i;
+            }
+        }
+        self.labels[best].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> (Vec<LabeledExample>, Vec<String>) {
+        let mut pool = Vec::new();
+        for i in 0..25 {
+            pool.push(LabeledExample {
+                text: format!("app crashes with a bug error on startup {i}"),
+                label: "informative".into(),
+            });
+            pool.push(LabeledExample {
+                text: format!("lol cool nice whatever haha {i}"),
+                label: "non-informative".into(),
+            });
+        }
+        (pool, vec!["informative".into(), "non-informative".into()])
+    }
+
+    #[test]
+    fn separates_obvious_classes() {
+        let (pool, labels) = pool();
+        let model = LexicalPrior::fit(&pool, &labels);
+        assert_eq!(model.classify("another crash bug error today"), "informative");
+        assert_eq!(model.classify("haha lol so cool"), "non-informative");
+    }
+
+    #[test]
+    fn deterministic_and_total() {
+        let (pool, labels) = pool();
+        let model = LexicalPrior::fit(&pool, &labels);
+        // Unseen vocabulary still yields a label from the candidate set.
+        let out = model.classify("zqxv wqy pltk");
+        assert!(labels.contains(&out));
+        assert_eq!(out, model.classify("zqxv wqy pltk"));
+    }
+
+    #[test]
+    fn empty_pool_falls_back_to_first_label() {
+        let labels = vec!["a".to_string(), "b".to_string()];
+        let model = LexicalPrior::fit(&[], &labels);
+        assert_eq!(model.classify("anything"), "a");
+    }
+}

@@ -23,9 +23,11 @@
 pub mod baselines;
 pub mod eval;
 pub mod features;
+pub mod lexical;
 pub mod softmax;
 
 pub use baselines::{baseline_by_name, standard_baselines, BaselineConfig, TransformerStandIn};
 pub use eval::{accuracy, temporal_split, train_test_split, LabeledExample};
 pub use features::{FeatureConfig, Featurizer, SparseVector};
+pub use lexical::LexicalPrior;
 pub use softmax::{SoftmaxClassifier, TrainConfig};

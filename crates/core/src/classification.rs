@@ -6,10 +6,12 @@
 //! embedding model [and] the top-K similar samples are retrieved using the
 //! cosine similarity metric" — then assembled into an ICL prompt.
 
-use allhands_classify::LabeledExample;
+use allhands_classify::{LabeledExample, LexicalPrior};
 use allhands_embed::Embedding;
 use allhands_llm::{ChatOptions, Demonstration, SimLlm};
+use allhands_resilience::{Head, ResilienceCtx};
 use allhands_vectordb::{FlatIndex, IvfIndex, Record, VectorIndex};
+use std::sync::Arc;
 
 /// Classification-stage configuration.
 #[derive(Debug, Clone)]
@@ -61,6 +63,11 @@ pub struct IclClassifier<'a> {
     pool: Vec<LabeledExample>,
     labels: Vec<String>,
     config: IclConfig,
+    /// Optional resilience context; when present, LLM calls route through
+    /// the classify head's breaker/retry machinery.
+    resilience: Option<Arc<ResilienceCtx>>,
+    /// Degraded-mode classifier, used when the LLM head is unavailable.
+    fallback: LexicalPrior,
 }
 
 impl<'a> IclClassifier<'a> {
@@ -96,7 +103,17 @@ impl<'a> IclClassifier<'a> {
             pool: pool.to_vec(),
             labels: labels.to_vec(),
             config,
+            resilience: None,
+            fallback: LexicalPrior::fit(pool, labels),
         }
+    }
+
+    /// Attach a resilience context: classification calls run under the
+    /// classify head's retry policy and circuit breaker, falling back to the
+    /// lexical prior when the head is unavailable.
+    pub fn with_resilience(mut self, ctx: Arc<ResilienceCtx>) -> Self {
+        self.resilience = Some(ctx);
+        self
     }
 
     /// Retrieve the top-K demonstration examples for a query text.
@@ -115,8 +132,30 @@ impl<'a> IclClassifier<'a> {
             .collect()
     }
 
-    /// Classify one feedback text.
+    /// Classify one feedback text. With a resilience context attached, the
+    /// LLM call runs under retry/breaker control; if it still fails (breaker
+    /// open or retries exhausted) the lexical-prior fallback answers instead,
+    /// recording a degradation note — classification degrades, never fails.
     pub fn classify(&self, text: &str) -> String {
+        let Some(ctx) = &self.resilience else {
+            return self.classify_direct(text);
+        };
+        match ctx.call(Head::Classify, |_| Ok(self.classify_direct(text))) {
+            Ok(label) => label,
+            Err(err) => {
+                ctx.note_degradation_once(
+                    "classification",
+                    &format!(
+                        "LLM classify head unavailable ({}); labels from lexical-prior fallback",
+                        err.label()
+                    ),
+                );
+                self.fallback.classify(text)
+            }
+        }
+    }
+
+    fn classify_direct(&self, text: &str) -> String {
         let demos = self.retrieve(text);
         self.llm
             .classify_head()
@@ -195,6 +234,37 @@ mod tests {
         // Still classifies via the zero-shot prior.
         let out = clf.classify("crash bug error");
         assert!(labels.contains(&out));
+    }
+
+    #[test]
+    fn chaos_degrades_to_fallback_without_failing() {
+        use allhands_resilience::{ResilienceConfig, ResilienceCtx};
+        use std::sync::Arc;
+        let llm = SimLlm::gpt4();
+        let (pool, labels) = pool();
+        let run = || {
+            let ctx = Arc::new(ResilienceCtx::new(ResilienceConfig::chaos(5, 0.9)));
+            let clf = IclClassifier::fit(&llm, &pool, &labels, IclConfig::default())
+                .with_resilience(ctx.clone());
+            let outs: Vec<String> = (0..30)
+                .map(|i| clf.classify(&format!("crash bug error report {i}")))
+                .collect();
+            (outs, ctx)
+        };
+        let (outs, ctx) = run();
+        // Never fails: every output is a valid label.
+        assert!(outs.iter().all(|o| labels.contains(o)), "{outs:?}");
+        assert!(ctx.injected() > 0, "0.9 fault rate must inject");
+        // A 0.9 rate exhausts retries somewhere in 30 docs; that fallback
+        // must be visible as a degradation note.
+        assert!(
+            ctx.degradations().iter().any(|d| d.stage == "classification"),
+            "{:?}",
+            ctx.degradations()
+        );
+        // Same seed ⇒ identical labels, including the degraded ones.
+        let (outs2, _) = run();
+        assert_eq!(outs, outs2);
     }
 
     #[test]

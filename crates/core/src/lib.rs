@@ -43,10 +43,15 @@ pub use classification::{IclClassifier, IclConfig};
 pub use topic_modeling::{AbstractiveTopicModeler, TopicModelingConfig, TopicModelingResult};
 
 pub use allhands_agent::{AgentConfig, QaAgent, Response, ResponseItem};
+pub use allhands_resilience::{
+    AllHandsError, DegradationEvent, FaultPlan, Head, ResilienceConfig, ResilienceCtx,
+    ResilienceStats, RetryPolicy,
+};
 
 use allhands_classify::LabeledExample;
 use allhands_dataframe::{Column, DataFrame};
 use allhands_llm::{ModelSpec, ModelTier, SimLlm};
+use std::sync::Arc;
 
 /// Facade configuration.
 #[derive(Debug, Clone, Default)]
@@ -57,6 +62,10 @@ pub struct AllHandsConfig {
     pub topics: TopicModelingConfig,
     /// QA agent settings.
     pub agent: AgentConfig,
+    /// Resilience settings shared by all three stages (fault injection off
+    /// by default — the default pipeline behaves exactly as if no
+    /// resilience layer existed).
+    pub resilience: ResilienceConfig,
 }
 
 /// The AllHands framework: one LLM tier driving all three stages.
@@ -64,6 +73,8 @@ pub struct AllHands {
     tier: ModelTier,
     config: AllHandsConfig,
     agent: QaAgent,
+    /// The run-wide resilience context, shared across stages.
+    resilience: Arc<ResilienceCtx>,
 }
 
 impl AllHands {
@@ -72,22 +83,33 @@ impl AllHands {
     /// to run the full structuralization pipeline first.
     pub fn from_frame(tier: ModelTier, frame: DataFrame, config: AllHandsConfig) -> Self {
         let llm = SimLlm::new(ModelSpec::for_tier(tier));
-        let agent = QaAgent::new(llm, frame, config.agent.clone());
-        AllHands { tier, config, agent }
+        let mut agent = QaAgent::new(llm, frame, config.agent.clone());
+        let resilience = Arc::new(ResilienceCtx::new(config.resilience));
+        agent.set_resilience(Arc::clone(&resilience));
+        AllHands { tier, config, agent, resilience }
     }
 
     /// Run the full pipeline on raw texts: classify each text with ICL
     /// (using `labeled_sample` as the demonstration pool), run abstractive
     /// topic modeling, estimate sentiment, and assemble the structured
     /// frame. Returns the framework ready for QA plus the frame.
+    ///
+    /// The stages share one resilience context built from
+    /// [`AllHandsConfig::resilience`]: under fault injection, classification
+    /// falls back to a lexical prior, topic modeling skips refinement, and
+    /// the QA agent answers partially — the pipeline degrades rather than
+    /// failing, and every degradation is recorded on the context
+    /// ([`AllHands::resilience`]). Errors that cannot be degraded around
+    /// (e.g. inconsistent pipeline columns) are returned, never panicked.
     pub fn analyze(
         tier: ModelTier,
         texts: &[String],
         labeled_sample: &[LabeledExample],
         predefined_topics: &[String],
         config: AllHandsConfig,
-    ) -> (Self, DataFrame) {
+    ) -> Result<(Self, DataFrame), AllHandsError> {
         let llm = SimLlm::new(ModelSpec::for_tier(tier));
+        let resilience = Arc::new(ResilienceCtx::new(config.resilience));
 
         // Stage 1: classification.
         let labels: Vec<String> = {
@@ -99,11 +121,13 @@ impl AllHands {
             }
             seen
         };
-        let classifier = IclClassifier::fit(&llm, labeled_sample, &labels, config.icl.clone());
+        let classifier = IclClassifier::fit(&llm, labeled_sample, &labels, config.icl.clone())
+            .with_resilience(Arc::clone(&resilience));
         let predicted: Vec<String> = texts.iter().map(|t| classifier.classify(t)).collect();
 
         // Stage 2: abstractive topic modeling (+HITLR).
-        let modeler = AbstractiveTopicModeler::new(&llm, config.topics.clone());
+        let modeler = AbstractiveTopicModeler::new(&llm, config.topics.clone())
+            .with_resilience(Arc::clone(&resilience));
         let result = modeler.run(texts, predefined_topics);
 
         // Sentiment estimation: lexical valence via the text substrate.
@@ -119,20 +143,26 @@ impl AllHands {
                 "text_len",
                 &texts.iter().map(|t| t.chars().count() as i64).collect::<Vec<_>>(),
             ),
-        ])
-        .expect("pipeline columns are consistent");
+        ])?;
 
-        let agent = QaAgent::new(
+        let mut agent = QaAgent::new(
             SimLlm::new(ModelSpec::for_tier(tier)),
             frame.clone(),
             config.agent.clone(),
         );
-        (AllHands { tier, config, agent }, frame)
+        agent.set_resilience(Arc::clone(&resilience));
+        Ok((AllHands { tier, config, agent, resilience }, frame))
     }
 
     /// The LLM tier in use.
     pub fn tier(&self) -> ModelTier {
         self.tier
+    }
+
+    /// The run-wide resilience context: degradation notes, breaker states,
+    /// retry statistics.
+    pub fn resilience(&self) -> &Arc<ResilienceCtx> {
+        &self.resilience
     }
 
     /// The configuration.
@@ -239,7 +269,8 @@ mod tests {
             &labeled,
             &predefined,
             AllHandsConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(frame.n_rows(), 30);
         for col in ["text", "label", "sentiment", "topics", "text_len"] {
             assert!(frame.has_column(col), "missing {col}");

@@ -17,10 +17,12 @@
 //! the refined list and augmented demonstrations.
 
 use allhands_embed::Embedding;
-use allhands_llm::{ChatOptions, Demonstration, SimLlm, TopicRequest};
+use allhands_llm::{ChatOptions, Demonstration, SimLlm, TopicRequest, TopicResponse};
+use allhands_resilience::{BreakerState, Head, ResilienceCtx};
 use allhands_topics::{agglomerative_clusters, BartScorer, Linkage};
 use allhands_vectordb::{IvfIndex, Record, VectorIndex};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Topic-modeling stage configuration.
 #[derive(Debug, Clone)]
@@ -77,51 +79,107 @@ pub struct TopicModelingResult {
     pub topic_list: Vec<String>,
     /// Number of topics the reviewer removed across refinement rounds.
     pub reviewer_removed: usize,
+    /// Whether HITLR refinement actually ran. `false` either because the
+    /// configuration disabled it or because fault pressure made the stage
+    /// skip it (see `degradation`).
+    pub refined: bool,
+    /// Degradation notes for this stage (empty on a clean run).
+    pub degradation: Vec<String>,
 }
 
 /// The abstractive topic modeler.
 pub struct AbstractiveTopicModeler<'a> {
     llm: &'a SimLlm,
     config: TopicModelingConfig,
+    /// Optional resilience context; when present, per-document topic calls
+    /// run under the summarize head's breaker/retry machinery.
+    resilience: Option<Arc<ResilienceCtx>>,
 }
 
 impl<'a> AbstractiveTopicModeler<'a> {
     /// Construct for a model and configuration.
     pub fn new(llm: &'a SimLlm, config: TopicModelingConfig) -> Self {
-        AbstractiveTopicModeler { llm, config }
+        AbstractiveTopicModeler { llm, config, resilience: None }
+    }
+
+    /// Attach a resilience context: per-document topic assignment degrades
+    /// to `"others"` when the summarize head stays unavailable, and HITLR
+    /// refinement is skipped under fault pressure (the result is marked
+    /// unrefined rather than refined on corrupted round-1 output).
+    pub fn with_resilience(mut self, ctx: Arc<ResilienceCtx>) -> Self {
+        self.resilience = Some(ctx);
+        self
     }
 
     /// Run the full stage on `texts` with an initial predefined topic list.
     pub fn run(&self, texts: &[String], predefined: &[String]) -> TopicModelingResult {
         let speller = Speller::fit(texts);
         let mut topic_list: Vec<String> = predefined.to_vec();
-        let mut doc_topics =
+        let (mut doc_topics, round1_degraded) =
             self.modeling_round(texts, &mut topic_list, &HashMap::new(), &speller);
         let mut reviewer_removed = 0usize;
+        let mut degradation: Vec<String> = Vec::new();
+        let mut refined = false;
 
+        // Fault pressure: documents already degraded to "others", or the
+        // summarize breaker no longer closed. Refining on top of corrupted
+        // round-1 assignments would launder bad topics into the curated
+        // list, so HITLR is skipped and the result marked unrefined.
+        let under_pressure = self.resilience.as_ref().is_some_and(|ctx| {
+            round1_degraded > 0 || ctx.breaker_state(Head::Summarize) != BreakerState::Closed
+        });
+
+        if round1_degraded > 0 {
+            degradation.push(format!(
+                "topic assignment fell back to \"others\" for {round1_degraded} document(s): summarize head unavailable"
+            ));
+        }
         if self.config.hitlr {
-            for _ in 0..self.config.rounds.max(1) {
-                let (refined, removed, retrieval) =
-                    self.refine(texts, &doc_topics, predefined);
-                reviewer_removed += removed;
-                topic_list = refined;
-                doc_topics = self.modeling_round(texts, &mut topic_list, &retrieval, &speller);
+            if under_pressure {
+                degradation.push(
+                    "HITLR refinement skipped under fault pressure; topics are unrefined round-1 output"
+                        .to_string(),
+                );
+            } else {
+                for _ in 0..self.config.rounds.max(1) {
+                    let (refined_list, removed, retrieval) =
+                        self.refine(texts, &doc_topics, predefined);
+                    reviewer_removed += removed;
+                    topic_list = refined_list;
+                    let (round_topics, round_degraded) =
+                        self.modeling_round(texts, &mut topic_list, &retrieval, &speller);
+                    doc_topics = round_topics;
+                    if round_degraded > 0 {
+                        degradation.push(format!(
+                            "topic assignment fell back to \"others\" for {round_degraded} document(s) during refinement"
+                        ));
+                    }
+                }
+                refined = true;
             }
         }
-        TopicModelingResult { doc_topics, topic_list, reviewer_removed }
+        if let Some(ctx) = &self.resilience {
+            for note in &degradation {
+                ctx.note_degradation_once("topic-modeling", note);
+            }
+        }
+        TopicModelingResult { doc_topics, topic_list, reviewer_removed, refined, degradation }
     }
 
     /// One progressive-ICL pass. `retrieval` optionally maps document index
-    /// → extra demonstrations (round 2's augmentation).
+    /// → extra demonstrations (round 2's augmentation). Returns the topics
+    /// per document plus how many documents degraded to `"others"` because
+    /// the summarize head stayed unavailable.
     fn modeling_round(
         &self,
         texts: &[String],
         topic_list: &mut Vec<String>,
         retrieval: &HashMap<usize, Vec<Demonstration>>,
         speller: &Speller,
-    ) -> Vec<Vec<String>> {
+    ) -> (Vec<Vec<String>>, usize) {
         let head = self.llm.summarize_head();
         let mut out = Vec::with_capacity(texts.len());
+        let mut degraded = 0usize;
         for (d, text) in texts.iter().enumerate() {
             let demonstrations = retrieval.get(&d).cloned().unwrap_or_default();
             let req = TopicRequest {
@@ -130,7 +188,23 @@ impl<'a> AbstractiveTopicModeler<'a> {
                 demonstrations,
                 max_topics: self.config.max_topics_per_doc,
             };
-            let mut response = head.suggest_topics(&req, &self.config.chat);
+            let suggested = match &self.resilience {
+                Some(ctx) => ctx.call(Head::Summarize, |_| {
+                    Ok(head.suggest_topics(&req, &self.config.chat))
+                }),
+                None => Ok(head.suggest_topics(&req, &self.config.chat)),
+            };
+            let mut response = match suggested {
+                Ok(r) => r,
+                Err(_) => {
+                    // Degraded document: no usable topic assignment.
+                    degraded += 1;
+                    TopicResponse {
+                        topics: vec!["others".to_string()],
+                        new_topics: Vec::new(),
+                    }
+                }
+            };
             // An LLM writes topic names in normalized spelling even when the
             // feedback itself is misspelled: coined phrases get corpus-
             // grounded spell normalization before entering the list.
@@ -156,7 +230,7 @@ impl<'a> AbstractiveTopicModeler<'a> {
             }
             out.push(response.topics);
         }
-        out
+        (out, degraded)
     }
 
     /// The HITLR step: reviewer filtering + clustering + re-summarization +
@@ -401,6 +475,40 @@ mod tests {
             with_hitlr.topic_list.len(),
             no_hitlr.topic_list.len()
         );
+    }
+
+    #[test]
+    fn chaos_skips_hitlr_and_marks_unrefined() {
+        use allhands_resilience::{ResilienceConfig, ResilienceCtx};
+        let llm = SimLlm::gpt4();
+        let run = || {
+            let ctx = Arc::new(ResilienceCtx::new(ResilienceConfig::chaos(3, 0.9)));
+            AbstractiveTopicModeler::new(&llm, TopicModelingConfig::default())
+                .with_resilience(ctx)
+                .run(&texts(), &["crash".into(), "feature request".into()])
+        };
+        let result = run();
+        // Degrades, never fails: every document still gets ≥1 topic.
+        assert_eq!(result.doc_topics.len(), 41);
+        assert!(result.doc_topics.iter().all(|t| !t.is_empty()));
+        // At 0.9 fault rate round 1 degrades documents, so refinement is
+        // skipped and the output marked unrefined with explicit notes.
+        assert!(!result.refined);
+        assert!(result.degradation.iter().any(|d| d.contains("HITLR")), "{:?}", result.degradation);
+        assert!(result.degradation.iter().any(|d| d.contains("others")), "{:?}", result.degradation);
+        // Same seed ⇒ identical degraded output.
+        let again = run();
+        assert_eq!(result.doc_topics, again.doc_topics);
+        assert_eq!(result.degradation, again.degradation);
+    }
+
+    #[test]
+    fn clean_run_is_refined_with_no_notes() {
+        let llm = SimLlm::gpt4();
+        let result = AbstractiveTopicModeler::new(&llm, TopicModelingConfig::default())
+            .run(&texts(), &["crash".into()]);
+        assert!(result.refined);
+        assert!(result.degradation.is_empty());
     }
 
     #[test]

@@ -210,12 +210,12 @@ fn render(template: &str, product: &str, topic: &TopicDef, rng: &mut ChaCha8Rng)
     while let Some(pos) = rest.find('{') {
         out.push_str(&rest[..pos]);
         let tail = &rest[pos..];
-        if tail.starts_with("{p}") {
+        if let Some(after) = tail.strip_prefix("{p}") {
             out.push_str(product);
-            rest = &tail[3..];
-        } else if tail.starts_with("{k}") {
+            rest = after;
+        } else if let Some(after) = tail.strip_prefix("{k}") {
             out.push_str(topic.keywords[rng.gen_range(0..topic.keywords.len())]);
-            rest = &tail[3..];
+            rest = after;
         } else {
             out.push('{');
             rest = &tail[1..];

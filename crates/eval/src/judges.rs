@@ -333,6 +333,7 @@ mod tests {
             code: "show(1)".into(),
             attempts: 1,
             error: None,
+            degradation: Vec::new(),
         }
     }
 
@@ -373,6 +374,7 @@ mod tests {
             code: String::new(),
             attempts: 4,
             error: Some("boom".into()),
+            degradation: Vec::new(),
         };
         let s = judge(&q, &r, &[]);
         assert_eq!(s.correctness, 1.0);

@@ -143,13 +143,77 @@ pub trait LanguageModel {
     fn complete(&self, prompt: &Prompt, opts: &ChatOptions) -> Result<String, LlmError>;
 }
 
-/// LLM invocation error (context overflow, malformed prompt, …).
+/// What went wrong in an LLM invocation. The taxonomy distinguishes
+/// transient faults (worth retrying) from permanent ones (retrying the same
+/// request can never help), which is what the resilience layer keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LlmErrorKind {
+    /// Prompt exceeds the model's context window. Permanent: the same
+    /// request will always overflow.
+    ContextOverflow,
+    /// Request timed out before a completion arrived. Transient.
+    Timeout,
+    /// Provider rejected the request for rate limiting. Transient.
+    RateLimited,
+    /// Completion came back cut off mid-output. Transient.
+    Truncated,
+    /// Completion was empty. Transient.
+    Empty,
+    /// Completion failed output-format validation. Transient.
+    Malformed,
+    /// The task head itself could not produce output (e.g. codegen gave
+    /// up on an unanswerable request). Permanent.
+    Generation,
+}
+
+impl LlmErrorKind {
+    /// Whether retrying the identical request can plausibly succeed.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            LlmErrorKind::Timeout
+                | LlmErrorKind::RateLimited
+                | LlmErrorKind::Truncated
+                | LlmErrorKind::Empty
+                | LlmErrorKind::Malformed
+        )
+    }
+
+    /// Short stable label used in degradation notes and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            LlmErrorKind::ContextOverflow => "context-overflow",
+            LlmErrorKind::Timeout => "timeout",
+            LlmErrorKind::RateLimited => "rate-limited",
+            LlmErrorKind::Truncated => "truncated",
+            LlmErrorKind::Empty => "empty",
+            LlmErrorKind::Malformed => "malformed",
+            LlmErrorKind::Generation => "generation",
+        }
+    }
+}
+
+/// LLM invocation error: a [`LlmErrorKind`] plus a human-readable message.
 #[derive(Debug, Clone, PartialEq)]
-pub struct LlmError(pub String);
+pub struct LlmError {
+    pub kind: LlmErrorKind,
+    pub message: String,
+}
+
+impl LlmError {
+    pub fn new(kind: LlmErrorKind, message: impl Into<String>) -> Self {
+        LlmError { kind, message: message.into() }
+    }
+
+    /// Whether retrying the identical request can plausibly succeed.
+    pub fn retryable(&self) -> bool {
+        self.kind.retryable()
+    }
+}
 
 impl std::fmt::Display for LlmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        write!(f, "{}: {}", self.kind.label(), self.message)
     }
 }
 impl std::error::Error for LlmError {}
@@ -218,12 +282,15 @@ impl LanguageModel for SimLlm {
         let mut prompt = prompt.clone();
         prompt.fit_to_window(self.spec.context_window);
         if prompt.token_count() > self.spec.context_window {
-            return Err(LlmError(format!(
-                "prompt of {} tokens exceeds {}'s context window of {}",
-                prompt.token_count(),
-                self.spec.name,
-                self.spec.context_window
-            )));
+            return Err(LlmError::new(
+                LlmErrorKind::ContextOverflow,
+                format!(
+                    "prompt of {} tokens exceeds {}'s context window of {}",
+                    prompt.token_count(),
+                    self.spec.name,
+                    self.spec.context_window
+                ),
+            ));
         }
         match prompt.task {
             PromptTask::Classify => Ok(self.classify_head().classify_prompt(&prompt, opts)),
@@ -233,7 +300,7 @@ impl LanguageModel for SimLlm {
             PromptTask::GenerateCode => self
                 .codegen_head()
                 .generate_from_prompt(&prompt, opts)
-                .map_err(LlmError),
+                .map_err(|m| LlmError::new(LlmErrorKind::Generation, m)),
             PromptTask::Summarize => Ok(crate::summarize::extractive_summary(&prompt.query, 3)),
         }
     }
@@ -280,6 +347,8 @@ mod tests {
         let huge = "word ".repeat(30_000);
         let prompt = Prompt::new(PromptTask::Summarize, "Summarize.", &huge);
         let err = llm.complete(&prompt, &ChatOptions::default()).unwrap_err();
-        assert!(err.0.contains("context window"));
+        assert_eq!(err.kind, LlmErrorKind::ContextOverflow);
+        assert!(err.message.contains("context window"));
+        assert!(!err.retryable(), "overflow must not be retried");
     }
 }

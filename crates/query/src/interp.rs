@@ -92,6 +92,11 @@ pub struct Interpreter {
     steps_left: u64,
     /// Maximum rows any produced frame may have (sandbox budget).
     max_rows: usize,
+    /// Per-cell wall-clock limit and its deadline (sandbox budget).
+    wall_limit: Option<std::time::Duration>,
+    cell_deadline: Option<std::time::Instant>,
+    /// Steps taken this cell, for the periodic clock check.
+    steps_taken: u64,
     effects: Effects,
 }
 
@@ -109,6 +114,9 @@ impl Interpreter {
             plugins: PluginRegistry::with_builtins(),
             steps_left: step_budget,
             max_rows,
+            wall_limit: None,
+            cell_deadline: None,
+            steps_taken: 0,
             effects: Effects::default(),
         }
     }
@@ -161,6 +169,14 @@ impl Interpreter {
         self.steps_left = steps;
     }
 
+    /// Arm (or disarm, with `None`) the per-cell wall-clock budget; called
+    /// per cell by the session kernel before running.
+    pub fn start_cell_clock(&mut self, limit: Option<std::time::Duration>) {
+        self.wall_limit = limit;
+        self.cell_deadline = limit.map(|d| std::time::Instant::now() + d);
+        self.steps_taken = 0;
+    }
+
     fn step(&mut self) -> Result<(), QueryError> {
         if self.steps_left == 0 {
             return Err(QueryError::runtime(
@@ -168,6 +184,18 @@ impl Interpreter {
             ));
         }
         self.steps_left -= 1;
+        // Clock reads are much slower than a decrement, so the wall-clock
+        // budget is only checked every 4096 steps (and on the first).
+        if self.steps_taken % 4096 == 0 {
+            if let (Some(deadline), Some(limit)) = (self.cell_deadline, self.wall_limit) {
+                if std::time::Instant::now() >= deadline {
+                    return Err(QueryError::runtime(format!(
+                        "cell wall-clock budget exhausted (limit {limit:?})"
+                    )));
+                }
+            }
+        }
+        self.steps_taken += 1;
         Ok(())
     }
 

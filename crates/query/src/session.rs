@@ -19,11 +19,16 @@ pub struct SessionLimits {
     pub step_budget: u64,
     /// Maximum rows any produced frame may have.
     pub max_rows: usize,
+    /// Wall-clock limit per cell (`None` = unlimited). Checked periodically
+    /// during evaluation; exceeding it fails the cell with an error — it
+    /// never panics — so the agent's reflection loop sees it like any other
+    /// executor failure.
+    pub max_cell_duration: Option<std::time::Duration>,
 }
 
 impl Default for SessionLimits {
     fn default() -> Self {
-        SessionLimits { step_budget: 50_000_000, max_rows: 5_000_000 }
+        SessionLimits { step_budget: 50_000_000, max_rows: 5_000_000, max_cell_duration: None }
     }
 }
 
@@ -105,8 +110,9 @@ impl Session {
                 return CellResult { error: Some(format!("syntax error: {e}")), ..Default::default() }
             }
         };
-        // Refresh the per-cell step budget (bindings persist, budgets reset).
+        // Refresh the per-cell budgets (bindings persist, budgets reset).
         self.interp.reset_budget(self.limits.step_budget);
+        self.interp.start_cell_clock(self.limits.max_cell_duration);
         let error = self.interp.run(&program).err().map(|e| e.to_string());
         let effects = self.interp.take_effects();
         CellResult { shown: effects.shown, logs: effects.logs, error }
@@ -157,7 +163,11 @@ mod tests {
 
     #[test]
     fn budget_resets_between_cells() {
-        let mut s = Session::new(SessionLimits { step_budget: 2_000, max_rows: 1_000 });
+        let mut s = Session::new(SessionLimits {
+            step_budget: 2_000,
+            max_rows: 1_000,
+            ..SessionLimits::default()
+        });
         s.bind_frame(
             "feedback",
             DataFrame::new(vec![Column::from_i64s("x", &[1, 2, 3])]).unwrap(),
@@ -166,6 +176,41 @@ mod tests {
             let r = s.execute("show(feedback.count())");
             assert!(r.ok(), "{:?}", r.error);
         }
+    }
+
+    #[test]
+    fn wall_clock_budget_errors_instead_of_panicking() {
+        // A zero wall-clock budget must fail the cell on its first check —
+        // as a reported error, never a panic — and leave the session usable.
+        let mut s = Session::new(SessionLimits {
+            max_cell_duration: Some(std::time::Duration::ZERO),
+            ..SessionLimits::default()
+        });
+        s.bind_frame(
+            "feedback",
+            DataFrame::new(vec![Column::from_i64s("x", &[1, 2, 3])]).unwrap(),
+        );
+        let r = s.execute("show(feedback.count())");
+        let err = r.error.expect("zero wall-clock budget must trip");
+        assert!(err.contains("cell wall-clock"), "{err}");
+        // Disarming the clock restores normal execution in the same session.
+        s.limits.max_cell_duration = None;
+        let r = s.execute("show(feedback.count())");
+        assert!(r.ok(), "{:?}", r.error);
+    }
+
+    #[test]
+    fn generous_wall_clock_budget_is_inert() {
+        let mut s = Session::new(SessionLimits {
+            max_cell_duration: Some(std::time::Duration::from_secs(3600)),
+            ..SessionLimits::default()
+        });
+        s.bind_frame(
+            "feedback",
+            DataFrame::new(vec![Column::from_i64s("x", &[1, 2, 3])]).unwrap(),
+        );
+        let r = s.execute("show(feedback.count())");
+        assert!(r.ok(), "{:?}", r.error);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Per-head circuit breakers.
+//!
+//! The breaker is deliberately time-free: cooldown is measured in *denied
+//! calls*, not elapsed wall clock, so a seeded run trips and recovers at
+//! exactly the same call indices every time. That keeps chaos runs
+//! bit-reproducible, which the determinism tests rely on.
+
+/// The three LLM task heads, one per pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Head {
+    /// ICL classification (stage 1).
+    Classify,
+    /// Abstractive topic summarization (stage 2).
+    Summarize,
+    /// Natural language → AQL code generation (stage 3).
+    Codegen,
+}
+
+impl Head {
+    pub fn label(self) -> &'static str {
+        match self {
+            Head::Classify => "classify",
+            Head::Summarize => "summarize",
+            Head::Codegen => "codegen",
+        }
+    }
+
+    pub const ALL: [Head; 3] = [Head::Classify, Head::Summarize, Head::Codegen];
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive operation failures (after retries) that open the breaker.
+    pub failure_threshold: u32,
+    /// Denied calls while open before a half-open probe is admitted.
+    pub cooldown_denials: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, cooldown_denials: 5 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; calls flow through.
+    Closed,
+    /// Failing hard; calls are denied without being attempted.
+    Open,
+    /// One probe call is admitted; its outcome decides open vs. closed.
+    HalfOpen,
+}
+
+/// A call-count-based circuit breaker for one head.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    denied_while_open: u32,
+    /// Total number of closed→open transitions (for stats/reporting).
+    trips: u32,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            denied_while_open: 0,
+            trips: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// Ask to place a call. Returns `true` if the call may proceed. While
+    /// open, each denial counts toward the cooldown; once enough calls have
+    /// been denied the breaker admits a half-open probe.
+    pub fn admit(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                self.denied_while_open += 1;
+                if self.denied_while_open >= self.config.cooldown_denials {
+                    self.state = BreakerState::HalfOpen;
+                }
+                false
+            }
+        }
+    }
+
+    /// Record that an admitted call succeeded.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Record that an admitted call failed (after its own retries).
+    pub fn record_failure(&mut self) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                // Probe failed: reopen and restart the cooldown.
+                self.state = BreakerState::Open;
+                self.denied_while_open = 0;
+                self.trips += 1;
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.denied_while_open = 0;
+                    self.trips += 1;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_and_recovers_via_probe() {
+        let mut b = CircuitBreaker::new(BreakerConfig { failure_threshold: 2, cooldown_denials: 3 });
+        assert!(b.admit());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        // Denied during cooldown.
+        assert!(!b.admit());
+        assert!(!b.admit());
+        assert!(!b.admit());
+        // Cooldown elapsed: next admit is the half-open probe.
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.admit());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = CircuitBreaker::new(BreakerConfig { failure_threshold: 1, cooldown_denials: 2 });
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit());
+        assert!(!b.admit());
+        assert!(b.admit()); // probe
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut b = CircuitBreaker::new(BreakerConfig { failure_threshold: 3, cooldown_denials: 2 });
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "reset failures must not accumulate");
+    }
+}

@@ -1,0 +1,279 @@
+//! Seeded fault injection.
+//!
+//! Faults are decided the same way the simulated LLM decides label slips:
+//! by hashing (seed, namespace, call index) — see `ModelSpec::slips`. No
+//! mutable RNG state is consumed, so whether call #17 on the classify head
+//! times out is a pure function of the plan's seed, regardless of what any
+//! other component did in between. Seed ⇒ bit-exact fault sequences.
+
+use crate::breaker::Head;
+use allhands_embed::{hash64, mix64};
+use allhands_llm::{ChatOptions, LanguageModel, LlmError, LlmErrorKind, ModelTier, Prompt, PromptTask};
+
+/// The transient fault kinds the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The request never returns; surfaces as [`LlmErrorKind::Timeout`].
+    Timeout,
+    /// Provider-side throttling; surfaces as [`LlmErrorKind::RateLimited`].
+    RateLimit,
+    /// Completion cut off mid-output.
+    Truncated,
+    /// Completion garbled into something no parser accepts.
+    Malformed,
+    /// Completion came back empty.
+    Empty,
+}
+
+impl FaultKind {
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Timeout,
+        FaultKind::RateLimit,
+        FaultKind::Truncated,
+        FaultKind::Malformed,
+        FaultKind::Empty,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Timeout => "timeout",
+            FaultKind::RateLimit => "rate-limit",
+            FaultKind::Truncated => "truncated",
+            FaultKind::Malformed => "malformed",
+            FaultKind::Empty => "empty",
+        }
+    }
+
+    /// The error kind a fault surfaces as when it cannot corrupt a payload
+    /// (typed-head calls) or when it is a pure request failure.
+    pub fn error_kind(self) -> LlmErrorKind {
+        match self {
+            FaultKind::Timeout => LlmErrorKind::Timeout,
+            FaultKind::RateLimit => LlmErrorKind::RateLimited,
+            FaultKind::Truncated => LlmErrorKind::Truncated,
+            FaultKind::Malformed => LlmErrorKind::Malformed,
+            FaultKind::Empty => LlmErrorKind::Empty,
+        }
+    }
+}
+
+/// A deterministic fault schedule: per-kind rates plus the seed that decides
+/// which call indices each kind fires on.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    pub seed: u64,
+    /// Per-kind fault probabilities, indexed by `FaultKind::ALL` order.
+    pub rates: [f64; 5],
+}
+
+impl FaultPlan {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultPlan { seed: 0, rates: [0.0; 5] }
+    }
+
+    /// A plan firing all five kinds with equal shares of `total_rate`
+    /// (e.g. `uniform(7, 0.30)` ⇒ each call faults with probability 0.30,
+    /// split evenly across the five kinds).
+    pub fn uniform(seed: u64, total_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&total_rate), "fault rate out of range");
+        FaultPlan { seed, rates: [total_rate / 5.0; 5] }
+    }
+
+    /// Total probability that any fault fires on a given call.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Decide whether (and which) fault fires for call `call_index` on
+    /// `head`. One uniform draw per call, partitioned by cumulative rates,
+    /// so kinds are mutually exclusive per call.
+    pub fn decide(&self, head: Head, call_index: u64) -> Option<FaultKind> {
+        if self.total_rate() <= 0.0 {
+            return None;
+        }
+        let ns = hash64("fault-plan") ^ hash64(head.label());
+        let h = mix64(ns ^ call_index.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.seed.wrapping_mul(0x9E37_79B9));
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let mut cumulative = 0.0;
+        for (kind, rate) in FaultKind::ALL.iter().zip(self.rates) {
+            cumulative += rate;
+            if u < cumulative {
+                return Some(*kind);
+            }
+        }
+        None
+    }
+}
+
+/// How a fault manifested at the injection site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionEvent {
+    pub call_index: u64,
+    pub head: Head,
+    pub kind: FaultKind,
+}
+
+/// A [`LanguageModel`] wrapper that injects faults per a [`FaultPlan`].
+///
+/// Request-level faults (timeout, rate limit) return errors without touching
+/// the inner model; payload faults (truncated, malformed, empty) run the
+/// inner model and corrupt its completion, exercising downstream output
+/// validation.
+pub struct FaultInjector<M> {
+    inner: M,
+    plan: FaultPlan,
+    calls: std::sync::atomic::AtomicU64,
+    log: std::sync::Mutex<Vec<InjectionEvent>>,
+}
+
+impl<M: LanguageModel> FaultInjector<M> {
+    pub fn new(inner: M, plan: FaultPlan) -> Self {
+        FaultInjector {
+            inner,
+            plan,
+            calls: std::sync::atomic::AtomicU64::new(0),
+            log: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Number of completions attempted through this wrapper.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Every fault injected so far, in call order.
+    pub fn injections(&self) -> Vec<InjectionEvent> {
+        self.log.lock().expect("injection log lock").clone()
+    }
+
+    fn head_for(task: PromptTask) -> Head {
+        match task {
+            PromptTask::Classify => Head::Classify,
+            PromptTask::TopicModel | PromptTask::Summarize => Head::Summarize,
+            PromptTask::GenerateCode => Head::Codegen,
+        }
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for FaultInjector<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn tier(&self) -> ModelTier {
+        self.inner.tier()
+    }
+
+    fn complete(&self, prompt: &Prompt, opts: &ChatOptions) -> Result<String, LlmError> {
+        let call_index = self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let head = Self::head_for(prompt.task);
+        let Some(kind) = self.plan.decide(head, call_index) else {
+            return self.inner.complete(prompt, opts);
+        };
+        self.log
+            .lock()
+            .expect("injection log lock")
+            .push(InjectionEvent { call_index, head, kind });
+        match kind {
+            FaultKind::Timeout => Err(LlmError::new(
+                LlmErrorKind::Timeout,
+                format!("injected timeout on call #{call_index} ({} head)", head.label()),
+            )),
+            FaultKind::RateLimit => Err(LlmError::new(
+                LlmErrorKind::RateLimited,
+                format!("injected rate limit on call #{call_index} ({} head)", head.label()),
+            )),
+            FaultKind::Truncated => {
+                let full = self.inner.complete(prompt, opts)?;
+                let mut cut = full.len() / 2;
+                while cut > 0 && !full.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                Ok(full[..cut].to_string())
+            }
+            FaultKind::Malformed => {
+                let full = self.inner.complete(prompt, opts)?;
+                Ok(format!("�{}", full.replace(' ', "\u{1}")))
+            }
+            FaultKind::Empty => {
+                // Still consult the inner model so permanent errors (e.g.
+                // context overflow) are not masked by the fault.
+                self.inner.complete(prompt, opts)?;
+                Ok(String::new())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allhands_llm::SimLlm;
+
+    #[test]
+    fn plan_is_deterministic_and_rate_accurate() {
+        let plan = FaultPlan::uniform(42, 0.3);
+        let a: Vec<_> = (0..200).map(|i| plan.decide(Head::Classify, i)).collect();
+        let b: Vec<_> = (0..200).map(|i| plan.decide(Head::Classify, i)).collect();
+        assert_eq!(a, b, "same seed must give identical fault sequences");
+        let fired = (0..20_000).filter(|&i| plan.decide(Head::Codegen, i).is_some()).count();
+        let rate = fired as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "empirical fault rate {rate}");
+        assert!(FaultPlan::none().decide(Head::Classify, 7).is_none());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::uniform(1, 0.3);
+        let b = FaultPlan::uniform(2, 0.3);
+        let seq_a: Vec<_> = (0..300).map(|i| a.decide(Head::Summarize, i)).collect();
+        let seq_b: Vec<_> = (0..300).map(|i| b.decide(Head::Summarize, i)).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn all_kinds_eventually_fire() {
+        let plan = FaultPlan::uniform(9, 0.5);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2_000 {
+            if let Some(k) = plan.decide(Head::Classify, i) {
+                seen.insert(k);
+            }
+        }
+        assert_eq!(seen.len(), FaultKind::ALL.len(), "kinds seen: {seen:?}");
+    }
+
+    #[test]
+    fn injector_wraps_complete() {
+        use allhands_llm::PromptTask;
+        let llm = FaultInjector::new(SimLlm::gpt4(), FaultPlan::uniform(3, 0.6));
+        let prompt = Prompt::new(PromptTask::Summarize, "Summarize.", "short document text");
+        let mut errors = 0;
+        let mut corrupted = 0;
+        for _ in 0..60 {
+            match llm.complete(&prompt, &ChatOptions::default()) {
+                Err(e) => {
+                    assert!(e.retryable(), "injected faults must be transient: {e}");
+                    errors += 1;
+                }
+                Ok(s) if s.is_empty() || s.contains('\u{1}') || s.contains('�') => corrupted += 1,
+                Ok(_) => {}
+            }
+        }
+        assert!(errors > 0, "no request-level faults in 60 calls at 60% rate");
+        assert!(corrupted > 0, "no payload faults in 60 calls at 60% rate");
+        assert_eq!(llm.calls(), 60);
+        // Truncated faults look like clean-but-short output, so the log can
+        // exceed the visibly-corrupted count.
+        assert!(llm.injections().len() >= errors + corrupted);
+        // Clean wrapper passes everything through.
+        let clean = FaultInjector::new(SimLlm::gpt4(), FaultPlan::none());
+        assert!(clean.complete(&prompt, &ChatOptions::default()).is_ok());
+        assert!(clean.injections().is_empty());
+    }
+}

@@ -1,0 +1,395 @@
+//! Resilience layer for the AllHands pipeline.
+//!
+//! The paper's pipeline calls an LLM hundreds of times per run (Sec. 3);
+//! in production each of those calls can time out, get throttled, or come
+//! back garbled. This crate makes that failure surface *testable*:
+//!
+//! - [`FaultInjector`] wraps any [`allhands_llm::LanguageModel`] and
+//!   injects transient faults on a seeded schedule ([`FaultPlan`]) — same
+//!   seed, same faults, bit-exact, reusing the hash-based determinism the
+//!   simulated model already uses for label slips;
+//! - [`RetryPolicy`] retries transient failures with exponential backoff
+//!   and deterministic jitter (delays are virtual: recorded, never slept);
+//! - [`CircuitBreaker`] (one per task [`Head`]) stops hammering a failing
+//!   head and lets stages fall back to degraded-but-useful behaviour;
+//! - [`AllHandsError`] is the unified error taxonomy every stage converges
+//!   on, with a single `retryable()` classification.
+//!
+//! [`ResilienceCtx`] ties these together: stages share one `Arc<ResilienceCtx>`
+//! and route their LLM operations through [`ResilienceCtx::call`], which does
+//! breaker admission, the retry loop, backoff bookkeeping, and breaker state
+//! transitions. Degradations (fallback classifier engaged, refinement
+//! skipped, partial answer) are recorded as [`DegradationEvent`]s so every
+//! degraded output carries an explicit, user-visible note.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod breaker;
+pub mod error;
+pub mod fault;
+pub mod retry;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Head};
+pub use error::AllHandsError;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, InjectionEvent};
+pub use retry::RetryPolicy;
+
+use std::sync::Mutex;
+
+/// Knobs for the whole resilience layer. `Default` disables injection and
+/// keeps conservative retry/breaker settings, so a pipeline constructed
+/// without explicit chaos configuration behaves exactly like one with no
+/// resilience layer at all (single attempt, nothing injected).
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceConfig {
+    /// Master switch for fault injection. Retries and breakers are always
+    /// armed (they are inert when nothing fails).
+    pub enabled: bool,
+    pub fault: FaultPlan,
+    pub retry: RetryPolicy,
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            enabled: false,
+            fault: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// A chaos-test configuration: uniform faults at `total_rate` across all
+    /// five kinds, jitter and fault schedule sharing one `seed`.
+    pub fn chaos(seed: u64, total_rate: f64) -> Self {
+        ResilienceConfig {
+            enabled: true,
+            fault: FaultPlan::uniform(seed, total_rate),
+            retry: RetryPolicy { seed, ..RetryPolicy::default() },
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// One recorded degradation: which stage degraded and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// Stage label: `"classification"`, `"topic-modeling"`, `"qa-agent"`.
+    pub stage: String,
+    /// Human-readable note, also surfaced on degraded outputs.
+    pub note: String,
+}
+
+/// Aggregate counters for a run, for reporting and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Operation attempts placed through [`ResilienceCtx::call`].
+    pub attempts: u64,
+    /// Attempts that were retries (attempt ≥ 2).
+    pub retries: u64,
+    /// Operations that ultimately failed after exhausting their budget.
+    pub exhausted: u64,
+    /// Calls denied by an open breaker without being attempted.
+    pub breaker_denials: u64,
+    /// Total virtual backoff across all retries, in milliseconds.
+    pub total_backoff_ms: u64,
+}
+
+struct CtxState {
+    breakers: [CircuitBreaker; 3],
+    degradations: Vec<DegradationEvent>,
+    stats: ResilienceStats,
+    /// Attempts placed so far, used as the fault plan's call index. One
+    /// counter across heads keeps the schedule a pure function of call
+    /// order, which is itself deterministic.
+    fault_calls: u64,
+    /// Faults injected at the typed-head level (reporting).
+    injected: u64,
+}
+
+/// Shared resilience state for one pipeline run. Stages hold an
+/// `Arc<ResilienceCtx>` and route head-level operations through [`call`].
+///
+/// [`call`]: ResilienceCtx::call
+pub struct ResilienceCtx {
+    config: ResilienceConfig,
+    state: Mutex<CtxState>,
+}
+
+impl ResilienceCtx {
+    pub fn new(config: ResilienceConfig) -> Self {
+        let breaker = CircuitBreaker::new(config.breaker);
+        ResilienceCtx {
+            config,
+            state: Mutex::new(CtxState {
+                breakers: [breaker.clone(), breaker.clone(), breaker],
+                degradations: Vec::new(),
+                stats: ResilienceStats::default(),
+                fault_calls: 0,
+                injected: 0,
+            }),
+        }
+    }
+
+    pub fn config(&self) -> &ResilienceConfig {
+        &self.config
+    }
+
+    fn idx(head: Head) -> usize {
+        match head {
+            Head::Classify => 0,
+            Head::Summarize => 1,
+            Head::Codegen => 2,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CtxState> {
+        // A poisoned lock means another stage panicked; resilience state is
+        // plain counters, so continuing with it is safe.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Run `op` through the head's breaker and retry policy.
+    ///
+    /// `op` receives the 1-based attempt number. Transient errors are
+    /// retried up to `retry.max_attempts` with recorded virtual backoff;
+    /// permanent errors abort immediately. The breaker observes the
+    /// *operation* outcome (post-retries), not individual attempts, so a
+    /// single flaky call that recovers on retry does not count against it.
+    pub fn call<T>(
+        &self,
+        head: Head,
+        mut op: impl FnMut(u32) -> Result<T, AllHandsError>,
+    ) -> Result<T, AllHandsError> {
+        {
+            let mut st = self.lock();
+            if !st.breakers[Self::idx(head)].admit() {
+                st.stats.breaker_denials += 1;
+                return Err(AllHandsError::BreakerOpen { head });
+            }
+        }
+        let policy = self.config.retry;
+        let mut attempt = 1u32;
+        loop {
+            // Stages call typed heads rather than the raw completion API, so
+            // the fault plan is consulted here too: an injected fault costs
+            // the attempt without running the operation. Each attempt
+            // advances the plan's call index, so retries of a faulted call
+            // re-roll rather than re-fault forever.
+            let injected = {
+                let mut st = self.lock();
+                st.stats.attempts += 1;
+                if attempt > 1 {
+                    st.stats.retries += 1;
+                }
+                if self.config.enabled {
+                    let idx = st.fault_calls;
+                    st.fault_calls += 1;
+                    let fault = self.config.fault.decide(head, idx);
+                    if fault.is_some() {
+                        st.injected += 1;
+                    }
+                    fault
+                } else {
+                    None
+                }
+            };
+            let outcome = match injected {
+                Some(kind) => Err(AllHandsError::Llm(allhands_llm::LlmError::new(
+                    kind.error_kind(),
+                    format!("injected {} fault on {} head", kind.label(), head.label()),
+                ))),
+                None => op(attempt),
+            };
+            match outcome {
+                Ok(value) => {
+                    self.lock().breakers[Self::idx(head)].record_success();
+                    return Ok(value);
+                }
+                Err(e) if !e.retryable() => {
+                    self.lock().breakers[Self::idx(head)].record_failure();
+                    return Err(e);
+                }
+                Err(e) => {
+                    if attempt >= policy.max_attempts.max(1) {
+                        let mut st = self.lock();
+                        st.breakers[Self::idx(head)].record_failure();
+                        st.stats.exhausted += 1;
+                        return Err(AllHandsError::RetriesExhausted {
+                            head,
+                            attempts: attempt,
+                            last: Box::new(e),
+                        });
+                    }
+                    attempt += 1;
+                    let delay = policy.backoff_ms(head, attempt);
+                    self.lock().stats.total_backoff_ms += delay;
+                }
+            }
+        }
+    }
+
+    /// Current breaker state for `head`.
+    pub fn breaker_state(&self, head: Head) -> BreakerState {
+        self.lock().breakers[Self::idx(head)].state()
+    }
+
+    /// Whether `head`'s breaker is currently denying calls.
+    pub fn breaker_open(&self, head: Head) -> bool {
+        self.breaker_state(head) == BreakerState::Open
+    }
+
+    /// Total closed→open transitions for `head`.
+    pub fn breaker_trips(&self, head: Head) -> u32 {
+        self.lock().breakers[Self::idx(head)].trips()
+    }
+
+    /// Record a degradation; the note should be specific enough for a user
+    /// reading a degraded output to understand what they lost.
+    pub fn note_degradation(&self, stage: &str, note: impl Into<String>) {
+        self.lock()
+            .degradations
+            .push(DegradationEvent { stage: stage.to_string(), note: note.into() });
+    }
+
+    /// Like [`note_degradation`](Self::note_degradation), but skipped if an
+    /// identical event was already recorded — for per-item fallbacks that
+    /// would otherwise flood the log.
+    pub fn note_degradation_once(&self, stage: &str, note: &str) {
+        let mut st = self.lock();
+        if !st.degradations.iter().any(|d| d.stage == stage && d.note == note) {
+            st.degradations
+                .push(DegradationEvent { stage: stage.to_string(), note: note.to_string() });
+        }
+    }
+
+    /// Faults injected at the typed-head level so far.
+    pub fn injected(&self) -> u64 {
+        self.lock().injected
+    }
+
+    /// All degradations recorded so far, in order.
+    pub fn degradations(&self) -> Vec<DegradationEvent> {
+        self.lock().degradations.clone()
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> ResilienceStats {
+        self.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allhands_llm::{LlmError, LlmErrorKind};
+
+    fn transient() -> AllHandsError {
+        AllHandsError::Llm(LlmError::new(LlmErrorKind::Timeout, "injected"))
+    }
+
+    #[test]
+    fn retries_then_succeeds() {
+        let ctx = ResilienceCtx::new(ResilienceConfig::default());
+        let out = ctx.call(Head::Classify, |attempt| {
+            if attempt < 3 { Err(transient()) } else { Ok(attempt) }
+        });
+        assert_eq!(out.unwrap(), 3);
+        let stats = ctx.stats();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.exhausted, 0);
+        assert!(stats.total_backoff_ms > 0, "backoff must be recorded");
+        assert_eq!(ctx.breaker_state(Head::Classify), BreakerState::Closed);
+    }
+
+    #[test]
+    fn permanent_errors_abort_immediately() {
+        let ctx = ResilienceCtx::new(ResilienceConfig::default());
+        let out: Result<(), _> = ctx.call(Head::Codegen, |_| {
+            Err(AllHandsError::Llm(LlmError::new(LlmErrorKind::ContextOverflow, "too big")))
+        });
+        assert!(matches!(out, Err(AllHandsError::Llm(_))));
+        assert_eq!(ctx.stats().attempts, 1, "permanent errors must not be retried");
+    }
+
+    #[test]
+    fn exhaustion_trips_breaker_and_denies() {
+        let mut config = ResilienceConfig::default();
+        config.breaker.failure_threshold = 2;
+        config.breaker.cooldown_denials = 2;
+        let ctx = ResilienceCtx::new(config);
+        for _ in 0..2 {
+            let out: Result<(), _> = ctx.call(Head::Summarize, |_| Err(transient()));
+            assert!(matches!(out, Err(AllHandsError::RetriesExhausted { attempts: 3, .. })));
+        }
+        assert!(ctx.breaker_open(Head::Summarize));
+        assert_eq!(ctx.breaker_trips(Head::Summarize), 1);
+        // Denied without attempting.
+        let before = ctx.stats().attempts;
+        let out: Result<(), _> = ctx.call(Head::Summarize, |_| Ok(()));
+        assert!(matches!(out, Err(AllHandsError::BreakerOpen { head: Head::Summarize })));
+        assert_eq!(ctx.stats().attempts, before);
+        assert_eq!(ctx.stats().breaker_denials, 1);
+        // Other heads are unaffected.
+        assert!(ctx.call(Head::Classify, |_| Ok(1)).is_ok());
+        // After the cooldown, a half-open probe is admitted and can heal.
+        let _: Result<(), _> = ctx.call(Head::Summarize, |_| Ok(()));
+        assert!(ctx.call(Head::Summarize, |_| Ok(())).is_ok());
+        assert_eq!(ctx.breaker_state(Head::Summarize), BreakerState::Closed);
+    }
+
+    #[test]
+    fn enabled_ctx_injects_head_level_faults_deterministically() {
+        let run = |seed: u64| {
+            let ctx = ResilienceCtx::new(ResilienceConfig::chaos(seed, 0.4));
+            let mut outcomes = Vec::new();
+            for i in 0..100 {
+                let r = ctx.call(Head::Classify, |_| Ok(i));
+                outcomes.push(r.is_ok());
+            }
+            (outcomes, ctx.stats(), ctx.injected())
+        };
+        let (a, stats_a, injected_a) = run(11);
+        let (b, _, _) = run(11);
+        assert_eq!(a, b, "same seed must give identical outcome sequences");
+        assert!(injected_a > 0, "0.4 fault rate must inject over 100 calls");
+        assert!(stats_a.retries > 0, "injected transients must trigger retries");
+        let (c, _, _) = run(12);
+        assert_ne!(a, c, "different seeds should diverge");
+        // Disabled ctx never injects.
+        let ctx = ResilienceCtx::new(ResilienceConfig::default());
+        for i in 0..50 {
+            assert!(ctx.call(Head::Classify, |_| Ok(i)).is_ok());
+        }
+        assert_eq!(ctx.injected(), 0);
+        assert_eq!(ctx.stats().attempts, 50, "disabled ctx is single-attempt");
+    }
+
+    #[test]
+    fn note_once_dedupes() {
+        let ctx = ResilienceCtx::new(ResilienceConfig::default());
+        ctx.note_degradation_once("classification", "fallback engaged");
+        ctx.note_degradation_once("classification", "fallback engaged");
+        ctx.note_degradation_once("classification", "other note");
+        assert_eq!(ctx.degradations().len(), 2);
+    }
+
+    #[test]
+    fn degradations_are_recorded_in_order() {
+        let ctx = ResilienceCtx::new(ResilienceConfig::chaos(7, 0.3));
+        assert!(ctx.config().enabled);
+        ctx.note_degradation("classification", "fell back to lexical prior");
+        ctx.note_degradation("qa-agent", "partial answer");
+        let notes = ctx.degradations();
+        assert_eq!(notes.len(), 2);
+        assert_eq!(notes[0].stage, "classification");
+        assert!(notes[1].note.contains("partial"));
+    }
+}

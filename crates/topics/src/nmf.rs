@@ -97,8 +97,8 @@ pub fn fit_nmf(corpus: &Corpus, config: &NmfConfig) -> NmfModel {
         for a in 0..k {
             for b in 0..k {
                 let mut s = 0.0f32;
-                for term in 0..v {
-                    s += h[a][term] * h[b][term];
+                for (ha, hb) in h[a].iter().zip(&h[b]).take(v) {
+                    s += ha * hb;
                 }
                 hht[a][b] = s;
             }

@@ -188,9 +188,9 @@ impl NeuralTopicModel {
     /// Posterior-mean topic mixture for a feature row.
     pub fn infer_theta(&self, x: &[f32]) -> Vec<f32> {
         let mut mu = self.mu_bias.clone();
-        for t in 0..self.k {
+        for (mu_t, row) in mu.iter_mut().zip(&self.enc_mu).take(self.k) {
             for (i, &xi) in x.iter().enumerate() {
-                mu[t] += self.enc_mu[t][i] * xi;
+                *mu_t += row[i] * xi;
             }
         }
         softmax(&mut mu);
@@ -200,9 +200,9 @@ impl NeuralTopicModel {
     /// Encoder log-variance (diagnostics).
     pub fn infer_logvar(&self, x: &[f32]) -> Vec<f32> {
         let mut lv = self.lv_bias.clone();
-        for t in 0..self.k {
+        for (lv_t, row) in lv.iter_mut().zip(&self.enc_lv).take(self.k) {
             for (i, &xi) in x.iter().enumerate() {
-                lv[t] += self.enc_lv[t][i] * xi;
+                *lv_t += row[i] * xi;
             }
         }
         lv

@@ -38,7 +38,8 @@ fn main() {
         &labeled,
         &predefined,
         AllHandsConfig::default(),
-    );
+    )
+    .expect("pipeline failed");
     println!(
         "Structured table: {} rows × {} columns ({:?})",
         frame.n_rows(),

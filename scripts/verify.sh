@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verify gate: release build, root test suite, and a warning-free
+# clippy pass across the workspace. The resilience and agent crates
+# additionally deny clippy::unwrap_used via crate-level attributes, so
+# this single clippy invocation enforces that too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "verify: OK"

@@ -1,0 +1,394 @@
+//! Offline shim for `proptest`: a deterministic property-testing harness
+//! exposing the macro and `Strategy` surface this workspace's tests use.
+//!
+//! Differences from upstream proptest, by design:
+//! - cases are generated from a ChaCha8 stream seeded by the test name and
+//!   case index, so every run explores the same inputs (no persistence files
+//!   and no shrinking — a failing case prints its seed inputs via the assert
+//!   message instead);
+//! - the regex string strategy supports the subset used here: character
+//!   classes with ranges, `\PC` (any non-control char), and `{n}`/`{m,n}`
+//!   repetition counts.
+
+use rand::Rng as _;
+use rand::SeedableRng as _;
+
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Derive the per-case generator from the test name and case index.
+pub fn new_rng(test_name: &str, case: u64) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+// ---- numeric range strategies ----------------------------------------------
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+range_strategies!(usize, u64, u32, i64, i32, f64, f32);
+
+// ---- tuple strategies ------------------------------------------------------
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+// ---- regex string strategy -------------------------------------------------
+
+enum CharSet {
+    /// Explicit characters (expanded from a `[...]` class).
+    Explicit(Vec<char>),
+    /// `\PC`: any non-control character (sampled from a representative pool
+    /// that deliberately includes multi-byte UTF-8).
+    NonControl,
+}
+
+const NON_CONTROL_POOL: &[char] = &[
+    ' ', '!', '"', '#', '$', '%', '\'', '(', ')', '*', '+', ',', '-', '.', '/', '0', '5', '9',
+    ':', ';', '<', '=', '>', '?', '@', 'A', 'M', 'Z', '[', '\\', ']', '^', '_', '`', 'a', 'e',
+    'k', 'q', 'z', '{', '|', '}', '~', 'à', 'é', 'î', 'õ', 'ü', 'ß', 'Ω', 'ж', '中', '日',
+    'क', '🙂', '🚀',
+];
+
+struct RegexElement {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+fn parse_regex(pattern: &str) -> Vec<RegexElement> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut elements = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut members = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                        for c in lo..=hi {
+                            if let Some(c) = char::from_u32(c) {
+                                members.push(c);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        members.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated [ in pattern {pattern}");
+                i += 1; // skip ']'
+                CharSet::Explicit(members)
+            }
+            '\\' => {
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in pattern {pattern}"
+                );
+                i += 3;
+                CharSet::NonControl
+            }
+            c => {
+                i += 1;
+                CharSet::Explicit(vec![c])
+            }
+        };
+        let (mut min, mut max) = (1, 1);
+        if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated { in pattern")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            if let Some((lo, hi)) = body.split_once(',') {
+                min = lo.trim().parse().expect("bad repeat count");
+                max = hi.trim().parse().expect("bad repeat count");
+            } else {
+                min = body.trim().parse().expect("bad repeat count");
+                max = min;
+            }
+            i = close + 1;
+        }
+        elements.push(RegexElement { set, min, max });
+    }
+    elements
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for elem in parse_regex(self) {
+            let n = rng.gen_range(elem.min..=elem.max);
+            for _ in 0..n {
+                match &elem.set {
+                    CharSet::Explicit(members) => {
+                        assert!(!members.is_empty(), "empty char class in {self}");
+                        out.push(members[rng.gen_range(0..members.len())]);
+                    }
+                    CharSet::NonControl => {
+                        out.push(NON_CONTROL_POOL[rng.gen_range(0..NON_CONTROL_POOL.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---- collections and sampling ----------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Inclusive-lower, exclusive-upper element-count range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.lo..self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniformly pick one of the given options per case.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+// ---- macros ----------------------------------------------------------------
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::new_rng(stringify!($name), __case as u64);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn regex_strategy_respects_classes_and_counts() {
+        let mut rng = new_rng("regex", 0);
+        for _ in 0..100 {
+            let s = "[a-d]{2,5}".generate(&mut rng);
+            assert!((2..=5).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+            let t = "\\PC{0,20}".generate(&mut rng);
+            assert!(t.chars().count() <= 20);
+            assert!(t.chars().all(|c| !c.is_control()));
+            let one = "[a-c]".generate(&mut rng);
+            assert_eq!(one.chars().count(), 1);
+        }
+    }
+
+    #[test]
+    fn same_name_and_case_reproduces_inputs() {
+        let a = "[ -~]{0,30}".generate(&mut new_rng("x", 5));
+        let b = "[ -~]{0,30}".generate(&mut new_rng("x", 5));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_end_to_end(
+            n in 1usize..10,
+            xs in prop::collection::vec(-5i64..5, 0..4),
+            word in prop::sample::select(vec!["a", "b"]),
+        ) {
+            prop_assert!(n >= 1 && n < 10);
+            prop_assert!(xs.len() < 4);
+            prop_assert!(word == "a" || word == "b");
+        }
+    }
+}

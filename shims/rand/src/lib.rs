@@ -1,0 +1,261 @@
+//! Offline shim for `rand` 0.8: the trait surface and samplers this
+//! workspace uses. All sampling is fully deterministic given the underlying
+//! generator's stream — the workspace relies on seeded reproducibility, not
+//! on matching upstream rand's exact bit streams.
+
+/// Core generator interface (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Seedable construction (mirrors `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Uniform `[0, 1)` doubles from the top 53 bits.
+fn unit_f64(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `[0, 1)` floats from the top 24 bits.
+fn unit_f32(rng: &mut (impl RngCore + ?Sized)) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Unbiased integer in `[0, bound)` by rejection sampling.
+fn below_u64(rng: &mut (impl RngCore + ?Sized), bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+/// Values the `gen()` method can produce (mirrors the `Standard` distribution).
+pub trait Standard: Sized {
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        unit_f64(rng)
+    }
+}
+impl Standard for f32 {
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        unit_f32(rng)
+    }
+}
+impl Standard for u32 {
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for bool {
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Types `gen_range` can sample uniformly (mirrors `SampleUniform`).
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut (impl RngCore + ?Sized)) -> Self;
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut (impl RngCore + ?Sized)) -> Self;
+}
+
+macro_rules! int_uniform_impls {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut (impl RngCore + ?Sized)) -> Self {
+                assert!(lo < hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + below_u64(rng, span) as i128) as $t
+            }
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut (impl RngCore + ?Sized)) -> Self {
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + below_u64(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_uniform_impls!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut (impl RngCore + ?Sized)) -> Self {
+        assert!(lo < hi, "empty range in gen_range");
+        lo + unit_f64(rng) * (hi - lo)
+    }
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut (impl RngCore + ?Sized)) -> Self {
+        assert!(lo <= hi, "empty range in gen_range");
+        lo + unit_f64(rng) * (hi - lo)
+    }
+}
+impl SampleUniform for f32 {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut (impl RngCore + ?Sized)) -> Self {
+        assert!(lo < hi, "empty range in gen_range");
+        lo + unit_f32(rng) * (hi - lo)
+    }
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut (impl RngCore + ?Sized)) -> Self {
+        assert!(lo <= hi, "empty range in gen_range");
+        lo + unit_f32(rng) * (hi - lo)
+    }
+}
+
+/// Ranges that can be sampled uniformly (mirrors `SampleRange`). The single
+/// blanket impl per range shape is load-bearing: it lets type inference unify
+/// `gen_range`'s return type with the range's element type before the element
+/// type itself is resolved (e.g. `x + rng.gen_range(-0.25..0.25)`).
+pub trait SampleRange<T> {
+    fn sample_range(self, rng: &mut (impl RngCore + ?Sized)) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_range(self, rng: &mut (impl RngCore + ?Sized)) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_range(self, rng: &mut (impl RngCore + ?Sized)) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_range(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::{below_u64, RngCore};
+
+    /// Slice helpers (mirrors `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = below_u64(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[below_u64(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let v = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&v[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..200 {
+            let i = rng.gen_range(0..10usize);
+            assert!(i < 10);
+            let f = rng.gen_range(-0.25..0.25f64);
+            assert!((-0.25..0.25).contains(&f));
+            let g: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        use crate::seq::SliceRandom;
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut Counter(3));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+}

@@ -1,0 +1,354 @@
+//! Offline shim for `serde_derive`: hand-rolled `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` targeting the in-repo `serde` shim's data model.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields           -> JSON-style map
+//! - newtype (one-field tuple) structs   -> transparent inner value
+//! - enums of unit / newtype variants    -> externally tagged
+//! - container attr `#[serde(try_from = "Type")]` on `Deserialize`
+//!
+//! Anything else produces a compile error naming the unsupported shape, so
+//! growth past the supported subset fails loudly instead of silently
+//! misserializing. Built on `proc_macro` token trees only — no syn/quote,
+//! because the build environment has no network access to fetch them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// What the type looks like after parsing.
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields (only N == 1 is supported downstream).
+    Tuple(usize),
+    /// Enum: (variant name, number of unnamed fields; 0 = unit).
+    Enum(Vec<(String, usize)>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+    /// `#[serde(try_from = "T")]` payload, if present.
+    try_from: Option<String>,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok(p) => generate(&p, mode).parse().expect("shim derive emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let mut iter = input.into_iter().peekable();
+    let mut try_from = None;
+
+    // Leading attributes + visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    if let Some(t) = extract_try_from(g.stream()) {
+                        try_from = Some(t);
+                    }
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                iter.next();
+                // Possible `pub(crate)` / `pub(in ...)` restriction group.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("shim serde derive does not support generic type `{name}`"));
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) => g,
+        // `struct Name;` unit struct has no body group.
+        other => return Err(format!("unsupported item body for `{name}`: {other:?}")),
+    };
+
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Struct(parse_named_fields(body.stream())?),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(count_tuple_fields(body.stream())),
+        ("enum", Delimiter::Brace) => Shape::Enum(parse_variants(body.stream())?),
+        _ => return Err(format!("unsupported shape for `{name}`")),
+    };
+    Ok(Parsed { name, shape, try_from })
+}
+
+/// Pull `Type` out of a `serde(try_from = "Type")` attribute body.
+fn extract_try_from(attr: TokenStream) -> Option<String> {
+    let mut iter = attr.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match iter.next() {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return None,
+    };
+    let mut it = inner.into_iter();
+    while let Some(tt) = it.next() {
+        if matches!(&tt, TokenTree::Ident(i) if i.to_string() == "try_from") {
+            it.next(); // '='
+            if let Some(TokenTree::Literal(lit)) = it.next() {
+                return Some(lit.to_string().trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Field identifiers of a named-field struct body, skipping attributes,
+/// visibility, and type tokens (commas inside `<...>` don't split fields).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            return Err(format!("expected field name, got {tt:?}"));
+        };
+        fields.push(field.to_string());
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        // Consume the type: stop at a comma outside angle brackets.
+        let mut angle = 0i32;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct body (top-level comma count + 1).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tt in body {
+        any = true;
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+/// Enum variants: name + unnamed-field count (0 for unit variants).
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip variant attributes (doc comments expand to #[doc = ...]).
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            return Err(format!("expected variant name, got {tt:?}"));
+        };
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(g)) = iter.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_tuple_fields(g.stream());
+                    iter.next();
+                }
+                Delimiter::Brace => {
+                    return Err(format!(
+                        "shim serde derive does not support struct variant `{name}`"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        let mut angle = 0i32;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        variants.push((name.to_string(), arity));
+    }
+    Ok(variants)
+}
+
+fn generate(p: &Parsed, mode: Mode) -> String {
+    let name = &p.name;
+    match mode {
+        Mode::Serialize => {
+            let body = match &p.shape {
+                Shape::Struct(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "({f:?}.to_string(), ::serde::Serialize::to_content(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+                }
+                Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    return format!(
+                        "compile_error!(\"shim serde derive: unsupported {n}-field tuple struct {name}\");"
+                    )
+                }
+                Shape::Enum(variants) => {
+                    let arms: Vec<String> = variants
+                        .iter()
+                        .map(|(v, arity)| match arity {
+                            0 => format!("{name}::{v} => ::serde::Content::UnitVariant({v:?}),"),
+                            1 => format!(
+                                "{name}::{v}(__x) => ::serde::Content::NewtypeVariant({v:?}, \
+                                 Box::new(::serde::Serialize::to_content(__x))),"
+                            ),
+                            n => format!(
+                                "{name}::{v}(..) => panic!(\"shim serde: unsupported {n}-field variant\"),"
+                            ),
+                        })
+                        .collect();
+                    format!("match self {{ {} }}", arms.join(" "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Mode::Deserialize => {
+            if let Some(raw) = &p.try_from {
+                return format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                             let __raw: {raw} = ::serde::Deserialize::from_content(__c)?;\n\
+                             ::std::convert::TryFrom::try_from(__raw)\n\
+                                 .map_err(|e| ::serde::DeError::custom(format!(\"{{e}}\")))\n\
+                         }}\n\
+                     }}"
+                );
+            }
+            let body = match &p.shape {
+                Shape::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::Deserialize::from_content(__c.field({f:?})?)?")
+                        })
+                        .collect();
+                    format!("Ok({name} {{ {} }})", inits.join(", "))
+                }
+                Shape::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+                }
+                Shape::Tuple(n) => {
+                    return format!(
+                        "compile_error!(\"shim serde derive: unsupported {n}-field tuple struct {name}\");"
+                    )
+                }
+                Shape::Enum(variants) => {
+                    let arms: Vec<String> = variants
+                        .iter()
+                        .map(|(v, arity)| match arity {
+                            0 => format!("{v:?} => Ok({name}::{v}),"),
+                            1 => format!(
+                                "{v:?} => Ok({name}::{v}(::serde::Deserialize::from_content(\
+                                 __inner.ok_or_else(|| ::serde::DeError::custom(\
+                                 \"missing newtype variant payload\"))?)?)),"
+                            ),
+                            n => format!(
+                                "{v:?} => Err(::serde::DeError::custom(\
+                                 \"shim serde: unsupported {n}-field variant\")),"
+                            ),
+                        })
+                        .collect();
+                    format!(
+                        "let (__v, __inner) = __c.variant()?;\n\
+                         match __v {{ {} _ => Err(::serde::DeError::custom(format!(\
+                         \"unknown variant {{__v:?}} for {name}\"))) }}",
+                        arms.join(" ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

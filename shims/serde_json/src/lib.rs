@@ -1,0 +1,690 @@
+//! Offline shim for `serde_json`: the subset this workspace uses.
+//!
+//! Provides [`Value`], [`Map`], a recursive-descent JSON parser, compact and
+//! pretty printers, `to_string`/`to_string_pretty`/`from_str`/`from_value`,
+//! and a [`json!`] macro. Serialization is bridged through the in-repo serde
+//! shim's `Content` data model using serde's standard JSON conventions
+//! (structs as objects, enums externally tagged, newtypes transparent).
+
+use serde::{Content, DeError, Deserialize, Serialize};
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+/// An insertion-ordered string-keyed map of JSON values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Map { entries: Vec::new() }
+    }
+
+    /// Insert, replacing any existing entry with the same key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// JSON error (parse or conversion failure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+// ---- Value conversions -----------------------------------------------------
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::I64(v as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(v as f64)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Self {
+        Value::String((*v).to_string())
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl From<Map> for Value {
+    fn from(v: Map) -> Self {
+        Value::Object(v)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&write_compact(self))
+    }
+}
+
+// ---- Content bridge --------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::I64(v) => Content::I64(*v),
+            Value::U64(v) => Content::U64(*v),
+            Value::F64(v) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Serialize::to_content).collect()),
+            Value::Object(m) => Content::Map(
+                m.iter().map(|(k, v)| (k.clone(), v.to_content())).collect(),
+            ),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(content_to_value(c))
+    }
+}
+
+fn content_to_value(c: &Content) -> Value {
+    match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(*b),
+        Content::I64(v) => Value::I64(*v),
+        Content::U64(v) => Value::U64(*v),
+        Content::F64(v) => Value::F64(*v),
+        Content::Str(s) => Value::String(s.clone()),
+        Content::Seq(items) => Value::Array(items.iter().map(content_to_value).collect()),
+        Content::Map(entries) => {
+            let mut m = Map::new();
+            for (k, v) in entries {
+                m.insert(k.clone(), content_to_value(v));
+            }
+            Value::Object(m)
+        }
+        Content::UnitVariant(v) => Value::String((*v).to_string()),
+        Content::NewtypeVariant(v, inner) => {
+            let mut m = Map::new();
+            m.insert((*v).to_string(), content_to_value(inner));
+            Value::Object(m)
+        }
+    }
+}
+
+// ---- top-level API ---------------------------------------------------------
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write_compact(&content_to_value(&value.to_content())))
+}
+
+/// Serialize to human-readable JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&content_to_value(&value.to_content()), 0, &mut out);
+    Ok(out)
+}
+
+/// Parse JSON text into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    Ok(T::from_content(&value.to_content())?)
+}
+
+/// Convert an already-parsed [`Value`] into any `Deserialize` type.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::from_content(&value.to_content())?)
+}
+
+// ---- printer ---------------------------------------------------------------
+
+fn write_compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, &mut out);
+    out
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => out.push_str(&format_f64(*n)),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&"  ".repeat(indent + 1));
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&"  ".repeat(indent + 1));
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+fn format_f64(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_string();
+    }
+    // Match serde_json's convention of keeping a decimal point on whole
+    // floats so the value parses back as a float.
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{n:.1}")
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----------------------------------------------------------------
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error("unexpected end of input".to_string())),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected ',' or ']' at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = Map::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(Error(format!("expected ':' at byte {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(Error(format!("expected ',' or '}}' at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(Error(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error("unterminated string".to_string())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error("truncated \\u escape".to_string()))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| Error("bad \\u escape".to_string()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error("bad \\u escape".to_string()))?;
+                        // Surrogate pairs are not produced by this shim's
+                        // printer; map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error("bad escape".to_string())),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (multi-byte safe).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error("invalid utf-8".to_string()))?;
+                let c = rest.chars().next().expect("non-empty checked above");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| Error("invalid number".to_string()))?;
+    if text.is_empty() {
+        return Err(Error(format!("expected value at byte {start}")));
+    }
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::I64(i));
+        }
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::U64(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::F64)
+        .map_err(|_| Error(format!("invalid number '{text}'")))
+}
+
+// ---- json! macro -----------------------------------------------------------
+
+/// Build a [`Value`] from a JSON-like literal. Supports nested objects and
+/// arrays, `null`, and arbitrary Rust expressions (converted via
+/// `Value::from`) in value position. Object keys must be string literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => { $crate::json_object!([] $($body)*) };
+    ([ $($body:tt)* ]) => { $crate::json_array!([] $($body)*) };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // Finished (with or without trailing comma).
+    ([$(($k:expr, $v:expr)),*]) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $( __m.insert(($k).to_string(), $v); )*
+        $crate::Value::Object(__m)
+    }};
+    ([$(($k:expr, $v:expr)),*] ,) => { $crate::json_object!([$(($k, $v)),*]) };
+    // Separator between entries.
+    ([$(($k:expr, $v:expr)),*] , $($rest:tt)+) => {
+        $crate::json_object!([$(($k, $v)),*] $($rest)+)
+    };
+    // Structural values recurse into json!.
+    ([$(($k:expr, $v:expr)),*] $key:literal : { $($obj:tt)* } $($rest:tt)*) => {
+        $crate::json_object!([$(($k, $v),)* ($key, $crate::json!({ $($obj)* }))] $($rest)*)
+    };
+    ([$(($k:expr, $v:expr)),*] $key:literal : [ $($arr:tt)* ] $($rest:tt)*) => {
+        $crate::json_object!([$(($k, $v),)* ($key, $crate::json!([ $($arr)* ]))] $($rest)*)
+    };
+    ([$(($k:expr, $v:expr)),*] $key:literal : null $($rest:tt)*) => {
+        $crate::json_object!([$(($k, $v),)* ($key, $crate::Value::Null)] $($rest)*)
+    };
+    // Expression value: munch tokens until a top-level comma.
+    ([$(($k:expr, $v:expr)),*] $key:literal : $($rest:tt)+) => {
+        $crate::json_object_expr!([$(($k, $v)),*] $key () $($rest)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_expr {
+    ([$(($k:expr, $v:expr)),*] $key:literal ($($buf:tt)+) , $($rest:tt)*) => {
+        $crate::json_object!([$(($k, $v),)* ($key, $crate::Value::from($($buf)+))] $($rest)*)
+    };
+    ([$(($k:expr, $v:expr)),*] $key:literal ($($buf:tt)+)) => {
+        $crate::json_object!([$(($k, $v),)* ($key, $crate::Value::from($($buf)+))])
+    };
+    ([$(($k:expr, $v:expr)),*] $key:literal ($($buf:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_object_expr!([$(($k, $v)),*] $key ($($buf)* $next) $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    ([$($elem:expr),*]) => { $crate::Value::Array(vec![$($elem),*]) };
+    ([$($elem:expr),*] ,) => { $crate::json_array!([$($elem),*]) };
+    ([$($elem:expr),*] , $($rest:tt)+) => {
+        $crate::json_array!([$($elem),*] $($rest)+)
+    };
+    ([$($elem:expr),*] { $($obj:tt)* } $($rest:tt)*) => {
+        $crate::json_array!([$($elem,)* $crate::json!({ $($obj)* })] $($rest)*)
+    };
+    ([$($elem:expr),*] [ $($arr:tt)* ] $($rest:tt)*) => {
+        $crate::json_array!([$($elem,)* $crate::json!([ $($arr)* ])] $($rest)*)
+    };
+    ([$($elem:expr),*] null $($rest:tt)*) => {
+        $crate::json_array!([$($elem,)* $crate::Value::Null] $($rest)*)
+    };
+    ([$($elem:expr),*] $($rest:tt)+) => {
+        $crate::json_array_expr!([$($elem),*] () $($rest)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_expr {
+    ([$($elem:expr),*] ($($buf:tt)+) , $($rest:tt)*) => {
+        $crate::json_array!([$($elem,)* $crate::Value::from($($buf)+)] $($rest)*)
+    };
+    ([$($elem:expr),*] ($($buf:tt)+)) => {
+        $crate::json_array!([$($elem,)* $crate::Value::from($($buf)+)])
+    };
+    ([$($elem:expr),*] ($($buf:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_array_expr!([$($elem),*] ($($buf)* $next) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let v = parse(r#"{"a": [1, 2.5, "x\ny", true, null], "b": {"c": -3}}"#).unwrap();
+        assert_eq!(v["a"][0], Value::I64(1));
+        assert_eq!(v["a"][1], Value::F64(2.5));
+        assert_eq!(v["a"][2], "x\ny");
+        assert_eq!(v["b"]["c"], Value::I64(-3));
+        let text = v.to_string();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn float_formatting_keeps_decimal() {
+        assert_eq!(Value::F64(-2.0).to_string(), "-2.0");
+        assert_eq!(Value::F64(1.5).to_string(), "1.5");
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let n = 3usize;
+        let v = json!({
+            "plain": n,
+            "expr": n as f64 / 2.0,
+            "nested": {"deep": [1, 2, {"k": "v"}]},
+            "list": vec!["a", "b"],
+        });
+        assert_eq!(v["plain"], Value::U64(3));
+        assert_eq!(v["expr"], Value::F64(1.5));
+        assert_eq!(v["nested"]["deep"][2]["k"], "v");
+        assert_eq!(v["list"][1], "b");
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(1.25), Value::F64(1.25));
+    }
+
+    #[test]
+    fn missing_index_is_null() {
+        let v = json!({"a": 1});
+        assert_eq!(v["missing"], Value::Null);
+        assert_eq!(v["a"][4], Value::Null);
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let s = to_string_pretty(&json!({"a": [1]})).unwrap();
+        assert!(s.contains("\n  \"a\": [\n    1\n  ]\n"));
+    }
+}

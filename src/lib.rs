@@ -15,6 +15,8 @@
 //! - [`datasets`] — synthetic corpora matching the paper's Table 1 and the
 //!   90-question benchmark of Tables 5–7.
 //! - [`eval`] — difficulty model and answer-quality judges.
+//! - [`resilience`] — seeded fault injection, retry/backoff, circuit
+//!   breakers, and the unified error taxonomy.
 
 pub use allhands_agent as agent;
 pub use allhands_classify as classify;
@@ -25,6 +27,7 @@ pub use allhands_embed as embed;
 pub use allhands_eval as eval;
 pub use allhands_llm as llm;
 pub use allhands_query as query;
+pub use allhands_resilience as resilience;
 pub use allhands_text as text;
 pub use allhands_topics as topics;
 pub use allhands_vectordb as vectordb;

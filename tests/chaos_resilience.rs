@@ -1,0 +1,177 @@
+//! Chaos harness: the full pipeline under seeded fault injection.
+//!
+//! The resilience layer's contract, exercised end to end:
+//! - at a 30% fault rate the whole pipeline (classification → topic
+//!   modeling → QA) completes without panicking;
+//! - the same seed produces bit-identical results, degradations included;
+//! - every degraded answer carries an explicit note;
+//! - with injection disabled the pipeline output is identical to a run
+//!   with no resilience configuration at all.
+
+use allhands::classify::LabeledExample;
+use allhands::core::{AllHands, AllHandsConfig, ResilienceConfig};
+use allhands::datasets::{generate_n, DatasetKind};
+use allhands::llm::ModelTier;
+use allhands::resilience::{FaultInjector, FaultKind, FaultPlan, Head};
+
+const QUESTIONS: [&str; 5] = [
+    "How many feedback entries are there?",
+    "What is the average sentiment score across all tweets?",
+    "Which topic appears most frequently?",
+    "What topic has the most negative sentiment score on average?",
+    "Based on the feedback, what action can be done to improve the product?",
+];
+
+fn corpus() -> (Vec<String>, Vec<LabeledExample>, Vec<String>) {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 120, 11);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let labeled: Vec<LabeledExample> = records
+        .iter()
+        .take(60)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let predefined =
+        vec!["bug".to_string(), "crash".to_string(), "feature request".to_string()];
+    (texts, labeled, predefined)
+}
+
+/// Run the whole pipeline + the 5 QA questions; return a full transcript
+/// (frame dump, rendered answers, degradation notes) for bit-exact
+/// comparison.
+fn transcript(config: AllHandsConfig) -> String {
+    let (texts, labeled, predefined) = corpus();
+    let (mut ah, frame) =
+        AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, config)
+            .expect("pipeline must degrade, not fail");
+    let mut out = String::new();
+    out.push_str(&frame.to_table_string(200));
+    for q in QUESTIONS {
+        let r = ah.ask(q);
+        assert!(r.error.is_none(), "question {q:?} errored: {:?}", r.error);
+        // Every degraded answer is explicit about it.
+        if !r.degradation.is_empty() {
+            assert!(
+                r.text_content().contains("Partial answer"),
+                "degraded answer lacks note: {}",
+                r.text_content()
+            );
+        }
+        out.push_str("\n=== ");
+        out.push_str(q);
+        out.push('\n');
+        out.push_str(&r.render());
+        for note in &r.degradation {
+            out.push_str(&format!("[degraded] {note}\n"));
+        }
+    }
+    for d in ah.resilience().degradations() {
+        out.push_str(&format!("[{}] {}\n", d.stage, d.note));
+    }
+    out
+}
+
+fn chaos_config(seed: u64, rate: f64) -> AllHandsConfig {
+    AllHandsConfig {
+        resilience: ResilienceConfig::chaos(seed, rate),
+        ..AllHandsConfig::default()
+    }
+}
+
+#[test]
+fn chaos_run_completes_and_is_deterministic() {
+    let a = transcript(chaos_config(42, 0.30));
+    let b = transcript(chaos_config(42, 0.30));
+    assert_eq!(a, b, "same seed must give a bit-identical chaos run");
+}
+
+#[test]
+fn different_seeds_inject_different_faults() {
+    let (texts, labeled, predefined) = corpus();
+    let stats = |seed| {
+        let (ah, _) =
+            AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, chaos_config(seed, 0.30))
+                .expect("pipeline must degrade, not fail");
+        (ah.resilience().injected(), ah.resilience().stats())
+    };
+    let (injected_a, stats_a) = stats(1);
+    let (injected_b, _) = stats(2);
+    assert!(injected_a > 0, "30% rate must inject over a 120-doc pipeline");
+    assert!(stats_a.retries > 0, "transient faults must be retried");
+    // Same call volume, different schedule.
+    assert_ne!(injected_a, injected_b, "seeds 1 and 2 coincided exactly (astronomically unlikely)");
+}
+
+#[test]
+fn retries_stay_within_budget() {
+    let (texts, labeled, predefined) = corpus();
+    let config = chaos_config(7, 0.30);
+    let max_attempts = config.resilience.retry.max_attempts as u64;
+    let (ah, _) = AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, config)
+        .expect("pipeline must degrade, not fail");
+    let stats = ah.resilience().stats();
+    // Per-operation attempts are bounded by the retry budget, so in
+    // aggregate: attempts ≤ operations × max_attempts, i.e. retries can
+    // never exceed (max_attempts − 1) × the number of first attempts.
+    let operations = stats.attempts - stats.retries;
+    assert!(
+        stats.retries <= operations * (max_attempts - 1),
+        "retries {} exceed budget for {} operations",
+        stats.retries,
+        operations
+    );
+    assert!(stats.total_backoff_ms > 0, "recorded backoff must accompany retries");
+}
+
+#[test]
+fn disabled_injection_is_identical_to_baseline() {
+    // A config with rates armed but the master switch off must match the
+    // default (no resilience configured at all) byte for byte.
+    let mut armed_but_off = chaos_config(42, 0.30);
+    armed_but_off.resilience.enabled = false;
+    let baseline = transcript(AllHandsConfig::default());
+    let disabled = transcript(armed_but_off);
+    assert_eq!(baseline, disabled);
+    // And a clean run records no degradations at all.
+    assert!(!baseline.contains("[degraded]"));
+    assert!(!baseline.contains("Partial answer"));
+}
+
+#[test]
+fn fault_injector_wrapper_covers_all_kinds_deterministically() {
+    use allhands::llm::{ChatOptions, LanguageModel, Prompt, PromptTask, SimLlm};
+    let plan = FaultPlan::uniform(5, 0.5);
+    let run = || {
+        let llm = FaultInjector::new(SimLlm::gpt4(), plan);
+        let mut outcomes = Vec::new();
+        for i in 0..200 {
+            let prompt = Prompt::new(
+                match i % 3 {
+                    0 => PromptTask::Classify,
+                    1 => PromptTask::Summarize,
+                    _ => PromptTask::GenerateCode,
+                },
+                "Do the task.",
+                &format!("input text {i}"),
+            );
+            outcomes.push(match llm.complete(&prompt, &ChatOptions::default()) {
+                Ok(s) => format!("ok:{s}"),
+                Err(e) => {
+                    assert!(e.retryable(), "injected faults must be transient: {e}");
+                    format!("err:{e}")
+                }
+            });
+        }
+        (outcomes, llm.injections())
+    };
+    let (outcomes_a, injections_a) = run();
+    let (outcomes_b, injections_b) = run();
+    assert_eq!(outcomes_a, outcomes_b, "wrapper must be seed-deterministic");
+    assert_eq!(injections_a, injections_b);
+    // All five fault kinds and all three heads appear in 200 calls at 50%.
+    for kind in FaultKind::ALL {
+        assert!(injections_a.iter().any(|ev| ev.kind == kind), "kind {kind:?} never fired");
+    }
+    for head in Head::ALL {
+        assert!(injections_a.iter().any(|ev| ev.head == head), "head {head:?} never hit");
+    }
+}

@@ -19,6 +19,7 @@ fn build() -> (AllHands, allhands::dataframe::DataFrame) {
         .collect();
     let predefined = vec!["bug".to_string(), "crash".to_string(), "feature request".to_string()];
     AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, AllHandsConfig::default())
+        .expect("clean pipeline run must succeed")
 }
 
 #[test]
@@ -62,7 +63,8 @@ fn classification_beats_majority_baseline() {
         &labeled,
         &["bug".to_string()],
         AllHandsConfig::default(),
-    );
+    )
+    .expect("clean pipeline run must succeed");
     let predicted = frame.column("label").unwrap();
     let agree = records
         .iter()

@@ -76,7 +76,11 @@ fn codegen_single_month_with_increase_keeps_filter() {
 /// concat cannot blow past the row budget exponentially.
 #[test]
 fn concat_respects_row_budget() {
-    let mut s = Session::new(SessionLimits { step_budget: 1_000_000, max_rows: 1_000 });
+    let mut s = Session::new(SessionLimits {
+        step_budget: 1_000_000,
+        max_rows: 1_000,
+        ..SessionLimits::default()
+    });
     s.bind_frame(
         "feedback",
         DataFrame::new(vec![Column::from_i64s("x", &(0..400).collect::<Vec<_>>())]).unwrap(),
