@@ -1,0 +1,109 @@
+//! Serial vs parallel microbenchmarks for the deterministic execution layer:
+//! Stage-1 batch classification, Lance–Williams HAC (vs the per-merge-rescan
+//! reference), and sharded vector search. Thread counts are pinned with
+//! `allhands_par::with_threads`, so results are comparable across hosts.
+
+use allhands_classify::LabeledExample;
+use allhands_core::{IclClassifier, IclConfig};
+use allhands_datasets::{generate_n, DatasetKind};
+use allhands_embed::Embedding;
+use allhands_llm::SimLlm;
+use allhands_topics::hac::{
+    agglomerative_clusters, agglomerative_clusters_reference, Linkage,
+};
+use allhands_vectordb::{FlatIndex, Record, VectorIndex};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn thread_counts() -> Vec<usize> {
+    let max = allhands_par::max_threads();
+    let mut counts = vec![1usize];
+    if max > 1 {
+        counts.push(max);
+    }
+    counts
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 400, 42);
+    let pool: Vec<LabeledExample> = records
+        .iter()
+        .take(250)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let texts: Vec<String> = records.iter().skip(250).map(|r| r.text.clone()).collect();
+    let labels = vec!["informative".to_string(), "non-informative".to_string()];
+    let llm = SimLlm::gpt4();
+    let clf = IclClassifier::fit(&llm, &pool, &labels, IclConfig::default());
+
+    let mut group = c.benchmark_group("classify_batch_150");
+    group.sample_size(10);
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    allhands_par::with_threads(t, || black_box(clf.classify_batch(&texts)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hac(c: &mut Criterion) {
+    let llm = SimLlm::gpt4();
+    let phrases: Vec<String> =
+        (0..200).map(|i| format!("topic phrase number {i} about module {}", i % 13)).collect();
+    let embeddings: Vec<Embedding> = phrases.iter().map(|p| llm.embedder().embed(p)).collect();
+
+    let mut group = c.benchmark_group("hac_200_phrases");
+    group.sample_size(10);
+    group.bench_function("reference_rescan", |b| {
+        b.iter(|| {
+            black_box(agglomerative_clusters_reference(&embeddings, Linkage::Average, 0.35))
+        })
+    });
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("lance_williams_threads", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    allhands_par::with_threads(t, || {
+                        black_box(agglomerative_clusters(&embeddings, Linkage::Average, 0.35))
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let dims = 32;
+    let mut index = FlatIndex::new(dims);
+    for i in 0..20_000u64 {
+        let v: Vec<f32> =
+            (0..dims).map(|d| ((i as f32 * 0.37 + d as f32) * 0.11).sin()).collect();
+        index.insert(Record::new(i, Embedding::new(v)));
+    }
+    let query = Embedding::new((0..dims).map(|d| (d as f32 * 0.23).cos()).collect());
+
+    let mut group = c.benchmark_group("flat_search_20k");
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    allhands_par::with_threads(t, || black_box(index.search(&query, 16)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify, bench_hac, bench_search);
+criterion_main!(benches);

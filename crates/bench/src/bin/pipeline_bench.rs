@@ -1,0 +1,292 @@
+//! Wall-clock benchmark of the three pipeline hot paths — Stage-1 batch
+//! classification, HAC topic clustering, and vector-index search — serial
+//! (`ALLHANDS_THREADS=1`) vs parallel, plus the end-to-end pipeline.
+//! Emits `BENCH_pipeline.json` (schema below) and verifies on the way that
+//! serial and parallel outputs are byte-identical.
+//!
+//! Usage:
+//!   pipeline_bench                     full sizes, writes BENCH_pipeline.json
+//!   pipeline_bench --out PATH          choose the output path
+//!   BENCH_SMOKE=1 pipeline_bench       small sizes (CI smoke; also --smoke)
+//!   pipeline_bench --validate PATH     schema-check an emitted JSON, exit 1
+//!                                      on any missing/mistyped field
+//!
+//! Speedup is *recorded*, never asserted against a threshold: on a 1-core
+//! host the honest number is ~1.0 and the JSON says so.
+
+use allhands_classify::LabeledExample;
+use allhands_core::{AllHands, AllHandsConfig, IclClassifier, IclConfig};
+use allhands_datasets::{generate_n, DatasetKind};
+use allhands_embed::Embedding;
+use allhands_llm::{ModelTier, SimLlm};
+use allhands_topics::hac::{
+    agglomerative_clusters, agglomerative_clusters_reference, Linkage,
+};
+use allhands_vectordb::{FlatIndex, Record, VectorIndex};
+use serde_json::{Map, Value};
+use std::time::Instant;
+
+const SCHEMA_VERSION: u64 = 1;
+const STAGES: [&str; 4] = ["classify", "hac", "search", "pipeline"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--validate") {
+        let path = args.get(pos + 1).unwrap_or_else(|| {
+            eprintln!("--validate requires a path");
+            std::process::exit(2);
+        });
+        match validate(path) {
+            Ok(()) => {
+                println!("{path}: schema OK");
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let smoke = args.iter().any(|a| a == "--smoke")
+        || std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|p| args.get(p + 1).cloned())
+        .unwrap_or_else(default_out_path);
+
+    let threads = allhands_par::max_threads();
+    println!(
+        "pipeline_bench: threads={threads} mode={}",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let mut stages = Map::new();
+    stages.insert("classify".to_string(), bench_classify(smoke));
+    stages.insert("hac".to_string(), bench_hac(smoke));
+    stages.insert("search".to_string(), bench_search(smoke));
+    stages.insert("pipeline".to_string(), bench_pipeline(smoke));
+
+    let mut root = Map::new();
+    root.insert("schema_version".to_string(), Value::U64(SCHEMA_VERSION));
+    root.insert("threads".to_string(), Value::U64(threads as u64));
+    root.insert("smoke".to_string(), Value::Bool(smoke));
+    root.insert("stages".to_string(), Value::Object(stages));
+    let json = Value::Object(root);
+
+    let rendered = serde_json::to_string_pretty(&json).expect("render json");
+    std::fs::write(&out_path, rendered).unwrap_or_else(|e| {
+        eprintln!("write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("[saved {out_path}]");
+}
+
+fn default_out_path() -> String {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../BENCH_pipeline.json")
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Milliseconds for one invocation of `f`, returning its output too.
+fn time_ms<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64() * 1e3, out)
+}
+
+/// A serial-vs-parallel stage entry. `extra` appends stage-specific fields.
+fn stage_entry(
+    serial_ms: f64,
+    parallel_ms: f64,
+    items: usize,
+    extra: Vec<(&str, Value)>,
+) -> Value {
+    let mut m = Map::new();
+    m.insert("serial_ms".to_string(), Value::F64(serial_ms));
+    m.insert("parallel_ms".to_string(), Value::F64(parallel_ms));
+    m.insert(
+        "speedup".to_string(),
+        Value::F64(if parallel_ms > 0.0 { serial_ms / parallel_ms } else { 1.0 }),
+    );
+    m.insert("items".to_string(), Value::U64(items as u64));
+    for (k, v) in extra {
+        m.insert(k.to_string(), v);
+    }
+    Value::Object(m)
+}
+
+fn bench_classify(smoke: bool) -> Value {
+    let (pool_n, text_n) = if smoke { (120, 60) } else { (1_000, 300) };
+    let records = generate_n(DatasetKind::GoogleStoreApp, pool_n + text_n, 42);
+    let pool: Vec<LabeledExample> = records
+        .iter()
+        .take(pool_n)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let texts: Vec<String> = records.iter().skip(pool_n).map(|r| r.text.clone()).collect();
+    let labels = vec!["informative".to_string(), "non-informative".to_string()];
+    let llm = SimLlm::gpt4();
+    let clf = IclClassifier::fit(&llm, &pool, &labels, IclConfig::default());
+
+    let (serial_ms, serial_out) =
+        allhands_par::with_threads(1, || time_ms(|| clf.classify_batch(&texts)));
+    let (parallel_ms, parallel_out) = time_ms(|| clf.classify_batch(&texts));
+    assert_eq!(serial_out, parallel_out, "classify outputs diverged across thread counts");
+    println!("  classify: {text_n} texts  serial {serial_ms:.1}ms  parallel {parallel_ms:.1}ms");
+    stage_entry(serial_ms, parallel_ms, text_n, Vec::new())
+}
+
+fn bench_hac(smoke: bool) -> Value {
+    let n = if smoke { 80 } else { 250 };
+    let llm = SimLlm::gpt4();
+    let phrases: Vec<String> = (0..n)
+        .map(|i| format!("discovered topic phrase number {i} about module {}", i % 17))
+        .collect();
+    let embeddings: Vec<Embedding> =
+        phrases.iter().map(|p| llm.embedder().embed(p)).collect();
+
+    let (serial_ms, serial_out) = allhands_par::with_threads(1, || {
+        time_ms(|| agglomerative_clusters(&embeddings, Linkage::Average, 0.35))
+    });
+    let (parallel_ms, parallel_out) =
+        time_ms(|| agglomerative_clusters(&embeddings, Linkage::Average, 0.35));
+    assert_eq!(serial_out, parallel_out, "HAC assignments diverged across thread counts");
+    // The algorithmic win (Lance–Williams vs the per-merge rescan) dwarfs
+    // the thread-level one; record it alongside.
+    let (naive_ms, naive_out) =
+        time_ms(|| agglomerative_clusters_reference(&embeddings, Linkage::Average, 0.35));
+    assert_eq!(serial_out, naive_out, "HAC diverged from the reference implementation");
+    println!(
+        "  hac: {n} phrases  serial {serial_ms:.1}ms  parallel {parallel_ms:.1}ms  naive {naive_ms:.1}ms"
+    );
+    stage_entry(
+        serial_ms,
+        parallel_ms,
+        n,
+        vec![
+            ("naive_ms", Value::F64(naive_ms)),
+            (
+                "algorithmic_speedup",
+                Value::F64(if serial_ms > 0.0 { naive_ms / serial_ms } else { 1.0 }),
+            ),
+        ],
+    )
+}
+
+fn bench_search(smoke: bool) -> Value {
+    let (n, queries) = if smoke { (6_000, 10) } else { (30_000, 40) };
+    let dims = 32;
+    let mut index = FlatIndex::new(dims);
+    // Cheap synthetic vectors: hashing-free deterministic pattern.
+    for i in 0..n as u64 {
+        let v: Vec<f32> = (0..dims)
+            .map(|d| ((i as f32 * 0.37 + d as f32) * 0.11).sin())
+            .collect();
+        index.insert(Record::new(i, Embedding::new(v)));
+    }
+    let qs: Vec<Embedding> = (0..queries)
+        .map(|q| {
+            Embedding::new(
+                (0..dims)
+                    .map(|d| ((q as f32 * 1.7 + d as f32) * 0.23).cos())
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let run = || -> Vec<_> { qs.iter().map(|q| index.search(q, 16)).collect() };
+    let (serial_ms, serial_out) = allhands_par::with_threads(1, || time_ms(run));
+    let (parallel_ms, parallel_out) = time_ms(run);
+    assert_eq!(serial_out, parallel_out, "search hits diverged across thread counts");
+    println!(
+        "  search: {n} records x {queries} queries  serial {serial_ms:.1}ms  parallel {parallel_ms:.1}ms"
+    );
+    stage_entry(serial_ms, parallel_ms, n, vec![("queries", Value::U64(queries as u64))])
+}
+
+fn bench_pipeline(smoke: bool) -> Value {
+    let n = if smoke { 60 } else { 200 };
+    let records = generate_n(DatasetKind::GoogleStoreApp, n, 11);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let labeled: Vec<LabeledExample> = records
+        .iter()
+        .take(n / 2)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let predefined =
+        vec!["bug".to_string(), "crash".to_string(), "feature request".to_string()];
+
+    let run = || -> String {
+        let (mut ah, frame) = AllHands::analyze(
+            ModelTier::Gpt4,
+            &texts,
+            &labeled,
+            &predefined,
+            AllHandsConfig::default(),
+        )
+        .expect("pipeline must not fail");
+        let mut transcript = frame.to_table_string(50);
+        transcript.push_str(&ah.ask("Which topic appears most frequently?").render());
+        transcript
+    };
+    let (serial_ms, serial_out) = allhands_par::with_threads(1, || time_ms(run));
+    let (parallel_ms, parallel_out) = time_ms(run);
+    assert_eq!(serial_out, parallel_out, "pipeline transcript diverged across thread counts");
+    println!("  pipeline: {n} docs  serial {serial_ms:.1}ms  parallel {parallel_ms:.1}ms");
+    stage_entry(serial_ms, parallel_ms, n, Vec::new())
+}
+
+// ---- schema validation ------------------------------------------------------
+
+fn validate(path: &str) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let value: Value = serde_json::from_str(&raw).map_err(|e| format!("parse: {e:?}"))?;
+    let Value::Object(root) = &value else {
+        return Err("root is not an object".to_string());
+    };
+    match root.get("schema_version") {
+        Some(Value::U64(v)) if *v == SCHEMA_VERSION => {}
+        Some(Value::I64(v)) if *v == SCHEMA_VERSION as i64 => {}
+        other => return Err(format!("schema_version: expected {SCHEMA_VERSION}, got {other:?}")),
+    }
+    let threads = as_f64(root.get("threads")).ok_or("threads: missing or non-numeric")?;
+    if threads < 1.0 {
+        return Err(format!("threads: {threads} < 1"));
+    }
+    if !matches!(root.get("smoke"), Some(Value::Bool(_))) {
+        return Err("smoke: missing or non-bool".to_string());
+    }
+    let Some(Value::Object(stages)) = root.get("stages") else {
+        return Err("stages: missing or not an object".to_string());
+    };
+    for name in STAGES {
+        let Some(Value::Object(stage)) = stages.get(name) else {
+            return Err(format!("stages.{name}: missing or not an object"));
+        };
+        for field in ["serial_ms", "parallel_ms", "speedup"] {
+            let v = as_f64(stage.get(field))
+                .ok_or_else(|| format!("stages.{name}.{field}: missing or non-numeric"))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("stages.{name}.{field}: {v} not a positive number"));
+            }
+        }
+        let items = as_f64(stage.get("items"))
+            .ok_or_else(|| format!("stages.{name}.items: missing or non-numeric"))?;
+        if items < 1.0 {
+            return Err(format!("stages.{name}.items: {items} < 1"));
+        }
+    }
+    Ok(())
+}
+
+fn as_f64(v: Option<&Value>) -> Option<f64> {
+    match v {
+        Some(Value::F64(x)) => Some(*x),
+        Some(Value::I64(x)) => Some(*x as f64),
+        Some(Value::U64(x)) => Some(*x as f64),
+        _ => None,
+    }
+}

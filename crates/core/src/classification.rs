@@ -8,7 +8,7 @@
 
 use allhands_classify::{LabeledExample, LexicalPrior};
 use allhands_embed::Embedding;
-use allhands_llm::{ChatOptions, Demonstration, SimLlm};
+use allhands_llm::{ChatOptions, ClassifyHead, Demonstration, EmbeddedDemonstration, SimLlm};
 use allhands_resilience::{Head, ResilienceCtx};
 use allhands_vectordb::{FlatIndex, IvfIndex, Record, VectorIndex};
 use std::sync::Arc;
@@ -53,11 +53,22 @@ impl Index {
             Index::Ivf(i) => i.search(query, k),
         }
     }
+
+    fn get(&self, id: u64) -> Option<&Record> {
+        match self {
+            Index::Flat(i) => i.get(id),
+            Index::Ivf(i) => i.get(id),
+        }
+    }
 }
 
 /// The fitted ICL classifier: an embedded demonstration pool plus the LLM.
 pub struct IclClassifier<'a> {
     llm: &'a SimLlm,
+    /// The classify head, created once at fit time so its per-label gloss
+    /// cache (gloss text, stems, embedding) amortizes across every text in
+    /// a batch instead of being rebuilt per call.
+    head: ClassifyHead<'a>,
     index: Index,
     /// Demonstration pool aligned with record ids.
     pool: Vec<LabeledExample>,
@@ -99,6 +110,7 @@ impl<'a> IclClassifier<'a> {
         }
         IclClassifier {
             llm,
+            head: llm.classify_head(),
             index,
             pool: pool.to_vec(),
             labels: labels.to_vec(),
@@ -118,6 +130,18 @@ impl<'a> IclClassifier<'a> {
 
     /// Retrieve the top-K demonstration examples for a query text.
     pub fn retrieve(&self, text: &str) -> Vec<Demonstration> {
+        self.retrieve_embedded(text)
+            .into_iter()
+            .map(|ed| ed.demo)
+            .collect()
+    }
+
+    /// [`retrieve`](Self::retrieve), surfacing each demonstration's stored
+    /// index vector alongside it. The index stores exactly
+    /// `embed(demo.input)` (computed at fit time), so downstream scoring
+    /// can skip re-embedding every demonstration per classified text —
+    /// the seed's hidden (texts × shots) embedding cost.
+    pub fn retrieve_embedded(&self, text: &str) -> Vec<EmbeddedDemonstration> {
         if self.config.shots == 0 || self.pool.is_empty() {
             return Vec::new();
         }
@@ -127,7 +151,17 @@ impl<'a> IclClassifier<'a> {
             .into_iter()
             .map(|hit| {
                 let ex = &self.pool[hit.id as usize];
-                Demonstration { input: ex.text.clone(), output: ex.label.clone() }
+                let vector = self
+                    .index
+                    .get(hit.id)
+                    .map(|r| r.vector.clone())
+                    // Unreachable (hits come from the index), but fall back
+                    // to a fresh embed rather than panic.
+                    .unwrap_or_else(|| self.llm.embedder().embed(&ex.text));
+                EmbeddedDemonstration {
+                    demo: Demonstration { input: ex.text.clone(), output: ex.label.clone() },
+                    embedding: vector,
+                }
             })
             .collect()
     }
@@ -156,10 +190,51 @@ impl<'a> IclClassifier<'a> {
     }
 
     fn classify_direct(&self, text: &str) -> String {
-        let demos = self.retrieve(text);
-        self.llm
-            .classify_head()
-            .classify(text, &self.labels, &demos, &self.config.chat)
+        let demos = self.retrieve_embedded(text);
+        self.head
+            .classify_embedded(text, &self.labels, &demos, &self.config.chat)
+    }
+
+    /// Classify a batch of texts, identical output to mapping
+    /// [`classify`](Self::classify) over `texts` in order — but the pure
+    /// per-text work runs data-parallel.
+    ///
+    /// Determinism contract: with a resilience context attached, fault
+    /// injection is a pure function of the *order* of calls on the shared
+    /// context, so the Ok/Err decision for every text is made sequentially
+    /// first (the wrapped operation in `classify` is infallible, so an
+    /// `Ok(())` probe drives the context through the exact same
+    /// retry/breaker/fault trajectory), and only the pure classification
+    /// work — LLM path or lexical fallback per the recorded decision — is
+    /// distributed across threads. Output is byte-identical to the serial
+    /// path at any thread count, with or without fault injection.
+    pub fn classify_batch(&self, texts: &[String]) -> Vec<String> {
+        let Some(ctx) = &self.resilience else {
+            return allhands_par::par_map_indexed(texts, |_, t| self.classify_direct(t));
+        };
+        let llm_ok: Vec<bool> = texts
+            .iter()
+            .map(|_| match ctx.call(Head::Classify, |_| Ok(())) {
+                Ok(()) => true,
+                Err(err) => {
+                    ctx.note_degradation_once(
+                        "classification",
+                        &format!(
+                            "LLM classify head unavailable ({}); labels from lexical-prior fallback",
+                            err.label()
+                        ),
+                    );
+                    false
+                }
+            })
+            .collect();
+        allhands_par::par_map_indexed(texts, |i, t| {
+            if llm_ok[i] {
+                self.classify_direct(t)
+            } else {
+                self.fallback.classify(t)
+            }
+        })
     }
 
     /// Accuracy over a labeled test set.
@@ -265,6 +340,61 @@ mod tests {
         // Same seed ⇒ identical labels, including the degraded ones.
         let (outs2, _) = run();
         assert_eq!(outs, outs2);
+    }
+
+    /// `classify_batch` must equal mapping `classify` in order — clean
+    /// path, at several thread counts.
+    #[test]
+    fn batch_matches_serial_classify() {
+        let llm = SimLlm::gpt4();
+        let (pool, labels) = pool();
+        let clf = IclClassifier::fit(&llm, &pool, &labels, IclConfig::default());
+        let texts: Vec<String> = (0..25)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("crash bug error in build {i}")
+                } else {
+                    format!("haha nice {i}")
+                }
+            })
+            .collect();
+        let serial: Vec<String> = texts.iter().map(|t| clf.classify(t)).collect();
+        for threads in [1usize, 2, 8] {
+            let batch = allhands_par::with_threads(threads, || clf.classify_batch(&texts));
+            assert_eq!(serial, batch, "threads={threads}");
+        }
+    }
+
+    /// Under fault injection the batch path must reproduce the serial
+    /// path's exact degradation pattern: fault decisions are order-driven,
+    /// so the batch makes them sequentially before fanning out.
+    #[test]
+    fn batch_matches_serial_under_chaos() {
+        use allhands_resilience::{ResilienceConfig, ResilienceCtx};
+        let llm = SimLlm::gpt4();
+        let (pool, labels) = pool();
+        let texts: Vec<String> = (0..30)
+            .map(|i| format!("crash bug error report {i}"))
+            .collect();
+        let run_serial = || {
+            let ctx = Arc::new(ResilienceCtx::new(ResilienceConfig::chaos(5, 0.9)));
+            let clf = IclClassifier::fit(&llm, &pool, &labels, IclConfig::default())
+                .with_resilience(ctx.clone());
+            let outs: Vec<String> = texts.iter().map(|t| clf.classify(t)).collect();
+            (outs, ctx.injected(), ctx.degradations().len())
+        };
+        let run_batch = |threads: usize| {
+            let ctx = Arc::new(ResilienceCtx::new(ResilienceConfig::chaos(5, 0.9)));
+            let clf = IclClassifier::fit(&llm, &pool, &labels, IclConfig::default())
+                .with_resilience(ctx.clone());
+            let outs = allhands_par::with_threads(threads, || clf.classify_batch(&texts));
+            (outs, ctx.injected(), ctx.degradations().len())
+        };
+        let serial = run_serial();
+        assert!(serial.1 > 0, "chaos must inject");
+        for threads in [1usize, 2, 8] {
+            assert_eq!(serial, run_batch(threads), "threads={threads}");
+        }
     }
 
     #[test]

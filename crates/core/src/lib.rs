@@ -123,7 +123,10 @@ impl AllHands {
         };
         let classifier = IclClassifier::fit(&llm, labeled_sample, &labels, config.icl.clone())
             .with_resilience(Arc::clone(&resilience));
-        let predicted: Vec<String> = texts.iter().map(|t| classifier.classify(t)).collect();
+        // Batch classification: per-text work runs data-parallel with
+        // output byte-identical to classifying each text in order (see
+        // `IclClassifier::classify_batch` for the determinism contract).
+        let predicted: Vec<String> = classifier.classify_batch(texts);
 
         // Stage 2: abstractive topic modeling (+HITLR).
         let modeler = AbstractiveTopicModeler::new(&llm, config.topics.clone())

@@ -272,12 +272,13 @@ impl<'a> AbstractiveTopicModeler<'a> {
         unique.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         let removed_pass1 = counts.len().saturating_sub(unique.len());
 
-        // Cluster surviving topics and summarize each cluster.
+        // Cluster surviving topics and summarize each cluster. Phrase
+        // embeddings are independent, so they compute in parallel (each is
+        // a pure function of the phrase — order and thread count don't
+        // change the vectors).
         let phrases: Vec<String> = unique.iter().map(|(t, _)| t.to_string()).collect();
-        let embeddings: Vec<Embedding> = phrases
-            .iter()
-            .map(|p| self.llm.embedder().embed(p))
-            .collect();
+        let embeddings: Vec<Embedding> =
+            allhands_par::par_map_indexed(&phrases, |_, p| self.llm.embedder().embed(p));
         let assignment =
             agglomerative_clusters(&embeddings, Linkage::Average, self.config.cluster_distance);
         let n_clusters = assignment.iter().copied().max().map_or(0, |m| m + 1);
@@ -308,34 +309,51 @@ impl<'a> AbstractiveTopicModeler<'a> {
         // under the BARTScore filter.
         let scorer = BartScorer::fit(texts);
         let dims = self.llm.embedder().dims();
+        // Each document's embedding is needed twice — as its pool record
+        // and as its round-2 retrieval query. Compute each exactly once,
+        // in parallel (the seed embedded every text twice, serially).
+        let doc_embeddings: Vec<Embedding> =
+            allhands_par::par_map_indexed(texts, |_, t| self.llm.embedder().embed(t));
+        // BARTScore admission decisions are independent per document, so
+        // they run in parallel; the serial insert loop below then assigns
+        // pool ids in document order, exactly as the seed did.
+        let admitted: Vec<Option<String>> =
+            allhands_par::par_map_indexed(doc_topics, |d, topics| {
+                let label = topics.join("; ");
+                if label.is_empty() || topics.iter().all(|t| t == "others") {
+                    return None;
+                }
+                if scorer.score(&label, &texts[d]) < self.config.bart_filter {
+                    return None; // low-quality summarization: excluded
+                }
+                Some(label)
+            });
         // IVF index: round-2 retrieves for every document, so an exact scan
         // would be quadratic in corpus size.
         let mut index = IvfIndex::new(dims, 4);
         let mut pool: Vec<Demonstration> = Vec::new();
-        for (d, topics) in doc_topics.iter().enumerate() {
-            let label = topics.join("; ");
-            if label.is_empty() || topics.iter().all(|t| t == "others") {
-                continue;
-            }
-            if scorer.score(&label, &texts[d]) < self.config.bart_filter {
-                continue; // low-quality summarization: excluded
-            }
+        for (d, label) in admitted.into_iter().enumerate() {
+            let Some(label) = label else { continue };
             let id = pool.len() as u64;
             pool.push(Demonstration { input: texts[d].clone(), output: label });
-            index.insert(Record::new(id, self.llm.embedder().embed(&texts[d])));
+            index.insert(Record::new(id, doc_embeddings[d].clone()));
         }
         if pool.len() > 512 {
             index.train((pool.len() / 64).clamp(8, 64));
         }
         let mut retrieval: HashMap<usize, Vec<Demonstration>> = HashMap::new();
         if self.config.retrieval_n > 0 && !pool.is_empty() {
-            for (d, text) in texts.iter().enumerate() {
-                let query = self.llm.embedder().embed(text);
-                let demos: Vec<Demonstration> = index
-                    .search(&query, self.config.retrieval_n)
-                    .into_iter()
-                    .map(|hit| pool[hit.id as usize].clone())
-                    .collect();
+            // The index is read-only from here, so per-document retrieval
+            // queries are independent and run in parallel.
+            let per_doc: Vec<Vec<Demonstration>> =
+                allhands_par::par_map_indexed(texts, |d, _| {
+                    index
+                        .search(&doc_embeddings[d], self.config.retrieval_n)
+                        .into_iter()
+                        .map(|hit| pool[hit.id as usize].clone())
+                        .collect()
+                });
+            for (d, demos) in per_doc.into_iter().enumerate() {
                 retrieval.insert(d, demos);
             }
         }

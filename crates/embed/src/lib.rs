@@ -207,6 +207,75 @@ fn to_unit(x: u32) -> f32 {
     (x as f32 / u32::MAX as f32) * 2.0 - 1.0
 }
 
+/// A memoizing view over a [`SentenceEmbedder`]: identical input text is
+/// embedded once and served from a cache thereafter.
+///
+/// The embedder is pure (same text → bit-identical vector), so memoization
+/// is observationally invisible — outputs cannot change, only redundant
+/// work disappears. Hot loops that repeatedly embed the same strings (label
+/// glosses per classification call, the topic list per document in
+/// progressive topic modeling) hold one `EmbedMemo` for the loop's
+/// lifetime. Thread-safe: the cache is behind a mutex, so a memo shared by
+/// a parallel scoring loop stays coherent; concurrent misses on the same
+/// key simply compute the same bits twice and agree.
+#[derive(Debug)]
+pub struct EmbedMemo<'a> {
+    embedder: &'a SentenceEmbedder,
+    cache: std::sync::Mutex<HashMap<String, Embedding>>,
+}
+
+impl<'a> EmbedMemo<'a> {
+    /// Wrap an embedder with an empty cache.
+    pub fn new(embedder: &'a SentenceEmbedder) -> Self {
+        EmbedMemo { embedder, cache: std::sync::Mutex::new(HashMap::new()) }
+    }
+
+    /// The underlying embedder.
+    pub fn embedder(&self) -> &'a SentenceEmbedder {
+        self.embedder
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Embedding>> {
+        match self.cache.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Embed `text`, reusing the cached vector when available.
+    pub fn embed(&self, text: &str) -> Embedding {
+        if let Some(hit) = self.lock().get(text) {
+            return hit.clone();
+        }
+        // Compute outside the lock: long embeds must not serialize other
+        // threads' cache hits. A racing miss computes identical bits.
+        let fresh = self.embedder.embed(text);
+        self.lock().entry(text.to_string()).or_insert(fresh).clone()
+    }
+
+    /// Cache an embedding under an arbitrary `key`, computing it with
+    /// `build` on the first miss. For callers that embed a *derived* form
+    /// of the key (e.g. a stemmed phrase) and want to skip recomputing the
+    /// derivation as well. `build` must be deterministic in `key`.
+    pub fn embed_keyed(&self, key: &str, build: impl FnOnce(&SentenceEmbedder) -> Embedding) -> Embedding {
+        if let Some(hit) = self.lock().get(key) {
+            return hit.clone();
+        }
+        let fresh = build(self.embedder);
+        self.lock().entry(key.to_string()).or_insert(fresh).clone()
+    }
+
+    /// Number of distinct texts cached so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
 /// A multilingual embedder: routes text through diacritic folding and adds a
 /// language tag feature, so that translations of the same complaint overlap
 /// via shared char-n-grams and cognates while languages remain separable.
@@ -344,5 +413,19 @@ mod tests {
     #[should_panic(expected = "dims must be positive")]
     fn zero_dims_panics() {
         SentenceEmbedder::new(EmbedderConfig { dims: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn memo_matches_direct_and_caches() {
+        let e = SentenceEmbedder::new(EmbedderConfig::default());
+        let memo = EmbedMemo::new(&e);
+        assert!(memo.is_empty());
+        let a = memo.embed("the app crashes");
+        assert_eq!(a.as_slice(), e.embed("the app crashes").as_slice());
+        let b = memo.embed("the app crashes");
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(memo.len(), 1);
+        memo.embed("different text");
+        assert_eq!(memo.len(), 2);
     }
 }

@@ -14,13 +14,33 @@
 //! paper's zero-shot configuration.
 
 use crate::model::{ChatOptions, ModelSpec, ModelTier};
-use crate::prompt::{Demonstration, Prompt};
-use allhands_embed::SentenceEmbedder;
+use crate::prompt::{Demonstration, EmbeddedDemonstration, Prompt};
+use allhands_embed::{Embedding, SentenceEmbedder};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Everything the zero-shot prior needs about one label, computed once per
+/// head: the gloss text, its preprocessed words and stem set (for lexical
+/// affinity), and its embedding. Labels are fixed strings, so none of this
+/// depends on the text being classified — caching it removes an
+/// embed-per-(text × label) from the hot loop without changing a single
+/// output bit.
+struct GlossEntry {
+    words: Vec<String>,
+    stems: std::collections::HashSet<String>,
+    embedding: Embedding,
+}
 
 /// The classification head; borrows the model's spec and embedder.
+///
+/// The head carries a per-label gloss cache (see [`GlossEntry`]); reuse one
+/// head across a batch of classifications (as `IclClassifier` does) to
+/// amortize gloss embedding over the whole batch. The cache is behind a
+/// mutex, so a single head can be shared by a parallel scoring loop.
 pub struct ClassifyHead<'a> {
     spec: &'a ModelSpec,
     embedder: &'a SentenceEmbedder,
+    gloss_cache: Mutex<HashMap<String, Arc<GlossEntry>>>,
 }
 
 /// "Pretraining knowledge": characteristic vocabulary per well-known label.
@@ -98,21 +118,17 @@ use allhands_text::trigram_jaccard;
 
 /// Fraction of the text's content words the gloss recognizes (exact stem
 /// match = 1.0 credit; fuzzy trigram match = 0.7 credit when enabled).
-fn lexical_affinity(text_tokens: &[String], gloss: &str, fuzzy: bool) -> f32 {
+fn lexical_affinity(text_tokens: &[String], gloss: &GlossEntry, fuzzy: bool) -> f32 {
     if text_tokens.is_empty() {
         return 0.0;
     }
-    let gloss_words: Vec<String> = allhands_text::light_preprocess(gloss);
-    let gloss_stems: std::collections::HashSet<String> = gloss_words
-        .iter()
-        .map(|w| allhands_text::porter_stem(w))
-        .collect();
     let mut credit = 0.0f32;
     for tok in text_tokens {
-        if gloss_stems.contains(tok) {
+        if gloss.stems.contains(tok) {
             credit += 1.0;
         } else if fuzzy
-            && gloss_words
+            && gloss
+                .words
                 .iter()
                 .any(|g| trigram_jaccard(tok, g) > 0.45)
         {
@@ -125,7 +141,33 @@ fn lexical_affinity(text_tokens: &[String], gloss: &str, fuzzy: bool) -> f32 {
 impl<'a> ClassifyHead<'a> {
     /// Construct from a model's spec + embedder.
     pub fn new(spec: &'a ModelSpec, embedder: &'a SentenceEmbedder) -> Self {
-        ClassifyHead { spec, embedder }
+        ClassifyHead { spec, embedder, gloss_cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// The gloss cache, surviving a poisoning panic (the data is
+    /// insert-only and rebuildable, so a poisoned map is still valid).
+    fn gloss_lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<GlossEntry>>> {
+        self.gloss_cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The label's cached gloss entry, computing it on first use.
+    fn gloss_entry(&self, label: &str) -> Arc<GlossEntry> {
+        if let Some(hit) = self.gloss_lock().get(label) {
+            return Arc::clone(hit);
+        }
+        // Built outside the lock; a racing thread builds identical data.
+        let gloss = label_gloss(label, self.spec.tier);
+        let words: Vec<String> = allhands_text::light_preprocess(&gloss);
+        let stems = words.iter().map(|w| allhands_text::porter_stem(w)).collect();
+        let embedding = self.embedder.embed(&gloss);
+        let entry = Arc::new(GlossEntry { words, stems, embedding });
+        Arc::clone(
+            self.gloss_lock()
+                .entry(label.to_string())
+                .or_insert(entry),
+        )
     }
 
     /// Classify `text` into one of `labels`, optionally with retrieved
@@ -139,23 +181,76 @@ impl<'a> ClassifyHead<'a> {
         demonstrations: &[Demonstration],
         opts: &ChatOptions,
     ) -> String {
-        assert!(!labels.is_empty(), "need at least one candidate label");
         let text_emb = self.embedder.embed(text);
+        // Demo inputs are embedded here (the caller holds only raw
+        // demonstrations); batch pipelines use [`classify_embedded`] with
+        // index-stored vectors instead.
+        let votes = self.demo_votes(labels, &text_emb, demonstrations.iter().map(|demo| {
+            (demo.output.as_str(), self.embedder.embed(&demo.input))
+        }));
+        self.decide(text, &text_emb, labels, &votes, opts)
+    }
+
+    /// [`classify`](Self::classify) with precomputed demonstration
+    /// embeddings: no embedder call per demo. Output is bit-identical to
+    /// `classify` with the same demos, because retrieval stores exactly
+    /// `embed(demo.input)`.
+    pub fn classify_embedded(
+        &self,
+        text: &str,
+        labels: &[String],
+        demonstrations: &[EmbeddedDemonstration],
+        opts: &ChatOptions,
+    ) -> String {
+        let text_emb = self.embedder.embed(text);
+        let votes = self.demo_votes(labels, &text_emb, demonstrations.iter().map(|ed| {
+            (ed.demo.output.as_str(), ed.embedding.clone())
+        }));
+        self.decide(text, &text_emb, labels, &votes, opts)
+    }
+
+    /// Per-demo (label index, similarity) votes.
+    fn demo_votes<'d>(
+        &self,
+        labels: &[String],
+        text_emb: &Embedding,
+        demos: impl Iterator<Item = (&'d str, Embedding)>,
+    ) -> Vec<(usize, f32)> {
+        demos
+            .filter_map(|(output, embedding)| {
+                labels
+                    .iter()
+                    .position(|l| l.eq_ignore_ascii_case(output))
+                    .map(|idx| (idx, text_emb.cosine(&embedding).max(0.0)))
+            })
+            .collect()
+    }
+
+    /// Blend the zero-shot prior with demonstration votes and pick a label.
+    fn decide(
+        &self,
+        text: &str,
+        text_emb: &Embedding,
+        labels: &[String],
+        sims: &[(usize, f32)],
+        opts: &ChatOptions,
+    ) -> String {
+        assert!(!labels.is_empty(), "need at least one candidate label");
 
         // Zero-shot prior: token-level affinity between the text and each
         // label's gloss (how many of the text's content words the model
         // recognizes as characteristic of the label), blended with a
         // whole-sentence embedding similarity. The larger model also
         // fuzzy-matches misspelled words via character trigrams — a
-        // subword-tokenizer capability the smaller tier lacks.
+        // subword-tokenizer capability the smaller tier lacks. Gloss
+        // preprocessing and embeddings come from the per-head cache.
         let fuzzy = self.spec.tier == ModelTier::Gpt4;
         let text_tokens = content_stems(text);
         let mut scores: Vec<f32> = labels
             .iter()
             .map(|label| {
-                let gloss = label_gloss(label, self.spec.tier);
-                let gloss_emb = self.embedder.embed(&gloss);
-                let cosine = text_emb.cosine(&gloss_emb).max(0.0);
+                let gloss = self.gloss_entry(label);
+                let cosine = text_emb.cosine(&gloss.embedding).max(0.0);
                 let lexical = lexical_affinity(&text_tokens, &gloss, fuzzy);
                 lexical + 0.5 * cosine
             })
@@ -168,25 +263,11 @@ impl<'a> ClassifyHead<'a> {
         // related examples (e.g. for an emerging topic absent from the
         // pool) barely moves it. This is how real ICL behaves: irrelevant
         // shots don't override pretraining knowledge.
-        let sims: Vec<(usize, f32)> = demonstrations
-            .iter()
-            .filter_map(|demo| {
-                labels
-                    .iter()
-                    .position(|l| l.eq_ignore_ascii_case(&demo.output))
-                    .map(|idx| {
-                        let sim = text_emb
-                            .cosine(&self.embedder.embed(&demo.input))
-                            .max(0.0);
-                        (idx, sim)
-                    })
-            })
-            .collect();
         let total: f32 = sims.iter().map(|&(_, s)| s * s * s).sum();
         if total > f32::EPSILON {
             let relevance = sims.iter().map(|&(_, s)| s).fold(0.0f32, f32::max);
             let gate = self.spec.demo_weight * relevance * relevance * relevance;
-            for &(idx, s) in &sims {
+            for &(idx, s) in sims {
                 scores[idx] += gate * (s * s * s) / total;
             }
         }
@@ -289,6 +370,38 @@ mod tests {
             &ChatOptions::default(),
         );
         assert_eq!(out, "non-informative"); // slipped to second-best
+    }
+
+    #[test]
+    fn embedded_demos_match_plain_classify() {
+        // The cached/embedded fast path must be bit-identical to the
+        // original per-call-embedding path.
+        let llm = SimLlm::gpt4();
+        let head = llm.classify_head();
+        let opts = ChatOptions::default();
+        let demos = vec![
+            Demonstration { input: "the cheetah filter vanished after update".into(), output: "informative".into() },
+            Demonstration { input: "lol cool whatever".into(), output: "non-informative".into() },
+        ];
+        let embedded: Vec<EmbeddedDemonstration> = demos
+            .iter()
+            .map(|d| EmbeddedDemonstration {
+                demo: d.clone(),
+                embedding: llm.embedder().embed(&d.input),
+            })
+            .collect();
+        for text in [
+            "the cheetah filter vanished from my camera",
+            "crash error on startup",
+            "ok lol",
+            "some ambiguous feedback text",
+        ] {
+            assert_eq!(
+                head.classify(text, &labels(), &demos, &opts),
+                head.classify_embedded(text, &labels(), &embedded, &opts),
+                "paths diverged on {text:?}"
+            );
+        }
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod tokens;
 pub use classify::ClassifyHead;
 pub use codegen::{CodegenHead, CodegenRequest, SchemaInfo};
 pub use model::{ChatOptions, LanguageModel, LlmError, LlmErrorKind, ModelSpec, ModelTier, SimLlm};
-pub use prompt::{Demonstration, Prompt, PromptTask};
+pub use prompt::{Demonstration, EmbeddedDemonstration, Prompt, PromptTask};
 pub use summarize::{SummarizeHead, TopicRequest, TopicResponse};
 pub use tokens::{count_tokens, truncate_to_tokens};

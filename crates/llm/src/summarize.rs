@@ -11,7 +11,7 @@
 
 use crate::model::{ChatOptions, ModelSpec, ModelTier};
 use crate::prompt::{Demonstration, Prompt};
-use allhands_embed::SentenceEmbedder;
+use allhands_embed::{EmbedMemo, Embedding, SentenceEmbedder};
 use allhands_text::{light_preprocess, porter_stem, is_stopword};
 use std::collections::HashMap;
 
@@ -38,15 +38,29 @@ pub struct TopicResponse {
 }
 
 /// The topic-modeling head.
+///
+/// Carries a phrase-embedding memo: candidate topics and demonstration
+/// inputs recur across every document of a progressive-ICL round, so each
+/// is stemmed + embedded once per head instead of once per (document ×
+/// topic) pair. Reuse one head for a whole round (as the topic modeler
+/// does) to get the amortization; outputs are bit-identical either way.
 pub struct SummarizeHead<'a> {
     spec: &'a ModelSpec,
     embedder: &'a SentenceEmbedder,
+    phrase_memo: EmbedMemo<'a>,
 }
 
 impl<'a> SummarizeHead<'a> {
     /// Construct from a model's spec + embedder.
     pub fn new(spec: &'a ModelSpec, embedder: &'a SentenceEmbedder) -> Self {
-        SummarizeHead { spec, embedder }
+        SummarizeHead { spec, embedder, phrase_memo: EmbedMemo::new(embedder) }
+    }
+
+    /// Embedding of `raw`'s stemmed form, cached under the raw string so
+    /// repeated topics skip both the stemming and the embedding.
+    fn embed_stemmed(&self, raw: &str) -> Embedding {
+        self.phrase_memo
+            .embed_keyed(raw, |embedder| embedder.embed(&stem_join(raw)))
     }
 
     /// Match threshold below which a new topic is coined. The larger model
@@ -86,7 +100,7 @@ impl<'a> SummarizeHead<'a> {
         // (topic words literally present in the text) + demonstration votes.
         let mut scores: HashMap<&str, f32> = HashMap::new();
         for topic in &req.predefined {
-            let sim = text_emb.cosine(&self.embedder.embed(&stem_join(topic))).max(0.0);
+            let sim = text_emb.cosine(&self.embed_stemmed(topic)).max(0.0);
             let topic_stems: Vec<String> = light_preprocess(topic)
                 .iter()
                 .filter(|w| !is_stopword(w))
@@ -104,7 +118,7 @@ impl<'a> SummarizeHead<'a> {
             scores.insert(topic.as_str(), sim + 0.8 * contained);
         }
         for demo in &req.demonstrations {
-            let sim = text_emb.cosine(&self.embedder.embed(&stem_join(&demo.input))).max(0.0);
+            let sim = text_emb.cosine(&self.embed_stemmed(&demo.input)).max(0.0);
             for topic in demo.output.split(';').map(str::trim) {
                 if let Some(s) = scores.get_mut(topic) {
                     *s += self.spec.demo_weight * 0.3 * sim * sim;

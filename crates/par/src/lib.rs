@@ -1,0 +1,200 @@
+//! Deterministic data-parallel execution for the AllHands pipeline.
+//!
+//! The pipeline's hot paths (batch classification, pairwise distance
+//! matrices, vector-index scans) are embarrassingly parallel over *pure*
+//! per-item functions, but AllHands guarantees bit-exact reproducibility at
+//! temperature 0 — so parallelism must never change observable output.
+//! This crate provides exactly that contract:
+//!
+//! - [`par_map_indexed`] applies a pure `Fn(usize, &T) -> R` to every item
+//!   of a slice using a scoped `std::thread` pool and merges results **in
+//!   index order**. Because each result lands at its input's index, the
+//!   output is byte-identical for any thread count, including 1.
+//! - The thread count comes from, in priority order: a programmatic
+//!   override ([`set_thread_override`], used by tests and benches), the
+//!   `ALLHANDS_THREADS` environment variable, and finally
+//!   `std::thread::available_parallelism()`. A value of 1 is a true serial
+//!   fallback: no threads are spawned at all.
+//!
+//! Work is distributed in contiguous chunks claimed off a shared atomic
+//! counter (work stealing without per-item locking), so uneven per-item
+//! cost still load-balances. Only the *scheduling* is nondeterministic;
+//! the merged output never is.
+//!
+//! No external dependencies; the whole layer is `std`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Programmatic thread-count override; 0 means "unset".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Environment variable controlling the pool size (`1` = serial).
+pub const THREADS_ENV: &str = "ALLHANDS_THREADS";
+
+/// Override the pool size for this process, taking precedence over
+/// `ALLHANDS_THREADS` and the detected core count. `None` removes the
+/// override. Tests use this to sweep thread counts without touching the
+/// process environment (which would race with other tests).
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The effective pool size: override > `ALLHANDS_THREADS` > available
+/// cores. Always ≥ 1.
+pub fn max_threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run a scoped guard with a fixed thread count, restoring the previous
+/// override afterwards (even on panic). Benches use this to measure the
+/// same workload serially and in parallel within one process.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.swap(threads, Ordering::SeqCst));
+    f()
+}
+
+/// Apply `f(index, &item)` to every item and return results in input
+/// order. `f` must be pure (or at least order-insensitive): items may be
+/// processed on any thread, in any order, but the merged output is always
+/// index-ordered and therefore independent of the thread count.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Chunks small enough to load-balance, large enough to amortize the
+    // claim + merge bookkeeping.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let next = AtomicUsize::new(0);
+    let blocks: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                let out: Vec<R> = (start..end).map(|i| f(i, &items[i])).collect();
+                match blocks.lock() {
+                    Ok(mut g) => g.push((start, out)),
+                    Err(p) => p.into_inner().push((start, out)),
+                }
+            });
+        }
+    });
+    let mut blocks = match blocks.into_inner() {
+        Ok(b) => b,
+        Err(p) => p.into_inner(),
+    };
+    // Index-ordered merge: the determinism guarantee lives here.
+    blocks.sort_by_key(|&(start, _)| start);
+    blocks.into_iter().flat_map(|(_, out)| out).collect()
+}
+
+/// [`par_map_indexed`] without the index.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items, |_, item| f(item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// Tests mutate the global override; serialize them.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let _g = guard();
+        let items: Vec<u64> = (0..1000).collect();
+        let work = |i: usize, x: &u64| -> u64 {
+            // Non-trivial, order-sensitive-looking arithmetic: still pure.
+            let mut acc = *x;
+            for _ in 0..50 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+            }
+            acc
+        };
+        let serial = with_threads(1, || par_map_indexed(&items, work));
+        for threads in [2, 3, 8, 32] {
+            let parallel = with_threads(threads, || par_map_indexed(&items, work));
+            assert_eq!(serial, parallel, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let _g = guard();
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |x| *x).is_empty());
+        let one = [7u32];
+        assert_eq!(with_threads(8, || par_map(&one, |x| x * 2)), vec![14]);
+    }
+
+    #[test]
+    fn override_beats_env_and_detect() {
+        let _g = guard();
+        set_thread_override(Some(3));
+        assert_eq!(max_threads(), 3);
+        set_thread_override(None);
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit() {
+        let _g = guard();
+        set_thread_override(Some(5));
+        let inside = with_threads(2, max_threads);
+        assert_eq!(inside, 2);
+        assert_eq!(max_threads(), 5);
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn preserves_index_mapping() {
+        let _g = guard();
+        let items: Vec<usize> = (0..257).collect();
+        let out = with_threads(4, || par_map_indexed(&items, |i, x| (i, *x)));
+        for (i, (idx, val)) in out.iter().enumerate() {
+            assert_eq!(i, *idx);
+            assert_eq!(i, *val);
+        }
+    }
+}

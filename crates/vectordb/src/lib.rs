@@ -126,17 +126,87 @@ pub trait VectorIndex {
     fn get(&self, id: u64) -> Option<&Record>;
 }
 
-/// Keep the best `k` results from a scored candidate stream, ties broken by
-/// ascending id for determinism.
-fn top_k(mut candidates: Vec<SearchResult>, k: usize) -> Vec<SearchResult> {
-    candidates.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
+/// Heap entry ordered worst-first (lower score, then larger id, compares
+/// `Greater`), so the max-heap root is always the weakest survivor and
+/// `pop` evicts it. Because record ids are unique, `(score desc, id asc)`
+/// is a total order and k-selection matches a full stable sort exactly.
+struct HeapEntry(SearchResult);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.id.cmp(&b.id))
-    });
-    candidates.truncate(k);
-    candidates
+            .then_with(|| self.0.id.cmp(&other.0.id))
+    }
+}
+
+/// Keep the best `k` results from a scored candidate stream, ties broken by
+/// ascending id for determinism. O(n log k) bounded-heap selection instead
+/// of a full O(n log n) sort — `k` is tiny (demo retrieval asks for ~4-24)
+/// while the candidate pool is the whole index.
+fn top_k(candidates: Vec<SearchResult>, k: usize) -> Vec<SearchResult> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap = std::collections::BinaryHeap::with_capacity(k + 1);
+    for c in candidates {
+        heap.push(HeapEntry(c));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    // Ascending by worst-first Ord = best-first output.
+    heap.into_sorted_vec().into_iter().map(|e| e.0).collect()
+}
+
+/// Pools at or above this size are scanned in parallel shards.
+const PAR_SCAN_THRESHOLD: usize = 4096;
+
+/// Shard size for the parallel scan. Fixed (not derived from the thread
+/// count) so shard-local top-k results — and therefore the merged result —
+/// are identical at any thread count.
+const PAR_SCAN_SHARD: usize = 2048;
+
+/// Filter + score + top-k over a record pool, scanning large pools in
+/// parallel shards. Each shard keeps its own top-k and the partial results
+/// merge through one more top-k pass; top-k over a disjoint union equals
+/// top-k of per-part top-ks, and `(score desc, id asc)` is a total order,
+/// so the output is byte-identical to the serial scan.
+fn scored_top_k<R: std::borrow::Borrow<Record> + Sync>(
+    records: &[R],
+    query: &Embedding,
+    k: usize,
+    filter: &Filter,
+) -> Vec<SearchResult> {
+    let score_shard = |shard: &[R]| -> Vec<SearchResult> {
+        let candidates = shard
+            .iter()
+            .map(std::borrow::Borrow::borrow)
+            .filter(|r| filter.matches(r))
+            .map(|r| SearchResult { id: r.id, score: query.cosine(&r.vector) })
+            .collect();
+        top_k(candidates, k)
+    };
+    if records.len() < PAR_SCAN_THRESHOLD || allhands_par::max_threads() == 1 {
+        return score_shard(records);
+    }
+    let shards: Vec<&[R]> = records.chunks(PAR_SCAN_SHARD).collect();
+    let partials = allhands_par::par_map_indexed(&shards, |_, shard| score_shard(shard));
+    top_k(partials.into_iter().flatten().collect(), k)
 }
 
 /// Exact brute-force index.
@@ -187,13 +257,7 @@ impl VectorIndex for FlatIndex {
 
     fn search_filtered(&self, query: &Embedding, k: usize, filter: &Filter) -> Vec<SearchResult> {
         assert_eq!(query.dims(), self.dims, "dimension mismatch");
-        let candidates = self
-            .records
-            .iter()
-            .filter(|r| filter.matches(r))
-            .map(|r| SearchResult { id: r.id, score: query.cosine(&r.vector) })
-            .collect();
-        top_k(candidates, k)
+        scored_top_k(&self.records, query, k, filter)
     }
 
     fn len(&self) -> usize {
@@ -329,13 +393,11 @@ impl VectorIndex for IvfIndex {
             ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
             ranked.into_iter().take(self.nprobe).map(|(i, _)| i).collect()
         };
-        let candidates = probe
+        let pool: Vec<&Record> = probe
             .into_iter()
             .flat_map(|p| self.partitions[p].iter())
-            .filter(|r| filter.matches(r))
-            .map(|r| SearchResult { id: r.id, score: query.cosine(&r.vector) })
             .collect();
-        top_k(candidates, k)
+        scored_top_k(&pool, query, k, filter)
     }
 
     fn len(&self) -> usize {
@@ -459,5 +521,89 @@ mod tests {
     fn insert_wrong_dims_panics() {
         let mut idx = FlatIndex::new(3);
         idx.insert(Record::new(0, vec2(1.0, 0.0)));
+    }
+
+    /// The seed's full-sort selection, kept verbatim as the oracle the
+    /// heap-based `top_k` must match.
+    fn top_k_by_sort(mut candidates: Vec<SearchResult>, k: usize) -> Vec<SearchResult> {
+        candidates.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        candidates.truncate(k);
+        candidates
+    }
+
+    #[test]
+    fn heap_top_k_matches_full_sort_on_random_inputs() {
+        use rand::Rng;
+        use rand_chacha::rand_core::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        for round in 0..50 {
+            let n = rng.gen_range(0..400usize);
+            // Coarse score grid so exact ties (same score, different id)
+            // occur constantly and exercise the id tie-break.
+            let candidates: Vec<SearchResult> = (0..n)
+                .map(|id| SearchResult {
+                    id: id as u64,
+                    score: rng.gen_range(0..20) as f32 / 20.0,
+                })
+                .collect();
+            for k in [0usize, 1, 3, 10, n, n + 7] {
+                assert_eq!(
+                    top_k(candidates.clone(), k),
+                    top_k_by_sort(candidates.clone(), k),
+                    "round={round} n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    /// A pool big enough to trip the parallel shard scan must return
+    /// byte-identical hits at every thread count, for both index types.
+    #[test]
+    fn parallel_scan_identical_across_thread_counts() {
+        use rand::Rng;
+        use rand_chacha::rand_core::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let n = PAR_SCAN_THRESHOLD + 1500;
+        let mut flat = FlatIndex::new(4);
+        let mut ivf = IvfIndex::new(4, 2);
+        for i in 0..n as u64 {
+            let v = Embedding::new((0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+            let label = if i % 3 == 0 { "bug" } else { "other" };
+            flat.insert(Record::new(i, v.clone()).with_meta("label", label));
+            ivf.insert(Record::new(i, v).with_meta("label", label));
+        }
+        ivf.train(8);
+        let query = Embedding::new(vec![0.3, -0.2, 0.9, 0.1]);
+        let filter = Filter::none().must("label", "bug");
+        let serial = allhands_par::with_threads(1, || {
+            (
+                flat.search(&query, 12),
+                flat.search_filtered(&query, 12, &filter),
+                ivf.search(&query, 12),
+            )
+        });
+        for threads in [2usize, 4, 8] {
+            let parallel = allhands_par::with_threads(threads, || {
+                (
+                    flat.search(&query, 12),
+                    flat.search_filtered(&query, 12, &filter),
+                    ivf.search(&query, 12),
+                )
+            });
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+        // And the parallel shard path agrees with a plain full sort.
+        let oracle = top_k_by_sort(
+            flat.iter()
+                .map(|r| SearchResult { id: r.id, score: query.cosine(&r.vector) })
+                .collect(),
+            12,
+        );
+        assert_eq!(serial.0, oracle);
     }
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Pipeline benchmark driver: builds the bench binary, runs the serial-vs-
+# parallel wall-clock measurement (classify / HAC / search / end-to-end),
+# writes BENCH_pipeline.json at the repo root, and schema-validates it.
+#
+# Usage:
+#   scripts/bench.sh            full sizes (minutes on a laptop)
+#   scripts/bench.sh --smoke    small sizes (CI / single-core smoke)
+#
+# Speedup is recorded, never asserted: on a 1-core host the honest number
+# is ~1.0 and the JSON says so. Methodology: BENCHMARKS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-}"
+
+echo "==> cargo build --release -p allhands-bench --bin pipeline_bench"
+cargo build --release -p allhands-bench --bin pipeline_bench
+
+if [[ "$MODE" == "--smoke" ]]; then
+  echo "==> pipeline_bench (smoke)"
+  BENCH_SMOKE=1 ./target/release/pipeline_bench
+else
+  echo "==> pipeline_bench (full)"
+  ./target/release/pipeline_bench
+fi
+
+echo "==> validate BENCH_pipeline.json"
+./target/release/pipeline_bench --validate BENCH_pipeline.json
+
+echo "bench: OK"

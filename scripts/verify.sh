@@ -3,6 +3,10 @@
 # clippy pass across the workspace. The resilience and agent crates
 # additionally deny clippy::unwrap_used via crate-level attributes, so
 # this single clippy invocation enforces that too.
+#
+# Optional: pass --bench-smoke to also smoke-run the pipeline benchmark and
+# schema-validate BENCH_pipeline.json. The measured speedup is recorded in
+# the JSON, not asserted against a threshold (CI hosts may have 1 core).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,5 +18,10 @@ cargo test -q
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+  echo "==> bench smoke (speedup recorded, not asserted)"
+  scripts/bench.sh --smoke
+fi
 
 echo "verify: OK"

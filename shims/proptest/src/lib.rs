@@ -386,7 +386,7 @@ mod tests {
             xs in prop::collection::vec(-5i64..5, 0..4),
             word in prop::sample::select(vec!["a", "b"]),
         ) {
-            prop_assert!(n >= 1 && n < 10);
+            prop_assert!((1..10).contains(&n));
             prop_assert!(xs.len() < 4);
             prop_assert!(word == "a" || word == "b");
         }

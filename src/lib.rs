@@ -17,6 +17,8 @@
 //! - [`eval`] — difficulty model and answer-quality judges.
 //! - [`resilience`] — seeded fault injection, retry/backoff, circuit
 //!   breakers, and the unified error taxonomy.
+//! - [`par`] — deterministic data-parallel execution (index-ordered merge,
+//!   `ALLHANDS_THREADS`).
 
 pub use allhands_agent as agent;
 pub use allhands_classify as classify;
@@ -26,6 +28,7 @@ pub use allhands_datasets as datasets;
 pub use allhands_embed as embed;
 pub use allhands_eval as eval;
 pub use allhands_llm as llm;
+pub use allhands_par as par;
 pub use allhands_query as query;
 pub use allhands_resilience as resilience;
 pub use allhands_text as text;

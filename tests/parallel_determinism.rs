@@ -1,0 +1,91 @@
+//! Determinism across thread counts: the parallel execution layer must be
+//! observationally invisible. The full pipeline (classification → topic
+//! modeling → QA) plus rendered answers are compared byte-for-byte between
+//! a serial run (`ALLHANDS_THREADS=1` equivalent) and multi-threaded runs —
+//! on a clean configuration AND under seeded fault injection, where the
+//! resilience context makes fault decisions a pure function of call order.
+
+use allhands::classify::LabeledExample;
+use allhands::core::{AllHands, AllHandsConfig, ResilienceConfig};
+use allhands::datasets::{generate_n, DatasetKind};
+use allhands::llm::ModelTier;
+use std::sync::Mutex;
+
+/// The thread override is process-global; serialize the tests in this
+/// binary so their overrides don't interleave. (Interleaving could not
+/// change any result — that is the point of the determinism contract — but
+/// it would make a failure impossible to attribute.)
+static OVERRIDE_GUARD: Mutex<()> = Mutex::new(());
+
+const QUESTIONS: [&str; 3] = [
+    "How many feedback entries are there?",
+    "Which topic appears most frequently?",
+    "What topic has the most negative sentiment score on average?",
+];
+
+fn corpus() -> (Vec<String>, Vec<LabeledExample>, Vec<String>) {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 80, 17);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let labeled: Vec<LabeledExample> = records
+        .iter()
+        .take(40)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let predefined =
+        vec!["bug".to_string(), "crash".to_string(), "feature request".to_string()];
+    (texts, labeled, predefined)
+}
+
+/// Full pipeline + QA transcript for bit-exact comparison.
+fn transcript(config: AllHandsConfig) -> String {
+    let (texts, labeled, predefined) = corpus();
+    let (mut ah, frame) =
+        AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, config)
+            .expect("pipeline must degrade, not fail");
+    let mut out = String::new();
+    out.push_str(&frame.to_table_string(200));
+    for q in QUESTIONS {
+        let r = ah.ask(q);
+        assert!(r.error.is_none(), "question {q:?} errored: {:?}", r.error);
+        out.push_str("\n=== ");
+        out.push_str(q);
+        out.push('\n');
+        out.push_str(&r.render());
+        for note in &r.degradation {
+            out.push_str(&format!("[degraded] {note}\n"));
+        }
+    }
+    for d in ah.resilience().degradations() {
+        out.push_str(&format!("[{}] {}\n", d.stage, d.note));
+    }
+    out.push_str(&format!("injected-faults: {}\n", ah.resilience().injected()));
+    out
+}
+
+#[test]
+fn pipeline_identical_across_thread_counts() {
+    let _g = OVERRIDE_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    let serial = allhands::par::with_threads(1, || transcript(AllHandsConfig::default()));
+    assert!(!serial.is_empty());
+    for threads in [2usize, 8] {
+        let parallel =
+            allhands::par::with_threads(threads, || transcript(AllHandsConfig::default()));
+        assert_eq!(serial, parallel, "clean pipeline diverged at threads={threads}");
+    }
+}
+
+#[test]
+fn chaos_pipeline_identical_across_thread_counts() {
+    let _g = OVERRIDE_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    let config = || AllHandsConfig {
+        resilience: ResilienceConfig::chaos(7, 0.3),
+        ..AllHandsConfig::default()
+    };
+    let serial = allhands::par::with_threads(1, || transcript(config()));
+    // The chaos seed must actually bite for the comparison to mean much.
+    assert!(!serial.contains("injected-faults: 0"), "chaos config injected nothing");
+    for threads in [2usize, 8] {
+        let parallel = allhands::par::with_threads(threads, || transcript(config()));
+        assert_eq!(serial, parallel, "chaos pipeline diverged at threads={threads}");
+    }
+}
