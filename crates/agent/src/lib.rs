@@ -25,7 +25,7 @@ pub mod planner;
 pub mod response;
 
 pub use planner::{Plan, Planner};
-pub use response::{Response, ResponseItem};
+pub use response::{AnswerRecord, Response, ResponseItem};
 
 use allhands_dataframe::DataFrame;
 use allhands_llm::{ChatOptions, CodegenRequest, LlmError, LlmErrorKind, SchemaInfo, SimLlm};
@@ -278,6 +278,49 @@ impl QaAgent {
             attempts,
             error: None,
             degradation: vec![note],
+        }
+    }
+
+    /// Package the answer just produced by [`ask`](Self::ask) for
+    /// `question` into a journal-serializable [`AnswerRecord`]. Must be
+    /// called before the next `ask` (the record captures the latest
+    /// history entry as the answer's summary).
+    pub fn record_answer(&self, question: &str, response: &Response) -> AnswerRecord {
+        let summary = self.history.last().map(|(_, s)| s.clone()).unwrap_or_default();
+        AnswerRecord {
+            question: question.to_string(),
+            summary,
+            items: response.items.clone(),
+            plan: response.plan.clone(),
+            code: response.code.clone(),
+            attempts: response.attempts,
+            error: response.error.clone(),
+            degradation: response.degradation.clone(),
+        }
+    }
+
+    /// Replay a journaled answer without any LLM call: re-execute the
+    /// recorded code (restoring the session bindings and shown values —
+    /// AQL execution is pure and deterministic), push the history pair,
+    /// and rebuild the [`Response`]. The restored response renders
+    /// byte-identically to the original, since rendering depends only on
+    /// `items`.
+    pub fn restore_answer(&mut self, record: AnswerRecord) -> Response {
+        let shown = if record.code.is_empty() {
+            Vec::new()
+        } else {
+            let result = self.session.execute(&record.code);
+            if result.error.is_none() { result.shown } else { Vec::new() }
+        };
+        self.history.push((record.question.clone(), record.summary.clone()));
+        Response {
+            items: record.items,
+            shown,
+            plan: record.plan,
+            code: record.code,
+            attempts: record.attempts,
+            error: record.error,
+            degradation: record.degradation,
         }
     }
 

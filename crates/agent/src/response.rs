@@ -2,10 +2,10 @@
 //! the paper highlights as essential for feedback analysis.
 
 use allhands_query::FigureSpec;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One element of a response.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ResponseItem {
     /// Natural-language narration or recommendations.
     Text(String),
@@ -27,6 +27,24 @@ impl ResponseItem {
             ResponseItem::Code(_) => "code",
         }
     }
+}
+
+/// A journal-serializable record of one answered question — everything a
+/// resumed run needs to restore the answer without an LLM call. `shown`
+/// (the raw executor values) is deliberately not recorded: rendering
+/// depends only on `items`, and both session bindings and `shown` are
+/// recovered by re-executing `code` (pure AQL, deterministic).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnswerRecord {
+    pub question: String,
+    /// The `(question, summary)` history entry this answer pushed.
+    pub summary: String,
+    pub items: Vec<ResponseItem>,
+    pub plan: Vec<String>,
+    pub code: String,
+    pub attempts: u32,
+    pub error: Option<String>,
+    pub degradation: Vec<String>,
 }
 
 /// A complete agent answer.
@@ -133,12 +151,15 @@ mod tests {
             items: vec![
                 ResponseItem::Text("Answer: 42.".into()),
                 ResponseItem::Table("| a |\n|---|\n| 1 |\n".into()),
-                ResponseItem::Figure(FigureSpec::new(
-                    FigureKind::Bar,
-                    "t",
-                    vec!["x".into()],
-                    vec![Series { name: "c".into(), values: vec![1.0] }],
-                )),
+                ResponseItem::Figure(
+                    FigureSpec::new(
+                        FigureKind::Bar,
+                        "t",
+                        vec!["x".into()],
+                        vec![Series { name: "c".into(), values: vec![1.0] }],
+                    )
+                    .unwrap(),
+                ),
                 ResponseItem::Code("show(1)".into()),
             ],
             plan: vec!["analyze".into()],

@@ -208,6 +208,12 @@ impl<'a> IclClassifier<'a> {
     /// work — LLM path or lexical fallback per the recorded decision — is
     /// distributed across threads. Output is byte-identical to the serial
     /// path at any thread count, with or without fault injection.
+    ///
+    /// Poison isolation: with a resilience context attached, per-item work
+    /// runs under `par_map_isolated` — a document that panics mid-work
+    /// (e.g. a configured poison pill) is quarantined on the context with
+    /// its panic payload and labeled by the lexical fallback, while every
+    /// other document is classified exactly as it would have been.
     pub fn classify_batch(&self, texts: &[String]) -> Vec<String> {
         let Some(ctx) = &self.resilience else {
             return allhands_par::par_map_indexed(texts, |_, t| self.classify_direct(t));
@@ -228,13 +234,32 @@ impl<'a> IclClassifier<'a> {
                 }
             })
             .collect();
-        allhands_par::par_map_indexed(texts, |i, t| {
+        let isolated = allhands_par::par_map_isolated(texts, |i, t| {
+            ctx.check_poison(t);
             if llm_ok[i] {
                 self.classify_direct(t)
             } else {
                 self.fallback.classify(t)
             }
-        })
+        });
+        isolated
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                Ok(label) => label,
+                Err(payload) => {
+                    // Dead-letter the document (index-ordered, so the
+                    // quarantine log is deterministic) and degrade it to
+                    // the lexical fallback label.
+                    ctx.record_quarantine("classification", &i.to_string(), &payload);
+                    ctx.note_degradation_once(
+                        "classification",
+                        "document(s) quarantined after per-item panic; labels from lexical-prior fallback",
+                    );
+                    self.fallback.classify(&texts[i])
+                }
+            })
+            .collect()
     }
 
     /// Accuracy over a labeled test set.

@@ -42,16 +42,72 @@ pub mod topic_modeling;
 pub use classification::{IclClassifier, IclConfig};
 pub use topic_modeling::{AbstractiveTopicModeler, TopicModelingConfig, TopicModelingResult};
 
-pub use allhands_agent::{AgentConfig, QaAgent, Response, ResponseItem};
+pub use allhands_agent::{AgentConfig, AnswerRecord, QaAgent, Response, ResponseItem};
+pub use allhands_journal::{Journal, JournalError};
 pub use allhands_resilience::{
-    AllHandsError, DegradationEvent, FaultPlan, Head, ResilienceConfig, ResilienceCtx,
-    ResilienceStats, RetryPolicy,
+    AllHandsError, DegradationEvent, FaultPlan, Head, InjectedCrash, QuarantineRecord,
+    ResilienceConfig, ResilienceCtx, ResilienceSnapshot, ResilienceStats, RetryPolicy,
 };
 
 use allhands_classify::LabeledExample;
 use allhands_dataframe::{Column, DataFrame};
 use allhands_llm::{ModelSpec, ModelTier, SimLlm};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::sync::Arc;
+
+/// Stage-1 journal snapshot: the classified labels plus the resilience
+/// state at commit time, so a resumed run replays the fault schedule from
+/// exactly where the original left off.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Stage1Snapshot {
+    predicted: Vec<String>,
+    resilience: ResilienceSnapshot,
+}
+
+/// Stage-2 journal snapshot: the full topic-modeling result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Stage2Snapshot {
+    result: TopicModelingResult,
+    resilience: ResilienceSnapshot,
+}
+
+/// Per-question journal snapshot: everything needed to restore the agent's
+/// session (bindings, history) and re-render the answer byte-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct QaSnapshot {
+    record: AnswerRecord,
+    resilience: ResilienceSnapshot,
+}
+
+fn jerr(e: JournalError) -> AllHandsError {
+    AllHandsError::Pipeline(format!("journal: {e}"))
+}
+
+/// Content fingerprint of a pipeline run's inputs — tier, corpus, labeled
+/// demonstrations, predefined topics. Deliberately excludes the fault plan:
+/// a resumed run passes `crash_at = None` but must match the crashed run's
+/// journal header.
+fn run_fingerprint(
+    tier: ModelTier,
+    texts: &[String],
+    labeled_sample: &[LabeledExample],
+    predefined_topics: &[String],
+) -> String {
+    let tier_label = format!("{tier:?}");
+    let mut parts: Vec<&[u8]> = vec![tier_label.as_bytes()];
+    for t in texts {
+        parts.push(t.as_bytes());
+    }
+    for ex in labeled_sample {
+        parts.push(ex.text.as_bytes());
+        parts.push(ex.label.as_bytes());
+    }
+    for t in predefined_topics {
+        parts.push(t.as_bytes());
+    }
+    allhands_journal::fingerprint(parts)
+}
 
 /// Facade configuration.
 #[derive(Debug, Clone, Default)]
@@ -75,6 +131,11 @@ pub struct AllHands {
     agent: QaAgent,
     /// The run-wide resilience context, shared across stages.
     resilience: Arc<ResilienceCtx>,
+    /// Write-ahead journal when built via [`AllHands::analyze_journaled`] /
+    /// [`AllHands::resume`]; `None` for unjournaled runs.
+    journal: Option<Journal>,
+    /// Questions asked so far — the ordinal half of each QA journal key.
+    asked: usize,
 }
 
 impl AllHands {
@@ -86,7 +147,7 @@ impl AllHands {
         let mut agent = QaAgent::new(llm, frame, config.agent.clone());
         let resilience = Arc::new(ResilienceCtx::new(config.resilience));
         agent.set_resilience(Arc::clone(&resilience));
-        AllHands { tier, config, agent, resilience }
+        AllHands { tier, config, agent, resilience, journal: None, asked: 0 }
     }
 
     /// Run the full pipeline on raw texts: classify each text with ICL
@@ -108,30 +169,125 @@ impl AllHands {
         predefined_topics: &[String],
         config: AllHandsConfig,
     ) -> Result<(Self, DataFrame), AllHandsError> {
+        Self::run_pipeline(tier, texts, labeled_sample, predefined_topics, config, None)
+    }
+
+    /// Like [`AllHands::analyze`], but crash-safe: each stage boundary is
+    /// snapshotted to a write-ahead journal under `journal_dir`, and if the
+    /// journal already holds a committed snapshot for a stage (from a run
+    /// that crashed part-way), the stage is skipped and its output replayed.
+    /// The journal header records a content fingerprint of the inputs;
+    /// resuming against different inputs is an error, never silent reuse.
+    ///
+    /// Later [`ask`](AllHands::ask) calls are journaled too: each answer is
+    /// recorded once committed, and re-asking the same question sequence
+    /// after a crash replays recorded answers byte-identically.
+    pub fn analyze_journaled(
+        tier: ModelTier,
+        texts: &[String],
+        labeled_sample: &[LabeledExample],
+        predefined_topics: &[String],
+        config: AllHandsConfig,
+        journal_dir: &Path,
+    ) -> Result<(Self, DataFrame), AllHandsError> {
+        let mut journal = Journal::open(journal_dir).map_err(jerr)?;
+        journal
+            .ensure_run(&run_fingerprint(tier, texts, labeled_sample, predefined_topics))
+            .map_err(jerr)?;
+        Self::run_pipeline(tier, texts, labeled_sample, predefined_topics, config, Some(journal))
+    }
+
+    /// Resume a crashed [`analyze_journaled`](AllHands::analyze_journaled)
+    /// run from its journal: completed stages are replayed from their
+    /// snapshots (restoring the resilience state they committed with), the
+    /// in-flight stage re-runs from its last consistent boundary. Inputs
+    /// must match the original run's fingerprint.
+    pub fn resume(
+        tier: ModelTier,
+        texts: &[String],
+        labeled_sample: &[LabeledExample],
+        predefined_topics: &[String],
+        config: AllHandsConfig,
+        journal_dir: &Path,
+    ) -> Result<(Self, DataFrame), AllHandsError> {
+        Self::analyze_journaled(tier, texts, labeled_sample, predefined_topics, config, journal_dir)
+    }
+
+    fn run_pipeline(
+        tier: ModelTier,
+        texts: &[String],
+        labeled_sample: &[LabeledExample],
+        predefined_topics: &[String],
+        config: AllHandsConfig,
+        mut journal: Option<Journal>,
+    ) -> Result<(Self, DataFrame), AllHandsError> {
         let llm = SimLlm::new(ModelSpec::for_tier(tier));
         let resilience = Arc::new(ResilienceCtx::new(config.resilience));
 
         // Stage 1: classification.
-        let labels: Vec<String> = {
-            let mut seen = Vec::new();
-            for ex in labeled_sample {
-                if !seen.contains(&ex.label) {
-                    seen.push(ex.label.clone());
-                }
-            }
-            seen
+        let replayed = match &journal {
+            Some(j) => j.lookup::<Stage1Snapshot>("stage1", "labels").map_err(jerr)?,
+            None => None,
         };
-        let classifier = IclClassifier::fit(&llm, labeled_sample, &labels, config.icl.clone())
-            .with_resilience(Arc::clone(&resilience));
-        // Batch classification: per-text work runs data-parallel with
-        // output byte-identical to classifying each text in order (see
-        // `IclClassifier::classify_batch` for the determinism contract).
-        let predicted: Vec<String> = classifier.classify_batch(texts);
+        let predicted: Vec<String> = match replayed {
+            Some(snap) => {
+                resilience.restore(&snap.resilience);
+                snap.predicted
+            }
+            None => {
+                resilience.crash_point("stage1:start");
+                let labels: Vec<String> = {
+                    let mut seen = Vec::new();
+                    for ex in labeled_sample {
+                        if !seen.contains(&ex.label) {
+                            seen.push(ex.label.clone());
+                        }
+                    }
+                    seen
+                };
+                let classifier =
+                    IclClassifier::fit(&llm, labeled_sample, &labels, config.icl.clone())
+                        .with_resilience(Arc::clone(&resilience));
+                // Batch classification: per-text work runs data-parallel with
+                // output byte-identical to classifying each text in order (see
+                // `IclClassifier::classify_batch` for the determinism contract).
+                let predicted: Vec<String> = classifier.classify_batch(texts);
+                if let Some(j) = &mut journal {
+                    let snap = Stage1Snapshot {
+                        predicted: predicted.clone(),
+                        resilience: resilience.snapshot(),
+                    };
+                    j.append("stage1", "labels", &snap).map_err(jerr)?;
+                }
+                resilience.crash_point("stage1:committed");
+                predicted
+            }
+        };
 
         // Stage 2: abstractive topic modeling (+HITLR).
-        let modeler = AbstractiveTopicModeler::new(&llm, config.topics.clone())
-            .with_resilience(Arc::clone(&resilience));
-        let result = modeler.run(texts, predefined_topics);
+        let replayed = match &journal {
+            Some(j) => j.lookup::<Stage2Snapshot>("stage2", "topics").map_err(jerr)?,
+            None => None,
+        };
+        let result = match replayed {
+            Some(snap) => {
+                resilience.restore(&snap.resilience);
+                snap.result
+            }
+            None => {
+                resilience.crash_point("stage2:start");
+                let modeler = AbstractiveTopicModeler::new(&llm, config.topics.clone())
+                    .with_resilience(Arc::clone(&resilience));
+                let result = modeler.run(texts, predefined_topics);
+                if let Some(j) = &mut journal {
+                    let snap =
+                        Stage2Snapshot { result: result.clone(), resilience: resilience.snapshot() };
+                    j.append("stage2", "topics", &snap).map_err(jerr)?;
+                }
+                resilience.crash_point("stage2:committed");
+                result
+            }
+        };
 
         // Sentiment estimation: lexical valence via the text substrate.
         let sentiments: Vec<f64> = texts.iter().map(|t| estimate_sentiment(t)).collect();
@@ -154,7 +310,7 @@ impl AllHands {
             config.agent.clone(),
         );
         agent.set_resilience(Arc::clone(&resilience));
-        Ok((AllHands { tier, config, agent, resilience }, frame))
+        Ok((AllHands { tier, config, agent, resilience, journal, asked: 0 }, frame))
     }
 
     /// The LLM tier in use.
@@ -174,8 +330,73 @@ impl AllHands {
     }
 
     /// Ask a natural-language question about the feedback.
+    ///
+    /// On a journaled run ([`analyze_journaled`](AllHands::analyze_journaled))
+    /// each committed answer is snapshotted; a resumed run re-asking the
+    /// same question sequence replays recorded answers (restoring the
+    /// agent's session bindings and history) instead of recomputing them.
     pub fn ask(&mut self, question: &str) -> Response {
-        self.agent.ask(question)
+        let idx = self.asked;
+        self.asked += 1;
+        let Some(journal) = &mut self.journal else {
+            return self.agent.ask(question);
+        };
+        let key =
+            format!("q{:03}:{}", idx, allhands_journal::fingerprint([question.as_bytes()]));
+        match journal.lookup::<QaSnapshot>("qa", &key) {
+            Ok(Some(snap)) => {
+                self.resilience.restore(&snap.resilience);
+                return self.agent.restore_answer(snap.record);
+            }
+            Ok(None) => {}
+            Err(e) => {
+                // A corrupt QA snapshot is not worth failing the question
+                // over: recompute the answer and note the degradation.
+                self.resilience
+                    .note_degradation("qa-agent", format!("journal replay failed ({e}); recomputing"));
+            }
+        }
+        self.resilience.crash_point(&format!("qa:{key}:start"));
+        let response = self.agent.ask(question);
+        let record = self.agent.record_answer(question, &response);
+        let snap = QaSnapshot { record, resilience: self.resilience.snapshot() };
+        match journal.append("qa", &key, &snap) {
+            Ok(()) => self.resilience.crash_point(&format!("qa:{key}:committed")),
+            Err(e) => {
+                // The answer is still good — it is just not crash-safe.
+                self.resilience
+                    .note_degradation("qa-agent", format!("journal append failed ({e}); answer not crash-safe"));
+            }
+        }
+        response
+    }
+
+    /// Human-readable summary of everything that went sideways this run:
+    /// quarantined (poison-pill) documents and degradation notes. Returns a
+    /// single "clean" line when nothing did.
+    pub fn quarantine_report(&self) -> String {
+        let quarantined = self.resilience.quarantined();
+        let degradations = self.resilience.degradations();
+        if quarantined.is_empty() && degradations.is_empty() {
+            return "clean run: no documents quarantined, no degradations".to_string();
+        }
+        let mut out = format!(
+            "degraded run: {} document(s) quarantined, {} degradation note(s)\n",
+            quarantined.len(),
+            degradations.len()
+        );
+        for q in &quarantined {
+            out.push_str(&format!("  [{}] doc {}: {}\n", q.stage, q.doc_id, q.payload));
+        }
+        for d in &degradations {
+            out.push_str(&format!("  ({}) {}\n", d.stage, d.note));
+        }
+        out
+    }
+
+    /// The write-ahead journal backing this run, if journaled.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
     }
 
     /// Register a custom analysis plugin available to generated code.

@@ -70,8 +70,9 @@ impl Default for TopicModelingConfig {
     }
 }
 
-/// The stage's output.
-#[derive(Debug, Clone)]
+/// The stage's output. Serializable so the crash journal can snapshot it
+/// at the stage-2 boundary.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TopicModelingResult {
     /// Topics per document (≥1 each; "others" when nothing matched).
     pub doc_topics: Vec<Vec<String>>,
@@ -115,23 +116,31 @@ impl<'a> AbstractiveTopicModeler<'a> {
     pub fn run(&self, texts: &[String], predefined: &[String]) -> TopicModelingResult {
         let speller = Speller::fit(texts);
         let mut topic_list: Vec<String> = predefined.to_vec();
-        let (mut doc_topics, round1_degraded) =
+        let (mut doc_topics, round1_degraded, round1_quarantined) =
             self.modeling_round(texts, &mut topic_list, &HashMap::new(), &speller);
         let mut reviewer_removed = 0usize;
         let mut degradation: Vec<String> = Vec::new();
         let mut refined = false;
 
-        // Fault pressure: documents already degraded to "others", or the
-        // summarize breaker no longer closed. Refining on top of corrupted
-        // round-1 assignments would launder bad topics into the curated
-        // list, so HITLR is skipped and the result marked unrefined.
+        // Fault pressure: documents already degraded to "others" (head
+        // unavailable or quarantined poison), or the summarize breaker no
+        // longer closed. Refining on top of corrupted round-1 assignments
+        // would launder bad topics into the curated list, so HITLR is
+        // skipped and the result marked unrefined.
         let under_pressure = self.resilience.as_ref().is_some_and(|ctx| {
-            round1_degraded > 0 || ctx.breaker_state(Head::Summarize) != BreakerState::Closed
+            round1_degraded > 0
+                || round1_quarantined > 0
+                || ctx.breaker_state(Head::Summarize) != BreakerState::Closed
         });
 
         if round1_degraded > 0 {
             degradation.push(format!(
                 "topic assignment fell back to \"others\" for {round1_degraded} document(s): summarize head unavailable"
+            ));
+        }
+        if round1_quarantined > 0 {
+            degradation.push(format!(
+                "{round1_quarantined} document(s) quarantined during topic assignment; assigned \"others\""
             ));
         }
         if self.config.hitlr {
@@ -146,7 +155,7 @@ impl<'a> AbstractiveTopicModeler<'a> {
                         self.refine(texts, &doc_topics, predefined);
                     reviewer_removed += removed;
                     topic_list = refined_list;
-                    let (round_topics, round_degraded) =
+                    let (round_topics, round_degraded, _) =
                         self.modeling_round(texts, &mut topic_list, &retrieval, &speller);
                     doc_topics = round_topics;
                     if round_degraded > 0 {
@@ -169,18 +178,32 @@ impl<'a> AbstractiveTopicModeler<'a> {
     /// One progressive-ICL pass. `retrieval` optionally maps document index
     /// → extra demonstrations (round 2's augmentation). Returns the topics
     /// per document plus how many documents degraded to `"others"` because
-    /// the summarize head stayed unavailable.
+    /// the summarize head stayed unavailable, and how many were quarantined
+    /// as poison pills.
     fn modeling_round(
         &self,
         texts: &[String],
         topic_list: &mut Vec<String>,
         retrieval: &HashMap<usize, Vec<Demonstration>>,
         speller: &Speller,
-    ) -> (Vec<Vec<String>>, usize) {
+    ) -> (Vec<Vec<String>>, usize, usize) {
         let head = self.llm.summarize_head();
         let mut out = Vec::with_capacity(texts.len());
         let mut degraded = 0usize;
+        let mut quarantined = 0usize;
         for (d, text) in texts.iter().enumerate() {
+            // This loop is inherently sequential (the progressive topic
+            // list grows document by document), so poison pills are probed
+            // without panicking: the doc is dead-lettered with the payload
+            // the pill would have carried and the loop moves on.
+            if let Some(ctx) = &self.resilience {
+                if let Some(payload) = ctx.poison_payload(text) {
+                    ctx.record_quarantine("topic-modeling", &d.to_string(), payload);
+                    quarantined += 1;
+                    out.push(vec!["others".to_string()]);
+                    continue;
+                }
+            }
             let demonstrations = retrieval.get(&d).cloned().unwrap_or_default();
             let req = TopicRequest {
                 text: text.clone(),
@@ -230,7 +253,7 @@ impl<'a> AbstractiveTopicModeler<'a> {
             }
             out.push(response.topics);
         }
-        (out, degraded)
+        (out, degraded, quarantined)
     }
 
     /// The HITLR step: reviewer filtering + clustering + re-summarization +

@@ -390,7 +390,8 @@ mod tests {
             "Issue river: top 7 topics",
             vec!["W1".into()],
             vec![Series { name: "bug".into(), values: vec![1.0] }],
-        );
+        )
+        .unwrap();
         let with_fig = response_with(
             vec![RtValue::Figure(fig.clone())],
             vec![
@@ -417,13 +418,15 @@ mod tests {
             "",
             (0..30).map(|i| format!("extremely long label {i}")).collect(),
             vec![Series { name: "c".into(), values: vec![1.0; 30] }],
-        );
+        )
+        .unwrap();
         let clean = FigureSpec::new(
             FigureKind::Bar,
             "Counts",
             vec!["a".into(), "b".into()],
             vec![Series { name: "c".into(), values: vec![1.0, 2.0] }],
-        );
+        )
+        .unwrap();
         let mk = |f: FigureSpec| {
             response_with(
                 vec![RtValue::Figure(f.clone())],

@@ -1,0 +1,497 @@
+//! Crash-safe write-ahead journal for the AllHands pipeline.
+//!
+//! The pipeline (classification → topic modeling → QA) is a long batch job;
+//! in production it dies — OOM kills, node preemption, deploys — and a run
+//! over millions of feedback items cannot afford to start over. This crate
+//! provides the durable run record that makes exact resume possible:
+//!
+//! - A [`Journal`] is an append-only JSONL file (`allhands.journal` inside a
+//!   run directory). Each entry snapshots one completed unit of work — a
+//!   stage boundary, one answered QA question, one quarantined document.
+//! - Entries form a **hash chain**: every entry records the previous
+//!   entry's content hash and its own, computed structurally over the
+//!   payload. A reader verifies the chain front to back.
+//! - **Torn-tail recovery**: a crash mid-append leaves a truncated or
+//!   corrupt final line. [`Journal::open`] detects it (parse failure or
+//!   hash mismatch), drops the invalid suffix, and physically truncates the
+//!   file back to the last valid entry — the interrupted unit of work is
+//!   simply replayed. Corruption *before* the tail breaks the chain for
+//!   everything after it and is handled the same way: the longest valid
+//!   prefix survives.
+//! - Appends are flushed and fsynced before returning, so an entry that
+//!   [`Journal::append`] acknowledged survives process death.
+//!
+//! Determinism makes this journal sufficient for *byte-identical* resume:
+//! stages are pure functions of (inputs, seed, resilience state), so a
+//! snapshot of stage outputs plus the resilience counters is a complete
+//! checkpoint. The crash-chaos suite in the umbrella crate kills the
+//! pipeline at every seeded crash point and asserts resumed transcripts
+//! equal uninterrupted ones.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// The journal file name inside a run directory.
+pub const JOURNAL_FILE: &str = "allhands.journal";
+
+/// A journal failure. Torn tails are *not* errors (they are recovered
+/// silently); these are genuine I/O or invariant problems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalError {
+    /// Filesystem failure (message carries the operation and path).
+    Io(String),
+    /// The journal belongs to a different run (header mismatch).
+    RunMismatch { expected: String, found: String },
+    /// Payload (de)serialization failed.
+    Codec(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(m) => write!(f, "journal i/o error: {m}"),
+            JournalError::RunMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different run (expected fingerprint {expected}, found {found})"
+            ),
+            JournalError::Codec(m) => write!(f, "journal codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// One verified journal entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// 0-based position in the chain.
+    pub seq: u64,
+    /// Entry namespace: `"header"`, `"stage"`, `"qa"`, `"quarantine"`, …
+    pub stage: String,
+    /// Key within the namespace (e.g. `"classified"`, `"q0"`, a doc id).
+    pub key: String,
+    /// This entry's chain hash (hex).
+    pub hash: String,
+    /// The snapshot payload.
+    pub payload: Value,
+}
+
+/// FNV-1a 64-bit over bytes — stable, dependency-free, fast enough for
+/// checkpoint-sized payloads.
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Structural hash of a JSON value: tag every node kind, hash scalars by
+/// canonical byte form, recurse in order. Independent of JSON text
+/// formatting, so a parse → hash round trip never disagrees with the
+/// writer's hash because of printing differences.
+fn hash_value(h: &mut u64, v: &Value) {
+    match v {
+        Value::Null => fnv1a(h, b"\x00"),
+        Value::Bool(b) => fnv1a(h, if *b { b"\x01t" } else { b"\x01f" }),
+        Value::I64(n) => {
+            fnv1a(h, b"\x02");
+            fnv1a(h, &n.to_le_bytes());
+        }
+        Value::U64(n) => {
+            fnv1a(h, b"\x03");
+            fnv1a(h, &n.to_le_bytes());
+        }
+        Value::F64(n) => {
+            fnv1a(h, b"\x04");
+            fnv1a(h, &n.to_bits().to_le_bytes());
+        }
+        Value::String(s) => {
+            fnv1a(h, b"\x05");
+            fnv1a(h, &(s.len() as u64).to_le_bytes());
+            fnv1a(h, s.as_bytes());
+        }
+        Value::Array(items) => {
+            fnv1a(h, b"\x06");
+            fnv1a(h, &(items.len() as u64).to_le_bytes());
+            for item in items {
+                hash_value(h, item);
+            }
+        }
+        Value::Object(m) => {
+            fnv1a(h, b"\x07");
+            fnv1a(h, &(m.len() as u64).to_le_bytes());
+            for (k, val) in m.iter() {
+                fnv1a(h, &(k.len() as u64).to_le_bytes());
+                fnv1a(h, k.as_bytes());
+                hash_value(h, val);
+            }
+        }
+    }
+}
+
+/// Chain hash for an entry: previous hash, position, namespace, key, and the
+/// structural payload hash, all mixed through FNV-1a.
+fn entry_hash(prev: u64, seq: u64, stage: &str, key: &str, payload: &Value) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64; // FNV offset basis
+    fnv1a(&mut h, &prev.to_le_bytes());
+    fnv1a(&mut h, &seq.to_le_bytes());
+    fnv1a(&mut h, stage.as_bytes());
+    fnv1a(&mut h, b"\x1F");
+    fnv1a(&mut h, key.as_bytes());
+    fnv1a(&mut h, b"\x1F");
+    hash_value(&mut h, payload);
+    h
+}
+
+/// The crash-safe journal for one pipeline run.
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    entries: Vec<Entry>,
+    last_hash: u64,
+    /// Entries dropped at open time because a crash tore the tail.
+    recovered_torn_tail: usize,
+}
+
+impl Journal {
+    /// Open (or create) the journal for run directory `dir`, verifying the
+    /// hash chain and truncating any torn tail left by a crash.
+    pub fn open(dir: &Path) -> Result<Journal, JournalError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| JournalError::Io(format!("create {}: {e}", dir.display())))?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| JournalError::Io(format!("open {}: {e}", path.display())))?;
+        let mut text = String::new();
+        file.rewind()
+            .and_then(|()| file.read_to_string(&mut text))
+            .map_err(|e| JournalError::Io(format!("read {}: {e}", path.display())))?;
+
+        let mut entries: Vec<Entry> = Vec::new();
+        let mut last_hash = 0u64;
+        let mut valid_bytes = 0usize;
+        let mut dropped = 0usize;
+        let mut offset = 0usize;
+        for line in text.split_inclusive('\n') {
+            let line_start = offset;
+            offset += line.len();
+            let trimmed = line.trim_end_matches('\n');
+            if trimmed.is_empty() {
+                continue;
+            }
+            // A line is valid iff it parses, its seq continues the chain,
+            // and its recorded hash matches the recomputed chain hash. The
+            // first invalid line invalidates everything after it.
+            let Some(entry) = Self::verify_line(trimmed, entries.len() as u64, last_hash) else {
+                dropped = 1; // at least the bad line; the rest of the file goes with it
+                break;
+            };
+            last_hash = u64::from_str_radix(&entry.hash, 16).unwrap_or(0);
+            entries.push(entry);
+            valid_bytes = line_start + line.len();
+        }
+        if dropped > 0 || valid_bytes < text.len() {
+            // Physically truncate back to the last valid entry so future
+            // appends re-extend a clean chain.
+            file.set_len(valid_bytes as u64)
+                .map_err(|e| JournalError::Io(format!("truncate {}: {e}", path.display())))?;
+            file.seek(std::io::SeekFrom::End(0))
+                .map_err(|e| JournalError::Io(format!("seek {}: {e}", path.display())))?;
+            dropped = dropped.max(1);
+        }
+        Ok(Journal { path, file, entries, last_hash, recovered_torn_tail: dropped })
+    }
+
+    fn verify_line(line: &str, expect_seq: u64, prev: u64) -> Option<Entry> {
+        let v: Value = serde_json::from_str(line).ok()?;
+        let Value::Object(obj) = &v else { return None };
+        let seq = match obj.get("seq") {
+            Some(Value::U64(n)) => *n,
+            Some(Value::I64(n)) if *n >= 0 => *n as u64,
+            _ => return None,
+        };
+        let stage = match obj.get("stage") {
+            Some(Value::String(s)) => s.clone(),
+            _ => return None,
+        };
+        let key = match obj.get("key") {
+            Some(Value::String(s)) => s.clone(),
+            _ => return None,
+        };
+        let hash = match obj.get("hash") {
+            Some(Value::String(s)) => s.clone(),
+            _ => return None,
+        };
+        let payload = obj.get("payload")?.clone();
+        if seq != expect_seq {
+            return None;
+        }
+        let recorded = u64::from_str_radix(&hash, 16).ok()?;
+        if recorded != entry_hash(prev, seq, &stage, &key, &payload) {
+            return None;
+        }
+        Some(Entry { seq, stage, key, hash, payload })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// All verified entries, in chain order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Number of verified entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the journal holds no entries yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `open` had to drop a torn/corrupt tail (≥1 entries lost to a
+    /// crash mid-append; the interrupted work will be replayed).
+    pub fn recovered_torn_tail(&self) -> bool {
+        self.recovered_torn_tail > 0
+    }
+
+    /// Append one snapshot entry and make it durable (flush + fsync) before
+    /// returning. Once this returns `Ok`, the entry survives process death.
+    pub fn append<T: Serialize>(
+        &mut self,
+        stage: &str,
+        key: &str,
+        payload: &T,
+    ) -> Result<(), JournalError> {
+        let payload: Value = serde_json::from_str(
+            &serde_json::to_string(payload).map_err(|e| JournalError::Codec(e.to_string()))?,
+        )
+        .map_err(|e| JournalError::Codec(e.to_string()))?;
+        let seq = self.entries.len() as u64;
+        let hash = entry_hash(self.last_hash, seq, stage, key, &payload);
+        let hash_hex = format!("{hash:016x}");
+        let line = format!(
+            "{{\"seq\":{seq},\"stage\":{},\"key\":{},\"hash\":\"{hash_hex}\",\"payload\":{}}}\n",
+            serde_json::to_string(stage).map_err(|e| JournalError::Codec(e.to_string()))?,
+            serde_json::to_string(key).map_err(|e| JournalError::Codec(e.to_string()))?,
+            payload
+        );
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .and_then(|()| self.file.sync_all())
+            .map_err(|e| JournalError::Io(format!("append {}: {e}", self.path.display())))?;
+        self.entries.push(Entry {
+            seq,
+            stage: stage.to_string(),
+            key: key.to_string(),
+            hash: hash_hex,
+            payload,
+        });
+        self.last_hash = hash;
+        Ok(())
+    }
+
+    /// The raw payload of the latest entry matching `(stage, key)`.
+    pub fn find(&self, stage: &str, key: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.stage == stage && e.key == key)
+            .map(|e| &e.payload)
+    }
+
+    /// Decode the latest entry matching `(stage, key)` into `T`. Returns
+    /// `None` when absent; decoding failures surface as errors (a present
+    /// but undecodable snapshot is corruption, not a cache miss).
+    pub fn lookup<T: Deserialize>(&self, stage: &str, key: &str) -> Result<Option<T>, JournalError> {
+        match self.find(stage, key) {
+            None => Ok(None),
+            Some(v) => serde_json::from_value::<T>(v.clone())
+                .map(Some)
+                .map_err(|e| JournalError::Codec(format!("{stage}/{key}: {e}"))),
+        }
+    }
+
+    /// Ensure the journal's header entry matches `fingerprint` — the
+    /// caller's digest of run inputs (corpus, labels, configuration). A
+    /// fresh journal records it; an existing journal must agree, otherwise
+    /// resuming would silently mix two different runs.
+    pub fn ensure_run(&mut self, fingerprint: &str) -> Result<(), JournalError> {
+        match self.lookup::<String>("header", "run")? {
+            None => self.append("header", "run", &fingerprint.to_string()),
+            Some(found) if found == fingerprint => Ok(()),
+            Some(found) => Err(JournalError::RunMismatch {
+                expected: fingerprint.to_string(),
+                found,
+            }),
+        }
+    }
+}
+
+/// Convenience fingerprint helper: FNV-1a over an iterator of byte chunks,
+/// rendered as fixed-width hex. Callers feed in everything that defines a
+/// run (texts, labels, seeds) so [`Journal::ensure_run`] can refuse to
+/// resume the wrong journal.
+pub fn fingerprint<'a>(parts: impl IntoIterator<Item = &'a [u8]>) -> String {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for part in parts {
+        fnv1a(&mut h, &(part.len() as u64).to_le_bytes());
+        fnv1a(&mut h, part);
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Snap {
+        labels: Vec<String>,
+        count: u64,
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        // Under the workspace `target/` so interrupted tests never dirty
+        // `git status`; successful tests clean up after themselves anyway.
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/test-journals")
+            .join(format!("journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_reload_roundtrip() {
+        let dir = scratch("roundtrip");
+        let snap = Snap { labels: vec!["a".into(), "b".into()], count: 7 };
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            assert!(j.is_empty());
+            j.ensure_run("f00d").unwrap();
+            j.append("stage", "classified", &snap).unwrap();
+            j.append("qa", "q0", &"answer text".to_string()).unwrap();
+        }
+        let j = Journal::open(&dir).unwrap();
+        assert_eq!(j.len(), 3);
+        assert!(!j.recovered_torn_tail());
+        assert_eq!(j.lookup::<Snap>("stage", "classified").unwrap(), Some(snap));
+        assert_eq!(j.lookup::<String>("qa", "q0").unwrap(), Some("answer text".into()));
+        assert_eq!(j.lookup::<Snap>("stage", "missing").unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn later_entries_shadow_earlier_ones() {
+        let dir = scratch("shadow");
+        let mut j = Journal::open(&dir).unwrap();
+        j.append("stage", "k", &1u64).unwrap();
+        j.append("stage", "k", &2u64).unwrap();
+        assert_eq!(j.lookup::<u64>("stage", "k").unwrap(), Some(2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_replayable() {
+        let dir = scratch("torn");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.append("stage", "one", &1u64).unwrap();
+            j.append("stage", "two", &2u64).unwrap();
+        }
+        // Simulate a crash mid-append: half a line at the tail.
+        let path = dir.join(JOURNAL_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"seq\":2,\"stage\":\"stage\",\"key\":\"three\",\"ha").unwrap();
+        drop(f);
+        let mut j = Journal::open(&dir).unwrap();
+        assert!(j.recovered_torn_tail());
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.lookup::<u64>("stage", "two").unwrap(), Some(2));
+        // The chain re-extends cleanly after recovery.
+        j.append("stage", "three", &3u64).unwrap();
+        let j2 = Journal::open(&dir).unwrap();
+        assert!(!j2.recovered_torn_tail());
+        assert_eq!(j2.lookup::<u64>("stage", "three").unwrap(), Some(3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_drops_suffix() {
+        let dir = scratch("midcorrupt");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.append("stage", "one", &1u64).unwrap();
+            j.append("stage", "two", &2u64).unwrap();
+            j.append("stage", "three", &3u64).unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip a payload byte in the *second* entry: its hash no longer
+        // matches, so it and entry three are both dropped.
+        let corrupted = text.replacen("\"payload\":2", "\"payload\":9", 1);
+        assert_ne!(text, corrupted);
+        std::fs::write(&path, corrupted).unwrap();
+        let j = Journal::open(&dir).unwrap();
+        assert!(j.recovered_torn_tail());
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.lookup::<u64>("stage", "one").unwrap(), Some(1));
+        assert_eq!(j.lookup::<u64>("stage", "three").unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_fingerprint_mismatch_is_refused() {
+        let dir = scratch("fingerprint");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.ensure_run("aaaa").unwrap();
+        }
+        let mut j = Journal::open(&dir).unwrap();
+        assert!(j.ensure_run("aaaa").is_ok());
+        let err = j.ensure_run("bbbb").unwrap_err();
+        assert!(matches!(err, JournalError::RunMismatch { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let a = fingerprint([b"alpha".as_slice(), b"beta".as_slice()]);
+        let b = fingerprint([b"alpha".as_slice(), b"beta".as_slice()]);
+        assert_eq!(a, b);
+        // Chunk boundaries matter (length-prefixed): "al"+"phabeta" differs.
+        let c = fingerprint([b"al".as_slice(), b"phabeta".as_slice()]);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn structural_hash_ignores_formatting_but_not_content() {
+        let a: Value = serde_json::from_str("{\"x\": [1, 2.5, \"s\"], \"y\": null}").unwrap();
+        let b: Value = serde_json::from_str("{\"x\":[1,2.5,\"s\"],\"y\":null}").unwrap();
+        let mut ha = 0u64;
+        let mut hb = 0u64;
+        hash_value(&mut ha, &a);
+        hash_value(&mut hb, &b);
+        assert_eq!(ha, hb);
+        let c: Value = serde_json::from_str("{\"x\":[1,2.5,\"s\"],\"y\":0}").unwrap();
+        let mut hc = 0u64;
+        hash_value(&mut hc, &c);
+        assert_ne!(ha, hc);
+    }
+}

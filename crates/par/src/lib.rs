@@ -126,6 +126,58 @@ where
     par_map_indexed(items, |_, item| f(item))
 }
 
+/// Render a caught panic payload as a string. `panic!` with a literal
+/// carries `&str`; `format!`-style and `panic_any(String)` carry `String`;
+/// anything else (typed payloads) is opaque.
+pub fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`par_map_indexed`], but each item runs under `catch_unwind`: a panic in
+/// `f` for one item yields `Err(payload_string)` at that item's index
+/// instead of poisoning the whole batch (the "dead-letter" contract —
+/// callers quarantine the `Err` items and keep the rest). Ordering and
+/// thread-count independence are exactly as in [`par_map_indexed`].
+///
+/// The default panic hook would still print "thread panicked" chatter for
+/// every isolated item, so a silencing hook is installed for the duration
+/// of the map. The previous hook is always restored, even if the map
+/// itself panics outside the per-item guard.
+pub fn par_map_isolated<T, R, F>(items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let run = || {
+        par_map_indexed(items, |i, item| {
+            catch_unwind(AssertUnwindSafe(|| f(i, item)))
+                .map_err(|payload| panic_payload_string(payload.as_ref()))
+        })
+    };
+    // Silence the default "thread panicked" stderr chatter for isolated
+    // items. Hooks are process-global, so this is itself wrapped in
+    // catch_unwind to guarantee restoration, and nested calls simply
+    // re-silence (idempotent).
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = catch_unwind(AssertUnwindSafe(run));
+    std::panic::set_hook(prev);
+    match out {
+        Ok(v) => v,
+        // A panic that escaped the per-item guard (e.g. in the merge
+        // itself) is a real bug; re-raise it with hooks restored.
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +237,56 @@ mod tests {
         assert_eq!(inside, 2);
         assert_eq!(max_threads(), 5);
         set_thread_override(None);
+    }
+
+    #[test]
+    fn isolated_quarantines_panicking_items_only() {
+        let _g = guard();
+        let items: Vec<u32> = (0..200).collect();
+        let work = |_i: usize, x: &u32| -> u32 {
+            if x % 37 == 5 {
+                panic!("poisoned item {x}");
+            }
+            x * 2
+        };
+        let serial = with_threads(1, || par_map_isolated(&items, work));
+        for (i, r) in serial.iter().enumerate() {
+            if (i as u32) % 37 == 5 {
+                let msg = r.as_ref().expect_err("item must be quarantined");
+                assert!(msg.contains(&format!("poisoned item {i}")), "got: {msg}");
+            } else {
+                assert_eq!(*r, Ok(i as u32 * 2));
+            }
+        }
+        for threads in [2, 8] {
+            let parallel = with_threads(threads, || par_map_isolated(&items, work));
+            assert_eq!(serial, parallel, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn isolated_carries_string_payloads() {
+        let _g = guard();
+        let items = [0u8, 1];
+        let out = with_threads(1, || {
+            par_map_isolated(&items, |_, x| {
+                if *x == 1 {
+                    std::panic::panic_any(String::from("typed payload"));
+                }
+                *x
+            })
+        });
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[1], Err("typed payload".to_string()));
+    }
+
+    #[test]
+    fn isolated_with_no_panics_matches_plain_map() {
+        let _g = guard();
+        let items: Vec<u64> = (0..100).collect();
+        let plain = with_threads(4, || par_map_indexed(&items, |i, x| x + i as u64));
+        let isolated = with_threads(4, || par_map_isolated(&items, |i, x| x + i as u64));
+        assert_eq!(isolated.into_iter().collect::<Result<Vec<_>, _>>().unwrap(), plain);
     }
 
     #[test]

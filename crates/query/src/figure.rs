@@ -41,19 +41,27 @@ pub struct FigureSpec {
 }
 
 impl FigureSpec {
-    /// Construct, validating shape (every series must match the label count).
-    pub fn new(kind: FigureKind, title: &str, x_labels: Vec<String>, series: Vec<Series>) -> Self {
+    /// Construct, validating shape: every series must carry exactly one
+    /// value per x label. A mismatch is a typed [`QueryError`] — plotting
+    /// plugins propagate it to the executor's error channel (where the
+    /// agent's reflection loop can react), never a panic.
+    pub fn new(
+        kind: FigureKind,
+        title: &str,
+        x_labels: Vec<String>,
+        series: Vec<Series>,
+    ) -> Result<Self, crate::QueryError> {
         for s in &series {
-            assert_eq!(
-                s.values.len(),
-                x_labels.len(),
-                "series '{}' length {} != {} labels",
-                s.name,
-                s.values.len(),
-                x_labels.len()
-            );
+            if s.values.len() != x_labels.len() {
+                return Err(crate::QueryError::runtime(format!(
+                    "figure series '{}' has {} values for {} x labels",
+                    s.name,
+                    s.values.len(),
+                    x_labels.len()
+                )));
+            }
         }
-        FigureSpec { kind, title: title.to_string(), x_labels, series }
+        Ok(FigureSpec { kind, title: title.to_string(), x_labels, series })
     }
 
     /// Total number of data points.
@@ -159,6 +167,7 @@ mod tests {
             vec!["ET".into(), "PT".into()],
             vec![Series { name: "count".into(), values: vec![10.0, 4.0] }],
         )
+        .unwrap()
     }
 
     #[test]
@@ -177,28 +186,31 @@ mod tests {
             "",
             vec!["a".into()],
             vec![Series { name: "c".into(), values: vec![1.0] }],
-        );
+        )
+        .unwrap();
         assert!(untitled.layout_quality() < 0.9);
         let crowded = FigureSpec::new(
             FigureKind::Bar,
             "t",
             (0..30).map(|i| format!("label-{i}")).collect(),
             vec![Series { name: "c".into(), values: vec![1.0; 30] }],
-        );
+        )
+        .unwrap();
         assert!(crowded.layout_quality() < bar().layout_quality());
-        let empty = FigureSpec::new(FigureKind::Bar, "t", vec![], vec![]);
+        let empty = FigureSpec::new(FigureKind::Bar, "t", vec![], vec![]).unwrap();
         assert_eq!(empty.layout_quality(), 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "length")]
-    fn mismatched_series_panics() {
-        FigureSpec::new(
+    fn mismatched_series_is_a_typed_error() {
+        let err = FigureSpec::new(
             FigureKind::Bar,
             "t",
             vec!["a".into()],
             vec![Series { name: "c".into(), values: vec![1.0, 2.0] }],
-        );
+        )
+        .expect_err("shape mismatch must be an error value");
+        assert!(err.to_string().contains("2 values for 1 x labels"), "{err}");
     }
 
     #[test]
@@ -208,7 +220,8 @@ mod tests {
             "Labels",
             vec!["x".into(), "y".into()],
             vec![Series { name: "count".into(), values: vec![3.0, 1.0] }],
-        );
+        )
+        .unwrap();
         let ascii = pie.render_ascii();
         assert!(ascii.contains("75.0%"));
         assert!(ascii.contains("25.0%"));
@@ -221,7 +234,8 @@ mod tests {
             "words",
             vec!["rare".into(), "common".into()],
             vec![Series { name: "w".into(), values: vec![1.0, 9.0] }],
-        );
+        )
+        .unwrap();
         let ascii = wc.render_ascii();
         let common_pos = ascii.find("common").unwrap();
         let rare_pos = ascii.find("rare").unwrap();

@@ -187,15 +187,25 @@ impl Interpreter {
         // Clock reads are much slower than a decrement, so the wall-clock
         // budget is only checked every 4096 steps (and on the first).
         if self.steps_taken % 4096 == 0 {
-            if let (Some(deadline), Some(limit)) = (self.cell_deadline, self.wall_limit) {
-                if std::time::Instant::now() >= deadline {
-                    return Err(QueryError::runtime(format!(
-                        "cell wall-clock budget exhausted (limit {limit:?})"
-                    )));
-                }
-            }
+            self.check_wall_clock()?;
         }
         self.steps_taken += 1;
+        Ok(())
+    }
+
+    /// Unconditional wall-clock check. Frame-producing operations
+    /// (join/group_by/sort) call this directly: one such call can cost as
+    /// much as thousands of interpreter steps, so waiting for the
+    /// every-4096-steps check in [`step`](Self::step) would let a cell
+    /// overrun its budget by the full cost of an operation and keep running.
+    fn check_wall_clock(&self) -> Result<(), QueryError> {
+        if let (Some(deadline), Some(limit)) = (self.cell_deadline, self.wall_limit) {
+            if std::time::Instant::now() >= deadline {
+                return Err(QueryError::runtime(format!(
+                    "cell wall-clock budget exhausted (limit {limit:?})"
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -678,7 +688,9 @@ impl Interpreter {
                     aggs.push(Aggregation::new("", AggKind::Count));
                 }
                 let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
-                Ok(RtValue::Frame(frame.group_by(&key_refs, &aggs)?))
+                let out = frame.group_by(&key_refs, &aggs)?;
+                self.check_wall_clock()?;
+                Ok(RtValue::Frame(out))
             }
             "sort" => {
                 let names = self.string_args(args, row)?;
@@ -694,7 +706,9 @@ impl Interpreter {
                         )))
                     }
                 };
-                Ok(RtValue::Frame(frame.sort_by(col, ascending)?))
+                let out = frame.sort_by(col, ascending)?;
+                self.check_wall_clock()?;
+                Ok(RtValue::Frame(out))
             }
             "head" => {
                 expect_arity(name, args, 1)?;
@@ -741,6 +755,7 @@ impl Interpreter {
                 };
                 let out = frame.join(&other, &key, kind)?;
                 self.check_rows(&out)?;
+                self.check_wall_clock()?;
                 Ok(RtValue::Frame(out))
             }
             "concat" => {
@@ -1037,6 +1052,30 @@ mod tests {
         let (shown, err) = run(src);
         assert!(err.is_none(), "{err:?}");
         shown.into_iter().next().unwrap().into_scalar().unwrap()
+    }
+
+    /// A single join/group_by/sort can cost thousands of steps' worth of
+    /// wall time, so those operations must consult the cell deadline
+    /// directly — even between the interpreter's periodic every-4096-steps
+    /// checks.
+    #[test]
+    fn frame_ops_check_wall_clock_between_periodic_checks() {
+        for src in [
+            r#"show(df.sort("sentiment"))"#,
+            r#"show(df.group_by("product", count()))"#,
+            r#"show(df.join(df, "product", "inner"))"#,
+        ] {
+            let mut interp = Interpreter::new(1_000_000, 1_000_000);
+            interp.bind("df", RtValue::Frame(frame()));
+            // An already-expired deadline...
+            interp.start_cell_clock(Some(std::time::Duration::ZERO));
+            // ...with the periodic check out of reach: the program takes a
+            // handful of steps, nowhere near the next multiple of 4096.
+            interp.steps_taken = 1;
+            let program = parse_program(src).unwrap();
+            let err = interp.run(&program).expect_err("expired deadline must stop the op");
+            assert!(err.to_string().contains("wall-clock"), "{src}: {err}");
+        }
     }
 
     #[test]

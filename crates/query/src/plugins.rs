@@ -168,7 +168,7 @@ fn word_cloud(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
         &format!("Word cloud of {col_name}"),
         labels,
         vec![Series { name: "weight".into(), values: weights }],
-    )))
+    )?))
 }
 
 /// `issue_river(frame, topics_col, timestamp_col, top_k)` — weekly
@@ -232,7 +232,7 @@ fn issue_river(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
         &format!("Issue river: top {k} topics"),
         labels,
         series,
-    )))
+    )?))
 }
 
 /// Extract `(labels, values)` of two columns for simple charts.
@@ -260,7 +260,7 @@ fn bar_chart(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
         &title,
         labels,
         vec![Series { name: ycol, values }],
-    )))
+    )?))
 }
 
 /// `line_chart(frame, x_col, y_col, title)`.
@@ -275,7 +275,7 @@ fn line_chart(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
         &title,
         labels,
         vec![Series { name: ycol, values }],
-    )))
+    )?))
 }
 
 /// `pie_chart(frame, label_col, value_col, title)`.
@@ -290,7 +290,7 @@ fn pie_chart(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
         &title,
         labels,
         vec![Series { name: vcol, values }],
-    )))
+    )?))
 }
 
 /// `grouped_bar_chart(frame, x_col, y_col, series_col, title)` — long-format
@@ -339,7 +339,7 @@ fn grouped_bar_chart(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
         &title,
         x_labels,
         series,
-    )))
+    )?))
 }
 
 /// `histogram(frame, col, title)` — numeric columns are binned into 10
@@ -367,7 +367,7 @@ fn histogram(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
             &title,
             labels,
             vec![Series { name: col_name, values: bins }],
-        )));
+        )?));
     }
     // Categorical histogram = bar chart of value counts.
     let vc = frame.value_counts(&col_name)?;
@@ -377,7 +377,7 @@ fn histogram(args: Vec<RtValue>) -> Result<RtValue, QueryError> {
         &title,
         labels,
         vec![Series { name: "count".into(), values }],
-    )))
+    )?))
 }
 
 // ---- analysis plugins --------------------------------------------------------

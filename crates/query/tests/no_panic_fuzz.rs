@@ -1,0 +1,124 @@
+//! Property harness for the executor's errors-as-values invariant: ANY
+//! input pushed through lex → parse → interpret must come back as a
+//! `CellResult` (possibly with `error` set) — never a panic. The agent's
+//! self-reflection loop depends on this: a panicking executor would take
+//! the whole QA turn down instead of feeding the error back into code
+//! regeneration.
+//!
+//! Two generators (raw printable strings and AQL token soup) plus a pinned
+//! set of regression fixtures — inputs that exercise historically panicky
+//! seams (mismatched figure series, deep nesting, row blow-ups, budget
+//! exhaustion) and keep doing so even if the generators drift.
+
+use allhands_dataframe::{Column, DataFrame};
+use allhands_query::{Session, SessionLimits};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn tiny_frame() -> DataFrame {
+    DataFrame::new(vec![
+        Column::from_strs("text", &["app crashes daily", "love the update", "slow sync"]),
+        Column::from_strs("product", &["mail", "mail", "drive"]),
+        Column::from_f64s("sentiment", &[-0.8, 0.9, -0.2]),
+        Column::from_i64s("id", &[0, 1, 2]),
+    ])
+    .unwrap()
+}
+
+fn fuzz_limits() -> SessionLimits {
+    SessionLimits {
+        step_budget: 20_000,
+        max_rows: 5_000,
+        max_cell_duration: Some(std::time::Duration::from_secs(2)),
+    }
+}
+
+/// Execute `source` in a fresh session under `catch_unwind`. Returns the
+/// cell's error value; a panic fails the property with the payload.
+fn assert_errors_as_values(source: &str) -> Option<String> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut session = Session::new(fuzz_limits());
+        session.bind_frame("feedback", tiny_frame());
+        session.execute(source).error
+    }));
+    match result {
+        Ok(error) => error,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            panic!("executor panicked on input {source:?}: {msg}");
+        }
+    }
+}
+
+/// AQL vocabulary for token-soup generation: keywords, operators,
+/// identifiers (bound and unbound), literals, and plugin calls, combined
+/// in arbitrary (mostly ill-formed) orders.
+const VOCAB: &[&str] = &[
+    "let", "show", "log", "feedback", "x", "nope", "=", ";", ".", ",", "(", ")", "[", "]",
+    "+", "-", "*", "/", "==", "!=", "<", ">", "&&", "||", "!", "\"mail\"", "\"\"", "\"🙂\"",
+    "0", "1", "-3", "2.5", "1e308", "true", "false", "filter", "derive", "group_by", "sort",
+    "join", "head", "contains", "count", "mean", "sum", "\"text\"", "\"sentiment\"",
+    "\"product\"", "\"inner\"", "bar_chart", "pie_chart", "histogram", "word_cloud",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn raw_strings_never_panic(source in "[ -~]{0,80}") {
+        // Whatever comes back — parse error, runtime error, or success —
+        // must be a value.
+        let _ = assert_errors_as_values(&source);
+    }
+
+    #[test]
+    fn token_soup_never_panics(
+        picks in prop::collection::vec(0usize..VOCAB.len(), 0..40),
+    ) {
+        let source: String =
+            picks.iter().map(|&i| VOCAB[i]).collect::<Vec<_>>().join(" ");
+        let _ = assert_errors_as_values(&source);
+    }
+
+    #[test]
+    fn non_ascii_streams_never_panic(source in "\\PC{0,60}") {
+        let _ = assert_errors_as_values(&source);
+    }
+}
+
+/// Pinned inputs from fuzzing sessions and known-fixed panics. Each is a
+/// seed the generators may or may not rediscover; keeping them explicit
+/// makes the regression permanent.
+#[test]
+fn regression_fixtures_never_panic() {
+    const FIXTURES: &[&str] = &[
+        // Mismatched figure series length: was a panic in FigureSpec::new,
+        // now a typed QueryError surfaced through the plugin `?`.
+        r#"let g = feedback.group_by("product", count()); show(bar_chart(g, "product", "missing", "t"))"#,
+        // Row blow-up: self-join must hit max_rows as an error.
+        r#"let j = feedback.join(feedback, "product", "inner"); let jj = j.join(j, "product", "inner"); show(jj)"#,
+        // Step-budget exhaustion inside a frame op chain.
+        r#"let s = feedback.sort("sentiment").sort("text").sort("product").sort("id"); show(s)"#,
+        // Unterminated string literal.
+        r#"show("abc"#,
+        // Keyword in binding position.
+        "let let = 1;",
+        // Deep parenthesis nesting.
+        "show(((((((((((((((((1)))))))))))))))))",
+        // Number-literal edge cases.
+        "show(999999999999999999999999999); show(1e309); show(0.0/0.0)",
+        // Unknown columns and bindings.
+        r#"show(feedback.sort("nope")); show(ghost.filter(contains(text, "x")))"#,
+        // Empty-ish cells.
+        "", ";", ";;;", "   ", "()",
+        // Unicode soup with an emoji identifier.
+        "let 🙂 = 1; show(🙂 + \"ß\")",
+    ];
+    for src in FIXTURES {
+        let _ = assert_errors_as_values(src);
+    }
+}

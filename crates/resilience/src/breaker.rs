@@ -3,7 +3,11 @@
 //! The breaker is deliberately time-free: cooldown is measured in *denied
 //! calls*, not elapsed wall clock, so a seeded run trips and recovers at
 //! exactly the same call indices every time. That keeps chaos runs
-//! bit-reproducible, which the determinism tests rely on.
+//! bit-reproducible, which the determinism tests rely on — and, because
+//! the whole state is four small counters, a breaker can be snapshotted
+//! into the crash journal and restored on resume ([`BreakerSnapshot`]).
+
+use serde::{Deserialize, Serialize};
 
 /// The three LLM task heads, one per pipeline stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,7 +47,7 @@ impl Default for BreakerConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BreakerState {
     /// Normal operation; calls flow through.
     Closed,
@@ -51,6 +55,17 @@ pub enum BreakerState {
     Open,
     /// One probe call is admitted; its outcome decides open vs. closed.
     HalfOpen,
+}
+
+/// The complete dynamic state of one breaker — everything beyond its
+/// (immutable) configuration. Journaled at stage boundaries so a resumed
+/// run continues from exactly the breaker trajectory the crashed run left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerSnapshot {
+    pub state: BreakerState,
+    pub consecutive_failures: u32,
+    pub denied_while_open: u32,
+    pub trips: u32,
 }
 
 /// A call-count-based circuit breaker for one head.
@@ -81,6 +96,24 @@ impl CircuitBreaker {
 
     pub fn trips(&self) -> u32 {
         self.trips
+    }
+
+    /// Export the dynamic state for journaling.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        BreakerSnapshot {
+            state: self.state,
+            consecutive_failures: self.consecutive_failures,
+            denied_while_open: self.denied_while_open,
+            trips: self.trips,
+        }
+    }
+
+    /// Restore dynamic state from a snapshot (configuration is unchanged).
+    pub fn restore(&mut self, snap: &BreakerSnapshot) {
+        self.state = snap.state;
+        self.consecutive_failures = snap.consecutive_failures;
+        self.denied_while_open = snap.denied_while_open;
+        self.trips = snap.trips;
     }
 
     /// Ask to place a call. Returns `true` if the call may proceed. While

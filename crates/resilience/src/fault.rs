@@ -10,7 +10,7 @@ use crate::breaker::Head;
 use allhands_embed::{hash64, mix64};
 use allhands_llm::{ChatOptions, LanguageModel, LlmError, LlmErrorKind, ModelTier, Prompt, PromptTask};
 
-/// The transient fault kinds the injector can produce.
+/// The fault kinds the injector can produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// The request never returns; surfaces as [`LlmErrorKind::Timeout`].
@@ -23,9 +23,19 @@ pub enum FaultKind {
     Malformed,
     /// Completion came back empty.
     Empty,
+    /// Process death at a pipeline crash point. Unlike the transient kinds
+    /// this never surfaces as an error value: the run *aborts* (an
+    /// [`InjectedCrash`] panic unwinds out of the pipeline), and the
+    /// crash-chaos suite proves the journal makes the abort recoverable.
+    /// Scheduled by [`FaultPlan::crash_at`], not by the probabilistic rates.
+    Crash,
 }
 
 impl FaultKind {
+    /// The transient kinds, i.e. everything the probabilistic schedule can
+    /// fire on an LLM call. [`FaultKind::Crash`] is deliberately excluded:
+    /// crashes kill the process at seeded crash points instead of failing a
+    /// single call.
     pub const ALL: [FaultKind; 5] = [
         FaultKind::Timeout,
         FaultKind::RateLimit,
@@ -41,6 +51,7 @@ impl FaultKind {
             FaultKind::Truncated => "truncated",
             FaultKind::Malformed => "malformed",
             FaultKind::Empty => "empty",
+            FaultKind::Crash => "crash",
         }
     }
 
@@ -53,7 +64,28 @@ impl FaultKind {
             FaultKind::Truncated => LlmErrorKind::Truncated,
             FaultKind::Malformed => LlmErrorKind::Malformed,
             FaultKind::Empty => LlmErrorKind::Empty,
+            // Crash faults abort the run via panic at a crash point; the
+            // schedule never routes them through an LLM-call error.
+            FaultKind::Crash => unreachable!("crash faults never surface as call errors"),
         }
+    }
+}
+
+/// The panic payload thrown at a seeded crash point — the simulated
+/// process death ([`FaultKind::Crash`]). The crash-chaos suite catches it
+/// with `catch_unwind` (standing in for a real kill) and then resumes the
+/// run from its journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedCrash {
+    /// Which crash point fired (0-based, in pass order).
+    pub point: u64,
+    /// The crash point's name, e.g. `"stage1:committed"`.
+    pub name: String,
+}
+
+impl std::fmt::Display for InjectedCrash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected crash at point #{} ({})", self.point, self.name)
     }
 }
 
@@ -64,20 +96,31 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Per-kind fault probabilities, indexed by `FaultKind::ALL` order.
     pub rates: [f64; 5],
+    /// Crash schedule: abort the run (an [`InjectedCrash`] panic) when the
+    /// pipeline passes crash point number `crash_at`. `None` disables crash
+    /// injection. Deliberately exhaustive rather than probabilistic: the
+    /// crash-chaos suite enumerates every point.
+    pub crash_at: Option<u64>,
 }
 
 impl FaultPlan {
     /// No faults at all.
     pub fn none() -> Self {
-        FaultPlan { seed: 0, rates: [0.0; 5] }
+        FaultPlan { seed: 0, rates: [0.0; 5], crash_at: None }
     }
 
-    /// A plan firing all five kinds with equal shares of `total_rate`
-    /// (e.g. `uniform(7, 0.30)` ⇒ each call faults with probability 0.30,
-    /// split evenly across the five kinds).
+    /// A plan firing all five transient kinds with equal shares of
+    /// `total_rate` (e.g. `uniform(7, 0.30)` ⇒ each call faults with
+    /// probability 0.30, split evenly across the five kinds).
     pub fn uniform(seed: u64, total_rate: f64) -> Self {
         assert!((0.0..=1.0).contains(&total_rate), "fault rate out of range");
-        FaultPlan { seed, rates: [total_rate / 5.0; 5] }
+        FaultPlan { seed, rates: [total_rate / 5.0; 5], crash_at: None }
+    }
+
+    /// This plan, additionally aborting the run at crash point `point`.
+    pub fn with_crash_at(mut self, point: u64) -> Self {
+        self.crash_at = Some(point);
+        self
     }
 
     /// Total probability that any fault fires on a given call.
@@ -205,6 +248,9 @@ impl<M: LanguageModel> LanguageModel for FaultInjector<M> {
                 // context overflow) are not masked by the fault.
                 self.inner.complete(prompt, opts)?;
                 Ok(String::new())
+            }
+            FaultKind::Crash => {
+                unreachable!("crash faults are scheduled via crash_at, not the probabilistic plan")
             }
         }
     }

@@ -29,11 +29,12 @@ pub mod error;
 pub mod fault;
 pub mod retry;
 
-pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Head};
+pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker, Head};
 pub use error::AllHandsError;
-pub use fault::{FaultInjector, FaultKind, FaultPlan, InjectionEvent};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, InjectedCrash, InjectionEvent};
 pub use retry::RetryPolicy;
 
+use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 
 /// Knobs for the whole resilience layer. `Default` disables injection and
@@ -48,6 +49,11 @@ pub struct ResilienceConfig {
     pub fault: FaultPlan,
     pub retry: RetryPolicy,
     pub breaker: BreakerConfig,
+    /// Poison-pill marker: any document whose text contains this substring
+    /// panics mid-processing (via [`ResilienceCtx::check_poison`]),
+    /// exercising the per-item isolation in `allhands-par`. `None` (the
+    /// default) disarms the pill.
+    pub poison_marker: Option<&'static str>,
 }
 
 impl Default for ResilienceConfig {
@@ -57,25 +63,27 @@ impl Default for ResilienceConfig {
             fault: FaultPlan::none(),
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            poison_marker: None,
         }
     }
 }
 
 impl ResilienceConfig {
     /// A chaos-test configuration: uniform faults at `total_rate` across all
-    /// five kinds, jitter and fault schedule sharing one `seed`.
+    /// five transient kinds, jitter and fault schedule sharing one `seed`.
     pub fn chaos(seed: u64, total_rate: f64) -> Self {
         ResilienceConfig {
             enabled: true,
             fault: FaultPlan::uniform(seed, total_rate),
             retry: RetryPolicy { seed, ..RetryPolicy::default() },
             breaker: BreakerConfig::default(),
+            poison_marker: None,
         }
     }
 }
 
 /// One recorded degradation: which stage degraded and why.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DegradationEvent {
     /// Stage label: `"classification"`, `"topic-modeling"`, `"qa-agent"`.
     pub stage: String,
@@ -83,8 +91,20 @@ pub struct DegradationEvent {
     pub note: String,
 }
 
+/// One quarantined document: a poison pill (or any other per-item panic)
+/// that was isolated by `allhands-par` instead of taking the batch down.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineRecord {
+    /// Stage label: `"classification"`, `"topic-modeling"`.
+    pub stage: String,
+    /// The document's id.
+    pub doc_id: String,
+    /// The panic payload, as a string.
+    pub payload: String,
+}
+
 /// Aggregate counters for a run, for reporting and assertions.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResilienceStats {
     /// Operation attempts placed through [`ResilienceCtx::call`].
     pub attempts: u64,
@@ -108,6 +128,28 @@ struct CtxState {
     fault_calls: u64,
     /// Faults injected at the typed-head level (reporting).
     injected: u64,
+    /// Crash points passed so far; [`ResilienceCtx::crash_point`] panics
+    /// when this counter reaches `fault.crash_at`.
+    crash_points: u64,
+    /// Documents isolated by per-item panic quarantine, in order.
+    quarantine: Vec<QuarantineRecord>,
+}
+
+/// The complete mutable state of a [`ResilienceCtx`], serialized into the
+/// crash journal at every stage boundary. Fault injection is a pure
+/// function of the shared call counter, so a resumed run that *skips* a
+/// completed stage must restore these counters to stay on the exact fault
+/// schedule the crashed run was on — that is what makes resumed transcripts
+/// byte-identical to uninterrupted ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceSnapshot {
+    pub fault_calls: u64,
+    pub injected: u64,
+    pub crash_points: u64,
+    pub stats: ResilienceStats,
+    pub breakers: Vec<BreakerSnapshot>,
+    pub degradations: Vec<DegradationEvent>,
+    pub quarantine: Vec<QuarantineRecord>,
 }
 
 /// Shared resilience state for one pipeline run. Stages hold an
@@ -130,6 +172,8 @@ impl ResilienceCtx {
                 stats: ResilienceStats::default(),
                 fault_calls: 0,
                 injected: 0,
+                crash_points: 0,
+                quarantine: Vec::new(),
             }),
         }
     }
@@ -283,6 +327,104 @@ impl ResilienceCtx {
     pub fn stats(&self) -> ResilienceStats {
         self.lock().stats
     }
+
+    /// A named crash injection point. Every call advances a counter; when
+    /// the counter reaches `fault.crash_at` the process "crashes" by
+    /// panicking with an [`InjectedCrash`] payload. Crash points are placed
+    /// on the main thread only (stage boundaries and per-question seams),
+    /// never inside par-mapped items, so the panic propagates out of
+    /// `analyze`/`ask` like a real abort would.
+    ///
+    /// Deliberately *not* gated on `config.enabled`: crash tests want to
+    /// kill a run whose fault plan is otherwise clean.
+    pub fn crash_point(&self, name: &str) {
+        let idx = {
+            let mut st = self.lock();
+            let idx = st.crash_points;
+            st.crash_points += 1;
+            idx
+        };
+        if self.config.fault.crash_at == Some(idx) {
+            std::panic::panic_any(InjectedCrash { point: idx, name: name.to_string() });
+        }
+    }
+
+    /// Crash points passed so far. A chaos harness runs once to count them,
+    /// then re-runs with `crash_at` sweeping `0..count`.
+    pub fn crash_points_passed(&self) -> u64 {
+        self.lock().crash_points
+    }
+
+    /// Non-panicking poison probe for sequential loops: the payload string
+    /// [`check_poison`](Self::check_poison) would panic with, if `text`
+    /// contains the configured marker.
+    pub fn poison_payload(&self, text: &str) -> Option<String> {
+        let marker = self.config.poison_marker?;
+        text.contains(marker)
+            .then(|| format!("poison pill: document contains {marker:?}"))
+    }
+
+    /// Panic if `text` contains the configured poison marker. Stages call
+    /// this at the top of per-document work inside the isolated parallel
+    /// map; the resulting panic is caught there and the document is
+    /// quarantined instead of poisoning the batch.
+    pub fn check_poison(&self, text: &str) {
+        if let Some(payload) = self.poison_payload(text) {
+            std::panic::panic_any(payload);
+        }
+    }
+
+    /// Record a quarantined document.
+    pub fn record_quarantine(&self, stage: &str, doc_id: &str, payload: impl Into<String>) {
+        self.lock().quarantine.push(QuarantineRecord {
+            stage: stage.to_string(),
+            doc_id: doc_id.to_string(),
+            payload: payload.into(),
+        });
+    }
+
+    /// All quarantined documents so far, in order.
+    pub fn quarantined(&self) -> Vec<QuarantineRecord> {
+        self.lock().quarantine.clone()
+    }
+
+    /// Whether the run degraded anywhere (fallbacks engaged or documents
+    /// quarantined).
+    pub fn degraded(&self) -> bool {
+        let st = self.lock();
+        !st.degradations.is_empty() || !st.quarantine.is_empty()
+    }
+
+    /// Export the complete mutable state for journaling.
+    pub fn snapshot(&self) -> ResilienceSnapshot {
+        let st = self.lock();
+        ResilienceSnapshot {
+            fault_calls: st.fault_calls,
+            injected: st.injected,
+            crash_points: st.crash_points,
+            stats: st.stats,
+            breakers: st.breakers.iter().map(CircuitBreaker::snapshot).collect(),
+            degradations: st.degradations.clone(),
+            quarantine: st.quarantine.clone(),
+        }
+    }
+
+    /// Restore state captured by [`snapshot`](Self::snapshot). A resumed
+    /// run calls this after skipping a journaled stage so the shared fault
+    /// schedule, breakers, and reports continue exactly where the crashed
+    /// run left them.
+    pub fn restore(&self, snap: &ResilienceSnapshot) {
+        let mut st = self.lock();
+        st.fault_calls = snap.fault_calls;
+        st.injected = snap.injected;
+        st.crash_points = snap.crash_points;
+        st.stats = snap.stats;
+        for (b, s) in st.breakers.iter_mut().zip(snap.breakers.iter()) {
+            b.restore(s);
+        }
+        st.degradations = snap.degradations.clone();
+        st.quarantine = snap.quarantine.clone();
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +521,118 @@ mod tests {
         ctx.note_degradation_once("classification", "fallback engaged");
         ctx.note_degradation_once("classification", "other note");
         assert_eq!(ctx.degradations().len(), 2);
+    }
+
+    /// Satellite: the open → half-open → closed transition, observed at the
+    /// ctx level through `call` rather than on a bare breaker.
+    #[test]
+    fn ctx_half_open_probe_success_closes_breaker() {
+        let mut config = ResilienceConfig::default();
+        config.breaker.failure_threshold = 1;
+        config.breaker.cooldown_denials = 2;
+        let ctx = ResilienceCtx::new(config);
+        // One exhausted operation opens the breaker.
+        let out: Result<(), _> = ctx.call(Head::Classify, |_| Err(transient()));
+        assert!(matches!(out, Err(AllHandsError::RetriesExhausted { .. })));
+        assert_eq!(ctx.breaker_state(Head::Classify), BreakerState::Open);
+        // Cooldown: exactly `cooldown_denials` calls are denied unattempted.
+        for _ in 0..2 {
+            let out: Result<(), _> = ctx.call(Head::Classify, |_| Ok(()));
+            assert!(matches!(out, Err(AllHandsError::BreakerOpen { head: Head::Classify })));
+        }
+        assert_eq!(ctx.stats().breaker_denials, 2);
+        assert_eq!(ctx.breaker_state(Head::Classify), BreakerState::HalfOpen);
+        // The probe is admitted, runs the operation, and its success closes.
+        let out = ctx.call(Head::Classify, |attempt| Ok(attempt));
+        assert_eq!(out.unwrap(), 1);
+        assert_eq!(ctx.breaker_state(Head::Classify), BreakerState::Closed);
+        assert_eq!(ctx.breaker_trips(Head::Classify), 1);
+    }
+
+    /// Satellite: the open → half-open → re-open transition when the probe
+    /// itself fails, again through `call`.
+    #[test]
+    fn ctx_half_open_probe_failure_reopens_breaker() {
+        let mut config = ResilienceConfig::default();
+        config.breaker.failure_threshold = 1;
+        config.breaker.cooldown_denials = 1;
+        let ctx = ResilienceCtx::new(config);
+        let _: Result<(), _> = ctx.call(Head::Codegen, |_| Err(transient()));
+        assert_eq!(ctx.breaker_state(Head::Codegen), BreakerState::Open);
+        let out: Result<(), _> = ctx.call(Head::Codegen, |_| Ok(()));
+        assert!(matches!(out, Err(AllHandsError::BreakerOpen { .. })));
+        assert_eq!(ctx.breaker_state(Head::Codegen), BreakerState::HalfOpen);
+        // Probe fails → straight back to open, with a second trip recorded,
+        // and the cooldown restarts from zero.
+        let out: Result<(), _> = ctx.call(Head::Codegen, |_| Err(transient()));
+        assert!(matches!(out, Err(AllHandsError::RetriesExhausted { .. })));
+        assert_eq!(ctx.breaker_state(Head::Codegen), BreakerState::Open);
+        assert_eq!(ctx.breaker_trips(Head::Codegen), 2);
+        let out: Result<(), _> = ctx.call(Head::Codegen, |_| Ok(()));
+        assert!(matches!(out, Err(AllHandsError::BreakerOpen { .. })));
+        assert_eq!(ctx.breaker_state(Head::Codegen), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn crash_point_panics_at_scheduled_index_only() {
+        let mut config = ResilienceConfig::default();
+        config.fault = config.fault.with_crash_at(2);
+        let ctx = ResilienceCtx::new(config);
+        ctx.crash_point("a");
+        ctx.crash_point("b");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.crash_point("c");
+        }))
+        .expect_err("crash point 2 must panic");
+        let crash = err.downcast_ref::<InjectedCrash>().expect("InjectedCrash payload");
+        assert_eq!(crash.point, 2);
+        assert_eq!(crash.name, "c");
+        assert_eq!(ctx.crash_points_passed(), 3);
+        // Without a schedule, points are free.
+        let ctx = ResilienceCtx::new(ResilienceConfig::default());
+        for _ in 0..10 {
+            ctx.crash_point("x");
+        }
+        assert_eq!(ctx.crash_points_passed(), 10);
+    }
+
+    #[test]
+    fn check_poison_panics_only_on_marker() {
+        let mut config = ResilienceConfig::default();
+        config.poison_marker = Some("__POISON__");
+        let ctx = ResilienceCtx::new(config);
+        ctx.check_poison("a perfectly fine review");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.check_poison("bad __POISON__ doc");
+        }))
+        .expect_err("marker must panic");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("poison pill"), "got: {msg}");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_fault_schedule_exactly() {
+        let config = ResilienceConfig::chaos(11, 0.4);
+        // Uninterrupted reference: 60 calls.
+        let reference = {
+            let ctx = ResilienceCtx::new(config);
+            (0..60).map(|i| ctx.call(Head::Classify, |_| Ok(i)).is_ok()).collect::<Vec<_>>()
+        };
+        // Run 30 calls, snapshot, restore into a *fresh* ctx, run the rest.
+        let ctx = ResilienceCtx::new(config);
+        let mut outcomes: Vec<bool> =
+            (0..30).map(|i| ctx.call(Head::Classify, |_| Ok(i)).is_ok()).collect();
+        ctx.note_degradation("classification", "fallback engaged");
+        ctx.record_quarantine("classification", "doc-7", "poison pill");
+        let snap = ctx.snapshot();
+        let resumed = ResilienceCtx::new(config);
+        resumed.restore(&snap);
+        outcomes.extend((30..60).map(|i| resumed.call(Head::Classify, |_| Ok(i)).is_ok()));
+        assert_eq!(outcomes, reference, "restored ctx must stay on the fault schedule");
+        assert!(resumed.stats().attempts >= 60, "snapshot stats must carry forward");
+        assert_eq!(resumed.degradations().len(), 1);
+        assert_eq!(resumed.quarantined().len(), 1);
+        assert!(resumed.degraded());
     }
 
     #[test]

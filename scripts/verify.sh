@@ -7,6 +7,11 @@
 # Optional: pass --bench-smoke to also smoke-run the pipeline benchmark and
 # schema-validate BENCH_pipeline.json. The measured speedup is recorded in
 # the JSON, not asserted against a threshold (CI hosts may have 1 core).
+#
+# Optional: pass --crash-smoke to additionally run the crash-chaos suite on
+# its own (kill at every journal crash point, resume, compare transcripts
+# byte-for-byte). It also runs as part of `cargo test`; the flag exists for
+# a focused signal after touching the journal or resilience layers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +27,11 @@ cargo clippy --workspace -- -D warnings
 if [[ "${1:-}" == "--bench-smoke" ]]; then
   echo "==> bench smoke (speedup recorded, not asserted)"
   scripts/bench.sh --smoke
+fi
+
+if [[ "${1:-}" == "--crash-smoke" ]]; then
+  echo "==> crash smoke (journal resume byte-identity + poison quarantine)"
+  cargo test -q --test crash_chaos
 fi
 
 echo "verify: OK"

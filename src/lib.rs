@@ -18,7 +18,9 @@
 //! - [`resilience`] — seeded fault injection, retry/backoff, circuit
 //!   breakers, and the unified error taxonomy.
 //! - [`par`] — deterministic data-parallel execution (index-ordered merge,
-//!   `ALLHANDS_THREADS`).
+//!   `ALLHANDS_THREADS`) with per-item panic isolation.
+//! - [`journal`] — the crash-safe write-ahead journal behind
+//!   checkpoint/resume and the dead-letter quarantine record.
 
 pub use allhands_agent as agent;
 pub use allhands_classify as classify;
@@ -27,6 +29,7 @@ pub use allhands_dataframe as dataframe;
 pub use allhands_datasets as datasets;
 pub use allhands_embed as embed;
 pub use allhands_eval as eval;
+pub use allhands_journal as journal;
 pub use allhands_llm as llm;
 pub use allhands_par as par;
 pub use allhands_query as query;

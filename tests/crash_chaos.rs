@@ -1,0 +1,266 @@
+//! Crash-chaos: the write-ahead journal must make the pipeline resumable
+//! with byte-identical output. The suite kills a journaled run at EVERY
+//! crash point (stage starts, stage commits, per-question seams), resumes
+//! from the journal, and compares the full transcript — structured frame,
+//! rendered answers, degradation notes, injected-fault count — against an
+//! uninterrupted run. Clean and 30%-fault configurations, serial and
+//! 8-thread execution.
+//!
+//! Also here: the poison-pill end-to-end (a panicking document is
+//! quarantined, the batch completes, other documents are unaffected) and
+//! the journal's input-fingerprint mismatch check.
+
+use allhands::classify::LabeledExample;
+use allhands::core::{AllHands, AllHandsConfig, InjectedCrash, ResilienceConfig};
+use allhands::dataframe::Value;
+use allhands::datasets::{generate_n, DatasetKind};
+use allhands::llm::ModelTier;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The thread override and the panic hook are process-global; serialize
+/// the tests in this binary.
+static GLOBAL_GUARD: Mutex<()> = Mutex::new(());
+
+const QUESTIONS: [&str; 2] = [
+    "How many feedback entries are there?",
+    "Which topic appears most frequently?",
+];
+
+fn corpus() -> (Vec<String>, Vec<LabeledExample>, Vec<String>) {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 40, 23);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let labeled: Vec<LabeledExample> = records
+        .iter()
+        .take(20)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let predefined = vec!["bug".to_string(), "crash".to_string()];
+    (texts, labeled, predefined)
+}
+
+/// Fresh scratch directory under the cargo-managed tmpdir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("crash-chaos-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("stale scratch dir");
+    }
+    dir
+}
+
+fn with_crash(mut config: AllHandsConfig, point: u64) -> AllHandsConfig {
+    config.resilience.fault = config.resilience.fault.with_crash_at(point);
+    config
+}
+
+/// Full transcript of a pipeline + QA session, for bit-exact comparison
+/// (same shape as `tests/parallel_determinism.rs`).
+fn render_transcript(ah: &mut AllHands, frame: &allhands::dataframe::DataFrame) -> String {
+    let mut out = String::new();
+    out.push_str(&frame.to_table_string(200));
+    for q in QUESTIONS {
+        let r = ah.ask(q);
+        assert!(r.error.is_none(), "question {q:?} errored: {:?}", r.error);
+        out.push_str("\n=== ");
+        out.push_str(q);
+        out.push('\n');
+        out.push_str(&r.render());
+        for note in &r.degradation {
+            out.push_str(&format!("[degraded] {note}\n"));
+        }
+    }
+    for d in ah.resilience().degradations() {
+        out.push_str(&format!("[{}] {}\n", d.stage, d.note));
+    }
+    out.push_str(&format!("injected-faults: {}\n", ah.resilience().injected()));
+    out
+}
+
+/// Unjournaled reference run.
+fn transcript_plain(config: AllHandsConfig) -> String {
+    let (texts, labeled, predefined) = corpus();
+    let (mut ah, frame) =
+        AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, config)
+            .expect("pipeline must degrade, not fail");
+    render_transcript(&mut ah, &frame)
+}
+
+/// Journaled run (fresh or resuming). Returns the transcript plus the
+/// number of crash points passed — the enumeration bound for the chaos
+/// loop.
+fn transcript_journaled(config: AllHandsConfig, dir: &Path) -> (String, u64) {
+    let (texts, labeled, predefined) = corpus();
+    let (mut ah, frame) = AllHands::analyze_journaled(
+        ModelTier::Gpt4,
+        &texts,
+        &labeled,
+        &predefined,
+        config,
+        dir,
+    )
+    .expect("journaled pipeline must degrade, not fail");
+    let out = render_transcript(&mut ah, &frame);
+    (out, ah.resilience().crash_points_passed())
+}
+
+/// Run a journaled pipeline configured to crash, swallow the injected
+/// crash (silencing the default hook's backtrace spam), and return it.
+fn run_crashing(config: AllHandsConfig, dir: &Path) -> InjectedCrash {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = catch_unwind(AssertUnwindSafe(|| transcript_journaled(config, dir)));
+    std::panic::set_hook(prev);
+    match result {
+        Ok(_) => panic!("run configured to crash completed instead"),
+        Err(payload) => match payload.downcast::<InjectedCrash>() {
+            Ok(crash) => *crash,
+            Err(other) => panic!(
+                "expected an injected crash, got another panic: {:?}",
+                other.downcast_ref::<String>()
+            ),
+        },
+    }
+}
+
+#[test]
+fn crash_at_every_point_resumes_byte_identical() {
+    let _g = GLOBAL_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    let clean = AllHandsConfig::default;
+    let chaos = || AllHandsConfig {
+        resilience: ResilienceConfig::chaos(7, 0.3),
+        ..AllHandsConfig::default()
+    };
+    for (tag, config) in [("clean", clean as fn() -> AllHandsConfig), ("chaos", chaos)] {
+        for threads in [1usize, 8] {
+            let reference = allhands::par::with_threads(threads, || transcript_plain(config()));
+            if tag == "chaos" {
+                assert!(
+                    !reference.contains("injected-faults: 0"),
+                    "chaos config injected nothing"
+                );
+            }
+
+            // Journaling an uninterrupted run must be observationally
+            // invisible — and tells us how many crash points there are.
+            let dir = scratch_dir(&format!("ref-{tag}-t{threads}"));
+            let (journaled, points) =
+                allhands::par::with_threads(threads, || transcript_journaled(config(), &dir));
+            assert_eq!(reference, journaled, "journaling changed output ({tag}, t={threads})");
+            std::fs::remove_dir_all(&dir).ok();
+            assert!(points >= 4 + 2 * QUESTIONS.len() as u64, "missing crash points");
+
+            for point in 0..points {
+                let dir = scratch_dir(&format!("p{point}-{tag}-t{threads}"));
+                let crash = allhands::par::with_threads(threads, || {
+                    run_crashing(with_crash(config(), point), &dir)
+                });
+                assert_eq!(crash.point, point, "crashed at the wrong point");
+                let (resumed, _) =
+                    allhands::par::with_threads(threads, || transcript_journaled(config(), &dir));
+                assert_eq!(
+                    reference, resumed,
+                    "resume diverged after crash at point {point} ({}), {tag}, t={threads}",
+                    crash.name
+                );
+                std::fs::remove_dir_all(&dir).ok();
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_with_different_inputs_is_an_error() {
+    let _g = GLOBAL_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    let (texts, labeled, predefined) = corpus();
+    let dir = scratch_dir("mismatch");
+    let (_ah, _frame) = AllHands::analyze_journaled(
+        ModelTier::Gpt4,
+        &texts,
+        &labeled,
+        &predefined,
+        AllHandsConfig::default(),
+        &dir,
+    )
+    .unwrap();
+    let mut altered = texts.clone();
+    altered[0].push_str(" (edited)");
+    let msg = match AllHands::analyze_journaled(
+        ModelTier::Gpt4,
+        &altered,
+        &labeled,
+        &predefined,
+        AllHandsConfig::default(),
+        &dir,
+    ) {
+        Ok(_) => panic!("resuming against different inputs must not silently reuse the journal"),
+        Err(e) => e.to_string(),
+    };
+    assert!(msg.contains("journal"), "unexpected error: {msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+const POISON: &str = "\u{2620}POISON\u{2620}";
+
+#[test]
+fn poison_pill_is_quarantined_not_fatal() {
+    let _g = GLOBAL_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    let (mut texts, labeled, predefined) = corpus();
+    texts.push(format!("{POISON} the app crashes on launch"));
+    let pill_row = texts.len() - 1;
+
+    let run = |poison: bool, threads: usize| {
+        let mut config = AllHandsConfig::default();
+        if poison {
+            config.resilience.poison_marker = Some(POISON);
+        }
+        allhands::par::with_threads(threads, || {
+            AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, config)
+                .expect("poisoned batch must still complete")
+        })
+    };
+
+    let (ah_clean, frame_clean) = run(false, 1);
+    assert!(!ah_clean.resilience().degraded());
+    assert_eq!(ah_clean.quarantine_report(), "clean run: no documents quarantined, no degradations");
+
+    let (ah, frame) = run(true, 1);
+    // The batch completed with every row present.
+    assert_eq!(frame.n_rows(), texts.len());
+    // Both per-document stages quarantined the pill.
+    let quarantined = ah.resilience().quarantined();
+    for stage in ["classification", "topic-modeling"] {
+        assert!(
+            quarantined.iter().any(|q| q.stage == stage && q.doc_id == pill_row.to_string()),
+            "stage {stage} did not quarantine doc {pill_row}: {quarantined:?}"
+        );
+    }
+    assert!(quarantined.iter().all(|q| q.payload.contains("poison pill")));
+    assert!(ah.resilience().degraded());
+    let report = ah.quarantine_report();
+    assert!(report.contains("quarantined") && report.contains(&pill_row.to_string()), "{report}");
+
+    // Every other document's label is untouched by the pill.
+    let labels = |f: &allhands::dataframe::DataFrame| -> Vec<Value> {
+        f.column("label").unwrap().iter().collect()
+    };
+    let (clean_labels, poison_labels) = (labels(&frame_clean), labels(&frame));
+    for i in 0..pill_row {
+        assert_eq!(
+            format!("{:?}", clean_labels[i]),
+            format!("{:?}", poison_labels[i]),
+            "label for doc {i} changed under quarantine"
+        );
+    }
+    // The pill itself fell back to "others" in the topic stage.
+    match frame.column("topics").unwrap().get(pill_row) {
+        Value::StrList(topics) => assert_eq!(topics, vec!["others".to_string()]),
+        other => panic!("topics cell has wrong type: {other:?}"),
+    }
+
+    // Quarantine is deterministic across thread counts.
+    let (ah8, frame8) = run(true, 8);
+    assert_eq!(frame.to_table_string(200), frame8.to_table_string(200));
+    assert_eq!(ah.resilience().quarantined(), ah8.resilience().quarantined());
+}
