@@ -95,14 +95,26 @@ fn run_fingerprint(
     predefined_topics: &[String],
 ) -> String {
     let tier_label = format!("{tier:?}");
-    let mut parts: Vec<&[u8]> = vec![tier_label.as_bytes()];
+    // Each collection is framed by a section tag and its element count;
+    // without the framing, the flat length-prefixed parts would let inputs
+    // shifted across collection boundaries (e.g. the last text moved into
+    // the first labeled example) collide on the same fingerprint.
+    let texts_count = (texts.len() as u64).to_le_bytes();
+    let labeled_count = (labeled_sample.len() as u64).to_le_bytes();
+    let topics_count = (predefined_topics.len() as u64).to_le_bytes();
+    let mut parts: Vec<&[u8]> =
+        vec![b"tier", tier_label.as_bytes(), b"texts", &texts_count];
     for t in texts {
         parts.push(t.as_bytes());
     }
+    parts.push(b"labeled");
+    parts.push(&labeled_count);
     for ex in labeled_sample {
         parts.push(ex.text.as_bytes());
         parts.push(ex.label.as_bytes());
     }
+    parts.push(b"topics");
+    parts.push(&topics_count);
     for t in predefined_topics {
         parts.push(t.as_bytes());
     }
@@ -452,6 +464,28 @@ pub fn estimate_sentiment(text: &str) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_fingerprint_distinguishes_collection_boundaries() {
+        let tier = ModelTier::Gpt35;
+        let ex = |t: &str, l: &str| LabeledExample { text: t.into(), label: l.into() };
+        // Identical flat byte sequence (t1, t2, e1, l1), three different
+        // collection splits — every pair must fingerprint differently.
+        let a = run_fingerprint(tier, &["t1".into(), "t2".into()], &[ex("e1", "l1")], &[]);
+        let b = run_fingerprint(tier, &["t1".into()], &[ex("t2", "e1")], &["l1".into()]);
+        let c = run_fingerprint(
+            tier,
+            &["t1".into(), "t2".into()],
+            &[],
+            &["e1".into(), "l1".into()],
+        );
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        // And it stays deterministic for identical inputs.
+        let a2 = run_fingerprint(tier, &["t1".into(), "t2".into()], &[ex("e1", "l1")], &[]);
+        assert_eq!(a, a2);
+    }
 
     #[test]
     fn sentiment_signs() {

@@ -12,10 +12,13 @@
 //!   entry's content hash and its own, computed structurally over the
 //!   payload. A reader verifies the chain front to back.
 //! - **Torn-tail recovery**: a crash mid-append leaves a truncated or
-//!   corrupt final line. [`Journal::open`] detects it (parse failure or
-//!   hash mismatch), drops the invalid suffix, and physically truncates the
-//!   file back to the last valid entry — the interrupted unit of work is
-//!   simply replayed. Corruption *before* the tail breaks the chain for
+//!   corrupt final line. [`Journal::open`] detects it (missing terminating
+//!   newline, invalid UTF-8, parse failure, or hash mismatch), drops the
+//!   invalid suffix, and physically truncates the file back to the last
+//!   valid entry — the interrupted unit of work is simply replayed. A
+//!   final line is torn even when its content parses: the fsync that
+//!   acknowledges an entry covers its newline, so an unterminated line was
+//!   never acknowledged, and keeping it would corrupt the *next* append. Corruption *before* the tail breaks the chain for
 //!   everything after it and is handled the same way: the longest valid
 //!   prefix survives.
 //! - Appends are flushed and fsynced before returning, so an entry that
@@ -171,9 +174,12 @@ impl Journal {
             .append(true)
             .open(&path)
             .map_err(|e| JournalError::Io(format!("open {}: {e}", path.display())))?;
-        let mut text = String::new();
+        // Raw bytes, not a String: a torn append can cut a multi-byte UTF-8
+        // character mid-sequence, and that must recover like any other torn
+        // tail rather than fail the whole open.
+        let mut bytes = Vec::new();
         file.rewind()
-            .and_then(|()| file.read_to_string(&mut text))
+            .and_then(|()| file.read_to_end(&mut bytes))
             .map_err(|e| JournalError::Io(format!("read {}: {e}", path.display())))?;
 
         let mut entries: Vec<Entry> = Vec::new();
@@ -181,25 +187,40 @@ impl Journal {
         let mut valid_bytes = 0usize;
         let mut dropped = 0usize;
         let mut offset = 0usize;
-        for line in text.split_inclusive('\n') {
-            let line_start = offset;
-            offset += line.len();
-            let trimmed = line.trim_end_matches('\n');
-            if trimmed.is_empty() {
+        while offset < bytes.len() {
+            let rest = &bytes[offset..];
+            let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+                // Final line without its terminating '\n': torn mid-append.
+                // The fsync that acknowledges an entry covers the newline
+                // too, so this entry was never acknowledged — drop it even
+                // if it happens to parse. Accepting it would let the next
+                // append concatenate onto the same line, and a later open
+                // would then discard BOTH entries, including an
+                // acknowledged one.
+                dropped = 1;
+                break;
+            };
+            let line_bytes = &rest[..nl];
+            if line_bytes.is_empty() {
+                offset += nl + 1;
                 continue;
             }
-            // A line is valid iff it parses, its seq continues the chain,
-            // and its recorded hash matches the recomputed chain hash. The
-            // first invalid line invalidates everything after it.
-            let Some(entry) = Self::verify_line(trimmed, entries.len() as u64, last_hash) else {
+            // A line is valid iff it is UTF-8, parses, its seq continues
+            // the chain, and its recorded hash matches the recomputed chain
+            // hash. The first invalid line invalidates everything after it.
+            let Some(entry) = std::str::from_utf8(line_bytes)
+                .ok()
+                .and_then(|line| Self::verify_line(line, entries.len() as u64, last_hash))
+            else {
                 dropped = 1; // at least the bad line; the rest of the file goes with it
                 break;
             };
             last_hash = u64::from_str_radix(&entry.hash, 16).unwrap_or(0);
             entries.push(entry);
-            valid_bytes = line_start + line.len();
+            offset += nl + 1;
+            valid_bytes = offset;
         }
-        if dropped > 0 || valid_bytes < text.len() {
+        if dropped > 0 || valid_bytes < bytes.len() {
             // Physically truncate back to the last valid entry so future
             // appends re-extend a clean chain.
             file.set_len(valid_bytes as u64)
@@ -428,6 +449,68 @@ mod tests {
         let j2 = Journal::open(&dir).unwrap();
         assert!(!j2.recovered_torn_tail());
         assert_eq!(j2.lookup::<u64>("stage", "three").unwrap(), Some(3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unterminated_final_line_is_torn_even_if_it_parses() {
+        let dir = scratch("noeol");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.append("stage", "one", &1u64).unwrap();
+            j.append("stage", "two", &2u64).unwrap();
+        }
+        // Simulate a crash that tore off only the trailing newline: the
+        // final line is complete, valid JSON with a matching hash — but
+        // unterminated. It must be treated as torn, otherwise the next
+        // append concatenates onto it and a later open drops both lines.
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stripped = text.strip_suffix('\n').unwrap();
+        std::fs::write(&path, stripped).unwrap();
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            assert!(j.recovered_torn_tail());
+            assert_eq!(j.len(), 1);
+            // Replay the dropped unit of work, then add a genuinely new
+            // entry — the acknowledged append must survive the next open.
+            j.append("stage", "two", &2u64).unwrap();
+            j.append("stage", "three", &3u64).unwrap();
+        }
+        let j = Journal::open(&dir).unwrap();
+        assert!(!j.recovered_torn_tail());
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.lookup::<u64>("stage", "two").unwrap(), Some(2));
+        assert_eq!(j.lookup::<u64>("stage", "three").unwrap(), Some(3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_utf8_tail_is_recovered_not_fatal() {
+        let dir = scratch("utf8");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.append("stage", "one", &"naïve café".to_string()).unwrap();
+            j.append("stage", "two", &2u64).unwrap();
+        }
+        // Simulate a crash that cut a multi-byte UTF-8 character in half:
+        // the tail is not valid UTF-8, but open() must still recover the
+        // valid prefix rather than fail with an I/O error. The bad line is
+        // newline-terminated here so the UTF-8 check (not the torn-newline
+        // check) is what rejects it.
+        let path = dir.join(JOURNAL_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"seq\":2,\"stage\":\"stage\",\"key\":\"caf\xC3\n").unwrap();
+        drop(f);
+        let mut j = Journal::open(&dir).unwrap();
+        assert!(j.recovered_torn_tail());
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.lookup::<String>("stage", "one").unwrap(), Some("naïve café".into()));
+        // The file is physically clean again: appends extend a valid chain.
+        j.append("stage", "three", &3u64).unwrap();
+        let j2 = Journal::open(&dir).unwrap();
+        assert!(!j2.recovered_torn_tail());
+        assert_eq!(j2.len(), 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

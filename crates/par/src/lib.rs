@@ -139,6 +139,50 @@ pub fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// The panic hook we displaced while silencing, plus how many silencing
+/// scopes are active. Panic hooks are process-global, so take/set must be
+/// serialized: two concurrent unguarded swaps can interleave so that the
+/// silencer itself gets captured as the "previous" hook and stays installed
+/// forever. Only the outermost scope takes the hook; only the last one out
+/// restores it.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+struct SilenceState {
+    depth: usize,
+    prev: Option<PanicHook>,
+}
+
+static SILENCE: Mutex<SilenceState> = Mutex::new(SilenceState { depth: 0, prev: None });
+
+/// Run `f` with the default panic hook silenced, restoring it when the
+/// outermost concurrent scope exits (via `Drop`, so unwinding restores
+/// too). While any scope is active, panics on *unrelated* threads are also
+/// silenced — an unavoidable cost of the hook being process-global.
+fn with_silenced_panic_hook<R>(f: impl FnOnce() -> R) -> R {
+    struct Release;
+    impl Drop for Release {
+        fn drop(&mut self) {
+            let mut s = SILENCE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            s.depth -= 1;
+            if s.depth == 0 {
+                if let Some(prev) = s.prev.take() {
+                    std::panic::set_hook(prev);
+                }
+            }
+        }
+    }
+    {
+        let mut s = SILENCE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        s.depth += 1;
+        if s.depth == 1 {
+            s.prev = Some(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+    }
+    let _release = Release;
+    f()
+}
+
 /// [`par_map_indexed`], but each item runs under `catch_unwind`: a panic in
 /// `f` for one item yields `Err(payload_string)` at that item's index
 /// instead of poisoning the whole batch (the "dead-letter" contract —
@@ -147,7 +191,8 @@ pub fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
 ///
 /// The default panic hook would still print "thread panicked" chatter for
 /// every isolated item, so a silencing hook is installed for the duration
-/// of the map. The previous hook is always restored, even if the map
+/// of the map (refcounted and mutex-guarded, so concurrent and nested
+/// calls compose). The previous hook is always restored, even if the map
 /// itself panics outside the per-item guard.
 pub fn par_map_isolated<T, R, F>(items: &[T], f: F) -> Vec<Result<R, String>>
 where
@@ -156,26 +201,12 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     use std::panic::{catch_unwind, AssertUnwindSafe};
-    let run = || {
+    with_silenced_panic_hook(|| {
         par_map_indexed(items, |i, item| {
             catch_unwind(AssertUnwindSafe(|| f(i, item)))
                 .map_err(|payload| panic_payload_string(payload.as_ref()))
         })
-    };
-    // Silence the default "thread panicked" stderr chatter for isolated
-    // items. Hooks are process-global, so this is itself wrapped in
-    // catch_unwind to guarantee restoration, and nested calls simply
-    // re-silence (idempotent).
-    let prev = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
-    let out = catch_unwind(AssertUnwindSafe(run));
-    std::panic::set_hook(prev);
-    match out {
-        Ok(v) => v,
-        // A panic that escaped the per-item guard (e.g. in the merge
-        // itself) is a real bug; re-raise it with hooks restored.
-        Err(payload) => std::panic::resume_unwind(payload),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -287,6 +318,41 @@ mod tests {
         let plain = with_threads(4, || par_map_indexed(&items, |i, x| x + i as u64));
         let isolated = with_threads(4, || par_map_isolated(&items, |i, x| x + i as u64));
         assert_eq!(isolated.into_iter().collect::<Result<Vec<_>, _>>().unwrap(), plain);
+    }
+
+    #[test]
+    fn concurrent_isolated_calls_restore_the_panic_hook() {
+        let _g = guard();
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        // Install a counting hook, hammer par_map_isolated from several
+        // threads at once (each panicking internally), and verify that
+        // afterwards a panic still reaches the counting hook — i.e. the
+        // interleaved silence/restore never stranded the silencer.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {
+            HITS.fetch_add(1, Ordering::SeqCst);
+        }));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        let items: Vec<u32> = (0..40).collect();
+                        let out = par_map_isolated(&items, |_, x| {
+                            if x % 10 == 3 {
+                                panic!("boom {x}");
+                            }
+                            *x
+                        });
+                        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 4);
+                    }
+                });
+            }
+        });
+        let before = HITS.load(Ordering::SeqCst);
+        let _ = std::panic::catch_unwind(|| panic!("hook probe"));
+        assert_eq!(HITS.load(Ordering::SeqCst), before + 1, "counting hook was not restored");
+        std::panic::set_hook(prev);
     }
 
     #[test]
