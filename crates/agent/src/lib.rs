@@ -87,8 +87,11 @@ impl QaAgent {
     }
 
     /// Share a pipeline-wide resilience context (replacing the agent's own),
-    /// so breaker state and degradation notes are common across stages.
+    /// so breaker state and degradation notes are common across stages. The
+    /// context's recorder is propagated to the agent's LLM so head-level
+    /// call counts land in the same report.
     pub fn set_resilience(&mut self, ctx: Arc<ResilienceCtx>) {
+        self.llm.set_recorder(ctx.recorder().clone());
         self.resilience = ctx;
     }
 
@@ -116,9 +119,15 @@ impl QaAgent {
 
     /// Answer one question.
     pub fn ask(&mut self, question: &str) -> Response {
+        let rec = self.resilience.recorder().clone();
+        rec.incr("qa.questions");
+
         // --- 1. plan -------------------------------------------------------
         let planner = Planner::new(self.config.plan_merge);
-        let plan = planner.plan(question);
+        let plan = {
+            let _plan = rec.span("plan");
+            planner.plan(question)
+        };
 
         // --- 2+3. generate / execute / reflect ------------------------------
         let head = self.llm.codegen_head();
@@ -130,6 +139,7 @@ impl QaAgent {
         let mut cell = None;
         let mut unavailable: Option<AllHandsError> = None;
         while attempts <= self.config.max_retries {
+            let k = attempts;
             let request = CodegenRequest {
                 question: question.to_string(),
                 schema: self.schema.clone(),
@@ -140,10 +150,13 @@ impl QaAgent {
             // policy: injected transient faults are retried there; genuine
             // generation failures (permanent) fall through to the agent's
             // own reflection loop below.
-            let generated = ctx.call(Head::Codegen, |_| {
-                head.generate(&request, &self.config.chat)
-                    .map_err(|m| AllHandsError::Llm(LlmError::new(LlmErrorKind::Generation, m)))
-            });
+            let generated = {
+                let _codegen = rec.span(&format!("codegen[{k}]"));
+                ctx.call(Head::Codegen, |_| {
+                    head.generate(&request, &self.config.chat)
+                        .map_err(|m| AllHandsError::Llm(LlmError::new(LlmErrorKind::Generation, m)))
+                })
+            };
             code = match generated {
                 Ok(c) => c,
                 Err(
@@ -164,11 +177,16 @@ impl QaAgent {
                     };
                     last_error = msg.clone();
                     error_feedback = Some(msg);
+                    let _reflect = rec.span(&format!("reflect[{k}]"));
+                    rec.incr("qa.reflections");
                     attempts += 1;
                     continue;
                 }
             };
-            let result = self.session.execute(&code);
+            let result = {
+                let _execute = rec.span(&format!("execute[{k}]"));
+                self.session.execute(&code)
+            };
             attempts += 1;
             match &result.error {
                 None => {
@@ -178,15 +196,20 @@ impl QaAgent {
                 Some(err) => {
                     last_error = err.clone();
                     error_feedback = Some(err.clone());
+                    let _reflect = rec.span(&format!("reflect[{k}]"));
+                    rec.incr("qa.reflections");
                 }
             }
         }
+        rec.add("qa.attempts", attempts as u64);
 
         if let Some(err) = unavailable {
+            rec.incr("qa.degraded_answers");
             return self.degraded_response(question, &plan, err, attempts);
         }
 
         let Some(cell) = cell else {
+            rec.incr("qa.failed_answers");
             // The CG notifies the planner of its failure (paper Sec. 3.4.2).
             let summary = format!(
                 "I was unable to produce working analysis code for this question after {attempts} attempts. Last error: {last_error}"
@@ -306,6 +329,7 @@ impl QaAgent {
     /// byte-identically to the original, since rendering depends only on
     /// `items`.
     pub fn restore_answer(&mut self, record: AnswerRecord) -> Response {
+        self.resilience.recorder().incr("qa.replayed_answers");
         let shown = if record.code.is_empty() {
             Vec::new()
         } else {

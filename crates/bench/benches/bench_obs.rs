@@ -1,0 +1,75 @@
+//! Observability overhead microbenchmarks.
+//!
+//! Two claims back the recorder design and both are measured here:
+//!
+//! 1. A disabled [`Recorder`] is a single-branch no-op — an end-to-end
+//!    pipeline run with `RecorderMode::Disabled` (the default) must sit
+//!    within benchmark noise of a build that predates the recorder.
+//!    `pipeline/recorder_disabled` vs `pipeline/recorder_enabled` shows
+//!    the full cost of turning instrumentation on.
+//! 2. Even enabled, a counter bump is a mutex-guarded integer add —
+//!    `recorder_ops` pins the per-call costs so hot-path placement
+//!    decisions (e.g. batched classification spans) stay honest.
+
+use allhands_classify::LabeledExample;
+use allhands_core::{AllHands, RecorderMode};
+use allhands_datasets::{generate_n, DatasetKind};
+use allhands_llm::ModelTier;
+use allhands_obs::Recorder;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn pipeline_inputs() -> (Vec<String>, Vec<LabeledExample>, Vec<String>) {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 60, 11);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let labeled: Vec<LabeledExample> = records
+        .iter()
+        .take(30)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let predefined =
+        vec!["bug".to_string(), "crash".to_string(), "feature request".to_string()];
+    (texts, labeled, predefined)
+}
+
+fn bench_pipeline_overhead(c: &mut Criterion) {
+    let (texts, labeled, predefined) = pipeline_inputs();
+    let mut group = c.benchmark_group("pipeline_60_docs");
+    group.sample_size(10);
+    for (name, mode) in
+        [("recorder_disabled", RecorderMode::Disabled), ("recorder_enabled", RecorderMode::Enabled)]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (mut ah, frame) = AllHands::builder(ModelTier::Gpt4)
+                    .recorder(mode.clone())
+                    .analyze(&texts, &labeled, &predefined)
+                    .expect("pipeline must not fail");
+                let r = ah.ask("Which topic appears most frequently?");
+                black_box((frame.n_rows(), r.render().len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_recorder_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recorder_ops");
+    let disabled = Recorder::disabled();
+    let enabled = Recorder::new();
+    group.bench_function("incr_disabled", |b| {
+        b.iter(|| disabled.incr(black_box("bench.counter")))
+    });
+    group.bench_function("incr_enabled", |b| {
+        b.iter(|| enabled.incr(black_box("bench.counter")))
+    });
+    group.bench_function("observe_enabled", |b| {
+        b.iter(|| enabled.observe(black_box("bench.histogram"), black_box(17)))
+    });
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| drop(enabled.span(black_box("bench.span"))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_overhead, bench_recorder_ops);
+criterion_main!(benches);

@@ -15,7 +15,7 @@
 //! host the honest number is ~1.0 and the JSON says so.
 
 use allhands_classify::LabeledExample;
-use allhands_core::{AllHands, AllHandsConfig, IclClassifier, IclConfig};
+use allhands_core::{AllHands, IclClassifier, IclConfig, RecorderMode};
 use allhands_datasets::{generate_n, DatasetKind};
 use allhands_embed::Embedding;
 use allhands_llm::{ModelTier, SimLlm};
@@ -81,6 +81,23 @@ fn main() {
         std::process::exit(1);
     });
     println!("[saved {out_path}]");
+
+    // One instrumented run's observability report, next to the bench JSON.
+    let obs_path = obs_out_path(&out_path);
+    let report = obs_report(smoke);
+    let rendered = serde_json::to_string_pretty(&report).expect("render obs json");
+    std::fs::write(&obs_path, rendered).unwrap_or_else(|e| {
+        eprintln!("write {obs_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("[saved {obs_path}]");
+}
+
+/// `BENCH_pipeline.json` → `BENCH_pipeline_obs.json` in the same directory.
+fn obs_out_path(out_path: &str) -> String {
+    let p = std::path::Path::new(out_path);
+    let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("BENCH_pipeline");
+    p.with_file_name(format!("{stem}_obs.json")).to_string_lossy().into_owned()
 }
 
 fn default_out_path() -> String {
@@ -219,15 +236,12 @@ fn bench_pipeline(smoke: bool) -> Value {
     let predefined =
         vec!["bug".to_string(), "crash".to_string(), "feature request".to_string()];
 
+    // Timed runs keep the recorder disabled: the no-op path is the one the
+    // benchmark numbers describe.
     let run = || -> String {
-        let (mut ah, frame) = AllHands::analyze(
-            ModelTier::Gpt4,
-            &texts,
-            &labeled,
-            &predefined,
-            AllHandsConfig::default(),
-        )
-        .expect("pipeline must not fail");
+        let (mut ah, frame) = AllHands::builder(ModelTier::Gpt4)
+            .analyze(&texts, &labeled, &predefined)
+            .expect("pipeline must not fail");
         let mut transcript = frame.to_table_string(50);
         transcript.push_str(&ah.ask("Which topic appears most frequently?").render());
         transcript
@@ -237,6 +251,28 @@ fn bench_pipeline(smoke: bool) -> Value {
     assert_eq!(serial_out, parallel_out, "pipeline transcript diverged across thread counts");
     println!("  pipeline: {n} docs  serial {serial_ms:.1}ms  parallel {parallel_ms:.1}ms");
     stage_entry(serial_ms, parallel_ms, n, Vec::new())
+}
+
+/// One instrumented end-to-end run; returns the observability report JSON.
+fn obs_report(smoke: bool) -> Value {
+    let n = if smoke { 60 } else { 200 };
+    let records = generate_n(DatasetKind::GoogleStoreApp, n, 11);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let labeled: Vec<LabeledExample> = records
+        .iter()
+        .take(n / 2)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let predefined =
+        vec!["bug".to_string(), "crash".to_string(), "feature request".to_string()];
+    let (mut ah, _frame) = AllHands::builder(ModelTier::Gpt4)
+        .recorder(RecorderMode::Enabled)
+        .analyze(&texts, &labeled, &predefined)
+        .expect("pipeline must not fail");
+    let _ = ah.ask("Which topic appears most frequently?");
+    let report = ah.run_report();
+    allhands_obs::validate_report_json(&report.to_json()).expect("report schema");
+    report.to_json()
 }
 
 // ---- schema validation ------------------------------------------------------

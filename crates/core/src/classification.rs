@@ -41,6 +41,11 @@ impl Default for IclConfig {
     }
 }
 
+/// Documents per `classify > batch[i]` span when a recorder is enabled.
+/// Fixed (never derived from the thread count) so the span tree shape is
+/// identical at any `ALLHANDS_THREADS`.
+const CLASSIFY_SPAN_BATCH: usize = 64;
+
 enum Index {
     Flat(FlatIndex),
     Ivf(IvfIndex),
@@ -122,10 +127,25 @@ impl<'a> IclClassifier<'a> {
 
     /// Attach a resilience context: classification calls run under the
     /// classify head's retry policy and circuit breaker, falling back to the
-    /// lexical prior when the head is unavailable.
+    /// lexical prior when the head is unavailable. The context's recorder is
+    /// propagated to the demonstration index so retrieval scans are counted.
     pub fn with_resilience(mut self, ctx: Arc<ResilienceCtx>) -> Self {
+        let rec = ctx.recorder().clone();
+        match &mut self.index {
+            Index::Flat(i) => i.set_recorder(rec),
+            Index::Ivf(i) => i.set_recorder(rec),
+        }
         self.resilience = Some(ctx);
         self
+    }
+
+    /// The recorder threaded through the resilience context (disabled when
+    /// no context is attached).
+    fn recorder(&self) -> allhands_obs::Recorder {
+        self.resilience
+            .as_ref()
+            .map(|ctx| ctx.recorder().clone())
+            .unwrap_or_default()
     }
 
     /// Retrieve the top-K demonstration examples for a query text.
@@ -215,8 +235,24 @@ impl<'a> IclClassifier<'a> {
     /// its panic payload and labeled by the lexical fallback, while every
     /// other document is classified exactly as it would have been.
     pub fn classify_batch(&self, texts: &[String]) -> Vec<String> {
+        let rec = self.recorder();
+        let _stage = rec.span("classify");
+        rec.add("classify.docs", texts.len() as u64);
+        // Span batches are a fixed size — independent of thread count — so
+        // the `classify > batch[i]` tree shape is deterministic. With the
+        // recorder disabled everything runs as one batch: zero extra
+        // dispatches on the hot path, and per-item outputs are identical
+        // either way (each item's work is independent).
+        let span_batch = if rec.is_enabled() { CLASSIFY_SPAN_BATCH } else { texts.len().max(1) };
         let Some(ctx) = &self.resilience else {
-            return allhands_par::par_map_indexed(texts, |_, t| self.classify_direct(t));
+            let mut out: Vec<String> = Vec::with_capacity(texts.len());
+            for (b, chunk) in texts.chunks(span_batch).enumerate() {
+                let _batch = rec.span(&format!("batch[{b}]"));
+                out.extend(allhands_par::par_map_indexed_recorded(&rec, "classify", chunk, |_, t| {
+                    self.classify_direct(t)
+                }));
+            }
+            return out;
         };
         let llm_ok: Vec<bool> = texts
             .iter()
@@ -234,14 +270,19 @@ impl<'a> IclClassifier<'a> {
                 }
             })
             .collect();
-        let isolated = allhands_par::par_map_isolated(texts, |i, t| {
-            ctx.check_poison(t);
-            if llm_ok[i] {
-                self.classify_direct(t)
-            } else {
-                self.fallback.classify(t)
-            }
-        });
+        let mut isolated: Vec<Result<String, String>> = Vec::with_capacity(texts.len());
+        for (b, chunk) in texts.chunks(span_batch).enumerate() {
+            let _batch = rec.span(&format!("batch[{b}]"));
+            let offset = b * span_batch;
+            isolated.extend(allhands_par::par_map_isolated_recorded(&rec, "classify", chunk, |i, t| {
+                ctx.check_poison(t);
+                if llm_ok[offset + i] {
+                    self.classify_direct(t)
+                } else {
+                    self.fallback.classify(t)
+                }
+            }));
+        }
         isolated
             .into_iter()
             .enumerate()

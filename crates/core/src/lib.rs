@@ -44,6 +44,7 @@ pub use topic_modeling::{AbstractiveTopicModeler, TopicModelingConfig, TopicMode
 
 pub use allhands_agent::{AgentConfig, AnswerRecord, QaAgent, Response, ResponseItem};
 pub use allhands_journal::{Journal, JournalError};
+pub use allhands_obs::{Recorder, RunReport, SpanGuard};
 pub use allhands_resilience::{
     AllHandsError, DegradationEvent, FaultPlan, Head, InjectedCrash, QuarantineRecord,
     ResilienceConfig, ResilienceCtx, ResilienceSnapshot, ResilienceStats, RetryPolicy,
@@ -53,7 +54,7 @@ use allhands_classify::LabeledExample;
 use allhands_dataframe::{Column, DataFrame};
 use allhands_llm::{ModelSpec, ModelTier, SimLlm};
 use serde::{Deserialize, Serialize};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Stage-1 journal snapshot: the classified labels plus the resilience
@@ -121,6 +122,233 @@ fn run_fingerprint(
     allhands_journal::fingerprint(parts)
 }
 
+/// How a run's write-ahead journal is attached.
+#[derive(Debug, Clone)]
+pub enum JournalMode {
+    /// Open or create the journal under the directory; committed snapshots
+    /// from an earlier (possibly crashed) run with the same inputs replay
+    /// instead of recomputing. This is the classic `analyze_journaled` /
+    /// `resume` behavior.
+    Continue(PathBuf),
+    /// Require a brand-new journal: the run errors if the directory already
+    /// holds committed entries, so a fresh run can never silently consume a
+    /// stale journal.
+    Fresh(PathBuf),
+}
+
+impl JournalMode {
+    fn dir(&self) -> &Path {
+        match self {
+            JournalMode::Continue(d) | JournalMode::Fresh(d) => d,
+        }
+    }
+}
+
+/// How observability is attached to a run.
+#[derive(Debug, Clone, Default)]
+pub enum RecorderMode {
+    /// No recording: every instrumentation site is a single branch.
+    #[default]
+    Disabled,
+    /// Record into a fresh [`Recorder`], retrievable afterwards via
+    /// [`AllHands::recorder`] / [`AllHands::run_report`].
+    Enabled,
+    /// Record into a caller-provided handle (e.g. one shared across runs).
+    Custom(Recorder),
+}
+
+impl RecorderMode {
+    fn build(&self) -> Recorder {
+        match self {
+            RecorderMode::Disabled => Recorder::disabled(),
+            RecorderMode::Enabled => Recorder::new(),
+            RecorderMode::Custom(rec) => rec.clone(),
+        }
+    }
+}
+
+/// Typed per-run options, grouped so the facade entry point stays one
+/// method as options accrete.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeOptions {
+    /// Crash-safe journaling (`None` = unjournaled).
+    pub journal: Option<JournalMode>,
+    /// Metrics/tracing recording (disabled by default).
+    pub recorder: RecorderMode,
+}
+
+/// Builder for an [`AllHands`] run — the single entry point replacing the
+/// old `analyze` / `analyze_journaled` / `resume` triplet.
+///
+/// ```
+/// use allhands_core::{AllHands, RecorderMode};
+/// use allhands_classify::LabeledExample;
+/// use allhands_llm::ModelTier;
+///
+/// let texts = vec!["the app crashes daily".to_string(), "love it".to_string()];
+/// let labeled = vec![
+///     LabeledExample { text: "crash report".into(), label: "informative".into() },
+///     LabeledExample { text: "nice love it".into(), label: "non-informative".into() },
+/// ];
+/// let (mut ah, frame) = AllHands::builder(ModelTier::Gpt4)
+///     .recorder(RecorderMode::Enabled)
+///     .analyze(&texts, &labeled, &["crash".into()])
+///     .unwrap();
+/// assert_eq!(frame.n_rows(), 2);
+/// assert!(ah.ask("How many feedback entries are there?").error.is_none());
+/// assert!(ah.run_report().counter("qa.questions") >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AllHandsBuilder {
+    tier: ModelTier,
+    config: AllHandsConfig,
+    options: AnalyzeOptions,
+}
+
+impl AllHandsBuilder {
+    /// Replace the stage configuration (defaults otherwise).
+    pub fn config(mut self, config: AllHandsConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replace the full option set at once.
+    pub fn options(mut self, options: AnalyzeOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Attach a crash-safe write-ahead journal.
+    pub fn journal(mut self, mode: JournalMode) -> Self {
+        self.options.journal = Some(mode);
+        self
+    }
+
+    /// Attach observability.
+    pub fn recorder(mut self, mode: RecorderMode) -> Self {
+        self.options.recorder = mode;
+        self
+    }
+
+    /// Run the full three-stage pipeline on raw texts. See
+    /// [`AllHands::builder`] for the contract details.
+    pub fn analyze(
+        self,
+        texts: &[String],
+        labeled_sample: &[LabeledExample],
+        predefined_topics: &[String],
+    ) -> Result<(AllHands, DataFrame), AllHandsError> {
+        let recorder = self.options.recorder.build();
+        let journal = match &self.options.journal {
+            None => None,
+            Some(mode) => {
+                let mut journal = Journal::open(mode.dir()).map_err(jerr)?;
+                if matches!(mode, JournalMode::Fresh(_)) && !journal.is_empty() {
+                    return Err(AllHandsError::Pipeline(format!(
+                        "journal: JournalMode::Fresh requires an empty journal, but {} already holds {} entr{}",
+                        journal.path().display(),
+                        journal.len(),
+                        if journal.len() == 1 { "y" } else { "ies" }
+                    )));
+                }
+                journal.set_recorder(recorder.clone());
+                journal
+                    .ensure_run(&run_fingerprint(
+                        self.tier,
+                        texts,
+                        labeled_sample,
+                        predefined_topics,
+                    ))
+                    .map_err(jerr)?;
+                Some(journal)
+            }
+        };
+        AllHands::run_pipeline(
+            self.tier,
+            texts,
+            labeled_sample,
+            predefined_topics,
+            self.config,
+            journal,
+            recorder,
+        )
+    }
+
+    /// Build directly over an already-structured feedback frame, skipping
+    /// the structuralization pipeline. Journaling options are not used on
+    /// this path (there is no pipeline run to journal); the recorder is.
+    pub fn from_frame(self, frame: DataFrame) -> AllHands {
+        let recorder = self.options.recorder.build();
+        let mut llm = SimLlm::new(ModelSpec::for_tier(self.tier));
+        llm.set_recorder(recorder.clone());
+        let mut agent = QaAgent::new(llm, frame, self.config.agent.clone());
+        let resilience = Arc::new(ResilienceCtx::with_recorder(
+            self.config.resilience,
+            recorder.clone(),
+        ));
+        agent.set_resilience(Arc::clone(&resilience));
+        AllHands {
+            tier: self.tier,
+            config: self.config,
+            agent,
+            resilience,
+            journal: None,
+            asked: 0,
+            recorder,
+            qa_span: None,
+        }
+    }
+}
+
+/// Everything that went sideways during a run: quarantined (poison-pill)
+/// documents and degradation notes. The `Display` impl renders the exact
+/// human-readable report the old `String`-returning API produced.
+#[derive(Debug, Clone)]
+pub struct QuarantineReport {
+    /// Dead-lettered documents, in quarantine order.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Degradation notes, in occurrence order.
+    pub degradations: Vec<DegradationEvent>,
+}
+
+impl QuarantineReport {
+    /// True when nothing was quarantined and nothing degraded.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.degradations.is_empty()
+    }
+
+    /// Number of quarantined documents.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// Number of degradation notes.
+    pub fn degradation_count(&self) -> usize {
+        self.degradations.len()
+    }
+}
+
+impl std::fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean run: no documents quarantined, no degradations");
+        }
+        writeln!(
+            f,
+            "degraded run: {} document(s) quarantined, {} degradation note(s)",
+            self.quarantined.len(),
+            self.degradations.len()
+        )?;
+        for q in &self.quarantined {
+            writeln!(f, "  [{}] doc {}: {}", q.stage, q.doc_id, q.payload)?;
+        }
+        for d in &self.degradations {
+            writeln!(f, "  ({}) {}", d.stage, d.note)?;
+        }
+        Ok(())
+    }
+}
+
 /// Facade configuration.
 #[derive(Debug, Clone, Default)]
 pub struct AllHandsConfig {
@@ -143,29 +371,24 @@ pub struct AllHands {
     agent: QaAgent,
     /// The run-wide resilience context, shared across stages.
     resilience: Arc<ResilienceCtx>,
-    /// Write-ahead journal when built via [`AllHands::analyze_journaled`] /
-    /// [`AllHands::resume`]; `None` for unjournaled runs.
+    /// Write-ahead journal when built with a [`JournalMode`]; `None` for
+    /// unjournaled runs.
     journal: Option<Journal>,
     /// Questions asked so far — the ordinal half of each QA journal key.
     asked: usize,
+    /// The run-wide observability recorder (disabled unless requested).
+    recorder: Recorder,
+    /// The `qa` span, opened lazily at the first [`ask`](AllHands::ask) and
+    /// held open so every `question[i]` nests under one `qa` root.
+    qa_span: Option<SpanGuard>,
 }
 
 impl AllHands {
-    /// Build directly over an already-structured feedback frame (columns
-    /// like `text`, `sentiment`, `topics`, …). Use [`AllHands::analyze`]
-    /// to run the full structuralization pipeline first.
-    pub fn from_frame(tier: ModelTier, frame: DataFrame, config: AllHandsConfig) -> Self {
-        let llm = SimLlm::new(ModelSpec::for_tier(tier));
-        let mut agent = QaAgent::new(llm, frame, config.agent.clone());
-        let resilience = Arc::new(ResilienceCtx::new(config.resilience));
-        agent.set_resilience(Arc::clone(&resilience));
-        AllHands { tier, config, agent, resilience, journal: None, asked: 0 }
-    }
-
-    /// Run the full pipeline on raw texts: classify each text with ICL
-    /// (using `labeled_sample` as the demonstration pool), run abstractive
-    /// topic modeling, estimate sentiment, and assemble the structured
-    /// frame. Returns the framework ready for QA plus the frame.
+    /// Start building a run: pick a tier, then chain
+    /// [`config`](AllHandsBuilder::config), [`journal`](AllHandsBuilder::journal),
+    /// and [`recorder`](AllHandsBuilder::recorder) before calling
+    /// [`analyze`](AllHandsBuilder::analyze) (full pipeline) or
+    /// [`from_frame`](AllHandsBuilder::from_frame) (pre-structured data).
     ///
     /// The stages share one resilience context built from
     /// [`AllHandsConfig::resilience`]: under fault injection, classification
@@ -174,6 +397,34 @@ impl AllHands {
     /// failing, and every degradation is recorded on the context
     /// ([`AllHands::resilience`]). Errors that cannot be degraded around
     /// (e.g. inconsistent pipeline columns) are returned, never panicked.
+    ///
+    /// With [`JournalMode`] attached, each stage boundary is snapshotted to
+    /// a write-ahead journal; a run that crashed part-way replays committed
+    /// stages byte-identically on the next `Continue` run with the same
+    /// inputs (the journal header pins a content fingerprint — resuming
+    /// against different inputs is an error, never silent reuse). Later
+    /// [`ask`](AllHands::ask) calls are journaled too.
+    pub fn builder(tier: ModelTier) -> AllHandsBuilder {
+        AllHandsBuilder {
+            tier,
+            config: AllHandsConfig::default(),
+            options: AnalyzeOptions::default(),
+        }
+    }
+
+    /// Build directly over an already-structured feedback frame (columns
+    /// like `text`, `sentiment`, `topics`, …). Use
+    /// [`AllHands::builder`]`.analyze(..)` to run the full structuralization
+    /// pipeline first.
+    pub fn from_frame(tier: ModelTier, frame: DataFrame, config: AllHandsConfig) -> Self {
+        Self::builder(tier).config(config).from_frame(frame)
+    }
+
+    /// Run the full pipeline on raw texts.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use AllHands::builder(tier).config(config).analyze(texts, labeled_sample, predefined_topics)"
+    )]
     pub fn analyze(
         tier: ModelTier,
         texts: &[String],
@@ -181,19 +432,16 @@ impl AllHands {
         predefined_topics: &[String],
         config: AllHandsConfig,
     ) -> Result<(Self, DataFrame), AllHandsError> {
-        Self::run_pipeline(tier, texts, labeled_sample, predefined_topics, config, None)
+        Self::builder(tier)
+            .config(config)
+            .analyze(texts, labeled_sample, predefined_topics)
     }
 
-    /// Like [`AllHands::analyze`], but crash-safe: each stage boundary is
-    /// snapshotted to a write-ahead journal under `journal_dir`, and if the
-    /// journal already holds a committed snapshot for a stage (from a run
-    /// that crashed part-way), the stage is skipped and its output replayed.
-    /// The journal header records a content fingerprint of the inputs;
-    /// resuming against different inputs is an error, never silent reuse.
-    ///
-    /// Later [`ask`](AllHands::ask) calls are journaled too: each answer is
-    /// recorded once committed, and re-asking the same question sequence
-    /// after a crash replays recorded answers byte-identically.
+    /// Crash-safe pipeline run journaled under `journal_dir`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use AllHands::builder(tier).config(config).journal(JournalMode::Continue(dir)).analyze(..)"
+    )]
     pub fn analyze_journaled(
         tier: ModelTier,
         texts: &[String],
@@ -202,18 +450,17 @@ impl AllHands {
         config: AllHandsConfig,
         journal_dir: &Path,
     ) -> Result<(Self, DataFrame), AllHandsError> {
-        let mut journal = Journal::open(journal_dir).map_err(jerr)?;
-        journal
-            .ensure_run(&run_fingerprint(tier, texts, labeled_sample, predefined_topics))
-            .map_err(jerr)?;
-        Self::run_pipeline(tier, texts, labeled_sample, predefined_topics, config, Some(journal))
+        Self::builder(tier)
+            .config(config)
+            .journal(JournalMode::Continue(journal_dir.to_path_buf()))
+            .analyze(texts, labeled_sample, predefined_topics)
     }
 
-    /// Resume a crashed [`analyze_journaled`](AllHands::analyze_journaled)
-    /// run from its journal: completed stages are replayed from their
-    /// snapshots (restoring the resilience state they committed with), the
-    /// in-flight stage re-runs from its last consistent boundary. Inputs
-    /// must match the original run's fingerprint.
+    /// Resume a crashed journaled run from its journal.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use AllHands::builder(tier).config(config).journal(JournalMode::Continue(dir)).analyze(..)"
+    )]
     pub fn resume(
         tier: ModelTier,
         texts: &[String],
@@ -222,7 +469,10 @@ impl AllHands {
         config: AllHandsConfig,
         journal_dir: &Path,
     ) -> Result<(Self, DataFrame), AllHandsError> {
-        Self::analyze_journaled(tier, texts, labeled_sample, predefined_topics, config, journal_dir)
+        Self::builder(tier)
+            .config(config)
+            .journal(JournalMode::Continue(journal_dir.to_path_buf()))
+            .analyze(texts, labeled_sample, predefined_topics)
     }
 
     fn run_pipeline(
@@ -232,9 +482,20 @@ impl AllHands {
         predefined_topics: &[String],
         config: AllHandsConfig,
         mut journal: Option<Journal>,
+        recorder: Recorder,
     ) -> Result<(Self, DataFrame), AllHandsError> {
-        let llm = SimLlm::new(ModelSpec::for_tier(tier));
-        let resilience = Arc::new(ResilienceCtx::new(config.resilience));
+        recorder.set_meta("tier", tier.name());
+        recorder.set_meta("corpus_docs", &texts.len().to_string());
+        recorder.set_meta("labeled_examples", &labeled_sample.len().to_string());
+        recorder.set_meta("journaled", if journal.is_some() { "true" } else { "false" });
+        let pipeline_span = recorder.span("pipeline");
+        let mut llm = SimLlm::new(ModelSpec::for_tier(tier));
+        llm.set_recorder(recorder.clone());
+        let llm = llm;
+        let resilience = Arc::new(ResilienceCtx::with_recorder(
+            config.resilience,
+            recorder.clone(),
+        ));
 
         // Stage 1: classification.
         let replayed = match &journal {
@@ -243,6 +504,7 @@ impl AllHands {
         };
         let predicted: Vec<String> = match replayed {
             Some(snap) => {
+                recorder.incr("pipeline.stage_replays");
                 resilience.restore(&snap.resilience);
                 snap.predicted
             }
@@ -283,6 +545,7 @@ impl AllHands {
         };
         let result = match replayed {
             Some(snap) => {
+                recorder.incr("pipeline.stage_replays");
                 resilience.restore(&snap.resilience);
                 snap.result
             }
@@ -322,7 +585,20 @@ impl AllHands {
             config.agent.clone(),
         );
         agent.set_resilience(Arc::clone(&resilience));
-        Ok((AllHands { tier, config, agent, resilience, journal, asked: 0 }, frame))
+        drop(pipeline_span);
+        Ok((
+            AllHands {
+                tier,
+                config,
+                agent,
+                resilience,
+                journal,
+                asked: 0,
+                recorder,
+                qa_span: None,
+            },
+            frame,
+        ))
     }
 
     /// The LLM tier in use.
@@ -343,13 +619,17 @@ impl AllHands {
 
     /// Ask a natural-language question about the feedback.
     ///
-    /// On a journaled run ([`analyze_journaled`](AllHands::analyze_journaled))
+    /// On a journaled run (built with a [`JournalMode`])
     /// each committed answer is snapshotted; a resumed run re-asking the
     /// same question sequence replays recorded answers (restoring the
     /// agent's session bindings and history) instead of recomputing them.
     pub fn ask(&mut self, question: &str) -> Response {
         let idx = self.asked;
         self.asked += 1;
+        if self.qa_span.is_none() {
+            self.qa_span = Some(self.recorder.span("qa"));
+        }
+        let _question_span = self.recorder.span(&format!("question[{idx}]"));
         let Some(journal) = &mut self.journal else {
             return self.agent.ask(question);
         };
@@ -383,27 +663,29 @@ impl AllHands {
         response
     }
 
-    /// Human-readable summary of everything that went sideways this run:
-    /// quarantined (poison-pill) documents and degradation notes. Returns a
-    /// single "clean" line when nothing did.
-    pub fn quarantine_report(&self) -> String {
-        let quarantined = self.resilience.quarantined();
-        let degradations = self.resilience.degradations();
-        if quarantined.is_empty() && degradations.is_empty() {
-            return "clean run: no documents quarantined, no degradations".to_string();
+    /// Structured summary of everything that went sideways this run:
+    /// quarantined (poison-pill) documents and degradation notes. The
+    /// report's `Display` renders the familiar human-readable text (a
+    /// single "clean" line when nothing went wrong), so existing
+    /// `.to_string()` call sites keep their output byte-identical.
+    pub fn quarantine_report(&self) -> QuarantineReport {
+        QuarantineReport {
+            quarantined: self.resilience.quarantined(),
+            degradations: self.resilience.degradations(),
         }
-        let mut out = format!(
-            "degraded run: {} document(s) quarantined, {} degradation note(s)\n",
-            quarantined.len(),
-            degradations.len()
-        );
-        for q in &quarantined {
-            out.push_str(&format!("  [{}] doc {}: {}\n", q.stage, q.doc_id, q.payload));
-        }
-        for d in &degradations {
-            out.push_str(&format!("  ({}) {}\n", d.stage, d.note));
-        }
-        out
+    }
+
+    /// The observability recorder for this run (disabled unless the run was
+    /// built with [`RecorderMode::Enabled`] or a custom recorder).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Snapshot the run's observability state — counters, histograms, span
+    /// tree, meta — as a [`RunReport`]. Spans still open (e.g. the `qa`
+    /// root) appear with `duration_ms: null`.
+    pub fn run_report(&self) -> RunReport {
+        self.recorder.report()
     }
 
     /// The write-ahead journal backing this run, if journaled.
@@ -521,19 +803,19 @@ mod tests {
             })
             .collect();
         let predefined = vec!["crash".to_string(), "praise".to_string()];
-        let (mut ah, frame) = AllHands::analyze(
-            ModelTier::Gpt4,
-            &texts,
-            &labeled,
-            &predefined,
-            AllHandsConfig::default(),
-        )
-        .unwrap();
+        let (mut ah, frame) = AllHands::builder(ModelTier::Gpt4)
+            .recorder(RecorderMode::Enabled)
+            .analyze(&texts, &labeled, &predefined)
+            .unwrap();
         assert_eq!(frame.n_rows(), 30);
         for col in ["text", "label", "sentiment", "topics", "text_len"] {
             assert!(frame.has_column(col), "missing {col}");
         }
         let r = ah.ask("How many feedback entries are there?");
         assert!(r.error.is_none(), "{:?}", r.error);
+        let report = ah.run_report();
+        assert!(report.counter("classify.docs") >= 30);
+        assert_eq!(report.counter("qa.questions"), 1);
+        assert!(report.span_paths().iter().any(|p| p == "pipeline > classify"));
     }
 }

@@ -112,12 +112,26 @@ impl<'a> AbstractiveTopicModeler<'a> {
         self
     }
 
+    /// The recorder threaded through the resilience context (disabled when
+    /// no context is attached).
+    fn recorder(&self) -> allhands_obs::Recorder {
+        self.resilience
+            .as_ref()
+            .map(|ctx| ctx.recorder().clone())
+            .unwrap_or_default()
+    }
+
     /// Run the full stage on `texts` with an initial predefined topic list.
     pub fn run(&self, texts: &[String], predefined: &[String]) -> TopicModelingResult {
+        let rec = self.recorder();
+        let _stage = rec.span("topics");
+        rec.add("topics.docs", texts.len() as u64);
         let speller = Speller::fit(texts);
         let mut topic_list: Vec<String> = predefined.to_vec();
-        let (mut doc_topics, round1_degraded, round1_quarantined) =
-            self.modeling_round(texts, &mut topic_list, &HashMap::new(), &speller);
+        let (mut doc_topics, round1_degraded, round1_quarantined) = {
+            let _round = rec.span("round[0]");
+            self.modeling_round(texts, &mut topic_list, &HashMap::new(), &speller)
+        };
         let mut reviewer_removed = 0usize;
         let mut degradation: Vec<String> = Vec::new();
         let mut refined = false;
@@ -150,13 +164,15 @@ impl<'a> AbstractiveTopicModeler<'a> {
                         .to_string(),
                 );
             } else {
-                for _ in 0..self.config.rounds.max(1) {
+                for round in 0..self.config.rounds.max(1) {
                     let (refined_list, removed, retrieval) =
                         self.refine(texts, &doc_topics, predefined);
                     reviewer_removed += removed;
                     topic_list = refined_list;
-                    let (round_topics, round_degraded, _) =
-                        self.modeling_round(texts, &mut topic_list, &retrieval, &speller);
+                    let (round_topics, round_degraded, _) = {
+                        let _round = rec.span(&format!("round[{}]", round + 1));
+                        self.modeling_round(texts, &mut topic_list, &retrieval, &speller)
+                    };
                     doc_topics = round_topics;
                     if round_degraded > 0 {
                         degradation.push(format!(
@@ -172,6 +188,8 @@ impl<'a> AbstractiveTopicModeler<'a> {
                 ctx.note_degradation_once("topic-modeling", note);
             }
         }
+        rec.add("topics.final_list", topic_list.len() as u64);
+        rec.add("topics.reviewer_removed", reviewer_removed as u64);
         TopicModelingResult { doc_topics, topic_list, reviewer_removed, refined, degradation }
     }
 
@@ -187,6 +205,7 @@ impl<'a> AbstractiveTopicModeler<'a> {
         retrieval: &HashMap<usize, Vec<Demonstration>>,
         speller: &Speller,
     ) -> (Vec<Vec<String>>, usize, usize) {
+        let rec = self.recorder();
         let head = self.llm.summarize_head();
         let mut out = Vec::with_capacity(texts.len());
         let mut degraded = 0usize;
@@ -248,6 +267,7 @@ impl<'a> AbstractiveTopicModeler<'a> {
                     && topic_list.len() < self.config.max_topic_list
                     && !topic_list.iter().any(|t| t == new)
                 {
+                    rec.incr("topics.coined");
                     topic_list.push(new.clone());
                 }
             }
@@ -299,28 +319,45 @@ impl<'a> AbstractiveTopicModeler<'a> {
         // embeddings are independent, so they compute in parallel (each is
         // a pure function of the phrase — order and thread count don't
         // change the vectors).
+        let rec = self.recorder();
         let phrases: Vec<String> = unique.iter().map(|(t, _)| t.to_string()).collect();
-        let embeddings: Vec<Embedding> =
-            allhands_par::par_map_indexed(&phrases, |_, p| self.llm.embedder().embed(p));
-        let assignment =
-            agglomerative_clusters(&embeddings, Linkage::Average, self.config.cluster_distance);
-        let n_clusters = assignment.iter().copied().max().map_or(0, |m| m + 1);
-        let mut clusters: Vec<Vec<String>> = vec![Vec::new(); n_clusters];
-        for (i, &c) in assignment.iter().enumerate() {
-            clusters[c].push(phrases[i].clone());
-        }
+        let clusters: Vec<Vec<String>> = {
+            let _hac = rec.span("hac");
+            let embeddings: Vec<Embedding> = allhands_par::par_map_indexed_recorded(
+                &rec,
+                "topics.phrase_embed",
+                &phrases,
+                |_, p| self.llm.embedder().embed(p),
+            );
+            let assignment = agglomerative_clusters(
+                &embeddings,
+                Linkage::Average,
+                self.config.cluster_distance,
+            );
+            let n_clusters = assignment.iter().copied().max().map_or(0, |m| m + 1);
+            let mut clusters: Vec<Vec<String>> = vec![Vec::new(); n_clusters];
+            for (i, &c) in assignment.iter().enumerate() {
+                clusters[c].push(phrases[i].clone());
+            }
+            rec.add("topics.hac_phrases", phrases.len() as u64);
+            rec.add("topics.hac_clusters", clusters.iter().filter(|m| !m.is_empty()).count() as u64);
+            clusters
+        };
         let head = self.llm.summarize_head();
         let mut refined: Vec<String> = Vec::new();
-        for members in clusters.iter().filter(|m| !m.is_empty()) {
-            // Prefer an exact predefined topic inside the cluster (the
-            // reviewer keeps curated names); otherwise LLM-summarize.
-            let label = members
-                .iter()
-                .find(|m| predefined.iter().any(|p| p == *m))
-                .cloned()
-                .unwrap_or_else(|| head.summarize_cluster(members));
-            if !refined.contains(&label) {
-                refined.push(label);
+        {
+            let _merge = rec.span("merge");
+            for members in clusters.iter().filter(|m| !m.is_empty()) {
+                // Prefer an exact predefined topic inside the cluster (the
+                // reviewer keeps curated names); otherwise LLM-summarize.
+                let label = members
+                    .iter()
+                    .find(|m| predefined.iter().any(|p| p == *m))
+                    .cloned()
+                    .unwrap_or_else(|| head.summarize_cluster(members));
+                if !refined.contains(&label) {
+                    refined.push(label);
+                }
             }
         }
         // Reviewer pass 2: cap the list size (most frequent first — the
@@ -335,13 +372,17 @@ impl<'a> AbstractiveTopicModeler<'a> {
         // Each document's embedding is needed twice — as its pool record
         // and as its round-2 retrieval query. Compute each exactly once,
         // in parallel (the seed embedded every text twice, serially).
-        let doc_embeddings: Vec<Embedding> =
-            allhands_par::par_map_indexed(texts, |_, t| self.llm.embedder().embed(t));
+        let doc_embeddings: Vec<Embedding> = allhands_par::par_map_indexed_recorded(
+            &rec,
+            "topics.doc_embed",
+            texts,
+            |_, t| self.llm.embedder().embed(t),
+        );
         // BARTScore admission decisions are independent per document, so
         // they run in parallel; the serial insert loop below then assigns
         // pool ids in document order, exactly as the seed did.
         let admitted: Vec<Option<String>> =
-            allhands_par::par_map_indexed(doc_topics, |d, topics| {
+            allhands_par::par_map_indexed_recorded(&rec, "topics.bart", doc_topics, |d, topics| {
                 let label = topics.join("; ");
                 if label.is_empty() || topics.iter().all(|t| t == "others") {
                     return None;
@@ -354,6 +395,7 @@ impl<'a> AbstractiveTopicModeler<'a> {
         // IVF index: round-2 retrieves for every document, so an exact scan
         // would be quadratic in corpus size.
         let mut index = IvfIndex::new(dims, 4);
+        index.set_recorder(rec.clone());
         let mut pool: Vec<Demonstration> = Vec::new();
         for (d, label) in admitted.into_iter().enumerate() {
             let Some(label) = label else { continue };
@@ -361,6 +403,7 @@ impl<'a> AbstractiveTopicModeler<'a> {
             pool.push(Demonstration { input: texts[d].clone(), output: label });
             index.insert(Record::new(id, doc_embeddings[d].clone()));
         }
+        rec.add("topics.retrieval_pool", pool.len() as u64);
         if pool.len() > 512 {
             index.train((pool.len() / 64).clamp(8, 64));
         }
@@ -369,7 +412,7 @@ impl<'a> AbstractiveTopicModeler<'a> {
             // The index is read-only from here, so per-document retrieval
             // queries are independent and run in parallel.
             let per_doc: Vec<Vec<Demonstration>> =
-                allhands_par::par_map_indexed(texts, |d, _| {
+                allhands_par::par_map_indexed_recorded(&rec, "topics.retrieve", texts, |d, _| {
                     index
                         .search(&doc_embeddings[d], self.config.retrieval_n)
                         .into_iter()

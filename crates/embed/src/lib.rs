@@ -33,6 +33,7 @@ pub mod vector;
 pub use hashing::{hash64, mix64};
 pub use vector::Embedding;
 
+use allhands_obs::Recorder;
 use allhands_text::{char_ngrams, detect_language, light_preprocess, Language};
 use std::collections::HashMap;
 
@@ -88,6 +89,10 @@ pub struct SentenceEmbedder {
     /// empty until [`SentenceEmbedder::fit`] is called, in which case all
     /// tokens get uniform weight.
     unigram: HashMap<String, f64>,
+    /// Observability sink (disabled by default). Embed computes are counted
+    /// as **volatile** metrics: cache layers above ([`EmbedMemo`], the gloss
+    /// cache) race on misses, so the raw compute count is thread-dependent.
+    rec: Recorder,
 }
 
 impl SentenceEmbedder {
@@ -95,7 +100,18 @@ impl SentenceEmbedder {
     /// token weights until [`fit`](Self::fit) is called).
     pub fn new(config: EmbedderConfig) -> Self {
         assert!(config.dims > 0, "embedding dims must be positive");
-        SentenceEmbedder { config, unigram: HashMap::new() }
+        SentenceEmbedder { config, unigram: HashMap::new(), rec: Recorder::disabled() }
+    }
+
+    /// Route embed metrics into `rec` (see the `rec` field for why they are
+    /// volatile).
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
+    }
+
+    /// The recorder metrics flow into (possibly disabled).
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
     /// The configured output dimensionality.
@@ -165,6 +181,7 @@ impl SentenceEmbedder {
     /// Embed a sentence into a unit vector. Empty/degenerate input yields
     /// the zero vector (cosine with anything = 0).
     pub fn embed(&self, text: &str) -> Embedding {
+        self.rec.vincr("embed.computes");
         let tokens = light_preprocess(text);
         let mut acc = vec![0.0f32; self.config.dims];
         if tokens.is_empty() {
@@ -245,8 +262,12 @@ impl<'a> EmbedMemo<'a> {
     /// Embed `text`, reusing the cached vector when available.
     pub fn embed(&self, text: &str) -> Embedding {
         if let Some(hit) = self.lock().get(text) {
+            // Hit/miss splits are volatile: two threads can race the same
+            // key and both miss, so the split depends on the interleaving.
+            self.embedder.rec.vincr("embed.memo.hits");
             return hit.clone();
         }
+        self.embedder.rec.vincr("embed.memo.misses");
         // Compute outside the lock: long embeds must not serialize other
         // threads' cache hits. A racing miss computes identical bits.
         let fresh = self.embedder.embed(text);
@@ -259,8 +280,10 @@ impl<'a> EmbedMemo<'a> {
     /// derivation as well. `build` must be deterministic in `key`.
     pub fn embed_keyed(&self, key: &str, build: impl FnOnce(&SentenceEmbedder) -> Embedding) -> Embedding {
         if let Some(hit) = self.lock().get(key) {
+            self.embedder.rec.vincr("embed.memo.hits");
             return hit.clone();
         }
+        self.embedder.rec.vincr("embed.memo.misses");
         let fresh = build(self.embedder);
         self.lock().entry(key.to_string()).or_insert(fresh).clone()
     }

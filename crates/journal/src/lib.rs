@@ -159,6 +159,7 @@ pub struct Journal {
     last_hash: u64,
     /// Entries dropped at open time because a crash tore the tail.
     recovered_torn_tail: usize,
+    rec: allhands_obs::Recorder,
 }
 
 impl Journal {
@@ -229,7 +230,19 @@ impl Journal {
                 .map_err(|e| JournalError::Io(format!("seek {}: {e}", path.display())))?;
             dropped = dropped.max(1);
         }
-        Ok(Journal { path, file, entries, last_hash, recovered_torn_tail: dropped })
+        Ok(Journal {
+            path,
+            file,
+            entries,
+            last_hash,
+            recovered_torn_tail: dropped,
+            rec: allhands_obs::Recorder::disabled(),
+        })
+    }
+
+    /// Attach a metrics recorder (counts appends, fsyncs, replay hits).
+    pub fn set_recorder(&mut self, rec: allhands_obs::Recorder) {
+        self.rec = rec;
     }
 
     fn verify_line(line: &str, expect_seq: u64, prev: u64) -> Option<Entry> {
@@ -315,6 +328,8 @@ impl Journal {
             .and_then(|()| self.file.flush())
             .and_then(|()| self.file.sync_all())
             .map_err(|e| JournalError::Io(format!("append {}: {e}", self.path.display())))?;
+        self.rec.incr("journal.appends");
+        self.rec.incr("journal.fsyncs");
         self.entries.push(Entry {
             seq,
             stage: stage.to_string(),
@@ -328,11 +343,17 @@ impl Journal {
 
     /// The raw payload of the latest entry matching `(stage, key)`.
     pub fn find(&self, stage: &str, key: &str) -> Option<&Value> {
-        self.entries
+        self.rec.incr("journal.lookups");
+        let hit = self
+            .entries
             .iter()
             .rev()
             .find(|e| e.stage == stage && e.key == key)
-            .map(|e| &e.payload)
+            .map(|e| &e.payload);
+        if hit.is_some() {
+            self.rec.incr("journal.replay_hits");
+        }
+        hit
     }
 
     /// Decode the latest entry matching `(stage, key)` into `T`. Returns

@@ -155,8 +155,12 @@ impl<'a> ClassifyHead<'a> {
     /// The label's cached gloss entry, computing it on first use.
     fn gloss_entry(&self, label: &str) -> Arc<GlossEntry> {
         if let Some(hit) = self.gloss_lock().get(label) {
+            self.embedder.recorder().vincr("llm.classify.gloss_hits");
             return Arc::clone(hit);
         }
+        // Racing threads may build the same entry concurrently, so build
+        // counts are thread-schedule-dependent: volatile metric.
+        self.embedder.recorder().vincr("llm.classify.gloss_builds");
         // Built outside the lock; a racing thread builds identical data.
         let gloss = label_gloss(label, self.spec.tier);
         let words: Vec<String> = allhands_text::light_preprocess(&gloss);
@@ -236,6 +240,8 @@ impl<'a> ClassifyHead<'a> {
         opts: &ChatOptions,
     ) -> String {
         assert!(!labels.is_empty(), "need at least one candidate label");
+        // One decision per document, regardless of thread layout.
+        self.embedder.recorder().incr("llm.classify.calls");
 
         // Zero-shot prior: token-level affinity between the text and each
         // label's gloss (how many of the text's content words the model

@@ -135,16 +135,24 @@ pub struct CodegenRequest {
 /// The code generation head.
 pub struct CodegenHead<'a> {
     spec: &'a ModelSpec,
+    rec: allhands_obs::Recorder,
 }
 
 impl<'a> CodegenHead<'a> {
     /// Construct from a model spec.
     pub fn new(spec: &'a ModelSpec) -> Self {
-        CodegenHead { spec }
+        CodegenHead { spec, rec: allhands_obs::Recorder::disabled() }
+    }
+
+    /// Attach a metrics recorder (counts `llm.codegen.calls`).
+    pub fn with_recorder(mut self, rec: allhands_obs::Recorder) -> Self {
+        self.rec = rec;
+        self
     }
 
     /// Generate an AQL program for the request.
     pub fn generate(&self, req: &CodegenRequest, opts: &ChatOptions) -> Result<String, String> {
+        self.rec.incr("llm.codegen.calls");
         let program = build_program(&req.question, &req.schema)?;
         Ok(self.corrupt(program, req, opts))
     }

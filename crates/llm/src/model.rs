@@ -5,6 +5,7 @@ use crate::codegen::CodegenHead;
 use crate::prompt::{Prompt, PromptTask};
 use crate::summarize::SummarizeHead;
 use allhands_embed::{hash64, EmbedderConfig, SentenceEmbedder};
+use allhands_obs::Recorder;
 
 /// Which capability tier a simulated model belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -253,6 +254,18 @@ impl SimLlm {
         &self.embedder
     }
 
+    /// Attach a metrics recorder. The embedder carries it, so every head
+    /// (classify, summarize, codegen) and the embedding caches report into
+    /// the same sink.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.embedder.set_recorder(rec);
+    }
+
+    /// The attached recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        self.embedder.recorder()
+    }
+
     /// The classification head.
     pub fn classify_head(&self) -> ClassifyHead<'_> {
         ClassifyHead::new(&self.spec, &self.embedder)
@@ -265,7 +278,7 @@ impl SimLlm {
 
     /// The code-generation head.
     pub fn codegen_head(&self) -> CodegenHead<'_> {
-        CodegenHead::new(&self.spec)
+        CodegenHead::new(&self.spec).with_recorder(self.embedder.recorder().clone())
     }
 }
 

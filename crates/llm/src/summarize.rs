@@ -74,6 +74,7 @@ impl<'a> SummarizeHead<'a> {
 
     /// Assign topics to one feedback.
     pub fn suggest_topics(&self, req: &TopicRequest, opts: &ChatOptions) -> TopicResponse {
+        self.embedder.recorder().incr("llm.summarize.calls");
         // Feedback with fewer than two content words is unclassifiable —
         // an LLM answers "others" rather than force a match.
         let content_words: Vec<String> = light_preprocess(&req.text)
@@ -191,6 +192,7 @@ impl<'a> SummarizeHead<'a> {
     /// (used by HITLR's cluster-and-summarize step): the phrase closest to
     /// the cluster centroid, shortened to ≤ 4 words.
     pub fn summarize_cluster(&self, phrases: &[String]) -> String {
+        self.embedder.recorder().incr("llm.summarize.cluster_calls");
         if phrases.is_empty() {
             return "others".to_string();
         }

@@ -26,6 +26,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use allhands_obs::Recorder;
+
 /// Programmatic thread-count override; 0 means "unset".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
@@ -81,9 +83,31 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_indexed_recorded(&Recorder::disabled(), "par", items, f)
+}
+
+/// [`par_map_indexed`] with observability. Deterministic counters
+/// (`par.maps.<label>`, `par.items.<label>`) count logical work — identical
+/// at any thread count. Chunk metrics (`par.chunks.<label>`,
+/// `par.chunk_size.<label>`) depend on the thread count and are therefore
+/// recorded in the **volatile** section.
+pub fn par_map_indexed_recorded<T, R, F>(rec: &Recorder, label: &str, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
+    if rec.is_enabled() {
+        rec.incr(&format!("par.maps.{label}"));
+        rec.add(&format!("par.items.{label}"), n as u64);
+    }
     let threads = max_threads().min(n);
     if threads <= 1 {
+        if rec.is_enabled() && n > 0 {
+            rec.vincr(&format!("par.chunks.{label}"));
+            rec.vobserve(&format!("par.chunk_size.{label}"), n as u64);
+        }
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     // Chunks small enough to load-balance, large enough to amortize the
@@ -99,6 +123,10 @@ where
                     break;
                 }
                 let end = (start + chunk).min(n);
+                if rec.is_enabled() {
+                    rec.vincr(&format!("par.chunks.{label}"));
+                    rec.vobserve(&format!("par.chunk_size.{label}"), (end - start) as u64);
+                }
                 let out: Vec<R> = (start..end).map(|i| f(i, &items[i])).collect();
                 match blocks.lock() {
                     Ok(mut g) => g.push((start, out)),
@@ -200,9 +228,25 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_isolated_recorded(&Recorder::disabled(), "isolated", items, f)
+}
+
+/// [`par_map_isolated`] with observability; see
+/// [`par_map_indexed_recorded`] for the metric taxonomy.
+pub fn par_map_isolated_recorded<T, R, F>(
+    rec: &Recorder,
+    label: &str,
+    items: &[T],
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     use std::panic::{catch_unwind, AssertUnwindSafe};
     with_silenced_panic_hook(|| {
-        par_map_indexed(items, |i, item| {
+        par_map_indexed_recorded(rec, label, items, |i, item| {
             catch_unwind(AssertUnwindSafe(|| f(i, item)))
                 .map_err(|payload| panic_payload_string(payload.as_ref()))
         })
@@ -353,6 +397,27 @@ mod tests {
         let _ = std::panic::catch_unwind(|| panic!("hook probe"));
         assert_eq!(HITS.load(Ordering::SeqCst), before + 1, "counting hook was not restored");
         std::panic::set_hook(prev);
+    }
+
+    #[test]
+    fn recorded_counters_identical_across_thread_counts() {
+        let _g = guard();
+        let items: Vec<u64> = (0..500).collect();
+        let run = |threads: usize| {
+            let rec = Recorder::new();
+            let out = with_threads(threads, || {
+                par_map_indexed_recorded(&rec, "test", &items, |i, x| x + i as u64)
+            });
+            (out, rec.report())
+        };
+        let (out1, rep1) = run(1);
+        let (out8, rep8) = run(8);
+        assert_eq!(out1, out8);
+        assert_eq!(rep1.counter("par.maps.test"), 1);
+        assert_eq!(rep1.counter("par.items.test"), 500);
+        // Deterministic sections match; chunk accounting (volatile) may not.
+        assert_eq!(rep1.counters, rep8.counters);
+        assert!(rep8.volatile_counters.contains_key("par.chunks.test"));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub use error::AllHandsError;
 pub use fault::{FaultInjector, FaultKind, FaultPlan, InjectedCrash, InjectionEvent};
 pub use retry::RetryPolicy;
 
+use allhands_obs::Recorder;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 
@@ -159,10 +160,17 @@ pub struct ResilienceSnapshot {
 pub struct ResilienceCtx {
     config: ResilienceConfig,
     state: Mutex<CtxState>,
+    recorder: Recorder,
 }
 
 impl ResilienceCtx {
     pub fn new(config: ResilienceConfig) -> Self {
+        Self::with_recorder(config, Recorder::disabled())
+    }
+
+    /// Like [`new`](Self::new), but metrics flow into `recorder`
+    /// (`resilience.*` counters, breaker transition counts).
+    pub fn with_recorder(config: ResilienceConfig, recorder: Recorder) -> Self {
         let breaker = CircuitBreaker::new(config.breaker);
         ResilienceCtx {
             config,
@@ -175,6 +183,7 @@ impl ResilienceCtx {
                 crash_points: 0,
                 quarantine: Vec::new(),
             }),
+            recorder,
         }
     }
 
@@ -182,11 +191,37 @@ impl ResilienceCtx {
         &self.config
     }
 
+    /// The observability recorder shared with this ctx (possibly disabled).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     fn idx(head: Head) -> usize {
         match head {
             Head::Classify => 0,
             Head::Summarize => 1,
             Head::Codegen => 2,
+        }
+    }
+
+    fn state_label(state: BreakerState) -> &'static str {
+        match state {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Count a breaker state transition (deterministic: breaker state is a
+    /// pure function of the sequential operation-outcome order).
+    fn record_transition(&self, head: Head, before: BreakerState, after: BreakerState) {
+        if before != after && self.recorder.is_enabled() {
+            self.recorder.incr(&format!(
+                "resilience.breaker.{}.{}_to_{}",
+                head.label(),
+                Self::state_label(before),
+                Self::state_label(after)
+            ));
         }
     }
 
@@ -213,8 +248,17 @@ impl ResilienceCtx {
     ) -> Result<T, AllHandsError> {
         {
             let mut st = self.lock();
-            if !st.breakers[Self::idx(head)].admit() {
-                st.stats.breaker_denials += 1;
+            let before = st.breakers[Self::idx(head)].state();
+            let admitted = st.breakers[Self::idx(head)].admit();
+            let after = st.breakers[Self::idx(head)].state();
+            drop(st);
+            self.record_transition(head, before, after);
+            if !admitted {
+                self.lock().stats.breaker_denials += 1;
+                if self.recorder.is_enabled() {
+                    self.recorder.incr("resilience.breaker_denials");
+                    self.recorder.incr(&format!("resilience.breaker_denials.{}", head.label()));
+                }
                 return Err(AllHandsError::BreakerOpen { head });
             }
         }
@@ -244,6 +288,17 @@ impl ResilienceCtx {
                     None
                 }
             };
+            if self.recorder.is_enabled() {
+                self.recorder.incr("resilience.attempts");
+                if attempt > 1 {
+                    self.recorder.incr("resilience.retries");
+                    self.recorder.incr(&format!("resilience.retries.{}", head.label()));
+                }
+                if let Some(kind) = injected {
+                    self.recorder.incr("resilience.injected");
+                    self.recorder.incr(&format!("resilience.injected.{}", kind.label()));
+                }
+            }
             let outcome = match injected {
                 Some(kind) => Err(AllHandsError::Llm(allhands_llm::LlmError::new(
                     kind.error_kind(),
@@ -265,6 +320,9 @@ impl ResilienceCtx {
                         let mut st = self.lock();
                         st.breakers[Self::idx(head)].record_failure();
                         st.stats.exhausted += 1;
+                        drop(st);
+                        self.recorder.incr("resilience.exhausted");
+                        self.recorder.incr(&format!("resilience.exhausted.{}", head.label()));
                         return Err(AllHandsError::RetriesExhausted {
                             head,
                             attempts: attempt,
@@ -297,6 +355,7 @@ impl ResilienceCtx {
     /// Record a degradation; the note should be specific enough for a user
     /// reading a degraded output to understand what they lost.
     pub fn note_degradation(&self, stage: &str, note: impl Into<String>) {
+        self.recorder.incr("resilience.degradations");
         self.lock()
             .degradations
             .push(DegradationEvent { stage: stage.to_string(), note: note.into() });
@@ -310,6 +369,8 @@ impl ResilienceCtx {
         if !st.degradations.iter().any(|d| d.stage == stage && d.note == note) {
             st.degradations
                 .push(DegradationEvent { stage: stage.to_string(), note: note.to_string() });
+            drop(st);
+            self.recorder.incr("resilience.degradations");
         }
     }
 
@@ -344,6 +405,7 @@ impl ResilienceCtx {
             st.crash_points += 1;
             idx
         };
+        self.recorder.incr("resilience.crash_points");
         if self.config.fault.crash_at == Some(idx) {
             std::panic::panic_any(InjectedCrash { point: idx, name: name.to_string() });
         }
@@ -376,6 +438,8 @@ impl ResilienceCtx {
 
     /// Record a quarantined document.
     pub fn record_quarantine(&self, stage: &str, doc_id: &str, payload: impl Into<String>) {
+        self.recorder.incr("resilience.quarantined");
+        self.recorder.incr(&format!("resilience.quarantined.{stage}"));
         self.lock().quarantine.push(QuarantineRecord {
             stage: stage.to_string(),
             doc_id: doc_id.to_string(),
@@ -543,7 +607,7 @@ mod tests {
         assert_eq!(ctx.stats().breaker_denials, 2);
         assert_eq!(ctx.breaker_state(Head::Classify), BreakerState::HalfOpen);
         // The probe is admitted, runs the operation, and its success closes.
-        let out = ctx.call(Head::Classify, |attempt| Ok(attempt));
+        let out = ctx.call(Head::Classify, Ok);
         assert_eq!(out.unwrap(), 1);
         assert_eq!(ctx.breaker_state(Head::Classify), BreakerState::Closed);
         assert_eq!(ctx.breaker_trips(Head::Classify), 1);
@@ -598,8 +662,8 @@ mod tests {
 
     #[test]
     fn check_poison_panics_only_on_marker() {
-        let mut config = ResilienceConfig::default();
-        config.poison_marker = Some("__POISON__");
+        let config =
+            ResilienceConfig { poison_marker: Some("__POISON__"), ..Default::default() };
         let ctx = ResilienceCtx::new(config);
         ctx.check_poison("a perfectly fine review");
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

@@ -35,6 +35,7 @@ pub mod kmeans;
 pub use kmeans::{kmeans, KMeansResult};
 
 use allhands_embed::Embedding;
+use allhands_obs::Recorder;
 use std::collections::HashMap;
 
 /// A stored record: id, embedding, and optional string metadata.
@@ -215,13 +216,19 @@ pub struct FlatIndex {
     dims: usize,
     records: Vec<Record>,
     by_id: HashMap<u64, usize>,
+    rec: Recorder,
 }
 
 impl FlatIndex {
     /// Create an empty index for `dims`-dimensional vectors.
     pub fn new(dims: usize) -> Self {
         assert!(dims > 0, "dims must be positive");
-        FlatIndex { dims, records: Vec::new(), by_id: HashMap::new() }
+        FlatIndex { dims, records: Vec::new(), by_id: HashMap::new(), rec: Recorder::disabled() }
+    }
+
+    /// Attach a metrics recorder (counts searches and scanned records).
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
     }
 
     /// Remove a record by id; returns true if it existed.
@@ -257,6 +264,9 @@ impl VectorIndex for FlatIndex {
 
     fn search_filtered(&self, query: &Embedding, k: usize, filter: &Filter) -> Vec<SearchResult> {
         assert_eq!(query.dims(), self.dims, "dimension mismatch");
+        self.rec.incr("vectordb.searches.flat");
+        self.rec.add("vectordb.scanned.flat", self.records.len() as u64);
+        self.rec.observe("vectordb.pool_size", self.records.len() as u64);
         scored_top_k(&self.records, query, k, filter)
     }
 
@@ -287,6 +297,7 @@ pub struct IvfIndex {
     /// Number of partitions to probe at query time.
     pub nprobe: usize,
     seed: u64,
+    rec: Recorder,
 }
 
 impl IvfIndex {
@@ -300,7 +311,13 @@ impl IvfIndex {
             by_id: HashMap::new(),
             nprobe: nprobe.max(1),
             seed: 42,
+            rec: Recorder::disabled(),
         }
+    }
+
+    /// Attach a metrics recorder (counts searches and scanned records).
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
     }
 
     /// Train `n_partitions` k-means centroids on the current contents and
@@ -397,6 +414,9 @@ impl VectorIndex for IvfIndex {
             .into_iter()
             .flat_map(|p| self.partitions[p].iter())
             .collect();
+        self.rec.incr("vectordb.searches.ivf");
+        self.rec.add("vectordb.scanned.ivf", pool.len() as u64);
+        self.rec.observe("vectordb.pool_size", pool.len() as u64);
         scored_top_k(&pool, query, k, filter)
     }
 

@@ -9,10 +9,8 @@
 //! cargo run --release --example app_store_triage
 //! ```
 
-use allhands::classify::LabeledExample;
-use allhands::core::{AllHands, AllHandsConfig};
 use allhands::datasets::{generate_n, DatasetKind};
-use allhands::llm::ModelTier;
+use allhands::prelude::*;
 
 fn main() {
     // Pull 800 synthetic app reviews (stand-ins for a real export).
@@ -32,14 +30,10 @@ fn main() {
         .collect::<Vec<_>>();
 
     println!("Running the AllHands pipeline on {} reviews…", texts.len());
-    let (mut allhands, frame) = AllHands::analyze(
-        ModelTier::Gpt4,
-        &texts,
-        &labeled,
-        &predefined,
-        AllHandsConfig::default(),
-    )
-    .expect("pipeline failed");
+    let (mut allhands, frame) = AllHands::builder(ModelTier::Gpt4)
+        .recorder(RecorderMode::Enabled)
+        .analyze(&texts, &labeled, &predefined)
+        .expect("pipeline failed");
     println!(
         "Structured table: {} rows × {} columns ({:?})",
         frame.n_rows(),
@@ -56,4 +50,7 @@ fn main() {
         println!("\nQ: {question}");
         println!("{}", allhands.ask(question).render());
     }
+
+    // What the run did, by the numbers: spans, counters, histograms.
+    println!("\n{}", allhands.run_report().to_text());
 }

@@ -5,9 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use allhands::core::{AllHands, AllHandsConfig};
-use allhands::dataframe::{CivilDateTime, Column, DataFrame};
-use allhands::llm::ModelTier;
+use allhands::dataframe::{CivilDateTime, Column};
+use allhands::prelude::*;
 
 fn main() {
     // A tiny, already-structured feedback table. In a real deployment the
@@ -41,7 +40,7 @@ fn main() {
     ])
     .expect("valid frame");
 
-    let mut allhands = AllHands::from_frame(ModelTier::Gpt4, frame, AllHandsConfig::default());
+    let mut allhands = AllHands::builder(ModelTier::Gpt4).from_frame(frame);
 
     for question in [
         "How many feedback entries are there?",

@@ -1,19 +1,42 @@
 #!/usr/bin/env bash
 # Tier-1 verify gate: release build, root test suite, and a warning-free
-# clippy pass across the workspace. The resilience and agent crates
-# additionally deny clippy::unwrap_used via crate-level attributes, so
-# this single clippy invocation enforces that too.
+# clippy pass across the workspace — all targets, so tests/benches/examples
+# are linted too and any use of the deprecated `AllHands::analyze*` /
+# `resume` facade inside the workspace fails the gate (deprecation warnings
+# are denied like every other warning). The resilience and agent crates
+# additionally deny clippy::unwrap_used via crate-level attributes, so the
+# single clippy invocation enforces that too.
 #
-# Optional: pass --bench-smoke to also smoke-run the pipeline benchmark and
-# schema-validate BENCH_pipeline.json. The measured speedup is recorded in
-# the JSON, not asserted against a threshold (CI hosts may have 1 core).
-#
-# Optional: pass --crash-smoke to additionally run the crash-chaos suite on
-# its own (kill at every journal crash point, resume, compare transcripts
-# byte-for-byte). It also runs as part of `cargo test`; the flag exists for
-# a focused signal after touching the journal or resilience layers.
+# Optional flags (combinable, order-free):
+#   --bench-smoke   smoke-run the pipeline benchmark and schema-validate
+#                   BENCH_pipeline.json. The measured speedup is recorded in
+#                   the JSON, not asserted against a threshold (CI hosts may
+#                   have 1 core).
+#   --crash-smoke   run the crash-chaos suite on its own (kill at every
+#                   journal crash point, resume, compare transcripts
+#                   byte-for-byte). Also runs as part of `cargo test`; the
+#                   flag exists for a focused signal after touching the
+#                   journal or resilience layers.
+#   --obs-smoke     run the observability suite on its own, then smoke-run
+#                   the pipeline bench and schema-validate the emitted
+#                   BENCH_pipeline_obs.json run report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+bench_smoke=0
+crash_smoke=0
+obs_smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) bench_smoke=1 ;;
+    --crash-smoke) crash_smoke=1 ;;
+    --obs-smoke) obs_smoke=1 ;;
+    *)
+      echo "verify: unknown flag $arg" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "==> cargo build --release"
 cargo build --release
@@ -21,17 +44,31 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
-if [[ "${1:-}" == "--bench-smoke" ]]; then
+if [[ "$bench_smoke" == 1 ]]; then
   echo "==> bench smoke (speedup recorded, not asserted)"
   scripts/bench.sh --smoke
 fi
 
-if [[ "${1:-}" == "--crash-smoke" ]]; then
+if [[ "$crash_smoke" == 1 ]]; then
   echo "==> crash smoke (journal resume byte-identity + poison quarantine)"
   cargo test -q --test crash_chaos
+fi
+
+if [[ "$obs_smoke" == 1 ]]; then
+  echo "==> obs smoke (metric determinism, span shape, report schema)"
+  cargo test -q --test observability
+  out_dir="$(mktemp -d)"
+  trap 'rm -rf "$out_dir"' EXIT
+  cargo run --release -p allhands-bench --bin pipeline_bench -- \
+    --smoke --out "$out_dir/BENCH_pipeline.json"
+  cargo run --release -p allhands-bench --bin pipeline_bench -- \
+    --validate "$out_dir/BENCH_pipeline.json"
+  for f in BENCH_pipeline.json BENCH_pipeline_obs.json; do
+    [[ -s "$out_dir/$f" ]] || { echo "verify: $f missing" >&2; exit 1; }
+  done
 fi
 
 echo "verify: OK"

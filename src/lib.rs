@@ -21,6 +21,11 @@
 //!   `ALLHANDS_THREADS`) with per-item panic isolation.
 //! - [`journal`] — the crash-safe write-ahead journal behind
 //!   checkpoint/resume and the dead-letter quarantine record.
+//! - [`obs`] — deterministic tracing and metrics: hierarchical spans,
+//!   counters/histograms, and the schema-stable [`RunReport`](obs::RunReport).
+//!
+//! For application code, `use allhands::prelude::*;` pulls in the dozen
+//! types a typical run touches.
 
 pub use allhands_agent as agent;
 pub use allhands_classify as classify;
@@ -31,9 +36,27 @@ pub use allhands_embed as embed;
 pub use allhands_eval as eval;
 pub use allhands_journal as journal;
 pub use allhands_llm as llm;
+pub use allhands_obs as obs;
 pub use allhands_par as par;
 pub use allhands_query as query;
 pub use allhands_resilience as resilience;
 pub use allhands_text as text;
 pub use allhands_topics as topics;
 pub use allhands_vectordb as vectordb;
+
+/// The types a typical AllHands run touches, in one import:
+///
+/// ```
+/// use allhands::prelude::*;
+/// ```
+pub mod prelude {
+    pub use allhands_classify::LabeledExample;
+    pub use allhands_core::{
+        AllHands, AllHandsBuilder, AllHandsConfig, AllHandsError, AnalyzeOptions, JournalMode,
+        QuarantineReport, RecorderMode, Response,
+    };
+    pub use allhands_dataframe::DataFrame;
+    pub use allhands_llm::ModelTier;
+    pub use allhands_obs::{Recorder, RunReport};
+    pub use allhands_resilience::{ResilienceConfig, ResilienceCtx};
+}

@@ -8,10 +8,8 @@
 //! - with injection disabled the pipeline output is identical to a run
 //!   with no resilience configuration at all.
 
-use allhands::classify::LabeledExample;
-use allhands::core::{AllHands, AllHandsConfig, ResilienceConfig};
 use allhands::datasets::{generate_n, DatasetKind};
-use allhands::llm::ModelTier;
+use allhands::prelude::*;
 use allhands::resilience::{FaultInjector, FaultKind, FaultPlan, Head};
 
 const QUESTIONS: [&str; 5] = [
@@ -40,9 +38,10 @@ fn corpus() -> (Vec<String>, Vec<LabeledExample>, Vec<String>) {
 /// comparison.
 fn transcript(config: AllHandsConfig) -> String {
     let (texts, labeled, predefined) = corpus();
-    let (mut ah, frame) =
-        AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, config)
-            .expect("pipeline must degrade, not fail");
+    let (mut ah, frame) = AllHands::builder(ModelTier::Gpt4)
+        .config(config)
+        .analyze(&texts, &labeled, &predefined)
+        .expect("pipeline must degrade, not fail");
     let mut out = String::new();
     out.push_str(&frame.to_table_string(200));
     for q in QUESTIONS {
@@ -88,9 +87,10 @@ fn chaos_run_completes_and_is_deterministic() {
 fn different_seeds_inject_different_faults() {
     let (texts, labeled, predefined) = corpus();
     let stats = |seed| {
-        let (ah, _) =
-            AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, chaos_config(seed, 0.30))
-                .expect("pipeline must degrade, not fail");
+        let (ah, _) = AllHands::builder(ModelTier::Gpt4)
+            .config(chaos_config(seed, 0.30))
+            .analyze(&texts, &labeled, &predefined)
+            .expect("pipeline must degrade, not fail");
         (ah.resilience().injected(), ah.resilience().stats())
     };
     let (injected_a, stats_a) = stats(1);
@@ -106,7 +106,9 @@ fn retries_stay_within_budget() {
     let (texts, labeled, predefined) = corpus();
     let config = chaos_config(7, 0.30);
     let max_attempts = config.resilience.retry.max_attempts as u64;
-    let (ah, _) = AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, config)
+    let (ah, _) = AllHands::builder(ModelTier::Gpt4)
+        .config(config)
+        .analyze(&texts, &labeled, &predefined)
         .expect("pipeline must degrade, not fail");
     let stats = ah.resilience().stats();
     // Per-operation attempts are bounded by the retry budget, so in

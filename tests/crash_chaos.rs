@@ -10,11 +10,10 @@
 //! quarantined, the batch completes, other documents are unaffected) and
 //! the journal's input-fingerprint mismatch check.
 
-use allhands::classify::LabeledExample;
-use allhands::core::{AllHands, AllHandsConfig, InjectedCrash, ResilienceConfig};
+use allhands::core::InjectedCrash;
 use allhands::dataframe::Value;
 use allhands::datasets::{generate_n, DatasetKind};
-use allhands::llm::ModelTier;
+use allhands::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -57,7 +56,7 @@ fn with_crash(mut config: AllHandsConfig, point: u64) -> AllHandsConfig {
 
 /// Full transcript of a pipeline + QA session, for bit-exact comparison
 /// (same shape as `tests/parallel_determinism.rs`).
-fn render_transcript(ah: &mut AllHands, frame: &allhands::dataframe::DataFrame) -> String {
+fn render_transcript(ah: &mut AllHands, frame: &DataFrame) -> String {
     let mut out = String::new();
     out.push_str(&frame.to_table_string(200));
     for q in QUESTIONS {
@@ -81,9 +80,10 @@ fn render_transcript(ah: &mut AllHands, frame: &allhands::dataframe::DataFrame) 
 /// Unjournaled reference run.
 fn transcript_plain(config: AllHandsConfig) -> String {
     let (texts, labeled, predefined) = corpus();
-    let (mut ah, frame) =
-        AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, config)
-            .expect("pipeline must degrade, not fail");
+    let (mut ah, frame) = AllHands::builder(ModelTier::Gpt4)
+        .config(config)
+        .analyze(&texts, &labeled, &predefined)
+        .expect("pipeline must degrade, not fail");
     render_transcript(&mut ah, &frame)
 }
 
@@ -92,15 +92,11 @@ fn transcript_plain(config: AllHandsConfig) -> String {
 /// loop.
 fn transcript_journaled(config: AllHandsConfig, dir: &Path) -> (String, u64) {
     let (texts, labeled, predefined) = corpus();
-    let (mut ah, frame) = AllHands::analyze_journaled(
-        ModelTier::Gpt4,
-        &texts,
-        &labeled,
-        &predefined,
-        config,
-        dir,
-    )
-    .expect("journaled pipeline must degrade, not fail");
+    let (mut ah, frame) = AllHands::builder(ModelTier::Gpt4)
+        .config(config)
+        .journal(JournalMode::Continue(dir.to_path_buf()))
+        .analyze(&texts, &labeled, &predefined)
+        .expect("journaled pipeline must degrade, not fail");
     let out = render_transcript(&mut ah, &frame);
     (out, ah.resilience().crash_points_passed())
 }
@@ -175,25 +171,16 @@ fn resume_with_different_inputs_is_an_error() {
     let _g = GLOBAL_GUARD.lock().unwrap_or_else(|p| p.into_inner());
     let (texts, labeled, predefined) = corpus();
     let dir = scratch_dir("mismatch");
-    let (_ah, _frame) = AllHands::analyze_journaled(
-        ModelTier::Gpt4,
-        &texts,
-        &labeled,
-        &predefined,
-        AllHandsConfig::default(),
-        &dir,
-    )
-    .unwrap();
+    let (_ah, _frame) = AllHands::builder(ModelTier::Gpt4)
+        .journal(JournalMode::Continue(dir.clone()))
+        .analyze(&texts, &labeled, &predefined)
+        .unwrap();
     let mut altered = texts.clone();
     altered[0].push_str(" (edited)");
-    let msg = match AllHands::analyze_journaled(
-        ModelTier::Gpt4,
-        &altered,
-        &labeled,
-        &predefined,
-        AllHandsConfig::default(),
-        &dir,
-    ) {
+    let msg = match AllHands::builder(ModelTier::Gpt4)
+        .journal(JournalMode::Continue(dir.clone()))
+        .analyze(&altered, &labeled, &predefined)
+    {
         Ok(_) => panic!("resuming against different inputs must not silently reuse the journal"),
         Err(e) => e.to_string(),
     };
@@ -216,14 +203,21 @@ fn poison_pill_is_quarantined_not_fatal() {
             config.resilience.poison_marker = Some(POISON);
         }
         allhands::par::with_threads(threads, || {
-            AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, config)
+            AllHands::builder(ModelTier::Gpt4)
+                .config(config)
+                .analyze(&texts, &labeled, &predefined)
                 .expect("poisoned batch must still complete")
         })
     };
 
     let (ah_clean, frame_clean) = run(false, 1);
     assert!(!ah_clean.resilience().degraded());
-    assert_eq!(ah_clean.quarantine_report(), "clean run: no documents quarantined, no degradations");
+    let clean_report = ah_clean.quarantine_report();
+    assert!(clean_report.is_clean());
+    assert_eq!(
+        clean_report.to_string(),
+        "clean run: no documents quarantined, no degradations"
+    );
 
     let (ah, frame) = run(true, 1);
     // The batch completed with every row present.
@@ -239,10 +233,16 @@ fn poison_pill_is_quarantined_not_fatal() {
     assert!(quarantined.iter().all(|q| q.payload.contains("poison pill")));
     assert!(ah.resilience().degraded());
     let report = ah.quarantine_report();
-    assert!(report.contains("quarantined") && report.contains(&pill_row.to_string()), "{report}");
+    assert!(!report.is_clean());
+    assert_eq!(report.quarantined_count(), quarantined.len());
+    let rendered = report.to_string();
+    assert!(
+        rendered.contains("quarantined") && rendered.contains(&pill_row.to_string()),
+        "{rendered}"
+    );
 
     // Every other document's label is untouched by the pill.
-    let labels = |f: &allhands::dataframe::DataFrame| -> Vec<Value> {
+    let labels = |f: &DataFrame| -> Vec<Value> {
         f.column("label").unwrap().iter().collect()
     };
     let (clean_labels, poison_labels) = (labels(&frame_clean), labels(&frame));

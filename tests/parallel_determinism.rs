@@ -5,10 +5,8 @@
 //! on a clean configuration AND under seeded fault injection, where the
 //! resilience context makes fault decisions a pure function of call order.
 
-use allhands::classify::LabeledExample;
-use allhands::core::{AllHands, AllHandsConfig, ResilienceConfig};
 use allhands::datasets::{generate_n, DatasetKind};
-use allhands::llm::ModelTier;
+use allhands::prelude::*;
 use std::sync::Mutex;
 
 /// The thread override is process-global; serialize the tests in this
@@ -39,9 +37,10 @@ fn corpus() -> (Vec<String>, Vec<LabeledExample>, Vec<String>) {
 /// Full pipeline + QA transcript for bit-exact comparison.
 fn transcript(config: AllHandsConfig) -> String {
     let (texts, labeled, predefined) = corpus();
-    let (mut ah, frame) =
-        AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, config)
-            .expect("pipeline must degrade, not fail");
+    let (mut ah, frame) = AllHands::builder(ModelTier::Gpt4)
+        .config(config)
+        .analyze(&texts, &labeled, &predefined)
+        .expect("pipeline must degrade, not fail");
     let mut out = String::new();
     out.push_str(&frame.to_table_string(200));
     for q in QUESTIONS {

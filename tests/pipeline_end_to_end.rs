@@ -2,14 +2,12 @@
 //! abstractive topic modeling → structured frame → natural-language QA,
 //! including follow-up questions and plugin extension.
 
-use allhands::classify::LabeledExample;
-use allhands::core::{AllHands, AllHandsConfig};
 use allhands::dataframe::Value;
 use allhands::datasets::{generate_n, DatasetKind};
-use allhands::llm::ModelTier;
+use allhands::prelude::*;
 use allhands::query::RtValue;
 
-fn build() -> (AllHands, allhands::dataframe::DataFrame) {
+fn build() -> (AllHands, DataFrame) {
     let records = generate_n(DatasetKind::GoogleStoreApp, 300, 5);
     let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
     let labeled: Vec<LabeledExample> = records
@@ -18,7 +16,8 @@ fn build() -> (AllHands, allhands::dataframe::DataFrame) {
         .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
         .collect();
     let predefined = vec!["bug".to_string(), "crash".to_string(), "feature request".to_string()];
-    AllHands::analyze(ModelTier::Gpt4, &texts, &labeled, &predefined, AllHandsConfig::default())
+    AllHands::builder(ModelTier::Gpt4)
+        .analyze(&texts, &labeled, &predefined)
         .expect("clean pipeline run must succeed")
 }
 
@@ -57,14 +56,9 @@ fn classification_beats_majority_baseline() {
         .take(150)
         .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
         .collect();
-    let (_, frame) = AllHands::analyze(
-        ModelTier::Gpt4,
-        &texts,
-        &labeled,
-        &["bug".to_string()],
-        AllHandsConfig::default(),
-    )
-    .expect("clean pipeline run must succeed");
+    let (_, frame) = AllHands::builder(ModelTier::Gpt4)
+        .analyze(&texts, &labeled, &["bug".to_string()])
+        .expect("clean pipeline run must succeed");
     let predicted = frame.column("label").unwrap();
     let agree = records
         .iter()
