@@ -86,6 +86,15 @@ impl QaAgent {
         QaAgent { llm, session, schema, config, history: Vec::new(), resilience }
     }
 
+    /// Replace the structured feedback frame — the incremental ingestion
+    /// path grows the frame batch by batch and rebinds it here after each
+    /// one. The schema the planner sees is re-derived; session plugins,
+    /// shown values, and chat history survive.
+    pub fn set_frame(&mut self, feedback: DataFrame) {
+        self.schema = SchemaInfo::from_frame(&feedback);
+        self.session.bind_frame("feedback", feedback);
+    }
+
     /// Share a pipeline-wide resilience context (replacing the agent's own),
     /// so breaker state and degradation notes are common across stages. The
     /// context's recorder is propagated to the agent's LLM so head-level

@@ -1,6 +1,7 @@
-//! Wall-clock benchmark of the three pipeline hot paths — Stage-1 batch
+//! Wall-clock benchmark of the pipeline hot paths — Stage-1 batch
 //! classification, HAC topic clustering, and vector-index search — serial
-//! (`ALLHANDS_THREADS=1`) vs parallel, plus the end-to-end pipeline.
+//! (`ALLHANDS_THREADS=1`) vs parallel, plus the end-to-end pipeline and an
+//! incremental-ingest phase with per-batch timings.
 //! Emits `BENCH_pipeline.json` (schema below) and verifies on the way that
 //! serial and parallel outputs are byte-identical.
 //!
@@ -26,8 +27,8 @@ use allhands_vectordb::{FlatIndex, Record, VectorIndex};
 use serde_json::{Map, Value};
 use std::time::Instant;
 
-const SCHEMA_VERSION: u64 = 1;
-const STAGES: [&str; 4] = ["classify", "hac", "search", "pipeline"];
+const SCHEMA_VERSION: u64 = 2;
+const STAGES: [&str; 5] = ["classify", "hac", "search", "pipeline", "ingest"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,6 +68,7 @@ fn main() {
     stages.insert("hac".to_string(), bench_hac(smoke));
     stages.insert("search".to_string(), bench_search(smoke));
     stages.insert("pipeline".to_string(), bench_pipeline(smoke));
+    stages.insert("ingest".to_string(), bench_ingest(smoke));
 
     let mut root = Map::new();
     root.insert("schema_version".to_string(), Value::U64(SCHEMA_VERSION));
@@ -253,6 +255,73 @@ fn bench_pipeline(smoke: bool) -> Value {
     stage_entry(serial_ms, parallel_ms, n, Vec::new())
 }
 
+fn bench_ingest(smoke: bool) -> Value {
+    let (n, batch_n) = if smoke { (60, 15) } else { (200, 40) };
+    let records = generate_n(DatasetKind::GoogleStoreApp, n, 11);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let labeled: Vec<LabeledExample> = records
+        .iter()
+        .take(n / 2)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let predefined =
+        vec!["bug".to_string(), "crash".to_string(), "feature request".to_string()];
+    let stream: Vec<Vec<String>> = (0..3u64)
+        .map(|b| {
+            generate_n(DatasetKind::GoogleStoreApp, batch_n, 1000 + b)
+                .iter()
+                .map(|r| r.text.clone())
+                .collect()
+        })
+        .collect();
+
+    // Per-batch wall-clock plus a transcript that doubles as the determinism
+    // witness across thread counts. The seed analyze is untimed setup.
+    let run = || -> (Vec<f64>, String) {
+        let (mut ah, _frame) = AllHands::builder(ModelTier::Gpt4)
+            .analyze(&texts, &labeled, &predefined)
+            .expect("pipeline must not fail");
+        let mut per_batch = Vec::with_capacity(stream.len());
+        let mut transcript = String::new();
+        for batch in &stream {
+            let (ms, rep) = time_ms(|| ah.ingest(batch).expect("ingest must not fail"));
+            per_batch.push(ms);
+            transcript.push_str(&format!(
+                "assigned={} routed={} flushed={} coined={:?}\n",
+                rep.assigned, rep.routed_pending, rep.flushed, rep.coined
+            ));
+            transcript.push_str(&rep.frame.to_table_string(10));
+        }
+        (per_batch, transcript)
+    };
+    let (serial_batches, serial_out) = allhands_par::with_threads(1, run);
+    let (parallel_batches, parallel_out) = run();
+    assert_eq!(serial_out, parallel_out, "ingest transcripts diverged across thread counts");
+    let serial_ms: f64 = serial_batches.iter().sum();
+    let parallel_ms: f64 = parallel_batches.iter().sum();
+    let docs: usize = stream.iter().map(Vec::len).sum();
+    println!(
+        "  ingest: {} batches x {batch_n} docs  serial {serial_ms:.1}ms  parallel {parallel_ms:.1}ms",
+        stream.len()
+    );
+    stage_entry(
+        serial_ms,
+        parallel_ms,
+        docs,
+        vec![
+            ("batches", Value::U64(stream.len() as u64)),
+            (
+                "serial_batch_ms",
+                Value::Array(serial_batches.into_iter().map(Value::F64).collect()),
+            ),
+            (
+                "parallel_batch_ms",
+                Value::Array(parallel_batches.into_iter().map(Value::F64).collect()),
+            ),
+        ],
+    )
+}
+
 /// One instrumented end-to-end run; returns the observability report JSON.
 fn obs_report(smoke: bool) -> Value {
     let n = if smoke { 60 } else { 200 };
@@ -313,6 +382,35 @@ fn validate(path: &str) -> Result<(), String> {
             .ok_or_else(|| format!("stages.{name}.items: missing or non-numeric"))?;
         if items < 1.0 {
             return Err(format!("stages.{name}.items: {items} < 1"));
+        }
+    }
+    // The ingest stage additionally carries per-batch timing arrays.
+    let Some(Value::Object(ingest)) = stages.get("ingest") else {
+        return Err("stages.ingest: missing or not an object".to_string());
+    };
+    let batches = as_f64(ingest.get("batches"))
+        .ok_or("stages.ingest.batches: missing or non-numeric")?;
+    if batches < 1.0 {
+        return Err(format!("stages.ingest.batches: {batches} < 1"));
+    }
+    for field in ["serial_batch_ms", "parallel_batch_ms"] {
+        let Some(Value::Array(arr)) = ingest.get(field) else {
+            return Err(format!("stages.ingest.{field}: missing or not an array"));
+        };
+        if arr.len() != batches as usize {
+            return Err(format!(
+                "stages.ingest.{field}: {} entries, expected {batches}",
+                arr.len()
+            ));
+        }
+        for (i, v) in arr.iter().enumerate() {
+            let ms = as_f64(Some(v))
+                .ok_or_else(|| format!("stages.ingest.{field}[{i}]: non-numeric"))?;
+            if !(ms.is_finite() && ms > 0.0) {
+                return Err(format!(
+                    "stages.ingest.{field}[{i}]: {ms} not a positive number"
+                ));
+            }
         }
     }
     Ok(())

@@ -65,36 +65,34 @@ impl Index {
             Index::Ivf(i) => i.get(id),
         }
     }
+
+    fn set_recorder(&mut self, rec: allhands_obs::Recorder) {
+        match self {
+            Index::Flat(i) => i.set_recorder(rec),
+            Index::Ivf(i) => i.set_recorder(rec),
+        }
+    }
 }
 
-/// The fitted ICL classifier: an embedded demonstration pool plus the LLM.
-pub struct IclClassifier<'a> {
-    llm: &'a SimLlm,
-    /// The classify head, created once at fit time so its per-label gloss
-    /// cache (gloss text, stems, embedding) amortizes across every text in
-    /// a batch instead of being rebuilt per call.
-    head: ClassifyHead<'a>,
+/// The embedded demonstration pool: vector index over the labeled sample,
+/// the sample itself, the fixed label-candidate order, and the
+/// degraded-mode lexical prior. Borrow-free (unlike [`IclClassifier`], it
+/// does not hold the LLM), so the facade keeps it alive across incremental
+/// ingestion batches and re-uses the fitted index instead of re-embedding
+/// the pool per batch.
+pub struct DemoIndex {
     index: Index,
     /// Demonstration pool aligned with record ids.
     pool: Vec<LabeledExample>,
     labels: Vec<String>,
-    config: IclConfig,
-    /// Optional resilience context; when present, LLM calls route through
-    /// the classify head's breaker/retry machinery.
-    resilience: Option<Arc<ResilienceCtx>>,
     /// Degraded-mode classifier, used when the LLM head is unavailable.
     fallback: LexicalPrior,
 }
 
-impl<'a> IclClassifier<'a> {
+impl DemoIndex {
     /// Embed and index the labeled pool. `labels` fixes the candidate set
     /// (prompt order matters: ties break toward earlier labels).
-    pub fn fit(
-        llm: &'a SimLlm,
-        pool: &[LabeledExample],
-        labels: &[String],
-        config: IclConfig,
-    ) -> Self {
+    pub fn fit(llm: &SimLlm, pool: &[LabeledExample], labels: &[String], config: &IclConfig) -> Self {
         assert!(!labels.is_empty(), "need at least one label");
         let dims = llm.embedder().dims();
         let mut index = if config.use_ivf && pool.len() > 500 {
@@ -113,27 +111,87 @@ impl<'a> IclClassifier<'a> {
         if let Index::Ivf(idx) = &mut index {
             idx.train(config.ivf_partitions.min(pool.len() / 8).max(2));
         }
-        IclClassifier {
-            llm,
-            head: llm.classify_head(),
+        DemoIndex {
             index,
             pool: pool.to_vec(),
             labels: labels.to_vec(),
+            fallback: LexicalPrior::fit(pool, labels),
+        }
+    }
+
+    /// Attach a metrics recorder to the underlying vector index so
+    /// retrieval scans are counted.
+    pub fn set_recorder(&mut self, rec: allhands_obs::Recorder) {
+        self.index.set_recorder(rec);
+    }
+
+    /// Number of indexed demonstrations.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// The label candidate set, in prompt order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+}
+
+/// The fitted ICL classifier: an embedded demonstration pool plus the LLM.
+pub struct IclClassifier<'a> {
+    llm: &'a SimLlm,
+    /// The classify head, created once at fit time so its per-label gloss
+    /// cache (gloss text, stems, embedding) amortizes across every text in
+    /// a batch instead of being rebuilt per call.
+    head: ClassifyHead<'a>,
+    /// The embedded demonstration pool, shareable across classifiers (the
+    /// ingest path fits it once and re-wraps it per batch).
+    demos: Arc<DemoIndex>,
+    config: IclConfig,
+    /// Optional resilience context; when present, LLM calls route through
+    /// the classify head's breaker/retry machinery.
+    resilience: Option<Arc<ResilienceCtx>>,
+}
+
+impl<'a> IclClassifier<'a> {
+    /// Embed and index the labeled pool. `labels` fixes the candidate set
+    /// (prompt order matters: ties break toward earlier labels).
+    pub fn fit(
+        llm: &'a SimLlm,
+        pool: &[LabeledExample],
+        labels: &[String],
+        config: IclConfig,
+    ) -> Self {
+        let demos = Arc::new(DemoIndex::fit(llm, pool, labels, &config));
+        Self::from_demos(llm, demos, config)
+    }
+
+    /// Wrap an already-fitted demonstration pool — the incremental
+    /// ingestion path, where the pool is embedded once and each batch gets
+    /// a fresh classifier around the same [`DemoIndex`].
+    pub fn from_demos(llm: &'a SimLlm, demos: Arc<DemoIndex>, config: IclConfig) -> Self {
+        IclClassifier {
+            llm,
+            head: llm.classify_head(),
+            demos,
             config,
             resilience: None,
-            fallback: LexicalPrior::fit(pool, labels),
         }
     }
 
     /// Attach a resilience context: classification calls run under the
     /// classify head's retry policy and circuit breaker, falling back to the
     /// lexical prior when the head is unavailable. The context's recorder is
-    /// propagated to the demonstration index so retrieval scans are counted.
+    /// propagated to the demonstration index so retrieval scans are counted
+    /// (when the pool is shared, the recorder is attached at
+    /// [`DemoIndex::fit`] time instead).
     pub fn with_resilience(mut self, ctx: Arc<ResilienceCtx>) -> Self {
-        let rec = ctx.recorder().clone();
-        match &mut self.index {
-            Index::Flat(i) => i.set_recorder(rec),
-            Index::Ivf(i) => i.set_recorder(rec),
+        if let Some(demos) = Arc::get_mut(&mut self.demos) {
+            demos.set_recorder(ctx.recorder().clone());
         }
         self.resilience = Some(ctx);
         self
@@ -162,16 +220,17 @@ impl<'a> IclClassifier<'a> {
     /// can skip re-embedding every demonstration per classified text —
     /// the seed's hidden (texts × shots) embedding cost.
     pub fn retrieve_embedded(&self, text: &str) -> Vec<EmbeddedDemonstration> {
-        if self.config.shots == 0 || self.pool.is_empty() {
+        if self.config.shots == 0 || self.demos.pool.is_empty() {
             return Vec::new();
         }
         let query = self.llm.embedder().embed(text);
-        self.index
+        self.demos.index
             .search(&query, self.config.shots)
             .into_iter()
             .map(|hit| {
-                let ex = &self.pool[hit.id as usize];
+                let ex = &self.demos.pool[hit.id as usize];
                 let vector = self
+                    .demos
                     .index
                     .get(hit.id)
                     .map(|r| r.vector.clone())
@@ -204,7 +263,7 @@ impl<'a> IclClassifier<'a> {
                         err.label()
                     ),
                 );
-                self.fallback.classify(text)
+                self.demos.fallback.classify(text)
             }
         }
     }
@@ -212,7 +271,7 @@ impl<'a> IclClassifier<'a> {
     fn classify_direct(&self, text: &str) -> String {
         let demos = self.retrieve_embedded(text);
         self.head
-            .classify_embedded(text, &self.labels, &demos, &self.config.chat)
+            .classify_embedded(text, &self.demos.labels, &demos, &self.config.chat)
     }
 
     /// Classify a batch of texts, identical output to mapping
@@ -279,7 +338,7 @@ impl<'a> IclClassifier<'a> {
                 if llm_ok[offset + i] {
                     self.classify_direct(t)
                 } else {
-                    self.fallback.classify(t)
+                    self.demos.fallback.classify(t)
                 }
             }));
         }
@@ -297,7 +356,7 @@ impl<'a> IclClassifier<'a> {
                         "classification",
                         "document(s) quarantined after per-item panic; labels from lexical-prior fallback",
                     );
-                    self.fallback.classify(&texts[i])
+                    self.demos.fallback.classify(&texts[i])
                 }
             })
             .collect()

@@ -39,7 +39,7 @@
 pub mod classification;
 pub mod topic_modeling;
 
-pub use classification::{IclClassifier, IclConfig};
+pub use classification::{DemoIndex, IclClassifier, IclConfig};
 pub use topic_modeling::{AbstractiveTopicModeler, TopicModelingConfig, TopicModelingResult};
 
 pub use allhands_agent::{AgentConfig, AnswerRecord, QaAgent, Response, ResponseItem};
@@ -52,7 +52,9 @@ pub use allhands_resilience::{
 
 use allhands_classify::LabeledExample;
 use allhands_dataframe::{Column, DataFrame};
+use allhands_embed::Embedding;
 use allhands_llm::{ModelSpec, ModelTier, SimLlm};
+use allhands_vectordb::{IvfIndex, Record, VectorIndex};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -78,6 +80,34 @@ struct Stage2Snapshot {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct QaSnapshot {
     record: AnswerRecord,
+    resilience: ResilienceSnapshot,
+}
+
+/// One row whose topics were rewritten by a pending-pool flush.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TopicRewrite {
+    row: u64,
+    topics: Vec<String>,
+}
+
+/// Per-batch ingest journal delta: everything needed to replay the batch
+/// byte-identically without re-running classification or re-summarization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct IngestSnapshot {
+    /// Stage-1 labels for the batch rows, in batch order.
+    predicted: Vec<String>,
+    /// Final topics of the batch rows (post-flush, if one fired).
+    topics: Vec<Vec<String>>,
+    /// The full topic list after this batch (grows append-only).
+    topic_list: Vec<String>,
+    /// Row ids still pending re-summarization after this batch.
+    pending: Vec<u64>,
+    /// Earlier rows whose topics this batch's flush rewrote.
+    rewrites: Vec<TopicRewrite>,
+    assigned: u64,
+    routed: u64,
+    flushed: u64,
+    coined: Vec<String>,
     resilience: ResilienceSnapshot,
 }
 
@@ -296,6 +326,8 @@ impl AllHandsBuilder {
             asked: 0,
             recorder,
             qa_span: None,
+            ingest: None,
+            ingest_span: None,
         }
     }
 }
@@ -349,6 +381,87 @@ impl std::fmt::Display for QuarantineReport {
     }
 }
 
+/// Incremental-ingestion settings ([`AllHands::ingest`]).
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Minimum cosine similarity between a new document and an existing
+    /// topic's embedding for direct assignment; below it the document is
+    /// provisionally `"others"` and routed to the pending pool.
+    pub assign_threshold: f32,
+    /// Pending-pool size that triggers one bounded re-summarization round.
+    pub pending_threshold: usize,
+    /// Probe width for the incremental document index.
+    pub ivf_nprobe: usize,
+    /// Target documents per IVF partition when (re)training the document
+    /// index; partition count is clamped to `[2, 64]`.
+    pub ivf_partition_docs: usize,
+    /// Staleness ratio (mutations since train ÷ len) past which the
+    /// document index auto-retrains.
+    pub ivf_staleness: f32,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            assign_threshold: 0.15,
+            pending_threshold: 12,
+            ivf_nprobe: 4,
+            ivf_partition_docs: 64,
+            ivf_staleness: 0.5,
+        }
+    }
+}
+
+/// What one [`AllHands::ingest`] batch did.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// 0-based batch ordinal.
+    pub batch: usize,
+    /// Rows this batch appended.
+    pub new_rows: usize,
+    /// Documents attached to an existing topic by embedding similarity.
+    pub assigned: usize,
+    /// Documents routed to the pending pool (provisionally `"others"`).
+    pub routed_pending: usize,
+    /// Pending documents re-summarized by this batch's flush (0 = no flush).
+    pub flushed: usize,
+    /// Topics the flush coined, in discovery order.
+    pub coined: Vec<String>,
+    /// Whether the document index auto-retrained during this batch.
+    pub retrained: bool,
+    /// Whether the batch replayed from the journal.
+    pub replayed: bool,
+    /// The full structured frame after this batch.
+    pub frame: DataFrame,
+}
+
+/// Pipeline state retained after `analyze` so later [`AllHands::ingest`]
+/// batches extend the run instead of recomputing it.
+struct IngestState {
+    /// The pipeline LLM, kept alive so its embedder and memo caches keep
+    /// amortizing across batches.
+    llm: SimLlm,
+    labeled_sample: Vec<LabeledExample>,
+    labels: Vec<String>,
+    /// The fitted demonstration pool. `None` on resumed runs whose stage 1
+    /// replayed (never fit one); refit lazily at the first live batch.
+    demos: Option<Arc<DemoIndex>>,
+    topic_list: Vec<String>,
+    /// Cached row embeddings aligned with `texts`, backfilled on demand;
+    /// feeds both topic-centroid assignment and the document index.
+    row_embeds: Vec<Embedding>,
+    /// Incremental document index over all rows, built at first use.
+    doc_index: Option<IvfIndex>,
+    /// Row ids below the assignment threshold, awaiting the next flush.
+    pending: Vec<usize>,
+    texts: Vec<String>,
+    row_labels: Vec<String>,
+    sentiments: Vec<f64>,
+    doc_topics: Vec<Vec<String>>,
+    /// Batches ingested so far — the ordinal half of each journal key.
+    batches: usize,
+}
+
 /// Facade configuration.
 #[derive(Debug, Clone, Default)]
 pub struct AllHandsConfig {
@@ -358,6 +471,8 @@ pub struct AllHandsConfig {
     pub topics: TopicModelingConfig,
     /// QA agent settings.
     pub agent: AgentConfig,
+    /// Incremental ingestion settings.
+    pub ingest: IngestConfig,
     /// Resilience settings shared by all three stages (fault injection off
     /// by default — the default pipeline behaves exactly as if no
     /// resilience layer existed).
@@ -381,6 +496,14 @@ pub struct AllHands {
     /// The `qa` span, opened lazily at the first [`ask`](AllHands::ask) and
     /// held open so every `question[i]` nests under one `qa` root.
     qa_span: Option<SpanGuard>,
+    /// Retained pipeline state enabling [`ingest`](AllHands::ingest);
+    /// `None` when built from a pre-structured frame.
+    ingest: Option<IngestState>,
+    /// The `ingest` span, opened lazily at the first ingest batch and held
+    /// open so every `batch[i]` nests under one `ingest` root. Closed when
+    /// QA starts (and vice versa), so interleaved ask/ingest sequences
+    /// produce sibling roots instead of nesting one family in the other.
+    ingest_span: Option<SpanGuard>,
 }
 
 impl AllHands {
@@ -498,10 +621,23 @@ impl AllHands {
         ));
 
         // Stage 1: classification.
+        let labels: Vec<String> = {
+            let mut seen = Vec::new();
+            for ex in labeled_sample {
+                if !seen.contains(&ex.label) {
+                    seen.push(ex.label.clone());
+                }
+            }
+            seen
+        };
         let replayed = match &journal {
             Some(j) => j.lookup::<Stage1Snapshot>("stage1", "labels").map_err(jerr)?,
             None => None,
         };
+        // The fitted demonstration pool, kept for incremental ingestion.
+        // Stays `None` on the replay path: a resumed run only refits it if
+        // a live ingest batch actually needs it.
+        let mut demo_index: Option<Arc<DemoIndex>> = None;
         let predicted: Vec<String> = match replayed {
             Some(snap) => {
                 recorder.incr("pipeline.stage_replays");
@@ -510,18 +646,12 @@ impl AllHands {
             }
             None => {
                 resilience.crash_point("stage1:start");
-                let labels: Vec<String> = {
-                    let mut seen = Vec::new();
-                    for ex in labeled_sample {
-                        if !seen.contains(&ex.label) {
-                            seen.push(ex.label.clone());
-                        }
-                    }
-                    seen
-                };
-                let classifier =
-                    IclClassifier::fit(&llm, labeled_sample, &labels, config.icl.clone())
-                        .with_resilience(Arc::clone(&resilience));
+                let mut demos = DemoIndex::fit(&llm, labeled_sample, &labels, &config.icl);
+                demos.set_recorder(recorder.clone());
+                let demos = Arc::new(demos);
+                demo_index = Some(Arc::clone(&demos));
+                let classifier = IclClassifier::from_demos(&llm, demos, config.icl.clone())
+                    .with_resilience(Arc::clone(&resilience));
                 // Batch classification: per-text work runs data-parallel with
                 // output byte-identical to classifying each text in order (see
                 // `IclClassifier::classify_batch` for the determinism contract).
@@ -567,17 +697,7 @@ impl AllHands {
         // Sentiment estimation: lexical valence via the text substrate.
         let sentiments: Vec<f64> = texts.iter().map(|t| estimate_sentiment(t)).collect();
 
-        let frame = DataFrame::new(vec![
-            Column::from_i64s("id", &(0..texts.len() as i64).collect::<Vec<_>>()),
-            Column::from_strings("text", texts.to_vec()),
-            Column::from_strings("label", predicted),
-            Column::from_f64s("sentiment", &sentiments),
-            Column::from_str_lists("topics", result.doc_topics.clone()),
-            Column::from_i64s(
-                "text_len",
-                &texts.iter().map(|t| t.chars().count() as i64).collect::<Vec<_>>(),
-            ),
-        ])?;
+        let frame = build_frame(texts, &predicted, &sentiments, &result.doc_topics)?;
 
         let mut agent = QaAgent::new(
             SimLlm::new(ModelSpec::for_tier(tier)),
@@ -585,6 +705,21 @@ impl AllHands {
             config.agent.clone(),
         );
         agent.set_resilience(Arc::clone(&resilience));
+        let ingest = IngestState {
+            llm,
+            labeled_sample: labeled_sample.to_vec(),
+            labels,
+            demos: demo_index,
+            topic_list: result.topic_list,
+            row_embeds: Vec::new(),
+            doc_index: None,
+            pending: Vec::new(),
+            texts: texts.to_vec(),
+            row_labels: predicted,
+            sentiments,
+            doc_topics: result.doc_topics,
+            batches: 0,
+        };
         drop(pipeline_span);
         Ok((
             AllHands {
@@ -596,6 +731,8 @@ impl AllHands {
                 asked: 0,
                 recorder,
                 qa_span: None,
+                ingest: Some(ingest),
+                ingest_span: None,
             },
             frame,
         ))
@@ -627,6 +764,7 @@ impl AllHands {
         let idx = self.asked;
         self.asked += 1;
         if self.qa_span.is_none() {
+            self.ingest_span = None;
             self.qa_span = Some(self.recorder.span("qa"));
         }
         let _question_span = self.recorder.span(&format!("question[{idx}]"));
@@ -693,6 +831,269 @@ impl AllHands {
         self.journal.as_ref()
     }
 
+    /// Ingest one batch of new feedback texts into the analyzed state.
+    ///
+    /// Stage 1 classifies only the new documents, re-using the
+    /// demonstration pool fitted during
+    /// [`analyze`](AllHandsBuilder::analyze). Stage 2 assigns each document
+    /// to an existing topic by embedding similarity; documents below
+    /// [`IngestConfig::assign_threshold`] are provisionally `"others"` and
+    /// join a pending pool that triggers one bounded re-summarization round
+    /// when it reaches [`IngestConfig::pending_threshold`] — rewriting
+    /// those rows' topics and possibly coining new ones. The incremental
+    /// document index absorbs the batch, auto-retraining once its
+    /// staleness ratio passes [`IngestConfig::ivf_staleness`].
+    ///
+    /// On a journaled run each batch boundary writes a delta record; a
+    /// crashed stream resumed with the same batch sequence replays
+    /// committed batches byte-identically. The QA agent's frame is rebound
+    /// after every batch, so later [`ask`](AllHands::ask) calls see all
+    /// ingested rows.
+    ///
+    /// Errors on an [`AllHands::from_frame`] session: there is no pipeline
+    /// state to ingest into.
+    pub fn ingest(&mut self, batch: &[String]) -> Result<IngestReport, AllHandsError> {
+        let Some(ing) = self.ingest.as_mut() else {
+            return Err(AllHandsError::Pipeline(
+                "ingest requires a pipeline-built session (builder().analyze(..)); \
+                 from_frame sessions carry no ingestion state"
+                    .to_string(),
+            ));
+        };
+        if self.ingest_span.is_none() {
+            self.qa_span = None;
+            self.ingest_span = Some(self.recorder.span("ingest"));
+        }
+        let rec = self.recorder.clone();
+        let cfg = self.config.ingest.clone();
+        let batch_idx = ing.batches;
+        ing.batches += 1;
+        let _batch_span = rec.span(&format!("batch[{batch_idx}]"));
+        rec.incr("ingest.batches");
+        rec.add("ingest.docs", batch.len() as u64);
+        let key = format!(
+            "b{batch_idx:05}:{}",
+            allhands_journal::fingerprint(batch.iter().map(|t| t.as_bytes()))
+        );
+
+        // Replay: a committed delta record restores the batch without
+        // re-running classification or re-summarization.
+        let replayed = match &self.journal {
+            Some(j) => j.lookup::<IngestSnapshot>("ingest", &key).map_err(jerr)?,
+            None => None,
+        };
+        if let Some(snap) = replayed {
+            rec.incr("ingest.replays");
+            let _replay_span = rec.span("replay");
+            self.resilience.restore(&snap.resilience);
+            let report = apply_ingest_snapshot(ing, batch, snap, &rec, &cfg, batch_idx)?;
+            self.agent.set_frame(report.frame.clone());
+            return Ok(report);
+        }
+        if self.journal.is_some() {
+            self.resilience.crash_point(&format!("ingest:{key}:start"));
+        }
+
+        // Stage 1: classify only the new documents against the retained
+        // demonstration pool.
+        let demos = match &ing.demos {
+            Some(d) => Arc::clone(d),
+            None => {
+                // Resumed run whose one-shot stage 1 replayed: fit lazily.
+                let mut d =
+                    DemoIndex::fit(&ing.llm, &ing.labeled_sample, &ing.labels, &self.config.icl);
+                d.set_recorder(rec.clone());
+                let d = Arc::new(d);
+                ing.demos = Some(Arc::clone(&d));
+                d
+            }
+        };
+        let predicted: Vec<String> =
+            IclClassifier::from_demos(&ing.llm, demos, self.config.icl.clone())
+                .with_resilience(Arc::clone(&self.resilience))
+                .classify_batch(batch);
+
+        // Stage 2: similarity assignment against the existing topic list.
+        let start_row = ing.texts.len();
+        for (i, text) in batch.iter().enumerate() {
+            ing.texts.push(text.clone());
+            ing.row_labels.push(predicted[i].clone());
+            ing.sentiments.push(estimate_sentiment(text));
+        }
+        let routed = {
+            let _assign_span = rec.span("assign");
+            backfill_row_embeds(ing, &rec, ing.texts.len());
+            // Batch-static centroids: every document in the batch is scored
+            // against the same targets, computed from the pre-batch state a
+            // replayed run restores exactly — so assignment never depends on
+            // within-batch order or on float drift from incremental updates.
+            let centroids = topic_centroids(ing, start_row);
+            let mut routed = 0usize;
+            for row in start_row..ing.texts.len() {
+                let emb = &ing.row_embeds[row];
+                let mut best: Option<(usize, f32)> = None;
+                for (j, c) in centroids.iter().enumerate() {
+                    let Some(c) = c else { continue };
+                    let s = emb.cosine(c);
+                    // Strictly-greater under `total_cmp`: the first topic
+                    // wins ties and a NaN similarity never wins.
+                    let better = match best {
+                        None => true,
+                        Some((_, b)) => s.total_cmp(&b) == std::cmp::Ordering::Greater,
+                    };
+                    if better {
+                        best = Some((j, s));
+                    }
+                }
+                match best {
+                    Some((j, s)) if s >= cfg.assign_threshold => {
+                        ing.doc_topics.push(vec![ing.topic_list[j].clone()]);
+                    }
+                    _ => {
+                        ing.pending.push(row);
+                        ing.doc_topics.push(vec!["others".to_string()]);
+                        routed += 1;
+                    }
+                }
+            }
+            routed
+        };
+        rec.add("ingest.assigned", (batch.len() - routed) as u64);
+        rec.add("ingest.routed_pending", routed as u64);
+
+        // Flush: one bounded re-summarization round over the pending pool.
+        let mut rewrites: Vec<TopicRewrite> = Vec::new();
+        let mut coined: Vec<String> = Vec::new();
+        let mut flushed = 0usize;
+        if ing.pending.len() >= cfg.pending_threshold {
+            let _flush_span = rec.span("resummarize");
+            rec.incr("ingest.flushes");
+            let pending_rows = std::mem::take(&mut ing.pending);
+            flushed = pending_rows.len();
+            let pending_texts: Vec<String> =
+                pending_rows.iter().map(|&r| ing.texts[r].clone()).collect();
+            let before = ing.topic_list.len();
+            let modeler = AbstractiveTopicModeler::new(&ing.llm, self.config.topics.clone())
+                .with_resilience(Arc::clone(&self.resilience));
+            let (new_topics, degraded, quarantined) =
+                modeler.assign_pending(&pending_texts, &mut ing.topic_list, &ing.texts);
+            coined = ing.topic_list[before..].to_vec();
+            rec.add("ingest.coined", coined.len() as u64);
+            if degraded > 0 {
+                self.resilience.note_degradation_once(
+                    "ingest",
+                    &format!(
+                        "re-summarization degraded for {degraded} pending document(s); kept \"others\""
+                    ),
+                );
+            }
+            if quarantined > 0 {
+                self.resilience.note_degradation_once(
+                    "ingest",
+                    &format!(
+                        "{quarantined} pending document(s) quarantined during re-summarization"
+                    ),
+                );
+            }
+            for (k, &row) in pending_rows.iter().enumerate() {
+                ing.doc_topics[row] = new_topics[k].clone();
+                rewrites.push(TopicRewrite { row: row as u64, topics: new_topics[k].clone() });
+            }
+        }
+
+        // Index maintenance: the incremental document index absorbs the
+        // batch, auto-retraining past the staleness threshold.
+        let retrained = {
+            let _index_span = rec.span("index");
+            let batch_embeds: Vec<Embedding> = ing.row_embeds[start_row..].to_vec();
+            let doc_index = ensure_doc_index(ing, &rec, &cfg, start_row);
+            let before = doc_index.train_count();
+            for (i, emb) in batch_embeds.into_iter().enumerate() {
+                doc_index.insert(Record::new((start_row + i) as u64, emb));
+            }
+            doc_index.train_count() > before
+        };
+        rec.add("ingest.indexed", batch.len() as u64);
+
+        // Journal delta: the batch boundary is the crash-consistency point.
+        let snap = IngestSnapshot {
+            predicted,
+            topics: ing.doc_topics[start_row..].to_vec(),
+            topic_list: ing.topic_list.clone(),
+            pending: ing.pending.iter().map(|&r| r as u64).collect(),
+            rewrites,
+            assigned: (batch.len() - routed) as u64,
+            routed: routed as u64,
+            flushed: flushed as u64,
+            coined: coined.clone(),
+            resilience: self.resilience.snapshot(),
+        };
+        if let Some(j) = &mut self.journal {
+            match j.append("ingest", &key, &snap) {
+                Ok(()) => self.resilience.crash_point(&format!("ingest:{key}:committed")),
+                Err(e) => {
+                    // The batch is still applied — it is just not crash-safe.
+                    self.resilience.note_degradation(
+                        "ingest",
+                        format!("journal append failed ({e}); batch not crash-safe"),
+                    );
+                }
+            }
+        }
+
+        let frame = build_frame(&ing.texts, &ing.row_labels, &ing.sentiments, &ing.doc_topics)?;
+        self.agent.set_frame(frame.clone());
+        Ok(IngestReport {
+            batch: batch_idx,
+            new_rows: batch.len(),
+            assigned: batch.len() - routed,
+            routed_pending: routed,
+            flushed,
+            coined,
+            retrained,
+            replayed: false,
+            frame,
+        })
+    }
+
+    /// Top-`k` rows most similar to `text` in the incremental document
+    /// index, as `(row id, cosine score)` pairs, best first. Builds the
+    /// index on first use. Requires a pipeline-built session.
+    pub fn search_similar(
+        &mut self,
+        text: &str,
+        k: usize,
+    ) -> Result<Vec<(u64, f32)>, AllHandsError> {
+        let cfg = self.config.ingest.clone();
+        let Some(ing) = self.ingest.as_mut() else {
+            return Err(AllHandsError::Pipeline(
+                "search_similar requires a pipeline-built session (builder().analyze(..))"
+                    .to_string(),
+            ));
+        };
+        let query = ing.llm.embedder().embed(text);
+        let rows = ing.texts.len();
+        let index = ensure_doc_index(ing, &self.recorder, &cfg, rows);
+        Ok(index.search(&query, k).into_iter().map(|h| (h.id, h.score)).collect())
+    }
+
+    /// Remove one row's vector from the incremental document index (e.g. a
+    /// user deletion request): similarity search stops returning it, while
+    /// the structured frame keeps the row. Returns whether the id was
+    /// present. Not journaled — a resumed run rebuilds the index with the
+    /// row present until `retract` is called again.
+    pub fn retract(&mut self, id: u64) -> Result<bool, AllHandsError> {
+        let cfg = self.config.ingest.clone();
+        let Some(ing) = self.ingest.as_mut() else {
+            return Err(AllHandsError::Pipeline(
+                "retract requires a pipeline-built session (builder().analyze(..))".to_string(),
+            ));
+        };
+        let rows = ing.texts.len();
+        let index = ensure_doc_index(ing, &self.recorder, &cfg, rows);
+        Ok(index.remove(id))
+    }
+
     /// Register a custom analysis plugin available to generated code.
     pub fn register_plugin(&mut self, name: &str, f: allhands_query::plugins::PluginFn) {
         self.agent.register_plugin(name, f);
@@ -702,6 +1103,177 @@ impl AllHands {
     pub fn agent_mut(&mut self) -> &mut QaAgent {
         &mut self.agent
     }
+}
+
+/// Build the structured feedback frame: one row per text. Shared by the
+/// one-shot pipeline and the ingest path so both produce byte-identical
+/// tables for the same rows.
+fn build_frame(
+    texts: &[String],
+    labels: &[String],
+    sentiments: &[f64],
+    doc_topics: &[Vec<String>],
+) -> Result<DataFrame, AllHandsError> {
+    let frame = DataFrame::new(vec![
+        Column::from_i64s("id", &(0..texts.len() as i64).collect::<Vec<_>>()),
+        Column::from_strings("text", texts.to_vec()),
+        Column::from_strings("label", labels.to_vec()),
+        Column::from_f64s("sentiment", sentiments),
+        Column::from_str_lists("topics", doc_topics.to_vec()),
+        Column::from_i64s(
+            "text_len",
+            &texts.iter().map(|t| t.chars().count() as i64).collect::<Vec<_>>(),
+        ),
+    ])?;
+    Ok(frame)
+}
+
+/// Ensure every row before `upto` has a cached embedding, computing the
+/// missing tail data-parallel (deterministic across thread counts).
+fn backfill_row_embeds(ing: &mut IngestState, rec: &Recorder, upto: usize) {
+    if ing.row_embeds.len() >= upto {
+        return;
+    }
+    let missing = &ing.texts[ing.row_embeds.len()..upto];
+    let embs: Vec<Embedding> =
+        allhands_par::par_map_indexed_recorded(rec, "ingest.embed", missing, |_, t| {
+            ing.llm.embedder().embed(t)
+        });
+    ing.row_embeds.extend(embs);
+}
+
+/// Per-topic assignment targets for the first `upto` rows: the mean
+/// embedding of a topic's member rows, or the topic label's own embedding
+/// while it has no members yet. `"others"` is never a target (`None`) —
+/// landing there is exactly what routes a document to the pending pool.
+///
+/// Centroids are recomputed from row state each batch rather than updated
+/// incrementally: the same `(doc_topics, row_embeds)` state yields the
+/// same centroids whether it was reached live or by journal replay, so a
+/// resumed run's later batches assign byte-identically.
+fn topic_centroids(ing: &IngestState, upto: usize) -> Vec<Option<Embedding>> {
+    let dims = ing.llm.embedder().dims();
+    let mut sums: Vec<Embedding> = vec![Embedding::zeros(dims); ing.topic_list.len()];
+    let mut counts = vec![0usize; ing.topic_list.len()];
+    for (row, topics) in ing.doc_topics.iter().take(upto).enumerate() {
+        for t in topics {
+            if let Some(j) = ing.topic_list.iter().position(|x| x == t) {
+                sums[j].add_scaled(&ing.row_embeds[row], 1.0);
+                counts[j] += 1;
+            }
+        }
+    }
+    ing.topic_list
+        .iter()
+        .zip(sums)
+        .zip(counts)
+        .map(|((t, sum), n)| {
+            if t == "others" {
+                None
+            } else if n == 0 {
+                Some(ing.llm.embedder().embed(t))
+            } else {
+                let inv = 1.0 / n as f32;
+                let mut values = sum.into_vec();
+                for v in &mut values {
+                    *v *= inv;
+                }
+                Some(Embedding::new(values))
+            }
+        })
+        .collect()
+}
+
+/// Build the incremental document index on first use: embed and insert all
+/// rows before `seed_rows` (the current batch is inserted by the caller),
+/// train one partition per [`IngestConfig::ivf_partition_docs`] (clamped to
+/// `[2, 64]`), and arm the staleness-ratio auto-retrain.
+fn ensure_doc_index<'i>(
+    ing: &'i mut IngestState,
+    rec: &Recorder,
+    cfg: &IngestConfig,
+    seed_rows: usize,
+) -> &'i mut IvfIndex {
+    if ing.doc_index.is_none() {
+        backfill_row_embeds(ing, rec, seed_rows);
+        let mut idx = IvfIndex::new(ing.llm.embedder().dims(), cfg.ivf_nprobe.max(1));
+        idx.set_recorder(rec.clone());
+        idx.set_retrain_policy(Some(cfg.ivf_staleness));
+        for (i, emb) in ing.row_embeds[..seed_rows].iter().enumerate() {
+            idx.insert(Record::new(i as u64, emb.clone()));
+        }
+        idx.train((seed_rows / cfg.ivf_partition_docs.max(1)).clamp(2, 64));
+        ing.doc_index = Some(idx);
+    }
+    ing.doc_index.as_mut().expect("document index built above")
+}
+
+/// Apply a committed ingest delta record: append the batch rows with the
+/// recorded labels and topics, apply flush rewrites to earlier rows,
+/// restore the topic list and pending pool, and feed the document index
+/// the same insert sequence the live run performed (so auto-retrains fire
+/// at the same points and the index structure matches).
+fn apply_ingest_snapshot(
+    ing: &mut IngestState,
+    batch: &[String],
+    snap: IngestSnapshot,
+    rec: &Recorder,
+    cfg: &IngestConfig,
+    batch_idx: usize,
+) -> Result<IngestReport, AllHandsError> {
+    if snap.predicted.len() != batch.len() || snap.topics.len() != batch.len() {
+        return Err(AllHandsError::Pipeline(format!(
+            "journal: ingest snapshot for batch {batch_idx} holds {} label(s) / {} topic row(s) \
+             for a {}-document batch",
+            snap.predicted.len(),
+            snap.topics.len(),
+            batch.len()
+        )));
+    }
+    let start_row = ing.texts.len();
+    for (i, text) in batch.iter().enumerate() {
+        ing.texts.push(text.clone());
+        ing.row_labels.push(snap.predicted[i].clone());
+        ing.sentiments.push(estimate_sentiment(text));
+        ing.doc_topics.push(snap.topics[i].clone());
+    }
+    for rw in &snap.rewrites {
+        let row = rw.row as usize;
+        match ing.doc_topics.get_mut(row) {
+            Some(slot) => *slot = rw.topics.clone(),
+            None => {
+                return Err(AllHandsError::Pipeline(format!(
+                    "journal: ingest snapshot for batch {batch_idx} rewrites nonexistent row {row}"
+                )))
+            }
+        }
+    }
+    ing.topic_list = snap.topic_list;
+    ing.pending = snap.pending.iter().map(|&r| r as usize).collect();
+    backfill_row_embeds(ing, rec, ing.texts.len());
+    // Same insert sequence as the live run, so auto-retrains fire at the
+    // same points and the rebuilt index structure matches.
+    let retrained = {
+        let batch_embeds: Vec<Embedding> = ing.row_embeds[start_row..].to_vec();
+        let doc_index = ensure_doc_index(ing, rec, cfg, start_row);
+        let before = doc_index.train_count();
+        for (i, emb) in batch_embeds.into_iter().enumerate() {
+            doc_index.insert(Record::new((start_row + i) as u64, emb));
+        }
+        doc_index.train_count() > before
+    };
+    let frame = build_frame(&ing.texts, &ing.row_labels, &ing.sentiments, &ing.doc_topics)?;
+    Ok(IngestReport {
+        batch: batch_idx,
+        new_rows: batch.len(),
+        assigned: snap.assigned as usize,
+        routed_pending: snap.routed as usize,
+        flushed: snap.flushed as usize,
+        coined: snap.coined,
+        retrained,
+        replayed: true,
+        frame,
+    })
 }
 
 /// Lexical sentiment estimate in [-1, 1], blending a valence lexicon with

@@ -193,6 +193,24 @@ impl<'a> AbstractiveTopicModeler<'a> {
         TopicModelingResult { doc_topics, topic_list, reviewer_removed, refined, degradation }
     }
 
+    /// One bounded progressive-ICL pass for the incremental ingestion path:
+    /// assign topics to `texts` against an existing `topic_list`, growing it
+    /// in place (still capped by `max_topic_list`). Coined phrases get
+    /// spell-normalized against `corpus` — pass the full feedback set so
+    /// far, not just `texts`, so normalization is grounded the same way the
+    /// one-shot pipeline grounds it. Returns `(doc_topics, degraded,
+    /// quarantined)` with [`modeling_round`](Self::run) semantics; the
+    /// caller is responsible for turning the counts into degradation notes.
+    pub fn assign_pending(
+        &self,
+        texts: &[String],
+        topic_list: &mut Vec<String>,
+        corpus: &[String],
+    ) -> (Vec<Vec<String>>, usize, usize) {
+        let speller = Speller::fit(corpus);
+        self.modeling_round(texts, topic_list, &HashMap::new(), &speller)
+    }
+
     /// One progressive-ICL pass. `retrieval` optionally maps document index
     /// → extra demonstrations (round 2's augmentation). Returns the topics
     /// per document plus how many documents degraded to `"others"` because

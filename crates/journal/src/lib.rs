@@ -356,6 +356,17 @@ impl Journal {
         hit
     }
 
+    /// Keys of every entry in `stage`, in chain (append) order. The ingest
+    /// path uses this to count committed batch delta records; duplicates
+    /// appear if a key was appended more than once (latest wins on replay).
+    pub fn stage_keys(&self, stage: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|e| e.stage == stage)
+            .map(|e| e.key.as_str())
+            .collect()
+    }
+
     /// Decode the latest entry matching `(stage, key)` into `T`. Returns
     /// `None` when absent; decoding failures surface as errors (a present
     /// but undecodable snapshot is corruption, not a cache miss).
@@ -435,6 +446,20 @@ mod tests {
         assert_eq!(j.lookup::<Snap>("stage", "classified").unwrap(), Some(snap));
         assert_eq!(j.lookup::<String>("qa", "q0").unwrap(), Some("answer text".into()));
         assert_eq!(j.lookup::<Snap>("stage", "missing").unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stage_keys_in_append_order() {
+        let dir = scratch("stage-keys");
+        let mut j = Journal::open(&dir).unwrap();
+        j.ensure_run("cafe").unwrap();
+        j.append("ingest", "b00000:aa", &1u64).unwrap();
+        j.append("qa", "q000:bb", &2u64).unwrap();
+        j.append("ingest", "b00001:cc", &3u64).unwrap();
+        assert_eq!(j.stage_keys("ingest"), vec!["b00000:aa", "b00001:cc"]);
+        assert_eq!(j.stage_keys("qa"), vec!["q000:bb"]);
+        assert!(j.stage_keys("absent").is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

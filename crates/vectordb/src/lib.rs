@@ -125,6 +125,11 @@ pub trait VectorIndex {
 
     /// Fetch a record by id.
     fn get(&self, id: u64) -> Option<&Record>;
+
+    /// Remove a record by id; returns whether it existed. Removal is a
+    /// mutation like insert: on [`IvfIndex`] it counts toward the staleness
+    /// ratio that triggers automatic retraining.
+    fn remove(&mut self, id: u64) -> bool;
 }
 
 /// Heap entry ordered worst-first (lower score, then larger id, compares
@@ -146,11 +151,14 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: a NaN score
+        // (e.g. a zero-norm or NaN-bearing vector) must still occupy one
+        // fixed place in the order — treating it as equal to everything
+        // makes the heap's result depend on insertion order.
         other
             .0
             .score
-            .partial_cmp(&self.0.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&self.0.score)
             .then_with(|| self.0.id.cmp(&other.0.id))
     }
 }
@@ -231,20 +239,6 @@ impl FlatIndex {
         self.rec = rec;
     }
 
-    /// Remove a record by id; returns true if it existed.
-    pub fn remove(&mut self, id: u64) -> bool {
-        match self.by_id.remove(&id) {
-            Some(pos) => {
-                self.records.swap_remove(pos);
-                if let Some(moved) = self.records.get(pos) {
-                    self.by_id.insert(moved.id, pos);
-                }
-                true
-            }
-            None => false,
-        }
-    }
-
     /// Iterate all records.
     pub fn iter(&self) -> impl Iterator<Item = &Record> {
         self.records.iter()
@@ -277,6 +271,19 @@ impl VectorIndex for FlatIndex {
     fn get(&self, id: u64) -> Option<&Record> {
         self.by_id.get(&id).map(|&pos| &self.records[pos])
     }
+
+    fn remove(&mut self, id: u64) -> bool {
+        match self.by_id.remove(&id) {
+            Some(pos) => {
+                self.records.swap_remove(pos);
+                if let Some(moved) = self.records.get(pos) {
+                    self.by_id.insert(moved.id, pos);
+                }
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Inverted-file (IVF) index: records are partitioned by k-means over a
@@ -298,9 +305,26 @@ pub struct IvfIndex {
     pub nprobe: usize,
     seed: u64,
     rec: Recorder,
+    /// Partition count requested by the last [`train`](IvfIndex::train)
+    /// call — remembered even when that call no-opped (too few records), so
+    /// a later flood of inserts can still trigger the deferred training.
+    /// `0` until `train` is first called: auto-retrain never second-guesses
+    /// an index nobody asked to train.
+    target_partitions: usize,
+    /// Inserts + removes since the last `train` call (upserts count once).
+    mutations: usize,
+    /// Auto-retrain when `mutations / len` reaches this ratio
+    /// (`None` = manual training only).
+    retrain_staleness: Option<f32>,
+    /// Completed k-means trainings (manual and automatic).
+    trains: u64,
 }
 
 impl IvfIndex {
+    /// Staleness ratio past which a trained-or-armed index automatically
+    /// retrains (see [`IvfIndex::set_retrain_policy`]).
+    pub const DEFAULT_RETRAIN_STALENESS: f32 = 0.5;
+
     /// Create an untrained IVF index.
     pub fn new(dims: usize, nprobe: usize) -> Self {
         assert!(dims > 0, "dims must be positive");
@@ -312,6 +336,10 @@ impl IvfIndex {
             nprobe: nprobe.max(1),
             seed: 42,
             rec: Recorder::disabled(),
+            target_partitions: 0,
+            mutations: 0,
+            retrain_staleness: Some(Self::DEFAULT_RETRAIN_STALENESS),
+            trains: 0,
         }
     }
 
@@ -321,23 +349,85 @@ impl IvfIndex {
     }
 
     /// Train `n_partitions` k-means centroids on the current contents and
-    /// re-assign every record. No-op if fewer records than partitions.
+    /// re-assign every record. With fewer records than partitions the
+    /// partitioning itself no-ops, but the request is remembered: once
+    /// enough inserts accumulate, the staleness-ratio auto-retrain performs
+    /// the deferred training with the same partition count.
     pub fn train(&mut self, n_partitions: usize) {
+        self.target_partitions = n_partitions;
+        self.mutations = 0;
         let all: Vec<Record> = self.partitions.drain(..).flatten().collect();
-        if all.len() < n_partitions || n_partitions < 2 {
+        // Records with non-finite coordinates sit out k-means: a NaN
+        // distance poisons the k-means++ seeding weights (`gen_range(0.0..NaN)`).
+        // They are stored afterwards wherever `assign` deterministically
+        // routes them (all-NaN distances tie-break to partition 0).
+        let (finite, rest): (Vec<Record>, Vec<Record>) = all
+            .into_iter()
+            .partition(|r| r.vector.as_slice().iter().all(|v| v.is_finite()));
+        if finite.len() < n_partitions || n_partitions < 2 {
+            let mut records = finite;
+            records.extend(rest);
             self.centroids.clear();
-            self.partitions = vec![all];
+            self.partitions = vec![records];
             self.rebuild_id_map();
             return;
         }
-        let vectors: Vec<&Embedding> = all.iter().map(|r| &r.vector).collect();
+        let vectors: Vec<&Embedding> = finite.iter().map(|r| &r.vector).collect();
         let result = kmeans(&vectors, n_partitions, 20, self.seed);
         self.centroids = result.centroids;
         self.partitions = vec![Vec::new(); self.centroids.len()];
-        for (record, &part) in all.into_iter().zip(&result.assignments) {
+        for (record, &part) in finite.into_iter().zip(&result.assignments) {
+            self.partitions[part].push(record);
+        }
+        for record in rest {
+            let part = self.assign(&record.vector);
             self.partitions[part].push(record);
         }
         self.rebuild_id_map();
+        self.trains += 1;
+        self.rec.incr("vectordb.ivf_trains");
+    }
+
+    /// Fraction of the index mutated (inserted/removed) since the last
+    /// `train` call; 0 for an empty index.
+    pub fn staleness(&self) -> f32 {
+        if self.by_id.is_empty() {
+            0.0
+        } else {
+            self.mutations as f32 / self.by_id.len() as f32
+        }
+    }
+
+    /// Inserts + removes since the last `train` call.
+    pub fn mutations_since_train(&self) -> usize {
+        self.mutations
+    }
+
+    /// Completed k-means trainings, manual and automatic.
+    pub fn train_count(&self) -> u64 {
+        self.trains
+    }
+
+    /// Set the staleness ratio that triggers automatic retraining
+    /// (`None` disables it). The retrain re-runs k-means with the partition
+    /// count of the last `train` call, so it only ever fires on an index
+    /// whose owner asked for training at least once.
+    pub fn set_retrain_policy(&mut self, staleness: Option<f32>) {
+        self.retrain_staleness = staleness;
+    }
+
+    /// Retrain if armed (a `train` call happened), enough records exist for
+    /// the requested partition count, and the staleness ratio has been
+    /// reached. Called after every mutation.
+    fn maybe_retrain(&mut self) {
+        let Some(threshold) = self.retrain_staleness else { return };
+        if self.target_partitions < 2 || self.by_id.len() < self.target_partitions {
+            return;
+        }
+        if self.staleness() >= threshold {
+            self.rec.incr("vectordb.ivf_auto_retrains");
+            self.train(self.target_partitions);
+        }
     }
 
     fn rebuild_id_map(&mut self) {
@@ -350,6 +440,14 @@ impl IvfIndex {
     }
 
     /// Which partition should `vector` live in?
+    ///
+    /// `(distance asc, partition index asc)` is a total order (`total_cmp`
+    /// handles NaN distances; the index breaks exact ties), so assignment
+    /// agrees with the probe ranking in `search_filtered`. Without the
+    /// explicit tie-break the two diverge: `min_by` keeps the *last* of
+    /// equal minima while a stable sort keeps the *first*, so a record at a
+    /// point equidistant from two centroids would be stored in one
+    /// partition but probed in the other — unreachable at `nprobe = 1`.
     fn assign(&self, vector: &Embedding) -> usize {
         if self.centroids.is_empty() {
             return 0;
@@ -357,12 +455,8 @@ impl IvfIndex {
         self.centroids
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                vector
-                    .sq_dist(a)
-                    .partial_cmp(&vector.sq_dist(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .map(|(i, c)| (i, vector.sq_dist(c)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
@@ -393,6 +487,8 @@ impl VectorIndex for IvfIndex {
         let part = self.assign(&record.vector);
         self.by_id.insert(record.id, (part, self.partitions[part].len()));
         self.partitions[part].push(record);
+        self.mutations += 1;
+        self.maybe_retrain();
     }
 
     fn search_filtered(&self, query: &Embedding, k: usize, filter: &Filter) -> Vec<SearchResult> {
@@ -407,7 +503,10 @@ impl VectorIndex for IvfIndex {
                 .enumerate()
                 .map(|(i, c)| (i, query.sq_dist(c)))
                 .collect();
-            ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            // Same total order as `assign`: distance asc, partition index
+            // asc. `total_cmp` keeps NaN distances from collapsing the
+            // ranking into insertion-order noise.
+            ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             ranked.into_iter().take(self.nprobe).map(|(i, _)| i).collect()
         };
         let pool: Vec<&Record> = probe
@@ -426,6 +525,21 @@ impl VectorIndex for IvfIndex {
 
     fn get(&self, id: u64) -> Option<&Record> {
         self.by_id.get(&id).map(|&(p, o)| &self.partitions[p][o])
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        match self.by_id.remove(&id) {
+            Some((p, o)) => {
+                self.partitions[p].swap_remove(o);
+                if let Some(moved) = self.partitions[p].get(o) {
+                    self.by_id.insert(moved.id, (p, o));
+                }
+                self.mutations += 1;
+                self.maybe_retrain();
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -625,5 +739,250 @@ mod tests {
             12,
         );
         assert_eq!(serial.0, oracle);
+    }
+
+    /// Regression: a record exactly equidistant from two centroids must be
+    /// stored in the same partition the probe ranking visits first.
+    /// Before the `total_cmp` + index tie-break, `assign` used `min_by`
+    /// (keeps the LAST of equal minima) while the probe used a stable sort
+    /// (keeps the FIRST), so the record landed in one partition and
+    /// `nprobe = 1` probed the other — an unreachable vector.
+    #[test]
+    fn equidistant_centroid_assignment_matches_probe_order() {
+        let mut ivf = IvfIndex::new(2, 1);
+        for i in 0..25u64 {
+            ivf.insert(Record::new(i, vec2(1.0, 0.0)));
+        }
+        for i in 25..50u64 {
+            ivf.insert(Record::new(i, vec2(-1.0, 0.0)));
+        }
+        ivf.train(2);
+        assert_eq!(ivf.n_partitions(), 2);
+        // (0, 1) is exactly sq_dist 2.0 from both centroids (1,0), (-1,0).
+        ivf.insert(Record::new(100, vec2(0.0, 1.0)));
+        let hits = ivf.search(&vec2(0.0, 1.0), 1);
+        assert_eq!(hits[0].id, 100, "equidistant record probed in the wrong partition");
+        assert!(hits[0].score > 0.99);
+    }
+
+    /// Bitwise hit comparison: `SearchResult` equality via `PartialEq`
+    /// rejects NaN == NaN, which is exactly the case these fixtures pin.
+    fn assert_same_hits(a: &[SearchResult], b: &[SearchResult], ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}: lengths differ");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.id, y.id, "{ctx}");
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "{ctx} id {}", x.id);
+        }
+    }
+
+    /// NaN-bearing vectors must not destabilize assignment or ranking:
+    /// searches stay deterministic and keep matching the flat oracle.
+    #[test]
+    fn nan_vectors_keep_total_order_and_match_flat() {
+        let mut flat = FlatIndex::new(2);
+        // nprobe >= partition count: IVF probes everything, so any result
+        // difference can only come from ordering, not from recall.
+        let mut ivf = IvfIndex::new(2, 8);
+        for i in 0..60u64 {
+            let angle = i as f32 * 0.1;
+            let v = vec2(angle.cos(), angle.sin());
+            flat.insert(Record::new(i, v.clone()));
+            ivf.insert(Record::new(i, v));
+        }
+        ivf.train(4);
+        let poisoned = vec2(f32::NAN, 0.5);
+        flat.insert(Record::new(500, poisoned.clone()));
+        ivf.insert(Record::new(500, poisoned));
+        assert!(ivf.get(500).is_some(), "NaN vector must still be stored and retrievable");
+        for (qi, q) in [vec2(1.0, 0.2), vec2(-0.3, 0.9), vec2(f32::NAN, 1.0)].iter().enumerate() {
+            let f = flat.search(q, 5);
+            let v = ivf.search(q, 5);
+            assert_same_hits(&f, &v, &format!("query {qi}"));
+            // Total order ⇒ repeat searches are byte-identical.
+            let again = ivf.search(q, 5);
+            assert_same_hits(&v, &again, &format!("query {qi} repeat"));
+        }
+        // A NaN vector can survive a retrain: it sits out k-means and is
+        // routed deterministically afterwards.
+        ivf.train(4);
+        assert!(ivf.get(500).is_some());
+        assert_same_hits(&flat.search(&vec2(1.0, 0.2), 5), &ivf.search(&vec2(1.0, 0.2), 5), "post-retrain");
+    }
+
+    /// Regression for `IvfIndex::remove`: removing a non-tail record
+    /// swap-removes the partition tail into its slot, and the moved
+    /// record's `by_id` offset must follow it (the stale-offset case).
+    #[test]
+    fn ivf_remove_non_tail_fixes_moved_offset() {
+        let mut ivf = IvfIndex::new(2, 1);
+        // One partition (untrained): offsets are insertion order.
+        for i in 0..5u64 {
+            let angle = i as f32;
+            ivf.insert(Record::new(i, vec2(angle.cos(), angle.sin())));
+        }
+        assert!(ivf.remove(1)); // tail record 4 swaps into offset 1
+        assert!(!ivf.remove(1), "second remove of the same id must be a no-op");
+        assert_eq!(ivf.len(), 4);
+        assert!(ivf.get(1).is_none(), "removed record still resolvable");
+        let moved = ivf.get(4).expect("moved tail record lost");
+        assert_eq!(moved.id, 4);
+        assert!((moved.vector.as_slice()[0] - (4.0f32).cos()).abs() < 1e-6);
+        // And on a trained index, through the trait object.
+        let mut trained = IvfIndex::new(2, 2);
+        for i in 0..40u64 {
+            let v = if i % 2 == 0 { vec2(1.0, i as f32 * 0.01) } else { vec2(-1.0, i as f32 * 0.01) };
+            trained.insert(Record::new(i, v));
+        }
+        trained.train(2);
+        let index: &mut dyn VectorIndex = &mut trained;
+        assert!(index.remove(0));
+        assert!(index.get(0).is_none());
+        assert_eq!(index.len(), 39);
+        for i in 1..40u64 {
+            assert_eq!(index.get(i).expect("survivor lost").id, i);
+        }
+        assert!(index.search(&vec2(1.0, 0.0), 40).iter().all(|h| h.id != 0));
+    }
+
+    /// Upsert where the new vector stays in the *same* partition as the old
+    /// one: `swap_remove` moves the partition tail into the vacated slot,
+    /// then the re-insert appends — every offset in `by_id` must survive.
+    #[test]
+    fn ivf_upsert_same_partition_keeps_offsets_consistent() {
+        let mut ivf = IvfIndex::new(2, 1);
+        for i in 0..10u64 {
+            ivf.insert(Record::new(i, vec2(1.0, i as f32 * 0.01)));
+        }
+        for i in 10..20u64 {
+            ivf.insert(Record::new(i, vec2(-1.0, i as f32 * 0.01)));
+        }
+        ivf.train(2);
+        // id 3 was not the tail of its partition; its replacement vector is
+        // still nearest the (1, 0) centroid, so the round trip stays inside
+        // one partition.
+        ivf.insert(Record::new(3, vec2(0.9, 0.1)));
+        assert_eq!(ivf.len(), 20);
+        for i in 0..20u64 {
+            let r = ivf.get(i).unwrap_or_else(|| panic!("id {i} lost after upsert"));
+            assert_eq!(r.id, i, "by_id offset for id {i} points at the wrong record");
+        }
+        let hit = &ivf.search(&vec2(0.9, 0.1), 1)[0];
+        assert_eq!(hit.id, 3);
+        assert!(hit.score > 0.999);
+    }
+
+    /// Regression: `train` on too few records used to no-op and forget the
+    /// request entirely, so an index "trained" on 3 records never
+    /// partitioned no matter how many inserts followed. The request is now
+    /// remembered and the staleness-ratio auto-retrain performs it.
+    #[test]
+    fn noop_train_arms_deferred_retraining() {
+        let mut ivf = IvfIndex::new(2, 2);
+        for i in 0..3u64 {
+            ivf.insert(Record::new(i, vec2(i as f32, 1.0)));
+        }
+        ivf.train(8); // 3 < 8: partitioning no-ops, request remembered
+        assert!(!ivf.is_trained());
+        assert_eq!(ivf.n_partitions(), 1);
+        assert_eq!(ivf.train_count(), 0);
+        for i in 3..1003u64 {
+            let angle = i as f32 * 0.006;
+            ivf.insert(Record::new(i, vec2(angle.cos(), angle.sin())));
+        }
+        assert!(ivf.is_trained(), "insert flood never triggered the deferred training");
+        assert_eq!(ivf.n_partitions(), 8);
+        assert!(ivf.train_count() >= 1);
+        // Every retrain resets the mutation counter, so the final staleness
+        // sits below the trigger ratio.
+        assert!(ivf.staleness() < IvfIndex::DEFAULT_RETRAIN_STALENESS);
+    }
+
+    /// `set_retrain_policy(None)` turns the automation off.
+    #[test]
+    fn retrain_policy_none_disables_auto_retraining() {
+        let mut ivf = IvfIndex::new(2, 2);
+        ivf.set_retrain_policy(None);
+        for i in 0..3u64 {
+            ivf.insert(Record::new(i, vec2(i as f32, 1.0)));
+        }
+        ivf.train(8);
+        for i in 3..1003u64 {
+            ivf.insert(Record::new(i, vec2((i as f32).cos(), (i as f32).sin())));
+        }
+        assert!(!ivf.is_trained());
+        assert_eq!(ivf.train_count(), 0);
+        assert!(ivf.staleness() > 0.9);
+    }
+
+    /// Acceptance fixture: a seeded (insert, upsert, remove) stream with
+    /// auto-retrains firing along the way — plus NaN and exactly-tied
+    /// vectors — must keep IVF search results identical to a FlatIndex
+    /// oracle fed the same mutations (nprobe covers all partitions, so
+    /// the comparison isolates ordering and bookkeeping, not recall).
+    #[test]
+    fn ivf_matches_flat_oracle_through_mutation_sequences() {
+        use rand::Rng;
+        use rand_chacha::rand_core::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        let mut flat = FlatIndex::new(3);
+        let mut ivf = IvfIndex::new(3, 64);
+        let rand_vec = |rng: &mut rand_chacha::ChaCha8Rng| {
+            Embedding::new((0..3).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        };
+        for i in 0..300u64 {
+            let v = rand_vec(&mut rng);
+            flat.insert(Record::new(i, v.clone()));
+            ivf.insert(Record::new(i, v));
+        }
+        ivf.train(6);
+        // Exactly-tied vectors (identical bytes, distinct ids) and a NaN
+        // record ride along through the whole stream.
+        for id in [800u64, 801, 802] {
+            let v = Embedding::new(vec![0.5, -0.5, 0.5]);
+            flat.insert(Record::new(id, v.clone()));
+            ivf.insert(Record::new(id, v));
+        }
+        let nan = Embedding::new(vec![f32::NAN, 0.1, 0.2]);
+        flat.insert(Record::new(900, nan.clone()));
+        ivf.insert(Record::new(900, nan));
+        let mut next_id = 301u64;
+        let mut live: Vec<u64> = (0..300).chain([800, 801, 802, 900]).collect();
+        for step in 0..600 {
+            match rng.gen_range(0..3usize) {
+                0 => {
+                    let v = rand_vec(&mut rng);
+                    flat.insert(Record::new(next_id, v.clone()));
+                    ivf.insert(Record::new(next_id, v));
+                    live.push(next_id);
+                    next_id += 1;
+                }
+                1 => {
+                    let id = live[rng.gen_range(0..live.len())];
+                    let v = rand_vec(&mut rng);
+                    flat.insert(Record::new(id, v.clone()));
+                    ivf.insert(Record::new(id, v));
+                }
+                _ => {
+                    let id = live.swap_remove(rng.gen_range(0..live.len()));
+                    assert_eq!(flat.remove(id), ivf.remove(id), "step {step} id {id}");
+                }
+            }
+            assert_eq!(flat.len(), ivf.len(), "step {step}");
+            if step % 50 == 0 {
+                let q = rand_vec(&mut rng);
+                assert_same_hits(&flat.search(&q, 12), &ivf.search(&q, 12), &format!("step {step}"));
+            }
+        }
+        assert!(ivf.train_count() >= 2, "mutation stream should have auto-retrained");
+        for (qi, q) in [
+            Embedding::new(vec![0.5, -0.5, 0.5]),
+            Embedding::new(vec![f32::NAN, 0.0, 0.0]),
+            rand_vec(&mut rng),
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_same_hits(&flat.search(q, 20), &ivf.search(q, 20), &format!("final query {qi}"));
+        }
     }
 }

@@ -20,17 +20,23 @@
 #   --obs-smoke     run the observability suite on its own, then smoke-run
 #                   the pipeline bench and schema-validate the emitted
 #                   BENCH_pipeline_obs.json run report.
+#   --ingest-smoke  run the incremental-ingestion suite on its own (batch
+#                   byte-identity across thread counts and chaos, crash at
+#                   every ingest seam + resume, span/counter shape, the
+#                   search/retract facade).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 bench_smoke=0
 crash_smoke=0
 obs_smoke=0
+ingest_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --crash-smoke) crash_smoke=1 ;;
     --obs-smoke) obs_smoke=1 ;;
+    --ingest-smoke) ingest_smoke=1 ;;
     *)
       echo "verify: unknown flag $arg" >&2
       exit 2
@@ -69,6 +75,11 @@ if [[ "$obs_smoke" == 1 ]]; then
   for f in BENCH_pipeline.json BENCH_pipeline_obs.json; do
     [[ -s "$out_dir/$f" ]] || { echo "verify: $f missing" >&2; exit 1; }
   done
+fi
+
+if [[ "$ingest_smoke" == 1 ]]; then
+  echo "==> ingest smoke (batch determinism, crash resume, index maintenance)"
+  cargo test -q --test ingest_determinism
 fi
 
 echo "verify: OK"

@@ -52,8 +52,8 @@ pub use allhands_vectordb as vectordb;
 pub mod prelude {
     pub use allhands_classify::LabeledExample;
     pub use allhands_core::{
-        AllHands, AllHandsBuilder, AllHandsConfig, AllHandsError, AnalyzeOptions, JournalMode,
-        QuarantineReport, RecorderMode, Response,
+        AllHands, AllHandsBuilder, AllHandsConfig, AllHandsError, AnalyzeOptions, IngestConfig,
+        IngestReport, JournalMode, QuarantineReport, RecorderMode, Response,
     };
     pub use allhands_dataframe::DataFrame;
     pub use allhands_llm::ModelTier;
