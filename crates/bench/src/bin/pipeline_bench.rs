@@ -1,7 +1,9 @@
 //! Wall-clock benchmark of the pipeline hot paths — Stage-1 batch
 //! classification, HAC topic clustering, and vector-index search — serial
-//! (`ALLHANDS_THREADS=1`) vs parallel, plus the end-to-end pipeline and an
-//! incremental-ingest phase with per-batch timings.
+//! (`ALLHANDS_THREADS=1`) vs parallel, plus the end-to-end pipeline, an
+//! incremental-ingest phase with per-batch timings, and a recovery phase
+//! comparing journal replay from scratch against restoring the newest
+//! checkpoint.
 //! Emits `BENCH_pipeline.json` (schema below) and verifies on the way that
 //! serial and parallel outputs are byte-identical.
 //!
@@ -16,7 +18,10 @@
 //! host the honest number is ~1.0 and the JSON says so.
 
 use allhands_classify::LabeledExample;
-use allhands_core::{AllHands, IclClassifier, IclConfig, RecorderMode};
+use allhands_core::{
+    AllHands, AllHandsConfig, CheckpointPolicy, IclClassifier, IclConfig, JournalMode,
+    RecorderMode,
+};
 use allhands_datasets::{generate_n, DatasetKind};
 use allhands_embed::Embedding;
 use allhands_llm::{ModelTier, SimLlm};
@@ -27,8 +32,8 @@ use allhands_vectordb::{FlatIndex, Record, VectorIndex};
 use serde_json::{Map, Value};
 use std::time::Instant;
 
-const SCHEMA_VERSION: u64 = 2;
-const STAGES: [&str; 5] = ["classify", "hac", "search", "pipeline", "ingest"];
+const SCHEMA_VERSION: u64 = 3;
+const STAGES: [&str; 6] = ["classify", "hac", "search", "pipeline", "ingest", "recovery"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +74,7 @@ fn main() {
     stages.insert("search".to_string(), bench_search(smoke));
     stages.insert("pipeline".to_string(), bench_pipeline(smoke));
     stages.insert("ingest".to_string(), bench_ingest(smoke));
+    stages.insert("recovery".to_string(), bench_recovery(smoke));
 
     let mut root = Map::new();
     root.insert("schema_version".to_string(), Value::U64(SCHEMA_VERSION));
@@ -322,6 +328,104 @@ fn bench_ingest(smoke: bool) -> Value {
     )
 }
 
+fn bench_recovery(smoke: bool) -> Value {
+    let (n, batch_n) = if smoke { (60, 15) } else { (200, 40) };
+    let records = generate_n(DatasetKind::GoogleStoreApp, n, 11);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let labeled: Vec<LabeledExample> = records
+        .iter()
+        .take(n / 2)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let predefined =
+        vec!["bug".to_string(), "crash".to_string(), "feature request".to_string()];
+    let stream: Vec<Vec<String>> = (0..3u64)
+        .map(|b| {
+            generate_n(DatasetKind::GoogleStoreApp, batch_n, 1000 + b)
+                .iter()
+                .map(|r| r.text.clone())
+                .collect()
+        })
+        .collect();
+
+    let root = std::env::temp_dir()
+        .join(format!("allhands-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("recovery scratch dir");
+    let wal_dir = root.join("wal-only");
+    let ckpt_dir = root.join("checkpointed");
+    let ckpt_config = AllHandsConfig {
+        checkpoint: CheckpointPolicy { every_n_batches: 1, keep_last_k: 2 },
+        ..AllHandsConfig::default()
+    };
+
+    // Seed two identical sessions: one WAL-only, one checkpointed (and
+    // therefore compacted). The seeded output doubles as the reference.
+    let seed = |dir: &std::path::Path, config: AllHandsConfig| -> String {
+        let (mut ah, _frame) = AllHands::builder(ModelTier::Gpt4)
+            .config(config)
+            .journal(JournalMode::Continue(dir.to_path_buf()))
+            .analyze(&texts, &labeled, &predefined)
+            .expect("seed run must not fail");
+        let mut last = String::new();
+        for batch in &stream {
+            last = ah.ingest(batch).expect("seed ingest must not fail").frame.to_table_string(10);
+        }
+        last
+    };
+    let reference = seed(&wal_dir, AllHandsConfig::default());
+    let checkpointed = seed(&ckpt_dir, ckpt_config.clone());
+    assert_eq!(reference, checkpointed, "checkpointing changed the seeded output");
+
+    // Replay from scratch: resume over the WAL-only journal, re-running
+    // every pipeline stage and ingest delta from the log.
+    let (scratch_ms, scratch_out) = time_ms(|| {
+        let (mut ah, _frame) = AllHands::builder(ModelTier::Gpt4)
+            .journal(JournalMode::Continue(wal_dir.clone()))
+            .analyze(&texts, &labeled, &predefined)
+            .expect("scratch replay must not fail");
+        let mut last = String::new();
+        for batch in &stream {
+            last = ah
+                .ingest(batch)
+                .expect("replay ingest must not fail")
+                .frame
+                .to_table_string(10);
+        }
+        last
+    });
+    // Replay from the newest checkpoint: the full session state restores
+    // directly, no per-stage recomputation.
+    let (checkpoint_ms, checkpoint_out) = time_ms(|| {
+        let (_ah, frame) = AllHands::builder(ModelTier::Gpt4)
+            .config(ckpt_config.clone())
+            .journal(JournalMode::Continue(ckpt_dir.clone()))
+            .recover_latest()
+            .analyze(&texts, &labeled, &predefined)
+            .expect("checkpoint recovery must not fail");
+        frame.to_table_string(10)
+    });
+    assert_eq!(reference, scratch_out, "scratch replay diverged from the seeded run");
+    assert_eq!(reference, checkpoint_out, "checkpoint recovery diverged from the seeded run");
+    std::fs::remove_dir_all(&root).ok();
+
+    let docs = n + stream.iter().map(Vec::len).sum::<usize>();
+    println!(
+        "  recovery: {} batches  from-scratch {scratch_ms:.1}ms  from-checkpoint {checkpoint_ms:.1}ms",
+        stream.len()
+    );
+    stage_entry(
+        scratch_ms,
+        checkpoint_ms,
+        docs,
+        vec![
+            ("batches", Value::U64(stream.len() as u64)),
+            ("replay_scratch_ms", Value::F64(scratch_ms)),
+            ("replay_checkpoint_ms", Value::F64(checkpoint_ms)),
+        ],
+    )
+}
+
 /// One instrumented end-to-end run; returns the observability report JSON.
 fn obs_report(smoke: bool) -> Value {
     let n = if smoke { 60 } else { 200 };
@@ -411,6 +515,24 @@ fn validate(path: &str) -> Result<(), String> {
                     "stages.ingest.{field}[{i}]: {ms} not a positive number"
                 ));
             }
+        }
+    }
+    // The recovery stage records replay-from-scratch vs replay-from-checkpoint
+    // times (mirrored into serial_ms/parallel_ms so the generic checks above
+    // cover them; `speedup` is the checkpoint win).
+    let Some(Value::Object(recovery)) = stages.get("recovery") else {
+        return Err("stages.recovery: missing or not an object".to_string());
+    };
+    let rb = as_f64(recovery.get("batches"))
+        .ok_or("stages.recovery.batches: missing or non-numeric")?;
+    if rb < 1.0 {
+        return Err(format!("stages.recovery.batches: {rb} < 1"));
+    }
+    for field in ["replay_scratch_ms", "replay_checkpoint_ms"] {
+        let ms = as_f64(recovery.get(field))
+            .ok_or_else(|| format!("stages.recovery.{field}: missing or non-numeric"))?;
+        if !(ms.is_finite() && ms > 0.0) {
+            return Err(format!("stages.recovery.{field}: {ms} not a positive number"));
         }
     }
     Ok(())

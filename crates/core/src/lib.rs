@@ -54,7 +54,7 @@ use allhands_classify::LabeledExample;
 use allhands_dataframe::{Column, DataFrame};
 use allhands_embed::Embedding;
 use allhands_llm::{ModelSpec, ModelTier, SimLlm};
-use allhands_vectordb::{IvfIndex, Record, VectorIndex};
+use allhands_vectordb::{IvfIndex, IvfState, Record, VectorIndex};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -94,6 +94,9 @@ struct TopicRewrite {
 /// byte-identically without re-running classification or re-summarization.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct IngestSnapshot {
+    /// The batch texts themselves, so point-in-time recovery can replay
+    /// this delta without the caller re-feeding the batch.
+    texts: Vec<String>,
     /// Stage-1 labels for the batch rows, in batch order.
     predicted: Vec<String>,
     /// Final topics of the batch rows (post-flush, if one fired).
@@ -109,6 +112,33 @@ struct IngestSnapshot {
     flushed: u64,
     coined: Vec<String>,
     resilience: ResilienceSnapshot,
+}
+
+/// Full-session checkpoint payload: everything point-in-time recovery
+/// needs to rebuild an [`AllHands`] without the WAL prefix the matching
+/// compaction dropped. Row embeddings, the demonstration pool, and
+/// sentiments are deliberately absent — they are recomputed
+/// deterministically from the texts (the embedder is stateless), keeping
+/// checkpoints proportional to the structured state, not the vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CheckpointState {
+    texts: Vec<String>,
+    row_labels: Vec<String>,
+    doc_topics: Vec<Vec<String>>,
+    topic_list: Vec<String>,
+    /// Row ids pending re-summarization at checkpoint time.
+    pending: Vec<u64>,
+    /// Ingest batches applied at checkpoint time (= the checkpoint marker).
+    batches: u64,
+    /// Questions asked at checkpoint time.
+    asked: u64,
+    /// The full answer history, so a recovered agent keeps its session
+    /// bindings and conversation context.
+    answers: Vec<AnswerRecord>,
+    resilience: ResilienceSnapshot,
+    /// The incremental document index, if it was built (`None` preserves
+    /// the lazy build-on-first-use behavior across recovery).
+    doc_index: Option<IvfState>,
 }
 
 fn jerr(e: JournalError) -> AllHandsError {
@@ -197,6 +227,17 @@ impl RecorderMode {
     }
 }
 
+/// A point-in-time recovery target, counted in ingest batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverPoint {
+    /// Restore to the state immediately after the 0-based batch ordinal
+    /// was ingested. Errors if the journal's checkpoints + delta records
+    /// cannot reach that batch.
+    Batch(usize),
+    /// Restore to the newest state the journal can reach.
+    Latest,
+}
+
 /// Typed per-run options, grouped so the facade entry point stays one
 /// method as options accrete.
 #[derive(Debug, Clone, Default)]
@@ -205,6 +246,9 @@ pub struct AnalyzeOptions {
     pub journal: Option<JournalMode>,
     /// Metrics/tracing recording (disabled by default).
     pub recorder: RecorderMode,
+    /// Point-in-time recovery target (`None` = run / resume normally).
+    /// Requires a journal.
+    pub recover: Option<RecoverPoint>,
 }
 
 /// Builder for an [`AllHands`] run — the single entry point replacing the
@@ -260,6 +304,24 @@ impl AllHandsBuilder {
         self
     }
 
+    /// Point-in-time recovery: restore the state immediately after ingest
+    /// batch `batch` (0-based) from the journal's checkpoints and delta
+    /// records — the nearest checkpoint at or below the target is restored
+    /// and the remaining deltas replay forward. Requires
+    /// [`JournalMode::Continue`]; [`analyze`](Self::analyze) errors if the
+    /// journal cannot reach the requested batch.
+    pub fn recover_at(mut self, batch: usize) -> Self {
+        self.options.recover = Some(RecoverPoint::Batch(batch));
+        self
+    }
+
+    /// Point-in-time recovery to the newest state the journal can reach
+    /// (all checkpointed batches plus every surviving delta record).
+    pub fn recover_latest(mut self) -> Self {
+        self.options.recover = Some(RecoverPoint::Latest);
+        self
+    }
+
     /// Run the full three-stage pipeline on raw texts. See
     /// [`AllHands::builder`] for the contract details.
     pub fn analyze(
@@ -273,12 +335,15 @@ impl AllHandsBuilder {
             None => None,
             Some(mode) => {
                 let mut journal = Journal::open(mode.dir()).map_err(jerr)?;
-                if matches!(mode, JournalMode::Fresh(_)) && !journal.is_empty() {
+                if matches!(mode, JournalMode::Fresh(_))
+                    && (!journal.is_empty() || journal.has_checkpoints())
+                {
                     return Err(AllHandsError::Pipeline(format!(
-                        "journal: JournalMode::Fresh requires an empty journal, but {} already holds {} entr{}",
+                        "journal: JournalMode::Fresh requires an empty journal, but {} already holds {} entr{} and {} checkpoint(s)",
                         journal.path().display(),
                         journal.len(),
-                        if journal.len() == 1 { "y" } else { "ies" }
+                        if journal.len() == 1 { "y" } else { "ies" },
+                        journal.checkpoints().len()
                     )));
                 }
                 journal.set_recorder(recorder.clone());
@@ -293,15 +358,31 @@ impl AllHandsBuilder {
                 Some(journal)
             }
         };
-        AllHands::run_pipeline(
-            self.tier,
-            texts,
-            labeled_sample,
-            predefined_topics,
-            self.config,
-            journal,
-            recorder,
-        )
+        match (self.options.recover, journal) {
+            (Some(point), Some(journal)) => AllHands::run_recovery(
+                self.tier,
+                texts,
+                labeled_sample,
+                predefined_topics,
+                self.config,
+                journal,
+                recorder,
+                point,
+            ),
+            (Some(_), None) => Err(AllHandsError::Pipeline(
+                "recover requires a journal: attach JournalMode::Continue(dir) before recover_at / recover_latest"
+                    .to_string(),
+            )),
+            (None, journal) => AllHands::run_pipeline(
+                self.tier,
+                texts,
+                labeled_sample,
+                predefined_topics,
+                self.config,
+                journal,
+                recorder,
+            ),
+        }
     }
 
     /// Build directly over an already-structured feedback frame, skipping
@@ -324,6 +405,7 @@ impl AllHandsBuilder {
             resilience,
             journal: None,
             asked: 0,
+            answers: Vec::new(),
             recorder,
             qa_span: None,
             ingest: None,
@@ -462,6 +544,28 @@ struct IngestState {
     batches: usize,
 }
 
+/// Automatic checkpoint cadence and retention, driven from
+/// [`AllHands::ingest`] on journaled runs. Disabled by default so
+/// un-checkpointed runs behave exactly as before (same journal contents,
+/// same crash-point schedule).
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Write a checkpoint — and compact the journal behind it — after
+    /// every N ingest batches. `0` disables automatic checkpointing.
+    pub every_n_batches: usize,
+    /// Checkpoints each compaction retains (clamped to at least 1). The
+    /// journal keeps delta records back to the *oldest* retained
+    /// checkpoint, so a later-corrupted newest checkpoint still leaves a
+    /// recoverable older one.
+    pub keep_last_k: usize,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        Self { every_n_batches: 0, keep_last_k: 2 }
+    }
+}
+
 /// Facade configuration.
 #[derive(Debug, Clone, Default)]
 pub struct AllHandsConfig {
@@ -473,6 +577,8 @@ pub struct AllHandsConfig {
     pub agent: AgentConfig,
     /// Incremental ingestion settings.
     pub ingest: IngestConfig,
+    /// Checkpoint + compaction retention (off by default).
+    pub checkpoint: CheckpointPolicy,
     /// Resilience settings shared by all three stages (fault injection off
     /// by default — the default pipeline behaves exactly as if no
     /// resilience layer existed).
@@ -491,6 +597,9 @@ pub struct AllHands {
     journal: Option<Journal>,
     /// Questions asked so far — the ordinal half of each QA journal key.
     asked: usize,
+    /// Answer records accumulated on journaled runs, in ask order — the QA
+    /// history a checkpoint carries so a recovered agent keeps its session.
+    answers: Vec<AnswerRecord>,
     /// The run-wide observability recorder (disabled unless requested).
     recorder: Recorder,
     /// The `qa` span, opened lazily at the first [`ask`](AllHands::ask) and
@@ -619,17 +728,14 @@ impl AllHands {
             config.resilience,
             recorder.clone(),
         ));
+        if let Some(j) = &mut journal {
+            // Checkpoint/compaction seams participate in the same seeded
+            // crash schedule as the stage boundaries.
+            j.set_crash_hook(resilience.crash_hook());
+        }
 
         // Stage 1: classification.
-        let labels: Vec<String> = {
-            let mut seen = Vec::new();
-            for ex in labeled_sample {
-                if !seen.contains(&ex.label) {
-                    seen.push(ex.label.clone());
-                }
-            }
-            seen
-        };
+        let labels = distinct_labels(labeled_sample);
         let replayed = match &journal {
             Some(j) => j.lookup::<Stage1Snapshot>("stage1", "labels").map_err(jerr)?,
             None => None,
@@ -729,6 +835,7 @@ impl AllHands {
                 resilience,
                 journal,
                 asked: 0,
+                answers: Vec::new(),
                 recorder,
                 qa_span: None,
                 ingest: Some(ingest),
@@ -738,9 +845,249 @@ impl AllHands {
         ))
     }
 
+    /// Point-in-time recovery: restore the nearest checkpoint at or below
+    /// the target batch, then replay the surviving delta records forward.
+    /// Falls back to the ordinary pipeline path (which itself replays any
+    /// surviving stage snapshots) when no usable checkpoint exists — a
+    /// fully corrupt checkpoint set degrades, it never errors.
+    #[allow(clippy::too_many_arguments)]
+    fn run_recovery(
+        tier: ModelTier,
+        texts: &[String],
+        labeled_sample: &[LabeledExample],
+        predefined_topics: &[String],
+        config: AllHandsConfig,
+        journal: Journal,
+        recorder: Recorder,
+        point: RecoverPoint,
+    ) -> Result<(Self, DataFrame), AllHandsError> {
+        // Catalogue the surviving ingest deltas by batch ordinal (the
+        // `b{idx:05}` key prefix); a later record for the same ordinal
+        // (possible after an overlapping resume) wins. Undecodable deltas
+        // are skipped, not fatal — recovery works from what is durable.
+        let mut deltas: std::collections::BTreeMap<usize, IngestSnapshot> =
+            std::collections::BTreeMap::new();
+        for e in journal.entries() {
+            if e.stage != "ingest" {
+                continue;
+            }
+            let Some(ord) = e.key.get(1..6).and_then(|s| s.parse::<usize>().ok()) else {
+                continue;
+            };
+            match allhands_journal::decode::<IngestSnapshot>(&e.payload) {
+                Ok(snap) => {
+                    deltas.insert(ord, snap);
+                }
+                Err(_) => recorder.incr("recover.undecodable_deltas"),
+            }
+        }
+        // Decodable checkpoints stamped with this run's fingerprint, in
+        // marker order. A checkpoint that no longer decodes (schema drift,
+        // partial damage below the hash's radar) is skipped the same way a
+        // hash-corrupt one was at open.
+        let fp = run_fingerprint(tier, texts, labeled_sample, predefined_topics);
+        let mut ckpts: Vec<(u64, CheckpointState)> = Vec::new();
+        for c in journal.checkpoints() {
+            if c.fingerprint != fp {
+                recorder.incr("recover.foreign_checkpoints");
+                continue;
+            }
+            match allhands_journal::decode::<CheckpointState>(&c.payload) {
+                Ok(state) => ckpts.push((c.marker, state)),
+                Err(_) => recorder.incr("recover.undecodable_checkpoints"),
+            }
+        }
+        let available = std::cmp::max(
+            deltas.keys().next_back().map_or(0, |&o| o + 1),
+            ckpts.last().map_or(0, |&(m, _)| m as usize),
+        );
+        let target = match point {
+            RecoverPoint::Latest => available,
+            RecoverPoint::Batch(k) => {
+                if k + 1 > available {
+                    return Err(AllHandsError::Pipeline(format!(
+                        "recover: batch {k} is beyond this journal's coverage \
+                         ({available} batch(es) recoverable)"
+                    )));
+                }
+                k + 1
+            }
+        };
+        let best = ckpts.into_iter().rev().find(|&(m, _)| m as usize <= target);
+        let (mut ah, mut frame, mut applied) = match best {
+            Some((marker, state)) => {
+                let (ah, frame) = Self::restore_from_checkpoint(
+                    tier,
+                    config,
+                    journal,
+                    recorder,
+                    labeled_sample,
+                    state,
+                    marker,
+                )?;
+                (ah, frame, marker as usize)
+            }
+            None => {
+                let (ah, frame) = Self::run_pipeline(
+                    tier,
+                    texts,
+                    labeled_sample,
+                    predefined_topics,
+                    config,
+                    Some(journal),
+                    recorder,
+                )?;
+                (ah, frame, 0)
+            }
+        };
+        while applied < target {
+            let Some(snap) = deltas.remove(&applied) else {
+                match point {
+                    RecoverPoint::Batch(_) => {
+                        return Err(AllHandsError::Pipeline(format!(
+                            "recover: no surviving delta record for batch {applied}; \
+                             nearest recoverable state holds {applied} batch(es)"
+                        )));
+                    }
+                    RecoverPoint::Latest => {
+                        ah.resilience.note_degradation(
+                            "recover",
+                            format!(
+                                "delta record for batch {applied} missing; \
+                                 recovered {applied} of {target} batch(es)"
+                            ),
+                        );
+                        break;
+                    }
+                }
+            };
+            frame = ah.replay_delta(applied, snap)?;
+            applied += 1;
+        }
+        ah.recorder.set_meta("recovered_batches", &applied.to_string());
+        Ok((ah, frame))
+    }
+
+    /// Rebuild a live session from one decoded checkpoint. Everything the
+    /// checkpoint omits — sentiments, row embeddings, the demonstration
+    /// pool — is recomputed deterministically from the restored texts, so
+    /// the rebuilt session is byte-identical to the one that wrote the
+    /// checkpoint.
+    fn restore_from_checkpoint(
+        tier: ModelTier,
+        config: AllHandsConfig,
+        mut journal: Journal,
+        recorder: Recorder,
+        labeled_sample: &[LabeledExample],
+        state: CheckpointState,
+        marker: u64,
+    ) -> Result<(Self, DataFrame), AllHandsError> {
+        if state.row_labels.len() != state.texts.len()
+            || state.doc_topics.len() != state.texts.len()
+        {
+            return Err(AllHandsError::Pipeline(format!(
+                "recover: checkpoint {marker} is internally inconsistent \
+                 ({} text(s), {} label(s), {} topic row(s))",
+                state.texts.len(),
+                state.row_labels.len(),
+                state.doc_topics.len()
+            )));
+        }
+        recorder.set_meta("tier", tier.name());
+        recorder.set_meta("journaled", "true");
+        recorder.set_meta("recovered_from_checkpoint", &marker.to_string());
+        let _span = recorder.span("recover");
+        let mut llm = SimLlm::new(ModelSpec::for_tier(tier));
+        llm.set_recorder(recorder.clone());
+        let llm = llm;
+        let resilience = Arc::new(ResilienceCtx::with_recorder(
+            config.resilience,
+            recorder.clone(),
+        ));
+        resilience.restore(&state.resilience);
+        journal.set_crash_hook(resilience.crash_hook());
+        let sentiments: Vec<f64> = state.texts.iter().map(|t| estimate_sentiment(t)).collect();
+        let frame = build_frame(&state.texts, &state.row_labels, &sentiments, &state.doc_topics)?;
+        let mut agent = QaAgent::new(
+            SimLlm::new(ModelSpec::for_tier(tier)),
+            frame.clone(),
+            config.agent.clone(),
+        );
+        agent.set_resilience(Arc::clone(&resilience));
+        for record in &state.answers {
+            agent.restore_answer(record.clone());
+        }
+        let doc_index = state.doc_index.map(|s| {
+            let mut idx = IvfIndex::from_state(s);
+            idx.set_recorder(recorder.clone());
+            idx
+        });
+        let ingest = IngestState {
+            llm,
+            labeled_sample: labeled_sample.to_vec(),
+            labels: distinct_labels(labeled_sample),
+            demos: None,
+            topic_list: state.topic_list,
+            row_embeds: Vec::new(),
+            doc_index,
+            pending: state.pending.iter().map(|&r| r as usize).collect(),
+            texts: state.texts,
+            row_labels: state.row_labels,
+            sentiments,
+            doc_topics: state.doc_topics,
+            batches: state.batches as usize,
+        };
+        Ok((
+            AllHands {
+                tier,
+                config,
+                agent,
+                resilience,
+                journal: Some(journal),
+                asked: state.asked as usize,
+                answers: state.answers,
+                recorder,
+                qa_span: None,
+                ingest: Some(ingest),
+                ingest_span: None,
+            },
+            frame,
+        ))
+    }
+
+    /// Apply one catalogued ingest delta during point-in-time recovery:
+    /// the snapshot carries its own batch texts, so no caller re-feed is
+    /// needed. Mirrors the journal-replay path of [`ingest`](Self::ingest).
+    fn replay_delta(
+        &mut self,
+        batch_idx: usize,
+        snap: IngestSnapshot,
+    ) -> Result<DataFrame, AllHandsError> {
+        let rec = self.recorder.clone();
+        let cfg = self.config.ingest.clone();
+        let Some(ing) = self.ingest.as_mut() else {
+            return Err(AllHandsError::Pipeline(
+                "recover: no ingestion state to replay a delta into".to_string(),
+            ));
+        };
+        self.resilience.restore(&snap.resilience);
+        rec.incr("recover.delta_replays");
+        let batch = snap.texts.clone();
+        let report = apply_ingest_snapshot(ing, &batch, snap, &rec, &cfg, batch_idx)?;
+        ing.batches = batch_idx + 1;
+        self.agent.set_frame(report.frame.clone());
+        Ok(report.frame)
+    }
+
     /// The LLM tier in use.
     pub fn tier(&self) -> ModelTier {
         self.tier
+    }
+
+    /// Ingest batches applied so far (live, replayed, or recovered); 0 on
+    /// [`from_frame`](AllHands::from_frame) sessions.
+    pub fn ingested_batches(&self) -> usize {
+        self.ingest.as_ref().map_or(0, |i| i.batches)
     }
 
     /// The run-wide resilience context: degradation notes, breaker states,
@@ -776,6 +1123,7 @@ impl AllHands {
         match journal.lookup::<QaSnapshot>("qa", &key) {
             Ok(Some(snap)) => {
                 self.resilience.restore(&snap.resilience);
+                self.answers.push(snap.record.clone());
                 return self.agent.restore_answer(snap.record);
             }
             Ok(None) => {}
@@ -789,6 +1137,7 @@ impl AllHands {
         self.resilience.crash_point(&format!("qa:{key}:start"));
         let response = self.agent.ask(question);
         let record = self.agent.record_answer(question, &response);
+        self.answers.push(record.clone());
         let snap = QaSnapshot { record, resilience: self.resilience.snapshot() };
         match journal.append("qa", &key, &snap) {
             Ok(()) => self.resilience.crash_point(&format!("qa:{key}:committed")),
@@ -888,6 +1237,7 @@ impl AllHands {
             self.resilience.restore(&snap.resilience);
             let report = apply_ingest_snapshot(ing, batch, snap, &rec, &cfg, batch_idx)?;
             self.agent.set_frame(report.frame.clone());
+            self.maybe_checkpoint(batch_idx);
             return Ok(report);
         }
         if self.journal.is_some() {
@@ -1017,6 +1367,7 @@ impl AllHands {
 
         // Journal delta: the batch boundary is the crash-consistency point.
         let snap = IngestSnapshot {
+            texts: batch.to_vec(),
             predicted,
             topics: ing.doc_topics[start_row..].to_vec(),
             topic_list: ing.topic_list.clone(),
@@ -1043,6 +1394,7 @@ impl AllHands {
 
         let frame = build_frame(&ing.texts, &ing.row_labels, &ing.sentiments, &ing.doc_topics)?;
         self.agent.set_frame(frame.clone());
+        self.maybe_checkpoint(batch_idx);
         Ok(IngestReport {
             batch: batch_idx,
             new_rows: batch.len(),
@@ -1054,6 +1406,44 @@ impl AllHands {
             replayed: false,
             frame,
         })
+    }
+
+    /// Write a checkpoint (and compact the journal behind it) when the
+    /// retention policy marks this batch ordinal as a boundary. Failures
+    /// degrade — the batch stays applied, it is just not yet
+    /// checkpoint-covered — but injected crash panics from the seeded
+    /// seams propagate, exactly like the stage-boundary crash points.
+    fn maybe_checkpoint(&mut self, batch_idx: usize) {
+        let policy = self.config.checkpoint.clone();
+        if policy.every_n_batches == 0 || (batch_idx + 1) % policy.every_n_batches != 0 {
+            return;
+        }
+        if self.journal.is_none() {
+            return;
+        }
+        let Some(ing) = self.ingest.as_ref() else { return };
+        let state = CheckpointState {
+            texts: ing.texts.clone(),
+            row_labels: ing.row_labels.clone(),
+            doc_topics: ing.doc_topics.clone(),
+            topic_list: ing.topic_list.clone(),
+            pending: ing.pending.iter().map(|&r| r as u64).collect(),
+            batches: ing.batches as u64,
+            asked: self.asked as u64,
+            answers: self.answers.clone(),
+            resilience: self.resilience.snapshot(),
+            doc_index: ing.doc_index.as_ref().map(IvfIndex::to_state),
+        };
+        let _span = self.recorder.span("checkpoint");
+        let marker = (batch_idx + 1) as u64;
+        let keep = policy.keep_last_k.max(1);
+        let j = self.journal.as_mut().expect("journal presence checked above");
+        if let Err(e) = j.checkpoint(marker, &state).and_then(|()| j.compact(keep).map(|_| ())) {
+            self.resilience.note_degradation(
+                "checkpoint",
+                format!("checkpoint at batch {batch_idx} failed ({e}); journal left uncompacted"),
+            );
+        }
     }
 
     /// Top-`k` rows most similar to `text` in the incremental document
@@ -1103,6 +1493,19 @@ impl AllHands {
     pub fn agent_mut(&mut self) -> &mut QaAgent {
         &mut self.agent
     }
+}
+
+/// Distinct labels of the labeled sample, in first-appearance order — the
+/// label vocabulary both the one-shot pipeline and a recovered session
+/// classify against.
+fn distinct_labels(labeled_sample: &[LabeledExample]) -> Vec<String> {
+    let mut seen = Vec::new();
+    for ex in labeled_sample {
+        if !seen.contains(&ex.label) {
+            seen.push(ex.label.clone());
+        }
+    }
+    seen
 }
 
 /// Build the structured feedback frame: one row per text. Shared by the

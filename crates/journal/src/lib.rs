@@ -7,7 +7,7 @@
 //!
 //! - A [`Journal`] is an append-only JSONL file (`allhands.journal` inside a
 //!   run directory). Each entry snapshots one completed unit of work — a
-//!   stage boundary, one answered QA question, one quarantined document.
+//!   stage boundary, one answered QA question, one ingested batch.
 //! - Entries form a **hash chain**: every entry records the previous
 //!   entry's content hash and its own, computed structurally over the
 //!   payload. A reader verifies the chain front to back.
@@ -18,23 +18,44 @@
 //!   valid entry — the interrupted unit of work is simply replayed. A
 //!   final line is torn even when its content parses: the fsync that
 //!   acknowledges an entry covers its newline, so an unterminated line was
-//!   never acknowledged, and keeping it would corrupt the *next* append. Corruption *before* the tail breaks the chain for
-//!   everything after it and is handled the same way: the longest valid
-//!   prefix survives.
+//!   never acknowledged, and keeping it would corrupt the *next* append.
 //! - Appends are flushed and fsynced before returning, so an entry that
 //!   [`Journal::append`] acknowledged survives process death.
+//!
+//! On top of the WAL sit three durability features:
+//!
+//! - **Checkpoints** ([`Journal::checkpoint`]): a full-state snapshot
+//!   written to its own `ckpt-NNNNNNNNNN.json` file with the atomic
+//!   temp-file → fsync → rename → dir-fsync protocol. Each checkpoint
+//!   records the journal offset it covers (`upto_seq`), the chain head at
+//!   that offset (the **re-anchor** for compaction), the run fingerprint,
+//!   and a content hash. A torn or corrupt checkpoint fails its hash check
+//!   at open time and is skipped in favor of the previous durable one.
+//! - **Compaction** ([`Journal::compact`]): truncates WAL entries below
+//!   the *oldest retained* checkpoint and prunes older checkpoint files.
+//!   Verification of the compacted WAL restarts at the checkpoint's
+//!   recorded chain head, so the hash chain stays intact end to end.
+//!   Anchoring at the oldest retained checkpoint (not the newest) means
+//!   that if the newest checkpoint file is later corrupted, an older one
+//!   plus the surviving delta records still recovers the full state.
+//! - **Locking**: a pid-stamped `LOCK` file (create-exclusive) makes a
+//!   second concurrent opener fail fast with [`JournalError::Locked`]
+//!   instead of interleaving appends; locks left by dead processes are
+//!   detected and reclaimed.
 //!
 //! Determinism makes this journal sufficient for *byte-identical* resume:
 //! stages are pure functions of (inputs, seed, resilience state), so a
 //! snapshot of stage outputs plus the resilience counters is a complete
-//! checkpoint. The crash-chaos suite in the umbrella crate kills the
-//! pipeline at every seeded crash point and asserts resumed transcripts
-//! equal uninterrupted ones.
+//! checkpoint. The crash-chaos and checkpoint-recovery suites in the
+//! umbrella crate kill the pipeline at every seeded crash point — including
+//! every checkpoint/compaction seam — and assert resumed transcripts equal
+//! uninterrupted ones.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek as _, Write as _};
 use std::path::{Path, PathBuf};
@@ -42,8 +63,18 @@ use std::path::{Path, PathBuf};
 /// The journal file name inside a run directory.
 pub const JOURNAL_FILE: &str = "allhands.journal";
 
-/// A journal failure. Torn tails are *not* errors (they are recovered
-/// silently); these are genuine I/O or invariant problems.
+/// The lock file name inside a run directory.
+pub const LOCK_FILE: &str = "LOCK";
+
+/// Callback invoked at named checkpoint/compaction seams (e.g.
+/// `ckpt:3:pre-rename`, `compact:mid-truncate`), letting the resilience
+/// layer's seeded crash schedule reach into journal internals without a
+/// dependency edge between the crates.
+pub type CrashHook = Box<dyn Fn(&str) + Send + Sync>;
+
+/// A journal failure. Torn tails and corrupt checkpoints are *not* errors
+/// (they are recovered silently); these are genuine I/O or invariant
+/// problems.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JournalError {
     /// Filesystem failure (message carries the operation and path).
@@ -52,6 +83,8 @@ pub enum JournalError {
     RunMismatch { expected: String, found: String },
     /// Payload (de)serialization failed.
     Codec(String),
+    /// Another live session holds the journal directory's lock.
+    Locked { path: String, holder: u32 },
 }
 
 impl std::fmt::Display for JournalError {
@@ -63,6 +96,10 @@ impl std::fmt::Display for JournalError {
                 "journal belongs to a different run (expected fingerprint {expected}, found {found})"
             ),
             JournalError::Codec(m) => write!(f, "journal codec error: {m}"),
+            JournalError::Locked { path, holder } => write!(
+                f,
+                "journal directory is locked by another session (pid {holder}): {path}"
+            ),
         }
     }
 }
@@ -74,7 +111,7 @@ impl std::error::Error for JournalError {}
 pub struct Entry {
     /// 0-based position in the chain.
     pub seq: u64,
-    /// Entry namespace: `"header"`, `"stage"`, `"qa"`, `"quarantine"`, …
+    /// Entry namespace: `"header"`, `"stage"`, `"qa"`, `"ingest"`, …
     pub stage: String,
     /// Key within the namespace (e.g. `"classified"`, `"q0"`, a doc id).
     pub key: String,
@@ -82,6 +119,37 @@ pub struct Entry {
     pub hash: String,
     /// The snapshot payload.
     pub payload: Value,
+}
+
+/// One verified checkpoint: a full-state snapshot anchored at a journal
+/// offset, stamped with the run fingerprint and a content hash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRecord {
+    /// Monotonic checkpoint marker (the ingest batch count at write time).
+    pub marker: u64,
+    /// The journal seq this checkpoint covers: every entry with
+    /// `seq < upto_seq` is summarized by the payload and may be compacted.
+    pub upto_seq: u64,
+    /// The chain head at `upto_seq` — verification of a compacted WAL
+    /// re-anchors here.
+    pub chain: u64,
+    /// The run fingerprint the checkpoint belongs to.
+    pub fingerprint: String,
+    /// Content hash over (marker, upto_seq, chain, fingerprint, payload).
+    pub hash: String,
+    /// The serialized session state.
+    pub payload: Value,
+}
+
+/// What one [`Journal::compact`] call removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// WAL entries truncated (all had `seq` below the retained anchor).
+    pub entries_dropped: usize,
+    /// Checkpoint files pruned by the retention policy.
+    pub checkpoints_pruned: usize,
+    /// Bytes removed from the WAL file.
+    pub bytes_reclaimed: u64,
 }
 
 /// FNV-1a 64-bit over bytes — stable, dependency-free, fast enough for
@@ -151,23 +219,151 @@ fn entry_hash(prev: u64, seq: u64, stage: &str, key: &str, payload: &Value) -> u
     h
 }
 
+/// Content hash for a checkpoint. A distinct domain tag keeps checkpoint
+/// hashes disjoint from entry hashes even over identical payloads.
+fn checkpoint_hash(marker: u64, upto_seq: u64, chain: u64, fingerprint: &str, payload: &Value) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    fnv1a(&mut h, b"ckpt\x1F");
+    fnv1a(&mut h, &marker.to_le_bytes());
+    fnv1a(&mut h, &upto_seq.to_le_bytes());
+    fnv1a(&mut h, &chain.to_le_bytes());
+    fnv1a(&mut h, fingerprint.as_bytes());
+    fnv1a(&mut h, b"\x1F");
+    hash_value(&mut h, payload);
+    h
+}
+
+/// File name for checkpoint `marker` (zero-padded so lexicographic order is
+/// numeric order).
+fn checkpoint_file(marker: u64) -> String {
+    format!("ckpt-{marker:010}.json")
+}
+
+/// Fsync the directory so a completed rename survives power loss. Failure
+/// is not fatal: the data file itself was already synced.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Best-effort liveness probe for a lock-holding pid.
+fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        // No portable probe without spawning a process; err on the safe
+        // side and treat the holder as alive.
+        let _ = pid;
+        true
+    }
+}
+
+/// Exclusive, pid-stamped lock on a journal directory. Two live sessions
+/// appending to one WAL would interleave their hash chains; the lock makes
+/// the second opener fail fast with [`JournalError::Locked`] instead. The
+/// file holds the owner's pid so a lock left behind by a dead process
+/// (kill -9 skips destructors) can be reclaimed safely.
+struct JournalLock {
+    path: PathBuf,
+}
+
+impl JournalLock {
+    fn acquire(dir: &Path) -> Result<JournalLock, JournalError> {
+        let path = dir.join(LOCK_FILE);
+        let mut reclaimed = false;
+        loop {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    let _ = f.write_all(std::process::id().to_string().as_bytes());
+                    let _ = f.sync_all();
+                    return Ok(JournalLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    // An unreadable or garbled pid is a torn lock write from
+                    // a crashed acquire — nobody holds it.
+                    let stale = holder.is_none_or(|pid| !pid_alive(pid));
+                    if stale && !reclaimed {
+                        reclaimed = true;
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    return Err(JournalError::Locked {
+                        path: path.display().to_string(),
+                        holder: holder.unwrap_or(0),
+                    });
+                }
+                Err(e) => {
+                    return Err(JournalError::Io(format!("lock {}: {e}", path.display())));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for JournalLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// The crash-safe journal for one pipeline run.
 pub struct Journal {
+    dir: PathBuf,
     path: PathBuf,
     file: File,
     entries: Vec<Entry>,
+    /// The exact on-disk line for each entry (no trailing newline), kept so
+    /// compaction can rewrite the surviving suffix byte-for-byte instead of
+    /// re-serializing it.
+    raw_lines: Vec<String>,
     last_hash: u64,
-    /// Entries dropped at open time because a crash tore the tail.
+    /// The seq the next append will use. Not `entries.len()`: compaction
+    /// removes entries without renumbering the chain.
+    next_seq: u64,
+    /// Line units dropped at open time (torn tail, corrupt interior).
     recovered_torn_tail: usize,
+    /// Durable checkpoints, ascending by marker.
+    checkpoints: Vec<CheckpointRecord>,
+    /// Checkpoint files skipped at open time because their hash failed.
+    corrupt_checkpoints: usize,
+    /// The run fingerprint recorded by `ensure_run`, stamped onto
+    /// checkpoints.
+    run: Option<String>,
+    crash_hook: Option<CrashHook>,
+    _lock: JournalLock,
     rec: allhands_obs::Recorder,
 }
 
 impl Journal {
-    /// Open (or create) the journal for run directory `dir`, verifying the
-    /// hash chain and truncating any torn tail left by a crash.
+    /// Open (or create) the journal for run directory `dir`: acquire the
+    /// lock, clean stray temp files, load and hash-verify checkpoints, then
+    /// verify the WAL chain — re-anchoring at checkpoint chain heads where
+    /// the file was compacted or an interior line is corrupt — and truncate
+    /// or rewrite any invalid residue.
     pub fn open(dir: &Path) -> Result<Journal, JournalError> {
         std::fs::create_dir_all(dir)
             .map_err(|e| JournalError::Io(format!("create {}: {e}", dir.display())))?;
+        let lock = JournalLock::acquire(dir)?;
+        // Stray temp files are un-acknowledged checkpoint/compaction writes
+        // from a crashed process; they are garbage by construction.
+        if let Ok(rd) = std::fs::read_dir(dir) {
+            for e in rd.flatten() {
+                if e.path().extension().is_some_and(|x| x == "tmp") {
+                    let _ = std::fs::remove_file(e.path());
+                }
+            }
+        }
+        let (checkpoints, corrupt_checkpoints) = Self::load_checkpoints(dir);
         let path = dir.join(JOURNAL_FILE);
         let mut file = OpenOptions::new()
             .read(true)
@@ -183,10 +379,22 @@ impl Journal {
             .and_then(|()| file.read_to_end(&mut bytes))
             .map_err(|e| JournalError::Io(format!("read {}: {e}", path.display())))?;
 
+        // Chain anchors: seq 0 starts at hash 0; every checkpoint's
+        // `upto_seq` restarts at its recorded chain head. The first line of
+        // a compacted WAL verifies from its checkpoint's anchor, and a
+        // corrupt interior line only costs the span up to the next anchor.
+        let mut anchors: HashMap<u64, u64> = HashMap::new();
+        anchors.insert(0, 0);
+        for c in &checkpoints {
+            anchors.insert(c.upto_seq, c.chain);
+        }
+
         let mut entries: Vec<Entry> = Vec::new();
-        let mut last_hash = 0u64;
-        let mut valid_bytes = 0usize;
+        let mut raw_lines: Vec<String> = Vec::new();
         let mut dropped = 0usize;
+        // `(expected seq, previous hash)` while the chain verifies cleanly;
+        // `None` before the first entry or after a rejected line.
+        let mut hot: Option<(u64, u64)> = None;
         let mut offset = 0usize;
         while offset < bytes.len() {
             let rest = &bytes[offset..];
@@ -198,54 +406,133 @@ impl Journal {
                 // append concatenate onto the same line, and a later open
                 // would then discard BOTH entries, including an
                 // acknowledged one.
-                dropped = 1;
+                dropped += 1;
                 break;
             };
             let line_bytes = &rest[..nl];
+            offset += nl + 1;
             if line_bytes.is_empty() {
-                offset += nl + 1;
                 continue;
             }
-            // A line is valid iff it is UTF-8, parses, its seq continues
-            // the chain, and its recorded hash matches the recomputed chain
-            // hash. The first invalid line invalidates everything after it.
-            let Some(entry) = std::str::from_utf8(line_bytes)
-                .ok()
-                .and_then(|line| Self::verify_line(line, entries.len() as u64, last_hash))
-            else {
-                dropped = 1; // at least the bad line; the rest of the file goes with it
-                break;
-            };
-            last_hash = u64::from_str_radix(&entry.hash, 16).unwrap_or(0);
-            entries.push(entry);
-            offset += nl + 1;
-            valid_bytes = offset;
+            // Never re-anchor behind the chain position already verified:
+            // that would admit replayed duplicates of compacted entries.
+            let min_seq = entries.last().map_or(0, |e| e.seq + 1);
+            let accepted = std::str::from_utf8(line_bytes).ok().and_then(|line| {
+                let (seq, stage, key, hash_hex, payload) = Self::parse_line(line)?;
+                let prev = match hot {
+                    Some((expect, prev)) if seq == expect => prev,
+                    _ if seq >= min_seq => *anchors.get(&seq)?,
+                    _ => return None,
+                };
+                let recorded = u64::from_str_radix(&hash_hex, 16).ok()?;
+                if recorded != entry_hash(prev, seq, &stage, &key, &payload) {
+                    return None;
+                }
+                Some((Entry { seq, stage, key, hash: hash_hex, payload }, line.to_string(), recorded))
+            });
+            match accepted {
+                Some((entry, line, hash)) => {
+                    hot = Some((entry.seq + 1, hash));
+                    entries.push(entry);
+                    raw_lines.push(line);
+                }
+                None => {
+                    dropped += 1;
+                    hot = None;
+                }
+            }
         }
-        if dropped > 0 || valid_bytes < bytes.len() {
-            // Physically truncate back to the last valid entry so future
-            // appends re-extend a clean chain.
-            file.set_len(valid_bytes as u64)
-                .map_err(|e| JournalError::Io(format!("truncate {}: {e}", path.display())))?;
-            file.seek(std::io::SeekFrom::End(0))
-                .map_err(|e| JournalError::Io(format!("seek {}: {e}", path.display())))?;
+
+        // Reconcile the physical file with the verified lines so future
+        // appends re-extend a clean chain.
+        let mut clean: Vec<u8> = Vec::with_capacity(bytes.len());
+        for l in &raw_lines {
+            clean.extend_from_slice(l.as_bytes());
+            clean.push(b'\n');
+        }
+        if clean != bytes {
             dropped = dropped.max(1);
+            if bytes.starts_with(&clean) {
+                // Pure tail damage: truncate in place.
+                file.set_len(clean.len() as u64)
+                    .map_err(|e| JournalError::Io(format!("truncate {}: {e}", path.display())))?;
+                file.seek(std::io::SeekFrom::End(0))
+                    .map_err(|e| JournalError::Io(format!("seek {}: {e}", path.display())))?;
+            } else {
+                // Interior damage (the survivors re-anchored past a corrupt
+                // span): rewrite the verified lines atomically.
+                let tmp = dir.join(format!("{JOURNAL_FILE}.tmp"));
+                {
+                    let mut f = File::create(&tmp)
+                        .map_err(|e| JournalError::Io(format!("create {}: {e}", tmp.display())))?;
+                    f.write_all(&clean)
+                        .and_then(|()| f.flush())
+                        .and_then(|()| f.sync_all())
+                        .map_err(|e| JournalError::Io(format!("write {}: {e}", tmp.display())))?;
+                }
+                std::fs::rename(&tmp, &path)
+                    .map_err(|e| JournalError::Io(format!("rename {}: {e}", path.display())))?;
+                sync_dir(dir);
+                file = OpenOptions::new()
+                    .read(true)
+                    .append(true)
+                    .open(&path)
+                    .map_err(|e| JournalError::Io(format!("reopen {}: {e}", path.display())))?;
+            }
         }
+        // The chain position resumes from the last entry; with an empty WAL
+        // (everything compacted) it resumes from the newest checkpoint.
+        let (next_seq, last_hash) = match entries.last() {
+            Some(e) => (e.seq + 1, u64::from_str_radix(&e.hash, 16).unwrap_or(0)),
+            None => checkpoints.last().map_or((0, 0), |c| (c.upto_seq, c.chain)),
+        };
         Ok(Journal {
+            dir: dir.to_path_buf(),
             path,
             file,
             entries,
+            raw_lines,
             last_hash,
+            next_seq,
             recovered_torn_tail: dropped,
+            checkpoints,
+            corrupt_checkpoints,
+            run: None,
+            crash_hook: None,
+            _lock: lock,
             rec: allhands_obs::Recorder::disabled(),
         })
     }
 
-    /// Attach a metrics recorder (counts appends, fsyncs, replay hits).
+    /// Attach a metrics recorder (counts appends, fsyncs, replay hits) and
+    /// surface recovery events observed at open time, when no recorder was
+    /// attached yet: silent data-loss must be visible in the run report.
     pub fn set_recorder(&mut self, rec: allhands_obs::Recorder) {
         self.rec = rec;
+        if self.recovered_torn_tail > 0 {
+            self.rec.incr("journal.torn_tail_recovered");
+            self.rec.add("journal.dropped_entries", self.recovered_torn_tail as u64);
+        }
+        if self.corrupt_checkpoints > 0 {
+            self.rec
+                .add("journal.checkpoint.corrupt_skipped", self.corrupt_checkpoints as u64);
+        }
     }
 
-    fn verify_line(line: &str, expect_seq: u64, prev: u64) -> Option<Entry> {
+    /// Install the crash-seam callback (see [`CrashHook`]).
+    pub fn set_crash_hook(&mut self, hook: CrashHook) {
+        self.crash_hook = Some(hook);
+    }
+
+    fn hook(&self, name: &str) {
+        if let Some(h) = &self.crash_hook {
+            h(name);
+        }
+    }
+
+    /// Lenient line parse: extract the fields without chain verification
+    /// (the caller decides which anchor to verify against).
+    fn parse_line(line: &str) -> Option<(u64, String, String, String, Value)> {
         let v: Value = serde_json::from_str(line).ok()?;
         let Value::Object(obj) = &v else { return None };
         let seq = match obj.get("seq") {
@@ -266,14 +553,70 @@ impl Journal {
             _ => return None,
         };
         let payload = obj.get("payload")?.clone();
-        if seq != expect_seq {
+        Some((seq, stage, key, hash, payload))
+    }
+
+    /// Marker encoded in a checkpoint file name, if it is one.
+    fn checkpoint_marker(path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        name.strip_prefix("ckpt-")?.strip_suffix(".json")?.parse::<u64>().ok()
+    }
+
+    /// Load every checkpoint file in `dir`, hash-verifying each; corrupt or
+    /// torn files are counted and skipped in favor of older ones.
+    fn load_checkpoints(dir: &Path) -> (Vec<CheckpointRecord>, usize) {
+        let mut paths: Vec<PathBuf> = Vec::new();
+        if let Ok(rd) = std::fs::read_dir(dir) {
+            for e in rd.flatten() {
+                let p = e.path();
+                if Self::checkpoint_marker(&p).is_some() {
+                    paths.push(p);
+                }
+            }
+        }
+        paths.sort();
+        let mut out = Vec::new();
+        let mut corrupt = 0usize;
+        for p in paths {
+            match Self::load_checkpoint(&p) {
+                Some(c) => out.push(c),
+                None => corrupt += 1,
+            }
+        }
+        (out, corrupt)
+    }
+
+    fn load_checkpoint(path: &Path) -> Option<CheckpointRecord> {
+        let marker_from_name = Self::checkpoint_marker(path)?;
+        let bytes = std::fs::read(path).ok()?;
+        let text = std::str::from_utf8(&bytes).ok()?;
+        let v: Value = serde_json::from_str(text.trim_end()).ok()?;
+        let Value::Object(obj) = &v else { return None };
+        let as_u64 = |k: &str| match obj.get(k) {
+            Some(Value::U64(n)) => Some(*n),
+            Some(Value::I64(n)) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        };
+        let as_str = |k: &str| match obj.get(k) {
+            Some(Value::String(s)) => Some(s.clone()),
+            _ => None,
+        };
+        if as_u64("v") != Some(1) {
             return None;
         }
-        let recorded = u64::from_str_radix(&hash, 16).ok()?;
-        if recorded != entry_hash(prev, seq, &stage, &key, &payload) {
+        let marker = as_u64("marker")?;
+        if marker != marker_from_name {
             return None;
         }
-        Some(Entry { seq, stage, key, hash, payload })
+        let upto_seq = as_u64("upto_seq")?;
+        let chain = u64::from_str_radix(&as_str("chain")?, 16).ok()?;
+        let fingerprint = as_str("fingerprint")?;
+        let hash_hex = as_str("hash")?;
+        let payload = obj.get("payload")?.clone();
+        let recorded = u64::from_str_radix(&hash_hex, 16).ok()?;
+        (recorded == checkpoint_hash(marker, upto_seq, chain, &fingerprint, &payload)).then_some(
+            CheckpointRecord { marker, upto_seq, chain, fingerprint, hash: hash_hex, payload },
+        )
     }
 
     /// The journal file path.
@@ -286,20 +629,46 @@ impl Journal {
         &self.entries
     }
 
-    /// Number of verified entries.
+    /// Number of verified entries currently in the WAL.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether the journal holds no entries yet.
+    /// Whether the WAL holds no entries (compaction can make this true on a
+    /// journal that still has checkpoints — see [`Journal::has_checkpoints`]).
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// Whether `open` had to drop a torn/corrupt tail (≥1 entries lost to a
-    /// crash mid-append; the interrupted work will be replayed).
+    /// Whether `open` had to drop a torn/corrupt portion (≥1 line units lost
+    /// to a crash or corruption; the interrupted work will be replayed).
     pub fn recovered_torn_tail(&self) -> bool {
         self.recovered_torn_tail > 0
+    }
+
+    /// How many line units `open` dropped (torn tail + corrupt interior).
+    pub fn dropped_entries(&self) -> usize {
+        self.recovered_torn_tail
+    }
+
+    /// Durable checkpoints, ascending by marker.
+    pub fn checkpoints(&self) -> &[CheckpointRecord] {
+        &self.checkpoints
+    }
+
+    /// Whether any durable checkpoint exists.
+    pub fn has_checkpoints(&self) -> bool {
+        !self.checkpoints.is_empty()
+    }
+
+    /// Checkpoint files skipped at open time because their hash failed.
+    pub fn corrupt_checkpoints_skipped(&self) -> usize {
+        self.corrupt_checkpoints
+    }
+
+    /// The seq the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// Append one snapshot entry and make it durable (flush + fsync) before
@@ -314,17 +683,18 @@ impl Journal {
             &serde_json::to_string(payload).map_err(|e| JournalError::Codec(e.to_string()))?,
         )
         .map_err(|e| JournalError::Codec(e.to_string()))?;
-        let seq = self.entries.len() as u64;
+        let seq = self.next_seq;
         let hash = entry_hash(self.last_hash, seq, stage, key, &payload);
         let hash_hex = format!("{hash:016x}");
         let line = format!(
-            "{{\"seq\":{seq},\"stage\":{},\"key\":{},\"hash\":\"{hash_hex}\",\"payload\":{}}}\n",
+            "{{\"seq\":{seq},\"stage\":{},\"key\":{},\"hash\":\"{hash_hex}\",\"payload\":{}}}",
             serde_json::to_string(stage).map_err(|e| JournalError::Codec(e.to_string()))?,
             serde_json::to_string(key).map_err(|e| JournalError::Codec(e.to_string()))?,
             payload
         );
         self.file
             .write_all(line.as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
             .and_then(|()| self.file.flush())
             .and_then(|()| self.file.sync_all())
             .map_err(|e| JournalError::Io(format!("append {}: {e}", self.path.display())))?;
@@ -337,8 +707,155 @@ impl Journal {
             hash: hash_hex,
             payload,
         });
+        self.raw_lines.push(line);
         self.last_hash = hash;
+        self.next_seq = seq + 1;
         Ok(())
+    }
+
+    /// Write checkpoint `marker` atomically: temp file, half-write and full
+    /// fsync, rename over the final name, directory fsync. Crash seams fire
+    /// the crash hook at every step (`ckpt:{marker}:write-start`,
+    /// `:mid-write`, `:pre-rename`, `:committed`); a crash anywhere leaves
+    /// either the previous durable checkpoint set or the new one, never a
+    /// half state that passes hash verification.
+    ///
+    /// Writing a marker that already has a durable checkpoint under the
+    /// current fingerprint is a no-op: deterministic replay re-reaches
+    /// committed checkpoint seams, and rewriting the file would move its
+    /// chain anchor away from the seq the compacted WAL actually starts at.
+    pub fn checkpoint<T: Serialize>(&mut self, marker: u64, payload: &T) -> Result<(), JournalError> {
+        let fingerprint = self.run.clone().unwrap_or_default();
+        if self.checkpoints.iter().any(|c| c.marker == marker && c.fingerprint == fingerprint) {
+            self.rec.incr("journal.checkpoint.skipped");
+            return Ok(());
+        }
+        let payload: Value = serde_json::from_str(
+            &serde_json::to_string(payload).map_err(|e| JournalError::Codec(e.to_string()))?,
+        )
+        .map_err(|e| JournalError::Codec(e.to_string()))?;
+        let upto_seq = self.next_seq;
+        let chain = self.last_hash;
+        let hash = checkpoint_hash(marker, upto_seq, chain, &fingerprint, &payload);
+        let line = format!(
+            "{{\"v\":1,\"marker\":{marker},\"upto_seq\":{upto_seq},\"chain\":\"{chain:016x}\",\"fingerprint\":{},\"hash\":\"{hash:016x}\",\"payload\":{}}}\n",
+            serde_json::to_string(&fingerprint).map_err(|e| JournalError::Codec(e.to_string()))?,
+            payload
+        );
+        self.hook(&format!("ckpt:{marker}:write-start"));
+        let final_path = self.dir.join(checkpoint_file(marker));
+        let tmp = self.dir.join(format!("{}.tmp", checkpoint_file(marker)));
+        {
+            let bytes = line.as_bytes();
+            let mid = bytes.len() / 2;
+            let mut f = File::create(&tmp)
+                .map_err(|e| JournalError::Io(format!("create {}: {e}", tmp.display())))?;
+            f.write_all(&bytes[..mid])
+                .map_err(|e| JournalError::Io(format!("write {}: {e}", tmp.display())))?;
+            self.hook(&format!("ckpt:{marker}:mid-write"));
+            f.write_all(&bytes[mid..])
+                .and_then(|()| f.flush())
+                .and_then(|()| f.sync_all())
+                .map_err(|e| JournalError::Io(format!("write {}: {e}", tmp.display())))?;
+        }
+        self.hook(&format!("ckpt:{marker}:pre-rename"));
+        std::fs::rename(&tmp, &final_path)
+            .map_err(|e| JournalError::Io(format!("rename {}: {e}", final_path.display())))?;
+        sync_dir(&self.dir);
+        self.rec.incr("journal.checkpoint.writes");
+        self.rec.add("journal.checkpoint.bytes", line.len() as u64);
+        self.checkpoints.retain(|c| c.marker != marker);
+        self.checkpoints.push(CheckpointRecord {
+            marker,
+            upto_seq,
+            chain,
+            fingerprint,
+            hash: format!("{hash:016x}"),
+            payload,
+        });
+        self.checkpoints.sort_by_key(|a| a.marker);
+        self.hook(&format!("ckpt:{marker}:committed"));
+        Ok(())
+    }
+
+    /// Compact the journal: keep the newest `keep_last_k` checkpoints
+    /// (minimum 1), prune older checkpoint files, and truncate WAL entries
+    /// below the **oldest retained** checkpoint's `upto_seq`. The truncated
+    /// WAL's first line then verifies from that checkpoint's recorded chain
+    /// head, so the hash chain stays intact. Anchoring at the oldest
+    /// retained checkpoint — not the newest — means a later-corrupted
+    /// newest checkpoint still leaves an older one plus the surviving delta
+    /// records able to recover the full state.
+    ///
+    /// The WAL rewrite uses the same atomic temp + rename + dir-fsync
+    /// protocol as checkpoints, with crash seams `compact:start`,
+    /// `:pruned`, `:mid-truncate`, `:pre-rename`, `:committed`.
+    pub fn compact(&mut self, keep_last_k: usize) -> Result<CompactStats, JournalError> {
+        self.hook("compact:start");
+        self.rec.incr("journal.compact.runs");
+        let keep = keep_last_k.max(1);
+        let cut = self.checkpoints.len().saturating_sub(keep);
+        let pruned = cut;
+        self.checkpoints.drain(..cut);
+        // Delete files for pruned markers — and any corrupt or superseded
+        // stray whose marker is not retained; none of them can anchor a
+        // recovery again.
+        let retained: Vec<u64> = self.checkpoints.iter().map(|c| c.marker).collect();
+        if let Ok(rd) = std::fs::read_dir(&self.dir) {
+            for e in rd.flatten() {
+                let p = e.path();
+                if let Some(m) = Self::checkpoint_marker(&p) {
+                    if !retained.contains(&m) {
+                        let _ = std::fs::remove_file(&p);
+                    }
+                }
+            }
+        }
+        self.hook("compact:pruned");
+        let anchor_seq = self.checkpoints.first().map_or(0, |c| c.upto_seq);
+        let keep_from = self.entries.partition_point(|e| e.seq < anchor_seq);
+        let old_bytes: u64 = self.raw_lines.iter().map(|l| l.len() as u64 + 1).sum();
+        let mut clean: Vec<u8> = Vec::new();
+        for l in &self.raw_lines[keep_from..] {
+            clean.extend_from_slice(l.as_bytes());
+            clean.push(b'\n');
+        }
+        let tmp = self.dir.join(format!("{JOURNAL_FILE}.tmp"));
+        {
+            let mid = clean.len() / 2;
+            let mut f = File::create(&tmp)
+                .map_err(|e| JournalError::Io(format!("create {}: {e}", tmp.display())))?;
+            f.write_all(&clean[..mid])
+                .map_err(|e| JournalError::Io(format!("write {}: {e}", tmp.display())))?;
+            self.hook("compact:mid-truncate");
+            f.write_all(&clean[mid..])
+                .and_then(|()| f.flush())
+                .and_then(|()| f.sync_all())
+                .map_err(|e| JournalError::Io(format!("write {}: {e}", tmp.display())))?;
+        }
+        self.hook("compact:pre-rename");
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| JournalError::Io(format!("rename {}: {e}", self.path.display())))?;
+        sync_dir(&self.dir);
+        // Swap the append handle to the new inode before the commit seam: a
+        // crash past this point resumes from the compacted file.
+        self.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| JournalError::Io(format!("reopen {}: {e}", self.path.display())))?;
+        self.entries.drain(..keep_from);
+        self.raw_lines.drain(..keep_from);
+        let stats = CompactStats {
+            entries_dropped: keep_from,
+            checkpoints_pruned: pruned,
+            bytes_reclaimed: old_bytes.saturating_sub(clean.len() as u64),
+        };
+        self.rec.add("journal.compact.entries_dropped", stats.entries_dropped as u64);
+        self.rec.add("journal.compact.checkpoints_pruned", stats.checkpoints_pruned as u64);
+        self.rec.add("journal.compact.bytes_reclaimed", stats.bytes_reclaimed);
+        self.hook("compact:committed");
+        Ok(stats)
     }
 
     /// The raw payload of the latest entry matching `(stage, key)`.
@@ -379,20 +896,40 @@ impl Journal {
         }
     }
 
-    /// Ensure the journal's header entry matches `fingerprint` — the
-    /// caller's digest of run inputs (corpus, labels, configuration). A
-    /// fresh journal records it; an existing journal must agree, otherwise
-    /// resuming would silently mix two different runs.
+    /// Ensure the journal belongs to run `fingerprint` — the caller's digest
+    /// of run inputs (corpus, labels, configuration). A fresh journal
+    /// records it; an existing journal must agree, otherwise resuming would
+    /// silently mix two different runs. After compaction the header entry
+    /// may be gone from the WAL, so retained checkpoints are consulted
+    /// first: they carry the same fingerprint.
     pub fn ensure_run(&mut self, fingerprint: &str) -> Result<(), JournalError> {
-        match self.lookup::<String>("header", "run")? {
+        if let Some(c) = self.checkpoints.last() {
+            if !c.fingerprint.is_empty() && c.fingerprint != fingerprint {
+                return Err(JournalError::RunMismatch {
+                    expected: fingerprint.to_string(),
+                    found: c.fingerprint.clone(),
+                });
+            }
+        }
+        let out = match self.lookup::<String>("header", "run")? {
             None => self.append("header", "run", &fingerprint.to_string()),
             Some(found) if found == fingerprint => Ok(()),
             Some(found) => Err(JournalError::RunMismatch {
                 expected: fingerprint.to_string(),
                 found,
             }),
+        };
+        if out.is_ok() {
+            self.run = Some(fingerprint.to_string());
         }
+        out
     }
+}
+
+/// Decode a raw journal or checkpoint payload into `T` (shared by replay
+/// and point-in-time recovery).
+pub fn decode<T: Deserialize>(v: &Value) -> Result<T, JournalError> {
+    serde_json::from_value::<T>(v.clone()).map_err(|e| JournalError::Codec(e.to_string()))
 }
 
 /// Convenience fingerprint helper: FNV-1a over an iterator of byte chunks,
@@ -460,6 +997,7 @@ mod tests {
         assert_eq!(j.stage_keys("ingest"), vec!["b00000:aa", "b00001:cc"]);
         assert_eq!(j.stage_keys("qa"), vec!["q000:bb"]);
         assert!(j.stage_keys("absent").is_empty());
+        drop(j);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -470,6 +1008,7 @@ mod tests {
         j.append("stage", "k", &1u64).unwrap();
         j.append("stage", "k", &2u64).unwrap();
         assert_eq!(j.lookup::<u64>("stage", "k").unwrap(), Some(2));
+        drop(j);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -492,9 +1031,11 @@ mod tests {
         assert_eq!(j.lookup::<u64>("stage", "two").unwrap(), Some(2));
         // The chain re-extends cleanly after recovery.
         j.append("stage", "three", &3u64).unwrap();
+        drop(j);
         let j2 = Journal::open(&dir).unwrap();
         assert!(!j2.recovered_torn_tail());
         assert_eq!(j2.lookup::<u64>("stage", "three").unwrap(), Some(3));
+        drop(j2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -528,6 +1069,7 @@ mod tests {
         assert_eq!(j.len(), 3);
         assert_eq!(j.lookup::<u64>("stage", "two").unwrap(), Some(2));
         assert_eq!(j.lookup::<u64>("stage", "three").unwrap(), Some(3));
+        drop(j);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -554,9 +1096,11 @@ mod tests {
         assert_eq!(j.lookup::<String>("stage", "one").unwrap(), Some("naïve café".into()));
         // The file is physically clean again: appends extend a valid chain.
         j.append("stage", "three", &3u64).unwrap();
+        drop(j);
         let j2 = Journal::open(&dir).unwrap();
         assert!(!j2.recovered_torn_tail());
         assert_eq!(j2.len(), 3);
+        drop(j2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -572,7 +1116,8 @@ mod tests {
         let path = dir.join(JOURNAL_FILE);
         let text = std::fs::read_to_string(&path).unwrap();
         // Flip a payload byte in the *second* entry: its hash no longer
-        // matches, so it and entry three are both dropped.
+        // matches, so it and entry three are both dropped (no checkpoint
+        // anchor exists to re-admit the suffix).
         let corrupted = text.replacen("\"payload\":2", "\"payload\":9", 1);
         assert_ne!(text, corrupted);
         std::fs::write(&path, corrupted).unwrap();
@@ -581,6 +1126,7 @@ mod tests {
         assert_eq!(j.len(), 1);
         assert_eq!(j.lookup::<u64>("stage", "one").unwrap(), Some(1));
         assert_eq!(j.lookup::<u64>("stage", "three").unwrap(), None);
+        drop(j);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -595,6 +1141,7 @@ mod tests {
         assert!(j.ensure_run("aaaa").is_ok());
         let err = j.ensure_run("bbbb").unwrap_err();
         assert!(matches!(err, JournalError::RunMismatch { .. }), "{err}");
+        drop(j);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -622,5 +1169,225 @@ mod tests {
         let mut hc = 0u64;
         hash_value(&mut hc, &c);
         assert_ne!(ha, hc);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_compaction() {
+        let dir = scratch("ckpt");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.ensure_run("feed").unwrap();
+            j.append("ingest", "b00000:aa", &1u64).unwrap();
+            j.checkpoint(1, &"state-1".to_string()).unwrap();
+            j.append("ingest", "b00001:bb", &2u64).unwrap();
+            j.checkpoint(2, &"state-2".to_string()).unwrap();
+            j.append("qa", "q000:cc", &3u64).unwrap();
+            let stats = j.compact(1).unwrap();
+            assert_eq!(stats.checkpoints_pruned, 1);
+            // header + both batch records sit below checkpoint 2's anchor.
+            assert_eq!(stats.entries_dropped, 3);
+            assert!(stats.bytes_reclaimed > 0);
+            assert_eq!(j.len(), 1);
+            assert_eq!(j.lookup::<u64>("qa", "q000:cc").unwrap(), Some(3));
+            // Appends keep extending the re-anchored chain.
+            j.append("qa", "q001:dd", &4u64).unwrap();
+        }
+        let j = Journal::open(&dir).unwrap();
+        assert!(!j.recovered_torn_tail());
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.checkpoints().len(), 1);
+        assert_eq!(j.checkpoints()[0].marker, 2);
+        assert_eq!(decode::<String>(&j.checkpoints()[0].payload).unwrap(), "state-2");
+        assert_eq!(j.lookup::<u64>("qa", "q001:dd").unwrap(), Some(4));
+        drop(j);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fully_compacted_wal_reopens_from_the_checkpoint_anchor() {
+        let dir = scratch("ckpt-empty-wal");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.ensure_run("feed").unwrap();
+            j.append("ingest", "b00000:aa", &1u64).unwrap();
+            j.checkpoint(1, &"s".to_string()).unwrap();
+            j.compact(1).unwrap();
+            assert!(j.is_empty());
+            assert!(j.has_checkpoints());
+        }
+        let mut j = Journal::open(&dir).unwrap();
+        assert!(j.is_empty());
+        assert!(!j.recovered_torn_tail());
+        assert_eq!(j.next_seq(), 2); // header + batch record were compacted
+        // The chain continues from the checkpoint's recorded head.
+        j.append("qa", "q000:aa", &1u64).unwrap();
+        drop(j);
+        let j2 = Journal::open(&dir).unwrap();
+        assert_eq!(j2.len(), 1);
+        assert_eq!(j2.entries()[0].seq, 2);
+        drop(j2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_skipped_for_the_previous_one() {
+        let dir = scratch("ckpt-corrupt");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.ensure_run("feed").unwrap();
+            j.append("ingest", "b00000:aa", &1u64).unwrap();
+            j.checkpoint(1, &"one".to_string()).unwrap();
+            j.append("ingest", "b00001:bb", &2u64).unwrap();
+            j.checkpoint(2, &"two".to_string()).unwrap();
+        }
+        // Flip one byte in the middle of the newest checkpoint file.
+        let path = dir.join("ckpt-0000000002.json");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let j = Journal::open(&dir).unwrap();
+        assert_eq!(j.corrupt_checkpoints_skipped(), 1);
+        assert_eq!(j.checkpoints().len(), 1);
+        assert_eq!(j.checkpoints()[0].marker, 1);
+        // The WAL itself still verifies in full (header + both batches).
+        assert_eq!(j.len(), 3);
+        drop(j);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interior_corruption_reanchors_at_a_checkpoint() {
+        let dir = scratch("reanchor");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.append("stage", "one", &1u64).unwrap();
+            j.checkpoint(1, &"s".to_string()).unwrap();
+            j.append("stage", "two", &2u64).unwrap();
+            j.append("stage", "three", &3u64).unwrap();
+        }
+        // Corrupt entry "one" (seq 0): without checkpoints everything after
+        // it would be dropped; the checkpoint's recorded chain head lets
+        // verification restart at seq 1.
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted = text.replacen("\"payload\":1", "\"payload\":8", 1);
+        assert_ne!(text, corrupted);
+        std::fs::write(&path, corrupted).unwrap();
+        let j = Journal::open(&dir).unwrap();
+        assert!(j.recovered_torn_tail());
+        assert_eq!(j.dropped_entries(), 1);
+        assert_eq!(j.lookup::<u64>("stage", "one").unwrap(), None);
+        assert_eq!(j.lookup::<u64>("stage", "two").unwrap(), Some(2));
+        assert_eq!(j.lookup::<u64>("stage", "three").unwrap(), Some(3));
+        drop(j);
+        // The rewrite is durable: a second open sees a clean file.
+        let j2 = Journal::open(&dir).unwrap();
+        assert!(!j2.recovered_torn_tail());
+        assert_eq!(j2.len(), 2);
+        drop(j2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ensure_run_survives_compaction_via_checkpoints() {
+        let dir = scratch("ckpt-run");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.ensure_run("feed").unwrap();
+            j.append("ingest", "b00000:aa", &1u64).unwrap();
+            j.checkpoint(1, &"s".to_string()).unwrap();
+            j.compact(1).unwrap();
+            assert!(j.is_empty()); // the header entry was compacted away
+        }
+        let mut j = Journal::open(&dir).unwrap();
+        let err = j.ensure_run("beef").unwrap_err();
+        assert!(matches!(err, JournalError::RunMismatch { .. }), "{err}");
+        assert!(j.ensure_run("feed").is_ok());
+        drop(j);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_open_of_a_live_journal_is_locked() {
+        let dir = scratch("lock");
+        let j = Journal::open(&dir).unwrap();
+        let err = match Journal::open(&dir) {
+            Ok(_) => panic!("second open of a live journal must be refused"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, JournalError::Locked { .. }), "{err}");
+        assert!(err.to_string().contains("locked"), "{err}");
+        drop(j);
+        let j2 = Journal::open(&dir).unwrap();
+        drop(j2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_process_is_reclaimed() {
+        let dir = scratch("stale-lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        // No live process has pid 0; the lock is stale and reclaimed.
+        std::fs::write(dir.join(LOCK_FILE), "0").unwrap();
+        let j = Journal::open(&dir).unwrap();
+        drop(j);
+        // A garbled pid counts as a torn lock write — also reclaimed.
+        std::fs::write(dir.join(LOCK_FILE), "not-a-pid").unwrap();
+        let j = Journal::open(&dir).unwrap();
+        drop(j);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stray_tmp_files_are_cleaned_at_open() {
+        let dir = scratch("tmp-clean");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ckpt-0000000003.json.tmp"), "half a checkp").unwrap();
+        std::fs::write(dir.join(format!("{JOURNAL_FILE}.tmp")), "half a wal").unwrap();
+        let j = Journal::open(&dir).unwrap();
+        assert!(j.is_empty());
+        assert!(!j.has_checkpoints());
+        drop(j);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_and_compaction_fire_crash_hook_seams() {
+        use std::sync::{Arc, Mutex};
+        let dir = scratch("seams");
+        let seen: Arc<Mutex<Vec<String>>> = Arc::default();
+        let mut j = Journal::open(&dir).unwrap();
+        let sink = Arc::clone(&seen);
+        j.set_crash_hook(Box::new(move |name| sink.lock().unwrap().push(name.to_string())));
+        j.append("stage", "one", &1u64).unwrap();
+        j.checkpoint(1, &"s".to_string()).unwrap();
+        j.compact(1).unwrap();
+        // A replayed checkpoint at the same marker is skipped (its durable
+        // file already anchors the compacted WAL) and fires no seams.
+        j.checkpoint(1, &"s".to_string()).unwrap();
+        let names = seen.lock().unwrap().clone();
+        assert_eq!(
+            names,
+            vec![
+                "ckpt:1:write-start",
+                "ckpt:1:mid-write",
+                "ckpt:1:pre-rename",
+                "ckpt:1:committed",
+                "compact:start",
+                "compact:pruned",
+                "compact:mid-truncate",
+                "compact:pre-rename",
+                "compact:committed",
+            ]
+        );
+        drop(j);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -417,6 +417,14 @@ impl ResilienceCtx {
         self.lock().crash_points
     }
 
+    /// A boxed callback that forwards to [`crash_point`](Self::crash_point),
+    /// for components that participate in the seeded crash schedule without
+    /// depending on this crate (the journal's checkpoint/compaction seams).
+    pub fn crash_hook(self: &std::sync::Arc<Self>) -> Box<dyn Fn(&str) + Send + Sync> {
+        let ctx = std::sync::Arc::clone(self);
+        Box::new(move |name| ctx.crash_point(name))
+    }
+
     /// Non-panicking poison probe for sequential loops: the payload string
     /// [`check_poison`](Self::check_poison) would panic with, if `text`
     /// contains the configured marker.

@@ -36,6 +36,7 @@ pub use kmeans::{kmeans, KMeansResult};
 
 use allhands_embed::Embedding;
 use allhands_obs::Recorder;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A stored record: id, embedding, and optional string metadata.
@@ -292,6 +293,56 @@ impl VectorIndex for FlatIndex {
 /// Until [`IvfIndex::train`] is called (or before `train_threshold` records
 /// exist), searches fall back to an exact scan, so the index is always
 /// correct — training only changes the speed/recall trade-off.
+/// One serialized metadata pair. The serde derive shim has no tuple
+/// support, and emitting pairs sorted by key keeps the serialized form
+/// deterministic regardless of `HashMap` iteration order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetaPair {
+    /// Metadata key.
+    pub key: String,
+    /// Metadata value.
+    pub value: String,
+}
+
+/// Serialized form of one stored [`Record`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordState {
+    /// Caller-assigned identifier.
+    pub id: u64,
+    /// The embedding vector (f32 round-trips exactly through JSON: the
+    /// shortest-round-trip float printer preserves every bit pattern).
+    pub vector: Embedding,
+    /// Metadata pairs, sorted by key.
+    pub metadata: Vec<MetaPair>,
+}
+
+/// Complete serialized state of an [`IvfIndex`] — centroids, partition
+/// contents *in storage order* (offsets are load-bearing: `by_id` indexes
+/// into them), and the retrain-policy counters. Restoring this state and
+/// continuing to mutate produces byte-identical behavior to the original
+/// index, which is what lets journal checkpoints cover the ingest path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IvfState {
+    /// Vector dimensionality.
+    pub dims: u64,
+    /// Partitions probed per query.
+    pub nprobe: u64,
+    /// K-means seed.
+    pub seed: u64,
+    /// Partition centroids (empty = untrained).
+    pub centroids: Vec<Embedding>,
+    /// Per-partition records, inner order preserved.
+    pub partitions: Vec<Vec<RecordState>>,
+    /// Partition count requested by the last `train` call.
+    pub target_partitions: u64,
+    /// Mutations since the last training.
+    pub mutations: u64,
+    /// Auto-retrain staleness threshold (`None` = manual only).
+    pub retrain_staleness: Option<f32>,
+    /// Completed k-means trainings.
+    pub trains: u64,
+}
+
 #[derive(Debug, Clone)]
 pub struct IvfIndex {
     dims: usize,
@@ -346,6 +397,80 @@ impl IvfIndex {
     /// Attach a metrics recorder (counts searches and scanned records).
     pub fn set_recorder(&mut self, rec: Recorder) {
         self.rec = rec;
+    }
+
+    /// Snapshot the full index state for serialization (see [`IvfState`]).
+    pub fn to_state(&self) -> IvfState {
+        let ser_record = |r: &Record| {
+            let mut metadata: Vec<MetaPair> = r
+                .metadata
+                .iter()
+                .map(|(k, v)| MetaPair { key: k.clone(), value: v.clone() })
+                .collect();
+            metadata.sort_by(|a, b| a.key.cmp(&b.key));
+            RecordState { id: r.id, vector: r.vector.clone(), metadata }
+        };
+        IvfState {
+            dims: self.dims as u64,
+            nprobe: self.nprobe as u64,
+            seed: self.seed,
+            centroids: self.centroids.clone(),
+            partitions: self
+                .partitions
+                .iter()
+                .map(|p| p.iter().map(ser_record).collect())
+                .collect(),
+            target_partitions: self.target_partitions as u64,
+            mutations: self.mutations as u64,
+            retrain_staleness: self.retrain_staleness,
+            trains: self.trains,
+        }
+    }
+
+    /// Rebuild an index from a serialized snapshot. The recorder starts
+    /// disabled — reattach one with [`set_recorder`](Self::set_recorder).
+    pub fn from_state(state: IvfState) -> IvfIndex {
+        let mut centroids = state.centroids;
+        let mut partitions: Vec<Vec<Record>> = state
+            .partitions
+            .into_iter()
+            .map(|p| {
+                p.into_iter()
+                    .map(|r| {
+                        let mut metadata = HashMap::new();
+                        for m in r.metadata {
+                            metadata.insert(m.key, m.value);
+                        }
+                        Record { id: r.id, vector: r.vector, metadata }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Defensive repair of inconsistent snapshots: `assign` indexes
+        // partitions by centroid position, so a count mismatch would panic.
+        // Collapse to the untrained-but-correct single-partition layout.
+        if centroids.len() != partitions.len() && !centroids.is_empty() {
+            centroids.clear();
+            partitions = vec![partitions.into_iter().flatten().collect()];
+        }
+        if partitions.is_empty() {
+            partitions = vec![Vec::new()];
+        }
+        let mut idx = IvfIndex {
+            dims: (state.dims as usize).max(1),
+            centroids,
+            partitions,
+            by_id: HashMap::new(),
+            nprobe: (state.nprobe as usize).max(1),
+            seed: state.seed,
+            rec: Recorder::disabled(),
+            target_partitions: state.target_partitions as usize,
+            mutations: state.mutations as usize,
+            retrain_staleness: state.retrain_staleness,
+            trains: state.trains,
+        };
+        idx.rebuild_id_map();
+        idx
     }
 
     /// Train `n_partitions` k-means centroids on the current contents and
@@ -641,6 +766,64 @@ mod tests {
         idx.insert(Record::new(3, vec2(1.0, 0.0)));
         let hits = idx.search(&vec2(1.0, 0.0), 2);
         assert_eq!(hits[0].id, 3);
+    }
+
+    #[test]
+    fn ivf_state_roundtrip_preserves_structure_and_behavior() {
+        let mut idx = IvfIndex::new(2, 2);
+        for i in 0..12u64 {
+            let angle = i as f32 * 0.5;
+            idx.insert(
+                Record::new(i, vec2(angle.cos(), angle.sin()))
+                    .with_meta("label", if i % 2 == 0 { "even" } else { "odd" })
+                    .with_meta("src", "test"),
+            );
+        }
+        idx.train(3);
+        idx.insert(Record::new(12, vec2(0.1, 0.9)));
+        idx.remove(3);
+
+        let state = idx.to_state();
+        // JSON round trip: what a journal checkpoint actually stores.
+        let json = serde_json::to_string(&state).unwrap();
+        let state2: IvfState = serde_json::from_str(&json).unwrap();
+        assert_eq!(state, state2);
+
+        let restored = IvfIndex::from_state(state2);
+        assert_eq!(restored.len(), idx.len());
+        assert_eq!(restored.train_count(), idx.train_count());
+        assert_eq!(restored.mutations_since_train(), idx.mutations_since_train());
+        // Identical structure ⇒ identical search results…
+        let q = vec2(0.6, 0.8);
+        assert_eq!(restored.search(&q, 5), idx.search(&q, 5));
+        // …and identical behavior under further mutations (auto-retrain
+        // counters continue from the restored values).
+        let mut a = idx.clone();
+        let mut b = restored;
+        for i in 20..40u64 {
+            let angle = i as f32 * 0.31;
+            a.insert(Record::new(i, vec2(angle.sin(), angle.cos())));
+            b.insert(Record::new(i, vec2(angle.sin(), angle.cos())));
+        }
+        assert_eq!(a.train_count(), b.train_count());
+        assert_eq!(a.search(&q, 8), b.search(&q, 8));
+    }
+
+    #[test]
+    fn ivf_state_repairs_inconsistent_partition_layout() {
+        let mut idx = IvfIndex::new(2, 1);
+        for i in 0..6u64 {
+            idx.insert(Record::new(i, vec2(i as f32, 1.0)));
+        }
+        idx.train(2);
+        let mut state = idx.to_state();
+        // Simulate a snapshot whose partition list lost a bucket: the
+        // restore must not leave `assign` pointing past the end.
+        state.partitions.pop();
+        let restored = IvfIndex::from_state(state);
+        assert!(restored.len() <= 6);
+        let hits = restored.search(&vec2(2.0, 1.0), 3);
+        assert!(!hits.is_empty());
     }
 
     #[test]

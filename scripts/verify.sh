@@ -24,6 +24,11 @@
 #                   byte-identity across thread counts and chaos, crash at
 #                   every ingest seam + resume, span/counter shape, the
 #                   search/retract facade).
+#   --checkpoint-smoke
+#                   run the checkpoint/compaction/recovery suite on its own
+#                   (checkpoint -> compact -> kill -> recover cycle at every
+#                   seam, point-in-time recover_at, corruption fuzz, journal
+#                   locking) plus the torn-tail truncation property test.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,12 +36,14 @@ bench_smoke=0
 crash_smoke=0
 obs_smoke=0
 ingest_smoke=0
+checkpoint_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --crash-smoke) crash_smoke=1 ;;
     --obs-smoke) obs_smoke=1 ;;
     --ingest-smoke) ingest_smoke=1 ;;
+    --checkpoint-smoke) checkpoint_smoke=1 ;;
     *)
       echo "verify: unknown flag $arg" >&2
       exit 2
@@ -80,6 +87,11 @@ fi
 if [[ "$ingest_smoke" == 1 ]]; then
   echo "==> ingest smoke (batch determinism, crash resume, index maintenance)"
   cargo test -q --test ingest_determinism
+fi
+
+if [[ "$checkpoint_smoke" == 1 ]]; then
+  echo "==> checkpoint smoke (checkpoint/compact/kill/recover, corruption fuzz)"
+  cargo test -q --test checkpoint_recovery --test journal_truncation
 fi
 
 echo "verify: OK"

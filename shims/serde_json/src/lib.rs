@@ -507,12 +507,20 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 character (multi-byte safe).
-                let rest = std::str::from_utf8(&bytes[*pos..])
+                // Consume the whole run up to the next quote or escape in one
+                // slice. Both delimiters are ASCII, so they can never split a
+                // multi-byte UTF-8 sequence; validating the run as a unit keeps
+                // parsing linear in the document size.
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..*pos])
                     .map_err(|_| Error("invalid utf-8".to_string()))?;
-                let c = rest.chars().next().expect("non-empty checked above");
-                out.push(c);
-                *pos += c.len_utf8();
+                out.push_str(run);
             }
         }
     }

@@ -20,7 +20,8 @@
 //! - [`par`] — deterministic data-parallel execution (index-ordered merge,
 //!   `ALLHANDS_THREADS`) with per-item panic isolation.
 //! - [`journal`] — the crash-safe write-ahead journal behind
-//!   checkpoint/resume and the dead-letter quarantine record.
+//!   checkpoint/resume and the dead-letter quarantine record, plus the
+//!   checkpoint store, compaction, and point-in-time recovery.
 //! - [`obs`] — deterministic tracing and metrics: hierarchical spans,
 //!   counters/histograms, and the schema-stable [`RunReport`](obs::RunReport).
 //!
@@ -52,8 +53,9 @@ pub use allhands_vectordb as vectordb;
 pub mod prelude {
     pub use allhands_classify::LabeledExample;
     pub use allhands_core::{
-        AllHands, AllHandsBuilder, AllHandsConfig, AllHandsError, AnalyzeOptions, IngestConfig,
-        IngestReport, JournalMode, QuarantineReport, RecorderMode, Response,
+        AllHands, AllHandsBuilder, AllHandsConfig, AllHandsError, AnalyzeOptions,
+        CheckpointPolicy, IngestConfig, IngestReport, JournalMode, QuarantineReport,
+        RecorderMode, RecoverPoint, Response,
     };
     pub use allhands_dataframe::DataFrame;
     pub use allhands_llm::ModelTier;

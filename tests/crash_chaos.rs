@@ -175,8 +175,12 @@ fn resume_with_different_inputs_is_an_error() {
         .journal(JournalMode::Continue(dir.clone()))
         .analyze(&texts, &labeled, &predefined)
         .unwrap();
+    // Release the journal lock so the second open exercises the
+    // fingerprint check, not the lock.
+    drop(_ah);
     let mut altered = texts.clone();
     altered[0].push_str(" (edited)");
+    // A fingerprint mismatch must be reported as such, never as a held lock.
     let msg = match AllHands::builder(ModelTier::Gpt4)
         .journal(JournalMode::Continue(dir.clone()))
         .analyze(&altered, &labeled, &predefined)

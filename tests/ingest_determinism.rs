@@ -225,6 +225,8 @@ fn rerun_replays_committed_batches_byte_identically() {
     }
     assert_eq!(ah.run_report().counter("ingest.replays"), 3);
     assert!(first.starts_with(&frame.to_table_string(100)), "replayed analyze frame diverged");
+    // Release the journal lock before the next session opens the directory.
+    drop(ah);
     // And a full fresh session over the same journal reproduces the entire
     // transcript byte-for-byte.
     let (replayed, _) = transcript_journaled(config(), &dir);

@@ -181,6 +181,9 @@ fn journal_fresh_mode_refuses_existing_entries() {
         .journal(JournalMode::Fresh(dir.clone()))
         .analyze(&texts, &labeled, &predefined)
         .expect("fresh journal on an empty dir must work");
+    // Release the journal lock so the re-opens below exercise the Fresh
+    // check and replay, not the lock.
+    drop(_ah);
     // Second run: the journal now holds committed stages — Fresh refuses,
     // Continue replays.
     let err = match AllHands::builder(ModelTier::Gpt4)
