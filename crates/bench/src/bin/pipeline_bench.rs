@@ -7,15 +7,23 @@
 //! Emits `BENCH_pipeline.json` (schema below) and verifies on the way that
 //! serial and parallel outputs are byte-identical.
 //!
+//! Schema v4 adds a `scaling` stage — a threads {1,2,4,8} × corpus-size
+//! matrix for the classify and search hot paths — and quantized-vs-f32
+//! scan attribution on the `search` stage.
+//!
 //! Usage:
 //!   pipeline_bench                     full sizes, writes BENCH_pipeline.json
 //!   pipeline_bench --out PATH          choose the output path
+//!   pipeline_bench --only A,B          run only the listed stages (the JSON
+//!                                      records which ran in `stages_run`)
 //!   BENCH_SMOKE=1 pipeline_bench       small sizes (CI smoke; also --smoke)
 //!   pipeline_bench --validate PATH     schema-check an emitted JSON, exit 1
 //!                                      on any missing/mistyped field
 //!
 //! Speedup is *recorded*, never asserted against a threshold: on a 1-core
-//! host the honest number is ~1.0 and the JSON says so.
+//! host the honest number is ~1.0 and the JSON says so. The emitter
+//! self-validates before writing and refuses to emit a file whose speedup
+//! fields are missing or non-finite.
 
 use allhands_classify::LabeledExample;
 use allhands_core::{
@@ -28,12 +36,16 @@ use allhands_llm::{ModelTier, SimLlm};
 use allhands_topics::hac::{
     agglomerative_clusters, agglomerative_clusters_reference, Linkage,
 };
-use allhands_vectordb::{FlatIndex, Record, VectorIndex};
+use allhands_vectordb::{FlatIndex, Record, SearchResult, VectorIndex};
 use serde_json::{Map, Value};
 use std::time::Instant;
 
-const SCHEMA_VERSION: u64 = 3;
-const STAGES: [&str; 6] = ["classify", "hac", "search", "pipeline", "ingest", "recovery"];
+const SCHEMA_VERSION: u64 = 4;
+const STAGES: [&str; 7] =
+    ["classify", "hac", "search", "scaling", "pipeline", "ingest", "recovery"];
+
+/// Thread counts swept by the scaling stage.
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +73,18 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|p| args.get(p + 1).cloned())
         .unwrap_or_else(default_out_path);
+    let only: Vec<String> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|p| args.get(p + 1))
+        .map(|list| list.split(',').map(|s| s.trim().to_string()).collect())
+        .unwrap_or_else(|| STAGES.iter().map(|s| s.to_string()).collect());
+    for name in &only {
+        if !STAGES.contains(&name.as_str()) {
+            eprintln!("--only: unknown stage {name} (known: {})", STAGES.join(","));
+            std::process::exit(2);
+        }
+    }
 
     let threads = allhands_par::max_threads();
     println!(
@@ -69,19 +93,46 @@ fn main() {
     );
 
     let mut stages = Map::new();
-    stages.insert("classify".to_string(), bench_classify(smoke));
-    stages.insert("hac".to_string(), bench_hac(smoke));
-    stages.insert("search".to_string(), bench_search(smoke));
-    stages.insert("pipeline".to_string(), bench_pipeline(smoke));
-    stages.insert("ingest".to_string(), bench_ingest(smoke));
-    stages.insert("recovery".to_string(), bench_recovery(smoke));
+    let run = |name: &str| only.iter().any(|s| s == name);
+    if run("classify") {
+        stages.insert("classify".to_string(), bench_classify(smoke));
+    }
+    if run("hac") {
+        stages.insert("hac".to_string(), bench_hac(smoke));
+    }
+    if run("search") {
+        stages.insert("search".to_string(), bench_search(smoke));
+    }
+    if run("scaling") {
+        stages.insert("scaling".to_string(), bench_scaling(smoke));
+    }
+    if run("pipeline") {
+        stages.insert("pipeline".to_string(), bench_pipeline(smoke));
+    }
+    if run("ingest") {
+        stages.insert("ingest".to_string(), bench_ingest(smoke));
+    }
+    if run("recovery") {
+        stages.insert("recovery".to_string(), bench_recovery(smoke));
+    }
 
     let mut root = Map::new();
     root.insert("schema_version".to_string(), Value::U64(SCHEMA_VERSION));
     root.insert("threads".to_string(), Value::U64(threads as u64));
     root.insert("smoke".to_string(), Value::Bool(smoke));
+    root.insert(
+        "stages_run".to_string(),
+        Value::Array(STAGES.iter().filter(|s| run(s)).map(|s| Value::String(s.to_string())).collect()),
+    );
     root.insert("stages".to_string(), Value::Object(stages));
     let json = Value::Object(root);
+
+    // Refuse to emit a schema-invalid file (missing/non-finite speedup
+    // fields included): the validator runs on the in-memory value first.
+    if let Err(e) = validate_value(&json) {
+        eprintln!("pipeline_bench: refusing to emit invalid BENCH JSON: {e}");
+        std::process::exit(1);
+    }
 
     let rendered = serde_json::to_string_pretty(&json).expect("render json");
     std::fs::write(&out_path, rendered).unwrap_or_else(|e| {
@@ -90,7 +141,11 @@ fn main() {
     });
     println!("[saved {out_path}]");
 
-    // One instrumented run's observability report, next to the bench JSON.
+    // One instrumented run's observability report, next to the bench JSON
+    // (full runs only — `--only` subsets skip it).
+    if only.len() != STAGES.len() {
+        return;
+    }
     let obs_path = obs_out_path(&out_path);
     let report = obs_report(smoke);
     let rendered = serde_json::to_string_pretty(&report).expect("render obs json");
@@ -201,9 +256,8 @@ fn bench_hac(smoke: bool) -> Value {
     )
 }
 
-fn bench_search(smoke: bool) -> Value {
-    let (n, queries) = if smoke { (6_000, 10) } else { (30_000, 40) };
-    let dims = 32;
+/// Deterministic synthetic corpus + queries shared by the search benches.
+fn synthetic_index(n: usize, dims: usize) -> FlatIndex {
     let mut index = FlatIndex::new(dims);
     // Cheap synthetic vectors: hashing-free deterministic pattern.
     for i in 0..n as u64 {
@@ -212,7 +266,11 @@ fn bench_search(smoke: bool) -> Value {
             .collect();
         index.insert(Record::new(i, Embedding::new(v)));
     }
-    let qs: Vec<Embedding> = (0..queries)
+    index
+}
+
+fn synthetic_queries(queries: usize, dims: usize) -> Vec<Embedding> {
+    (0..queries)
         .map(|q| {
             Embedding::new(
                 (0..dims)
@@ -220,16 +278,196 @@ fn bench_search(smoke: bool) -> Value {
                     .collect(),
             )
         })
-        .collect();
+        .collect()
+}
+
+/// The pre-arena flat scan, replicated for attribution: pointer-chasing
+/// owned records, per-row `cosine` (both norms recomputed every row), and
+/// the same bounded min-heap top-k the index used before the refactor.
+fn f32_scan_top_k(records: &[Record], query: &Embedding, k: usize) -> Vec<SearchResult> {
+    struct Worst(SearchResult);
+    impl PartialEq for Worst {
+        fn eq(&self, o: &Self) -> bool {
+            self.cmp(o) == std::cmp::Ordering::Equal
+        }
+    }
+    impl Eq for Worst {}
+    impl PartialOrd for Worst {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl Ord for Worst {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            // Greater = weaker hit (lower score, then higher id), so the
+            // heap root is the weakest of the kept k.
+            o.0.score.total_cmp(&self.0.score).then(self.0.id.cmp(&o.0.id))
+        }
+    }
+    let mut heap = std::collections::BinaryHeap::with_capacity(k + 1);
+    for r in records {
+        heap.push(Worst(SearchResult { id: r.id, score: query.cosine(&r.vector) }));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    heap.into_sorted_vec().into_iter().map(|w| w.0).collect()
+}
+
+fn bench_search(smoke: bool) -> Value {
+    let (n, queries) = if smoke { (6_000, 10) } else { (30_000, 40) };
+    let dims = 32;
+    let index = synthetic_index(n, dims);
+    let mut exact = index.clone();
+    exact.set_quantization(false);
+    let records: Vec<Record> = index.iter().collect();
+    let qs = synthetic_queries(queries, dims);
 
     let run = || -> Vec<_> { qs.iter().map(|q| index.search(q, 16)).collect() };
     let (serial_ms, serial_out) = allhands_par::with_threads(1, || time_ms(run));
     let (parallel_ms, parallel_out) = time_ms(run);
     assert_eq!(serial_out, parallel_out, "search hits diverged across thread counts");
+
+    // Single-threaded scan attribution over the same corpus and queries:
+    // the pre-refactor AoS scan, the arena exact scan, and the quantized
+    // scan with exact rescore. All three must return identical hits.
+    let (f32_ms, f32_out) = allhands_par::with_threads(1, || {
+        time_ms(|| {
+            qs.iter().map(|q| f32_scan_top_k(&records, q, 16)).collect::<Vec<_>>()
+        })
+    });
+    let (arena_ms, arena_out) = allhands_par::with_threads(1, || {
+        time_ms(|| qs.iter().map(|q| exact.search(q, 16)).collect::<Vec<_>>())
+    });
+    let (quant_ms, quant_out) = allhands_par::with_threads(1, || {
+        time_ms(|| qs.iter().map(|q| index.search(q, 16)).collect::<Vec<_>>())
+    });
+    assert_eq!(f32_out, arena_out, "arena scan diverged from the pre-refactor scan");
+    assert_eq!(arena_out, quant_out, "quantized scan diverged from the exact scan");
+
     println!(
         "  search: {n} records x {queries} queries  serial {serial_ms:.1}ms  parallel {parallel_ms:.1}ms"
     );
-    stage_entry(serial_ms, parallel_ms, n, vec![("queries", Value::U64(queries as u64))])
+    println!(
+        "          f32 {f32_ms:.1}ms  arena {arena_ms:.1}ms  quant {quant_ms:.1}ms (single-threaded)"
+    );
+    stage_entry(
+        serial_ms,
+        parallel_ms,
+        n,
+        vec![
+            ("queries", Value::U64(queries as u64)),
+            ("f32_scan_ms", Value::F64(f32_ms)),
+            ("arena_scan_ms", Value::F64(arena_ms)),
+            ("quant_scan_ms", Value::F64(quant_ms)),
+            (
+                "arena_speedup",
+                Value::F64(if arena_ms > 0.0 { f32_ms / arena_ms } else { 1.0 }),
+            ),
+            (
+                "quant_speedup",
+                Value::F64(if quant_ms > 0.0 { f32_ms / quant_ms } else { 1.0 }),
+            ),
+        ],
+    )
+}
+
+/// One `{op, corpus, ms[], speedup[]}` row of the scaling matrix.
+fn curve_entry(op: &str, corpus: usize, ms: &[f64]) -> Value {
+    let mut m = Map::new();
+    m.insert("op".to_string(), Value::String(op.to_string()));
+    m.insert("corpus".to_string(), Value::U64(corpus as u64));
+    m.insert("ms".to_string(), Value::Array(ms.iter().map(|&v| Value::F64(v)).collect()));
+    m.insert(
+        "speedup".to_string(),
+        Value::Array(
+            ms.iter()
+                .map(|&v| Value::F64(if v > 0.0 { ms[0] / v } else { 1.0 }))
+                .collect(),
+        ),
+    );
+    Value::Object(m)
+}
+
+fn bench_scaling(smoke: bool) -> Value {
+    // Threads × corpus matrix for the two dominant hot paths. On a host
+    // with fewer physical cores than the largest thread count the extra
+    // threads cannot help; the curve records whatever the hardware gives
+    // (no monotonicity assertion), and every thread count must still
+    // produce byte-identical outputs.
+    let dims = 32;
+    let search_sizes: &[usize] = if smoke { &[5_000] } else { &[7_500, 15_000, 30_000] };
+    let classify_sizes: &[usize] = if smoke { &[40] } else { &[100, 300] };
+    let query_n = if smoke { 6 } else { 16 };
+    let mut curves: Vec<Value> = Vec::new();
+    let mut headline = (1.0f64, 1.0f64, 1usize); // serial/parallel/items of the largest search corpus
+
+    for &n in search_sizes {
+        let index = synthetic_index(n, dims);
+        let qs = synthetic_queries(query_n, dims);
+        let run = || -> Vec<_> { qs.iter().map(|q| index.search(q, 16)).collect() };
+        let mut ms = Vec::with_capacity(SCALING_THREADS.len());
+        let mut baseline = None;
+        for &t in &SCALING_THREADS {
+            let (t_ms, out) = allhands_par::with_threads(t, || time_ms(run));
+            match &baseline {
+                None => baseline = Some(out),
+                Some(b) => {
+                    assert_eq!(b, &out, "search output diverged at {t} threads (n={n})")
+                }
+            }
+            ms.push(t_ms.max(1e-6));
+        }
+        println!("  scaling: search n={n}  ms={ms:.1?}");
+        headline = (ms[0], *ms.last().expect("non-empty thread sweep"), n);
+        curves.push(curve_entry("search", n, &ms));
+    }
+
+    // Classify: one classifier fitted once, batches of increasing size.
+    let pool_n = if smoke { 80 } else { 400 };
+    let max_batch = *classify_sizes.iter().max().expect("non-empty sizes");
+    let records = generate_n(DatasetKind::GoogleStoreApp, pool_n + max_batch, 97);
+    let pool: Vec<LabeledExample> = records
+        .iter()
+        .take(pool_n)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    let texts: Vec<String> = records.iter().skip(pool_n).map(|r| r.text.clone()).collect();
+    let labels = vec!["informative".to_string(), "non-informative".to_string()];
+    let llm = SimLlm::gpt4();
+    let clf = IclClassifier::fit(&llm, &pool, &labels, IclConfig::default());
+    for &n in classify_sizes {
+        let batch = &texts[..n];
+        let mut ms = Vec::with_capacity(SCALING_THREADS.len());
+        let mut baseline = None;
+        for &t in &SCALING_THREADS {
+            let (t_ms, out) =
+                allhands_par::with_threads(t, || time_ms(|| clf.classify_batch(batch)));
+            match &baseline {
+                None => baseline = Some(out),
+                Some(b) => {
+                    assert_eq!(b, &out, "classify output diverged at {t} threads (n={n})")
+                }
+            }
+            ms.push(t_ms.max(1e-6));
+        }
+        println!("  scaling: classify n={n}  ms={ms:.1?}");
+        curves.push(curve_entry("classify", n, &ms));
+    }
+
+    let (serial_ms, parallel_ms, items) = headline;
+    stage_entry(
+        serial_ms,
+        parallel_ms,
+        items,
+        vec![
+            (
+                "threads",
+                Value::Array(SCALING_THREADS.iter().map(|&t| Value::U64(t as u64)).collect()),
+            ),
+            ("curves", Value::Array(curves)),
+        ],
+    )
 }
 
 fn bench_pipeline(smoke: bool) -> Value {
@@ -453,7 +691,14 @@ fn obs_report(smoke: bool) -> Value {
 fn validate(path: &str) -> Result<(), String> {
     let raw = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
     let value: Value = serde_json::from_str(&raw).map_err(|e| format!("parse: {e:?}"))?;
-    let Value::Object(root) = &value else {
+    validate_value(&value)
+}
+
+/// Schema check over the in-memory JSON. The emitter runs this before
+/// writing, so an invalid file (missing or non-finite `speedup` fields
+/// included) is never produced in the first place.
+fn validate_value(value: &Value) -> Result<(), String> {
+    let Value::Object(root) = value else {
         return Err("root is not an object".to_string());
     };
     match root.get("schema_version") {
@@ -468,10 +713,38 @@ fn validate(path: &str) -> Result<(), String> {
     if !matches!(root.get("smoke"), Some(Value::Bool(_))) {
         return Err("smoke: missing or non-bool".to_string());
     }
+    // `stages_run` lists what this invocation ran (`--only` subsets). The
+    // `stages` object must carry exactly those entries — no more, no less.
+    let Some(Value::Array(run_list)) = root.get("stages_run") else {
+        return Err("stages_run: missing or not an array".to_string());
+    };
+    if run_list.is_empty() {
+        return Err("stages_run: empty".to_string());
+    }
+    let mut run_names: Vec<&str> = Vec::with_capacity(run_list.len());
+    for v in run_list {
+        let Value::String(name) = v else {
+            return Err(format!("stages_run: non-string entry {v:?}"));
+        };
+        if !STAGES.contains(&name.as_str()) {
+            return Err(format!("stages_run: unknown stage {name}"));
+        }
+        if run_names.contains(&name.as_str()) {
+            return Err(format!("stages_run: duplicate stage {name}"));
+        }
+        run_names.push(name);
+    }
     let Some(Value::Object(stages)) = root.get("stages") else {
         return Err("stages: missing or not an object".to_string());
     };
-    for name in STAGES {
+    if stages.len() != run_names.len() {
+        return Err(format!(
+            "stages: {} entries but stages_run lists {}",
+            stages.len(),
+            run_names.len()
+        ));
+    }
+    for &name in &run_names {
         let Some(Value::Object(stage)) = stages.get(name) else {
             return Err(format!("stages.{name}: missing or not an object"));
         };
@@ -487,11 +760,106 @@ fn validate(path: &str) -> Result<(), String> {
         if items < 1.0 {
             return Err(format!("stages.{name}.items: {items} < 1"));
         }
+        match name {
+            "search" => validate_search_extras(stage)?,
+            "scaling" => validate_scaling(stage)?,
+            "ingest" => validate_ingest(stage)?,
+            "recovery" => validate_recovery(stage)?,
+            _ => {}
+        }
     }
-    // The ingest stage additionally carries per-batch timing arrays.
-    let Some(Value::Object(ingest)) = stages.get("ingest") else {
-        return Err("stages.ingest: missing or not an object".to_string());
+    Ok(())
+}
+
+/// Single-threaded scan-attribution extras on the search stage.
+fn validate_search_extras(stage: &Map) -> Result<(), String> {
+    for field in
+        ["f32_scan_ms", "arena_scan_ms", "quant_scan_ms", "arena_speedup", "quant_speedup"]
+    {
+        let v = as_f64(stage.get(field))
+            .ok_or_else(|| format!("stages.search.{field}: missing or non-numeric"))?;
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("stages.search.{field}: {v} not a positive number"));
+        }
+    }
+    Ok(())
+}
+
+/// The scaling stage: a threads array plus per-(op, corpus) curves whose
+/// `ms` and `speedup` arrays line up with the thread counts. Deliberately
+/// NO monotonicity requirement — on a host with fewer cores than the
+/// largest thread count, a flat (~1.0) speedup curve is the honest result.
+fn validate_scaling(stage: &Map) -> Result<(), String> {
+    let Some(Value::Array(threads)) = stage.get("threads") else {
+        return Err("stages.scaling.threads: missing or not an array".to_string());
     };
+    if threads.len() != SCALING_THREADS.len() {
+        return Err(format!(
+            "stages.scaling.threads: {} entries, expected {}",
+            threads.len(),
+            SCALING_THREADS.len()
+        ));
+    }
+    for (i, v) in threads.iter().enumerate() {
+        let t = as_f64(Some(v))
+            .ok_or_else(|| format!("stages.scaling.threads[{i}]: non-numeric"))?;
+        if t < 1.0 {
+            return Err(format!("stages.scaling.threads[{i}]: {t} < 1"));
+        }
+    }
+    let Some(Value::Array(curves)) = stage.get("curves") else {
+        return Err("stages.scaling.curves: missing or not an array".to_string());
+    };
+    if curves.is_empty() {
+        return Err("stages.scaling.curves: empty".to_string());
+    }
+    for (ci, curve) in curves.iter().enumerate() {
+        let Value::Object(c) = curve else {
+            return Err(format!("stages.scaling.curves[{ci}]: not an object"));
+        };
+        match c.get("op") {
+            Some(Value::String(op)) if !op.is_empty() => {}
+            other => {
+                return Err(format!(
+                    "stages.scaling.curves[{ci}].op: expected non-empty string, got {other:?}"
+                ))
+            }
+        }
+        let corpus = as_f64(c.get("corpus"))
+            .ok_or_else(|| format!("stages.scaling.curves[{ci}].corpus: missing or non-numeric"))?;
+        if corpus < 1.0 {
+            return Err(format!("stages.scaling.curves[{ci}].corpus: {corpus} < 1"));
+        }
+        for field in ["ms", "speedup"] {
+            let Some(Value::Array(arr)) = c.get(field) else {
+                return Err(format!(
+                    "stages.scaling.curves[{ci}].{field}: missing or not an array"
+                ));
+            };
+            if arr.len() != threads.len() {
+                return Err(format!(
+                    "stages.scaling.curves[{ci}].{field}: {} entries, expected {}",
+                    arr.len(),
+                    threads.len()
+                ));
+            }
+            for (i, v) in arr.iter().enumerate() {
+                let x = as_f64(Some(v)).ok_or_else(|| {
+                    format!("stages.scaling.curves[{ci}].{field}[{i}]: non-numeric")
+                })?;
+                if !(x.is_finite() && x > 0.0) {
+                    return Err(format!(
+                        "stages.scaling.curves[{ci}].{field}[{i}]: {x} not a positive number"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The ingest stage additionally carries per-batch timing arrays.
+fn validate_ingest(ingest: &Map) -> Result<(), String> {
     let batches = as_f64(ingest.get("batches"))
         .ok_or("stages.ingest.batches: missing or non-numeric")?;
     if batches < 1.0 {
@@ -517,12 +885,13 @@ fn validate(path: &str) -> Result<(), String> {
             }
         }
     }
-    // The recovery stage records replay-from-scratch vs replay-from-checkpoint
-    // times (mirrored into serial_ms/parallel_ms so the generic checks above
-    // cover them; `speedup` is the checkpoint win).
-    let Some(Value::Object(recovery)) = stages.get("recovery") else {
-        return Err("stages.recovery: missing or not an object".to_string());
-    };
+    Ok(())
+}
+
+/// The recovery stage records replay-from-scratch vs replay-from-checkpoint
+/// times (mirrored into serial_ms/parallel_ms so the generic checks above
+/// cover them; `speedup` is the checkpoint win).
+fn validate_recovery(recovery: &Map) -> Result<(), String> {
     let rb = as_f64(recovery.get("batches"))
         .ok_or("stages.recovery.batches: missing or non-numeric")?;
     if rb < 1.0 {

@@ -59,7 +59,7 @@ impl Index {
         }
     }
 
-    fn get(&self, id: u64) -> Option<&Record> {
+    fn get(&self, id: u64) -> Option<Record> {
         match self {
             Index::Flat(i) => i.get(id),
             Index::Ivf(i) => i.get(id),
@@ -174,9 +174,14 @@ impl<'a> IclClassifier<'a> {
     /// ingestion path, where the pool is embedded once and each batch gets
     /// a fresh classifier around the same [`DemoIndex`].
     pub fn from_demos(llm: &'a SimLlm, demos: Arc<DemoIndex>, config: IclConfig) -> Self {
+        let head = llm.classify_head();
+        // The label set is fixed here, so build every gloss entry up front:
+        // the parallel batch loop then only ever takes shared read locks on
+        // the gloss cache instead of racing to build the same entries.
+        head.prewarm(&demos.labels);
         IclClassifier {
             llm,
-            head: llm.classify_head(),
+            head,
             demos,
             config,
             resilience: None,
@@ -233,7 +238,7 @@ impl<'a> IclClassifier<'a> {
                     .demos
                     .index
                     .get(hit.id)
-                    .map(|r| r.vector.clone())
+                    .map(|r| r.vector)
                     // Unreachable (hits come from the index), but fall back
                     // to a fresh embed rather than panic.
                     .unwrap_or_else(|| self.llm.embedder().embed(&ex.text));
@@ -313,6 +318,11 @@ impl<'a> IclClassifier<'a> {
             }
             return out;
         };
+        // The resilience probe prefix is inherently sequential (fault
+        // injection is a function of call order on the shared context), so
+        // it caps parallel speedup; its wall time goes to the volatile
+        // annex so scaling regressions can be triaged from the run report.
+        let probe_start = std::time::Instant::now();
         let llm_ok: Vec<bool> = texts
             .iter()
             .map(|_| match ctx.call(Head::Classify, |_| Ok(())) {
@@ -329,6 +339,7 @@ impl<'a> IclClassifier<'a> {
                 }
             })
             .collect();
+        rec.vobserve("par.probe_prefix_ms.classify", probe_start.elapsed().as_millis() as u64);
         let mut isolated: Vec<Result<String, String>> = Vec::with_capacity(texts.len());
         for (b, chunk) in texts.chunks(span_batch).enumerate() {
             let _batch = rec.span(&format!("batch[{b}]"));

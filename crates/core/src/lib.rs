@@ -884,22 +884,34 @@ impl AllHands {
         // Decodable checkpoints stamped with this run's fingerprint, in
         // marker order. A checkpoint that no longer decodes (schema drift,
         // partial damage below the hash's radar) is skipped the same way a
-        // hash-corrupt one was at open.
+        // hash-corrupt one was at open. Decoding is lazy and newest-first:
+        // checkpoint payloads carry the full session state, and only the one
+        // actually restored should pay the decode — older siblings exist
+        // purely as fallbacks.
         let fp = run_fingerprint(tier, texts, labeled_sample, predefined_topics);
-        let mut ckpts: Vec<(u64, CheckpointState)> = Vec::new();
+        let mut candidates: Vec<&allhands_journal::CheckpointRecord> = Vec::new();
         for c in journal.checkpoints() {
             if c.fingerprint != fp {
                 recorder.incr("recover.foreign_checkpoints");
                 continue;
             }
+            candidates.push(c);
+        }
+        // Newest decodable checkpoint (walking back over drifted ones) —
+        // its marker bounds what checkpoints alone can recover.
+        let mut newest: Option<(u64, CheckpointState)> = None;
+        for c in candidates.iter().rev() {
             match allhands_journal::decode::<CheckpointState>(&c.payload) {
-                Ok(state) => ckpts.push((c.marker, state)),
+                Ok(state) => {
+                    newest = Some((c.marker, state));
+                    break;
+                }
                 Err(_) => recorder.incr("recover.undecodable_checkpoints"),
             }
         }
         let available = std::cmp::max(
             deltas.keys().next_back().map_or(0, |&o| o + 1),
-            ckpts.last().map_or(0, |&(m, _)| m as usize),
+            newest.as_ref().map_or(0, |&(m, _)| m as usize),
         );
         let target = match point {
             RecoverPoint::Latest => available,
@@ -913,7 +925,23 @@ impl AllHands {
                 k + 1
             }
         };
-        let best = ckpts.into_iter().rev().find(|&(m, _)| m as usize <= target);
+        // The newest decodable checkpoint serves unless the requested point
+        // predates it; then walk further back, decoding only what the walk
+        // actually visits. (If nothing decoded above, every candidate was
+        // already tried — don't re-decode them here.)
+        let walk_back = newest.as_ref().is_some_and(|&(m, _)| m as usize > target);
+        let mut best = newest.filter(|&(m, _)| m as usize <= target);
+        if walk_back {
+            for c in candidates.iter().rev().filter(|c| c.marker as usize <= target) {
+                match allhands_journal::decode::<CheckpointState>(&c.payload) {
+                    Ok(state) => {
+                        best = Some((c.marker, state));
+                        break;
+                    }
+                    Err(_) => recorder.incr("recover.undecodable_checkpoints"),
+                }
+            }
+        }
         let (mut ah, mut frame, mut applied) = match best {
             Some((marker, state)) => {
                 let (ah, frame) = Self::restore_from_checkpoint(

@@ -31,7 +31,7 @@ pub mod hashing;
 pub mod vector;
 
 pub use hashing::{hash64, mix64};
-pub use vector::Embedding;
+pub use vector::{dot_slices, norm_slice, sq_dist_slices, Embedding};
 
 use allhands_obs::Recorder;
 use allhands_text::{char_ngrams, detect_language, light_preprocess, Language};
@@ -232,19 +232,25 @@ fn to_unit(x: u32) -> f32 {
 /// work disappears. Hot loops that repeatedly embed the same strings (label
 /// glosses per classification call, the topic list per document in
 /// progressive topic modeling) hold one `EmbedMemo` for the loop's
-/// lifetime. Thread-safe: the cache is behind a mutex, so a memo shared by
-/// a parallel scoring loop stays coherent; concurrent misses on the same
-/// key simply compute the same bits twice and agree.
+/// lifetime. Thread-safe: the cache is split into [`MEMO_SHARDS`]
+/// independently-locked shards keyed by the text's hash, so a memo shared
+/// by a parallel scoring loop serves hits from different shards without
+/// contending on one global mutex (the single-mutex version was a measured
+/// scaling bottleneck for batch classification); concurrent misses on the
+/// same key simply compute the same bits twice and agree.
 #[derive(Debug)]
 pub struct EmbedMemo<'a> {
     embedder: &'a SentenceEmbedder,
-    cache: std::sync::Mutex<HashMap<String, Embedding>>,
+    shards: [std::sync::Mutex<HashMap<String, Embedding>>; MEMO_SHARDS],
 }
+
+/// Lock shards in the memo cache. Power of two so the shard pick is a mask.
+const MEMO_SHARDS: usize = 8;
 
 impl<'a> EmbedMemo<'a> {
     /// Wrap an embedder with an empty cache.
     pub fn new(embedder: &'a SentenceEmbedder) -> Self {
-        EmbedMemo { embedder, cache: std::sync::Mutex::new(HashMap::new()) }
+        EmbedMemo { embedder, shards: std::array::from_fn(|_| std::sync::Mutex::new(HashMap::new())) }
     }
 
     /// The underlying embedder.
@@ -252,8 +258,9 @@ impl<'a> EmbedMemo<'a> {
         self.embedder
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Embedding>> {
-        match self.cache.lock() {
+    fn shard(&self, key: &str) -> std::sync::MutexGuard<'_, HashMap<String, Embedding>> {
+        let idx = (hash64(key) as usize) & (MEMO_SHARDS - 1);
+        match self.shards[idx].lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         }
@@ -261,7 +268,7 @@ impl<'a> EmbedMemo<'a> {
 
     /// Embed `text`, reusing the cached vector when available.
     pub fn embed(&self, text: &str) -> Embedding {
-        if let Some(hit) = self.lock().get(text) {
+        if let Some(hit) = self.shard(text).get(text) {
             // Hit/miss splits are volatile: two threads can race the same
             // key and both miss, so the split depends on the interleaving.
             self.embedder.rec.vincr("embed.memo.hits");
@@ -271,7 +278,7 @@ impl<'a> EmbedMemo<'a> {
         // Compute outside the lock: long embeds must not serialize other
         // threads' cache hits. A racing miss computes identical bits.
         let fresh = self.embedder.embed(text);
-        self.lock().entry(text.to_string()).or_insert(fresh).clone()
+        self.shard(text).entry(text.to_string()).or_insert(fresh).clone()
     }
 
     /// Cache an embedding under an arbitrary `key`, computing it with
@@ -279,23 +286,26 @@ impl<'a> EmbedMemo<'a> {
     /// of the key (e.g. a stemmed phrase) and want to skip recomputing the
     /// derivation as well. `build` must be deterministic in `key`.
     pub fn embed_keyed(&self, key: &str, build: impl FnOnce(&SentenceEmbedder) -> Embedding) -> Embedding {
-        if let Some(hit) = self.lock().get(key) {
+        if let Some(hit) = self.shard(key).get(key) {
             self.embedder.rec.vincr("embed.memo.hits");
             return hit.clone();
         }
         self.embedder.rec.vincr("embed.memo.misses");
         let fresh = build(self.embedder);
-        self.lock().entry(key.to_string()).or_insert(fresh).clone()
+        self.shard(key).entry(key.to_string()).or_insert(fresh).clone()
     }
 
     /// Number of distinct texts cached so far.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.shards.iter().map(|s| match s.lock() {
+            Ok(g) => g.len(),
+            Err(p) => p.into_inner().len(),
+        }).sum()
     }
 
     /// True when nothing has been cached.
     pub fn is_empty(&self) -> bool {
-        self.lock().is_empty()
+        self.len() == 0
     }
 }
 

@@ -54,7 +54,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use serde::{Deserialize, Serialize};
-use serde_json::Value;
+use serde_json::{Map, Value};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek as _, Write as _};
@@ -533,26 +533,20 @@ impl Journal {
     /// Lenient line parse: extract the fields without chain verification
     /// (the caller decides which anchor to verify against).
     fn parse_line(line: &str) -> Option<(u64, String, String, String, Value)> {
-        let v: Value = serde_json::from_str(line).ok()?;
-        let Value::Object(obj) = &v else { return None };
+        // `str::parse` builds the Value tree once; the fields are then moved
+        // out rather than cloned. Journal opens walk every surviving line,
+        // so this is the read path's per-entry cost.
+        let v: Value = line.parse().ok()?;
+        let Value::Object(mut obj) = v else { return None };
         let seq = match obj.get("seq") {
             Some(Value::U64(n)) => *n,
             Some(Value::I64(n)) if *n >= 0 => *n as u64,
             _ => return None,
         };
-        let stage = match obj.get("stage") {
-            Some(Value::String(s)) => s.clone(),
-            _ => return None,
-        };
-        let key = match obj.get("key") {
-            Some(Value::String(s)) => s.clone(),
-            _ => return None,
-        };
-        let hash = match obj.get("hash") {
-            Some(Value::String(s)) => s.clone(),
-            _ => return None,
-        };
-        let payload = obj.get("payload")?.clone();
+        let Some(Value::String(stage)) = obj.remove("stage") else { return None };
+        let Some(Value::String(key)) = obj.remove("key") else { return None };
+        let Some(Value::String(hash)) = obj.remove("hash") else { return None };
+        let payload = obj.remove("payload")?;
         Some((seq, stage, key, hash, payload))
     }
 
@@ -590,29 +584,29 @@ impl Journal {
         let marker_from_name = Self::checkpoint_marker(path)?;
         let bytes = std::fs::read(path).ok()?;
         let text = std::str::from_utf8(&bytes).ok()?;
-        let v: Value = serde_json::from_str(text.trim_end()).ok()?;
-        let Value::Object(obj) = &v else { return None };
-        let as_u64 = |k: &str| match obj.get(k) {
+        // Parse once and move the payload out: checkpoint payloads carry the
+        // whole session state, and every open loads every retained file, so
+        // a redundant deep clone here is measured directly in recovery time.
+        let v: Value = text.trim_end().parse().ok()?;
+        let Value::Object(mut obj) = v else { return None };
+        let as_u64 = |obj: &Map, k: &str| match obj.get(k) {
             Some(Value::U64(n)) => Some(*n),
             Some(Value::I64(n)) if *n >= 0 => Some(*n as u64),
             _ => None,
         };
-        let as_str = |k: &str| match obj.get(k) {
-            Some(Value::String(s)) => Some(s.clone()),
-            _ => None,
-        };
-        if as_u64("v") != Some(1) {
+        if as_u64(&obj, "v") != Some(1) {
             return None;
         }
-        let marker = as_u64("marker")?;
+        let marker = as_u64(&obj, "marker")?;
         if marker != marker_from_name {
             return None;
         }
-        let upto_seq = as_u64("upto_seq")?;
-        let chain = u64::from_str_radix(&as_str("chain")?, 16).ok()?;
-        let fingerprint = as_str("fingerprint")?;
-        let hash_hex = as_str("hash")?;
-        let payload = obj.get("payload")?.clone();
+        let upto_seq = as_u64(&obj, "upto_seq")?;
+        let Some(Value::String(chain_hex)) = obj.remove("chain") else { return None };
+        let chain = u64::from_str_radix(&chain_hex, 16).ok()?;
+        let Some(Value::String(fingerprint)) = obj.remove("fingerprint") else { return None };
+        let Some(Value::String(hash_hex)) = obj.remove("hash") else { return None };
+        let payload = obj.remove("payload")?;
         let recorded = u64::from_str_radix(&hash_hex, 16).ok()?;
         (recorded == checkpoint_hash(marker, upto_seq, chain, &fingerprint, &payload)).then_some(
             CheckpointRecord { marker, upto_seq, chain, fingerprint, hash: hash_hex, payload },

@@ -17,7 +17,7 @@ use crate::model::{ChatOptions, ModelSpec, ModelTier};
 use crate::prompt::{Demonstration, EmbeddedDemonstration, Prompt};
 use allhands_embed::{Embedding, SentenceEmbedder};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 /// Everything the zero-shot prior needs about one label, computed once per
 /// head: the gloss text, its preprocessed words and stem set (for lexical
@@ -36,11 +36,13 @@ struct GlossEntry {
 /// The head carries a per-label gloss cache (see [`GlossEntry`]); reuse one
 /// head across a batch of classifications (as `IclClassifier` does) to
 /// amortize gloss embedding over the whole batch. The cache is behind a
-/// mutex, so a single head can be shared by a parallel scoring loop.
+/// read/write lock: after the handful of label glosses are built (or
+/// [`prewarm`](ClassifyHead::prewarm)ed), a parallel scoring loop takes
+/// only shared read locks — no serialization point on the hot path.
 pub struct ClassifyHead<'a> {
     spec: &'a ModelSpec,
     embedder: &'a SentenceEmbedder,
-    gloss_cache: Mutex<HashMap<String, Arc<GlossEntry>>>,
+    gloss_cache: RwLock<HashMap<String, Arc<GlossEntry>>>,
 }
 
 /// "Pretraining knowledge": characteristic vocabulary per well-known label.
@@ -141,22 +143,29 @@ fn lexical_affinity(text_tokens: &[String], gloss: &GlossEntry, fuzzy: bool) -> 
 impl<'a> ClassifyHead<'a> {
     /// Construct from a model's spec + embedder.
     pub fn new(spec: &'a ModelSpec, embedder: &'a SentenceEmbedder) -> Self {
-        ClassifyHead { spec, embedder, gloss_cache: Mutex::new(HashMap::new()) }
+        ClassifyHead { spec, embedder, gloss_cache: RwLock::new(HashMap::new()) }
     }
 
-    /// The gloss cache, surviving a poisoning panic (the data is
-    /// insert-only and rebuildable, so a poisoned map is still valid).
-    fn gloss_lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<GlossEntry>>> {
-        self.gloss_cache
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    /// Build the gloss entries for `labels` up front, so a parallel batch
+    /// takes only shared read locks afterwards (the label set is known at
+    /// fit time; without prewarming, the first items of a batch race to
+    /// build the same handful of entries).
+    pub fn prewarm(&self, labels: &[String]) {
+        for label in labels {
+            let _ = self.gloss_entry(label);
+        }
     }
 
-    /// The label's cached gloss entry, computing it on first use.
+    /// The label's cached gloss entry, computing it on first use. Lock
+    /// poisoning is survived on both paths (the data is insert-only and
+    /// rebuildable, so a poisoned map is still valid).
     fn gloss_entry(&self, label: &str) -> Arc<GlossEntry> {
-        if let Some(hit) = self.gloss_lock().get(label) {
-            self.embedder.recorder().vincr("llm.classify.gloss_hits");
-            return Arc::clone(hit);
+        {
+            let cache = self.gloss_cache.read().unwrap_or_else(|p| p.into_inner());
+            if let Some(hit) = cache.get(label) {
+                self.embedder.recorder().vincr("llm.classify.gloss_hits");
+                return Arc::clone(hit);
+            }
         }
         // Racing threads may build the same entry concurrently, so build
         // counts are thread-schedule-dependent: volatile metric.
@@ -168,7 +177,9 @@ impl<'a> ClassifyHead<'a> {
         let embedding = self.embedder.embed(&gloss);
         let entry = Arc::new(GlossEntry { words, stems, embedding });
         Arc::clone(
-            self.gloss_lock()
+            self.gloss_cache
+                .write()
+                .unwrap_or_else(|p| p.into_inner())
                 .entry(label.to_string())
                 .or_insert(entry),
         )

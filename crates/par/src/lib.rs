@@ -7,24 +7,46 @@
 //! This crate provides exactly that contract:
 //!
 //! - [`par_map_indexed`] applies a pure `Fn(usize, &T) -> R` to every item
-//!   of a slice using a scoped `std::thread` pool and merges results **in
-//!   index order**. Because each result lands at its input's index, the
-//!   output is byte-identical for any thread count, including 1.
+//!   of a slice and merges results **in index order**. Because each result
+//!   lands at its input's index, the output is byte-identical for any
+//!   thread count, including 1.
 //! - The thread count comes from, in priority order: a programmatic
 //!   override ([`set_thread_override`], used by tests and benches), the
 //!   `ALLHANDS_THREADS` environment variable, and finally
 //!   `std::thread::available_parallelism()`. A value of 1 is a true serial
-//!   fallback: no threads are spawned at all.
+//!   fallback: no threads are involved at all.
+//!
+//! # Execution model
+//!
+//! Helpers come from a lazily-spawned **persistent worker pool** — the
+//! original implementation spawned a fresh scoped `std::thread` per helper
+//! per call, and at pipeline chunk sizes the spawn/join cost alone ate the
+//! entire parallel win (BENCH_pipeline.json speedups of 0.89–1.03×).
+//! Workers park on a condvar between calls; a call hands them a
+//! type-erased borrow of its chunk-claim loop and always waits (even on
+//! panic) for every handed-out ticket to retire before returning, which is
+//! what makes the lifetime erasure sound.
 //!
 //! Work is distributed in contiguous chunks claimed off a shared atomic
-//! counter (work stealing without per-item locking), so uneven per-item
-//! cost still load-balances. Only the *scheduling* is nondeterministic;
-//! the merged output never is.
+//! counter (work stealing without per-item locking), and each chunk writes
+//! its results straight into a preallocated output slab at the item's
+//! index — no per-chunk allocation, no mutex on the result path, no final
+//! sort-and-splice. Only the *scheduling* is nondeterministic; the merged
+//! output never is.
+//!
+//! Inputs smaller than [`SEQ_FASTPATH_MIN`] skip the pool entirely and run
+//! inline (recorded as `par.seq_fastpath.<label>`): for tiny batches the
+//! claim/ticket bookkeeping costs more than the work. The trigger depends
+//! only on `n`, so the counter is identical at every thread count and
+//! lives in the deterministic section of the run report.
 //!
 //! No external dependencies; the whole layer is `std`.
 
+use std::collections::VecDeque;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use allhands_obs::Recorder;
 
@@ -33,6 +55,21 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Environment variable controlling the pool size (`1` = serial).
 pub const THREADS_ENV: &str = "ALLHANDS_THREADS";
+
+/// Inputs with fewer items than this run inline on the caller thread, no
+/// matter the configured thread count: the chunk-claim and ticket
+/// bookkeeping would dominate the work. Triggered purely by `n`, so the
+/// `par.seq_fastpath.<label>` counter it feeds is thread-count-independent.
+pub const SEQ_FASTPATH_MIN: usize = 32;
+
+/// Floor on the claimed chunk size. The old heuristic (`n / (threads*4)`,
+/// min 1) degenerated to 1-item chunks for small `n` at high thread
+/// counts, paying one atomic claim + metric record per item.
+pub const MIN_CHUNK: usize = 16;
+
+/// Upper bound on persistent pool workers — a memory backstop, far above
+/// any thread count the pipeline requests.
+const MAX_POOL_WORKERS: usize = 64;
 
 /// Override the pool size for this process, taking precedence over
 /// `ALLHANDS_THREADS` and the detected core count. `None` removes the
@@ -73,6 +110,192 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// One parallel map in flight. `work` is the caller's chunk-claim loop with
+/// its lifetime erased; soundness rests on the caller waiting for
+/// `outstanding` to reach zero (even while unwinding) before its stack
+/// frame — and therefore the real closure — dies.
+struct Job {
+    work: &'static (dyn Fn() + Sync),
+    state: Mutex<JobState>,
+    cv: Condvar,
+}
+
+struct JobState {
+    /// Tickets still queued or running. The caller retires queued-but-
+    /// unclaimed tickets itself on exit, so a busy pool can never wedge a
+    /// call that already finished the work single-handedly.
+    outstanding: usize,
+    /// First panic payload a worker caught while running `work`.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Job {
+    /// Run one ticket: execute the shared chunk-claim loop to exhaustion,
+    /// capturing a panic instead of taking the worker thread down.
+    fn run(&self) {
+        let result = catch_unwind(AssertUnwindSafe(|| (self.work)()));
+        let mut st = lock(&self.state);
+        st.outstanding -= 1;
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+struct PoolQueue {
+    queue: VecDeque<Arc<Job>>,
+    idle: usize,
+    workers: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolQueue>,
+    cv: Condvar,
+}
+
+impl Pool {
+    /// Enqueue `tickets` copies of `job` and make sure enough workers
+    /// exist to drain them. Spawn failures degrade: the caller still
+    /// completes the map alone.
+    fn submit(&self, job: &Arc<Job>, tickets: usize) {
+        let spawn = {
+            let mut s = lock(&self.state);
+            for _ in 0..tickets {
+                s.queue.push_back(Arc::clone(job));
+            }
+            let deficit = s.queue.len().saturating_sub(s.idle);
+            let spawn = deficit.min(MAX_POOL_WORKERS.saturating_sub(s.workers));
+            s.workers += spawn;
+            spawn
+        };
+        self.cv.notify_all();
+        for _ in 0..spawn {
+            let spawned = std::thread::Builder::new()
+                .name("allhands-par".to_string())
+                .spawn(worker_loop);
+            if spawned.is_err() {
+                lock(&self.state).workers -= 1;
+            }
+        }
+    }
+
+    /// Retire this job's still-queued tickets and wait for the running
+    /// ones. Called from a drop guard so an unwinding caller waits too.
+    fn join(&self, job: &Arc<Job>) {
+        let removed = {
+            let mut s = lock(&self.state);
+            let before = s.queue.len();
+            s.queue.retain(|queued| !Arc::ptr_eq(queued, job));
+            before - s.queue.len()
+        };
+        let mut st = lock(&job.state);
+        st.outstanding -= removed;
+        while st.outstanding > 0 {
+            st = job.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolQueue { queue: VecDeque::new(), idle: 0, workers: 0 }),
+        cv: Condvar::new(),
+    })
+}
+
+fn worker_loop() {
+    let pool = pool();
+    loop {
+        let job = {
+            let mut s = lock(&pool.state);
+            loop {
+                if let Some(job) = s.queue.pop_front() {
+                    break job;
+                }
+                s.idle += 1;
+                s = pool.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+                s.idle -= 1;
+            }
+        };
+        job.run();
+    }
+}
+
+/// Run `work` on the caller plus up to `helpers` pool workers, returning
+/// only after every handed-out ticket has retired. A panic on any
+/// participant propagates to the caller (the caller's own panic wins if
+/// both happen).
+fn run_on_pool(work: &(dyn Fn() + Sync), helpers: usize) {
+    if helpers == 0 {
+        work();
+        return;
+    }
+    // SAFETY: the erased borrow never outlives this frame — `JoinGuard`
+    // waits for all tickets (queued ones are dequeued, running ones
+    // joined) before the frame unwinds or returns.
+    let work_static: &'static (dyn Fn() + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(work) };
+    let job = Arc::new(Job {
+        work: work_static,
+        state: Mutex::new(JobState { outstanding: helpers, panic: None }),
+        cv: Condvar::new(),
+    });
+    let pool = pool();
+    pool.submit(&job, helpers);
+
+    struct JoinGuard<'a> {
+        pool: &'a Pool,
+        job: &'a Arc<Job>,
+    }
+    impl Drop for JoinGuard<'_> {
+        fn drop(&mut self) {
+            self.pool.join(self.job);
+        }
+    }
+    {
+        let _guard = JoinGuard { pool, job: &job };
+        work();
+    }
+    let payload = lock(&job.state).panic.take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel maps
+// ---------------------------------------------------------------------------
+
+/// Covariant handle to the output slab; workers write disjoint indices
+/// (each claimed exactly once off the atomic counter), so shared mutable
+/// access never aliases.
+struct SlabPtr<R>(*mut MaybeUninit<R>);
+unsafe impl<R: Send> Send for SlabPtr<R> {}
+unsafe impl<R: Send> Sync for SlabPtr<R> {}
+
+impl<R> SlabPtr<R> {
+    /// Write `value` at slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and owned by exactly one claimed chunk.
+    unsafe fn write(&self, i: usize, value: R) {
+        (*self.0.add(i)).write(value);
+    }
+}
+
 /// Apply `f(index, &item)` to every item and return results in input
 /// order. `f` must be pure (or at least order-insensitive): items may be
 /// processed on any thread, in any order, but the merged output is always
@@ -87,10 +310,10 @@ where
 }
 
 /// [`par_map_indexed`] with observability. Deterministic counters
-/// (`par.maps.<label>`, `par.items.<label>`) count logical work — identical
-/// at any thread count. Chunk metrics (`par.chunks.<label>`,
-/// `par.chunk_size.<label>`) depend on the thread count and are therefore
-/// recorded in the **volatile** section.
+/// (`par.maps.<label>`, `par.items.<label>`, `par.seq_fastpath.<label>`)
+/// count logical work — identical at any thread count. Chunk metrics
+/// (`par.chunks.<label>`, `par.chunk_size.<label>`) depend on the thread
+/// count and are therefore recorded in the **volatile** section.
 pub fn par_map_indexed_recorded<T, R, F>(rec: &Recorder, label: &str, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -102,46 +325,57 @@ where
         rec.incr(&format!("par.maps.{label}"));
         rec.add(&format!("par.items.{label}"), n as u64);
     }
+    if n < SEQ_FASTPATH_MIN {
+        if rec.is_enabled() && n > 0 {
+            rec.incr(&format!("par.seq_fastpath.{label}"));
+            rec.vincr(&format!("par.chunks.{label}"));
+            rec.vobserve(&format!("par.chunk_size.{label}"), n as u64);
+        }
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
     let threads = max_threads().min(n);
     if threads <= 1 {
-        if rec.is_enabled() && n > 0 {
+        if rec.is_enabled() {
             rec.vincr(&format!("par.chunks.{label}"));
             rec.vobserve(&format!("par.chunk_size.{label}"), n as u64);
         }
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     // Chunks small enough to load-balance, large enough to amortize the
-    // claim + merge bookkeeping.
-    let chunk = n.div_ceil(threads * 4).max(1);
+    // claim + metric bookkeeping (MIN_CHUNK floors the degenerate small-n
+    // case that used to hand out 1-item chunks).
+    let chunk = n.div_ceil(threads * 4).max(MIN_CHUNK);
+    let helpers = threads.min(n.div_ceil(chunk)).saturating_sub(1);
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit needs no initialization; length is restored to
+    // a fully-initialized prefix only after the map completes.
+    unsafe { out.set_len(n) };
+    let slab = SlabPtr(out.as_mut_ptr());
     let next = AtomicUsize::new(0);
-    let blocks: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                if rec.is_enabled() {
-                    rec.vincr(&format!("par.chunks.{label}"));
-                    rec.vobserve(&format!("par.chunk_size.{label}"), (end - start) as u64);
-                }
-                let out: Vec<R> = (start..end).map(|i| f(i, &items[i])).collect();
-                match blocks.lock() {
-                    Ok(mut g) => g.push((start, out)),
-                    Err(p) => p.into_inner().push((start, out)),
-                }
-            });
+    let work = || loop {
+        let start = next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
         }
-    });
-    let mut blocks = match blocks.into_inner() {
-        Ok(b) => b,
-        Err(p) => p.into_inner(),
+        let end = (start + chunk).min(n);
+        if rec.is_enabled() {
+            rec.vincr(&format!("par.chunks.{label}"));
+            rec.vobserve(&format!("par.chunk_size.{label}"), (end - start) as u64);
+        }
+        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+            let value = f(i, item);
+            // SAFETY: index i belongs to exactly one claimed chunk.
+            unsafe { slab.write(i, value) };
+        }
     };
-    // Index-ordered merge: the determinism guarantee lives here.
-    blocks.sort_by_key(|&(start, _)| start);
-    blocks.into_iter().flat_map(|(_, out)| out).collect()
+    run_on_pool(&work, helpers);
+    // Every chunk was claimed (the loop exits only past n) and every
+    // claimed chunk completed (run_on_pool joined all tickets; a panic
+    // would have propagated above, leaking — not dropping — the slab).
+    let mut out = ManuallyDrop::new(out);
+    // SAFETY: all n entries are initialized; MaybeUninit<R> and R have
+    // identical layout.
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), n, out.capacity()) }
 }
 
 /// [`par_map_indexed`] without the index.
@@ -190,7 +424,7 @@ fn with_silenced_panic_hook<R>(f: impl FnOnce() -> R) -> R {
     struct Release;
     impl Drop for Release {
         fn drop(&mut self) {
-            let mut s = SILENCE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut s = lock(&SILENCE);
             s.depth -= 1;
             if s.depth == 0 {
                 if let Some(prev) = s.prev.take() {
@@ -200,7 +434,7 @@ fn with_silenced_panic_hook<R>(f: impl FnOnce() -> R) -> R {
         }
     }
     {
-        let mut s = SILENCE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut s = lock(&SILENCE);
         s.depth += 1;
         if s.depth == 1 {
             s.prev = Some(std::panic::take_hook());
@@ -244,7 +478,6 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    use std::panic::{catch_unwind, AssertUnwindSafe};
     with_silenced_panic_hook(|| {
         par_map_indexed_recorded(rec, label, items, |i, item| {
             catch_unwind(AssertUnwindSafe(|| f(i, item)))
@@ -256,15 +489,11 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::OnceLock;
 
     /// Tests mutate the global override; serialize them.
     fn guard() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-        match LOCK.get_or_init(|| Mutex::new(())).lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        }
+        lock(LOCK.get_or_init(|| Mutex::new(())))
     }
 
     #[test]
@@ -365,6 +594,56 @@ mod tests {
     }
 
     #[test]
+    fn panic_in_parallel_path_propagates() {
+        let _g = guard();
+        let items: Vec<u32> = (0..300).collect();
+        let caught = with_silenced_panic_hook(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                with_threads(4, || {
+                    par_map_indexed(&items, |_, x| {
+                        if *x == 257 {
+                            panic!("mid-map failure");
+                        }
+                        x * 2
+                    })
+                })
+            }))
+        });
+        let payload = caught.expect_err("panic must propagate");
+        assert_eq!(panic_payload_string(payload.as_ref()), "mid-map failure");
+        // The pool must stay serviceable after a panicked map.
+        let ok = with_threads(4, || par_map(&items, |x| x + 1));
+        assert_eq!(ok.len(), items.len());
+    }
+
+    #[test]
+    fn nested_parallel_maps_do_not_deadlock() {
+        let _g = guard();
+        let outer: Vec<u64> = (0..64).collect();
+        let expect: Vec<u64> = outer.iter().map(|x| x * (0..64).sum::<u64>()).collect();
+        let got = with_threads(4, || {
+            par_map_indexed(&outer, |_, x| {
+                let inner: Vec<u64> = (0..64).collect();
+                par_map(&inner, |y| x * y).into_iter().sum::<u64>()
+            })
+        });
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pool_workers_are_reused_and_bounded() {
+        let _g = guard();
+        let items: Vec<u64> = (0..2000).collect();
+        for _ in 0..4 {
+            let out = with_threads(8, || par_map(&items, |x| x + 1));
+            assert_eq!(out[1999], 2000);
+        }
+        let s = lock(&pool().state);
+        assert!(s.workers <= MAX_POOL_WORKERS, "worker cap breached: {}", s.workers);
+        assert!(s.queue.is_empty(), "tickets leaked into the queue");
+    }
+
+    #[test]
     fn concurrent_isolated_calls_restore_the_panic_hook() {
         let _g = guard();
         use std::sync::atomic::{AtomicUsize, Ordering};
@@ -418,6 +697,31 @@ mod tests {
         // Deterministic sections match; chunk accounting (volatile) may not.
         assert_eq!(rep1.counters, rep8.counters);
         assert!(rep8.volatile_counters.contains_key("par.chunks.test"));
+    }
+
+    #[test]
+    fn seq_fastpath_counter_is_thread_count_independent() {
+        let _g = guard();
+        let tiny: Vec<u64> = (0..(SEQ_FASTPATH_MIN as u64 - 1)).collect();
+        let run = |threads: usize| {
+            let rec = Recorder::new();
+            let out = with_threads(threads, || {
+                par_map_indexed_recorded(&rec, "tiny", &tiny, |i, x| x + i as u64)
+            });
+            (out, rec.report())
+        };
+        let (out1, rep1) = run(1);
+        let (out8, rep8) = run(8);
+        assert_eq!(out1, out8);
+        // Triggered by n alone, so it lands in the deterministic section
+        // with the same value at every thread count.
+        assert_eq!(rep1.counter("par.seq_fastpath.tiny"), 1);
+        assert_eq!(rep1.counters, rep8.counters);
+        // Large inputs never take the fast path.
+        let big: Vec<u64> = (0..500).collect();
+        let rec = Recorder::new();
+        with_threads(8, || par_map_indexed_recorded(&rec, "big", &big, |i, x| x + i as u64));
+        assert_eq!(rec.report().counter("par.seq_fastpath.big"), 0);
     }
 
     #[test]

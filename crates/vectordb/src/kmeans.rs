@@ -66,15 +66,20 @@ pub fn kmeans(points: &[&Embedding], k: usize, max_iters: usize, seed: u64) -> K
     let mut assignments = vec![0usize; points.len()];
     let mut inertia = f64::INFINITY;
     for _ in 0..max_iters {
-        // Assignment step.
-        let mut new_inertia = 0.0f64;
-        for (i, p) in points.iter().enumerate() {
-            let (best, d) = centroids
+        // Assignment step: per-point nearest-centroid search is pure, so it
+        // runs data-parallel. Outputs come back in index order and the
+        // inertia is summed sequentially over them, so the result is
+        // identical at any thread count.
+        let nearest = allhands_par::par_map_indexed(points, |_, p| {
+            centroids
                 .iter()
                 .enumerate()
                 .map(|(c, ctr)| (c, p.sq_dist(ctr)))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .expect("k >= 1");
+                .expect("k >= 1")
+        });
+        let mut new_inertia = 0.0f64;
+        for (i, (best, d)) in nearest.into_iter().enumerate() {
             assignments[i] = best;
             new_inertia += d as f64;
         }

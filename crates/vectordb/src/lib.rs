@@ -14,6 +14,12 @@
 //! Both support metadata key/value filtering at query time (e.g. restrict
 //! retrieval to demonstrations from one dataset or label).
 //!
+//! Storage is columnar: vectors live in a contiguous cache-aligned arena
+//! (see [`arena`](crate::arena) module docs) with precomputed norms and
+//! scalar-quantized i8 codes. Large scans prune candidates with the cheap
+//! integer kernel and rescore exactly, so results — ids, order, and score
+//! bits — are always identical to a brute-force f32 scan.
+//!
 //! # Example
 //!
 //! ```
@@ -30,9 +36,15 @@
 //! assert_eq!(hits[0].id, 0);
 //! ```
 
+mod arena;
 pub mod kmeans;
 
+pub use arena::{QUANT_MIN_DIMS, QUANT_MIN_ROWS};
 pub use kmeans::{kmeans, KMeansResult};
+
+#[cfg(test)]
+pub(crate) use arena::PAR_SCAN_THRESHOLD;
+use arena::RowPool;
 
 use allhands_embed::Embedding;
 use allhands_obs::Recorder;
@@ -92,9 +104,13 @@ impl Filter {
 
     /// Does `record` satisfy all conditions?
     pub fn matches(&self, record: &Record) -> bool {
-        self.conditions
-            .iter()
-            .all(|(k, v)| record.metadata.get(k).is_some_and(|rv| rv == v))
+        self.matches_meta(&record.metadata)
+    }
+
+    /// Does a bare metadata map satisfy all conditions? (The columnar scan
+    /// path filters on metadata without materializing a [`Record`].)
+    pub fn matches_meta(&self, metadata: &HashMap<String, String>) -> bool {
+        self.conditions.iter().all(|(k, v)| metadata.get(k).is_some_and(|rv| rv == v))
     }
 
     /// True when the filter has no conditions.
@@ -124,8 +140,8 @@ pub trait VectorIndex {
         self.len() == 0
     }
 
-    /// Fetch a record by id.
-    fn get(&self, id: u64) -> Option<&Record>;
+    /// Fetch a record by id, reconstructed (owned) from columnar storage.
+    fn get(&self, id: u64) -> Option<Record>;
 
     /// Remove a record by id; returns whether it existed. Removal is a
     /// mutation like insert: on [`IvfIndex`] it counts toward the staleness
@@ -168,7 +184,7 @@ impl Ord for HeapEntry {
 /// ascending id for determinism. O(n log k) bounded-heap selection instead
 /// of a full O(n log n) sort — `k` is tiny (demo retrieval asks for ~4-24)
 /// while the candidate pool is the whole index.
-fn top_k(candidates: Vec<SearchResult>, k: usize) -> Vec<SearchResult> {
+pub(crate) fn top_k(candidates: Vec<SearchResult>, k: usize) -> Vec<SearchResult> {
     if k == 0 {
         return Vec::new();
     }
@@ -183,56 +199,27 @@ fn top_k(candidates: Vec<SearchResult>, k: usize) -> Vec<SearchResult> {
     heap.into_sorted_vec().into_iter().map(|e| e.0).collect()
 }
 
-/// Pools at or above this size are scanned in parallel shards.
-const PAR_SCAN_THRESHOLD: usize = 4096;
-
-/// Shard size for the parallel scan. Fixed (not derived from the thread
-/// count) so shard-local top-k results — and therefore the merged result —
-/// are identical at any thread count.
-const PAR_SCAN_SHARD: usize = 2048;
-
-/// Filter + score + top-k over a record pool, scanning large pools in
-/// parallel shards. Each shard keeps its own top-k and the partial results
-/// merge through one more top-k pass; top-k over a disjoint union equals
-/// top-k of per-part top-ks, and `(score desc, id asc)` is a total order,
-/// so the output is byte-identical to the serial scan.
-fn scored_top_k<R: std::borrow::Borrow<Record> + Sync>(
-    records: &[R],
-    query: &Embedding,
-    k: usize,
-    filter: &Filter,
-) -> Vec<SearchResult> {
-    let score_shard = |shard: &[R]| -> Vec<SearchResult> {
-        let candidates = shard
-            .iter()
-            .map(std::borrow::Borrow::borrow)
-            .filter(|r| filter.matches(r))
-            .map(|r| SearchResult { id: r.id, score: query.cosine(&r.vector) })
-            .collect();
-        top_k(candidates, k)
-    };
-    if records.len() < PAR_SCAN_THRESHOLD || allhands_par::max_threads() == 1 {
-        return score_shard(records);
-    }
-    let shards: Vec<&[R]> = records.chunks(PAR_SCAN_SHARD).collect();
-    let partials = allhands_par::par_map_indexed(&shards, |_, shard| score_shard(shard));
-    top_k(partials.into_iter().flatten().collect(), k)
-}
-
-/// Exact brute-force index.
+/// Exact brute-force index over one columnar row pool.
 #[derive(Debug, Clone)]
 pub struct FlatIndex {
     dims: usize,
-    records: Vec<Record>,
+    pool: RowPool,
     by_id: HashMap<u64, usize>,
     rec: Recorder,
+    quant: bool,
 }
 
 impl FlatIndex {
     /// Create an empty index for `dims`-dimensional vectors.
     pub fn new(dims: usize) -> Self {
         assert!(dims > 0, "dims must be positive");
-        FlatIndex { dims, records: Vec::new(), by_id: HashMap::new(), rec: Recorder::disabled() }
+        FlatIndex {
+            dims,
+            pool: RowPool::new(dims),
+            by_id: HashMap::new(),
+            rec: Recorder::disabled(),
+            quant: true,
+        }
     }
 
     /// Attach a metrics recorder (counts searches and scanned records).
@@ -240,9 +227,16 @@ impl FlatIndex {
         self.rec = rec;
     }
 
-    /// Iterate all records.
-    pub fn iter(&self) -> impl Iterator<Item = &Record> {
-        self.records.iter()
+    /// Enable/disable the quantized candidate-pruning scan (on by default).
+    /// Results are byte-identical either way — this is a speed toggle, used
+    /// by the benches to A/B the exact and quantized paths.
+    pub fn set_quantization(&mut self, enabled: bool) {
+        self.quant = enabled;
+    }
+
+    /// Iterate all records (owned; reconstructed from columnar storage).
+    pub fn iter(&self) -> impl Iterator<Item = Record> + '_ {
+        (0..self.pool.len()).map(|slot| self.pool.record(slot))
     }
 }
 
@@ -250,35 +244,34 @@ impl VectorIndex for FlatIndex {
     fn insert(&mut self, record: Record) {
         assert_eq!(record.vector.dims(), self.dims, "dimension mismatch");
         if let Some(&pos) = self.by_id.get(&record.id) {
-            self.records[pos] = record; // upsert
+            self.pool.fill(pos, record); // upsert in place
         } else {
-            self.by_id.insert(record.id, self.records.len());
-            self.records.push(record);
+            self.by_id.insert(record.id, self.pool.len());
+            self.pool.push(record);
         }
     }
 
     fn search_filtered(&self, query: &Embedding, k: usize, filter: &Filter) -> Vec<SearchResult> {
         assert_eq!(query.dims(), self.dims, "dimension mismatch");
         self.rec.incr("vectordb.searches.flat");
-        self.rec.add("vectordb.scanned.flat", self.records.len() as u64);
-        self.rec.observe("vectordb.pool_size", self.records.len() as u64);
-        scored_top_k(&self.records, query, k, filter)
+        self.rec.add("vectordb.scanned.flat", self.pool.len() as u64);
+        self.rec.observe("vectordb.pool_size", self.pool.len() as u64);
+        self.pool.scan_top_k(query, k, filter, self.quant, &self.rec)
     }
 
     fn len(&self) -> usize {
-        self.records.len()
+        self.pool.len()
     }
 
-    fn get(&self, id: u64) -> Option<&Record> {
-        self.by_id.get(&id).map(|&pos| &self.records[pos])
+    fn get(&self, id: u64) -> Option<Record> {
+        self.by_id.get(&id).map(|&pos| self.pool.record(pos))
     }
 
     fn remove(&mut self, id: u64) -> bool {
         match self.by_id.remove(&id) {
             Some(pos) => {
-                self.records.swap_remove(pos);
-                if let Some(moved) = self.records.get(pos) {
-                    self.by_id.insert(moved.id, pos);
+                if let Some(moved) = self.pool.swap_remove(pos) {
+                    self.by_id.insert(moved, pos);
                 }
                 true
             }
@@ -348,9 +341,9 @@ pub struct IvfIndex {
     dims: usize,
     /// Partition centroids (empty = untrained).
     centroids: Vec<Embedding>,
-    /// Per-partition record storage.
-    partitions: Vec<Vec<Record>>,
-    /// id → (partition, offset)
+    /// Per-partition columnar record storage.
+    partitions: Vec<RowPool>,
+    /// id → (partition, slot)
     by_id: HashMap<u64, (usize, usize)>,
     /// Number of partitions to probe at query time.
     pub nprobe: usize,
@@ -369,6 +362,8 @@ pub struct IvfIndex {
     retrain_staleness: Option<f32>,
     /// Completed k-means trainings (manual and automatic).
     trains: u64,
+    /// Quantized candidate pruning on the scan path (on by default).
+    quant: bool,
 }
 
 impl IvfIndex {
@@ -382,7 +377,7 @@ impl IvfIndex {
         IvfIndex {
             dims,
             centroids: Vec::new(),
-            partitions: vec![Vec::new()],
+            partitions: vec![RowPool::new(dims)],
             by_id: HashMap::new(),
             nprobe: nprobe.max(1),
             seed: 42,
@@ -391,6 +386,7 @@ impl IvfIndex {
             mutations: 0,
             retrain_staleness: Some(Self::DEFAULT_RETRAIN_STALENESS),
             trains: 0,
+            quant: true,
         }
     }
 
@@ -399,16 +395,22 @@ impl IvfIndex {
         self.rec = rec;
     }
 
+    /// Enable/disable the quantized candidate-pruning scan (on by default).
+    /// Results are byte-identical either way.
+    pub fn set_quantization(&mut self, enabled: bool) {
+        self.quant = enabled;
+    }
+
     /// Snapshot the full index state for serialization (see [`IvfState`]).
     pub fn to_state(&self) -> IvfState {
-        let ser_record = |r: &Record| {
+        let ser_record = |r: Record| {
             let mut metadata: Vec<MetaPair> = r
                 .metadata
-                .iter()
-                .map(|(k, v)| MetaPair { key: k.clone(), value: v.clone() })
+                .into_iter()
+                .map(|(key, value)| MetaPair { key, value })
                 .collect();
             metadata.sort_by(|a, b| a.key.cmp(&b.key));
-            RecordState { id: r.id, vector: r.vector.clone(), metadata }
+            RecordState { id: r.id, vector: r.vector, metadata }
         };
         IvfState {
             dims: self.dims as u64,
@@ -418,7 +420,7 @@ impl IvfIndex {
             partitions: self
                 .partitions
                 .iter()
-                .map(|p| p.iter().map(ser_record).collect())
+                .map(|p| (0..p.len()).map(|slot| ser_record(p.record(slot))).collect())
                 .collect(),
             target_partitions: self.target_partitions as u64,
             mutations: self.mutations as u64,
@@ -430,12 +432,14 @@ impl IvfIndex {
     /// Rebuild an index from a serialized snapshot. The recorder starts
     /// disabled — reattach one with [`set_recorder`](Self::set_recorder).
     pub fn from_state(state: IvfState) -> IvfIndex {
+        let dims = (state.dims as usize).max(1);
         let mut centroids = state.centroids;
-        let mut partitions: Vec<Vec<Record>> = state
+        let mut record_partitions: Vec<Vec<Record>> = state
             .partitions
             .into_iter()
             .map(|p| {
                 p.into_iter()
+                    .filter(|r| r.vector.dims() == dims) // defensive: drop corrupt rows
                     .map(|r| {
                         let mut metadata = HashMap::new();
                         for m in r.metadata {
@@ -449,15 +453,25 @@ impl IvfIndex {
         // Defensive repair of inconsistent snapshots: `assign` indexes
         // partitions by centroid position, so a count mismatch would panic.
         // Collapse to the untrained-but-correct single-partition layout.
-        if centroids.len() != partitions.len() && !centroids.is_empty() {
+        if centroids.len() != record_partitions.len() && !centroids.is_empty() {
             centroids.clear();
-            partitions = vec![partitions.into_iter().flatten().collect()];
+            record_partitions = vec![record_partitions.into_iter().flatten().collect()];
         }
-        if partitions.is_empty() {
-            partitions = vec![Vec::new()];
+        if record_partitions.is_empty() {
+            record_partitions = vec![Vec::new()];
         }
+        let partitions: Vec<RowPool> = record_partitions
+            .into_iter()
+            .map(|records| {
+                let mut pool = RowPool::new(dims);
+                for r in records {
+                    pool.push(r);
+                }
+                pool
+            })
+            .collect();
         let mut idx = IvfIndex {
-            dims: (state.dims as usize).max(1),
+            dims,
             centroids,
             partitions,
             by_id: HashMap::new(),
@@ -468,6 +482,7 @@ impl IvfIndex {
             mutations: state.mutations as usize,
             retrain_staleness: state.retrain_staleness,
             trains: state.trains,
+            quant: true,
         };
         idx.rebuild_id_map();
         idx
@@ -481,7 +496,8 @@ impl IvfIndex {
     pub fn train(&mut self, n_partitions: usize) {
         self.target_partitions = n_partitions;
         self.mutations = 0;
-        let all: Vec<Record> = self.partitions.drain(..).flatten().collect();
+        let all: Vec<Record> =
+            self.partitions.iter_mut().flat_map(RowPool::take_records).collect();
         // Records with non-finite coordinates sit out k-means: a NaN
         // distance poisons the k-means++ seeding weights (`gen_range(0.0..NaN)`).
         // They are stored afterwards wherever `assign` deterministically
@@ -490,17 +506,19 @@ impl IvfIndex {
             .into_iter()
             .partition(|r| r.vector.as_slice().iter().all(|v| v.is_finite()));
         if finite.len() < n_partitions || n_partitions < 2 {
-            let mut records = finite;
-            records.extend(rest);
+            let mut pool = RowPool::new(self.dims);
+            for r in finite.into_iter().chain(rest) {
+                pool.push(r);
+            }
             self.centroids.clear();
-            self.partitions = vec![records];
+            self.partitions = vec![pool];
             self.rebuild_id_map();
             return;
         }
         let vectors: Vec<&Embedding> = finite.iter().map(|r| &r.vector).collect();
         let result = kmeans(&vectors, n_partitions, 20, self.seed);
         self.centroids = result.centroids;
-        self.partitions = vec![Vec::new(); self.centroids.len()];
+        self.partitions = (0..self.centroids.len()).map(|_| RowPool::new(self.dims)).collect();
         for (record, &part) in finite.into_iter().zip(&result.assignments) {
             self.partitions[part].push(record);
         }
@@ -558,8 +576,8 @@ impl IvfIndex {
     fn rebuild_id_map(&mut self) {
         self.by_id.clear();
         for (p, partition) in self.partitions.iter().enumerate() {
-            for (o, record) in partition.iter().enumerate() {
-                self.by_id.insert(record.id, (p, o));
+            for o in 0..partition.len() {
+                self.by_id.insert(partition.id(o), (p, o));
             }
         }
     }
@@ -603,9 +621,8 @@ impl VectorIndex for IvfIndex {
         // Upsert: the new vector may belong to a different partition than
         // the old one, so remove the stale entry first.
         if let Some(&(p, o)) = self.by_id.get(&record.id) {
-            self.partitions[p].swap_remove(o);
-            if let Some(moved) = self.partitions[p].get(o) {
-                self.by_id.insert(moved.id, (p, o));
+            if let Some(moved) = self.partitions[p].swap_remove(o) {
+                self.by_id.insert(moved, (p, o));
             }
             self.by_id.remove(&record.id);
         }
@@ -634,30 +651,33 @@ impl VectorIndex for IvfIndex {
             ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             ranked.into_iter().take(self.nprobe).map(|(i, _)| i).collect()
         };
-        let pool: Vec<&Record> = probe
-            .into_iter()
-            .flat_map(|p| self.partitions[p].iter())
-            .collect();
+        let scanned: usize = probe.iter().map(|&p| self.partitions[p].len()).sum();
         self.rec.incr("vectordb.searches.ivf");
-        self.rec.add("vectordb.scanned.ivf", pool.len() as u64);
-        self.rec.observe("vectordb.pool_size", pool.len() as u64);
-        scored_top_k(&pool, query, k, filter)
+        self.rec.add("vectordb.scanned.ivf", scanned as u64);
+        self.rec.observe("vectordb.pool_size", scanned as u64);
+        // Per-partition top-k merged by one more top-k pass: the probed
+        // partitions are disjoint, so this equals a top-k over their
+        // concatenation under the `(score desc, id asc)` total order.
+        let mut partials = Vec::new();
+        for p in probe {
+            partials.extend(self.partitions[p].scan_top_k(query, k, filter, self.quant, &self.rec));
+        }
+        top_k(partials, k)
     }
 
     fn len(&self) -> usize {
         self.by_id.len()
     }
 
-    fn get(&self, id: u64) -> Option<&Record> {
-        self.by_id.get(&id).map(|&(p, o)| &self.partitions[p][o])
+    fn get(&self, id: u64) -> Option<Record> {
+        self.by_id.get(&id).map(|&(p, o)| self.partitions[p].record(o))
     }
 
     fn remove(&mut self, id: u64) -> bool {
         match self.by_id.remove(&id) {
             Some((p, o)) => {
-                self.partitions[p].swap_remove(o);
-                if let Some(moved) = self.partitions[p].get(o) {
-                    self.by_id.insert(moved.id, (p, o));
+                if let Some(moved) = self.partitions[p].swap_remove(o) {
+                    self.by_id.insert(moved, (p, o));
                 }
                 self.mutations += 1;
                 self.maybe_retrain();
@@ -914,7 +934,9 @@ mod tests {
             });
             assert_eq!(serial, parallel, "threads={threads}");
         }
-        // And the parallel shard path agrees with a plain full sort.
+        // And the parallel shard path agrees with a plain full sort over
+        // the pre-refactor representation (owned records, per-row cosine):
+        // the golden before/after-arena equality check.
         let oracle = top_k_by_sort(
             flat.iter()
                 .map(|r| SearchResult { id: r.id, score: query.cosine(&r.vector) })
@@ -922,6 +944,73 @@ mod tests {
             12,
         );
         assert_eq!(serial.0, oracle);
+    }
+
+    /// The quantized candidate-pruning scan must be invisible: hits are
+    /// byte-identical to the exact path — across ties, NaN rows, filters,
+    /// serial and sharded scans, for both index types.
+    #[test]
+    fn quantized_scan_matches_exact_scan_bitwise() {
+        use rand::Rng;
+        use rand_chacha::rand_core::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(41);
+        let dims = 16;
+        let n = PAR_SCAN_THRESHOLD + 900; // sharded scan, quant engaged
+        let mut flat = FlatIndex::new(dims);
+        let mut ivf = IvfIndex::new(dims, 3);
+        for i in 0..n as u64 {
+            let v = Embedding::new((0..dims).map(|_| rng.gen_range(-2.0f32..2.0)).collect());
+            let label = if i % 4 == 0 { "bug" } else { "other" };
+            flat.insert(Record::new(i, v.clone()).with_meta("label", label));
+            ivf.insert(Record::new(i, v).with_meta("label", label));
+        }
+        // Exact ties and degenerate rows ride along.
+        for id in [90_000u64, 90_001, 90_002] {
+            let v = Embedding::new(vec![0.25; dims]);
+            flat.insert(Record::new(id, v.clone()));
+            ivf.insert(Record::new(id, v));
+        }
+        let mut nan_vals = vec![0.1f32; dims];
+        nan_vals[3] = f32::NAN;
+        flat.insert(Record::new(91_000, Embedding::new(nan_vals.clone())));
+        ivf.insert(Record::new(91_000, Embedding::new(nan_vals)));
+        flat.insert(Record::new(92_000, Embedding::zeros(dims)));
+        ivf.insert(Record::new(92_000, Embedding::zeros(dims)));
+        ivf.train(6);
+        let mut flat_exact = flat.clone();
+        flat_exact.set_quantization(false);
+        let mut ivf_exact = ivf.clone();
+        ivf_exact.set_quantization(false);
+        let filter = Filter::none().must("label", "bug");
+        let queries = [
+            Embedding::new((0..dims).map(|_| rng.gen_range(-2.0f32..2.0)).collect()),
+            Embedding::new(vec![0.25; dims]), // exactly a tied row
+            Embedding::zeros(dims),           // degenerate query: quant disabled
+            Embedding::new((0..dims).map(|d| if d == 0 { 1000.0 } else { 1e-5 }).collect()),
+        ];
+        for (qi, q) in queries.iter().enumerate() {
+            for k in [1usize, 7, 40] {
+                for threads in [1usize, 4] {
+                    allhands_par::with_threads(threads, || {
+                        assert_same_hits(
+                            &flat_exact.search(q, k),
+                            &flat.search(q, k),
+                            &format!("flat q{qi} k{k} t{threads}"),
+                        );
+                        assert_same_hits(
+                            &flat_exact.search_filtered(q, k, &filter),
+                            &flat.search_filtered(q, k, &filter),
+                            &format!("flat+filter q{qi} k{k} t{threads}"),
+                        );
+                        assert_same_hits(
+                            &ivf_exact.search(q, k),
+                            &ivf.search(q, k),
+                            &format!("ivf q{qi} k{k} t{threads}"),
+                        );
+                    });
+                }
+            }
+        }
     }
 
     /// Regression: a record exactly equidistant from two centroids must be

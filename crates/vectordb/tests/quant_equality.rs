@@ -1,0 +1,114 @@
+//! Property test for the quantized-scan contract: candidate pruning with
+//! i8 codes plus exact f32 rescore must return *exactly* the hits of the
+//! pure-f32 scan — same ids, same order, same score bits — across random
+//! vectors, exact ties, filters, and every k. The exact path itself is
+//! pinned against a pre-refactor reference scan (owned records, per-row
+//! `cosine`, full sort), so this file is also the golden before/after
+//! equality check for the arena refactor.
+
+use allhands_embed::Embedding;
+use allhands_vectordb::{
+    Filter, FlatIndex, IvfIndex, Record, SearchResult, VectorIndex, QUANT_MIN_ROWS,
+};
+use proptest::prelude::*;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The pre-arena scan, verbatim in spirit: walk owned records, score each
+/// with `Embedding::cosine`, full-sort by `(score desc, id asc)`.
+fn reference_scan(
+    records: &[Record],
+    query: &Embedding,
+    k: usize,
+    filter: &Filter,
+) -> Vec<SearchResult> {
+    let mut scored: Vec<SearchResult> = records
+        .iter()
+        .filter(|r| filter.matches(r))
+        .map(|r| SearchResult { id: r.id, score: query.cosine(&r.vector) })
+        .collect();
+    scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+    scored.truncate(k);
+    scored
+}
+
+fn assert_same_hits(a: &[SearchResult], b: &[SearchResult], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: lengths differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{ctx}: id order diverged");
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{ctx}: score bits diverged at id {}",
+            x.id
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn quantized_scan_equals_f32_scan(
+        seed in 0u64..u64::MAX,
+        dims in 8usize..25,
+        k in 1usize..40,
+        ties in 0usize..6,
+        spread in 0.5f32..16.0,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = QUANT_MIN_ROWS + 40; // large enough to engage quantization
+        let mut records: Vec<Record> = Vec::with_capacity(n + ties);
+        for i in 0..n as u64 {
+            let v = Embedding::new((0..dims).map(|_| rng.gen_range(-spread..spread)).collect());
+            let label = ["bug", "praise", "other"][(i % 3) as usize];
+            records.push(Record::new(i, v).with_meta("label", label));
+        }
+        // Exact ties: duplicate existing vectors under fresh ids, so the
+        // (score desc, id asc) tie-break is exercised every case.
+        for t in 0..ties {
+            let src = rng.gen_range(0..records.len());
+            let dup = Record::new((n + t) as u64, records[src].vector.clone())
+                .with_meta("label", "bug");
+            records.push(dup);
+        }
+
+        let mut quant = FlatIndex::new(dims);
+        let mut exact = FlatIndex::new(dims);
+        exact.set_quantization(false);
+        let mut ivf_quant = IvfIndex::new(dims, 4);
+        let mut ivf_exact = IvfIndex::new(dims, 4);
+        ivf_exact.set_quantization(false);
+        for r in &records {
+            quant.insert(r.clone());
+            exact.insert(r.clone());
+            ivf_quant.insert(r.clone());
+            ivf_exact.insert(r.clone());
+        }
+        ivf_quant.train(4);
+        ivf_exact.train(4);
+
+        let queries = [
+            Embedding::new((0..dims).map(|_| rng.gen_range(-spread..spread)).collect()),
+            // A query colliding exactly with a stored row: perfect-score ties.
+            records[rng.gen_range(0..records.len())].vector.clone(),
+        ];
+        let filters = [Filter::none(), Filter::none().must("label", "bug")];
+        for (qi, q) in queries.iter().enumerate() {
+            for (fi, f) in filters.iter().enumerate() {
+                let ctx = format!("seed={seed} dims={dims} k={k} q{qi} f{fi}");
+                let reference = reference_scan(&records, q, k, f);
+                let got_exact = exact.search_filtered(q, k, f);
+                let got_quant = quant.search_filtered(q, k, f);
+                assert_same_hits(&reference, &got_exact, &format!("{ctx} exact-vs-reference"));
+                assert_same_hits(&got_exact, &got_quant, &format!("{ctx} quant-vs-exact"));
+                // IVF probes the same partitions either way, so quantization
+                // must be invisible there too.
+                let ivf_e = ivf_exact.search_filtered(q, k, f);
+                let ivf_q = ivf_quant.search_filtered(q, k, f);
+                assert_same_hits(&ivf_e, &ivf_q, &format!("{ctx} ivf quant-vs-exact"));
+            }
+        }
+    }
+}

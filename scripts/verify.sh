@@ -29,14 +29,28 @@
 #                   (checkpoint -> compact -> kill -> recover cycle at every
 #                   seam, point-in-time recover_at, corruption fuzz, journal
 #                   locking) plus the torn-tail truncation property test.
+#   --scaling-smoke run the scaling + search stages of the pipeline bench on
+#                   a reduced matrix (threads sweep, smoke corpus sizes) and
+#                   schema-validate the emitted JSON. Curves are recorded,
+#                   never asserted monotone (1-core hosts give ~1.0).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Scratch dirs created by smoke stages, removed on exit.
+tmp_dirs=()
+cleanup() {
+  for d in ${tmp_dirs[@]+"${tmp_dirs[@]}"}; do
+    rm -rf "$d"
+  done
+}
+trap cleanup EXIT
 
 bench_smoke=0
 crash_smoke=0
 obs_smoke=0
 ingest_smoke=0
 checkpoint_smoke=0
+scaling_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
@@ -44,6 +58,7 @@ for arg in "$@"; do
     --obs-smoke) obs_smoke=1 ;;
     --ingest-smoke) ingest_smoke=1 ;;
     --checkpoint-smoke) checkpoint_smoke=1 ;;
+    --scaling-smoke) scaling_smoke=1 ;;
     *)
       echo "verify: unknown flag $arg" >&2
       exit 2
@@ -74,7 +89,7 @@ if [[ "$obs_smoke" == 1 ]]; then
   echo "==> obs smoke (metric determinism, span shape, report schema)"
   cargo test -q --test observability
   out_dir="$(mktemp -d)"
-  trap 'rm -rf "$out_dir"' EXIT
+  tmp_dirs+=("$out_dir")
   cargo run --release -p allhands-bench --bin pipeline_bench -- \
     --smoke --out "$out_dir/BENCH_pipeline.json"
   cargo run --release -p allhands-bench --bin pipeline_bench -- \
@@ -92,6 +107,16 @@ fi
 if [[ "$checkpoint_smoke" == 1 ]]; then
   echo "==> checkpoint smoke (checkpoint/compact/kill/recover, corruption fuzz)"
   cargo test -q --test checkpoint_recovery --test journal_truncation
+fi
+
+if [[ "$scaling_smoke" == 1 ]]; then
+  echo "==> scaling smoke (threads sweep on reduced corpus; curves recorded)"
+  scaling_dir="$(mktemp -d)"
+  tmp_dirs+=("$scaling_dir")
+  cargo run --release -p allhands-bench --bin pipeline_bench -- \
+    --smoke --only scaling,search --out "$scaling_dir/BENCH_scaling.json"
+  cargo run --release -p allhands-bench --bin pipeline_bench -- \
+    --validate "$scaling_dir/BENCH_scaling.json"
 fi
 
 echo "verify: OK"

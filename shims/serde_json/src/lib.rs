@@ -58,6 +58,13 @@ impl Map {
     pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
         self.entries.iter().map(|(k, v)| (k, v))
     }
+
+    /// Remove and return the entry with this key, preserving the order of
+    /// the remaining entries.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
 }
 
 /// JSON error (parse or conversion failure).
@@ -194,6 +201,17 @@ impl std::fmt::Display for Value {
     }
 }
 
+/// Direct text → [`Value`] parse (`"...".parse::<Value>()`), mirroring
+/// `serde_json`'s `FromStr` impl. Unlike `from_str::<Value>`, this skips
+/// the `Content` bridge entirely — the parse tree IS the result — so it is
+/// the cheap path for callers that inspect the document dynamically.
+impl std::str::FromStr for Value {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self, Error> {
+        parse(s)
+    }
+}
+
 // ---- Content bridge --------------------------------------------------------
 
 impl Serialize for Value {
@@ -216,6 +234,28 @@ impl Serialize for Value {
 impl Deserialize for Value {
     fn from_content(c: &Content) -> Result<Self, DeError> {
         Ok(content_to_value(c))
+    }
+}
+
+/// Move-based `Value` → `Content` conversion: strings, arrays, and maps are
+/// transferred, not cloned. This is the hot half of `from_str` — checkpoint
+/// restore parses multi-megabyte documents, and the borrowing `to_content`
+/// bridge used to deep-copy the entire tree a second time before the typed
+/// deserializer even started.
+fn value_into_content(v: Value) -> Content {
+    match v {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(b),
+        Value::I64(n) => Content::I64(n),
+        Value::U64(n) => Content::U64(n),
+        Value::F64(n) => Content::F64(n),
+        Value::String(s) => Content::Str(s),
+        Value::Array(items) => {
+            Content::Seq(items.into_iter().map(value_into_content).collect())
+        }
+        Value::Object(m) => Content::Map(
+            m.entries.into_iter().map(|(k, v)| (k, value_into_content(v))).collect(),
+        ),
     }
 }
 
@@ -261,12 +301,12 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 /// Parse JSON text into any `Deserialize` type.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let value = parse(s)?;
-    Ok(T::from_content(&value.to_content())?)
+    Ok(T::from_content(&value_into_content(value))?)
 }
 
 /// Convert an already-parsed [`Value`] into any `Deserialize` type.
 pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
-    Ok(T::from_content(&value.to_content())?)
+    Ok(T::from_content(&value_into_content(value))?)
 }
 
 // ---- printer ---------------------------------------------------------------
@@ -681,6 +721,17 @@ mod tests {
         assert_eq!(v["list"][1], "b");
         assert_eq!(json!(null), Value::Null);
         assert_eq!(json!(1.25), Value::F64(1.25));
+    }
+
+    #[test]
+    fn from_str_impl_and_map_remove() {
+        let v: Value = r#"{"a": 1, "b": [true], "c": "x"}"#.parse().unwrap();
+        assert_eq!(v, parse(r#"{"a": 1, "b": [true], "c": "x"}"#).unwrap());
+        let Value::Object(mut m) = v else { panic!("expected object") };
+        assert_eq!(m.remove("b"), Some(Value::Array(vec![Value::Bool(true)])));
+        assert_eq!(m.remove("b"), None);
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["a", "c"], "remove must preserve remaining order");
     }
 
     #[test]
