@@ -1,0 +1,103 @@
+//! Journal durability-layer microbenchmarks.
+//!
+//! Three claims back the storage design and are measured here:
+//!
+//! 1. `journal_append_64` prices the storage paths: `RealVfs` is the
+//!    production baseline (fsync-dominated), and the `FaultVfs`
+//!    pass-through shows what the injection harness adds per op
+//!    (schedule decision + event bookkeeping) so fault-suite runtimes
+//!    stay explainable.
+//! 2. `export_bootstrap` is cheap — it serializes in-memory state, no
+//!    I/O — and scales linearly with the WAL suffix it ships.
+//! 3. `bootstrap_from` (full verify + install) stays proportional to the
+//!    bundle: hash check, chain walk, one checkpoint write, one WAL
+//!    write + fsync.
+
+use allhands_journal::vfs::{FaultVfs, IoFaultPlan, Vfs};
+use allhands_journal::Journal;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("bench-journal-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("stale scratch dir");
+    }
+    dir
+}
+
+fn payload(i: usize) -> String {
+    format!("feedback record {i}: the app keeps crashing on startup after the update")
+}
+
+fn bench_append_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journal_append_64");
+    group.sample_size(10);
+    group.bench_function("real_vfs", |b| {
+        b.iter(|| {
+            let dir = scratch_dir("append-real");
+            let mut j = Journal::open(&dir).unwrap();
+            for i in 0..64 {
+                j.append("bench", &format!("k{i}"), &payload(i)).unwrap();
+            }
+            drop(j);
+            std::fs::remove_dir_all(&dir).ok();
+        })
+    });
+    group.bench_function("fault_vfs_no_faults", |b| {
+        b.iter(|| {
+            let dir = scratch_dir("append-fault");
+            let vfs = Arc::new(FaultVfs::new(IoFaultPlan::none()));
+            let mut j = Journal::open_with(&dir, vfs as Arc<dyn Vfs>).unwrap();
+            for i in 0..64 {
+                j.append("bench", &format!("k{i}"), &payload(i)).unwrap();
+            }
+            drop(j);
+            std::fs::remove_dir_all(&dir).ok();
+        })
+    });
+    group.finish();
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bootstrap");
+    group.sample_size(10);
+    for entries in [64usize, 512] {
+        // Seed a leader journal: a checkpoint under a WAL suffix.
+        let dir = scratch_dir(&format!("leader-{entries}"));
+        let mut leader = Journal::open(&dir).unwrap();
+        leader.ensure_run("bench-run-fingerprint").unwrap();
+        for i in 0..entries / 2 {
+            leader.append("bench", &format!("k{i}"), &payload(i)).unwrap();
+        }
+        leader.checkpoint(1, &"checkpoint-state".to_string()).unwrap();
+        for i in entries / 2..entries {
+            leader.append("bench", &format!("k{i}"), &payload(i)).unwrap();
+        }
+
+        group.bench_function(&format!("export_{entries}"), |b| {
+            b.iter(|| black_box(leader.export_bootstrap(leader.next_seq()).unwrap()))
+        });
+
+        let bundle = leader.export_bootstrap(leader.next_seq()).unwrap();
+        group.bench_function(&format!("install_{entries}"), |b| {
+            b.iter(|| {
+                let fdir = scratch_dir(&format!("follower-{entries}"));
+                let mut f = Journal::open(&fdir).unwrap();
+                f.bootstrap_from(&bundle).unwrap();
+                let n = f.len();
+                drop(f);
+                std::fs::remove_dir_all(&fdir).ok();
+                black_box(n)
+            })
+        });
+        drop(leader);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append_paths, bench_bootstrap);
+criterion_main!(benches);

@@ -43,7 +43,10 @@ pub use classification::{DemoIndex, IclClassifier, IclConfig};
 pub use topic_modeling::{AbstractiveTopicModeler, TopicModelingConfig, TopicModelingResult};
 
 pub use allhands_agent::{AgentConfig, AnswerRecord, QaAgent, Response, ResponseItem};
-pub use allhands_journal::{Journal, JournalError};
+pub use allhands_journal::{
+    vfs::{FaultVfs, IoFaultKind, IoFaultPlan, RealVfs, Vfs},
+    BootstrapBundle, Journal, JournalError,
+};
 pub use allhands_obs::{Recorder, RunReport, SpanGuard};
 pub use allhands_resilience::{
     AllHandsError, DegradationEvent, FaultPlan, Head, InjectedCrash, QuarantineRecord,
@@ -142,7 +145,13 @@ struct CheckpointState {
 }
 
 fn jerr(e: JournalError) -> AllHandsError {
-    AllHandsError::Pipeline(format!("journal: {e}"))
+    match e {
+        // A read-only trip is its own category: callers must be able to
+        // distinguish "durability is gone, queries still work" from a
+        // generic pipeline failure.
+        JournalError::ReadOnly(m) => AllHandsError::ReadOnly(m),
+        e => AllHandsError::Pipeline(format!("journal: {e}")),
+    }
 }
 
 /// Content fingerprint of a pipeline run's inputs — tier, corpus, labeled
@@ -240,7 +249,7 @@ pub enum RecoverPoint {
 
 /// Typed per-run options, grouped so the facade entry point stays one
 /// method as options accrete.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct AnalyzeOptions {
     /// Crash-safe journaling (`None` = unjournaled).
     pub journal: Option<JournalMode>,
@@ -249,6 +258,26 @@ pub struct AnalyzeOptions {
     /// Point-in-time recovery target (`None` = run / resume normally).
     /// Requires a journal.
     pub recover: Option<RecoverPoint>,
+    /// Storage backend for the journal (`None` = the real filesystem).
+    /// Lets tests thread a [`FaultVfs`] under every journal I/O.
+    pub vfs: Option<Arc<dyn Vfs>>,
+    /// Follower bootstrap: install this leader-exported bundle into the
+    /// (required, empty) journal before running. Requires a journal mode;
+    /// recovery defaults to [`RecoverPoint::Latest`] so the session comes
+    /// up holding the leader's state.
+    pub bootstrap: Option<BootstrapBundle>,
+}
+
+impl std::fmt::Debug for AnalyzeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalyzeOptions")
+            .field("journal", &self.journal)
+            .field("recorder", &self.recorder)
+            .field("recover", &self.recover)
+            .field("vfs", &self.vfs.as_ref().map(|_| "<dyn Vfs>"))
+            .field("bootstrap", &self.bootstrap)
+            .finish()
+    }
 }
 
 /// Builder for an [`AllHands`] run — the single entry point replacing the
@@ -322,6 +351,26 @@ impl AllHandsBuilder {
         self
     }
 
+    /// Replace the journal's storage backend (defaults to the real
+    /// filesystem). Primarily for fault-injection tests: pass an
+    /// `Arc<FaultVfs>` to exercise every journal I/O seam.
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.options.vfs = Some(vfs);
+        self
+    }
+
+    /// Bootstrap a follower from a leader-exported bundle (see
+    /// [`AllHands::export_bootstrap`]): the bundle's checkpoint + WAL
+    /// suffix are verified (hash chain + run fingerprint) and installed
+    /// into the journal, which must be empty. Requires a journal mode;
+    /// unless an explicit recovery point is set, recovery defaults to
+    /// [`RecoverPoint::Latest`] so the new session replays the installed
+    /// state immediately.
+    pub fn bootstrap(mut self, bundle: BootstrapBundle) -> Self {
+        self.options.bootstrap = Some(bundle);
+        self
+    }
+
     /// Run the full three-stage pipeline on raw texts. See
     /// [`AllHands::builder`] for the contract details.
     pub fn analyze(
@@ -331,10 +380,21 @@ impl AllHandsBuilder {
         predefined_topics: &[String],
     ) -> Result<(AllHands, DataFrame), AllHandsError> {
         let recorder = self.options.recorder.build();
+        if self.options.bootstrap.is_some() && self.options.journal.is_none() {
+            return Err(AllHandsError::Pipeline(
+                "bootstrap requires a journal: attach JournalMode::Continue(dir) (pointing at an empty directory) before bootstrap(bundle)"
+                    .to_string(),
+            ));
+        }
         let journal = match &self.options.journal {
             None => None,
             Some(mode) => {
-                let mut journal = Journal::open(mode.dir()).map_err(jerr)?;
+                let mut journal = match &self.options.vfs {
+                    None => Journal::open(mode.dir()).map_err(jerr)?,
+                    Some(vfs) => {
+                        Journal::open_with(mode.dir(), Arc::clone(vfs)).map_err(jerr)?
+                    }
+                };
                 if matches!(mode, JournalMode::Fresh(_))
                     && (!journal.is_empty() || journal.has_checkpoints())
                 {
@@ -347,6 +407,9 @@ impl AllHandsBuilder {
                     )));
                 }
                 journal.set_recorder(recorder.clone());
+                if let Some(bundle) = &self.options.bootstrap {
+                    journal.bootstrap_from(bundle).map_err(jerr)?;
+                }
                 journal
                     .ensure_run(&run_fingerprint(
                         self.tier,
@@ -358,7 +421,13 @@ impl AllHandsBuilder {
                 Some(journal)
             }
         };
-        match (self.options.recover, journal) {
+        // A bootstrapped follower should come up holding the leader's
+        // state, so an unset recovery point defaults to Latest.
+        let recover = match (self.options.recover, &self.options.bootstrap) {
+            (None, Some(_)) => Some(RecoverPoint::Latest),
+            (point, _) => point,
+        };
+        match (recover, journal) {
             (Some(point), Some(journal)) => AllHands::run_recovery(
                 self.tier,
                 texts,
@@ -1169,6 +1238,15 @@ impl AllHands {
         let snap = QaSnapshot { record, resilience: self.resilience.snapshot() };
         match journal.append("qa", &key, &snap) {
             Ok(()) => self.resilience.crash_point(&format!("qa:{key}:committed")),
+            Err(JournalError::ReadOnly(m)) => {
+                // Read-only degraded mode: keep answering (the state is in
+                // memory), note the lost durability once rather than on
+                // every question.
+                self.resilience.note_degradation_once(
+                    "qa-agent",
+                    &format!("journal is read-only ({m}); answers no longer crash-safe"),
+                );
+            }
             Err(e) => {
                 // The answer is still good — it is just not crash-safe.
                 self.resilience
@@ -1208,6 +1286,22 @@ impl AllHands {
         self.journal.as_ref()
     }
 
+    /// Export a follower-bootstrap bundle covering everything this
+    /// session's journal holds: the newest checkpoint plus the WAL suffix
+    /// past it, hash-sealed (see [`Journal::export_bootstrap`]). Feed it to
+    /// `AllHands::builder(..).journal(..).bootstrap(bundle)` on an empty
+    /// directory to bring up a byte-identical follower. Errors on an
+    /// unjournaled session.
+    pub fn export_bootstrap(&self) -> Result<BootstrapBundle, AllHandsError> {
+        let Some(j) = self.journal.as_ref() else {
+            return Err(AllHandsError::Pipeline(
+                "export_bootstrap requires a journaled session (builder().journal(..))"
+                    .to_string(),
+            ));
+        };
+        j.export_bootstrap(j.next_seq()).map_err(jerr)
+    }
+
     /// Ingest one batch of new feedback texts into the analyzed state.
     ///
     /// Stage 1 classifies only the new documents, re-using the
@@ -1230,6 +1324,19 @@ impl AllHands {
     /// Errors on an [`AllHands::from_frame`] session: there is no pipeline
     /// state to ingest into.
     pub fn ingest(&mut self, batch: &[String]) -> Result<IngestReport, AllHandsError> {
+        // A read-only (storage-degraded) journal refuses new state up
+        // front: nothing is classified, nothing is applied, and the caller
+        // gets the typed error. Queries (`ask`, `search_similar`) keep
+        // serving the state already in memory.
+        if let Some(reason) =
+            self.journal.as_ref().and_then(|j| j.read_only_reason().map(str::to_string))
+        {
+            self.resilience.note_degradation_once(
+                "ingest",
+                &format!("journal is read-only (degraded): {reason}; batch refused"),
+            );
+            return Err(AllHandsError::ReadOnly(reason));
+        }
         let Some(ing) = self.ingest.as_mut() else {
             return Err(AllHandsError::Pipeline(
                 "ingest requires a pipeline-built session (builder().analyze(..)); \
@@ -1407,9 +1514,24 @@ impl AllHands {
             coined: coined.clone(),
             resilience: self.resilience.snapshot(),
         };
+        let mut readonly_trip: Option<String> = None;
         if let Some(j) = &mut self.journal {
             match j.append("ingest", &key, &snap) {
                 Ok(()) => self.resilience.crash_point(&format!("ingest:{key}:committed")),
+                Err(JournalError::ReadOnly(m)) => {
+                    // The storage layer tripped read-only mid-batch. The
+                    // batch stays applied in memory (queries keep serving
+                    // it) but the caller gets the typed error: the batch
+                    // was never made durable and re-feeding it after the
+                    // storage is healthy again is the caller's move.
+                    self.resilience.note_degradation(
+                        "ingest",
+                        format!(
+                            "journal tripped read-only ({m}); batch applied in memory only, not crash-safe"
+                        ),
+                    );
+                    readonly_trip = Some(m);
+                }
                 Err(e) => {
                     // The batch is still applied — it is just not crash-safe.
                     self.resilience.note_degradation(
@@ -1422,6 +1544,9 @@ impl AllHands {
 
         let frame = build_frame(&ing.texts, &ing.row_labels, &ing.sentiments, &ing.doc_topics)?;
         self.agent.set_frame(frame.clone());
+        if let Some(m) = readonly_trip {
+            return Err(AllHandsError::ReadOnly(m));
+        }
         self.maybe_checkpoint(batch_idx);
         Ok(IngestReport {
             batch: batch_idx,

@@ -53,12 +53,14 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod vfs;
+
 use serde::{Deserialize, Serialize};
 use serde_json::{Map, Value};
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read as _, Seek as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use vfs::{RealVfs, Vfs, VfsFile};
 
 /// The journal file name inside a run directory.
 pub const JOURNAL_FILE: &str = "allhands.journal";
@@ -85,6 +87,13 @@ pub enum JournalError {
     Codec(String),
     /// Another live session holds the journal directory's lock.
     Locked { path: String, holder: u32 },
+    /// The journal tripped into read-only degraded mode (repeated storage
+    /// failures on the write path). Reads keep serving; writes are refused
+    /// until the journal is reopened.
+    ReadOnly(String),
+    /// A bootstrap bundle failed verification (hash, chain, or
+    /// fingerprint) or the target journal is not empty.
+    Bootstrap(String),
 }
 
 impl std::fmt::Display for JournalError {
@@ -100,6 +109,10 @@ impl std::fmt::Display for JournalError {
                 f,
                 "journal directory is locked by another session (pid {holder}): {path}"
             ),
+            JournalError::ReadOnly(m) => {
+                write!(f, "journal is in read-only degraded mode: {m}")
+            }
+            JournalError::Bootstrap(m) => write!(f, "bootstrap bundle rejected: {m}"),
         }
     }
 }
@@ -150,6 +163,59 @@ pub struct CompactStats {
     pub checkpoints_pruned: usize,
     /// Bytes removed from the WAL file.
     pub bytes_reclaimed: u64,
+}
+
+/// A self-contained, hash-verified state handoff for follower bootstrap:
+/// the newest durable checkpoint at or below the requested journal offset
+/// (as its exact on-disk file text) plus the WAL suffix from the
+/// checkpoint's anchor up to that offset (as exact on-disk lines). A
+/// follower installs it with [`Journal::bootstrap_from`], which re-verifies
+/// the bundle hash, the checkpoint hash, the WAL chain from the anchor,
+/// and the run fingerprint before writing anything — so a bundle corrupted
+/// in transit (or torn by an export-side storage fault) is rejected typed,
+/// never half-installed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapBundle {
+    /// Bundle format version (currently 1).
+    pub v: u32,
+    /// The run fingerprint the leader serves; the follower's `ensure_run`
+    /// must agree after install.
+    pub fingerprint: String,
+    /// Exact checkpoint file text (including trailing newline), when a
+    /// durable checkpoint at or below `upto_seq` existed.
+    pub checkpoint: Option<String>,
+    /// Exact WAL lines (no trailing newline) covering
+    /// `[checkpoint anchor, upto_seq)`.
+    pub wal: Vec<String>,
+    /// The journal seq the bundle covers up to (exclusive): a follower
+    /// that installs it resumes appending at this seq.
+    pub upto_seq: u64,
+    /// Content hash over every field above (hex).
+    pub hash: String,
+}
+
+/// Content hash for a bootstrap bundle. A distinct domain tag keeps bundle
+/// hashes disjoint from entry and checkpoint hashes.
+fn bundle_hash(fingerprint: &str, checkpoint: Option<&str>, wal: &[String], upto_seq: u64) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    fnv1a(&mut h, b"bundle\x1F");
+    fnv1a(&mut h, &(fingerprint.len() as u64).to_le_bytes());
+    fnv1a(&mut h, fingerprint.as_bytes());
+    match checkpoint {
+        Some(c) => {
+            fnv1a(&mut h, b"\x01");
+            fnv1a(&mut h, &(c.len() as u64).to_le_bytes());
+            fnv1a(&mut h, c.as_bytes());
+        }
+        None => fnv1a(&mut h, b"\x00"),
+    }
+    fnv1a(&mut h, &(wal.len() as u64).to_le_bytes());
+    for l in wal {
+        fnv1a(&mut h, &(l.len() as u64).to_le_bytes());
+        fnv1a(&mut h, l.as_bytes());
+    }
+    fnv1a(&mut h, &upto_seq.to_le_bytes());
+    h
 }
 
 /// FNV-1a 64-bit over bytes — stable, dependency-free, fast enough for
@@ -239,14 +305,6 @@ fn checkpoint_file(marker: u64) -> String {
     format!("ckpt-{marker:010}.json")
 }
 
-/// Fsync the directory so a completed rename survives power loss. Failure
-/// is not fatal: the data file itself was already synced.
-fn sync_dir(dir: &Path) {
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
-}
-
 /// Best-effort liveness probe for a lock-holding pid.
 fn pid_alive(pid: u32) -> bool {
     if pid == std::process::id() {
@@ -265,36 +323,83 @@ fn pid_alive(pid: u32) -> bool {
     }
 }
 
+/// Monotonic start marker for `pid`, used to tell a lock's original holder
+/// apart from an unrelated process that recycled its pid. On Linux this is
+/// the kernel's process start time (field 22 of `/proc/{pid}/stat`, in
+/// clock ticks since boot — it never changes for a live process and a
+/// recycled pid gets a new one). `None` when unavailable.
+fn pid_start_token(pid: u32) -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let stat = std::fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+        // The comm field (2) is parenthesized and may contain spaces; parse
+        // from after the closing paren. starttime is field 22 overall, so
+        // field 20 of the remainder (state is field 3).
+        let rest = &stat[stat.rfind(')')? + 1..];
+        rest.split_whitespace().nth(19)?.parse::<u64>().ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        None
+    }
+}
+
+/// This process's start token, computed once (it never changes).
+fn self_start_token() -> Option<u64> {
+    static TOKEN: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    *TOKEN.get_or_init(|| pid_start_token(std::process::id()))
+}
+
 /// Exclusive, pid-stamped lock on a journal directory. Two live sessions
 /// appending to one WAL would interleave their hash chains; the lock makes
 /// the second opener fail fast with [`JournalError::Locked`] instead. The
-/// file holds the owner's pid so a lock left behind by a dead process
-/// (kill -9 skips destructors) can be reclaimed safely.
+/// file holds the owner's pid *and* its process start token, so a lock left
+/// behind by a dead process (kill -9 skips destructors) can be reclaimed —
+/// including when an unrelated process has since recycled the pid: a live
+/// process whose start token does not match the one stamped in the lock is
+/// not the holder, and the lock is stale.
 struct JournalLock {
     path: PathBuf,
 }
 
 impl JournalLock {
-    fn acquire(dir: &Path) -> Result<JournalLock, JournalError> {
+    fn acquire(dir: &Path, vfs: &dyn Vfs) -> Result<JournalLock, JournalError> {
         let path = dir.join(LOCK_FILE);
         let mut reclaimed = false;
         loop {
-            match OpenOptions::new().write(true).create_new(true).open(&path) {
+            match vfs.create_new(&path) {
                 Ok(mut f) => {
-                    let _ = f.write_all(std::process::id().to_string().as_bytes());
+                    let stamp = match self_start_token() {
+                        Some(tok) => format!("{}\n{tok}", std::process::id()),
+                        None => std::process::id().to_string(),
+                    };
+                    let _ = f.write_all(stamp.as_bytes());
                     let _ = f.sync_all();
                     return Ok(JournalLock { path });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    let holder = std::fs::read_to_string(&path)
-                        .ok()
-                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    let content = vfs.read(&path).ok().and_then(|b| String::from_utf8(b).ok());
+                    let mut lines = content.as_deref().unwrap_or("").lines();
+                    let holder = lines.next().and_then(|s| s.trim().parse::<u32>().ok());
+                    let stamped_token = lines.next().and_then(|s| s.trim().parse::<u64>().ok());
                     // An unreadable or garbled pid is a torn lock write from
-                    // a crashed acquire — nobody holds it.
-                    let stale = holder.is_none_or(|pid| !pid_alive(pid));
+                    // a crashed acquire — nobody holds it. A dead pid is
+                    // stale; so is a live pid whose start token disagrees
+                    // with the stamp (the pid was recycled by an unrelated
+                    // process after the real holder died).
+                    let stale = match holder {
+                        None => true,
+                        Some(pid) if !pid_alive(pid) => true,
+                        Some(pid) if pid == std::process::id() => false,
+                        Some(pid) => match (stamped_token, pid_start_token(pid)) {
+                            (Some(stamped), Some(live)) => stamped != live,
+                            _ => false,
+                        },
+                    };
                     if stale && !reclaimed {
                         reclaimed = true;
-                        let _ = std::fs::remove_file(&path);
+                        let _ = vfs.remove_file(&path);
                         continue;
                     }
                     return Err(JournalError::Locked {
@@ -320,7 +425,8 @@ impl Drop for JournalLock {
 pub struct Journal {
     dir: PathBuf,
     path: PathBuf,
-    file: File,
+    vfs: Arc<dyn Vfs>,
+    file: Box<dyn VfsFile>,
     entries: Vec<Entry>,
     /// The exact on-disk line for each entry (no trailing newline), kept so
     /// compaction can rewrite the surviving suffix byte-for-byte instead of
@@ -330,12 +436,24 @@ pub struct Journal {
     /// The seq the next append will use. Not `entries.len()`: compaction
     /// removes entries without renumbering the chain.
     next_seq: u64,
+    /// Bytes of the WAL known durable (covered by a successful fsync).
+    /// After a write-path failure the file is forced back to this length so
+    /// a torn, unacknowledged record can never precede the next append.
+    durable_len: u64,
     /// Line units dropped at open time (torn tail, corrupt interior).
     recovered_torn_tail: usize,
     /// Durable checkpoints, ascending by marker.
     checkpoints: Vec<CheckpointRecord>,
     /// Checkpoint files skipped at open time because their hash failed.
     corrupt_checkpoints: usize,
+    /// Checkpoint files whose *read* failed at open time (I/O error, not
+    /// content corruption) — counted separately so infrastructure failures
+    /// are not misfiled as data corruption.
+    ckpt_read_errors: usize,
+    /// `Some(reason)` once the write path has tripped into read-only
+    /// degraded mode; every subsequent write returns
+    /// [`JournalError::ReadOnly`].
+    read_only: Option<String>,
     /// The run fingerprint recorded by `ensure_run`, stamped onto
     /// checkpoints.
     run: Option<String>,
@@ -344,39 +462,51 @@ pub struct Journal {
     rec: allhands_obs::Recorder,
 }
 
+/// Which half of the durable-append protocol failed.
+enum WriteFail {
+    /// The buffered write failed; the file may hold a torn prefix.
+    Write(std::io::Error),
+    /// The fsync failed; the handle is poisoned (dirty pages may already
+    /// be gone) and must be reopened.
+    Fsync(std::io::Error),
+}
+
 impl Journal {
-    /// Open (or create) the journal for run directory `dir`: acquire the
-    /// lock, clean stray temp files, load and hash-verify checkpoints, then
-    /// verify the WAL chain — re-anchoring at checkpoint chain heads where
-    /// the file was compacted or an interior line is corrupt — and truncate
-    /// or rewrite any invalid residue.
+    /// Open (or create) the journal for run directory `dir` on the real
+    /// filesystem. See [`Journal::open_with`].
     pub fn open(dir: &Path) -> Result<Journal, JournalError> {
-        std::fs::create_dir_all(dir)
+        Self::open_with(dir, Arc::new(RealVfs))
+    }
+
+    /// Open (or create) the journal for run directory `dir` on `vfs`:
+    /// acquire the lock, clean stray temp files, load and hash-verify
+    /// checkpoints, then verify the WAL chain — re-anchoring at checkpoint
+    /// chain heads where the file was compacted or an interior line is
+    /// corrupt — and truncate or rewrite any invalid residue.
+    pub fn open_with(dir: &Path, vfs: Arc<dyn Vfs>) -> Result<Journal, JournalError> {
+        vfs.create_dir_all(dir)
             .map_err(|e| JournalError::Io(format!("create {}: {e}", dir.display())))?;
-        let lock = JournalLock::acquire(dir)?;
+        let lock = JournalLock::acquire(dir, vfs.as_ref())?;
         // Stray temp files are un-acknowledged checkpoint/compaction writes
         // from a crashed process; they are garbage by construction.
-        if let Ok(rd) = std::fs::read_dir(dir) {
-            for e in rd.flatten() {
-                if e.path().extension().is_some_and(|x| x == "tmp") {
-                    let _ = std::fs::remove_file(e.path());
+        if let Ok(listing) = vfs.read_dir(dir) {
+            for p in listing {
+                if p.extension().is_some_and(|x| x == "tmp") {
+                    let _ = vfs.remove_file(&p);
                 }
             }
         }
-        let (checkpoints, corrupt_checkpoints) = Self::load_checkpoints(dir);
+        let (checkpoints, corrupt_checkpoints, ckpt_read_errors) =
+            Self::load_checkpoints(dir, vfs.as_ref())?;
         let path = dir.join(JOURNAL_FILE);
-        let mut file = OpenOptions::new()
-            .read(true)
-            .create(true)
-            .append(true)
-            .open(&path)
+        let mut file = vfs
+            .open_append(&path)
             .map_err(|e| JournalError::Io(format!("open {}: {e}", path.display())))?;
         // Raw bytes, not a String: a torn append can cut a multi-byte UTF-8
         // character mid-sequence, and that must recover like any other torn
         // tail rather than fail the whole open.
-        let mut bytes = Vec::new();
-        file.rewind()
-            .and_then(|()| file.read_to_end(&mut bytes))
+        let bytes = file
+            .read_all()
             .map_err(|e| JournalError::Io(format!("read {}: {e}", path.display())))?;
 
         // Chain anchors: seq 0 starts at hash 0; every checkpoint's
@@ -456,27 +586,23 @@ impl Journal {
                 // Pure tail damage: truncate in place.
                 file.set_len(clean.len() as u64)
                     .map_err(|e| JournalError::Io(format!("truncate {}: {e}", path.display())))?;
-                file.seek(std::io::SeekFrom::End(0))
-                    .map_err(|e| JournalError::Io(format!("seek {}: {e}", path.display())))?;
             } else {
                 // Interior damage (the survivors re-anchored past a corrupt
                 // span): rewrite the verified lines atomically.
                 let tmp = dir.join(format!("{JOURNAL_FILE}.tmp"));
                 {
-                    let mut f = File::create(&tmp)
+                    let mut f = vfs
+                        .create(&tmp)
                         .map_err(|e| JournalError::Io(format!("create {}: {e}", tmp.display())))?;
                     f.write_all(&clean)
-                        .and_then(|()| f.flush())
                         .and_then(|()| f.sync_all())
                         .map_err(|e| JournalError::Io(format!("write {}: {e}", tmp.display())))?;
                 }
-                std::fs::rename(&tmp, &path)
+                vfs.rename(&tmp, &path)
                     .map_err(|e| JournalError::Io(format!("rename {}: {e}", path.display())))?;
-                sync_dir(dir);
-                file = OpenOptions::new()
-                    .read(true)
-                    .append(true)
-                    .open(&path)
+                let _ = vfs.sync_dir(dir);
+                file = vfs
+                    .open_append(&path)
                     .map_err(|e| JournalError::Io(format!("reopen {}: {e}", path.display())))?;
             }
         }
@@ -489,14 +615,18 @@ impl Journal {
         Ok(Journal {
             dir: dir.to_path_buf(),
             path,
+            vfs,
             file,
             entries,
             raw_lines,
             last_hash,
             next_seq,
+            durable_len: clean.len() as u64,
             recovered_torn_tail: dropped,
             checkpoints,
             corrupt_checkpoints,
+            ckpt_read_errors,
+            read_only: None,
             run: None,
             crash_hook: None,
             _lock: lock,
@@ -516,6 +646,9 @@ impl Journal {
         if self.corrupt_checkpoints > 0 {
             self.rec
                 .add("journal.checkpoint.corrupt_skipped", self.corrupt_checkpoints as u64);
+        }
+        if self.ckpt_read_errors > 0 {
+            self.rec.add("journal.ckpt.read_errors", self.ckpt_read_errors as u64);
         }
     }
 
@@ -556,34 +689,54 @@ impl Journal {
         name.strip_prefix("ckpt-")?.strip_suffix(".json")?.parse::<u64>().ok()
     }
 
-    /// Load every checkpoint file in `dir`, hash-verifying each; corrupt or
-    /// torn files are counted and skipped in favor of older ones.
-    fn load_checkpoints(dir: &Path) -> (Vec<CheckpointRecord>, usize) {
-        let mut paths: Vec<PathBuf> = Vec::new();
-        if let Ok(rd) = std::fs::read_dir(dir) {
-            for e in rd.flatten() {
-                let p = e.path();
-                if Self::checkpoint_marker(&p).is_some() {
-                    paths.push(p);
-                }
-            }
-        }
+    /// Load every checkpoint file in `dir`, hash-verifying each. Corrupt or
+    /// torn files are counted and skipped in favor of older ones; files
+    /// whose *read* errored are counted separately (an I/O failure is not
+    /// evidence of corruption, and hiding it would misattribute the fallback
+    /// to an older checkpoint). A failed directory listing is a hard error:
+    /// treating it as "no checkpoints" would discard the chain anchors the
+    /// compacted WAL needs, silently dropping every surviving entry.
+    fn load_checkpoints(
+        dir: &Path,
+        vfs: &dyn Vfs,
+    ) -> Result<(Vec<CheckpointRecord>, usize, usize), JournalError> {
+        let mut paths: Vec<PathBuf> = vfs
+            .read_dir(dir)
+            .map_err(|e| JournalError::Io(format!("list {}: {e}", dir.display())))?
+            .into_iter()
+            .filter(|p| Self::checkpoint_marker(p).is_some())
+            .collect();
         paths.sort();
         let mut out = Vec::new();
         let mut corrupt = 0usize;
+        let mut read_errors = 0usize;
         for p in paths {
-            match Self::load_checkpoint(&p) {
+            let bytes = match vfs.read(&p) {
+                Ok(b) => b,
+                Err(_) => {
+                    read_errors += 1;
+                    continue;
+                }
+            };
+            match Self::load_checkpoint(&p, &bytes) {
                 Some(c) => out.push(c),
                 None => corrupt += 1,
             }
         }
-        (out, corrupt)
+        Ok((out, corrupt, read_errors))
     }
 
-    fn load_checkpoint(path: &Path) -> Option<CheckpointRecord> {
+    fn load_checkpoint(path: &Path, bytes: &[u8]) -> Option<CheckpointRecord> {
         let marker_from_name = Self::checkpoint_marker(path)?;
-        let bytes = std::fs::read(path).ok()?;
-        let text = std::str::from_utf8(&bytes).ok()?;
+        let text = std::str::from_utf8(bytes).ok()?;
+        let c = Self::parse_checkpoint_text(text)?;
+        (c.marker == marker_from_name).then_some(c)
+    }
+
+    /// Parse and hash-verify one checkpoint record from its exact file
+    /// text. Shared by the open-time loader and bootstrap-bundle
+    /// verification (a bundle carries the checkpoint as its file line).
+    fn parse_checkpoint_text(text: &str) -> Option<CheckpointRecord> {
         // Parse once and move the payload out: checkpoint payloads carry the
         // whole session state, and every open loads every retained file, so
         // a redundant deep clone here is measured directly in recovery time.
@@ -598,9 +751,6 @@ impl Journal {
             return None;
         }
         let marker = as_u64(&obj, "marker")?;
-        if marker != marker_from_name {
-            return None;
-        }
         let upto_seq = as_u64(&obj, "upto_seq")?;
         let Some(Value::String(chain_hex)) = obj.remove("chain") else { return None };
         let chain = u64::from_str_radix(&chain_hex, 16).ok()?;
@@ -660,19 +810,130 @@ impl Journal {
         self.corrupt_checkpoints
     }
 
+    /// Checkpoint files skipped at open time because reading them failed
+    /// with an I/O error (distinct from content corruption).
+    pub fn checkpoint_read_errors(&self) -> usize {
+        self.ckpt_read_errors
+    }
+
+    /// Whether the write path has tripped into read-only degraded mode.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.is_some()
+    }
+
+    /// Why the journal is read-only, when it is.
+    pub fn read_only_reason(&self) -> Option<&str> {
+        self.read_only.as_deref()
+    }
+
     /// The seq the next append will receive.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
     }
 
+    /// Count one write-path I/O fault, classified by error kind.
+    fn count_io_fault(&self, e: &std::io::Error, site: &str) {
+        let label = if site == "fsync" {
+            "fsync"
+        } else if site == "rename" {
+            "rename"
+        } else if vfs::is_enospc(e) {
+            "enospc"
+        } else if e.kind() == std::io::ErrorKind::WriteZero {
+            "short_write"
+        } else {
+            "eio"
+        };
+        self.rec.incr(&format!("journal.io_faults.{label}"));
+    }
+
+    /// Trip read-only degraded mode: every subsequent write returns
+    /// [`JournalError::ReadOnly`] until the journal is reopened; reads keep
+    /// serving.
+    fn trip_read_only(&mut self, reason: String) {
+        if self.read_only.is_none() {
+            self.rec.incr("journal.readonly_trips");
+            self.read_only = Some(reason);
+        }
+    }
+
+    /// Write `line` + newline and fsync, advancing `durable_len` only on
+    /// full success.
+    fn write_line_durably(&mut self, line: &str) -> Result<(), WriteFail> {
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .map_err(WriteFail::Write)?;
+        self.file.sync_all().map_err(WriteFail::Fsync)?;
+        self.durable_len += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// Force the WAL back to its last durable length after a failed write:
+    /// the bytes past `durable_len` are a torn, unacknowledged record and
+    /// must not precede the next append. Returns false (and trips
+    /// read-only) if even the truncate fails — the file state is then
+    /// unknowable and further writes would be unsafe.
+    fn salvage_tail(&mut self) -> bool {
+        if self.file.set_len(self.durable_len).is_ok() {
+            return true;
+        }
+        // The poisoned-handle path: reopen and retry once on a fresh
+        // handle before giving up.
+        if let Ok(mut f) = self.vfs.open_append(&self.path) {
+            if f.set_len(self.durable_len).is_ok() {
+                self.file = f;
+                return true;
+            }
+        }
+        self.trip_read_only(
+            "could not restore the WAL to its last durable length after a write failure"
+                .to_string(),
+        );
+        false
+    }
+
+    /// Recover from a failed fsync. The kernel may have already dropped
+    /// the dirty pages (and a fault-injecting Vfs simulates exactly that),
+    /// so the only safe move is: never acknowledge the entry, reopen the
+    /// handle, and force the file back to the last durable length. Acting
+    /// as if the write might still be durable is the fsyncgate bug.
+    fn poison_recover(&mut self) {
+        match self.vfs.open_append(&self.path) {
+            Ok(mut f) => {
+                if f.set_len(self.durable_len).is_ok() {
+                    self.file = f;
+                } else {
+                    self.trip_read_only(
+                        "could not re-verify the WAL tail after a failed fsync".to_string(),
+                    );
+                }
+            }
+            Err(e) => {
+                self.trip_read_only(format!("could not reopen the WAL after a failed fsync: {e}"));
+            }
+        }
+    }
+
     /// Append one snapshot entry and make it durable (flush + fsync) before
-    /// returning. Once this returns `Ok`, the entry survives process death.
+    /// returning. Once this returns `Ok`, the entry survives process death;
+    /// on any error the entry is **not** acknowledged and the WAL is forced
+    /// back to its last durable prefix.
+    ///
+    /// Failure policies: a failed fsync poisons the handle (reopen +
+    /// re-truncate, never acknowledge). `ENOSPC` triggers one
+    /// compact-then-retry; if the retry also fails the journal trips into
+    /// read-only degraded mode and this (and every later write) returns
+    /// [`JournalError::ReadOnly`].
     pub fn append<T: Serialize>(
         &mut self,
         stage: &str,
         key: &str,
         payload: &T,
     ) -> Result<(), JournalError> {
+        if let Some(reason) = &self.read_only {
+            return Err(JournalError::ReadOnly(reason.clone()));
+        }
         let payload: Value = serde_json::from_str(
             &serde_json::to_string(payload).map_err(|e| JournalError::Codec(e.to_string()))?,
         )
@@ -686,12 +947,61 @@ impl Journal {
             serde_json::to_string(key).map_err(|e| JournalError::Codec(e.to_string()))?,
             payload
         );
-        self.file
-            .write_all(line.as_bytes())
-            .and_then(|()| self.file.write_all(b"\n"))
-            .and_then(|()| self.file.flush())
-            .and_then(|()| self.file.sync_all())
-            .map_err(|e| JournalError::Io(format!("append {}: {e}", self.path.display())))?;
+        match self.write_line_durably(&line) {
+            Ok(()) => {}
+            Err(WriteFail::Fsync(e)) => {
+                self.count_io_fault(&e, "fsync");
+                self.poison_recover();
+                return Err(JournalError::Io(format!(
+                    "append {}: fsync failed, entry not acknowledged: {e}",
+                    self.path.display()
+                )));
+            }
+            Err(WriteFail::Write(e)) => {
+                self.count_io_fault(&e, "write");
+                if !self.salvage_tail() {
+                    return Err(JournalError::ReadOnly(
+                        self.read_only.clone().unwrap_or_default(),
+                    ));
+                }
+                if !vfs::is_enospc(&e) {
+                    return Err(JournalError::Io(format!(
+                        "append {}: {e}",
+                        self.path.display()
+                    )));
+                }
+                // Disk full: reclaim space (compacted WAL prefix + pruned
+                // checkpoint files), then retry the same line once. The
+                // compact may itself fail on a full disk — the retry is
+                // what decides.
+                self.rec.incr("journal.enospc_compactions");
+                let _ = self.compact(1);
+                match self.write_line_durably(&line) {
+                    Ok(()) => {}
+                    Err(fail) => {
+                        let (site, err) = match &fail {
+                            WriteFail::Write(e) => ("write", e),
+                            WriteFail::Fsync(e) => ("fsync", e),
+                        };
+                        self.count_io_fault(err, site);
+                        let msg = format!(
+                            "append {}: still failing after compact-and-retry: {err}",
+                            self.path.display()
+                        );
+                        match fail {
+                            WriteFail::Write(_) => {
+                                let _ = self.salvage_tail();
+                            }
+                            WriteFail::Fsync(_) => self.poison_recover(),
+                        }
+                        self.trip_read_only(msg);
+                        return Err(JournalError::ReadOnly(
+                            self.read_only.clone().unwrap_or_default(),
+                        ));
+                    }
+                }
+            }
+        }
         self.rec.incr("journal.appends");
         self.rec.incr("journal.fsyncs");
         self.entries.push(Entry {
@@ -718,7 +1028,62 @@ impl Journal {
     /// current fingerprint is a no-op: deterministic replay re-reaches
     /// committed checkpoint seams, and rewriting the file would move its
     /// chain anchor away from the seq the compacted WAL actually starts at.
+    /// The exact file line for a checkpoint record, shared by the writer
+    /// and bootstrap-bundle export so both produce byte-identical text.
+    fn render_checkpoint_line(c: &CheckpointRecord) -> Result<String, JournalError> {
+        Ok(format!(
+            "{{\"v\":1,\"marker\":{},\"upto_seq\":{},\"chain\":\"{:016x}\",\"fingerprint\":{},\"hash\":\"{}\",\"payload\":{}}}\n",
+            c.marker,
+            c.upto_seq,
+            c.chain,
+            serde_json::to_string(&c.fingerprint).map_err(|e| JournalError::Codec(e.to_string()))?,
+            c.hash,
+            c.payload
+        ))
+    }
+
+    /// Write one checkpoint file atomically (tmp, half-write seam, fsync,
+    /// rename, dir-fsync), cleaning up the tmp (and a torn destination)
+    /// on failure. Shared by [`Journal::checkpoint`] and bundle install.
+    fn write_checkpoint_file(&self, marker: u64, line: &str) -> Result<(), JournalError> {
+        let final_path = self.dir.join(checkpoint_file(marker));
+        let tmp = self.dir.join(format!("{}.tmp", checkpoint_file(marker)));
+        let written: Result<(), (&'static str, std::io::Error)> = (|| {
+            let bytes = line.as_bytes();
+            let mid = bytes.len() / 2;
+            let mut f = self.vfs.create(&tmp).map_err(|e| ("write", e))?;
+            f.write_all(&bytes[..mid]).map_err(|e| ("write", e))?;
+            self.hook(&format!("ckpt:{marker}:mid-write"));
+            f.write_all(&bytes[mid..])
+                .and_then(|()| f.sync_all())
+                .map_err(|e| ("write", e))?;
+            drop(f);
+            self.hook(&format!("ckpt:{marker}:pre-rename"));
+            self.vfs.rename(&tmp, &final_path).map_err(|e| ("rename", e))
+        })();
+        if let Err((site, e)) = written {
+            self.count_io_fault(&e, site);
+            // Leave no half state behind: the tmp is garbage, and a torn
+            // rename may have left a truncated destination that would only
+            // be caught (and counted as corruption) at the next open. A
+            // write-site failure never touched the destination.
+            let _ = self.vfs.remove_file(&tmp);
+            if site == "rename" {
+                let _ = self.vfs.remove_file(&final_path);
+            }
+            return Err(JournalError::Io(format!(
+                "checkpoint {}: {e}",
+                final_path.display()
+            )));
+        }
+        let _ = self.vfs.sync_dir(&self.dir);
+        Ok(())
+    }
+
     pub fn checkpoint<T: Serialize>(&mut self, marker: u64, payload: &T) -> Result<(), JournalError> {
+        if let Some(reason) = &self.read_only {
+            return Err(JournalError::ReadOnly(reason.clone()));
+        }
         let fingerprint = self.run.clone().unwrap_or_default();
         if self.checkpoints.iter().any(|c| c.marker == marker && c.fingerprint == fingerprint) {
             self.rec.incr("journal.checkpoint.skipped");
@@ -731,42 +1096,21 @@ impl Journal {
         let upto_seq = self.next_seq;
         let chain = self.last_hash;
         let hash = checkpoint_hash(marker, upto_seq, chain, &fingerprint, &payload);
-        let line = format!(
-            "{{\"v\":1,\"marker\":{marker},\"upto_seq\":{upto_seq},\"chain\":\"{chain:016x}\",\"fingerprint\":{},\"hash\":\"{hash:016x}\",\"payload\":{}}}\n",
-            serde_json::to_string(&fingerprint).map_err(|e| JournalError::Codec(e.to_string()))?,
-            payload
-        );
-        self.hook(&format!("ckpt:{marker}:write-start"));
-        let final_path = self.dir.join(checkpoint_file(marker));
-        let tmp = self.dir.join(format!("{}.tmp", checkpoint_file(marker)));
-        {
-            let bytes = line.as_bytes();
-            let mid = bytes.len() / 2;
-            let mut f = File::create(&tmp)
-                .map_err(|e| JournalError::Io(format!("create {}: {e}", tmp.display())))?;
-            f.write_all(&bytes[..mid])
-                .map_err(|e| JournalError::Io(format!("write {}: {e}", tmp.display())))?;
-            self.hook(&format!("ckpt:{marker}:mid-write"));
-            f.write_all(&bytes[mid..])
-                .and_then(|()| f.flush())
-                .and_then(|()| f.sync_all())
-                .map_err(|e| JournalError::Io(format!("write {}: {e}", tmp.display())))?;
-        }
-        self.hook(&format!("ckpt:{marker}:pre-rename"));
-        std::fs::rename(&tmp, &final_path)
-            .map_err(|e| JournalError::Io(format!("rename {}: {e}", final_path.display())))?;
-        sync_dir(&self.dir);
-        self.rec.incr("journal.checkpoint.writes");
-        self.rec.add("journal.checkpoint.bytes", line.len() as u64);
-        self.checkpoints.retain(|c| c.marker != marker);
-        self.checkpoints.push(CheckpointRecord {
+        let record = CheckpointRecord {
             marker,
             upto_seq,
             chain,
             fingerprint,
             hash: format!("{hash:016x}"),
             payload,
-        });
+        };
+        let line = Self::render_checkpoint_line(&record)?;
+        self.hook(&format!("ckpt:{marker}:write-start"));
+        self.write_checkpoint_file(marker, &line)?;
+        self.rec.incr("journal.checkpoint.writes");
+        self.rec.add("journal.checkpoint.bytes", line.len() as u64);
+        self.checkpoints.retain(|c| c.marker != marker);
+        self.checkpoints.push(record);
         self.checkpoints.sort_by_key(|a| a.marker);
         self.hook(&format!("ckpt:{marker}:committed"));
         Ok(())
@@ -784,7 +1128,53 @@ impl Journal {
     /// The WAL rewrite uses the same atomic temp + rename + dir-fsync
     /// protocol as checkpoints, with crash seams `compact:start`,
     /// `:pruned`, `:mid-truncate`, `:pre-rename`, `:committed`.
+    /// A compaction failure at the tmp-write site: the live WAL was never
+    /// touched (the rename did not happen), so cleanup is just counting the
+    /// fault and removing the tmp.
+    fn compact_write_fail(&self, op: &str, tmp: &Path, e: std::io::Error) -> JournalError {
+        self.count_io_fault(&e, "write");
+        let _ = self.vfs.remove_file(tmp);
+        JournalError::Io(format!("compact {op} {}: {e}", tmp.display()))
+    }
+
+    /// Rewrite the WAL file wholesale from the in-memory verified lines and
+    /// reopen the append handle. The recovery path for a failed compaction
+    /// rename, which may have destroyed the on-disk WAL (a torn rename's
+    /// destination *is* the WAL): every line here was verified or
+    /// acknowledged, so a full rewrite restores exactly the durable state.
+    /// If even this fails, the journal trips read-only — in-memory state is
+    /// intact but on-disk durability can no longer be promised.
+    fn restore_wal_file(&mut self) -> Result<(), JournalError> {
+        let mut clean: Vec<u8> = Vec::new();
+        for l in &self.raw_lines {
+            clean.extend_from_slice(l.as_bytes());
+            clean.push(b'\n');
+        }
+        let restored: Result<(), std::io::Error> = (|| {
+            let mut f = self.vfs.create(&self.path)?;
+            f.write_all(&clean)?;
+            f.sync_all()
+        })();
+        match restored.and_then(|()| self.vfs.open_append(&self.path)) {
+            Ok(f) => {
+                self.file = f;
+                self.durable_len = clean.len() as u64;
+                self.rec.incr("journal.wal_restores");
+                Ok(())
+            }
+            Err(e) => {
+                self.trip_read_only(format!(
+                    "could not restore the WAL after a failed compaction rename: {e}"
+                ));
+                Err(JournalError::ReadOnly(self.read_only.clone().unwrap_or_default()))
+            }
+        }
+    }
+
     pub fn compact(&mut self, keep_last_k: usize) -> Result<CompactStats, JournalError> {
+        if let Some(reason) = &self.read_only {
+            return Err(JournalError::ReadOnly(reason.clone()));
+        }
         self.hook("compact:start");
         self.rec.incr("journal.compact.runs");
         let keep = keep_last_k.max(1);
@@ -795,12 +1185,11 @@ impl Journal {
         // stray whose marker is not retained; none of them can anchor a
         // recovery again.
         let retained: Vec<u64> = self.checkpoints.iter().map(|c| c.marker).collect();
-        if let Ok(rd) = std::fs::read_dir(&self.dir) {
-            for e in rd.flatten() {
-                let p = e.path();
+        if let Ok(listing) = self.vfs.read_dir(&self.dir) {
+            for p in listing {
                 if let Some(m) = Self::checkpoint_marker(&p) {
                     if !retained.contains(&m) {
-                        let _ = std::fs::remove_file(&p);
+                        let _ = self.vfs.remove_file(&p);
                     }
                 }
             }
@@ -817,27 +1206,45 @@ impl Journal {
         let tmp = self.dir.join(format!("{JOURNAL_FILE}.tmp"));
         {
             let mid = clean.len() / 2;
-            let mut f = File::create(&tmp)
-                .map_err(|e| JournalError::Io(format!("create {}: {e}", tmp.display())))?;
+            let mut f = self
+                .vfs
+                .create(&tmp)
+                .map_err(|e| self.compact_write_fail("create", &tmp, e))?;
             f.write_all(&clean[..mid])
-                .map_err(|e| JournalError::Io(format!("write {}: {e}", tmp.display())))?;
+                .map_err(|e| self.compact_write_fail("write", &tmp, e))?;
             self.hook("compact:mid-truncate");
             f.write_all(&clean[mid..])
-                .and_then(|()| f.flush())
                 .and_then(|()| f.sync_all())
-                .map_err(|e| JournalError::Io(format!("write {}: {e}", tmp.display())))?;
+                .map_err(|e| self.compact_write_fail("write", &tmp, e))?;
         }
         self.hook("compact:pre-rename");
-        std::fs::rename(&tmp, &self.path)
-            .map_err(|e| JournalError::Io(format!("rename {}: {e}", self.path.display())))?;
-        sync_dir(&self.dir);
+        if let Err(e) = self.vfs.rename(&tmp, &self.path) {
+            // A torn rename destroys the live WAL itself (the destination
+            // is the WAL): restore it wholesale from the in-memory verified
+            // lines before reporting the failure, so every acknowledged
+            // entry is back on disk.
+            self.count_io_fault(&e, "rename");
+            let _ = self.vfs.remove_file(&tmp);
+            self.restore_wal_file()?;
+            return Err(JournalError::Io(format!(
+                "compact rename {}: {e}",
+                self.path.display()
+            )));
+        }
+        let _ = self.vfs.sync_dir(&self.dir);
         // Swap the append handle to the new inode before the commit seam: a
         // crash past this point resumes from the compacted file.
-        self.file = OpenOptions::new()
-            .read(true)
-            .append(true)
-            .open(&self.path)
-            .map_err(|e| JournalError::Io(format!("reopen {}: {e}", self.path.display())))?;
+        match self.vfs.open_append(&self.path) {
+            Ok(f) => self.file = f,
+            Err(e) => {
+                self.trip_read_only(format!("could not reopen the WAL after compaction: {e}"));
+                return Err(JournalError::Io(format!(
+                    "reopen {}: {e}",
+                    self.path.display()
+                )));
+            }
+        }
+        self.durable_len = clean.len() as u64;
         self.entries.drain(..keep_from);
         self.raw_lines.drain(..keep_from);
         let stats = CompactStats {
@@ -897,12 +1304,27 @@ impl Journal {
     /// may be gone from the WAL, so retained checkpoints are consulted
     /// first: they carry the same fingerprint.
     pub fn ensure_run(&mut self, fingerprint: &str) -> Result<(), JournalError> {
+        // Already established this session (e.g. by a bootstrap install):
+        // appending another header entry would fork a bootstrapped follower
+        // away from byte-identity with its leader.
+        if self.run.as_deref() == Some(fingerprint) {
+            return Ok(());
+        }
         if let Some(c) = self.checkpoints.last() {
-            if !c.fingerprint.is_empty() && c.fingerprint != fingerprint {
-                return Err(JournalError::RunMismatch {
-                    expected: fingerprint.to_string(),
-                    found: c.fingerprint.clone(),
-                });
+            if !c.fingerprint.is_empty() {
+                if c.fingerprint != fingerprint {
+                    return Err(JournalError::RunMismatch {
+                        expected: fingerprint.to_string(),
+                        found: c.fingerprint.clone(),
+                    });
+                }
+                // The fingerprint is already durable in the checkpoint;
+                // appending another header entry would churn the WAL on
+                // every reopen of a compacted journal — and fork a
+                // restarted leader away from byte-identity with a
+                // follower bootstrapped from its bundle.
+                self.run = Some(fingerprint.to_string());
+                return Ok(());
             }
         }
         let out = match self.lookup::<String>("header", "run")? {
@@ -917,6 +1339,213 @@ impl Journal {
             self.run = Some(fingerprint.to_string());
         }
         out
+    }
+
+    /// Export a hash-verified bootstrap bundle covering the journal up to
+    /// seq `upto` (exclusive, clamped to [`Journal::next_seq`]): the newest
+    /// durable checkpoint at or below `upto` plus the WAL lines from its
+    /// anchor. A follower installs it with [`Journal::bootstrap_from`] and
+    /// replays to the leader's exact state.
+    pub fn export_bootstrap(&self, upto: u64) -> Result<BootstrapBundle, JournalError> {
+        let upto = upto.min(self.next_seq);
+        let ckpt = self.checkpoints.iter().rev().find(|c| c.upto_seq <= upto);
+        let anchor = ckpt.map_or(0, |c| c.upto_seq);
+        let fingerprint = self
+            .run
+            .clone()
+            .or_else(|| self.lookup::<String>("header", "run").ok().flatten())
+            .or_else(|| ckpt.map(|c| c.fingerprint.clone()).filter(|f| !f.is_empty()))
+            .ok_or_else(|| {
+                JournalError::Bootstrap("journal has no run fingerprint to export".to_string())
+            })?;
+        let start = self.entries.partition_point(|e| e.seq < anchor);
+        let end = self.entries.partition_point(|e| e.seq < upto);
+        // The bundle promises a gap-free chain [anchor, upto): entries below
+        // the anchor may be compacted away, but inside the window every seq
+        // must be present (a verification gap from interior corruption
+        // would otherwise ship silently and fail on the follower).
+        let mut expect = anchor;
+        for e in &self.entries[start..end] {
+            if e.seq != expect {
+                return Err(JournalError::Bootstrap(format!(
+                    "journal cannot cover [{anchor}, {upto}): seq {expect} is missing \
+                     (compacted or dropped); request a newer checkpointed offset"
+                )));
+            }
+            expect += 1;
+        }
+        if expect != upto {
+            return Err(JournalError::Bootstrap(format!(
+                "journal cannot cover [{anchor}, {upto}): entries end at seq {expect}"
+            )));
+        }
+        let checkpoint = match ckpt {
+            Some(c) => Some(Self::render_checkpoint_line(c)?),
+            None => None,
+        };
+        let wal: Vec<String> = self.raw_lines[start..end].to_vec();
+        let hash = bundle_hash(&fingerprint, checkpoint.as_deref(), &wal, upto);
+        self.rec.incr("journal.bootstrap.exports");
+        Ok(BootstrapBundle {
+            v: 1,
+            fingerprint,
+            checkpoint,
+            wal,
+            upto_seq: upto,
+            hash: format!("{hash:016x}"),
+        })
+    }
+
+    /// Verify and install a bootstrap bundle into this **empty** journal:
+    /// check the bundle hash, the checkpoint's content hash, the WAL chain
+    /// from the checkpoint's anchor, and fingerprint coherence — all before
+    /// the first byte is written. On success the journal holds exactly the
+    /// leader's durable state at `bundle.upto_seq` and appends resume from
+    /// there.
+    pub fn bootstrap_from(&mut self, bundle: &BootstrapBundle) -> Result<(), JournalError> {
+        if let Some(reason) = &self.read_only {
+            return Err(JournalError::ReadOnly(reason.clone()));
+        }
+        if !self.entries.is_empty() || !self.checkpoints.is_empty() || self.next_seq != 0 {
+            return Err(JournalError::Bootstrap(
+                "bootstrap target must be an empty journal".to_string(),
+            ));
+        }
+        if bundle.v != 1 {
+            return Err(JournalError::Bootstrap(format!(
+                "unsupported bundle version {}",
+                bundle.v
+            )));
+        }
+        let expected = bundle_hash(
+            &bundle.fingerprint,
+            bundle.checkpoint.as_deref(),
+            &bundle.wal,
+            bundle.upto_seq,
+        );
+        if bundle.hash != format!("{expected:016x}") {
+            return Err(JournalError::Bootstrap(
+                "bundle hash mismatch (corrupted in transit or torn on export)".to_string(),
+            ));
+        }
+        let ckpt = match &bundle.checkpoint {
+            Some(text) => {
+                let c = Self::parse_checkpoint_text(text).ok_or_else(|| {
+                    JournalError::Bootstrap(
+                        "bundle checkpoint failed parse or content-hash verification".to_string(),
+                    )
+                })?;
+                if c.fingerprint != bundle.fingerprint {
+                    return Err(JournalError::Bootstrap(format!(
+                        "bundle checkpoint fingerprint {} disagrees with bundle fingerprint {}",
+                        c.fingerprint, bundle.fingerprint
+                    )));
+                }
+                Some(c)
+            }
+            None => None,
+        };
+        let anchor = ckpt.as_ref().map_or(0, |c| c.upto_seq);
+        if ckpt.is_none() && bundle.wal.is_empty() {
+            return Err(JournalError::Bootstrap("empty bundle".to_string()));
+        }
+        // Verify the WAL chain exactly as open() would: seqs contiguous
+        // from the anchor, every hash extending the previous one.
+        let mut chain = ckpt.as_ref().map_or(0, |c| c.chain);
+        let mut entries: Vec<Entry> = Vec::with_capacity(bundle.wal.len());
+        for (i, line) in bundle.wal.iter().enumerate() {
+            let expect_seq = anchor + i as u64;
+            let (seq, stage, key, hash_hex, payload) =
+                Self::parse_line(line).ok_or_else(|| {
+                    JournalError::Bootstrap(format!("bundle WAL line {i} failed to parse"))
+                })?;
+            if seq != expect_seq {
+                return Err(JournalError::Bootstrap(format!(
+                    "bundle WAL line {i} has seq {seq}, expected {expect_seq}"
+                )));
+            }
+            let recorded = u64::from_str_radix(&hash_hex, 16).map_err(|_| {
+                JournalError::Bootstrap(format!("bundle WAL line {i} has a malformed hash"))
+            })?;
+            if recorded != entry_hash(chain, seq, &stage, &key, &payload) {
+                return Err(JournalError::Bootstrap(format!(
+                    "bundle WAL line {i} breaks the hash chain"
+                )));
+            }
+            if ckpt.is_none() && i == 0 {
+                // With no checkpoint the chain starts at the run header;
+                // its payload must carry the bundle's fingerprint, or the
+                // follower would install a chain for a different run.
+                let header_ok = stage == "header"
+                    && key == "run"
+                    && payload == Value::String(bundle.fingerprint.clone());
+                if !header_ok {
+                    return Err(JournalError::Bootstrap(
+                        "bundle without a checkpoint must start at the run header entry"
+                            .to_string(),
+                    ));
+                }
+            }
+            chain = recorded;
+            entries.push(Entry { seq, stage, key, hash: hash_hex, payload });
+        }
+        if anchor + bundle.wal.len() as u64 != bundle.upto_seq {
+            return Err(JournalError::Bootstrap(format!(
+                "bundle covers [{anchor}, {}), but declares upto_seq {}",
+                anchor + bundle.wal.len() as u64,
+                bundle.upto_seq
+            )));
+        }
+        // Everything verified — install. The checkpoint goes through the
+        // same atomic tmp + fsync + rename protocol as a locally written
+        // one; the WAL lines are appended and fsynced as one batch.
+        if let Some(c) = &ckpt {
+            if let Some(text) = &bundle.checkpoint {
+                self.write_checkpoint_file(c.marker, text)?;
+            }
+        }
+        let mut buf: Vec<u8> = Vec::new();
+        for line in &bundle.wal {
+            buf.extend_from_slice(line.as_bytes());
+            buf.push(b'\n');
+        }
+        if !buf.is_empty() {
+            match self
+                .file
+                .write_all(&buf)
+                .map_err(WriteFail::Write)
+                .and_then(|()| self.file.sync_all().map_err(WriteFail::Fsync))
+            {
+                Ok(()) => {}
+                Err(WriteFail::Write(e)) => {
+                    self.count_io_fault(&e, "write");
+                    let _ = self.salvage_tail();
+                    return Err(JournalError::Io(format!(
+                        "bootstrap install {}: {e}",
+                        self.path.display()
+                    )));
+                }
+                Err(WriteFail::Fsync(e)) => {
+                    self.count_io_fault(&e, "fsync");
+                    self.poison_recover();
+                    return Err(JournalError::Io(format!(
+                        "bootstrap install {}: fsync failed, install not acknowledged: {e}",
+                        self.path.display()
+                    )));
+                }
+            }
+            self.durable_len += buf.len() as u64;
+        }
+        self.last_hash = chain;
+        self.next_seq = bundle.upto_seq;
+        self.entries = entries;
+        self.raw_lines = bundle.wal.clone();
+        if let Some(c) = ckpt {
+            self.checkpoints = vec![c];
+        }
+        self.run = Some(bundle.fingerprint.clone());
+        self.rec.incr("journal.bootstrap.installs");
+        Ok(())
     }
 }
 
@@ -943,6 +1572,8 @@ pub fn fingerprint<'a>(parts: impl IntoIterator<Item = &'a [u8]>) -> String {
 mod tests {
     use super::*;
     use serde::{Deserialize, Serialize};
+    use std::fs::OpenOptions;
+    use std::io::Write as _;
 
     #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
     struct Snap {
@@ -1349,6 +1980,228 @@ mod tests {
             .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
             .collect();
         assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bootstrap_roundtrip_without_checkpoint() {
+        let leader = scratch("boot-plain-leader");
+        let follower = scratch("boot-plain-follower");
+        let bundle = {
+            let mut j = Journal::open(&leader).unwrap();
+            j.ensure_run("f00d").unwrap();
+            j.append("ingest", "b00000:aa", &1u64).unwrap();
+            j.append("ingest", "b00001:bb", &2u64).unwrap();
+            j.export_bootstrap(j.next_seq()).unwrap()
+        };
+        assert!(bundle.checkpoint.is_none());
+        assert_eq!(bundle.wal.len(), 3); // header + two batches
+        let mut f = Journal::open(&follower).unwrap();
+        f.bootstrap_from(&bundle).unwrap();
+        assert_eq!(f.next_seq(), 3);
+        assert!(f.ensure_run("f00d").is_ok());
+        assert_eq!(f.lookup::<u64>("ingest", "b00001:bb").unwrap(), Some(2));
+        // The install is durable and the chain extends across a reopen.
+        f.append("ingest", "b00002:cc", &3u64).unwrap();
+        drop(f);
+        let f2 = Journal::open(&follower).unwrap();
+        assert!(!f2.recovered_torn_tail());
+        assert_eq!(f2.len(), 4);
+        drop(f2);
+        std::fs::remove_dir_all(&leader).unwrap();
+        std::fs::remove_dir_all(&follower).unwrap();
+    }
+
+    #[test]
+    fn bootstrap_roundtrip_with_checkpoint_and_compacted_leader() {
+        let leader = scratch("boot-ckpt-leader");
+        let follower = scratch("boot-ckpt-follower");
+        let (bundle, leader_lines) = {
+            let mut j = Journal::open(&leader).unwrap();
+            j.ensure_run("feed").unwrap();
+            j.append("ingest", "b00000:aa", &1u64).unwrap();
+            j.checkpoint(1, &"state-1".to_string()).unwrap();
+            j.compact(1).unwrap(); // header + batch now live only in the checkpoint
+            j.append("ingest", "b00001:bb", &2u64).unwrap();
+            j.append("qa", "q000:cc", &3u64).unwrap();
+            let b = j.export_bootstrap(j.next_seq()).unwrap();
+            (b, std::fs::read(leader.join(JOURNAL_FILE)).unwrap())
+        };
+        assert!(bundle.checkpoint.is_some());
+        assert_eq!(bundle.wal.len(), 2);
+        let mut f = Journal::open(&follower).unwrap();
+        f.bootstrap_from(&bundle).unwrap();
+        assert_eq!(f.checkpoints().len(), 1);
+        assert_eq!(decode::<String>(&f.checkpoints()[0].payload).unwrap(), "state-1");
+        assert_eq!(f.lookup::<u64>("qa", "q000:cc").unwrap(), Some(3));
+        assert!(f.ensure_run("feed").is_ok());
+        drop(f);
+        // Byte-identical WAL and checkpoint files on both sides.
+        assert_eq!(std::fs::read(follower.join(JOURNAL_FILE)).unwrap(), leader_lines);
+        assert_eq!(
+            std::fs::read(follower.join("ckpt-0000000001.json")).unwrap(),
+            std::fs::read(leader.join("ckpt-0000000001.json")).unwrap()
+        );
+        std::fs::remove_dir_all(&leader).unwrap();
+        std::fs::remove_dir_all(&follower).unwrap();
+    }
+
+    #[test]
+    fn bootstrap_rejects_tampered_bundles_and_nonempty_targets() {
+        let leader = scratch("boot-reject-leader");
+        let follower = scratch("boot-reject-follower");
+        let bundle = {
+            let mut j = Journal::open(&leader).unwrap();
+            j.ensure_run("f00d").unwrap();
+            j.append("ingest", "b00000:aa", &1u64).unwrap();
+            j.export_bootstrap(j.next_seq()).unwrap()
+        };
+        // Tampered WAL line: bundle hash catches it.
+        let mut t = bundle.clone();
+        t.wal[1] = t.wal[1].replace("\"payload\":1", "\"payload\":9");
+        let mut f = Journal::open(&follower).unwrap();
+        let err = f.bootstrap_from(&t).unwrap_err();
+        assert!(matches!(err, JournalError::Bootstrap(_)), "{err}");
+        // Re-hashed tampered line: the chain check catches it.
+        t.hash = format!(
+            "{:016x}",
+            bundle_hash(&t.fingerprint, t.checkpoint.as_deref(), &t.wal, t.upto_seq)
+        );
+        let err = f.bootstrap_from(&t).unwrap_err();
+        assert!(matches!(err, JournalError::Bootstrap(_)), "{err}");
+        assert!(f.is_empty(), "a rejected bundle must install nothing");
+        // A non-empty journal refuses installation.
+        f.append("stage", "k", &1u64).unwrap();
+        let err = f.bootstrap_from(&bundle).unwrap_err();
+        assert!(matches!(err, JournalError::Bootstrap(_)), "{err}");
+        drop(f);
+        std::fs::remove_dir_all(&leader).unwrap();
+        std::fs::remove_dir_all(&follower).unwrap();
+    }
+
+    #[test]
+    fn export_refuses_a_compacted_away_window() {
+        let dir = scratch("boot-gap");
+        let mut j = Journal::open(&dir).unwrap();
+        j.ensure_run("feed").unwrap();
+        j.append("ingest", "b00000:aa", &1u64).unwrap();
+        j.checkpoint(1, &"s".to_string()).unwrap();
+        j.compact(1).unwrap();
+        // Entries [0, 2) are gone; only the checkpoint can anchor them. An
+        // export below the checkpoint's anchor cannot be satisfied.
+        let err = j.export_bootstrap(1).unwrap_err();
+        assert!(matches!(err, JournalError::Bootstrap(_)), "{err}");
+        // At or past the anchor it succeeds (checkpoint + empty suffix).
+        let b = j.export_bootstrap(j.next_seq()).unwrap();
+        assert!(b.checkpoint.is_some());
+        assert!(b.wal.is_empty());
+        drop(j);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sustained_enospc_trips_read_only_and_reads_keep_serving() {
+        use super::vfs::{FaultVfs, IoFaultKind, IoFaultPlan};
+        let dir = scratch("enospc-trip");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.ensure_run("feed").unwrap();
+            j.append("ingest", "b00000:aa", &1u64).unwrap();
+        }
+        // Count clean ops, then replay with every write failing ENOSPC
+        // from the first append on.
+        let probe = Arc::new(FaultVfs::new(IoFaultPlan::none()));
+        {
+            let j = Journal::open_with(&dir, Arc::clone(&probe) as Arc<dyn Vfs>).unwrap();
+            drop(j);
+        }
+        let fault = Arc::new(FaultVfs::new(IoFaultPlan::from_op(
+            probe.ops(),
+            IoFaultKind::Enospc,
+        )));
+        let mut j = Journal::open_with(&dir, Arc::clone(&fault) as Arc<dyn Vfs>).unwrap();
+        assert!(!j.is_read_only());
+        let err = j.append("ingest", "b00001:bb", &2u64).unwrap_err();
+        assert!(matches!(err, JournalError::ReadOnly(_)), "{err}");
+        assert!(j.is_read_only());
+        // Reads keep serving; writes stay refused.
+        assert_eq!(j.lookup::<u64>("ingest", "b00000:aa").unwrap(), Some(1));
+        assert!(matches!(
+            j.append("ingest", "b00002:cc", &3u64).unwrap_err(),
+            JournalError::ReadOnly(_)
+        ));
+        assert!(matches!(
+            j.checkpoint(9, &"s".to_string()).unwrap_err(),
+            JournalError::ReadOnly(_)
+        ));
+        drop(j);
+        // Reopen on a healthy disk: the unacknowledged entry is absent, the
+        // acknowledged prefix intact, and appends work again.
+        let mut j = Journal::open(&dir).unwrap();
+        assert!(!j.recovered_torn_tail(), "salvage already truncated the torn record");
+        assert_eq!(j.lookup::<u64>("ingest", "b00001:bb").unwrap(), None);
+        j.append("ingest", "b00001:bb", &2u64).unwrap();
+        drop(j);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_fsync_never_acknowledges_and_recovers_on_retry() {
+        use super::vfs::{FaultVfs, IoFaultKind, IoFaultPlan};
+        let dir = scratch("fsync-poison");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.ensure_run("feed").unwrap();
+        }
+        let probe = Arc::new(FaultVfs::new(IoFaultPlan::none()));
+        {
+            let j = Journal::open_with(&dir, Arc::clone(&probe) as Arc<dyn Vfs>).unwrap();
+            drop(j);
+        }
+        // The first append after open: open consumes `probe.ops()` ops, the
+        // append is two writes (line, newline) then the fsync — fault it.
+        let fault = Arc::new(FaultVfs::new(IoFaultPlan::at(
+            probe.ops() + 2,
+            IoFaultKind::FsyncFail,
+        )));
+        let mut j = Journal::open_with(&dir, Arc::clone(&fault) as Arc<dyn Vfs>).unwrap();
+        let before = j.len();
+        let err = j.append("ingest", "b00000:aa", &1u64).unwrap_err();
+        assert!(matches!(err, JournalError::Io(_)), "{err}");
+        assert!(err.to_string().contains("not acknowledged"), "{err}");
+        assert_eq!(j.len(), before, "a failed fsync must not acknowledge the entry");
+        assert!(!j.is_read_only(), "one failed fsync poisons the handle, not the journal");
+        // The handle was reopened and the tail restored: the retry works
+        // and survives a reopen.
+        j.append("ingest", "b00000:aa", &1u64).unwrap();
+        drop(j);
+        let j2 = Journal::open(&dir).unwrap();
+        assert!(!j2.recovered_torn_tail());
+        assert_eq!(j2.lookup::<u64>("ingest", "b00000:aa").unwrap(), Some(1));
+        drop(j2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lock_with_recycled_pid_start_token_is_reclaimed() {
+        let dir = scratch("pid-reuse");
+        std::fs::create_dir_all(&dir).unwrap();
+        if let Some(live) = pid_start_token(1) {
+            // Pid 1 is alive, but the stamped start token disagrees with
+            // the live process — the pid was recycled; the lock is stale.
+            std::fs::write(dir.join(LOCK_FILE), format!("1\n{}", live.wrapping_add(7))).unwrap();
+            let j = Journal::open(&dir).unwrap();
+            drop(j);
+            // With the *matching* token, pid 1 really is the holder.
+            std::fs::write(dir.join(LOCK_FILE), format!("1\n{live}")).unwrap();
+            let err = Journal::open(&dir).err().expect("must be locked");
+            assert!(matches!(err, JournalError::Locked { holder: 1, .. }), "{err}");
+            // Legacy single-line stamp (no token): liveness alone decides.
+            std::fs::write(dir.join(LOCK_FILE), "1").unwrap();
+            let err = Journal::open(&dir).err().expect("must be locked");
+            assert!(matches!(err, JournalError::Locked { holder: 1, .. }), "{err}");
+        }
+        let _ = std::fs::remove_file(dir.join(LOCK_FILE));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -22,6 +22,11 @@ pub enum AllHandsError {
     BreakerOpen { head: Head },
     /// A retryable operation kept failing until its retry budget ran out.
     RetriesExhausted { head: Head, attempts: u32, last: Box<AllHandsError> },
+    /// The session's durability layer tripped into read-only degraded
+    /// mode (repeated storage failures): queries keep serving, but
+    /// state-changing operations are refused until the session is
+    /// reopened on healthy storage.
+    ReadOnly(String),
     /// Anything else stage-level (invariant violations, wiring errors).
     Pipeline(String),
 }
@@ -38,6 +43,7 @@ impl AllHandsError {
             | AllHandsError::Budget(_)
             | AllHandsError::BreakerOpen { .. }
             | AllHandsError::RetriesExhausted { .. }
+            | AllHandsError::ReadOnly(_)
             | AllHandsError::Pipeline(_) => false,
         }
     }
@@ -51,6 +57,7 @@ impl AllHandsError {
             AllHandsError::Budget(_) => "budget",
             AllHandsError::BreakerOpen { .. } => "breaker-open",
             AllHandsError::RetriesExhausted { .. } => "retries-exhausted",
+            AllHandsError::ReadOnly(_) => "read-only",
             AllHandsError::Pipeline(_) => "pipeline",
         }
     }
@@ -71,6 +78,9 @@ impl std::fmt::Display for AllHandsError {
                 "{} head failed after {attempts} attempts; last error: {last}",
                 head.label()
             ),
+            AllHandsError::ReadOnly(msg) => {
+                write!(f, "session is read-only (degraded): {msg}")
+            }
             AllHandsError::Pipeline(msg) => write!(f, "pipeline error: {msg}"),
         }
     }

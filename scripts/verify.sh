@@ -33,6 +33,10 @@
 #                   a reduced matrix (threads sweep, smoke corpus sizes) and
 #                   schema-validate the emitted JSON. Curves are recorded,
 #                   never asserted monotone (1-core hosts give ~1.0).
+#   --iofault-smoke run the storage-fault suite (every IoFaultKind at every
+#                   Vfs op index, sustained-ENOSPC read-only trip, proptest
+#                   fault fuzz) and the follower-bootstrap suite at threads
+#                   {1,8}.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,6 +55,7 @@ obs_smoke=0
 ingest_smoke=0
 checkpoint_smoke=0
 scaling_smoke=0
+iofault_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
@@ -59,6 +64,7 @@ for arg in "$@"; do
     --ingest-smoke) ingest_smoke=1 ;;
     --checkpoint-smoke) checkpoint_smoke=1 ;;
     --scaling-smoke) scaling_smoke=1 ;;
+    --iofault-smoke) iofault_smoke=1 ;;
     *)
       echo "verify: unknown flag $arg" >&2
       exit 2
@@ -117,6 +123,16 @@ if [[ "$scaling_smoke" == 1 ]]; then
     --smoke --only scaling,search --out "$scaling_dir/BENCH_scaling.json"
   cargo run --release -p allhands-bench --bin pipeline_bench -- \
     --validate "$scaling_dir/BENCH_scaling.json"
+fi
+
+if [[ "$iofault_smoke" == 1 ]]; then
+  echo "==> iofault smoke (fault-at-every-seam, read-only trip, bootstrap)"
+  # The suites pin thread counts internally via par::with_threads; running
+  # them under both ambient settings also covers the pool-spawn paths.
+  for threads in 1 8; do
+    echo "==> iofault smoke: ALLHANDS_THREADS=$threads"
+    ALLHANDS_THREADS=$threads cargo test -q --test storage_faults --test bootstrap_follower
+  done
 fi
 
 echo "verify: OK"

@@ -54,8 +54,9 @@ pub mod prelude {
     pub use allhands_classify::LabeledExample;
     pub use allhands_core::{
         AllHands, AllHandsBuilder, AllHandsConfig, AllHandsError, AnalyzeOptions,
-        CheckpointPolicy, IngestConfig, IngestReport, JournalMode, QuarantineReport,
-        RecorderMode, RecoverPoint, Response,
+        BootstrapBundle, CheckpointPolicy, FaultVfs, IngestConfig, IngestReport,
+        IoFaultKind, IoFaultPlan, JournalMode, QuarantineReport, RecorderMode,
+        RecoverPoint, Response, Vfs,
     };
     pub use allhands_dataframe::DataFrame;
     pub use allhands_llm::ModelTier;

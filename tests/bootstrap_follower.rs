@@ -1,0 +1,391 @@
+//! Follower bootstrap: checkpoint + WAL-suffix handoff between sessions.
+//!
+//! The contracts under test:
+//!
+//! - A follower built from `export_bootstrap()` via
+//!   `builder(..).journal(..).bootstrap(bundle)` comes up holding the
+//!   leader's exact state: same frame, byte-identical answers, and —
+//!   because both sides then append from the same chain tip — journal
+//!   directories that stay byte-for-byte identical, at 1 and 8 threads.
+//! - A bundle exported from a leader that ran under injected storage
+//!   faults installs cleanly and replays to exactly what recovering the
+//!   leader's own directory yields.
+//! - Faults during install are typed errors, never panics; the failed
+//!   directory still reopens cleanly, and a retry into a fresh
+//!   directory succeeds.
+//! - Guard rails: bootstrap without a journal mode, into a non-empty
+//!   journal, or with mismatched run inputs all fail typed.
+
+use allhands::datasets::{generate_n, DatasetKind};
+use allhands::journal::vfs::{FaultVfs, IoFaultKind, IoFaultPlan, Vfs};
+use allhands::journal::Journal;
+use allhands::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// The thread override is process-global; serialize the tests that use it.
+static GLOBAL_GUARD: Mutex<()> = Mutex::new(());
+
+const QUESTIONS: [&str; 2] = [
+    "How many feedback entries are there?",
+    "Which topic appears most frequently?",
+];
+
+fn corpus() -> (Vec<String>, Vec<LabeledExample>, Vec<String>) {
+    let records = generate_n(DatasetKind::GoogleStoreApp, 16, 23);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let labeled: Vec<LabeledExample> = records
+        .iter()
+        .take(10)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    (texts, labeled, vec!["bug".to_string(), "crash".to_string()])
+}
+
+fn batches() -> Vec<Vec<String>> {
+    let b1: Vec<String> = generate_n(DatasetKind::GoogleStoreApp, 5, 101)
+        .iter()
+        .map(|r| r.text.clone())
+        .collect();
+    let b2: Vec<String> = [
+        "battery drains overnight even when idle",
+        "phone gets hot and battery dies fast since update",
+        "battery usage doubled after the last version",
+        "standby battery drain is terrible now",
+    ]
+    .map(String::from)
+    .to_vec();
+    let b3: Vec<String> = [
+        "dark mode please my eyes hurt at night",
+        "would love a dark mode option",
+        "please add dark mode theme",
+    ]
+    .map(String::from)
+    .to_vec();
+    vec![b1, b2, b3]
+}
+
+fn config(every: usize, keep: usize) -> AllHandsConfig {
+    let mut config = AllHandsConfig::default();
+    config.ingest.pending_threshold = 6;
+    config.ingest.ivf_partition_docs = 8;
+    config.checkpoint = CheckpointPolicy { every_n_batches: every, keep_last_k: keep };
+    config
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("bootstrap-follower-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("stale scratch dir");
+    }
+    dir
+}
+
+/// Journaled leader: analyze + the full batch stream. Returns the session
+/// and its final frame.
+fn leader(dir: &Path, config: AllHandsConfig, vfs: Option<Arc<dyn Vfs>>) -> (AllHands, DataFrame) {
+    let (texts, labeled, predefined) = corpus();
+    let mut builder = AllHands::builder(ModelTier::Gpt4)
+        .config(config)
+        .journal(JournalMode::Continue(dir.to_path_buf()));
+    if let Some(vfs) = vfs {
+        builder = builder.vfs(vfs);
+    }
+    let (mut ah, mut frame) =
+        builder.analyze(&texts, &labeled, &predefined).expect("leader run failed");
+    for batch in batches() {
+        match ah.ingest(&batch) {
+            Ok(rep) => frame = rep.frame,
+            Err(e) => panic!("leader ingest must degrade, not fail: {e}"),
+        }
+    }
+    (ah, frame)
+}
+
+/// Ask both questions and render the answers.
+fn qa_transcript(ah: &mut AllHands) -> String {
+    let mut out = String::new();
+    for q in QUESTIONS {
+        let r = ah.ask(q);
+        assert!(r.error.is_none(), "{q:?} errored: {:?}", r.error);
+        out.push_str("\n=== ");
+        out.push_str(q);
+        out.push('\n');
+        out.push_str(&r.render());
+    }
+    out
+}
+
+/// Every file in a journal dir except the transient LOCK, name → bytes.
+fn dir_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.file_name().is_some_and(|n| n != "LOCK"))
+        .map(|p| {
+            (p.file_name().unwrap().to_string_lossy().into_owned(), std::fs::read(&p).unwrap())
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The leader → export → follower → both-answer round trip, returning the
+/// (identical) QA transcript for cross-thread-count comparison.
+fn roundtrip(tag: &str) -> String {
+    let leader_dir = scratch_dir(&format!("{tag}-leader"));
+    let follower_dir = scratch_dir(&format!("{tag}-follower"));
+    // every=1/keep=1 compacts behind each batch, so the leader's WAL is
+    // exactly the bundle's WAL suffix and the directories can be compared
+    // byte-for-byte.
+    let (ldr, live_frame) = leader(&leader_dir, config(1, 1), None);
+    let bundle = ldr.export_bootstrap().expect("leader export failed");
+    assert!(bundle.checkpoint.is_some(), "compacted leader must ship a checkpoint");
+    drop(ldr);
+
+    // Restart the leader from its own directory (the durable state a
+    // follower can legitimately be compared against byte-for-byte: a live
+    // session's resilience counters include seams a replay never passes).
+    let (texts, labeled, predefined) = corpus();
+    let (mut ldr, rec_frame) = AllHands::builder(ModelTier::Gpt4)
+        .config(config(1, 1))
+        .journal(JournalMode::Continue(leader_dir.clone()))
+        .recover_latest()
+        .analyze(&texts, &labeled, &predefined)
+        .expect("leader restart failed");
+    assert_eq!(
+        rec_frame.to_table_string(200),
+        live_frame.to_table_string(200),
+        "restarted leader diverged from its live state"
+    );
+
+    let (mut flw, fframe) = AllHands::builder(ModelTier::Gpt4)
+        .config(config(1, 1))
+        .journal(JournalMode::Continue(follower_dir.clone()))
+        .bootstrap(bundle)
+        .analyze(&texts, &labeled, &predefined)
+        .expect("follower bootstrap failed");
+
+    // The follower holds the leader's exact state...
+    assert_eq!(
+        fframe.to_table_string(200),
+        live_frame.to_table_string(200),
+        "follower frame diverged from leader"
+    );
+    // ...including the run fingerprint both journals agree on.
+    let lfp = &ldr.journal().unwrap().checkpoints().last().unwrap().fingerprint;
+    let ffp = &flw.journal().unwrap().checkpoints().last().unwrap().fingerprint;
+    assert_eq!(lfp, ffp, "follower fingerprint diverged from leader");
+
+    // Both sides answer from the same chain tip: answers byte-identical,
+    // journal directories byte-identical afterwards.
+    let lqa = qa_transcript(&mut ldr);
+    let fqa = qa_transcript(&mut flw);
+    assert_eq!(lqa, fqa, "follower answers diverged from leader");
+    drop(ldr);
+    drop(flw);
+    assert_eq!(
+        dir_bytes(&leader_dir),
+        dir_bytes(&follower_dir),
+        "journal directories diverged after identical appends"
+    );
+    std::fs::remove_dir_all(&leader_dir).ok();
+    std::fs::remove_dir_all(&follower_dir).ok();
+    lqa
+}
+
+#[test]
+fn follower_replays_leader_state_byte_identically_at_1_and_8_threads() {
+    let _guard = GLOBAL_GUARD.lock().unwrap();
+    let t1 = allhands::par::with_threads(1, || roundtrip("clean-t1"));
+    let t8 = allhands::par::with_threads(8, || roundtrip("clean-t8"));
+    assert_eq!(t1, t8, "bootstrap round trip must not depend on thread count");
+}
+
+#[test]
+fn bundle_exported_under_leader_faults_matches_leader_recovery() {
+    // Probe the clean leader prefix (open + analyze + batch 0) so the
+    // fault lands deterministically on batch 1's append fsync.
+    let probe_dir = scratch_dir("faulted-probe");
+    let probe = Arc::new(FaultVfs::new(IoFaultPlan::none()));
+    {
+        let (texts, labeled, predefined) = corpus();
+        let (mut ah, _f) = AllHands::builder(ModelTier::Gpt4)
+            .config(config(2, 2))
+            .journal(JournalMode::Continue(probe_dir.clone()))
+            .vfs(Arc::clone(&probe) as Arc<dyn Vfs>)
+            .analyze(&texts, &labeled, &predefined)
+            .unwrap();
+        ah.ingest(&batches()[0]).unwrap();
+    }
+    let prefix_ops = probe.ops();
+    std::fs::remove_dir_all(&probe_dir).ok();
+
+    // Leader runs its whole stream with batch 1's append fsync failing:
+    // that batch is applied in memory but never acknowledged as durable
+    // (degradation note), later batches land normally.
+    let leader_dir = scratch_dir("faulted-leader");
+    let fault =
+        Arc::new(FaultVfs::new(IoFaultPlan::at(prefix_ops + 2, IoFaultKind::FsyncFail)));
+    let (ldr, _lframe) = leader(&leader_dir, config(2, 2), Some(Arc::clone(&fault) as _));
+    assert_eq!(fault.injected().len(), 1, "the scheduled fsync fault must fire");
+    assert!(
+        ldr.resilience().degradations().iter().any(|d| d.note.contains("not crash-safe")),
+        "the lost batch must be noted"
+    );
+    let bundle = ldr.export_bootstrap().expect("faulted leader must still export");
+    drop(ldr);
+
+    let (texts, labeled, predefined) = corpus();
+    // Reference: recover the leader's own directory to its durable state.
+    let (mut rec_ah, rec_frame) = AllHands::builder(ModelTier::Gpt4)
+        .config(config(2, 2))
+        .journal(JournalMode::Continue(leader_dir.clone()))
+        .recover_latest()
+        .analyze(&texts, &labeled, &predefined)
+        .expect("leader-dir recovery failed");
+    // Follower: install the bundle into a fresh directory.
+    let follower_dir = scratch_dir("faulted-follower");
+    let (mut flw, fframe) = AllHands::builder(ModelTier::Gpt4)
+        .config(config(2, 2))
+        .journal(JournalMode::Continue(follower_dir.clone()))
+        .bootstrap(bundle)
+        .analyze(&texts, &labeled, &predefined)
+        .expect("follower bootstrap from faulted-leader bundle failed");
+
+    assert_eq!(
+        fframe.to_table_string(200),
+        rec_frame.to_table_string(200),
+        "follower state diverged from the leader's durable (recovered) state"
+    );
+    assert_eq!(
+        qa_transcript(&mut flw),
+        qa_transcript(&mut rec_ah),
+        "follower answers diverged from the recovered leader"
+    );
+    drop(rec_ah);
+    drop(flw);
+    std::fs::remove_dir_all(&leader_dir).ok();
+    std::fs::remove_dir_all(&follower_dir).ok();
+}
+
+#[test]
+fn install_faults_are_typed_and_a_fresh_retry_succeeds() {
+    // Leader once; expected follower state once.
+    let leader_dir = scratch_dir("install-leader");
+    let (ldr, lframe) = leader(&leader_dir, config(1, 1), None);
+    let bundle = ldr.export_bootstrap().unwrap();
+    drop(ldr);
+    std::fs::remove_dir_all(&leader_dir).ok();
+    let expected = lframe.to_table_string(200);
+    let (texts, labeled, predefined) = corpus();
+
+    // Probe the clean install's op count.
+    let probe_dir = scratch_dir("install-probe");
+    let probe = Arc::new(FaultVfs::new(IoFaultPlan::none()));
+    drop(
+        AllHands::builder(ModelTier::Gpt4)
+            .config(config(1, 1))
+            .journal(JournalMode::Continue(probe_dir.clone()))
+            .vfs(Arc::clone(&probe) as Arc<dyn Vfs>)
+            .bootstrap(bundle.clone())
+            .analyze(&texts, &labeled, &predefined)
+            .expect("clean install probe failed"),
+    );
+    let total_ops = probe.ops();
+    std::fs::remove_dir_all(&probe_dir).ok();
+    assert!(total_ops > 5, "implausibly few install ops ({total_ops})");
+
+    for op in 0..total_ops {
+        let kind = IoFaultKind::ALL[op as usize % IoFaultKind::ALL.len()];
+        let tag = format!("install-{op}-{}", kind.label());
+        let dir = scratch_dir(&tag);
+        let fault = Arc::new(FaultVfs::new(IoFaultPlan::at(op, kind)));
+        let attempt = AllHands::builder(ModelTier::Gpt4)
+            .config(config(1, 1))
+            .journal(JournalMode::Continue(dir.clone()))
+            .vfs(Arc::clone(&fault) as Arc<dyn Vfs>)
+            .bootstrap(bundle.clone())
+            .analyze(&texts, &labeled, &predefined);
+        match attempt {
+            Ok((_ah, frame)) => {
+                // Fault was absorbed (or hit a best-effort seam): the
+                // follower must still hold the exact leader state.
+                assert_eq!(frame.to_table_string(200), expected, "{tag}: degraded install diverged");
+            }
+            Err(_typed) => {
+                // Typed refusal. The partially-written directory must
+                // still reopen cleanly (no corruption)...
+                drop(_ah_guard(&dir, &tag));
+                // ...and retrying into a fresh directory succeeds.
+                let retry_dir = scratch_dir(&format!("{tag}-retry"));
+                let (_ah, frame) = AllHands::builder(ModelTier::Gpt4)
+                    .config(config(1, 1))
+                    .journal(JournalMode::Continue(retry_dir.clone()))
+                    .bootstrap(bundle.clone())
+                    .analyze(&texts, &labeled, &predefined)
+                    .unwrap_or_else(|e| panic!("{tag}: fresh retry failed: {e}"));
+                assert_eq!(frame.to_table_string(200), expected, "{tag}: retry diverged");
+                std::fs::remove_dir_all(&retry_dir).ok();
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Reopen a directory a faulted install left behind, asserting it parses.
+fn _ah_guard(dir: &Path, tag: &str) -> Journal {
+    Journal::open(dir).unwrap_or_else(|e| panic!("{tag}: dir corrupted by failed install: {e}"))
+}
+
+#[test]
+fn bootstrap_guard_rails() {
+    let leader_dir = scratch_dir("guard-leader");
+    let (ldr, _f) = leader(&leader_dir, config(1, 1), None);
+    let bundle = ldr.export_bootstrap().unwrap();
+    drop(ldr);
+    let (texts, labeled, predefined) = corpus();
+
+    // No journal mode attached: typed refusal.
+    let e = AllHands::builder(ModelTier::Gpt4)
+        .config(config(1, 1))
+        .bootstrap(bundle.clone())
+        .analyze(&texts, &labeled, &predefined)
+        .map(|_| ())
+        .expect_err("bootstrap without a journal must fail");
+    assert!(e.to_string().contains("bootstrap requires a journal"), "got: {e}");
+
+    // Non-empty target journal: typed refusal.
+    let e = AllHands::builder(ModelTier::Gpt4)
+        .config(config(1, 1))
+        .journal(JournalMode::Continue(leader_dir.clone()))
+        .bootstrap(bundle.clone())
+        .analyze(&texts, &labeled, &predefined)
+        .map(|_| ())
+        .expect_err("bootstrap into a non-empty journal must fail");
+    assert!(e.to_string().contains("empty"), "got: {e}");
+
+    // Mismatched run inputs: the installed fingerprint wins, typed refusal.
+    let follower_dir = scratch_dir("guard-mismatch");
+    let other: Vec<String> = vec!["totally different corpus".to_string()];
+    let e = AllHands::builder(ModelTier::Gpt4)
+        .config(config(1, 1))
+        .journal(JournalMode::Continue(follower_dir.clone()))
+        .bootstrap(bundle)
+        .analyze(&other, &labeled, &predefined)
+        .map(|_| ())
+        .expect_err("mismatched inputs must fail the fingerprint check");
+    assert!(e.to_string().contains("different run"), "got: {e}");
+
+    // An unjournaled session cannot export.
+    let (ah, _frame) = AllHands::builder(ModelTier::Gpt4)
+        .config(config(0, 1))
+        .analyze(&texts, &labeled, &predefined)
+        .unwrap();
+    let e = ah.export_bootstrap().expect_err("unjournaled export must fail");
+    assert!(e.to_string().contains("journaled session"), "got: {e}");
+
+    std::fs::remove_dir_all(&leader_dir).ok();
+    std::fs::remove_dir_all(&follower_dir).ok();
+}

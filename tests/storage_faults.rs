@@ -1,0 +1,401 @@
+//! Storage-fault injection: the journal under a hostile disk.
+//!
+//! The contracts under test:
+//!
+//! - Fault-at-every-seam: injecting every `IoFaultKind` at every Vfs
+//!   operation index of an append + checkpoint + compact + append
+//!   workload never panics and never yields a silently
+//!   acknowledged-but-unsynced entry — every acked append is either
+//!   present bit-exact after a clean reopen or covered by a durable
+//!   checkpoint, and a second reopen changes no byte on disk.
+//! - A journal that trips read-only refuses further appends with the
+//!   typed `JournalError::ReadOnly`.
+//! - Sustained ENOSPC mid-stream trips the session into read-only
+//!   degraded mode: `ingest` returns `AllHandsError::ReadOnly`, while
+//!   `ask` and `search_similar` keep serving, with the trip and the
+//!   fault counts visible in the run report.
+//! - The same fault schedule produces identical outcomes at 1 and 8
+//!   threads (journal I/O is driver-thread-only).
+//! - Proptest fuzz (satellite to `tests/journal_truncation.rs`): a
+//!   random single fault anywhere in a full analyze + ingest +
+//!   checkpoint + compact run yields a typed error or a degradation at
+//!   worst, and a clean resume of the same directory converges on the
+//!   reference final frame.
+
+use allhands::journal::vfs::{FaultVfs, IoFaultKind, IoFaultPlan, Vfs};
+use allhands::journal::{decode, Journal, JournalError};
+use allhands::prelude::*;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The thread override is process-global; serialize the tests that use it.
+static GLOBAL_GUARD: Mutex<()> = Mutex::new(());
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("storage-faults-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("stale scratch dir");
+    }
+    dir
+}
+
+// ---------------------------------------------------------------------------
+// Journal-level exhaustive seam sweep
+// ---------------------------------------------------------------------------
+
+/// A fixed journal workload touching every kind of Vfs seam: appends,
+/// a checkpoint, a compaction, then tail appends. Returns the entries
+/// that were *acknowledged* (append returned `Ok`) as
+/// `(seq, key, payload)`, or `None` if open itself failed (a typed
+/// error, also legal under injection).
+fn journal_workload(dir: &Path, vfs: Arc<dyn Vfs>) -> Option<Vec<(u64, String, String)>> {
+    let mut acked = Vec::new();
+    let mut j = match Journal::open_with(dir, vfs) {
+        Ok(j) => j,
+        Err(_) => return None,
+    };
+    for i in 0..4u32 {
+        let key = format!("k{i}");
+        let val = format!("payload-{i}-{}", "x".repeat(i as usize * 7));
+        if j.append("t", &key, &val).is_ok() {
+            let seq = j.entries().last().expect("acked append must be visible").seq;
+            acked.push((seq, key, val));
+        }
+    }
+    let _ = j.checkpoint(4, &"checkpoint-state".to_string());
+    let _ = j.compact(1);
+    for i in 4..6u32 {
+        let key = format!("k{i}");
+        let val = format!("tail-{i}");
+        if j.append("t", &key, &val).is_ok() {
+            let seq = j.entries().last().expect("acked append must be visible").seq;
+            acked.push((seq, key, val));
+        }
+    }
+    // A read-only trip must be sticky and typed.
+    if j.is_read_only() {
+        assert!(
+            matches!(j.append("t", "refused", &"x".to_string()), Err(JournalError::ReadOnly(_))),
+            "read-only journal must refuse appends with the typed error"
+        );
+    }
+    Some(acked)
+}
+
+/// Every file in the journal dir except the (transient) LOCK, as
+/// name → bytes, for bit-exact before/after comparison.
+fn dir_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.file_name().is_some_and(|n| n != "LOCK"))
+        .map(|p| {
+            (p.file_name().unwrap().to_string_lossy().into_owned(), std::fs::read(&p).unwrap())
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn fault_at_every_seam_never_loses_an_acked_entry() {
+    // Probe: count the workload's Vfs operations with a no-fault FaultVfs.
+    let probe = Arc::new(FaultVfs::new(IoFaultPlan::none()));
+    let probe_dir = scratch_dir("seam-probe");
+    journal_workload(&probe_dir, Arc::clone(&probe) as Arc<dyn Vfs>)
+        .expect("clean workload must open");
+    let total_ops = probe.ops();
+    assert!(total_ops > 20, "probe found implausibly few Vfs ops ({total_ops})");
+    std::fs::remove_dir_all(&probe_dir).ok();
+
+    for op in 0..total_ops {
+        for kind in IoFaultKind::ALL {
+            let tag = format!("seam-{op}-{}", kind.label());
+            let dir = scratch_dir(&tag);
+            let fault = Arc::new(FaultVfs::new(IoFaultPlan::at(op, kind)));
+            // Any panic here fails the test: faults must surface as typed
+            // errors, never unwinds.
+            let acked = journal_workload(&dir, Arc::clone(&fault) as Arc<dyn Vfs>);
+
+            // A clean reopen must always succeed and hold every acked
+            // entry — directly, or via a durable checkpoint that covers
+            // its seq (compaction's contract).
+            let mut j = Journal::open(&dir)
+                .unwrap_or_else(|e| panic!("clean reopen after {tag} failed: {e}"));
+            let anchor = j.checkpoints().last().map_or(0, |c| c.upto_seq);
+            for (seq, key, val) in acked.into_iter().flatten() {
+                if seq >= anchor {
+                    let got = j
+                        .find("t", &key)
+                        .unwrap_or_else(|| panic!("{tag}: acked {key} (seq {seq}) lost"));
+                    assert_eq!(
+                        decode::<String>(got).unwrap(),
+                        val,
+                        "{tag}: acked {key} corrupted"
+                    );
+                } else {
+                    assert!(
+                        !j.checkpoints().is_empty() && anchor > seq,
+                        "{tag}: acked {key} (seq {seq}) below anchor without checkpoint cover"
+                    );
+                }
+            }
+            // The reconciled journal stays appendable...
+            j.append("t", "fresh", &"after-recovery".to_string())
+                .unwrap_or_else(|e| panic!("{tag}: reopened journal not appendable: {e}"));
+            drop(j);
+            // ...and a further reopen is a byte-for-byte no-op.
+            let settled = dir_bytes(&dir);
+            drop(Journal::open(&dir).unwrap());
+            assert_eq!(settled, dir_bytes(&dir), "{tag}: second reopen rewrote the dir");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core-level read-only degraded mode
+// ---------------------------------------------------------------------------
+
+const QUESTIONS: [&str; 2] = [
+    "How many feedback entries are there?",
+    "Which topic appears most frequently?",
+];
+
+fn corpus() -> (Vec<String>, Vec<LabeledExample>, Vec<String>) {
+    let records = allhands::datasets::generate_n(allhands::datasets::DatasetKind::GoogleStoreApp, 16, 23);
+    let texts: Vec<String> = records.iter().map(|r| r.text.clone()).collect();
+    let labeled: Vec<LabeledExample> = records
+        .iter()
+        .take(10)
+        .map(|r| LabeledExample { text: r.text.clone(), label: r.label.clone() })
+        .collect();
+    (texts, labeled, vec!["bug".to_string(), "crash".to_string()])
+}
+
+fn batches() -> Vec<Vec<String>> {
+    let b1: Vec<String> = allhands::datasets::generate_n(
+        allhands::datasets::DatasetKind::GoogleStoreApp,
+        5,
+        101,
+    )
+    .iter()
+    .map(|r| r.text.clone())
+    .collect();
+    let b2: Vec<String> = [
+        "battery drains overnight even when idle",
+        "phone gets hot and battery dies fast since update",
+        "battery usage doubled after the last version",
+        "standby battery drain is terrible now",
+    ]
+    .map(String::from)
+    .to_vec();
+    let b3: Vec<String> = [
+        "dark mode please my eyes hurt at night",
+        "would love a dark mode option",
+        "please add dark mode theme",
+    ]
+    .map(String::from)
+    .to_vec();
+    vec![b1, b2, b3]
+}
+
+/// Ops consumed by analyze + first batch under a clean schedule — the
+/// deterministic prefix every faulted run repeats exactly.
+fn probe_prefix_ops(config: &AllHandsConfig) -> u64 {
+    let dir = scratch_dir("enospc-probe");
+    let probe = Arc::new(FaultVfs::new(IoFaultPlan::none()));
+    let (texts, labeled, predefined) = corpus();
+    let (mut ah, _frame) = AllHands::builder(ModelTier::Gpt4)
+        .config(config.clone())
+        .journal(JournalMode::Continue(dir.clone()))
+        .vfs(Arc::clone(&probe) as Arc<dyn Vfs>)
+        .analyze(&texts, &labeled, &predefined)
+        .expect("clean probe run failed");
+    ah.ingest(&batches()[0]).expect("clean probe ingest failed");
+    drop(ah);
+    std::fs::remove_dir_all(&dir).ok();
+    // Subtract the ops the journal Drop path may add after the prefix we
+    // care about: none — Drop only releases the LOCK via std::fs. The
+    // count read after drop is exactly the prefix.
+    probe.ops()
+}
+
+/// Run analyze + the full batch stream against a sustained-ENOSPC disk
+/// that fills up right after batch 0. Returns the rendered observable
+/// outcome for cross-thread-count comparison.
+fn sustained_enospc_outcome(config: &AllHandsConfig, prefix_ops: u64, tag: &str) -> String {
+    let dir = scratch_dir(tag);
+    let fault =
+        Arc::new(FaultVfs::new(IoFaultPlan::from_op(prefix_ops, IoFaultKind::Enospc)));
+    let (texts, labeled, predefined) = corpus();
+    let (mut ah, _frame) = AllHands::builder(ModelTier::Gpt4)
+        .config(config.clone())
+        .journal(JournalMode::Continue(dir.clone()))
+        .recorder(RecorderMode::Enabled)
+        .vfs(Arc::clone(&fault) as Arc<dyn Vfs>)
+        .analyze(&texts, &labeled, &predefined)
+        .expect("analyze happens before the disk fills");
+    let all = batches();
+    let rep0 = ah.ingest(&all[0]).expect("batch 0 lands before the disk fills");
+    let mut out = rep0.frame.to_table_string(100);
+
+    // Batch 1 hits ENOSPC on append; compact-then-retry also hits ENOSPC,
+    // so the session trips read-only and returns the typed error.
+    let e1 = ah.ingest(&all[1]).expect_err("full disk must refuse the batch");
+    assert!(
+        matches!(e1, AllHandsError::ReadOnly(_)),
+        "expected AllHandsError::ReadOnly, got: {e1:?}"
+    );
+    assert!(!e1.retryable(), "read-only is not retryable in place");
+    // ...and stays read-only for the next batch, refusing it up front.
+    let e2 = ah.ingest(&all[2]).expect_err("read-only session must refuse batches");
+    assert!(matches!(e2, AllHandsError::ReadOnly(_)), "second batch: {e2:?}");
+
+    // Queries keep serving the in-memory state.
+    for q in QUESTIONS {
+        let r = ah.ask(q);
+        assert!(r.error.is_none(), "read-only session failed {q:?}: {:?}", r.error);
+        out.push_str("\n=== ");
+        out.push_str(q);
+        out.push('\n');
+        out.push_str(&r.render());
+    }
+    let hits = ah.search_similar("battery drain", 3).expect("search must keep serving");
+    out.push_str(&format!("search: {hits:?}\n"));
+
+    // The trip is observable: typed degradation notes + obs counters.
+    let notes = ah.resilience().degradations();
+    assert!(
+        notes.iter().any(|d| d.note.contains("read-only")),
+        "no read-only degradation note in {notes:?}"
+    );
+    let report = ah.run_report();
+    assert_eq!(report.counter("journal.readonly_trips"), 1, "exactly one trip");
+    assert!(report.counter("journal.io_faults.enospc") >= 1, "enospc faults uncounted");
+    assert!(report.counter("journal.enospc_compactions") >= 1, "rescue compaction uncounted");
+    for d in notes {
+        out.push_str(&format!("[{}] {}\n", d.stage, d.note));
+    }
+    drop(ah);
+    std::fs::remove_dir_all(&dir).ok();
+    // The degradation notes embed the journal path; normalize it so the
+    // t1/t8 outcomes are comparable byte-for-byte.
+    out.replace(&dir.display().to_string(), "<journal-dir>")
+}
+
+#[test]
+fn sustained_enospc_trips_read_only_but_queries_keep_serving() {
+    let _guard = GLOBAL_GUARD.lock().unwrap();
+    let config = AllHandsConfig::default();
+    let prefix = probe_prefix_ops(&config);
+    assert!(prefix > 10, "implausibly few prefix ops ({prefix})");
+    let outcome_1 = allhands::par::with_threads(1, || {
+        sustained_enospc_outcome(&config, prefix, "enospc-t1")
+    });
+    let outcome_8 = allhands::par::with_threads(8, || {
+        sustained_enospc_outcome(&config, prefix, "enospc-t8")
+    });
+    assert_eq!(outcome_1, outcome_8, "fault outcome must not depend on thread count");
+}
+
+// ---------------------------------------------------------------------------
+// Core-level proptest fault-schedule fuzz
+// ---------------------------------------------------------------------------
+
+fn fuzz_config() -> AllHandsConfig {
+    let mut config = AllHandsConfig::default();
+    config.ingest.pending_threshold = 6;
+    config.ingest.ivf_partition_docs = 8;
+    config.checkpoint = CheckpointPolicy { every_n_batches: 1, keep_last_k: 1 };
+    config
+}
+
+/// Full journaled session: analyze, every batch, both questions.
+/// Returns the final frame rendering.
+fn full_run(dir: &Path, vfs: Option<Arc<dyn Vfs>>) -> Result<String, AllHandsError> {
+    let (texts, labeled, predefined) = corpus();
+    let mut builder = AllHands::builder(ModelTier::Gpt4)
+        .config(fuzz_config())
+        .journal(JournalMode::Continue(dir.to_path_buf()));
+    if let Some(vfs) = vfs {
+        builder = builder.vfs(vfs);
+    }
+    let (mut ah, mut frame) = builder.analyze(&texts, &labeled, &predefined)?;
+    for batch in batches() {
+        match ah.ingest(&batch) {
+            Ok(rep) => frame = rep.frame,
+            // A read-only trip ends the stream; the state so far stands.
+            Err(AllHandsError::ReadOnly(_)) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    for q in QUESTIONS {
+        let r = ah.ask(q);
+        assert!(r.error.is_none(), "ask failed under faults: {:?}", r.error);
+    }
+    Ok(frame.to_table_string(100))
+}
+
+/// Vfs op count of the clean full run, probed once.
+fn fuzz_total_ops() -> u64 {
+    static OPS: OnceLock<u64> = OnceLock::new();
+    *OPS.get_or_init(|| {
+        let dir = scratch_dir("fuzz-probe");
+        let probe = Arc::new(FaultVfs::new(IoFaultPlan::none()));
+        full_run(&dir, Some(Arc::clone(&probe) as Arc<dyn Vfs>)).expect("clean probe failed");
+        std::fs::remove_dir_all(&dir).ok();
+        probe.ops()
+    })
+}
+
+/// Reference final frame of the clean run, computed once.
+fn reference_frame() -> &'static str {
+    static FRAME: OnceLock<String> = OnceLock::new();
+    FRAME.get_or_init(|| {
+        let dir = scratch_dir("fuzz-reference");
+        let frame = full_run(&dir, None).expect("clean reference failed");
+        std::fs::remove_dir_all(&dir).ok();
+        frame
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn single_fault_anywhere_recovers_to_the_reference_state(
+        frac in 0.0f64..1.0,
+        kind_idx in 0usize..IoFaultKind::ALL.len(),
+    ) {
+        let _guard = GLOBAL_GUARD.lock().unwrap();
+        let total = fuzz_total_ops();
+        let op = ((frac * total as f64) as u64).min(total - 1);
+        let kind = IoFaultKind::ALL[kind_idx];
+        let dir = scratch_dir(&format!("fuzz-{op}-{}", kind.label()));
+
+        // Faulted run: typed error or degraded completion, never a panic.
+        let fault = Arc::new(FaultVfs::new(IoFaultPlan::at(op, kind)));
+        let faulted = full_run(&dir, Some(Arc::clone(&fault) as Arc<dyn Vfs>));
+        if let Err(e) = &faulted {
+            prop_assert!(
+                !matches!(e, AllHandsError::Pipeline(m) if m.contains("panic")),
+                "fault surfaced as a panic-shaped error: {e}"
+            );
+        }
+
+        // The directory must reopen cleanly regardless of where the fault
+        // landed...
+        drop(Journal::open(&dir).unwrap_or_else(|e| panic!("reopen failed: {e}")));
+        // ...and a clean resume of the same directory converges on the
+        // reference final frame: committed entries replay, lost ones are
+        // recomputed deterministically.
+        let resumed = full_run(&dir, None);
+        prop_assert!(resumed.is_ok(), "clean resume failed: {:?}", resumed.err());
+        prop_assert_eq!(resumed.unwrap().as_str(), reference_frame(),
+            "resumed state diverged from the reference");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
