@@ -44,7 +44,7 @@ fn bench_pipeline_overhead(c: &mut Criterion) {
                     .recorder(mode.clone())
                     .analyze(&texts, &labeled, &predefined)
                     .expect("pipeline must not fail");
-                let r = ah.ask("Which topic appears most frequently?");
+                let r = ah.ask("Which topic appears most frequently?").expect("ask failed");
                 black_box((frame.n_rows(), r.render().len()))
             })
         });

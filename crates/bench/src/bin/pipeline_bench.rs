@@ -11,6 +11,11 @@
 //! matrix for the classify and search hot paths — and quantized-vs-f32
 //! scan attribution on the `search` stage.
 //!
+//! Schema v5 adds a `serve` stage — concurrent-client queries/sec through
+//! the leader/follower session server at 1 vs 3 read replicas. Throughput
+//! is *recorded*, never asserted: on a 1-core host extra replicas buy
+//! nothing and the JSON says so.
+//!
 //! Usage:
 //!   pipeline_bench                     full sizes, writes BENCH_pipeline.json
 //!   pipeline_bench --out PATH          choose the output path
@@ -33,6 +38,7 @@ use allhands_core::{
 use allhands_datasets::{generate_n, DatasetKind};
 use allhands_embed::Embedding;
 use allhands_llm::{ModelTier, SimLlm};
+use allhands_serve::{Corpus, ServeClient, ServeOptions, Server};
 use allhands_topics::hac::{
     agglomerative_clusters, agglomerative_clusters_reference, Linkage,
 };
@@ -40,9 +46,9 @@ use allhands_vectordb::{FlatIndex, Record, SearchResult, VectorIndex};
 use serde_json::{Map, Value};
 use std::time::Instant;
 
-const SCHEMA_VERSION: u64 = 4;
-const STAGES: [&str; 7] =
-    ["classify", "hac", "search", "scaling", "pipeline", "ingest", "recovery"];
+const SCHEMA_VERSION: u64 = 5;
+const STAGES: [&str; 8] =
+    ["classify", "hac", "search", "scaling", "pipeline", "ingest", "recovery", "serve"];
 
 /// Thread counts swept by the scaling stage.
 const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -114,6 +120,9 @@ fn main() {
     }
     if run("recovery") {
         stages.insert("recovery".to_string(), bench_recovery(smoke));
+    }
+    if run("serve") {
+        stages.insert("serve".to_string(), bench_serve(smoke));
     }
 
     let mut root = Map::new();
@@ -489,7 +498,7 @@ fn bench_pipeline(smoke: bool) -> Value {
             .analyze(&texts, &labeled, &predefined)
             .expect("pipeline must not fail");
         let mut transcript = frame.to_table_string(50);
-        transcript.push_str(&ah.ask("Which topic appears most frequently?").render());
+        transcript.push_str(&ah.ask("Which topic appears most frequently?").expect("ask failed").render());
         transcript
     };
     let (serial_ms, serial_out) = allhands_par::with_threads(1, || time_ms(run));
@@ -664,6 +673,88 @@ fn bench_recovery(smoke: bool) -> Value {
     )
 }
 
+fn bench_serve(smoke: bool) -> Value {
+    let (corpus_n, clients, asks_per_client) = if smoke { (24, 2, 3) } else { (60, 4, 6) };
+    const REPLICAS: [usize; 2] = [1, 3];
+    const BENCH_QUESTIONS: [&str; 3] = [
+        "How many feedback entries are there?",
+        "Which topic appears most frequently?",
+        "How many entries mention a crash?",
+    ];
+    let corpus = Corpus::synthetic(corpus_n, 17);
+    let root =
+        std::env::temp_dir().join(format!("allhands-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("serve scratch dir");
+
+    let mut total_ms = Vec::with_capacity(REPLICAS.len());
+    let mut qps = Vec::with_capacity(REPLICAS.len());
+    for &followers in &REPLICAS {
+        let socket = root.join(format!("serve-{followers}.sock"));
+        let data_dir = root.join(format!("data-{followers}"));
+        let opts = ServeOptions { followers, ..ServeOptions::default() };
+        let server =
+            Server::start(&socket, &data_dir, &corpus, opts).expect("server start failed");
+
+        // Warm-up: touch every replica once so lazily-built search state is
+        // out of the timed window.
+        let mut warm = ServeClient::connect(&socket).expect("warm-up connect failed");
+        for _ in 0..followers {
+            warm.ask(BENCH_QUESTIONS[0]).expect("warm-up ask failed");
+        }
+
+        // Timed window: `clients` concurrent connections, each firing
+        // `asks_per_client` questions round-robined across the replicas.
+        let (ms, ()) = time_ms(|| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let socket = socket.clone();
+                    std::thread::spawn(move || {
+                        let mut client =
+                            ServeClient::connect(&socket).expect("bench connect failed");
+                        for q in 0..asks_per_client {
+                            let question = BENCH_QUESTIONS[(c + q) % BENCH_QUESTIONS.len()];
+                            client.ask(question).expect("bench ask failed");
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("bench client thread panicked");
+            }
+        });
+        let asks = (clients * asks_per_client) as f64;
+        total_ms.push(ms.max(1e-6));
+        qps.push(asks / (ms.max(1e-6) / 1e3));
+
+        warm.shutdown().expect("serve shutdown failed");
+        server.run_until_shutdown();
+    }
+    std::fs::remove_dir_all(&root).ok();
+
+    println!(
+        "  serve: {clients} clients x {asks_per_client} asks  1-replica {:.1}ms ({:.0} qps)  3-replica {:.1}ms ({:.0} qps)",
+        total_ms[0], qps[0], total_ms[1], qps[1]
+    );
+    // serial_ms = 1 replica, parallel_ms = 3 replicas: `speedup` is the
+    // read-throughput win from fanning across followers.
+    stage_entry(
+        total_ms[0],
+        total_ms[1],
+        clients * asks_per_client,
+        vec![
+            (
+                "replicas",
+                Value::Array(REPLICAS.iter().map(|&r| Value::U64(r as u64)).collect()),
+            ),
+            ("total_ms", Value::Array(total_ms.into_iter().map(Value::F64).collect())),
+            ("qps", Value::Array(qps.into_iter().map(Value::F64).collect())),
+            ("clients", Value::U64(clients as u64)),
+            ("asks_per_client", Value::U64(asks_per_client as u64)),
+        ],
+    )
+}
+
 /// One instrumented end-to-end run; returns the observability report JSON.
 fn obs_report(smoke: bool) -> Value {
     let n = if smoke { 60 } else { 200 };
@@ -680,7 +771,7 @@ fn obs_report(smoke: bool) -> Value {
         .recorder(RecorderMode::Enabled)
         .analyze(&texts, &labeled, &predefined)
         .expect("pipeline must not fail");
-    let _ = ah.ask("Which topic appears most frequently?");
+    let _ = ah.ask("Which topic appears most frequently?").expect("ask failed");
     let report = ah.run_report();
     allhands_obs::validate_report_json(&report.to_json()).expect("report schema");
     report.to_json()
@@ -765,6 +856,7 @@ fn validate_value(value: &Value) -> Result<(), String> {
             "scaling" => validate_scaling(stage)?,
             "ingest" => validate_ingest(stage)?,
             "recovery" => validate_recovery(stage)?,
+            "serve" => validate_serve(stage)?,
             _ => {}
         }
     }
@@ -902,6 +994,57 @@ fn validate_recovery(recovery: &Map) -> Result<(), String> {
             .ok_or_else(|| format!("stages.recovery.{field}: missing or non-numeric"))?;
         if !(ms.is_finite() && ms > 0.0) {
             return Err(format!("stages.recovery.{field}: {ms} not a positive number"));
+        }
+    }
+    Ok(())
+}
+
+/// The serve stage: a replica-count sweep with per-count wall-clock and
+/// queries/sec arrays. Throughput across replica counts is recorded, never
+/// asserted — a 1-core host honestly gains nothing from extra replicas.
+fn validate_serve(serve: &Map) -> Result<(), String> {
+    let Some(Value::Array(replicas)) = serve.get("replicas") else {
+        return Err("stages.serve.replicas: missing or not an array".to_string());
+    };
+    if replicas.len() < 2 {
+        return Err(format!(
+            "stages.serve.replicas: {} entries, expected at least 2 to compare",
+            replicas.len()
+        ));
+    }
+    for (i, v) in replicas.iter().enumerate() {
+        let r = as_f64(Some(v))
+            .ok_or_else(|| format!("stages.serve.replicas[{i}]: non-numeric"))?;
+        if r < 1.0 {
+            return Err(format!("stages.serve.replicas[{i}]: {r} < 1"));
+        }
+    }
+    for field in ["total_ms", "qps"] {
+        let Some(Value::Array(arr)) = serve.get(field) else {
+            return Err(format!("stages.serve.{field}: missing or not an array"));
+        };
+        if arr.len() != replicas.len() {
+            return Err(format!(
+                "stages.serve.{field}: {} entries, expected {}",
+                arr.len(),
+                replicas.len()
+            ));
+        }
+        for (i, v) in arr.iter().enumerate() {
+            let x = as_f64(Some(v))
+                .ok_or_else(|| format!("stages.serve.{field}[{i}]: non-numeric"))?;
+            if !(x.is_finite() && x > 0.0) {
+                return Err(format!(
+                    "stages.serve.{field}[{i}]: {x} not a positive number"
+                ));
+            }
+        }
+    }
+    for field in ["clients", "asks_per_client"] {
+        let v = as_f64(serve.get(field))
+            .ok_or_else(|| format!("stages.serve.{field}: missing or non-numeric"))?;
+        if v < 1.0 {
+            return Err(format!("stages.serve.{field}: {v} < 1"));
         }
     }
     Ok(())

@@ -32,7 +32,7 @@
 //! ]).unwrap();
 //!
 //! let mut allhands = AllHands::from_frame(ModelTier::Gpt4, frame, AllHandsConfig::default());
-//! let response = allhands.ask("How many feedback entries are there?");
+//! let response = allhands.ask("How many feedback entries are there?").unwrap();
 //! assert!(response.error.is_none());
 //! ```
 
@@ -45,7 +45,7 @@ pub use topic_modeling::{AbstractiveTopicModeler, TopicModelingConfig, TopicMode
 pub use allhands_agent::{AgentConfig, AnswerRecord, QaAgent, Response, ResponseItem};
 pub use allhands_journal::{
     vfs::{FaultVfs, IoFaultKind, IoFaultPlan, RealVfs, Vfs},
-    BootstrapBundle, Journal, JournalError,
+    BootstrapBundle, Journal, JournalError, TailEntry,
 };
 pub use allhands_obs::{Recorder, RunReport, SpanGuard};
 pub use allhands_resilience::{
@@ -154,15 +154,37 @@ fn jerr(e: JournalError) -> AllHandsError {
     }
 }
 
+/// Digest of the durability policy fixed at construction —
+/// [`IngestConfig`] plus [`CheckpointPolicy`] — folded into the run
+/// fingerprint so the journal header pins the policy: resuming a journal
+/// under a different assignment threshold or checkpoint cadence would
+/// replay deltas that were cut at different boundaries, so it is refused
+/// as a [`JournalError::RunMismatch`] instead of silently diverging.
+fn policy_digest(config: &AllHandsConfig) -> String {
+    let i = &config.ingest;
+    let c = &config.checkpoint;
+    format!(
+        "assign={:?};pending={};nprobe={};pdocs={};stale={:?};ckpt_every={};ckpt_keep={}",
+        i.assign_threshold,
+        i.pending_threshold,
+        i.ivf_nprobe,
+        i.ivf_partition_docs,
+        i.ivf_staleness,
+        c.every_n_batches,
+        c.keep_last_k
+    )
+}
+
 /// Content fingerprint of a pipeline run's inputs — tier, corpus, labeled
-/// demonstrations, predefined topics. Deliberately excludes the fault plan:
-/// a resumed run passes `crash_at = None` but must match the crashed run's
-/// journal header.
+/// demonstrations, predefined topics, durability policy. Deliberately
+/// excludes the fault plan: a resumed run passes `crash_at = None` but must
+/// match the crashed run's journal header.
 fn run_fingerprint(
     tier: ModelTier,
     texts: &[String],
     labeled_sample: &[LabeledExample],
     predefined_topics: &[String],
+    policy: &str,
 ) -> String {
     let tier_label = format!("{tier:?}");
     // Each collection is framed by a section tag and its element count;
@@ -188,6 +210,8 @@ fn run_fingerprint(
     for t in predefined_topics {
         parts.push(t.as_bytes());
     }
+    parts.push(b"policy");
+    parts.push(policy.as_bytes());
     allhands_journal::fingerprint(parts)
 }
 
@@ -266,6 +290,12 @@ pub struct AnalyzeOptions {
     /// recovery defaults to [`RecoverPoint::Latest`] so the session comes
     /// up holding the leader's state.
     pub bootstrap: Option<BootstrapBundle>,
+    /// Read-replica mode: the session serves `ask` / `search_similar` but
+    /// refuses `ingest`/`retract` and never journals its own answers — the
+    /// only writes to its journal are replicated leader lines applied via
+    /// [`AllHands::apply_tail`], keeping the WAL byte-identical to the
+    /// leader's. Requires a journal mode.
+    pub replica: bool,
 }
 
 impl std::fmt::Debug for AnalyzeOptions {
@@ -276,6 +306,7 @@ impl std::fmt::Debug for AnalyzeOptions {
             .field("recover", &self.recover)
             .field("vfs", &self.vfs.as_ref().map(|_| "<dyn Vfs>"))
             .field("bootstrap", &self.bootstrap)
+            .field("replica", &self.replica)
             .finish()
     }
 }
@@ -298,7 +329,7 @@ impl std::fmt::Debug for AnalyzeOptions {
 ///     .analyze(&texts, &labeled, &["crash".into()])
 ///     .unwrap();
 /// assert_eq!(frame.n_rows(), 2);
-/// assert!(ah.ask("How many feedback entries are there?").error.is_none());
+/// assert!(ah.ask("How many feedback entries are there?").unwrap().error.is_none());
 /// assert!(ah.run_report().counter("qa.questions") >= 1);
 /// ```
 #[derive(Debug, Clone)]
@@ -312,6 +343,36 @@ impl AllHandsBuilder {
     /// Replace the stage configuration (defaults otherwise).
     pub fn config(mut self, config: AllHandsConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Replace the incremental-ingestion settings. The durability policy is
+    /// fixed at construction: it is folded into the run fingerprint the
+    /// journal header records, so a journal can only be resumed under the
+    /// policy that produced it.
+    pub fn ingest_config(mut self, ingest: IngestConfig) -> Self {
+        self.config.ingest = ingest;
+        self
+    }
+
+    /// Replace the checkpoint/compaction retention policy. Like
+    /// [`ingest_config`](Self::ingest_config), fixed at construction and
+    /// recorded (via the run fingerprint) in the journal header.
+    pub fn checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.config.checkpoint = policy;
+        self
+    }
+
+    /// Build a read replica: the session serves `ask` / `search_similar`
+    /// but refuses `ingest`/`retract` with [`AllHandsError::ReadOnly`], and
+    /// never journals its own answers — its journal only ever receives
+    /// replicated leader lines via [`AllHands::apply_tail`], so the WAL
+    /// stays byte-identical to the leader's suffix. Combine with
+    /// [`bootstrap`](Self::bootstrap) for a first start, or
+    /// [`recover_latest`](Self::recover_latest) to reopen an existing
+    /// replica journal. Requires a journal mode.
+    pub fn replica(mut self) -> Self {
+        self.options.replica = true;
         self
     }
 
@@ -386,6 +447,12 @@ impl AllHandsBuilder {
                     .to_string(),
             ));
         }
+        if self.options.replica && self.options.journal.is_none() {
+            return Err(AllHandsError::Pipeline(
+                "replica requires a journal: attach JournalMode::Continue(dir) before replica()"
+                    .to_string(),
+            ));
+        }
         let journal = match &self.options.journal {
             None => None,
             Some(mode) => {
@@ -416,6 +483,7 @@ impl AllHandsBuilder {
                         texts,
                         labeled_sample,
                         predefined_topics,
+                        &policy_digest(&self.config),
                     ))
                     .map_err(jerr)?;
                 Some(journal)
@@ -427,7 +495,8 @@ impl AllHandsBuilder {
             (None, Some(_)) => Some(RecoverPoint::Latest),
             (point, _) => point,
         };
-        match (recover, journal) {
+        let replica = self.options.replica;
+        let built = match (recover, journal) {
             (Some(point), Some(journal)) => AllHands::run_recovery(
                 self.tier,
                 texts,
@@ -451,7 +520,11 @@ impl AllHandsBuilder {
                 journal,
                 recorder,
             ),
-        }
+        };
+        built.map(|(mut ah, frame)| {
+            ah.replica = replica;
+            (ah, frame)
+        })
     }
 
     /// Build directly over an already-structured feedback frame, skipping
@@ -479,6 +552,8 @@ impl AllHandsBuilder {
             qa_span: None,
             ingest: None,
             ingest_span: None,
+            replica: false,
+            reads_served: 0,
         }
     }
 }
@@ -586,6 +661,22 @@ pub struct IngestReport {
     pub frame: DataFrame,
 }
 
+/// What one [`AllHands::apply_tail`] call applied to a replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailReport {
+    /// Replicated WAL lines installed.
+    pub applied: usize,
+    /// Ingest deltas among them, applied through snapshot replay.
+    pub ingest_batches: usize,
+    /// QA answer records among them, restored into the agent session.
+    pub answers: usize,
+    /// The replica journal's next seq after the apply.
+    pub next_seq: u64,
+    /// The replica journal's chain head after the apply — equal to the
+    /// leader's at the same seq iff the histories are byte-identical.
+    pub chain_head: String,
+}
+
 /// Pipeline state retained after `analyze` so later [`AllHands::ingest`]
 /// batches extend the run instead of recomputing it.
 struct IngestState {
@@ -682,6 +773,13 @@ pub struct AllHands {
     /// QA starts (and vice versa), so interleaved ask/ingest sequences
     /// produce sibling roots instead of nesting one family in the other.
     ingest_span: Option<SpanGuard>,
+    /// Read-replica mode (see [`AllHandsBuilder::replica`]): `ask` serves
+    /// without journaling, `ingest`/`retract` are refused, and state
+    /// advances only through [`apply_tail`](AllHands::apply_tail).
+    replica: bool,
+    /// Replica-served reads, counted separately from `asked` (which stays
+    /// the replicated QA ordinal so checkpoints converge with the leader's).
+    reads_served: usize,
 }
 
 impl AllHands {
@@ -719,61 +817,6 @@ impl AllHands {
     /// pipeline first.
     pub fn from_frame(tier: ModelTier, frame: DataFrame, config: AllHandsConfig) -> Self {
         Self::builder(tier).config(config).from_frame(frame)
-    }
-
-    /// Run the full pipeline on raw texts.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use AllHands::builder(tier).config(config).analyze(texts, labeled_sample, predefined_topics)"
-    )]
-    pub fn analyze(
-        tier: ModelTier,
-        texts: &[String],
-        labeled_sample: &[LabeledExample],
-        predefined_topics: &[String],
-        config: AllHandsConfig,
-    ) -> Result<(Self, DataFrame), AllHandsError> {
-        Self::builder(tier)
-            .config(config)
-            .analyze(texts, labeled_sample, predefined_topics)
-    }
-
-    /// Crash-safe pipeline run journaled under `journal_dir`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use AllHands::builder(tier).config(config).journal(JournalMode::Continue(dir)).analyze(..)"
-    )]
-    pub fn analyze_journaled(
-        tier: ModelTier,
-        texts: &[String],
-        labeled_sample: &[LabeledExample],
-        predefined_topics: &[String],
-        config: AllHandsConfig,
-        journal_dir: &Path,
-    ) -> Result<(Self, DataFrame), AllHandsError> {
-        Self::builder(tier)
-            .config(config)
-            .journal(JournalMode::Continue(journal_dir.to_path_buf()))
-            .analyze(texts, labeled_sample, predefined_topics)
-    }
-
-    /// Resume a crashed journaled run from its journal.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use AllHands::builder(tier).config(config).journal(JournalMode::Continue(dir)).analyze(..)"
-    )]
-    pub fn resume(
-        tier: ModelTier,
-        texts: &[String],
-        labeled_sample: &[LabeledExample],
-        predefined_topics: &[String],
-        config: AllHandsConfig,
-        journal_dir: &Path,
-    ) -> Result<(Self, DataFrame), AllHandsError> {
-        Self::builder(tier)
-            .config(config)
-            .journal(JournalMode::Continue(journal_dir.to_path_buf()))
-            .analyze(texts, labeled_sample, predefined_topics)
     }
 
     fn run_pipeline(
@@ -909,6 +952,8 @@ impl AllHands {
                 qa_span: None,
                 ingest: Some(ingest),
                 ingest_span: None,
+                replica: false,
+                reads_served: 0,
             },
             frame,
         ))
@@ -957,7 +1002,8 @@ impl AllHands {
         // checkpoint payloads carry the full session state, and only the one
         // actually restored should pay the decode — older siblings exist
         // purely as fallbacks.
-        let fp = run_fingerprint(tier, texts, labeled_sample, predefined_topics);
+        let fp =
+            run_fingerprint(tier, texts, labeled_sample, predefined_topics, &policy_digest(&config));
         let mut candidates: Vec<&allhands_journal::CheckpointRecord> = Vec::new();
         for c in journal.checkpoints() {
             if c.fingerprint != fp {
@@ -1147,6 +1193,8 @@ impl AllHands {
                 qa_span: None,
                 ingest: Some(ingest),
                 ingest_span: None,
+                replica: false,
+                reads_served: 0,
             },
             frame,
         ))
@@ -1200,20 +1248,43 @@ impl AllHands {
 
     /// Ask a natural-language question about the feedback.
     ///
-    /// On a journaled run (built with a [`JournalMode`])
-    /// each committed answer is snapshotted; a resumed run re-asking the
-    /// same question sequence replays recorded answers (restoring the
-    /// agent's session bindings and history) instead of recomputing them.
-    pub fn ask(&mut self, question: &str) -> Response {
-        let idx = self.asked;
-        self.asked += 1;
+    /// On a journaled run (built with a [`JournalMode`]) each committed
+    /// answer is snapshotted; a resumed run re-asking the same question
+    /// sequence replays recorded answers (restoring the agent's session
+    /// bindings and history) instead of recomputing them.
+    ///
+    /// Errors are storage-shaped, never answer-shaped: an answer that could
+    /// not be *computed* still comes back `Ok` with the failure inside
+    /// [`Response::error`] (the agent degrades, it does not throw), while
+    /// the journal tripping into read-only mode **during this ask's
+    /// append** returns [`AllHandsError::ReadOnly`] — the answer was served
+    /// from memory but was never made durable, mirroring
+    /// [`ingest`](Self::ingest)'s mid-batch convention. A session *already*
+    /// in read-only mode keeps serving `Ok` answers (bounded-staleness
+    /// reads survive storage degradation; the lost durability is noted
+    /// once). On a replica session the question is answered from the
+    /// replicated state and nothing is journaled.
+    pub fn ask(&mut self, question: &str) -> Result<Response, AllHandsError> {
         if self.qa_span.is_none() {
             self.ingest_span = None;
             self.qa_span = Some(self.recorder.span("qa"));
         }
+        if self.replica {
+            // Replica sessions never journal their own answers — the
+            // leader's QA entries arrive via `apply_tail`, and a local
+            // append would fork the replicated hash chain. `asked` stays
+            // the replicated QA ordinal; served reads count separately.
+            let n = self.reads_served;
+            self.reads_served += 1;
+            let _question_span = self.recorder.span(&format!("read[{n}]"));
+            self.recorder.incr("qa.replica_reads");
+            return Ok(self.agent.ask(question));
+        }
+        let idx = self.asked;
+        self.asked += 1;
         let _question_span = self.recorder.span(&format!("question[{idx}]"));
         let Some(journal) = &mut self.journal else {
-            return self.agent.ask(question);
+            return Ok(self.agent.ask(question));
         };
         let key =
             format!("q{:03}:{}", idx, allhands_journal::fingerprint([question.as_bytes()]));
@@ -1221,7 +1292,7 @@ impl AllHands {
             Ok(Some(snap)) => {
                 self.resilience.restore(&snap.resilience);
                 self.answers.push(snap.record.clone());
-                return self.agent.restore_answer(snap.record);
+                return Ok(self.agent.restore_answer(snap.record));
             }
             Ok(None) => {}
             Err(e) => {
@@ -1231,6 +1302,19 @@ impl AllHands {
                     .note_degradation("qa-agent", format!("journal replay failed ({e}); recomputing"));
             }
         }
+        if let Some(reason) = journal.read_only_reason().map(str::to_string) {
+            // Already read-only: keep answering (bounded-staleness reads
+            // survive storage degradation), skip the doomed append, and
+            // note the lost durability once rather than on every question.
+            self.resilience.note_degradation_once(
+                "qa-agent",
+                &format!("journal is read-only ({reason}); answers no longer crash-safe"),
+            );
+            let response = self.agent.ask(question);
+            let record = self.agent.record_answer(question, &response);
+            self.answers.push(record);
+            return Ok(response);
+        }
         self.resilience.crash_point(&format!("qa:{key}:start"));
         let response = self.agent.ask(question);
         let record = self.agent.record_answer(question, &response);
@@ -1239,13 +1323,16 @@ impl AllHands {
         match journal.append("qa", &key, &snap) {
             Ok(()) => self.resilience.crash_point(&format!("qa:{key}:committed")),
             Err(JournalError::ReadOnly(m)) => {
-                // Read-only degraded mode: keep answering (the state is in
-                // memory), note the lost durability once rather than on
-                // every question.
-                self.resilience.note_degradation_once(
+                // The storage layer tripped read-only during this append.
+                // The answer stays applied in memory, but the caller gets
+                // the typed error: this answer was never made durable.
+                self.resilience.note_degradation(
                     "qa-agent",
-                    &format!("journal is read-only ({m}); answers no longer crash-safe"),
+                    format!(
+                        "journal tripped read-only ({m}); answer served from memory, not crash-safe"
+                    ),
                 );
+                return Err(AllHandsError::ReadOnly(m));
             }
             Err(e) => {
                 // The answer is still good — it is just not crash-safe.
@@ -1253,7 +1340,7 @@ impl AllHands {
                     .note_degradation("qa-agent", format!("journal append failed ({e}); answer not crash-safe"));
             }
         }
-        response
+        Ok(response)
     }
 
     /// Structured summary of everything that went sideways this run:
@@ -1324,6 +1411,15 @@ impl AllHands {
     /// Errors on an [`AllHands::from_frame`] session: there is no pipeline
     /// state to ingest into.
     pub fn ingest(&mut self, batch: &[String]) -> Result<IngestReport, AllHandsError> {
+        // Replicas take writes only from the leader's replicated journal
+        // lines (`apply_tail`); a locally-ingested batch would fork the
+        // replicated hash chain.
+        if self.replica {
+            return Err(AllHandsError::ReadOnly(
+                "replica session: ingest goes to the leader; this session serves reads and applies replicated deltas"
+                    .to_string(),
+            ));
+        }
         // A read-only (storage-degraded) journal refuses new state up
         // front: nothing is classified, nothing is applied, and the caller
         // gets the typed error. Queries (`ask`, `search_similar`) keep
@@ -1620,12 +1716,207 @@ impl AllHands {
         Ok(index.search(&query, k).into_iter().map(|h| (h.id, h.score)).collect())
     }
 
+    /// Force-build the incremental document index now (it is otherwise
+    /// built lazily at the first [`search_similar`](Self::search_similar)
+    /// or ingest batch), so later
+    /// [`search_similar_prepared`](Self::search_similar_prepared) calls can
+    /// serve with `&self` only — e.g. many reader threads sharing one
+    /// session behind an `RwLock` read guard. Deterministic: seeding from
+    /// the same row state builds the same index whether it happens here or
+    /// lazily.
+    pub fn prepare_search(&mut self) -> Result<(), AllHandsError> {
+        let cfg = self.config.ingest.clone();
+        let Some(ing) = self.ingest.as_mut() else {
+            return Err(AllHandsError::Pipeline(
+                "prepare_search requires a pipeline-built session (builder().analyze(..))"
+                    .to_string(),
+            ));
+        };
+        let rows = ing.texts.len();
+        ensure_doc_index(ing, &self.recorder, &cfg, rows);
+        Ok(())
+    }
+
+    /// The `&self` half of the read-path borrow split: top-`k` rows most
+    /// similar to `text`, requiring the document index to already exist
+    /// (call [`prepare_search`](Self::prepare_search) once, or ingest a
+    /// batch). Unlike [`search_similar`](Self::search_similar) this never
+    /// mutates, so concurrent readers can share the session.
+    pub fn search_similar_prepared(
+        &self,
+        text: &str,
+        k: usize,
+    ) -> Result<Vec<(u64, f32)>, AllHandsError> {
+        let Some(ing) = self.ingest.as_ref() else {
+            return Err(AllHandsError::Pipeline(
+                "search_similar requires a pipeline-built session (builder().analyze(..))"
+                    .to_string(),
+            ));
+        };
+        let Some(index) = ing.doc_index.as_ref() else {
+            return Err(AllHandsError::Pipeline(
+                "search index not built yet: call prepare_search() (or ingest a batch) first"
+                    .to_string(),
+            ));
+        };
+        let query = ing.llm.embedder().embed(text);
+        Ok(index.search(&query, k).into_iter().map(|h| (h.id, h.score)).collect())
+    }
+
+    /// Whether this session is a read replica (see
+    /// [`AllHandsBuilder::replica`]).
+    pub fn is_replica(&self) -> bool {
+        self.replica
+    }
+
+    /// The journal's replication cursor position as `(next_seq,
+    /// chain_head)`, if journaled. Two sessions at the same position hold
+    /// byte-identical WAL histories — the convergence check replication
+    /// tests assert.
+    pub fn chain_position(&self) -> Option<(u64, String)> {
+        self.journal.as_ref().map(|j| j.chain_position())
+    }
+
+    /// The run fingerprint the journal is bound to, if journaled and
+    /// established.
+    pub fn run_fingerprint(&self) -> Option<&str> {
+        self.journal.as_ref().and_then(|j| j.run_fingerprint())
+    }
+
+    /// Replica catch-up: verify and install a slice of the leader's WAL
+    /// suffix (from [`Journal::tail_after`] on the leader), then apply each
+    /// entry to the in-memory state — ingest deltas replay through the same
+    /// snapshot-application path recovery uses (the snapshot carries its
+    /// own batch texts), QA entries restore the agent's answer history, and
+    /// the header verifies the run fingerprint. Entries must arrive in
+    /// chain order starting at this session's `next_seq`; anything else is
+    /// refused before touching the journal file, so a failed stream leaves
+    /// the replica at a clean entry boundary to resume from.
+    ///
+    /// The replica's own checkpoint policy applies as batches land, so a
+    /// long-lived follower compacts its journal on the same cadence as the
+    /// leader.
+    pub fn apply_tail(&mut self, entries: &[allhands_journal::TailEntry]) -> Result<TailReport, AllHandsError> {
+        if self.journal.is_none() {
+            return Err(AllHandsError::Pipeline(
+                "apply_tail requires a journaled session (builder().journal(..))".to_string(),
+            ));
+        }
+        let mut ingest_batches = 0usize;
+        let mut answers = 0usize;
+        for te in entries {
+            let entry = self
+                .journal
+                .as_mut()
+                .expect("journal presence checked above")
+                .append_raw(&te.line)
+                .map_err(jerr)?;
+            match entry.stage.as_str() {
+                // The fingerprint was verified against the established run
+                // by `append_raw`; nothing to apply.
+                "header" => {}
+                "ingest" => {
+                    let ord = entry
+                        .key
+                        .get(1..6)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .ok_or_else(|| {
+                            AllHandsError::Pipeline(format!(
+                                "replication: malformed ingest key {:?} at seq {}",
+                                entry.key, entry.seq
+                            ))
+                        })?;
+                    let snap: IngestSnapshot =
+                        allhands_journal::decode(&entry.payload).map_err(|e| {
+                            AllHandsError::Pipeline(format!(
+                                "replication: undecodable ingest delta at seq {}: {e}",
+                                entry.seq
+                            ))
+                        })?;
+                    let rec = self.recorder.clone();
+                    let cfg = self.config.ingest.clone();
+                    let Some(ing) = self.ingest.as_mut() else {
+                        return Err(AllHandsError::Pipeline(
+                            "replication: no ingestion state to apply a delta into".to_string(),
+                        ));
+                    };
+                    if ord != ing.batches {
+                        return Err(AllHandsError::Pipeline(format!(
+                            "replication: batch {ord} arrived out of order (expected {})",
+                            ing.batches
+                        )));
+                    }
+                    self.resilience.restore(&snap.resilience);
+                    let batch = snap.texts.clone();
+                    let report = apply_ingest_snapshot(ing, &batch, snap, &rec, &cfg, ord)?;
+                    ing.batches = ord + 1;
+                    self.agent.set_frame(report.frame.clone());
+                    rec.incr("replica.batches_applied");
+                    ingest_batches += 1;
+                    self.maybe_checkpoint(ord);
+                }
+                "qa" => {
+                    let idx = entry
+                        .key
+                        .get(1..4)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .ok_or_else(|| {
+                            AllHandsError::Pipeline(format!(
+                                "replication: malformed qa key {:?} at seq {}",
+                                entry.key, entry.seq
+                            ))
+                        })?;
+                    let snap: QaSnapshot =
+                        allhands_journal::decode(&entry.payload).map_err(|e| {
+                            AllHandsError::Pipeline(format!(
+                                "replication: undecodable qa snapshot at seq {}: {e}",
+                                entry.seq
+                            ))
+                        })?;
+                    self.resilience.restore(&snap.resilience);
+                    self.answers.push(snap.record.clone());
+                    let _ = self.agent.restore_answer(snap.record);
+                    self.asked = self.asked.max(idx + 1);
+                    self.recorder.incr("replica.answers_applied");
+                    answers += 1;
+                }
+                // `stage1`/`stage2` snapshots only exist below any bundle's
+                // export point, and anything else is foreign: neither can
+                // be applied incrementally.
+                other => {
+                    return Err(AllHandsError::Pipeline(format!(
+                        "replication: stage {other:?} at seq {} cannot be applied incrementally; re-bootstrap the replica",
+                        entry.seq
+                    )));
+                }
+            }
+        }
+        let (next_seq, chain_head) = self
+            .journal
+            .as_ref()
+            .expect("journal presence checked above")
+            .chain_position();
+        Ok(TailReport {
+            applied: entries.len(),
+            ingest_batches,
+            answers,
+            next_seq,
+            chain_head,
+        })
+    }
+
     /// Remove one row's vector from the incremental document index (e.g. a
     /// user deletion request): similarity search stops returning it, while
     /// the structured frame keeps the row. Returns whether the id was
     /// present. Not journaled — a resumed run rebuilds the index with the
     /// row present until `retract` is called again.
     pub fn retract(&mut self, id: u64) -> Result<bool, AllHandsError> {
+        if self.replica {
+            return Err(AllHandsError::ReadOnly(
+                "replica session: retract goes to the leader; this session serves reads only"
+                    .to_string(),
+            ));
+        }
         let cfg = self.config.ingest.clone();
         let Some(ing) = self.ingest.as_mut() else {
             return Err(AllHandsError::Pipeline(
@@ -1881,20 +2172,40 @@ mod tests {
         let ex = |t: &str, l: &str| LabeledExample { text: t.into(), label: l.into() };
         // Identical flat byte sequence (t1, t2, e1, l1), three different
         // collection splits — every pair must fingerprint differently.
-        let a = run_fingerprint(tier, &["t1".into(), "t2".into()], &[ex("e1", "l1")], &[]);
-        let b = run_fingerprint(tier, &["t1".into()], &[ex("t2", "e1")], &["l1".into()]);
+        let pol = policy_digest(&AllHandsConfig::default());
+        let a = run_fingerprint(tier, &["t1".into(), "t2".into()], &[ex("e1", "l1")], &[], &pol);
+        let b = run_fingerprint(tier, &["t1".into()], &[ex("t2", "e1")], &["l1".into()], &pol);
         let c = run_fingerprint(
             tier,
             &["t1".into(), "t2".into()],
             &[],
             &["e1".into(), "l1".into()],
+            &pol,
         );
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(b, c);
         // And it stays deterministic for identical inputs.
-        let a2 = run_fingerprint(tier, &["t1".into(), "t2".into()], &[ex("e1", "l1")], &[]);
+        let a2 =
+            run_fingerprint(tier, &["t1".into(), "t2".into()], &[ex("e1", "l1")], &[], &pol);
         assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn run_fingerprint_pins_the_durability_policy() {
+        let tier = ModelTier::Gpt35;
+        let texts = vec!["t1".to_string()];
+        let base = policy_digest(&AllHandsConfig::default());
+        let changed_cfg = AllHandsConfig {
+            checkpoint: CheckpointPolicy { every_n_batches: 2, keep_last_k: 2 },
+            ..AllHandsConfig::default()
+        };
+        let changed = policy_digest(&changed_cfg);
+        assert_ne!(base, changed);
+        assert_ne!(
+            run_fingerprint(tier, &texts, &[], &[], &base),
+            run_fingerprint(tier, &texts, &[], &[], &changed)
+        );
     }
 
     #[test]
@@ -1939,7 +2250,7 @@ mod tests {
         for col in ["text", "label", "sentiment", "topics", "text_len"] {
             assert!(frame.has_column(col), "missing {col}");
         }
-        let r = ah.ask("How many feedback entries are there?");
+        let r = ah.ask("How many feedback entries are there?").expect("ask failed");
         assert!(r.error.is_none(), "{:?}", r.error);
         let report = ah.run_report();
         assert!(report.counter("classify.docs") >= 30);

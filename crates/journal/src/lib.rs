@@ -94,6 +94,19 @@ pub enum JournalError {
     /// A bootstrap bundle failed verification (hash, chain, or
     /// fingerprint) or the target journal is not empty.
     Bootstrap(String),
+    /// A tail read asked for a cursor the WAL no longer covers: the
+    /// entries behind `oldest` were compacted behind a checkpoint (or lost
+    /// to interior corruption), so the follower must re-bootstrap instead
+    /// of tailing.
+    TailGap {
+        /// The seq the reader asked to resume from.
+        cursor: u64,
+        /// The oldest seq the WAL can still serve contiguously.
+        oldest: u64,
+    },
+    /// A replicated line failed verification against this journal's chain
+    /// (wrong seq, broken hash, or a conflicting run fingerprint).
+    Replication(String),
 }
 
 impl std::fmt::Display for JournalError {
@@ -113,6 +126,11 @@ impl std::fmt::Display for JournalError {
                 write!(f, "journal is in read-only degraded mode: {m}")
             }
             JournalError::Bootstrap(m) => write!(f, "bootstrap bundle rejected: {m}"),
+            JournalError::TailGap { cursor, oldest } => write!(
+                f,
+                "tail cursor {cursor} predates the oldest retained entry {oldest} (compacted); re-bootstrap"
+            ),
+            JournalError::Replication(m) => write!(f, "replicated line rejected: {m}"),
         }
     }
 }
@@ -132,6 +150,18 @@ pub struct Entry {
     pub hash: String,
     /// The snapshot payload.
     pub payload: Value,
+}
+
+/// One raw WAL line handed to a replica by [`Journal::tail_after`]: the
+/// exact on-disk text (no trailing newline) plus its seq. Followers install
+/// it with [`Journal::append_raw`], keeping their WAL byte-identical to the
+/// leader's suffix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailEntry {
+    /// Chain position of the line.
+    pub seq: u64,
+    /// The exact on-disk line (no trailing newline).
+    pub line: String,
 }
 
 /// One verified checkpoint: a full-state snapshot anchored at a journal
@@ -947,15 +977,37 @@ impl Journal {
             serde_json::to_string(key).map_err(|e| JournalError::Codec(e.to_string()))?,
             payload
         );
-        match self.write_line_durably(&line) {
-            Ok(()) => {}
+        self.commit_line(&line)?;
+        self.rec.incr("journal.appends");
+        self.rec.incr("journal.fsyncs");
+        self.entries.push(Entry {
+            seq,
+            stage: stage.to_string(),
+            key: key.to_string(),
+            hash: hash_hex,
+            payload,
+        });
+        self.raw_lines.push(line);
+        self.last_hash = hash;
+        self.next_seq = seq + 1;
+        Ok(())
+    }
+
+    /// Make one rendered WAL line durable, applying the full write-failure
+    /// policy shared by [`Journal::append`] and [`Journal::append_raw`]: a
+    /// failed fsync poisons the handle (reopen + re-truncate, never
+    /// acknowledge); `ENOSPC` triggers one compact-then-retry; a second
+    /// failure trips read-only degraded mode.
+    fn commit_line(&mut self, line: &str) -> Result<(), JournalError> {
+        match self.write_line_durably(line) {
+            Ok(()) => Ok(()),
             Err(WriteFail::Fsync(e)) => {
                 self.count_io_fault(&e, "fsync");
                 self.poison_recover();
-                return Err(JournalError::Io(format!(
+                Err(JournalError::Io(format!(
                     "append {}: fsync failed, entry not acknowledged: {e}",
                     self.path.display()
-                )));
+                )))
             }
             Err(WriteFail::Write(e)) => {
                 self.count_io_fault(&e, "write");
@@ -976,8 +1028,8 @@ impl Journal {
                 // what decides.
                 self.rec.incr("journal.enospc_compactions");
                 let _ = self.compact(1);
-                match self.write_line_durably(&line) {
-                    Ok(()) => {}
+                match self.write_line_durably(line) {
+                    Ok(()) => Ok(()),
                     Err(fail) => {
                         let (site, err) = match &fail {
                             WriteFail::Write(e) => ("write", e),
@@ -995,26 +1047,133 @@ impl Journal {
                             WriteFail::Fsync(_) => self.poison_recover(),
                         }
                         self.trip_read_only(msg);
-                        return Err(JournalError::ReadOnly(
+                        Err(JournalError::ReadOnly(
                             self.read_only.clone().unwrap_or_default(),
-                        ));
+                        ))
                     }
                 }
             }
         }
+    }
+
+    /// Verified entries with `seq >= after`, in chain order. A structured
+    /// view of the tail for in-process consumers; replication wants
+    /// [`Journal::tail_after`] (the exact on-disk lines) instead.
+    pub fn entries_after(&self, after: u64) -> &[Entry] {
+        let start = self.entries.partition_point(|e| e.seq < after);
+        &self.entries[start..]
+    }
+
+    /// The WAL suffix from `cursor` (inclusive) to the chain head, as exact
+    /// on-disk lines for replication. Empty when the cursor is already at
+    /// the head. Returns [`JournalError::TailGap`] when the cursor predates
+    /// the oldest retained entry (compacted away) or an interior
+    /// verification gap interrupts the window — either way the follower
+    /// cannot extend its chain from here and must re-bootstrap.
+    pub fn tail_after(&self, cursor: u64) -> Result<Vec<TailEntry>, JournalError> {
+        if cursor >= self.next_seq {
+            return Ok(Vec::new());
+        }
+        let start = self.entries.partition_point(|e| e.seq < cursor);
+        let window = &self.entries[start..];
+        match window.first() {
+            None => Err(JournalError::TailGap { cursor, oldest: self.next_seq }),
+            Some(first) if first.seq != cursor => {
+                Err(JournalError::TailGap { cursor, oldest: first.seq })
+            }
+            Some(_) => {
+                // Interior corruption can leave a verified-but-gapped entry
+                // list; a gap inside the window must not ship silently.
+                for (i, e) in window.iter().enumerate() {
+                    if e.seq != cursor + i as u64 {
+                        return Err(JournalError::TailGap { cursor, oldest: e.seq });
+                    }
+                }
+                Ok(window
+                    .iter()
+                    .zip(&self.raw_lines[start..])
+                    .map(|(e, l)| TailEntry { seq: e.seq, line: l.clone() })
+                    .collect())
+            }
+        }
+    }
+
+    /// Install one replicated WAL line — a leader's exact on-disk text from
+    /// [`Journal::tail_after`]. The line is verified before it touches the
+    /// file: it must parse, continue this journal's seq, and its recorded
+    /// hash must extend this journal's chain head. A `header/run` line must
+    /// agree with any fingerprint already established. Durability and
+    /// failure handling are identical to [`Journal::append`], so the
+    /// follower's WAL stays byte-identical to the leader's suffix. Returns
+    /// the installed entry.
+    pub fn append_raw(&mut self, line: &str) -> Result<Entry, JournalError> {
+        if let Some(reason) = &self.read_only {
+            return Err(JournalError::ReadOnly(reason.clone()));
+        }
+        let (seq, stage, key, hash_hex, payload) = Self::parse_line(line).ok_or_else(|| {
+            JournalError::Replication("line does not parse as a journal entry".to_string())
+        })?;
+        if seq != self.next_seq {
+            return Err(JournalError::Replication(format!(
+                "line has seq {seq}, this journal expects {}",
+                self.next_seq
+            )));
+        }
+        let recorded = u64::from_str_radix(&hash_hex, 16)
+            .map_err(|_| JournalError::Replication(format!("unparsable hash {hash_hex:?}")))?;
+        let expect = entry_hash(self.last_hash, seq, &stage, &key, &payload);
+        if recorded != expect {
+            return Err(JournalError::Replication(format!(
+                "seq {seq} breaks the hash chain (recorded {hash_hex}, expected {expect:016x})"
+            )));
+        }
+        if stage == "header" && key == "run" {
+            if let Value::String(fp) = &payload {
+                match &self.run {
+                    Some(existing) if existing != fp => {
+                        return Err(JournalError::Replication(format!(
+                            "header fingerprint {fp} conflicts with established run {existing}"
+                        )));
+                    }
+                    _ => self.run = Some(fp.clone()),
+                }
+            }
+        }
+        self.commit_line(line)?;
         self.rec.incr("journal.appends");
         self.rec.incr("journal.fsyncs");
-        self.entries.push(Entry {
+        self.rec.incr("journal.replica_appends");
+        let entry = Entry {
             seq,
-            stage: stage.to_string(),
-            key: key.to_string(),
+            stage,
+            key,
             hash: hash_hex,
             payload,
-        });
-        self.raw_lines.push(line);
-        self.last_hash = hash;
+        };
+        self.entries.push(entry.clone());
+        self.raw_lines.push(line.to_string());
+        self.last_hash = recorded;
         self.next_seq = seq + 1;
-        Ok(())
+        Ok(entry)
+    }
+
+    /// The chain head as fixed-width hex — the hash the next append will
+    /// link from. Two journals at the same [`Journal::next_seq`] with equal
+    /// chain heads hold byte-identical entry histories.
+    pub fn chain_head(&self) -> String {
+        format!("{:016x}", self.last_hash)
+    }
+
+    /// `(next_seq, chain_head)` — the replication cursor position, compared
+    /// across leader and followers to assert convergence.
+    pub fn chain_position(&self) -> (u64, String) {
+        (self.next_seq, self.chain_head())
+    }
+
+    /// The run fingerprint this journal is bound to, once established by
+    /// `ensure_run`, a bootstrap install, or a replicated header line.
+    pub fn run_fingerprint(&self) -> Option<&str> {
+        self.run.as_deref()
     }
 
     /// Write checkpoint `marker` atomically: temp file, half-write and full
@@ -2234,6 +2393,100 @@ mod tests {
                 "compact:committed",
             ]
         );
+        drop(j);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_after_replicates_byte_identically() {
+        let leader_dir = scratch("tail-leader");
+        let follower_dir = scratch("tail-follower");
+        let mut leader = Journal::open(&leader_dir).unwrap();
+        leader.ensure_run("feed").unwrap();
+        leader.append("ingest", "b00000:aa", &Snap { labels: vec!["x".into()], count: 1 }).unwrap();
+        leader.append("qa", "q000:bb", &"answer".to_string()).unwrap();
+
+        let mut follower = Journal::open(&follower_dir).unwrap();
+        let mut cursor = follower.next_seq();
+        for te in leader.tail_after(cursor).unwrap() {
+            let entry = follower.append_raw(&te.line).unwrap();
+            assert_eq!(entry.seq, te.seq);
+        }
+        cursor = follower.next_seq();
+        assert_eq!(follower.chain_position(), leader.chain_position());
+        assert_eq!(follower.run_fingerprint(), Some("feed"));
+
+        // Tail at head is empty; new leader entries flow incrementally.
+        assert!(leader.tail_after(cursor).unwrap().is_empty());
+        leader.append("qa", "q001:cc", &"more".to_string()).unwrap();
+        for te in leader.tail_after(cursor).unwrap() {
+            follower.append_raw(&te.line).unwrap();
+        }
+        assert_eq!(follower.chain_position(), leader.chain_position());
+        assert_eq!(
+            std::fs::read(leader_dir.join(JOURNAL_FILE)).unwrap(),
+            std::fs::read(follower_dir.join(JOURNAL_FILE)).unwrap()
+        );
+        drop(leader);
+        drop(follower);
+        std::fs::remove_dir_all(&leader_dir).unwrap();
+        std::fs::remove_dir_all(&follower_dir).unwrap();
+    }
+
+    #[test]
+    fn append_raw_rejects_gap_fork_and_tamper() {
+        let leader_dir = scratch("rawreject-leader");
+        let follower_dir = scratch("rawreject-follower");
+        let mut leader = Journal::open(&leader_dir).unwrap();
+        leader.ensure_run("feed").unwrap();
+        leader.append("stage", "one", &1u64).unwrap();
+        leader.append("stage", "two", &2u64).unwrap();
+        let tail = leader.tail_after(0).unwrap();
+
+        let mut follower = Journal::open(&follower_dir).unwrap();
+        // Skipping a line is a seq gap.
+        let err = follower.append_raw(&tail[1].line).unwrap_err();
+        assert!(matches!(err, JournalError::Replication(_)), "{err}");
+        follower.append_raw(&tail[0].line).unwrap();
+        // A tampered payload breaks the chain hash.
+        let tampered = tail[1].line.replacen("\"payload\":1", "\"payload\":7", 1);
+        let err = follower.append_raw(&tampered).unwrap_err();
+        assert!(matches!(err, JournalError::Replication(_)), "{err}");
+        // Garbage does not parse.
+        let err = follower.append_raw("not json").unwrap_err();
+        assert!(matches!(err, JournalError::Replication(_)), "{err}");
+        // The valid line still installs after the rejects (chain untouched).
+        follower.append_raw(&tail[1].line).unwrap();
+        follower.append_raw(&tail[2].line).unwrap();
+        assert_eq!(follower.chain_position(), leader.chain_position());
+        drop(leader);
+        drop(follower);
+        std::fs::remove_dir_all(&leader_dir).unwrap();
+        std::fs::remove_dir_all(&follower_dir).unwrap();
+    }
+
+    #[test]
+    fn tail_after_reports_compaction_gap() {
+        let dir = scratch("tailgap");
+        let mut j = Journal::open(&dir).unwrap();
+        j.ensure_run("feed").unwrap();
+        j.append("ingest", "b00000:aa", &1u64).unwrap();
+        j.checkpoint(1, &"s".to_string()).unwrap();
+        j.append("qa", "q000:bb", &2u64).unwrap();
+        j.compact(1).unwrap();
+        // Entries 0..2 are compacted behind the checkpoint; a follower
+        // whose cursor predates the anchor must re-bootstrap.
+        let err = j.tail_after(0).unwrap_err();
+        assert!(
+            matches!(err, JournalError::TailGap { cursor: 0, oldest: 2 }),
+            "{err}"
+        );
+        // A cursor at the anchor (or past it) still tails fine.
+        assert_eq!(j.tail_after(2).unwrap().len(), 1);
+        assert!(j.tail_after(3).unwrap().is_empty());
+        // entries_after mirrors the structured view.
+        assert_eq!(j.entries_after(0).len(), 1);
+        assert_eq!(j.entries_after(3).len(), 0);
         drop(j);
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -38,7 +38,9 @@ use std::sync::{Arc, Mutex};
 
 /// One open file handle behind the [`Vfs`]. Only the operations the
 /// journal actually performs are exposed; each is a single fault site.
-pub trait VfsFile: Send {
+/// `Send + Sync` so a session holding a handle can sit behind a shared
+/// lock (the serve layer fans reads across replica sessions).
+pub trait VfsFile: Send + Sync {
     /// Write the whole buffer (appending if the file was opened append).
     fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
     /// Flush and fsync file contents and metadata.

@@ -20,6 +20,12 @@
 //! be opened/closed on one thread (the pipeline driver thread); parallel
 //! workers contribute counters, never spans, which is what keeps the span tree
 //! deterministic.
+//!
+//! The serve layer's `serve.*` metric family (queue depth, replication lag,
+//! per-replica read counts, replicated entries) is volatile by construction —
+//! the values depend on connection and applier-thread interleaving — so the
+//! server records them exclusively through the volatile annex (`vincr` /
+//! `vadd` / `vobserve`) and opens no spans at all.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};

@@ -1,0 +1,115 @@
+//! `allhands-serve` — stand up a leader + N follower replicas over a
+//! synthetic corpus and serve the length-prefixed JSON protocol on a Unix
+//! socket.
+//!
+//! ```text
+//! allhands-serve --socket /tmp/allhands.sock --data-dir /tmp/allhands-data \
+//!                --followers 2 --corpus 64 --seed 17
+//! allhands-serve --smoke            # in-process end-to-end check, then exit
+//! ```
+
+use allhands_serve::{smoke, Corpus, ServeOptions, Server};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    socket: PathBuf,
+    data_dir: PathBuf,
+    followers: usize,
+    corpus: usize,
+    seed: u64,
+    smoke: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: allhands-serve [--socket PATH] [--data-dir DIR] [--followers N]\n\
+         \x20                    [--corpus N] [--seed S] [--smoke]\n\
+         \n\
+         --socket PATH     Unix socket to listen on (default /tmp/allhands-serve.sock)\n\
+         --data-dir DIR    journal directories, one per session (default /tmp/allhands-serve-data)\n\
+         --followers N     read replicas to bring up (default 2)\n\
+         --corpus N        synthetic corpus size for the initial analyze (default 64)\n\
+         --seed S          corpus generator seed (default 17)\n\
+         --smoke           run the in-process end-to-end smoke and exit"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        socket: PathBuf::from("/tmp/allhands-serve.sock"),
+        data_dir: PathBuf::from("/tmp/allhands-serve-data"),
+        followers: 2,
+        corpus: 64,
+        seed: 17,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match flag.as_str() {
+            "--socket" => args.socket = PathBuf::from(val("--socket")),
+            "--data-dir" => args.data_dir = PathBuf::from(val("--data-dir")),
+            "--followers" => {
+                args.followers = val("--followers").parse().unwrap_or_else(|_| usage())
+            }
+            "--corpus" => args.corpus = val("--corpus").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if args.smoke {
+        let pid = std::process::id();
+        let socket = std::env::temp_dir().join(format!("ah-serve-smoke-{pid}.sock"));
+        let data_dir = std::env::temp_dir().join(format!("ah-serve-smoke-{pid}"));
+        std::fs::remove_dir_all(&data_dir).ok();
+        let result = smoke(&socket, &data_dir, args.followers.max(1));
+        std::fs::remove_dir_all(&data_dir).ok();
+        std::fs::remove_file(&socket).ok();
+        return match result {
+            Ok(summary) => {
+                println!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("serve smoke FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let corpus = Corpus::synthetic(args.corpus, args.seed);
+    let opts = ServeOptions { followers: args.followers, ..ServeOptions::default() };
+    let server = match Server::start(&args.socket, &args.data_dir, &corpus, opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "allhands-serve: leader + {} followers on {} (corpus {} docs); \
+         send {{\"op\":\"shutdown\"}} to stop",
+        args.followers.max(1),
+        server.socket().display(),
+        args.corpus
+    );
+    server.run_until_shutdown();
+    println!("allhands-serve: shut down");
+    ExitCode::SUCCESS
+}

@@ -48,7 +48,7 @@ fn main() {
         "Based on the feedback, what action can be done to improve the product?",
     ] {
         println!("\nQ: {question}");
-        println!("{}", allhands.ask(question).render());
+        println!("{}", allhands.ask(question).expect("ask failed").render());
     }
 
     // What the run did, by the numbers: spans, counters, histograms.

@@ -49,7 +49,7 @@ fn main() {
         "Based on the data, what can be improved to improve the users' satisfaction?",
     ] {
         println!("\nQ: {question}");
-        let response = allhands.ask(question);
+        let response = allhands.ask(question).expect("ask failed");
         println!("{}", response.render());
     }
 }

@@ -1,0 +1,69 @@
+//! Client walk-through for `allhands-serve`: brings a server up in-process
+//! (leader + 2 followers on a tmp Unix socket), then drives it the way an
+//! external client would — ingest through the admission queue, questions
+//! and similarity search fanned across the replicas, and a status check
+//! that the replicas converged on the leader's journal chain.
+//!
+//! To talk to a standalone server instead, run `allhands-serve` in another
+//! terminal and point `ServeClient::connect` at its socket.
+//!
+//! ```sh
+//! cargo run --release --example serve_client
+//! ```
+
+use allhands::serve::{Corpus, ServeClient, ServeOptions, Server};
+use std::time::Duration;
+
+fn main() {
+    let pid = std::process::id();
+    let socket = std::env::temp_dir().join(format!("allhands-serve-example-{pid}.sock"));
+    let data_dir = std::env::temp_dir().join(format!("allhands-serve-example-{pid}"));
+    std::fs::remove_dir_all(&data_dir).ok();
+
+    // Server side: analyze a synthetic corpus on the leader, bootstrap two
+    // follower replicas from it, start serving.
+    let corpus = Corpus::synthetic(48, 17);
+    let opts = ServeOptions { followers: 2, ..ServeOptions::default() };
+    let server = Server::start(&socket, &data_dir, &corpus, opts).expect("server start failed");
+    println!("server up on {}", server.socket().display());
+
+    // Client side: everything below goes over the socket.
+    let mut client = ServeClient::connect(&socket).expect("connect failed");
+
+    let batch: Vec<String> = [
+        "battery drains overnight even when idle",
+        "phone gets hot and battery dies fast since update",
+        "standby battery drain is terrible now",
+    ]
+    .map(String::from)
+    .to_vec();
+    let ingest = client.ingest(&batch).expect("ingest failed");
+    println!(
+        "ingested batch {} ({} rows); leader journal head is now seq {}",
+        ingest.batch, ingest.new_rows, ingest.seq
+    );
+
+    client.wait_replicated(Duration::from_secs(30)).expect("replication stalled");
+
+    for question in [
+        "How many feedback entries are there?",
+        "Which topic appears most frequently?",
+    ] {
+        let reply = client.ask(question).expect("ask failed");
+        println!(
+            "\nQ: {question}\n(replica {} answered, {} entries behind the leader)\n{}",
+            reply.replica, reply.lag, reply.answer
+        );
+    }
+
+    let hits = client.search("battery drain", 3).expect("search failed");
+    println!("\nnearest to \"battery drain\": {hits:?}");
+
+    let status = client.status().expect("status failed");
+    println!("\nstatus: {status}");
+
+    client.shutdown().expect("shutdown failed");
+    server.run_until_shutdown();
+    std::fs::remove_dir_all(&data_dir).ok();
+    println!("server shut down cleanly");
+}

@@ -37,6 +37,13 @@
 #                   Vfs op index, sustained-ENOSPC read-only trip, proptest
 #                   fault fuzz) and the follower-bootstrap suite at threads
 #                   {1,8}.
+#   --serve-smoke   run the serving/replication suite (kill-at-every-entry
+#                   reconnect sweep, lag reporting, replica write refusal),
+#                   then the allhands-serve end-to-end smoke — leader + 2
+#                   followers on a Unix socket, reads served during an
+#                   ingest, chains and fingerprints asserted converged —
+#                   and the serve stage of the pipeline bench (qps at 1 vs
+#                   3 replicas; recorded, not asserted).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,6 +63,7 @@ ingest_smoke=0
 checkpoint_smoke=0
 scaling_smoke=0
 iofault_smoke=0
+serve_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
@@ -65,6 +73,7 @@ for arg in "$@"; do
     --checkpoint-smoke) checkpoint_smoke=1 ;;
     --scaling-smoke) scaling_smoke=1 ;;
     --iofault-smoke) iofault_smoke=1 ;;
+    --serve-smoke) serve_smoke=1 ;;
     *)
       echo "verify: unknown flag $arg" >&2
       exit 2
@@ -133,6 +142,18 @@ if [[ "$iofault_smoke" == 1 ]]; then
     echo "==> iofault smoke: ALLHANDS_THREADS=$threads"
     ALLHANDS_THREADS=$threads cargo test -q --test storage_faults --test bootstrap_follower
   done
+fi
+
+if [[ "$serve_smoke" == 1 ]]; then
+  echo "==> serve smoke (replication sweep, then leader + 2 followers end-to-end)"
+  cargo test -q --test serve_replication
+  cargo run --release -p allhands-serve --bin allhands-serve -- --smoke --followers 2
+  serve_dir="$(mktemp -d)"
+  tmp_dirs+=("$serve_dir")
+  cargo run --release -p allhands-bench --bin pipeline_bench -- \
+    --smoke --only serve --out "$serve_dir/BENCH_serve.json"
+  cargo run --release -p allhands-bench --bin pipeline_bench -- \
+    --validate "$serve_dir/BENCH_serve.json"
 fi
 
 echo "verify: OK"

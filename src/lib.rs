@@ -24,6 +24,9 @@
 //!   checkpoint store, compaction, and point-in-time recovery.
 //! - [`obs`] — deterministic tracing and metrics: hierarchical spans,
 //!   counters/histograms, and the schema-stable [`RunReport`](obs::RunReport).
+//! - [`serve`] — the leader/follower session server: write admission
+//!   queue, journal-tail replication to read replicas, and the
+//!   length-prefixed JSON wire protocol.
 //!
 //! For application code, `use allhands::prelude::*;` pulls in the dozen
 //! types a typical run touches.
@@ -41,6 +44,7 @@ pub use allhands_obs as obs;
 pub use allhands_par as par;
 pub use allhands_query as query;
 pub use allhands_resilience as resilience;
+pub use allhands_serve as serve;
 pub use allhands_text as text;
 pub use allhands_topics as topics;
 pub use allhands_vectordb as vectordb;
@@ -56,7 +60,7 @@ pub mod prelude {
         AllHands, AllHandsBuilder, AllHandsConfig, AllHandsError, AnalyzeOptions,
         BootstrapBundle, CheckpointPolicy, FaultVfs, IngestConfig, IngestReport,
         IoFaultKind, IoFaultPlan, JournalMode, QuarantineReport, RecorderMode,
-        RecoverPoint, Response, Vfs,
+        RecoverPoint, Response, TailEntry, TailReport, Vfs,
     };
     pub use allhands_dataframe::DataFrame;
     pub use allhands_llm::ModelTier;

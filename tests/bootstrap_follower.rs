@@ -107,7 +107,7 @@ fn leader(dir: &Path, config: AllHandsConfig, vfs: Option<Arc<dyn Vfs>>) -> (All
 fn qa_transcript(ah: &mut AllHands) -> String {
     let mut out = String::new();
     for q in QUESTIONS {
-        let r = ah.ask(q);
+        let r = ah.ask(q).expect("ask failed");
         assert!(r.error.is_none(), "{q:?} errored: {:?}", r.error);
         out.push_str("\n=== ");
         out.push_str(q);

@@ -45,7 +45,7 @@ fn transcript(config: AllHandsConfig) -> String {
     let mut out = String::new();
     out.push_str(&frame.to_table_string(200));
     for q in QUESTIONS {
-        let r = ah.ask(q);
+        let r = ah.ask(q).expect("ask failed");
         assert!(r.error.is_none(), "question {q:?} errored: {:?}", r.error);
         // Every degraded answer is explicit about it.
         if !r.degradation.is_empty() {

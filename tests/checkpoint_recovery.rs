@@ -134,7 +134,7 @@ fn tail_transcript(ah: &mut AllHands, frame: Option<&DataFrame>) -> String {
         out.push_str(&frame.to_table_string(100));
     }
     for q in QUESTIONS {
-        let r = ah.ask(q);
+        let r = ah.ask(q).expect("ask failed");
         assert!(r.error.is_none(), "question {q:?} errored: {:?}", r.error);
         out.push_str("\n=== ");
         out.push_str(q);
@@ -224,7 +224,7 @@ fn seed_journal(config: AllHandsConfig, dir: &Path, ask: bool) -> String {
     }
     if ask {
         for q in QUESTIONS {
-            let r = ah.ask(q);
+            let r = ah.ask(q).expect("ask failed");
             assert!(r.error.is_none());
         }
     }
@@ -365,11 +365,13 @@ fn kill_at_every_checkpoint_and_compaction_seam_recovers_byte_identical() {
 #[test]
 fn recover_at_restores_each_batch_boundary_byte_identically() {
     let _g = GLOBAL_GUARD.lock().unwrap_or_else(|p| p.into_inner());
-    let config = || tuned(AllHandsConfig::default());
+    // The durability policy is part of the run fingerprint, so recovery
+    // must re-state the policy the journal was written under.
+    let config = || with_policy(tuned(AllHandsConfig::default()), 1, 8);
     let frames = prefix_frames(config());
     // every=1, keep=8: every batch boundary has its own durable checkpoint.
     let dir = scratch_dir("pit");
-    seed_journal(with_policy(config(), 1, 8), &dir, false);
+    seed_journal(config(), &dir, false);
     for k in 0..batches().len() {
         let (ah, frame) = recover(config(), &dir, Some(k)).expect("recover_at must succeed");
         assert_eq!(
@@ -383,7 +385,7 @@ fn recover_at_restores_each_batch_boundary_byte_identically() {
     let (mut ah, frame) = recover(config(), &dir, None).expect("recover_latest must succeed");
     assert_eq!(frame, frames[batches().len()], "recover_latest diverged");
     // The recovered session stays live: it answers questions and ingests.
-    let r = ah.ask(QUESTIONS[0]);
+    let r = ah.ask(QUESTIONS[0]).expect("ask failed");
     assert!(r.error.is_none());
     let rep = ah.ingest(&batches()[0]).unwrap();
     assert_eq!(rep.batch, batches().len());
@@ -394,13 +396,13 @@ fn recover_at_restores_each_batch_boundary_byte_identically() {
 #[test]
 fn recovery_replays_forward_from_the_nearest_checkpoint() {
     let _g = GLOBAL_GUARD.lock().unwrap_or_else(|p| p.into_inner());
-    let config = || tuned(AllHandsConfig::default());
+    let config = || with_policy(tuned(AllHandsConfig::default()), 2, 8);
     let frames = prefix_frames(config());
     // every=2, keep=8: one checkpoint at batch 1; batch 2 is reachable only
     // by restoring it and replaying the surviving delta forward; batch 0's
     // delta was compacted away, so that point in time is gone.
     let dir = scratch_dir("forward");
-    seed_journal(with_policy(config(), 2, 8), &dir, false);
+    seed_journal(config(), &dir, false);
 
     let (ah, frame) = recover(config(), &dir, Some(1)).expect("checkpointed batch must recover");
     assert_eq!(frame, frames[2], "direct checkpoint restore diverged");
@@ -522,13 +524,13 @@ fn corrupt_file(path: &Path, rng: &mut u64, round: usize) {
 #[test]
 fn corruption_always_degrades_to_a_durable_checkpoint() {
     let _g = GLOBAL_GUARD.lock().unwrap_or_else(|p| p.into_inner());
-    let config = || tuned(AllHandsConfig::default());
+    let config = || with_policy(tuned(AllHandsConfig::default()), 1, 2);
     let frames = prefix_frames(config());
     let full = &frames[batches().len()];
     // Pristine compacted journal: checkpoints at batches 2 and 3 (keep=2)
     // plus the surviving batch-3 delta in the WAL.
     let pristine = scratch_dir("fuzz-pristine");
-    seed_journal(with_policy(config(), 1, 2), &pristine, false);
+    seed_journal(config(), &pristine, false);
     let targets: Vec<PathBuf> = {
         let mut files: Vec<PathBuf> = std::fs::read_dir(&pristine)
             .unwrap()

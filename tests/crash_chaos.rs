@@ -60,7 +60,7 @@ fn render_transcript(ah: &mut AllHands, frame: &DataFrame) -> String {
     let mut out = String::new();
     out.push_str(&frame.to_table_string(200));
     for q in QUESTIONS {
-        let r = ah.ask(q);
+        let r = ah.ask(q).expect("ask failed");
         assert!(r.error.is_none(), "question {q:?} errored: {:?}", r.error);
         out.push_str("\n=== ");
         out.push_str(q);

@@ -107,7 +107,7 @@ fn render_transcript(ah: &mut AllHands, frame: &DataFrame) -> String {
         out.push_str(&rep.frame.to_table_string(100));
     }
     for q in QUESTIONS {
-        let r = ah.ask(q);
+        let r = ah.ask(q).expect("ask failed");
         assert!(r.error.is_none(), "question {q:?} errored: {:?}", r.error);
         out.push_str("\n=== ");
         out.push_str(q);
@@ -294,7 +294,7 @@ fn ingest_span_family_and_counters() {
         ah.ingest(batch).unwrap();
     }
     // QA over the extended frame: the agent sees every ingested row.
-    let r = ah.ask("How many feedback entries are there?");
+    let r = ah.ask("How many feedback entries are there?").expect("ask failed");
     assert!(r.render().contains(&(texts.len() + total).to_string()), "{}", r.render());
 
     let report = ah.run_report();

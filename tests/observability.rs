@@ -3,8 +3,8 @@
 //! - deterministic metrics (counters, histograms, meta, span-tree shape) are
 //!   byte-identical across thread counts, clean AND under 30% chaos;
 //! - the span tree of a known run has a pinned shape;
-//! - the builder facade and the deprecated shims produce byte-identical
-//!   transcripts;
+//! - spelling the durability policy out via `.ingest_config()` /
+//!   `.checkpoints()` is byte-identical to the defaults;
 //! - a disabled recorder (the default) yields an empty report;
 //! - `JournalMode::Fresh` refuses a journal that already has entries.
 
@@ -47,7 +47,7 @@ fn instrumented_run(config: AllHandsConfig, n: usize) -> (String, RunReport) {
     let mut out = String::new();
     out.push_str(&frame.to_table_string(200));
     for q in QUESTIONS {
-        out.push_str(&ah.ask(q).render());
+        out.push_str(&ah.ask(q).expect("ask failed").render());
     }
     let report = ah.run_report();
     (out, report)
@@ -116,33 +116,31 @@ fn span_tree_shape_is_pinned() {
 }
 
 #[test]
-fn builder_and_deprecated_shims_are_byte_identical() {
+fn explicit_policy_builder_methods_match_the_defaults() {
     let _g = OVERRIDE_GUARD.lock().unwrap_or_else(|p| p.into_inner());
     let (texts, labeled, predefined) = corpus(40);
-    let run = |via_shim: bool| -> String {
-        let (mut ah, frame) = if via_shim {
-            #[allow(deprecated)]
-            AllHands::analyze(
-                ModelTier::Gpt4,
-                &texts,
-                &labeled,
-                &predefined,
-                AllHandsConfig::default(),
-            )
-            .expect("shim run failed")
+    // Spelling the default durability policy out through the dedicated
+    // builder methods must be byte-identical to relying on the defaults —
+    // including the run fingerprint, which pins the policy.
+    let run = |explicit: bool| -> String {
+        let builder = AllHands::builder(ModelTier::Gpt4);
+        let builder = if explicit {
+            builder
+                .ingest_config(IngestConfig::default())
+                .checkpoints(CheckpointPolicy::default())
         } else {
-            AllHands::builder(ModelTier::Gpt4)
-                .analyze(&texts, &labeled, &predefined)
-                .expect("builder run failed")
+            builder
         };
+        let (mut ah, frame) =
+            builder.analyze(&texts, &labeled, &predefined).expect("builder run failed");
         let mut out = frame.to_table_string(200);
         for q in QUESTIONS {
-            out.push_str(&ah.ask(q).render());
+            out.push_str(&ah.ask(q).expect("ask failed").render());
         }
         out.push_str(&ah.quarantine_report().to_string());
         out
     };
-    assert_eq!(run(false), run(true), "builder and deprecated shim diverged");
+    assert_eq!(run(false), run(true), "explicit-policy builder diverged from defaults");
 }
 
 #[test]
@@ -153,7 +151,7 @@ fn disabled_recorder_yields_empty_report() {
     let (mut ah, _frame) = AllHands::builder(ModelTier::Gpt4)
         .analyze(&texts, &labeled, &predefined)
         .expect("pipeline failed");
-    let _ = ah.ask(QUESTIONS[0]);
+    let _ = ah.ask(QUESTIONS[0]).expect("ask failed");
     assert!(!ah.recorder().is_enabled());
     let report = ah.run_report();
     assert!(report.is_empty(), "disabled recorder must record nothing");

@@ -79,15 +79,15 @@ fn classification_beats_majority_baseline() {
 #[test]
 fn qa_supports_followups_in_one_session() {
     let (mut allhands, _) = build();
-    let r1 = allhands.ask("How many feedback entries are there?");
+    let r1 = allhands.ask("How many feedback entries are there?").expect("ask failed");
     assert!(r1.error.is_none(), "{:?}", r1.error);
     match r1.shown.first() {
         Some(RtValue::Scalar(v)) => assert_eq!(v.as_f64(), Some(300.0)),
         other => panic!("unexpected output {other:?}"),
     }
-    let r2 = allhands.ask("Which topic appears most frequently?");
+    let r2 = allhands.ask("Which topic appears most frequently?").expect("ask failed");
     assert!(r2.error.is_none());
-    let r3 = allhands.ask("Based on the feedback, what can be improved to improve the users' satisfaction?");
+    let r3 = allhands.ask("Based on the feedback, what can be improved to improve the users' satisfaction?").expect("ask failed");
     assert!(r3.error.is_none());
     assert!(r3.text_content().contains("1."), "no numbered recommendations");
     assert_eq!(allhands.agent_mut().history().len(), 3);
