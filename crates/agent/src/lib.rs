@@ -83,6 +83,7 @@ impl QaAgent {
         let mut session = Session::new(config.limits);
         session.bind_frame("feedback", feedback);
         let resilience = Arc::new(ResilienceCtx::new(config.resilience));
+        session.set_recorder(resilience.recorder().clone());
         QaAgent { llm, session, schema, config, history: Vec::new(), resilience }
     }
 
@@ -101,6 +102,7 @@ impl QaAgent {
     /// call counts land in the same report.
     pub fn set_resilience(&mut self, ctx: Arc<ResilienceCtx>) {
         self.llm.set_recorder(ctx.recorder().clone());
+        self.session.set_recorder(ctx.recorder().clone());
         self.resilience = ctx;
     }
 

@@ -16,6 +16,13 @@
 //! is *recorded*, never asserted: on a 1-core host extra replicas buy
 //! nothing and the JSON says so.
 //!
+//! Schema v6 adds a `query` stage — the same AQL program through the
+//! row-wise interpreter (`serial_ms`) vs the vectorized plan executor
+//! (`parallel_ms`), with plan-cache hit counts. Transcript equality across
+//! engines and a 100% warm-cache hit rate ARE asserted (they are
+//! deterministic contracts, not hardware-dependent numbers); the speedup is
+//! recorded only.
+//!
 //! Usage:
 //!   pipeline_bench                     full sizes, writes BENCH_pipeline.json
 //!   pipeline_bench --out PATH          choose the output path
@@ -46,9 +53,10 @@ use allhands_vectordb::{FlatIndex, Record, SearchResult, VectorIndex};
 use serde_json::{Map, Value};
 use std::time::Instant;
 
-const SCHEMA_VERSION: u64 = 5;
-const STAGES: [&str; 8] =
-    ["classify", "hac", "search", "scaling", "pipeline", "ingest", "recovery", "serve"];
+const SCHEMA_VERSION: u64 = 6;
+const STAGES: [&str; 9] = [
+    "classify", "hac", "search", "scaling", "query", "pipeline", "ingest", "recovery", "serve",
+];
 
 /// Thread counts swept by the scaling stage.
 const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -111,6 +119,9 @@ fn main() {
     }
     if run("scaling") {
         stages.insert("scaling".to_string(), bench_scaling(smoke));
+    }
+    if run("query") {
+        stages.insert("query".to_string(), bench_query(smoke));
     }
     if run("pipeline") {
         stages.insert("pipeline".to_string(), bench_pipeline(smoke));
@@ -475,6 +486,69 @@ fn bench_scaling(smoke: bool) -> Value {
                 Value::Array(SCALING_THREADS.iter().map(|&t| Value::U64(t as u64)).collect()),
             ),
             ("curves", Value::Array(curves)),
+        ],
+    )
+}
+
+fn bench_query(smoke: bool) -> Value {
+    use allhands_datasets::dataset_frame;
+    use allhands_query::{QueryEngine, RtValue, Session, SessionLimits};
+
+    let (rows, repeats) = if smoke { (2_000, 5) } else { (20_000, 10) };
+    let records = generate_n(DatasetKind::GoogleStoreApp, rows, 42);
+    let frame = dataset_frame(DatasetKind::GoogleStoreApp, &records);
+    // The canonical generated-program shape: derive → filter → group_by →
+    // sort → head. The derive and filter hit the typed numeric batch
+    // kernels, projection pruning drops the text column before any rows
+    // materialize, and the sort+head pair fuses into top-k.
+    let program = r#"show(feedback.derive("s2", sentiment * 2.0 + text_len * 0.5 - 1.0).filter(s2 > 50.0 && sentiment >= -1.0).group_by("label", mean("s2"), count()).sort("count", "desc").head(5))"#;
+
+    let transcript = |shown: &[RtValue]| -> String {
+        shown.iter().map(|v| v.render()).collect::<Vec<_>>().join("\n")
+    };
+    let run = |engine: QueryEngine| -> (f64, Vec<String>, Session) {
+        let mut session = Session::new(SessionLimits::default());
+        session.set_engine(engine);
+        session.bind_frame("feedback", frame.clone());
+        let mut outs = Vec::with_capacity(repeats);
+        let (ms, ()) = time_ms(|| {
+            for _ in 0..repeats {
+                let r = session.execute(program);
+                assert!(r.error.is_none(), "query bench cell failed: {:?}", r.error);
+                outs.push(transcript(&r.shown));
+            }
+        });
+        (ms, outs, session)
+    };
+
+    let (rowwise_ms, rowwise_out, _) = run(QueryEngine::RowWise);
+    let (vectorized_ms, vectorized_out, session) = run(QueryEngine::Vectorized);
+    // Byte-identity across engines is a hard contract, not a benchmark
+    // observation.
+    assert_eq!(rowwise_out, vectorized_out, "query transcripts diverged across engines");
+
+    let stats = session.plan_cache_stats();
+    let lookups = stats.hits + stats.misses;
+    // Same program every repeat: every lookup after the first must hit.
+    assert_eq!(stats.misses, 1, "repeated shape re-lowered: {stats:?}");
+    assert_eq!(stats.hits, repeats as u64 - 1, "cold lookups on a warm cache: {stats:?}");
+    assert_eq!(stats.fallbacks, 0, "vectorized run fell back: {stats:?}");
+    let warm_rate = stats.hits as f64 / (lookups - 1).max(1) as f64;
+
+    println!(
+        "  query: {rows} rows x {repeats} repeats  rowwise {rowwise_ms:.1}ms  vectorized {vectorized_ms:.1}ms  warm-hit {:.0}%",
+        warm_rate * 100.0
+    );
+    stage_entry(
+        rowwise_ms,
+        vectorized_ms,
+        rows,
+        vec![
+            ("repeats", Value::U64(repeats as u64)),
+            ("plan_cache_hits", Value::U64(stats.hits)),
+            ("plan_cache_lookups", Value::U64(lookups)),
+            ("plan_cache_warm_hit_rate", Value::F64(warm_rate)),
+            ("rules_fired", Value::U64(stats.rules_fired)),
         ],
     )
 }
@@ -854,6 +928,7 @@ fn validate_value(value: &Value) -> Result<(), String> {
         match name {
             "search" => validate_search_extras(stage)?,
             "scaling" => validate_scaling(stage)?,
+            "query" => validate_query(stage)?,
             "ingest" => validate_ingest(stage)?,
             "recovery" => validate_recovery(stage)?,
             "serve" => validate_serve(stage)?,
@@ -873,6 +948,32 @@ fn validate_search_extras(stage: &Map) -> Result<(), String> {
         if !(v.is_finite() && v > 0.0) {
             return Err(format!("stages.search.{field}: {v} not a positive number"));
         }
+    }
+    Ok(())
+}
+
+/// The query stage: row-wise vs vectorized timings plus plan-cache
+/// counters. The warm-cache hit rate is a hard 1.0 — the bench reruns one
+/// program shape, so anything less means the cache key is unstable.
+fn validate_query(stage: &Map) -> Result<(), String> {
+    for field in ["repeats", "plan_cache_hits", "plan_cache_lookups"] {
+        let v = as_f64(stage.get(field))
+            .ok_or_else(|| format!("stages.query.{field}: missing or non-numeric"))?;
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("stages.query.{field}: {v} not a positive number"));
+        }
+    }
+    let hits = as_f64(stage.get("plan_cache_hits")).unwrap_or(0.0);
+    let lookups = as_f64(stage.get("plan_cache_lookups")).unwrap_or(0.0);
+    if hits + 1.0 != lookups {
+        return Err(format!(
+            "stages.query: expected exactly one cold lookup, got {hits} hits of {lookups} lookups"
+        ));
+    }
+    let rate = as_f64(stage.get("plan_cache_warm_hit_rate"))
+        .ok_or("stages.query.plan_cache_warm_hit_rate: missing or non-numeric")?;
+    if rate != 1.0 {
+        return Err(format!("stages.query.plan_cache_warm_hit_rate: {rate} != 1.0"));
     }
     Ok(())
 }

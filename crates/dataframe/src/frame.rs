@@ -254,6 +254,34 @@ impl DataFrame {
         Ok(self.take(&indices))
     }
 
+    /// The first `k` rows of `sort_by(column, ascending)` without sorting
+    /// the whole frame: selects the k smallest (or largest) rows in O(n)
+    /// and only sorts those. Byte-identical to `sort_by(...)?.head(k)` —
+    /// ties are broken by original row index, which is exactly what the
+    /// stable full sort produces.
+    pub fn top_k(&self, column: &str, ascending: bool, k: usize) -> Result<DataFrame> {
+        let col = self.column(column)?;
+        let n = self.n_rows();
+        if k == 0 {
+            return Ok(self.head(0));
+        }
+        if k >= n {
+            return self.sort_by(column, ascending);
+        }
+        let mut indices: Vec<usize> = (0..n).collect();
+        let cmp = |a: &usize, b: &usize| {
+            let ord = col.get(*a).total_cmp(&col.get(*b));
+            let ord = if ascending { ord } else { ord.reverse() };
+            // Index tie-break makes the order total, so an unstable
+            // selection/sort reproduces the stable full sort.
+            ord.then(a.cmp(b))
+        };
+        indices.select_nth_unstable_by(k - 1, cmp);
+        indices.truncate(k);
+        indices.sort_unstable_by(cmp);
+        Ok(self.take(&indices))
+    }
+
     /// Vertically concatenate another frame with the same schema.
     pub fn concat(&self, other: &DataFrame) -> Result<DataFrame> {
         if self.columns.is_empty() {
@@ -571,5 +599,31 @@ mod tests {
         let df = DataFrame::new(vec![Column::from_datetimes("ts", &[t0, t1, t1 + 5])]).unwrap();
         let apr = df.filter_datetime_range("ts", t0, t1).unwrap();
         assert_eq!(apr.n_rows(), 1);
+    }
+
+    #[test]
+    fn top_k_matches_sort_then_head() {
+        // Heavy ties (and nulls) so the stable-sort tie-break is actually
+        // exercised: a payload column distinguishes tied rows.
+        let scores: Vec<Option<i64>> = (0..200)
+            .map(|i| if i % 7 == 0 { None } else { Some((i % 5) as i64) })
+            .collect();
+        let ids: Vec<i64> = (0..200).collect();
+        let df = DataFrame::new(vec![
+            Column::new("score", crate::column::ColumnData::Int(scores)),
+            Column::from_i64s("id", &ids),
+        ])
+        .unwrap();
+        for ascending in [true, false] {
+            for k in [0usize, 1, 5, 37, 199, 200, 500] {
+                let slow = df.sort_by("score", ascending).unwrap().head(k);
+                let fast = df.top_k("score", ascending, k).unwrap();
+                assert_eq!(
+                    format!("{fast:?}"),
+                    format!("{slow:?}"),
+                    "top_k({ascending}, {k}) diverged from sort+head"
+                );
+            }
+        }
     }
 }

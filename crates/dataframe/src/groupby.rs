@@ -139,22 +139,21 @@ impl DataFrame {
             .collect();
 
         for agg in aggs {
+            // Resolve the input column once per aggregation (not per group):
+            // Count counts rows, so any column works — use the first key.
+            let input = if agg.kind == AggKind::Count {
+                key_cols[0]
+            } else {
+                self.column(&agg.column)?
+            };
             let mut data = ColumnData::empty(match agg.kind {
                 AggKind::Count | AggKind::NUnique => crate::column::DType::Int,
-                AggKind::Min | AggKind::Max => {
-                    // Same dtype as input.
-                    self.column(&agg.column)?.dtype()
-                }
+                // Same dtype as input.
+                AggKind::Min | AggKind::Max => input.dtype(),
                 _ => crate::column::DType::Float,
             });
             for rows in &group_rows {
-                let sub = if agg.kind == AggKind::Count {
-                    // Count counts rows; any column works — use the first key.
-                    key_cols[0].take(rows)
-                } else {
-                    self.column(&agg.column)?.take(rows)
-                };
-                data.push(agg.apply(&sub))?;
+                data.push(agg.apply(&input.take(rows)))?;
             }
             out_cols.push(Column::new(&agg.output_name(), data));
         }
@@ -163,7 +162,9 @@ impl DataFrame {
 
     /// Distinct values of `column` with their counts, sorted by count
     /// descending (ties by value ascending). Output columns: `column`,
-    /// `count`.
+    /// `count` — except when `column` is itself named `count`, in which
+    /// case the value column comes back as `count_value` (the `count`
+    /// name is taken by the aggregate).
     pub fn value_counts(&self, column: &str) -> Result<DataFrame> {
         // A key column literally named "count" would collide with the
         // aggregation output; route through a temporary name.
@@ -193,29 +194,53 @@ impl DataFrame {
             &[row_key, col_key],
             &[Aggregation::new(row_key, AggKind::Count)],
         )?;
-        // Collect distinct row and column values in first-appearance order.
+        // Collect distinct row and column values in first-appearance order,
+        // deduplicating through a keyed map rather than an O(n²)
+        // `iter().any(loose_eq)` scan. Each column is uniformly typed, so a
+        // per-dtype canonical key is exactly equivalent to same-dtype
+        // `loose_eq` (Floats compare equal under `total_cmp` iff their bits
+        // match; Int/Str/Bool/… under their exact values).
+        fn cell_key(v: &Value) -> String {
+            match v {
+                Value::Null => "z:".to_string(),
+                Value::Int(i) => format!("i:{i}"),
+                Value::Float(f) => format!("f:{:016x}", f.to_bits()),
+                other => format!("{other:?}"),
+            }
+        }
         let rk = counts.column(row_key)?;
         let ck = counts.column(col_key)?;
         let cnt = counts.column("count")?;
         let mut row_vals: Vec<Value> = Vec::new();
         let mut col_vals: Vec<Value> = Vec::new();
+        let mut row_idx: HashMap<String, usize> = HashMap::new();
+        let mut col_idx: HashMap<String, usize> = HashMap::new();
         for i in 0..counts.n_rows() {
             let rv = rk.get(i);
             let cv = ck.get(i);
-            if !row_vals.iter().any(|v| v.loose_eq(&rv)) {
+            row_idx.entry(cell_key(&rv)).or_insert_with(|| {
                 row_vals.push(rv);
-            }
-            if !col_vals.iter().any(|v| v.loose_eq(&cv)) {
+                row_vals.len() - 1
+            });
+            col_idx.entry(cell_key(&cv)).or_insert_with(|| {
                 col_vals.push(cv);
-            }
+                col_vals.len() - 1
+            });
         }
-        // Deterministic column order.
-        col_vals.sort_by(|a, b| a.total_cmp(b));
+        // Deterministic column order. Remap indices to the sorted layout.
+        let mut col_order: Vec<usize> = (0..col_vals.len()).collect();
+        col_order.sort_by(|&a, &b| col_vals[a].total_cmp(&col_vals[b]));
+        let mut col_rank = vec![0usize; col_vals.len()];
+        for (rank, &orig) in col_order.iter().enumerate() {
+            col_rank[orig] = rank;
+        }
+        let col_vals: Vec<Value> =
+            col_order.iter().map(|&i| col_vals[i].clone()).collect();
 
         let mut table = vec![vec![0i64; col_vals.len()]; row_vals.len()];
         for i in 0..counts.n_rows() {
-            let r = row_vals.iter().position(|v| v.loose_eq(&rk.get(i))).expect("present");
-            let c = col_vals.iter().position(|v| v.loose_eq(&ck.get(i))).expect("present");
+            let r = row_idx[&cell_key(&rk.get(i))];
+            let c = col_rank[col_idx[&cell_key(&ck.get(i))]];
             if let Some(n) = cnt.get(i).as_f64() {
                 table[r][c] = n as i64;
             }
@@ -322,6 +347,42 @@ mod tests {
         assert_eq!(ct.cell(0, "bug").unwrap(), Value::Int(2)); // A×bug
         assert_eq!(ct.cell(0, "praise").unwrap(), Value::Int(1));
         assert_eq!(ct.cell(1, "bug").unwrap(), Value::Int(1)); // B×bug
+    }
+
+    #[test]
+    fn crosstab_keyed_dedup_preserves_order_and_nulls() {
+        // Null cells, duplicate values and Int column keys exercise the
+        // keyed-map dedup; row order must stay first-appearance, column
+        // order sorted.
+        let df = DataFrame::new(vec![
+            Column::new(
+                "r",
+                ColumnData::Str(vec![
+                    Some("b".into()),
+                    Some("a".into()),
+                    None,
+                    Some("b".into()),
+                    Some("a".into()),
+                    Some("b".into()),
+                ]),
+            ),
+            Column::from_i64s("c", &[2, 1, 2, 1, 2, 2]),
+        ])
+        .unwrap();
+        let ct = df.crosstab("r", "c").unwrap();
+        // First appearance: "b", "a", null.
+        assert_eq!(ct.cell(0, "r").unwrap(), Value::str("b"));
+        assert_eq!(ct.cell(1, "r").unwrap(), Value::str("a"));
+        assert_eq!(ct.cell(2, "r").unwrap(), Value::Null);
+        // Columns sorted ascending: 1 then 2.
+        let names: Vec<&str> =
+            ct.columns().iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["r", "1", "2"]);
+        assert_eq!(ct.cell(0, "1").unwrap(), Value::Int(1)); // b×1
+        assert_eq!(ct.cell(0, "2").unwrap(), Value::Int(2)); // b×2
+        assert_eq!(ct.cell(1, "1").unwrap(), Value::Int(1)); // a×1
+        assert_eq!(ct.cell(1, "2").unwrap(), Value::Int(1)); // a×2
+        assert_eq!(ct.cell(2, "2").unwrap(), Value::Int(1)); // null×2
     }
 
     #[test]

@@ -10,10 +10,25 @@ use std::collections::HashMap;
 /// Canonical join-key encoding: Int and Float unify numerically (matching
 /// the loose equality used by filters/group-by); everything else keys on
 /// its exact debug form.
+///
+/// Int keys use the exact i64 — never a lossy f64 cast — so distinct Int
+/// keys above 2^53 cannot collide. A Float that round-trips through i64
+/// (`f as i64 as f64 == f`) keys as that integer, which both unifies
+/// integral floats with Int keys and normalizes `-0.0` to `0` (IEEE
+/// `0i64 as f64 == -0.0`). Non-integral floats (including NaN, infinities
+/// and magnitudes beyond i64 range) key on their exact bit pattern, which
+/// matches the `total_cmp` equality used elsewhere.
 fn join_key(v: &Value) -> String {
     match v {
-        Value::Int(i) => format!("n:{}", *i as f64),
-        Value::Float(f) => format!("n:{f}"),
+        Value::Int(i) => format!("i:{i}"),
+        Value::Float(f) => {
+            let i = *f as i64;
+            if i as f64 == *f {
+                format!("i:{i}")
+            } else {
+                format!("f:{:016x}", f.to_bits())
+            }
+        }
         other => format!("{other:?}"),
     }
 }
@@ -154,6 +169,64 @@ mod tests {
     #[test]
     fn missing_key_errors() {
         assert!(left().join(&right(), "nope", JoinKind::Inner).is_err());
+    }
+
+    #[test]
+    fn int_keys_above_2_pow_53_do_not_collide() {
+        // 2^53 and 2^53 + 1 are distinct i64s but identical after an f64
+        // round-trip; the old encoding joined them together.
+        let big = 1i64 << 53;
+        let l = DataFrame::new(vec![
+            Column::from_i64s("k", &[big, big + 1]),
+            Column::from_strs("side", &["l0", "l1"]),
+        ])
+        .unwrap();
+        let r = DataFrame::new(vec![
+            Column::from_i64s("k", &[big, big + 1]),
+            Column::from_strs("tag", &["r0", "r1"]),
+        ])
+        .unwrap();
+        let j = l.join(&r, "k", JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 2, "exact i64 keys must not collide: {j:?}");
+        assert_eq!(j.cell(0, "tag").unwrap(), Value::str("r0"));
+        assert_eq!(j.cell(1, "tag").unwrap(), Value::str("r1"));
+    }
+
+    #[test]
+    fn negative_zero_unifies_with_int_zero() {
+        use crate::column::ColumnData;
+        let l = DataFrame::new(vec![
+            Column::new("k", ColumnData::Float(vec![Some(-0.0), Some(1.5)])),
+            Column::from_strs("side", &["zero", "frac"]),
+        ])
+        .unwrap();
+        let r = DataFrame::new(vec![
+            Column::from_i64s("k", &[0, 2]),
+            Column::from_strs("tag", &["int-zero", "two"]),
+        ])
+        .unwrap();
+        let j = l.join(&r, "k", JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 1, "Float(-0.0) must join Int(0): {j:?}");
+        assert_eq!(j.cell(0, "tag").unwrap(), Value::str("int-zero"));
+    }
+
+    #[test]
+    fn integral_floats_unify_with_ints() {
+        use crate::column::ColumnData;
+        let l = DataFrame::new(vec![
+            Column::new("k", ColumnData::Float(vec![Some(2.0), Some(2.5)])),
+            Column::from_strs("side", &["a", "b"]),
+        ])
+        .unwrap();
+        let r = DataFrame::new(vec![
+            Column::from_i64s("k", &[2]),
+            Column::from_strs("tag", &["two"]),
+        ])
+        .unwrap();
+        let j = l.join(&r, "k", JoinKind::Left).unwrap();
+        assert_eq!(j.n_rows(), 2);
+        assert_eq!(j.cell(0, "tag").unwrap(), Value::str("two"));
+        assert_eq!(j.cell(1, "tag").unwrap(), Value::Null);
     }
 
     #[test]

@@ -1,0 +1,665 @@
+//! Vectorized (column-batch) evaluation of lowered plan expressions.
+//!
+//! The contract with the row-wise interpreter is strict value identity on
+//! the masked row set: for every row the row-wise engine would evaluate,
+//! the batch result holds exactly the `Value` the row-wise engine would
+//! produce, and the batch evaluation errors if and only if the row-wise
+//! engine would error on at least one of those rows (not necessarily with
+//! the same message or at the same row — the caller falls back to the
+//! row-wise engine on any error, which then produces the authoritative
+//! error). Rows outside the mask — short-circuited `&&`/`||` branches and
+//! taken `coalesce` slots — are never evaluated, mirroring the per-row
+//! short-circuiting of the tree walker.
+//!
+//! Typed fast paths cover the comparisons and arithmetic that dominate
+//! generated programs (numeric column vs literal, string equality,
+//! `contains` over a string column); everything else runs a per-masked-row
+//! loop over the same scalar kernels ([`crate::rowfns`], `binary_op`) the
+//! row-wise engine uses, so the semantics are shared by construction.
+
+use crate::ast::{BinOp, UnOp};
+use crate::error::QueryError;
+use crate::interp::{binary_op, column_from_values, number_value, truthy, RtValue};
+use crate::plan::VExpr;
+use crate::rowfns;
+use allhands_dataframe::{Column, ColumnData, DataFrame, Value};
+use std::collections::HashMap;
+
+/// A batch of per-row values for one expression node.
+pub(crate) enum Batch<'a> {
+    /// A column borrowed from the input frame.
+    Col(&'a Column),
+    /// A freshly computed typed column.
+    Owned(ColumnData),
+    /// The same scalar for every row.
+    Const(Value),
+    /// The same list for every row (list literals / list bindings).
+    ConstList(Vec<Value>),
+    /// Per-row values; slots outside the evaluation mask hold `Null` and
+    /// are never read.
+    Mixed(Vec<Value>),
+}
+
+impl Batch<'_> {
+    /// The scalar at row `i`. Lists are not scalars — the row-wise engine
+    /// rejects them with `into_scalar`, so batch evaluation refuses too
+    /// (the fallback then reproduces the row-wise error).
+    fn scalar_at(&self, i: usize) -> Result<Value, QueryError> {
+        match self {
+            Batch::Col(c) => Ok(c.get(i)),
+            Batch::Owned(d) => Ok(d.get(i)),
+            Batch::Const(v) => Ok(v.clone()),
+            Batch::Mixed(vs) => Ok(vs[i].clone()),
+            Batch::ConstList(_) => {
+                Err(QueryError::runtime("expected a scalar, got list"))
+            }
+        }
+    }
+}
+
+/// Evaluate `pred` over every row of `frame` and reduce to a truthiness
+/// mask (the vectorized `filter`).
+pub(crate) fn filter_mask(
+    frame: &DataFrame,
+    pred: &VExpr,
+    bindings: &HashMap<String, RtValue>,
+) -> Result<Vec<bool>, QueryError> {
+    let mask = vec![true; frame.n_rows()];
+    let batch = eval_batch(frame, pred, bindings, &mask)?;
+    truthy_vec(&batch, &mask)
+}
+
+/// Evaluate `expr` over every row and materialize it as a column named
+/// `name` (the vectorized `derive`).
+pub(crate) fn derive_column(
+    frame: &DataFrame,
+    name: &str,
+    expr: &VExpr,
+    bindings: &HashMap<String, RtValue>,
+) -> Result<Column, QueryError> {
+    let mask = vec![true; frame.n_rows()];
+    let batch = eval_batch(frame, expr, bindings, &mask)?;
+    column_from_batch(name, &batch, frame.n_rows())
+}
+
+/// Materialize a batch as a typed column, reproducing the row-wise
+/// `column_from_values` dtype inference. Typed batches shortcut the
+/// inference — except when every value is null, where `column_from_values`
+/// falls back to a Str column regardless of the source dtype, and the
+/// shortcut would diverge.
+fn column_from_batch(
+    name: &str,
+    batch: &Batch,
+    n_rows: usize,
+) -> Result<Column, QueryError> {
+    let from_data = |data: &ColumnData| -> Result<Column, QueryError> {
+        if (0..n_rows).all(|i| data.get(i).is_null()) {
+            column_from_values(name, vec![Value::Null; n_rows])
+        } else {
+            Ok(Column::new(name, data.clone()))
+        }
+    };
+    match batch {
+        Batch::Col(c) => from_data(c.data()),
+        Batch::Owned(d) => from_data(d),
+        Batch::Const(v) => column_from_values(name, vec![v.clone(); n_rows]),
+        Batch::Mixed(vs) => column_from_values(name, vs.clone()),
+        Batch::ConstList(_) => {
+            Err(QueryError::runtime("expected a scalar, got list"))
+        }
+    }
+}
+
+/// Truthiness of every masked row (unmasked slots are `false`).
+fn truthy_vec(batch: &Batch, mask: &[bool]) -> Result<Vec<bool>, QueryError> {
+    let n = mask.len();
+    let mut out = vec![false; n];
+    match batch {
+        Batch::Col(c) => truthy_data(c.data(), mask, &mut out),
+        Batch::Owned(d) => truthy_data(d, mask, &mut out),
+        Batch::Const(v) => {
+            let t = truthy(v);
+            for i in 0..n {
+                out[i] = mask[i] && t;
+            }
+        }
+        Batch::Mixed(vs) => {
+            for i in 0..n {
+                if mask[i] {
+                    out[i] = truthy(&vs[i]);
+                }
+            }
+        }
+        Batch::ConstList(_) => {
+            return Err(QueryError::runtime("expected a scalar, got list"))
+        }
+    }
+    Ok(out)
+}
+
+fn truthy_data(data: &ColumnData, mask: &[bool], out: &mut [bool]) {
+    macro_rules! fill {
+        ($vals:expr, $pred:expr) => {
+            for (i, v) in $vals.iter().enumerate() {
+                if mask[i] {
+                    out[i] = v.as_ref().is_some_and($pred);
+                }
+            }
+        };
+    }
+    match data {
+        ColumnData::Int(v) => fill!(v, |x| *x != 0),
+        ColumnData::Float(v) => fill!(v, |x| *x != 0.0),
+        ColumnData::Str(v) => fill!(v, |s| !s.is_empty()),
+        ColumnData::Bool(v) => fill!(v, |b| *b),
+        ColumnData::DateTime(v) => fill!(v, |_| true),
+        ColumnData::StrList(v) => fill!(v, |l| !l.is_empty()),
+    }
+}
+
+/// Evaluate a lowered expression over the masked rows of `frame`.
+fn eval_batch<'a>(
+    frame: &'a DataFrame,
+    expr: &VExpr,
+    bindings: &HashMap<String, RtValue>,
+    mask: &[bool],
+) -> Result<Batch<'a>, QueryError> {
+    match expr {
+        VExpr::Lit(v) => Ok(Batch::Const(v.clone())),
+        VExpr::Ident(name) => {
+            // Same resolution order as the row-wise engine: column of the
+            // current frame first, session binding second.
+            if frame.has_column(name) {
+                return Ok(Batch::Col(frame.column(name)?));
+            }
+            match bindings.get(name) {
+                Some(RtValue::Scalar(v)) => Ok(Batch::Const(v.clone())),
+                Some(RtValue::List(items)) => Ok(Batch::ConstList(items.clone())),
+                // Frames/figures in scalar position error row-wise; unknown
+                // names error row-wise. Fall back for the exact message.
+                _ => Err(QueryError::runtime(format!("unknown name '{name}'"))),
+            }
+        }
+        VExpr::List(items) => {
+            // Only constant lists vectorize; a list item that varies per
+            // row (references a column) falls back to the row-wise engine.
+            let mut values = Vec::with_capacity(items.len());
+            for item in items {
+                match eval_batch(frame, item, bindings, mask)? {
+                    Batch::Const(v) => values.push(v),
+                    _ => {
+                        return Err(QueryError::runtime(
+                            "non-constant list in vectorized context",
+                        ))
+                    }
+                }
+            }
+            Ok(Batch::ConstList(values))
+        }
+        VExpr::Unary { op, expr } => {
+            let inner = eval_batch(frame, expr, bindings, mask)?;
+            match op {
+                UnOp::Not => {
+                    let t = truthy_vec(&inner, mask)?;
+                    let data = ColumnData::Bool(
+                        mask.iter()
+                            .zip(&t)
+                            .map(|(m, t)| m.then_some(!t))
+                            .collect(),
+                    );
+                    Ok(Batch::Owned(data))
+                }
+                UnOp::Neg => map_masked(&inner, mask, |v| match v.as_f64() {
+                    Some(f) => Ok(number_value(-f)),
+                    None => {
+                        Err(QueryError::runtime(format!("cannot negate {v:?}")))
+                    }
+                }),
+            }
+        }
+        VExpr::Binary { op, lhs, rhs } => match op {
+            BinOp::And | BinOp::Or => {
+                let l = eval_batch(frame, lhs, bindings, mask)?;
+                let lt = truthy_vec(&l, mask)?;
+                // Mirror the per-row short circuit: `&&` evaluates the rhs
+                // only where the lhs is truthy, `||` only where it is falsy.
+                let sub: Vec<bool> = mask
+                    .iter()
+                    .zip(&lt)
+                    .map(|(m, t)| *m && (*t == (*op == BinOp::And)))
+                    .collect();
+                let mut out: Vec<Option<bool>> = mask
+                    .iter()
+                    .zip(&lt)
+                    .map(|(m, t)| m.then_some(*t))
+                    .collect();
+                if sub.iter().any(|&b| b) {
+                    let r = eval_batch(frame, rhs, bindings, &sub)?;
+                    let rt = truthy_vec(&r, &sub)?;
+                    for i in 0..mask.len() {
+                        if sub[i] {
+                            out[i] = Some(rt[i]);
+                        }
+                    }
+                }
+                Ok(Batch::Owned(ColumnData::Bool(out)))
+            }
+            _ => {
+                let l = eval_batch(frame, lhs, bindings, mask)?;
+                let r = eval_batch(frame, rhs, bindings, mask)?;
+                binary_batch(*op, &l, &r, mask)
+            }
+        },
+        VExpr::Call { name, args, .. } => {
+            call_batch(frame, name, args, bindings, mask)
+        }
+    }
+}
+
+/// Apply a non-logical binary operator across two batches.
+fn binary_batch<'a>(
+    op: BinOp,
+    l: &Batch,
+    r: &Batch,
+    mask: &[bool],
+) -> Result<Batch<'a>, QueryError> {
+    if let (Batch::Const(a), Batch::Const(b)) = (l, r) {
+        return Ok(Batch::Const(binary_op(op, a, b)?));
+    }
+    if let Some(batch) = typed_binary(op, l, r, mask)? {
+        return Ok(batch);
+    }
+    // Generic path: the row-wise scalar kernel per masked row.
+    let mut out = vec![Value::Null; mask.len()];
+    for (i, slot) in out.iter_mut().enumerate() {
+        if mask[i] {
+            *slot = binary_op(op, &l.scalar_at(i)?, &r.scalar_at(i)?)?;
+        }
+    }
+    Ok(Batch::Mixed(out))
+}
+
+/// Typed fast paths for comparisons and arithmetic. Returns `Ok(None)`
+/// when no fast path applies (the generic per-row loop then runs).
+///
+/// The numeric path accepts any mix of Int/Float columns, owned batches,
+/// and constants on either side, and reproduces `binary_op` exactly:
+/// Int/Int compares at i64 and does checked arithmetic (an overflow on any
+/// masked row abandons the whole batch to the generic loop, which spills
+/// that row to f64 like the scalar kernel); any Float operand switches the
+/// pair to the same lossy `as f64` cast `total_cmp`/`arith` use. Null
+/// semantics follow `binary_op`: ordered comparisons are false when either
+/// side is null, `==` is `loose_eq` (so null == null is TRUE), and
+/// arithmetic propagates null. Str/DateTime columns get comparison-only
+/// paths against a constant.
+fn typed_binary<'a>(
+    op: BinOp,
+    l: &Batch,
+    r: &Batch,
+    mask: &[bool],
+) -> Result<Option<Batch<'a>>, QueryError> {
+    use std::cmp::Ordering;
+    let is_cmp = matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge
+    );
+    let cmp_out = |ords: Vec<Option<Ordering>>| -> Batch<'a> {
+        // Null comparisons: `<`/`>`/`<=`/`>=` are false; `==` is false and
+        // `!=` true (a null never loose_eq's a non-null constant).
+        let vals = ords
+            .into_iter()
+            .enumerate()
+            .map(|(i, ord)| {
+                mask[i].then(|| match (ord, op) {
+                    (None, BinOp::Ne) => true,
+                    (None, _) => false,
+                    (Some(o), BinOp::Eq) => o == Ordering::Equal,
+                    (Some(o), BinOp::Ne) => o != Ordering::Equal,
+                    (Some(o), BinOp::Lt) => o == Ordering::Less,
+                    (Some(o), BinOp::Gt) => o == Ordering::Greater,
+                    (Some(o), BinOp::Le) => o != Ordering::Greater,
+                    (Some(o), _) => o != Ordering::Less,
+                })
+            })
+            .collect();
+        Batch::Owned(ColumnData::Bool(vals))
+    };
+
+    // General numeric path: both sides viewable as Int/Float columns or
+    // constants.
+    if let (Some(ls), Some(rs)) = (NumSide::of(l), NumSide::of(r)) {
+        if is_cmp {
+            let vals = (0..mask.len())
+                .map(|i| {
+                    mask[i].then(|| {
+                        match (ls.get(i), rs.get(i)) {
+                            // loose_eq: null == null is Equal — but the
+                            // ordered ops null-check BEFORE total_cmp, so
+                            // even `<=` is false on a null pair.
+                            (None, None) => op == BinOp::Eq,
+                            (None, _) | (_, None) => op == BinOp::Ne,
+                            (Some(a), Some(b)) => {
+                                let o = match (a, b) {
+                                    (Num::I(a), Num::I(b)) => a.cmp(&b),
+                                    (a, b) => a.as_f64().total_cmp(&b.as_f64()),
+                                };
+                                match op {
+                                    BinOp::Eq => o == Ordering::Equal,
+                                    BinOp::Ne => o != Ordering::Equal,
+                                    BinOp::Lt => o == Ordering::Less,
+                                    BinOp::Gt => o == Ordering::Greater,
+                                    BinOp::Le => o != Ordering::Greater,
+                                    _ => o != Ordering::Less,
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            return Ok(Some(Batch::Owned(ColumnData::Bool(vals))));
+        }
+        if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) {
+            if ls.is_int() && rs.is_int() {
+                // Checked i64 arithmetic; one masked overflow spills that
+                // row (and only that row) to f64, exactly like the scalar
+                // kernel — so overflow abandons the typed batch for the
+                // generic loop.
+                let mut vals = Vec::with_capacity(mask.len());
+                for (i, &m) in mask.iter().enumerate() {
+                    if !m {
+                        vals.push(None);
+                        continue;
+                    }
+                    match (ls.get(i), rs.get(i)) {
+                        (Some(Num::I(a)), Some(Num::I(b))) => {
+                            let v = match op {
+                                BinOp::Add => a.checked_add(b),
+                                BinOp::Sub => a.checked_sub(b),
+                                _ => a.checked_mul(b),
+                            };
+                            match v {
+                                Some(v) => vals.push(Some(v)),
+                                None => return Ok(None),
+                            }
+                        }
+                        _ => vals.push(None),
+                    }
+                }
+                return Ok(Some(Batch::Owned(ColumnData::Int(vals))));
+            }
+            let vals = (0..mask.len())
+                .map(|i| {
+                    if !mask[i] {
+                        return None;
+                    }
+                    match (ls.get(i), rs.get(i)) {
+                        (Some(a), Some(b)) => {
+                            let (a, b) = (a.as_f64(), b.as_f64());
+                            Some(match op {
+                                BinOp::Add => a + b,
+                                BinOp::Sub => a - b,
+                                _ => a * b,
+                            })
+                        }
+                        _ => None,
+                    }
+                })
+                .collect();
+            return Ok(Some(Batch::Owned(ColumnData::Float(vals))));
+        }
+        if op == BinOp::Div {
+            // Only a nonzero constant denominator: a zero (error) or null
+            // (null result) in a denominator column is the generic loop's
+            // business.
+            let kf = match rs {
+                NumSide::IntK(k) => k as f64,
+                NumSide::FloatK(k) => k,
+                _ => return Ok(None),
+            };
+            if kf == 0.0 {
+                return Ok(None);
+            }
+            let vals = (0..mask.len())
+                .map(|i| {
+                    if !mask[i] {
+                        return None;
+                    }
+                    ls.get(i).map(|a| a.as_f64() / kf)
+                })
+                .collect();
+            return Ok(Some(Batch::Owned(ColumnData::Float(vals))));
+        }
+        return Ok(None);
+    }
+
+    // Str/DateTime comparisons against a constant.
+    let (data, konst) = match (l, r) {
+        (Batch::Col(c), Batch::Const(v)) => (c.data(), v),
+        (Batch::Owned(d), Batch::Const(v)) => (d, v),
+        _ => return Ok(None),
+    };
+    Ok(match (data, konst) {
+        (ColumnData::Str(xs), Value::Str(k)) if is_cmp => Some(cmp_out(
+            xs.iter().map(|x| x.as_ref().map(|x| x.as_str().cmp(k.as_str()))).collect(),
+        )),
+        (ColumnData::DateTime(xs), Value::DateTime(k)) if is_cmp => {
+            Some(cmp_out(xs.iter().map(|x| x.map(|x| x.cmp(k))).collect()))
+        }
+        _ => None,
+    })
+}
+
+/// One scalar of a numeric operand: i64 or f64, matching the `Value`
+/// variant it came from so Int/Int pairs keep exact i64 semantics.
+#[derive(Clone, Copy)]
+enum Num {
+    I(i64),
+    F(f64),
+}
+
+impl Num {
+    fn as_f64(self) -> f64 {
+        match self {
+            Num::I(v) => v as f64,
+            Num::F(v) => v,
+        }
+    }
+}
+
+/// A numeric operand of a binary batch op: an Int/Float column (borrowed
+/// or owned) or an Int/Float constant broadcast to every row.
+enum NumSide<'b> {
+    Ints(&'b [Option<i64>]),
+    Floats(&'b [Option<f64>]),
+    IntK(i64),
+    FloatK(f64),
+}
+
+impl<'b> NumSide<'b> {
+    fn of(b: &'b Batch) -> Option<NumSide<'b>> {
+        match b {
+            Batch::Col(c) => match c.data() {
+                ColumnData::Int(xs) => Some(NumSide::Ints(xs)),
+                ColumnData::Float(xs) => Some(NumSide::Floats(xs)),
+                _ => None,
+            },
+            Batch::Owned(ColumnData::Int(xs)) => Some(NumSide::Ints(xs)),
+            Batch::Owned(ColumnData::Float(xs)) => Some(NumSide::Floats(xs)),
+            Batch::Const(Value::Int(k)) => Some(NumSide::IntK(*k)),
+            Batch::Const(Value::Float(k)) => Some(NumSide::FloatK(*k)),
+            _ => None,
+        }
+    }
+
+    fn is_int(&self) -> bool {
+        matches!(self, NumSide::Ints(_) | NumSide::IntK(_))
+    }
+
+    fn get(&self, i: usize) -> Option<Num> {
+        match self {
+            NumSide::Ints(xs) => xs[i].map(Num::I),
+            NumSide::Floats(xs) => xs[i].map(Num::F),
+            NumSide::IntK(k) => Some(Num::I(*k)),
+            NumSide::FloatK(k) => Some(Num::F(*k)),
+        }
+    }
+}
+
+/// Dispatch a whitelisted row function across a batch.
+fn call_batch<'a>(
+    frame: &'a DataFrame,
+    name: &str,
+    args: &[VExpr],
+    bindings: &HashMap<String, RtValue>,
+    mask: &[bool],
+) -> Result<Batch<'a>, QueryError> {
+    // `coalesce` short-circuits per row: the fallback expression is only
+    // evaluated where the first argument is null.
+    if name == "coalesce" {
+        let first = eval_batch(frame, &args[0], bindings, mask)?;
+        let mut out = vec![Value::Null; mask.len()];
+        let mut sub = vec![false; mask.len()];
+        let mut any = false;
+        for i in 0..mask.len() {
+            if mask[i] {
+                let v = first.scalar_at(i)?;
+                if v.is_null() {
+                    sub[i] = true;
+                    any = true;
+                } else {
+                    out[i] = v;
+                }
+            }
+        }
+        if any {
+            let second = eval_batch(frame, &args[1], bindings, &sub)?;
+            for (i, slot) in out.iter_mut().enumerate() {
+                if sub[i] {
+                    *slot = second.scalar_at(i)?;
+                }
+            }
+        }
+        return Ok(Batch::Mixed(out));
+    }
+
+    let arg0 = eval_batch(frame, &args[0], bindings, mask)?;
+    match name {
+        "contains" | "starts_with" | "has_topic" => {
+            let arg1 = eval_batch(frame, &args[1], bindings, mask)?;
+            // Fast path: string column scanned for a constant needle, with
+            // the needle lowercased once instead of per row.
+            if name == "contains" {
+                if let (Batch::Col(c), Batch::Const(Value::Str(needle))) =
+                    (&arg0, &arg1)
+                {
+                    if let ColumnData::Str(xs) = c.data() {
+                        let needle = needle.to_lowercase();
+                        return Ok(Batch::Owned(ColumnData::Bool(
+                            xs.iter()
+                                .enumerate()
+                                .map(|(i, x)| {
+                                    mask[i].then(|| {
+                                        x.as_ref().is_some_and(|s| {
+                                            s.to_lowercase().contains(&needle)
+                                        })
+                                    })
+                                })
+                                .collect(),
+                        )));
+                    }
+                }
+            }
+            map_masked2(&arg0, &arg1, mask, |a, b| match name {
+                "contains" => rowfns::contains(a, b),
+                "starts_with" => Ok(rowfns::starts_with(a, b)),
+                _ => rowfns::has_topic(a, b),
+            })
+        }
+        "lower" => map_masked(&arg0, mask, |v| Ok(rowfns::lower(v.clone()))),
+        "upper" => map_masked(&arg0, mask, |v| Ok(rowfns::upper(v.clone()))),
+        "length" => match &arg0 {
+            // `length` of a bound list is a constant; frames don't reach
+            // here (a frame-valued binding refuses to batch).
+            Batch::ConstList(items) => {
+                Ok(Batch::Const(Value::Int(items.len() as i64)))
+            }
+            _ => map_masked(&arg0, mask, rowfns::length_scalar),
+        },
+        "month" | "year" | "day" | "week" => {
+            map_masked(&arg0, mask, |v| rowfns::datetime_part(name, v))
+        }
+        "weekday" => map_masked(&arg0, mask, rowfns::weekday),
+        "is_weekend" => map_masked(&arg0, mask, rowfns::is_weekend),
+        "date" => map_masked(&arg0, mask, rowfns::date),
+        "is_null" => map_masked(&arg0, mask, |v| Ok(Value::Bool(v.is_null()))),
+        "emoji_count" => map_masked(&arg0, mask, rowfns::emoji_count),
+        "has_url" => map_masked(&arg0, mask, |v| Ok(rowfns::has_url(v))),
+        "abs" => map_masked(&arg0, mask, |v| Ok(rowfns::abs_fn(v))),
+        "round" | "percent" => {
+            let arg1 = eval_batch(frame, &args[1], bindings, mask)?;
+            map_masked2(&arg0, &arg1, mask, |a, b| {
+                if name == "round" {
+                    Ok(rowfns::round_fn(a, b))
+                } else {
+                    rowfns::percent(a, b)
+                }
+            })
+        }
+        "in_list" | "in_list_any" => {
+            let arg1 = eval_batch(frame, &args[1], bindings, mask)?;
+            let Batch::ConstList(list) = &arg1 else {
+                // A non-list second argument is a row-wise type error.
+                return Err(QueryError::runtime(format!(
+                    "{name}() expects a list"
+                )));
+            };
+            map_masked(&arg0, mask, |v| {
+                Ok(if name == "in_list" {
+                    rowfns::in_list_value(v, list)
+                } else {
+                    rowfns::in_list_any_value(v, list)
+                })
+            })
+        }
+        other => Err(QueryError::runtime(format!(
+            "function '{other}' is not vectorized"
+        ))),
+    }
+}
+
+/// Apply a unary scalar kernel to every masked row.
+fn map_masked<'a>(
+    batch: &Batch,
+    mask: &[bool],
+    f: impl Fn(&Value) -> Result<Value, QueryError>,
+) -> Result<Batch<'a>, QueryError> {
+    if let Batch::Const(v) = batch {
+        return Ok(Batch::Const(f(v)?));
+    }
+    let mut out = vec![Value::Null; mask.len()];
+    for (i, slot) in out.iter_mut().enumerate() {
+        if mask[i] {
+            *slot = f(&batch.scalar_at(i)?)?;
+        }
+    }
+    Ok(Batch::Mixed(out))
+}
+
+/// Apply a binary scalar kernel to every masked row.
+fn map_masked2<'a>(
+    a: &Batch,
+    b: &Batch,
+    mask: &[bool],
+    f: impl Fn(&Value, &Value) -> Result<Value, QueryError>,
+) -> Result<Batch<'a>, QueryError> {
+    if let (Batch::Const(x), Batch::Const(y)) = (a, b) {
+        return Ok(Batch::Const(f(x, y)?));
+    }
+    let mut out = vec![Value::Null; mask.len()];
+    for (i, slot) in out.iter_mut().enumerate() {
+        if mask[i] {
+            *slot = f(&a.scalar_at(i)?, &b.scalar_at(i)?)?;
+        }
+    }
+    Ok(Batch::Mixed(out))
+}

@@ -3,12 +3,68 @@
 
 use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
 use crate::error::QueryError;
+use crate::exec;
 use crate::figure::FigureSpec;
+use crate::plan::{self, PlanOp};
 use crate::plugins::PluginRegistry;
+use crate::rowfns;
 use allhands_dataframe::{
-    AggKind, Aggregation, CivilDateTime, Column, ColumnData, DataFrame, JoinKind, Value,
+    AggKind, Aggregation, Column, ColumnData, DataFrame, JoinKind, Value,
 };
+use allhands_obs::Recorder;
 use std::collections::HashMap;
+
+/// Which execution strategy frame-method chains use at the top level of a
+/// cell. Both engines are contractually byte-identical; `RowWise` exists as
+/// an escape hatch (`ALLHANDS_QUERY_ENGINE=rowwise`) and as the reference
+/// side of the differential test suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryEngine {
+    /// Lower method chains to a plan IR, optimize, and run column-batch
+    /// kernels; any error falls back to the row-wise path transparently.
+    Vectorized,
+    /// The original row-at-a-time tree-walking interpreter.
+    RowWise,
+}
+
+impl QueryEngine {
+    /// Parse the `ALLHANDS_QUERY_ENGINE` value; anything but `rowwise`
+    /// selects the vectorized engine.
+    pub fn from_env_value(s: &str) -> QueryEngine {
+        if s.eq_ignore_ascii_case("rowwise") {
+            QueryEngine::RowWise
+        } else {
+            QueryEngine::Vectorized
+        }
+    }
+
+    fn from_env() -> QueryEngine {
+        match std::env::var("ALLHANDS_QUERY_ENGINE") {
+            Ok(v) => QueryEngine::from_env_value(&v),
+            Err(_) => QueryEngine::Vectorized,
+        }
+    }
+}
+
+/// Plan-cache counters, exposed for benches and tests (the same numbers
+/// are recorded as volatile `query.plan.*` obs counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Cache hits (lowered shape seen before with the same schemas).
+    pub hits: u64,
+    /// Cache misses (shape lowered and optimized fresh).
+    pub misses: u64,
+    /// Optimizer rewrite rules applied across all misses.
+    pub rules_fired: u64,
+    /// Rows removed by pushed-down filters before a join/group_by.
+    pub rows_pruned: u64,
+    /// Lowered runs that fell back to the row-wise engine.
+    pub fallbacks: u64,
+}
+
+/// Bound on remembered plan shapes per session; generated programs repeat a
+/// handful of shapes, so a small cap is ample and keeps memory flat.
+const PLAN_CACHE_CAP: usize = 256;
 
 /// A runtime value.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -98,6 +154,13 @@ pub struct Interpreter {
     /// Steps taken this cell, for the periodic clock check.
     steps_taken: u64,
     effects: Effects,
+    /// Execution strategy for top-level frame-method chains.
+    engine: QueryEngine,
+    /// Optimized plans keyed on lowered shape + input schemas.
+    plan_cache: HashMap<String, Vec<PlanOp>>,
+    plan_stats: PlanCacheStats,
+    /// Obs sink for `query.plan.*` volatile counters (disabled by default).
+    recorder: Recorder,
 }
 
 /// Evaluation context: bindings plus an optional row scope.
@@ -118,7 +181,34 @@ impl Interpreter {
             cell_deadline: None,
             steps_taken: 0,
             effects: Effects::default(),
+            engine: QueryEngine::from_env(),
+            plan_cache: HashMap::new(),
+            plan_stats: PlanCacheStats::default(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Override the execution engine (tests, benches, escape hatches).
+    pub fn set_engine(&mut self, engine: QueryEngine) {
+        self.engine = engine;
+    }
+
+    /// The active execution engine.
+    pub fn engine(&self) -> QueryEngine {
+        self.engine
+    }
+
+    /// Route `query.plan.*` counters into an obs recorder. Counters go
+    /// through the volatile annex only (no spans): sessions run on serve
+    /// applier threads where plan-cache hit patterns legitimately differ
+    /// between leader and replayed followers.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Plan-cache counters for this interpreter.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_stats
     }
 
     /// Bind a value (e.g. the pre-loaded `feedback` frame).
@@ -277,10 +367,199 @@ impl Interpreter {
             }
             Expr::Call { name, args, .. } => self.call_function(name, args, row),
             Expr::Method { recv, name, args, .. } => {
+                if row.is_none() && self.engine == QueryEngine::Vectorized {
+                    return self.eval_method_chain(expr);
+                }
                 let receiver = self.eval(recv, row)?;
                 self.call_method(receiver, name, args, row)
             }
         }
+    }
+
+    // ----- vectorized chain execution --------------------------------------
+
+    /// Evaluate a top-level frame-method chain, lowering maximal runs of
+    /// plan-able calls into the vectorized executor and dispatching the
+    /// rest through the ordinary row-wise [`call_method`](Self::call_method).
+    ///
+    /// The byte-identity contract: the vectorized path either fully
+    /// succeeds (producing exactly the frame the row-wise path would) or
+    /// restores the step budget to its pre-attempt snapshot and re-executes
+    /// the run row-wise, whose outcome — value or error — is authoritative.
+    /// Lowered constructs are pure (no `show`/`log`/plugins), so the re-run
+    /// cannot duplicate effects.
+    fn eval_method_chain(&mut self, expr: &Expr) -> Result<RtValue, QueryError> {
+        let (base, calls) = plan::flatten_chain(expr);
+        // Mirror the row-wise per-node step charges: eval() already charged
+        // the outermost method node; the descent would charge one step per
+        // remaining node before reaching the base.
+        for _ in 1..calls.len() {
+            self.step()?;
+        }
+        let mut current = self.eval(base, None)?;
+        let mut i = 0;
+        let mut row_wise_rest = false;
+        while i < calls.len() {
+            if !row_wise_rest {
+                if let RtValue::Frame(frame) = &current {
+                    let (ops, consumed) = plan::lower_ops(&calls[i..]);
+                    if consumed > 0 {
+                        let snapshot = (self.steps_left, self.steps_taken);
+                        match self.exec_lowered(frame, ops) {
+                            Ok(out) => {
+                                current = RtValue::Frame(out);
+                                i += consumed;
+                                continue;
+                            }
+                            Err(_) => {
+                                // Fall back: restore the budget and run the
+                                // rest of the chain row-wise so any error
+                                // (or success) comes from the reference
+                                // engine, byte-for-byte.
+                                self.steps_left = snapshot.0;
+                                self.steps_taken = snapshot.1;
+                                self.plan_stats.fallbacks += 1;
+                                self.recorder.vincr("query.exec.fallback");
+                                row_wise_rest = true;
+                            }
+                        }
+                    }
+                }
+            }
+            let call = &calls[i];
+            let recv = std::mem::replace(&mut current, RtValue::null());
+            current = self.call_method(recv, call.name, call.args, None)?;
+            i += 1;
+        }
+        Ok(current)
+    }
+
+    /// Optimize (with plan-cache lookup) and execute a lowered run against
+    /// `base`. Any `Err` is a signal to fall back, never a user-visible
+    /// error.
+    fn exec_lowered(
+        &mut self,
+        base: &DataFrame,
+        ops: Vec<PlanOp>,
+    ) -> Result<DataFrame, QueryError> {
+        let base_schema: Vec<String> =
+            base.columns().iter().map(|c| c.name().to_string()).collect();
+        // Resolve the schemas of join right-hand sides up front: they are
+        // part of the cache key (a re-bound right frame must not reuse a
+        // stale optimized plan) and the optimizer's legality analysis.
+        let mut right_schemas: Vec<(String, Vec<String>)> = Vec::new();
+        for op in &ops {
+            if let PlanOp::Join { right, .. } = op {
+                match self.bindings.get(right) {
+                    Some(RtValue::Frame(rf)) => right_schemas.push((
+                        right.clone(),
+                        rf.columns().iter().map(|c| c.name().to_string()).collect(),
+                    )),
+                    // Not a frame (or unbound): the join will error; let the
+                    // row-wise engine produce that error.
+                    _ => return Err(QueryError::runtime("join target is not a frame")),
+                }
+            }
+        }
+        let key = plan::cache_key(&ops, &base_schema, &right_schemas);
+        let ops = if let Some(cached) = self.plan_cache.get(&key) {
+            self.plan_stats.hits += 1;
+            self.recorder.vincr("query.plan.cache.hits");
+            cached.clone()
+        } else {
+            self.plan_stats.misses += 1;
+            self.recorder.vincr("query.plan.cache.misses");
+            let lookup = |name: &str| -> Option<Vec<String>> {
+                right_schemas
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, s)| s.clone())
+            };
+            let (optimized, opt_stats) = plan::optimize(ops, &base_schema, &lookup);
+            self.plan_stats.rules_fired += opt_stats.rules_fired;
+            self.recorder.vadd("query.plan.rules.fired", opt_stats.rules_fired);
+            if self.plan_cache.len() < PLAN_CACHE_CAP {
+                self.plan_cache.insert(key, optimized.clone());
+            }
+            optimized
+        };
+
+        let mut pruned: u64 = 0;
+        let mut out: Option<DataFrame> = None;
+        for op in &ops {
+            let f: &DataFrame = out.as_ref().unwrap_or(base);
+            self.charge_steps(op_charge(op, f.n_rows()))?;
+            let next = match op {
+                PlanOp::Filter { pred, pushed } => {
+                    let mask = exec::filter_mask(f, pred, &self.bindings)?;
+                    let before = f.n_rows();
+                    let nf = f.filter(&mask)?;
+                    if *pushed {
+                        pruned += (before - nf.n_rows()) as u64;
+                    }
+                    nf
+                }
+                PlanOp::Derive { name, expr } => {
+                    let col = exec::derive_column(f, name, expr, &self.bindings)?;
+                    f.with_column(col)?
+                }
+                PlanOp::Select { cols } => {
+                    let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                    f.select(&refs)?
+                }
+                PlanOp::GroupBy { keys, aggs } => {
+                    let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                    let nf = f.group_by(&refs, aggs)?;
+                    self.check_wall_clock()?;
+                    nf
+                }
+                PlanOp::Sort { col, ascending } => {
+                    let nf = f.sort_by(col, *ascending)?;
+                    self.check_wall_clock()?;
+                    nf
+                }
+                PlanOp::TopK { col, ascending, k } => {
+                    let nf = f.top_k(col, *ascending, *k)?;
+                    self.check_wall_clock()?;
+                    nf
+                }
+                PlanOp::Head { n } => f.head(*n),
+                PlanOp::ValueCounts { col } => f.value_counts(col)?,
+                PlanOp::Join { right, on, kind } => {
+                    let Some(RtValue::Frame(rf)) = self.bindings.get(right) else {
+                        return Err(QueryError::runtime("join target is not a frame"));
+                    };
+                    let nf = f.join(rf, on, *kind)?;
+                    self.check_rows(&nf)?;
+                    self.check_wall_clock()?;
+                    nf
+                }
+            };
+            out = Some(next);
+        }
+        self.plan_stats.rows_pruned += pruned;
+        if pruned > 0 {
+            self.recorder.vadd("query.plan.rows.pruned", pruned);
+        }
+        self.recorder.vincr("query.exec.vectorized");
+        Ok(out.unwrap_or_else(|| base.clone()))
+    }
+
+    /// Bulk step charge approximating what the row-wise engine would spend
+    /// on the same operation (per-row × per-expression-node for filters and
+    /// derives). Exact parity is not required — on any error, including
+    /// budget exhaustion, the run falls back and the row-wise engine's
+    /// step-by-step accounting is authoritative.
+    fn charge_steps(&mut self, n: u64) -> Result<(), QueryError> {
+        if self.steps_left < n {
+            self.steps_left = 0;
+            return Err(QueryError::runtime(
+                "step budget exhausted: program too expensive for the sandbox",
+            ));
+        }
+        self.steps_left -= n;
+        self.steps_taken += n;
+        self.check_wall_clock()
     }
 
     // ----- free functions -------------------------------------------------
@@ -336,56 +615,33 @@ impl Interpreter {
         args: &[Expr],
         row: Option<&RowCtx>,
     ) -> Result<Option<RtValue>, QueryError> {
+        // The value-level semantics live in `crate::rowfns`, shared with the
+        // vectorized batch evaluator — see the byte-identity contract there.
         let result = match name {
             "contains" => {
                 expect_arity(name, args, 2)?;
                 let hay = self.eval_scalar(&args[0], row)?;
                 let needle = self.eval_scalar(&args[1], row)?;
-                match (&hay, &needle) {
-                    (Value::Null, _) => Value::Bool(false),
-                    (Value::Str(h), Value::Str(n)) => {
-                        Value::Bool(h.to_lowercase().contains(&n.to_lowercase()))
-                    }
-                    _ => {
-                        return Err(QueryError::runtime(
-                            "contains(text, needle) expects string arguments",
-                        ))
-                    }
-                }
+                rowfns::contains(&hay, &needle)?
             }
             "starts_with" => {
                 expect_arity(name, args, 2)?;
                 let hay = self.eval_scalar(&args[0], row)?;
                 let needle = self.eval_scalar(&args[1], row)?;
-                match (&hay, &needle) {
-                    (Value::Str(h), Value::Str(n)) => {
-                        Value::Bool(h.to_lowercase().starts_with(&n.to_lowercase()))
-                    }
-                    _ => Value::Bool(false),
-                }
+                rowfns::starts_with(&hay, &needle)
             }
             "lower" => {
                 expect_arity(name, args, 1)?;
-                match self.eval_scalar(&args[0], row)? {
-                    Value::Str(s) => Value::Str(s.to_lowercase()),
-                    Value::Null => Value::Null,
-                    other => other,
-                }
+                rowfns::lower(self.eval_scalar(&args[0], row)?)
             }
             "upper" => {
                 expect_arity(name, args, 1)?;
-                match self.eval_scalar(&args[0], row)? {
-                    Value::Str(s) => Value::Str(s.to_uppercase()),
-                    Value::Null => Value::Null,
-                    other => other,
-                }
+                rowfns::upper(self.eval_scalar(&args[0], row)?)
             }
             "length" => {
                 expect_arity(name, args, 1)?;
                 match self.eval(&args[0], row)? {
-                    RtValue::Scalar(Value::Str(s)) => Value::Int(s.chars().count() as i64),
-                    RtValue::Scalar(Value::StrList(l)) => Value::Int(l.len() as i64),
-                    RtValue::Scalar(Value::Null) => Value::Null,
+                    RtValue::Scalar(v) => rowfns::length_scalar(&v)?,
                     RtValue::List(l) => Value::Int(l.len() as i64),
                     RtValue::Frame(f) => Value::Int(f.n_rows() as i64),
                     other => {
@@ -398,83 +654,25 @@ impl Interpreter {
             }
             "month" | "year" | "day" | "week" => {
                 expect_arity(name, args, 1)?;
-                match self.eval_scalar(&args[0], row)? {
-                    Value::DateTime(t) => {
-                        let d = CivilDateTime::from_epoch(t);
-                        Value::Int(match name {
-                            "month" => i64::from(d.month),
-                            "year" => i64::from(d.year),
-                            "day" => i64::from(d.day),
-                            _ => i64::from(d.iso_week()),
-                        })
-                    }
-                    Value::Null => Value::Null,
-                    other => {
-                        return Err(QueryError::runtime(format!(
-                            "{name}() expects a datetime, got {other:?}"
-                        )))
-                    }
-                }
+                rowfns::datetime_part(name, &self.eval_scalar(&args[0], row)?)?
             }
             "weekday" => {
                 expect_arity(name, args, 1)?;
-                match self.eval_scalar(&args[0], row)? {
-                    Value::DateTime(t) => {
-                        Value::Str(CivilDateTime::from_epoch(t).weekday().name().to_string())
-                    }
-                    Value::Null => Value::Null,
-                    other => {
-                        return Err(QueryError::runtime(format!(
-                            "weekday() expects a datetime, got {other:?}"
-                        )))
-                    }
-                }
+                rowfns::weekday(&self.eval_scalar(&args[0], row)?)?
             }
             "is_weekend" => {
                 expect_arity(name, args, 1)?;
-                match self.eval_scalar(&args[0], row)? {
-                    Value::DateTime(t) => {
-                        Value::Bool(CivilDateTime::from_epoch(t).weekday().is_weekend())
-                    }
-                    Value::Null => Value::Bool(false),
-                    other => {
-                        return Err(QueryError::runtime(format!(
-                            "is_weekend() expects a datetime, got {other:?}"
-                        )))
-                    }
-                }
+                rowfns::is_weekend(&self.eval_scalar(&args[0], row)?)?
             }
             "date" => {
                 expect_arity(name, args, 1)?;
-                match self.eval_scalar(&args[0], row)? {
-                    Value::DateTime(t) => {
-                        let d = CivilDateTime::from_epoch(t);
-                        Value::Str(format!("{:04}-{:02}-{:02}", d.year, d.month, d.day))
-                    }
-                    Value::Null => Value::Null,
-                    other => {
-                        return Err(QueryError::runtime(format!(
-                            "date() expects a datetime, got {other:?}"
-                        )))
-                    }
-                }
+                rowfns::date(&self.eval_scalar(&args[0], row)?)?
             }
             "has_topic" => {
                 expect_arity(name, args, 2)?;
                 let list = self.eval_scalar(&args[0], row)?;
                 let item = self.eval_scalar(&args[1], row)?;
-                match (&list, &item) {
-                    (Value::StrList(l), Value::Str(t)) => {
-                        let t = t.to_lowercase();
-                        Value::Bool(l.iter().any(|x| x.to_lowercase() == t))
-                    }
-                    (Value::Null, _) => Value::Bool(false),
-                    _ => {
-                        return Err(QueryError::runtime(
-                            "has_topic(topics, name) expects a topic list and a string",
-                        ))
-                    }
-                }
+                rowfns::has_topic(&list, &item)?
             }
             "in_list" => {
                 expect_arity(name, args, 2)?;
@@ -491,7 +689,7 @@ impl Interpreter {
                         )))
                     }
                 };
-                Value::Bool(list.iter().any(|v| scalar_eq_ci(v, &item)))
+                rowfns::in_list_value(&item, &list)
             }
             "in_list_any" => {
                 // Does the StrList cell share any element with the list?
@@ -506,13 +704,7 @@ impl Interpreter {
                         )))
                     }
                 };
-                match cell {
-                    Value::StrList(items) => Value::Bool(items.iter().any(|t| {
-                        list.iter().any(|v| scalar_eq_ci(v, &Value::Str(t.clone())))
-                    })),
-                    Value::Null => Value::Bool(false),
-                    other => Value::Bool(list.iter().any(|v| scalar_eq_ci(v, &other))),
-                }
+                rowfns::in_list_any_value(&cell, &list)
             }
             "is_null" => {
                 expect_arity(name, args, 1)?;
@@ -529,61 +721,27 @@ impl Interpreter {
             }
             "emoji_count" => {
                 expect_arity(name, args, 1)?;
-                match self.eval_scalar(&args[0], row)? {
-                    Value::Str(s) => {
-                        Value::Int(allhands_text::extract_emoji(&s).len() as i64)
-                    }
-                    Value::Null => Value::Int(0),
-                    other => {
-                        return Err(QueryError::runtime(format!(
-                            "emoji_count() expects a string, got {other:?}"
-                        )))
-                    }
-                }
+                rowfns::emoji_count(&self.eval_scalar(&args[0], row)?)?
             }
             "has_url" => {
                 expect_arity(name, args, 1)?;
-                match self.eval_scalar(&args[0], row)? {
-                    Value::Str(s) => Value::Bool(
-                        s.contains("http://") || s.contains("https://") || s.contains("www."),
-                    ),
-                    _ => Value::Bool(false),
-                }
+                rowfns::has_url(&self.eval_scalar(&args[0], row)?)
             }
             "abs" => {
                 expect_arity(name, args, 1)?;
-                match self.eval_scalar(&args[0], row)?.as_f64() {
-                    Some(f) => number_value(f.abs()),
-                    None => Value::Null,
-                }
+                rowfns::abs_fn(&self.eval_scalar(&args[0], row)?)
             }
             "round" => {
                 expect_arity(name, args, 2)?;
                 let x = self.eval_scalar(&args[0], row)?;
                 let digits = self.eval_scalar(&args[1], row)?;
-                match (x.as_f64(), digits.as_f64()) {
-                    (Some(x), Some(d)) => {
-                        let m = 10f64.powi(d as i32);
-                        Value::Float((x * m).round() / m)
-                    }
-                    _ => Value::Null,
-                }
+                rowfns::round_fn(&x, &digits)
             }
             "percent" => {
                 expect_arity(name, args, 2)?;
                 let num = self.eval_scalar(&args[0], row)?;
                 let den = self.eval_scalar(&args[1], row)?;
-                match (num.as_f64(), den.as_f64()) {
-                    (Some(_), Some(0.0)) => {
-                        return Err(QueryError::runtime("percent(): denominator is zero"))
-                    }
-                    (Some(n), Some(d)) => Value::Float((n / d * 1000.0).round() / 10.0),
-                    _ => {
-                        return Err(QueryError::runtime(
-                            "percent(a, b) expects numeric arguments",
-                        ))
-                    }
-                }
+                rowfns::percent(&num, &den)?
             }
             _ => return Ok(None),
         };
@@ -877,9 +1035,23 @@ fn expect_arity(name: &str, args: &[Expr], n: usize) -> Result<(), QueryError> {
     }
 }
 
+/// Per-op bulk step cost for the vectorized executor, sized to track the
+/// row-wise engine's per-row/per-node charges.
+fn op_charge(op: &PlanOp, rows: usize) -> u64 {
+    match op {
+        PlanOp::Filter { pred, .. } => 1 + rows as u64 * pred.node_count(),
+        PlanOp::Derive { expr, .. } => 2 + rows as u64 * expr.node_count(),
+        PlanOp::GroupBy { keys, aggs } => 1 + (keys.len() + aggs.len()) as u64,
+        PlanOp::Select { cols } => 1 + cols.len() as u64,
+        PlanOp::Sort { .. } | PlanOp::TopK { .. } => 3,
+        PlanOp::Head { .. } | PlanOp::ValueCounts { .. } => 2,
+        PlanOp::Join { .. } => 4,
+    }
+}
+
 /// AQL numbers are f64 at parse time; integral values become Int so counts
 /// behave like integers.
-fn number_value(n: f64) -> Value {
+pub(crate) fn number_value(n: f64) -> Value {
     if n.fract() == 0.0 && n.abs() < 9e15 {
         Value::Int(n as i64)
     } else {
@@ -887,7 +1059,7 @@ fn number_value(n: f64) -> Value {
     }
 }
 
-fn truthy(v: &Value) -> bool {
+pub(crate) fn truthy(v: &Value) -> bool {
     match v {
         Value::Bool(b) => *b,
         Value::Null => false,
@@ -899,15 +1071,7 @@ fn truthy(v: &Value) -> bool {
     }
 }
 
-/// Case-insensitive equality for strings, loose numeric equality otherwise.
-fn scalar_eq_ci(a: &Value, b: &Value) -> bool {
-    match (a, b) {
-        (Value::Str(x), Value::Str(y)) => x.to_lowercase() == y.to_lowercase(),
-        _ => a.loose_eq(b),
-    }
-}
-
-fn binary_op(op: BinOp, l: &Value, r: &Value) -> Result<Value, QueryError> {
+pub(crate) fn binary_op(op: BinOp, l: &Value, r: &Value) -> Result<Value, QueryError> {
     use BinOp::*;
     Ok(match op {
         And => Value::Bool(truthy(l) && truthy(r)),
@@ -1019,6 +1183,7 @@ pub fn column_from_values(name: &str, values: Vec<Value>) -> Result<Column, Quer
 mod tests {
     use super::*;
     use crate::parser::parse_program;
+    use allhands_dataframe::CivilDateTime;
 
     fn frame() -> DataFrame {
         DataFrame::new(vec![

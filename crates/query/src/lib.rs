@@ -33,17 +33,20 @@
 
 pub mod ast;
 pub mod error;
+mod exec;
 pub mod figure;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
+mod plan;
 pub mod plugins;
+mod rowfns;
 pub mod session;
 
 pub use ast::{BinOp, Expr, Program, Stmt, UnOp};
 pub use error::QueryError;
 pub use figure::{FigureKind, FigureSpec, Series};
-pub use interp::{Interpreter, RtValue};
+pub use interp::{Interpreter, PlanCacheStats, QueryEngine, RtValue};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::parse_program;
 pub use session::{CellResult, Session, SessionLimits};

@@ -1,0 +1,199 @@
+//! Scalar kernels for the pure AQL row functions.
+//!
+//! Both execution engines route through these: the row-wise interpreter
+//! ([`crate::interp`]) calls them once per row after evaluating arguments,
+//! and the vectorized evaluator ([`crate::exec`]) calls them per masked row
+//! on its generic path (or mirrors them exactly in a typed fast path).
+//! Keeping the value-level semantics in one place is what makes the
+//! byte-identity contract between the engines auditable.
+
+use crate::error::QueryError;
+use allhands_dataframe::{CivilDateTime, Value};
+
+pub(crate) fn contains(hay: &Value, needle: &Value) -> Result<Value, QueryError> {
+    match (hay, needle) {
+        (Value::Null, _) => Ok(Value::Bool(false)),
+        (Value::Str(h), Value::Str(n)) => {
+            Ok(Value::Bool(h.to_lowercase().contains(&n.to_lowercase())))
+        }
+        _ => Err(QueryError::runtime(
+            "contains(text, needle) expects string arguments",
+        )),
+    }
+}
+
+pub(crate) fn starts_with(hay: &Value, needle: &Value) -> Value {
+    match (hay, needle) {
+        (Value::Str(h), Value::Str(n)) => {
+            Value::Bool(h.to_lowercase().starts_with(&n.to_lowercase()))
+        }
+        _ => Value::Bool(false),
+    }
+}
+
+pub(crate) fn lower(v: Value) -> Value {
+    match v {
+        Value::Str(s) => Value::Str(s.to_lowercase()),
+        Value::Null => Value::Null,
+        other => other,
+    }
+}
+
+pub(crate) fn upper(v: Value) -> Value {
+    match v {
+        Value::Str(s) => Value::Str(s.to_uppercase()),
+        Value::Null => Value::Null,
+        other => other,
+    }
+}
+
+/// `length()` over a scalar cell. The interpreter additionally accepts
+/// list/frame receivers before reaching this (see `try_row_function`).
+pub(crate) fn length_scalar(v: &Value) -> Result<Value, QueryError> {
+    match v {
+        Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+        Value::StrList(l) => Ok(Value::Int(l.len() as i64)),
+        Value::Null => Ok(Value::Null),
+        _ => Err(QueryError::runtime("length() not defined for scalar")),
+    }
+}
+
+/// `month`/`year`/`day`/`week` over a datetime cell.
+pub(crate) fn datetime_part(name: &str, v: &Value) -> Result<Value, QueryError> {
+    match v {
+        Value::DateTime(t) => {
+            let d = CivilDateTime::from_epoch(*t);
+            Ok(Value::Int(match name {
+                "month" => i64::from(d.month),
+                "year" => i64::from(d.year),
+                "day" => i64::from(d.day),
+                _ => i64::from(d.iso_week()),
+            }))
+        }
+        Value::Null => Ok(Value::Null),
+        other => Err(QueryError::runtime(format!(
+            "{name}() expects a datetime, got {other:?}"
+        ))),
+    }
+}
+
+pub(crate) fn weekday(v: &Value) -> Result<Value, QueryError> {
+    match v {
+        Value::DateTime(t) => Ok(Value::Str(
+            CivilDateTime::from_epoch(*t).weekday().name().to_string(),
+        )),
+        Value::Null => Ok(Value::Null),
+        other => Err(QueryError::runtime(format!(
+            "weekday() expects a datetime, got {other:?}"
+        ))),
+    }
+}
+
+pub(crate) fn is_weekend(v: &Value) -> Result<Value, QueryError> {
+    match v {
+        Value::DateTime(t) => Ok(Value::Bool(
+            CivilDateTime::from_epoch(*t).weekday().is_weekend(),
+        )),
+        Value::Null => Ok(Value::Bool(false)),
+        other => Err(QueryError::runtime(format!(
+            "is_weekend() expects a datetime, got {other:?}"
+        ))),
+    }
+}
+
+pub(crate) fn date(v: &Value) -> Result<Value, QueryError> {
+    match v {
+        Value::DateTime(t) => {
+            let d = CivilDateTime::from_epoch(*t);
+            Ok(Value::Str(format!(
+                "{:04}-{:02}-{:02}",
+                d.year, d.month, d.day
+            )))
+        }
+        Value::Null => Ok(Value::Null),
+        other => Err(QueryError::runtime(format!(
+            "date() expects a datetime, got {other:?}"
+        ))),
+    }
+}
+
+pub(crate) fn has_topic(list: &Value, item: &Value) -> Result<Value, QueryError> {
+    match (list, item) {
+        (Value::StrList(l), Value::Str(t)) => {
+            let t = t.to_lowercase();
+            Ok(Value::Bool(l.iter().any(|x| x.to_lowercase() == t)))
+        }
+        (Value::Null, _) => Ok(Value::Bool(false)),
+        _ => Err(QueryError::runtime(
+            "has_topic(topics, name) expects a topic list and a string",
+        )),
+    }
+}
+
+/// Case-insensitive equality for strings, loose numeric equality otherwise.
+pub(crate) fn scalar_eq_ci(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => x.to_lowercase() == y.to_lowercase(),
+        _ => a.loose_eq(b),
+    }
+}
+
+/// `in_list(item, list)` once the list has been materialized as values.
+pub(crate) fn in_list_value(item: &Value, list: &[Value]) -> Value {
+    Value::Bool(list.iter().any(|v| scalar_eq_ci(v, item)))
+}
+
+/// `in_list_any(cell, list)` once the list has been materialized.
+pub(crate) fn in_list_any_value(cell: &Value, list: &[Value]) -> Value {
+    match cell {
+        Value::StrList(items) => Value::Bool(items.iter().any(|t| {
+            list.iter().any(|v| scalar_eq_ci(v, &Value::Str(t.clone())))
+        })),
+        Value::Null => Value::Bool(false),
+        other => Value::Bool(list.iter().any(|v| scalar_eq_ci(v, other))),
+    }
+}
+
+pub(crate) fn emoji_count(v: &Value) -> Result<Value, QueryError> {
+    match v {
+        Value::Str(s) => Ok(Value::Int(allhands_text::extract_emoji(s).len() as i64)),
+        Value::Null => Ok(Value::Int(0)),
+        other => Err(QueryError::runtime(format!(
+            "emoji_count() expects a string, got {other:?}"
+        ))),
+    }
+}
+
+pub(crate) fn has_url(v: &Value) -> Value {
+    match v {
+        Value::Str(s) => Value::Bool(
+            s.contains("http://") || s.contains("https://") || s.contains("www."),
+        ),
+        _ => Value::Bool(false),
+    }
+}
+
+pub(crate) fn abs_fn(v: &Value) -> Value {
+    match v.as_f64() {
+        Some(f) => crate::interp::number_value(f.abs()),
+        None => Value::Null,
+    }
+}
+
+pub(crate) fn round_fn(x: &Value, digits: &Value) -> Value {
+    match (x.as_f64(), digits.as_f64()) {
+        (Some(x), Some(d)) => {
+            let m = 10f64.powi(d as i32);
+            Value::Float((x * m).round() / m)
+        }
+        _ => Value::Null,
+    }
+}
+
+pub(crate) fn percent(num: &Value, den: &Value) -> Result<Value, QueryError> {
+    match (num.as_f64(), den.as_f64()) {
+        (Some(_), Some(0.0)) => Err(QueryError::runtime("percent(): denominator is zero")),
+        (Some(n), Some(d)) => Ok(Value::Float((n / d * 1000.0).round() / 10.0)),
+        _ => Err(QueryError::runtime("percent(a, b) expects numeric arguments")),
+    }
+}

@@ -100,6 +100,29 @@ impl Session {
         self.interp.register_plugin(name, f);
     }
 
+    /// Override the query execution engine (defaults to the vectorized
+    /// planner; `ALLHANDS_QUERY_ENGINE=rowwise` selects the row-wise
+    /// reference engine).
+    pub fn set_engine(&mut self, engine: crate::interp::QueryEngine) {
+        self.interp.set_engine(engine);
+    }
+
+    /// The active query execution engine.
+    pub fn engine(&self) -> crate::interp::QueryEngine {
+        self.interp.engine()
+    }
+
+    /// Route `query.plan.*` volatile counters into an obs recorder.
+    pub fn set_recorder(&mut self, recorder: allhands_obs::Recorder) {
+        self.interp.set_recorder(recorder);
+    }
+
+    /// Plan-cache counters for this session (hits, misses, rules fired,
+    /// rows pruned, fallbacks).
+    pub fn plan_cache_stats(&self) -> crate::interp::PlanCacheStats {
+        self.interp.plan_cache_stats()
+    }
+
     /// Execute one cell. Never panics: all failures land in
     /// [`CellResult::error`].
     pub fn execute(&mut self, source: &str) -> CellResult {

@@ -37,6 +37,12 @@
 #                   Vfs op index, sustained-ENOSPC read-only trip, proptest
 #                   fault fuzz) and the follower-bootstrap suite at threads
 #                   {1,8}.
+#   --query-smoke   run the engine-differential suite (90 reference
+#                   programs, join keys straddling 2^53 and ±0.0, proptest
+#                   random chains — both engines byte-identical), then the
+#                   query stage of the pipeline bench (row-wise vs
+#                   vectorized; warm plan-cache hit rate asserted 100%,
+#                   speedup recorded, not asserted).
 #   --serve-smoke   run the serving/replication suite (kill-at-every-entry
 #                   reconnect sweep, lag reporting, replica write refusal),
 #                   then the allhands-serve end-to-end smoke — leader + 2
@@ -63,6 +69,7 @@ ingest_smoke=0
 checkpoint_smoke=0
 scaling_smoke=0
 iofault_smoke=0
+query_smoke=0
 serve_smoke=0
 for arg in "$@"; do
   case "$arg" in
@@ -73,6 +80,7 @@ for arg in "$@"; do
     --checkpoint-smoke) checkpoint_smoke=1 ;;
     --scaling-smoke) scaling_smoke=1 ;;
     --iofault-smoke) iofault_smoke=1 ;;
+    --query-smoke) query_smoke=1 ;;
     --serve-smoke) serve_smoke=1 ;;
     *)
       echo "verify: unknown flag $arg" >&2
@@ -142,6 +150,17 @@ if [[ "$iofault_smoke" == 1 ]]; then
     echo "==> iofault smoke: ALLHANDS_THREADS=$threads"
     ALLHANDS_THREADS=$threads cargo test -q --test storage_faults --test bootstrap_follower
   done
+fi
+
+if [[ "$query_smoke" == 1 ]]; then
+  echo "==> query smoke (engine differential + plan-cache hit rate)"
+  cargo test -q --test query_differential
+  query_dir="$(mktemp -d)"
+  tmp_dirs+=("$query_dir")
+  cargo run --release -p allhands-bench --bin pipeline_bench -- \
+    --smoke --only query --out "$query_dir/BENCH_query.json"
+  cargo run --release -p allhands-bench --bin pipeline_bench -- \
+    --validate "$query_dir/BENCH_query.json"
 fi
 
 if [[ "$serve_smoke" == 1 ]]; then
